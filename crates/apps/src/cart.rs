@@ -1,0 +1,380 @@
+//! CART decision-tree classification.
+//!
+//! The data-mining workload of the Convey HC-1 reference \[17\] (HC-CART):
+//! the hot loop of tree construction is evaluating the Gini impurity of
+//! every candidate split threshold over every feature — a dense,
+//! branch-light scan that maps beautifully to hardware. The HLS kernel
+//! evaluates all thresholds for one feature; the host's recursive tree
+//! builder calls it per node per feature.
+
+use ecoscale_hls::KernelArgs;
+use ecoscale_sim::SimRng;
+
+use crate::hints;
+use std::collections::HashMap;
+
+/// Gini impurity of every candidate threshold over one feature column.
+///
+/// For threshold `t`, samples with `x <= t` go left. Binary labels in
+/// `{0, 1}`. Outputs the weighted Gini impurity per threshold.
+pub const KERNEL: &str = "kernel gini_scan(in float x[], in float label[], in float thresh[], out float gini[], int n, int m) {
+    for (t in 0 .. m) {
+        lp = 0.0;
+        ln = 0.0;
+        rp = 0.0;
+        rn = 0.0;
+        for (i in 0 .. n) {
+            left = x[i] <= thresh[t];
+            pos = label[i];
+            lp = lp + left * pos;
+            ln = ln + left * (1.0 - pos);
+            rp = rp + (1.0 - left) * pos;
+            rn = rn + (1.0 - left) * (1.0 - pos);
+        }
+        l = lp + ln;
+        r = rp + rn;
+        gl = select(l > 0.0, 1.0 - (lp / l) * (lp / l) - (ln / l) * (ln / l), 0.0);
+        gr = select(r > 0.0, 1.0 - (rp / r) * (rp / r) - (rn / r) * (rn / r), 0.0);
+        gini[t] = (l * gl + r * gr) / (l + r);
+    }
+}";
+
+/// HLS scalar hints for `n` samples × `m` thresholds.
+pub fn kernel_hints(n: u64, m: u64) -> HashMap<String, f64> {
+    hints(&[("n", n as f64), ("m", m as f64)])
+}
+
+/// A labelled dataset: row-major features plus binary labels.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// `samples × features`, row-major.
+    pub features: Vec<f64>,
+    /// Binary labels (0.0 / 1.0).
+    pub labels: Vec<f64>,
+    /// Feature count.
+    pub num_features: usize,
+}
+
+impl Dataset {
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Returns `true` for an empty dataset.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Column `f` of the feature matrix.
+    pub fn column(&self, f: usize) -> Vec<f64> {
+        (0..self.len())
+            .map(|i| self.features[i * self.num_features + f])
+            .collect()
+    }
+}
+
+/// Generates a two-cluster binary classification problem that a shallow
+/// tree separates well.
+pub fn generate(n: usize, num_features: usize, seed: u64) -> Dataset {
+    let mut rng = SimRng::seed_from(seed);
+    let mut features = Vec::with_capacity(n * num_features);
+    let mut labels = Vec::with_capacity(n);
+    for _ in 0..n {
+        let label = rng.gen_bool(0.5);
+        let center = if label { 2.0 } else { -2.0 };
+        for f in 0..num_features {
+            // first two features are informative, the rest noise
+            let mu = if f < 2 { center } else { 0.0 };
+            features.push(rng.gen_normal(mu, 1.5));
+        }
+        labels.push(if label { 1.0 } else { 0.0 });
+    }
+    Dataset {
+        features,
+        labels,
+        num_features,
+    }
+}
+
+/// Reference Gini scan over one feature column.
+pub fn reference_gini(x: &[f64], labels: &[f64], thresholds: &[f64]) -> Vec<f64> {
+    thresholds
+        .iter()
+        .map(|&t| {
+            let (mut lp, mut ln, mut rp, mut rn) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
+            for (&xi, &yi) in x.iter().zip(labels) {
+                if xi <= t {
+                    if yi > 0.5 {
+                        lp += 1.0;
+                    } else {
+                        ln += 1.0;
+                    }
+                } else if yi > 0.5 {
+                    rp += 1.0;
+                } else {
+                    rn += 1.0;
+                }
+            }
+            let l = lp + ln;
+            let r = rp + rn;
+            let gl = if l > 0.0 {
+                1.0 - (lp / l).powi(2) - (ln / l).powi(2)
+            } else {
+                0.0
+            };
+            let gr = if r > 0.0 {
+                1.0 - (rp / r).powi(2) - (rn / r).powi(2)
+            } else {
+                0.0
+            };
+            (l * gl + r * gr) / (l + r)
+        })
+        .collect()
+}
+
+/// Binds kernel arguments for one feature scan.
+pub fn bind_args(x: &[f64], labels: &[f64], thresholds: &[f64]) -> KernelArgs {
+    let mut args = KernelArgs::new();
+    args.bind_array("x", x.to_vec())
+        .bind_array("label", labels.to_vec())
+        .bind_array("thresh", thresholds.to_vec())
+        .bind_array("gini", vec![0.0; thresholds.len()])
+        .bind_scalar("n", x.len() as f64)
+        .bind_scalar("m", thresholds.len() as f64);
+    args
+}
+
+/// A trained decision tree.
+#[derive(Debug, Clone)]
+pub enum Tree {
+    /// A leaf predicting a class probability.
+    Leaf {
+        /// Probability of class 1.
+        p: f64,
+    },
+    /// An internal split.
+    Node {
+        /// Feature index tested.
+        feature: usize,
+        /// Threshold (`<=` goes left).
+        threshold: f64,
+        /// Left subtree.
+        left: Box<Tree>,
+        /// Right subtree.
+        right: Box<Tree>,
+    },
+}
+
+impl Tree {
+    /// Predicts the class-1 probability of one sample.
+    pub fn predict(&self, sample: &[f64]) -> f64 {
+        match self {
+            Tree::Leaf { p } => *p,
+            Tree::Node {
+                feature,
+                threshold,
+                left,
+                right,
+            } => {
+                if sample[*feature] <= *threshold {
+                    left.predict(sample)
+                } else {
+                    right.predict(sample)
+                }
+            }
+        }
+    }
+
+    /// Number of nodes (internal + leaves).
+    pub fn size(&self) -> usize {
+        match self {
+            Tree::Leaf { .. } => 1,
+            Tree::Node { left, right, .. } => 1 + left.size() + right.size(),
+        }
+    }
+}
+
+/// The Gini-scan callback: `(feature column, labels, thresholds)` →
+/// per-threshold weighted impurity. Both the software reference and the
+/// HLS-kernel-backed scan have this shape.
+pub type GiniScan<'a> = dyn FnMut(&[f64], &[f64], &[f64]) -> Vec<f64> + 'a;
+
+/// Builds a CART tree of at most `max_depth`, using `thresholds_per_feature`
+/// candidate quantile thresholds, with the provided Gini scan function
+/// (so the hardware-accelerated scan slots in unchanged).
+pub fn build_tree(
+    data: &Dataset,
+    max_depth: u32,
+    thresholds_per_feature: usize,
+    gini_scan: &mut GiniScan<'_>,
+) -> Tree {
+    let pos = data.labels.iter().filter(|&&y| y > 0.5).count() as f64;
+    let p = if data.is_empty() {
+        0.5
+    } else {
+        pos / data.len() as f64
+    };
+    if max_depth == 0 || data.len() < 4 || p == 0.0 || p == 1.0 {
+        return Tree::Leaf { p };
+    }
+    // best split over all features
+    let mut best: Option<(usize, f64, f64)> = None; // (feature, threshold, gini)
+    for f in 0..data.num_features {
+        let col = data.column(f);
+        let thresholds = quantile_thresholds(&col, thresholds_per_feature);
+        if thresholds.is_empty() {
+            continue;
+        }
+        let ginis = gini_scan(&col, &data.labels, &thresholds);
+        for (t, g) in thresholds.iter().zip(&ginis) {
+            if best.map(|(_, _, bg)| *g < bg).unwrap_or(true) {
+                best = Some((f, *t, *g));
+            }
+        }
+    }
+    let Some((feature, threshold, _)) = best else {
+        return Tree::Leaf { p };
+    };
+    // partition
+    let (mut lf, mut ll, mut rf, mut rl) = (Vec::new(), Vec::new(), Vec::new(), Vec::new());
+    for i in 0..data.len() {
+        let row = &data.features[i * data.num_features..(i + 1) * data.num_features];
+        if row[feature] <= threshold {
+            lf.extend_from_slice(row);
+            ll.push(data.labels[i]);
+        } else {
+            rf.extend_from_slice(row);
+            rl.push(data.labels[i]);
+        }
+    }
+    if ll.is_empty() || rl.is_empty() {
+        return Tree::Leaf { p };
+    }
+    let left_data = Dataset {
+        features: lf,
+        labels: ll,
+        num_features: data.num_features,
+    };
+    let right_data = Dataset {
+        features: rf,
+        labels: rl,
+        num_features: data.num_features,
+    };
+    Tree::Node {
+        feature,
+        threshold,
+        left: Box::new(build_tree(&left_data, max_depth - 1, thresholds_per_feature, gini_scan)),
+        right: Box::new(build_tree(&right_data, max_depth - 1, thresholds_per_feature, gini_scan)),
+    }
+}
+
+/// Evenly-spaced quantile thresholds of a column.
+pub fn quantile_thresholds(col: &[f64], count: usize) -> Vec<f64> {
+    if col.is_empty() || count == 0 {
+        return Vec::new();
+    }
+    let mut sorted = col.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN features"));
+    (1..=count)
+        .map(|q| sorted[(q * (sorted.len() - 1)) / (count + 1)])
+        .collect()
+}
+
+/// Classification accuracy of `tree` on `data` at the 0.5 cut.
+pub fn accuracy(tree: &Tree, data: &Dataset) -> f64 {
+    if data.is_empty() {
+        return 0.0;
+    }
+    let correct = (0..data.len())
+        .filter(|&i| {
+            let row = &data.features[i * data.num_features..(i + 1) * data.num_features];
+            let pred = tree.predict(row) > 0.5;
+            pred == (data.labels[i] > 0.5)
+        })
+        .count();
+    correct as f64 / data.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ecoscale_hls::parse_kernel;
+
+    #[test]
+    fn kernel_matches_reference_gini() {
+        let data = generate(200, 3, 7);
+        let col = data.column(0);
+        let thresholds = quantile_thresholds(&col, 16);
+        let k = parse_kernel(KERNEL).unwrap();
+        let mut args = bind_args(&col, &data.labels, &thresholds);
+        args.run(&k).unwrap();
+        let expect = reference_gini(&col, &data.labels, &thresholds);
+        for (g, r) in args.array("gini").unwrap().iter().zip(&expect) {
+            assert!((g - r).abs() < 1e-9, "{g} vs {r}");
+        }
+    }
+
+    #[test]
+    fn tree_learns_separable_data() {
+        let train = generate(600, 4, 1);
+        let test = generate(300, 4, 2);
+        let mut scan =
+            |x: &[f64], y: &[f64], t: &[f64]| reference_gini(x, y, t);
+        let tree = build_tree(&train, 4, 16, &mut scan);
+        let acc = accuracy(&tree, &test);
+        assert!(acc > 0.85, "accuracy {acc}");
+        assert!(tree.size() > 1, "tree must actually split");
+    }
+
+    #[test]
+    fn pure_leaf_for_single_class() {
+        let data = Dataset {
+            features: vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0],
+            labels: vec![1.0; 8],
+            num_features: 1,
+        };
+        let mut scan =
+            |x: &[f64], y: &[f64], t: &[f64]| reference_gini(x, y, t);
+        let tree = build_tree(&data, 3, 4, &mut scan);
+        assert!(matches!(tree, Tree::Leaf { p } if p == 1.0));
+    }
+
+    #[test]
+    fn gini_is_zero_for_perfect_split() {
+        let x = vec![1.0, 2.0, 3.0, 10.0, 11.0, 12.0];
+        let y = vec![0.0, 0.0, 0.0, 1.0, 1.0, 1.0];
+        let g = reference_gini(&x, &y, &[5.0]);
+        assert!(g[0] < 1e-12);
+    }
+
+    #[test]
+    fn gini_is_half_for_useless_split() {
+        let x = vec![1.0, 1.0, 1.0, 1.0];
+        let y = vec![0.0, 1.0, 0.0, 1.0];
+        let g = reference_gini(&x, &y, &[5.0]); // everything goes left
+        assert!((g[0] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantile_thresholds_sane() {
+        let col = vec![5.0, 1.0, 3.0, 2.0, 4.0];
+        let t = quantile_thresholds(&col, 3);
+        assert_eq!(t.len(), 3);
+        assert!(t.windows(2).all(|w| w[0] <= w[1]));
+        assert!(quantile_thresholds(&[], 3).is_empty());
+        assert!(quantile_thresholds(&col, 0).is_empty());
+    }
+
+    #[test]
+    fn dataset_column_extraction() {
+        let d = Dataset {
+            features: vec![1.0, 2.0, 3.0, 4.0],
+            labels: vec![0.0, 1.0],
+            num_features: 2,
+        };
+        assert_eq!(d.column(0), vec![1.0, 3.0]);
+        assert_eq!(d.column(1), vec![2.0, 4.0]);
+        assert_eq!(d.len(), 2);
+    }
+}

@@ -1,0 +1,106 @@
+//! Dense matrix–matrix multiply (GEMM).
+
+use ecoscale_hls::KernelArgs;
+use ecoscale_sim::SimRng;
+
+use crate::hints;
+use std::collections::HashMap;
+
+/// `C = A × B` over `n × n` matrices as an HLS kernel.
+pub const KERNEL: &str = "kernel gemm(in float a[], in float b[], out float c[], int n) {
+    for (i in 0 .. n) {
+        for (j in 0 .. n) {
+            acc = 0.0;
+            for (k in 0 .. n) {
+                acc = acc + a[i * n + k] * b[k * n + j];
+            }
+            c[i * n + j] = acc;
+        }
+    }
+}";
+
+/// HLS scalar hints.
+pub fn kernel_hints(n: u64) -> HashMap<String, f64> {
+    hints(&[("n", n as f64)])
+}
+
+/// Generates a deterministic `n × n` matrix.
+pub fn generate(n: usize, seed: u64) -> Vec<f64> {
+    let mut rng = SimRng::seed_from(seed);
+    (0..n * n).map(|_| rng.gen_range_f64(-1.0, 1.0)).collect()
+}
+
+/// Reference multiply.
+pub fn reference(a: &[f64], b: &[f64], n: usize) -> Vec<f64> {
+    assert_eq!(a.len(), n * n);
+    assert_eq!(b.len(), n * n);
+    let mut c = vec![0.0; n * n];
+    for i in 0..n {
+        for k in 0..n {
+            let aik = a[i * n + k];
+            for j in 0..n {
+                c[i * n + j] += aik * b[k * n + j];
+            }
+        }
+    }
+    c
+}
+
+/// Binds kernel arguments.
+pub fn bind_args(a: &[f64], b: &[f64], n: usize) -> KernelArgs {
+    let mut args = KernelArgs::new();
+    args.bind_array("a", a.to_vec())
+        .bind_array("b", b.to_vec())
+        .bind_array("c", vec![0.0; n * n])
+        .bind_scalar("n", n as f64);
+    args
+}
+
+/// Arithmetic operations of an `n × n` GEMM.
+pub fn flops(n: usize) -> u64 {
+    (2 * n * n * n) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ecoscale_hls::parse_kernel;
+
+    #[test]
+    fn kernel_matches_reference() {
+        let n = 6;
+        let a = generate(n, 1);
+        let b = generate(n, 2);
+        let k = parse_kernel(KERNEL).unwrap();
+        let mut args = bind_args(&a, &b, n);
+        args.run(&k).unwrap();
+        let c_ref = reference(&a, &b, n);
+        for (g, r) in args.array("c").unwrap().iter().zip(&c_ref) {
+            // the kernel accumulates in a different order (ijk vs ikj)
+            assert!((g - r).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn identity_multiplication() {
+        let n = 4;
+        let mut eye = vec![0.0; n * n];
+        for i in 0..n {
+            eye[i * n + i] = 1.0;
+        }
+        let b = generate(n, 9);
+        let c = reference(&eye, &b, n);
+        assert_eq!(c, b);
+    }
+
+    #[test]
+    fn flops_formula() {
+        assert_eq!(flops(10), 2000);
+    }
+
+    #[test]
+    #[should_panic]
+    fn dimension_mismatch_panics() {
+        reference(&[1.0; 4], &[1.0; 9], 3);
+    }
+}

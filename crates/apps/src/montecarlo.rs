@@ -1,0 +1,125 @@
+//! Monte-Carlo European option pricing.
+//!
+//! The Maxeler-style "curve-based Monte Carlo financial simulation" \[18\]:
+//! price a call by simulating terminal prices under geometric Brownian
+//! motion. The kernel consumes pre-drawn standard normals (the kernel
+//! language is deterministic; randomness stays in the host generator,
+//! which is how real OpenCL MC engines feed hardware pipelines too).
+
+use ecoscale_hls::KernelArgs;
+use ecoscale_sim::SimRng;
+
+use crate::hints;
+use std::collections::HashMap;
+
+/// Per-path terminal payoff as an HLS kernel.
+pub const KERNEL: &str = "kernel mc_payoff(in float z[], out float payoff[], float s0, float strike, float r, float sigma, float t, int n) {
+    for (i in 0 .. n) {
+        st = s0 * exp((r - 0.5 * sigma * sigma) * t + sigma * sqrt(t) * z[i]);
+        payoff[i] = max(st - strike, 0.0);
+    }
+}";
+
+/// HLS scalar hints.
+pub fn kernel_hints(n: u64) -> HashMap<String, f64> {
+    hints(&[
+        ("n", n as f64),
+        ("s0", 100.0),
+        ("strike", 100.0),
+        ("r", 0.02),
+        ("sigma", 0.3),
+        ("t", 1.0),
+    ])
+}
+
+/// Draws `n` standard normals.
+pub fn generate_normals(n: usize, seed: u64) -> Vec<f64> {
+    let mut rng = SimRng::seed_from(seed);
+    (0..n).map(|_| rng.gen_std_normal()).collect()
+}
+
+/// Reference per-path payoffs.
+#[allow(clippy::too_many_arguments)]
+pub fn reference_payoffs(
+    z: &[f64],
+    s0: f64,
+    strike: f64,
+    r: f64,
+    sigma: f64,
+    t: f64,
+) -> Vec<f64> {
+    z.iter()
+        .map(|&zi| {
+            let st = s0 * ((r - 0.5 * sigma * sigma) * t + sigma * t.sqrt() * zi).exp();
+            (st - strike).max(0.0)
+        })
+        .collect()
+}
+
+/// Discounted mean of payoffs: the option price estimate.
+pub fn price_from_payoffs(payoffs: &[f64], r: f64, t: f64) -> f64 {
+    if payoffs.is_empty() {
+        return 0.0;
+    }
+    let mean = payoffs.iter().sum::<f64>() / payoffs.len() as f64;
+    (-r * t).exp() * mean
+}
+
+/// Binds kernel arguments.
+pub fn bind_args(z: &[f64], s0: f64, strike: f64, r: f64, sigma: f64, t: f64) -> KernelArgs {
+    let mut args = KernelArgs::new();
+    args.bind_array("z", z.to_vec())
+        .bind_array("payoff", vec![0.0; z.len()])
+        .bind_scalar("s0", s0)
+        .bind_scalar("strike", strike)
+        .bind_scalar("r", r)
+        .bind_scalar("sigma", sigma)
+        .bind_scalar("t", t)
+        .bind_scalar("n", z.len() as f64);
+    args
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ecoscale_hls::parse_kernel;
+
+    #[test]
+    fn kernel_matches_reference() {
+        let z = generate_normals(128, 3);
+        let k = parse_kernel(KERNEL).unwrap();
+        let mut args = bind_args(&z, 100.0, 100.0, 0.02, 0.3, 1.0);
+        args.run(&k).unwrap();
+        let expect = reference_payoffs(&z, 100.0, 100.0, 0.02, 0.3, 1.0);
+        for (g, r) in args.array("payoff").unwrap().iter().zip(&expect) {
+            assert!((g - r).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn mc_price_converges_to_black_scholes_ballpark() {
+        // At s0 = k = 100, r = 2%, σ = 30%, t = 1: BS call ≈ 12.8
+        let z = generate_normals(200_000, 17);
+        let payoffs = reference_payoffs(&z, 100.0, 100.0, 0.02, 0.3, 1.0);
+        let price = price_from_payoffs(&payoffs, 0.02, 1.0);
+        assert!((price - 12.8).abs() < 0.5, "price {price}");
+    }
+
+    #[test]
+    fn payoffs_nonnegative() {
+        let z = generate_normals(1000, 23);
+        for p in reference_payoffs(&z, 90.0, 110.0, 0.02, 0.4, 0.5) {
+            assert!(p >= 0.0);
+        }
+    }
+
+    #[test]
+    fn empty_payoffs_price_zero() {
+        assert_eq!(price_from_payoffs(&[], 0.02, 1.0), 0.0);
+    }
+
+    #[test]
+    fn deterministic_normals() {
+        assert_eq!(generate_normals(16, 1), generate_normals(16, 1));
+    }
+}

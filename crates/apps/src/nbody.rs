@@ -1,0 +1,117 @@
+//! N-body gravitational force computation (one velocity-update step).
+
+use ecoscale_hls::KernelArgs;
+use ecoscale_sim::SimRng;
+
+use crate::hints;
+use std::collections::HashMap;
+
+/// Softening constant keeping forces finite.
+pub const SOFTENING: f64 = 1e-3;
+
+/// All-pairs force accumulation as an HLS kernel (2-D positions packed
+/// as `x[i], y[i]`; accelerations out).
+pub const KERNEL: &str = "kernel nbody(in float px[], in float py[], in float mass[], out float ax[], out float ay[], int n) {
+    for (i in 0 .. n) {
+        fx = 0.0;
+        fy = 0.0;
+        for (j in 0 .. n) {
+            dx = px[j] - px[i];
+            dy = py[j] - py[i];
+            d2 = dx * dx + dy * dy + 0.001;
+            inv = 1.0 / (d2 * sqrt(d2));
+            fx = fx + mass[j] * dx * inv;
+            fy = fy + mass[j] * dy * inv;
+        }
+        ax[i] = fx;
+        ay[i] = fy;
+    }
+}";
+
+/// HLS scalar hints.
+pub fn kernel_hints(n: u64) -> HashMap<String, f64> {
+    hints(&[("n", n as f64)])
+}
+
+/// Generates `n` bodies: positions in `[-1, 1]²`, masses in `[0.1, 1]`.
+pub fn generate(n: usize, seed: u64) -> (Vec<f64>, Vec<f64>, Vec<f64>) {
+    let mut rng = SimRng::seed_from(seed);
+    let px = (0..n).map(|_| rng.gen_range_f64(-1.0, 1.0)).collect();
+    let py = (0..n).map(|_| rng.gen_range_f64(-1.0, 1.0)).collect();
+    let mass = (0..n).map(|_| rng.gen_range_f64(0.1, 1.0)).collect();
+    (px, py, mass)
+}
+
+/// Reference all-pairs accelerations.
+pub fn reference(px: &[f64], py: &[f64], mass: &[f64]) -> (Vec<f64>, Vec<f64>) {
+    let n = px.len();
+    let mut ax = vec![0.0; n];
+    let mut ay = vec![0.0; n];
+    for i in 0..n {
+        for j in 0..n {
+            let dx = px[j] - px[i];
+            let dy = py[j] - py[i];
+            let d2 = dx * dx + dy * dy + SOFTENING;
+            let inv = 1.0 / (d2 * d2.sqrt());
+            ax[i] += mass[j] * dx * inv;
+            ay[i] += mass[j] * dy * inv;
+        }
+    }
+    (ax, ay)
+}
+
+/// Binds kernel arguments.
+pub fn bind_args(px: &[f64], py: &[f64], mass: &[f64]) -> KernelArgs {
+    let n = px.len();
+    let mut args = KernelArgs::new();
+    args.bind_array("px", px.to_vec())
+        .bind_array("py", py.to_vec())
+        .bind_array("mass", mass.to_vec())
+        .bind_array("ax", vec![0.0; n])
+        .bind_array("ay", vec![0.0; n])
+        .bind_scalar("n", n as f64);
+    args
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ecoscale_hls::parse_kernel;
+
+    #[test]
+    fn kernel_matches_reference() {
+        let (px, py, m) = generate(24, 5);
+        let k = parse_kernel(KERNEL).unwrap();
+        let mut args = bind_args(&px, &py, &m);
+        args.run(&k).unwrap();
+        let (ax, ay) = reference(&px, &py, &m);
+        for (g, r) in args.array("ax").unwrap().iter().zip(&ax) {
+            assert!((g - r).abs() < 1e-9);
+        }
+        for (g, r) in args.array("ay").unwrap().iter().zip(&ay) {
+            assert!((g - r).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn two_bodies_attract_each_other() {
+        let (ax, _) = reference(&[-1.0, 1.0], &[0.0, 0.0], &[1.0, 1.0]);
+        assert!(ax[0] > 0.0); // body at -1 pulled right
+        assert!(ax[1] < 0.0); // body at +1 pulled left
+        assert!((ax[0] + ax[1]).abs() < 1e-12); // equal masses: symmetric
+    }
+
+    #[test]
+    fn isolated_body_feels_nothing_but_softened_self() {
+        let (ax, ay) = reference(&[0.5], &[0.5], &[1.0]);
+        assert_eq!(ax[0], 0.0);
+        assert_eq!(ay[0], 0.0);
+    }
+
+    #[test]
+    fn heavier_neighbours_pull_harder() {
+        let (ax_light, _) = reference(&[0.0, 1.0], &[0.0, 0.0], &[1.0, 0.5]);
+        let (ax_heavy, _) = reference(&[0.0, 1.0], &[0.0, 0.0], &[1.0, 2.0]);
+        assert!(ax_heavy[0] > ax_light[0]);
+    }
+}

@@ -1,0 +1,154 @@
+//! 2-D Jacobi heat-diffusion stencil.
+//!
+//! The canonical halo-exchange workload of §2's hierarchical-partitioning
+//! argument: each Worker owns a block of the grid, iterates the 5-point
+//! stencil locally, and exchanges one-row halos with its neighbours.
+
+use ecoscale_hls::KernelArgs;
+use ecoscale_sim::SimRng;
+
+use crate::hints;
+use std::collections::HashMap;
+
+/// The 5-point Jacobi update as an HLS kernel over an `n × n` interior
+/// (grid arrays are `(n+2) × (n+2)` with a fixed boundary).
+pub const KERNEL: &str = "kernel jacobi2d(in float grid[], out float next[], int n) {
+    for (i in 1 .. n + 1) {
+        for (j in 1 .. n + 1) {
+            w = n + 2;
+            next[i * w + j] = 0.25 * (grid[(i - 1) * w + j] + grid[(i + 1) * w + j]
+                + grid[i * w + j - 1] + grid[i * w + j + 1]);
+        }
+    }
+}";
+
+/// HLS scalar hints for an `n × n` interior.
+pub fn kernel_hints(n: u64) -> HashMap<String, f64> {
+    hints(&[("n", n as f64)])
+}
+
+/// Generates an `(n+2)²` grid with random interior and zero boundary.
+pub fn generate(n: usize, seed: u64) -> Vec<f64> {
+    let w = n + 2;
+    let mut rng = SimRng::seed_from(seed);
+    let mut g = vec![0.0; w * w];
+    for i in 1..=n {
+        for j in 1..=n {
+            g[i * w + j] = rng.gen_range_f64(0.0, 100.0);
+        }
+    }
+    g
+}
+
+/// One reference Jacobi sweep over the interior.
+pub fn reference_step(grid: &[f64], n: usize) -> Vec<f64> {
+    let w = n + 2;
+    assert_eq!(grid.len(), w * w, "grid must be (n+2)^2");
+    let mut next = grid.to_vec();
+    for i in 1..=n {
+        for j in 1..=n {
+            next[i * w + j] = 0.25
+                * (grid[(i - 1) * w + j]
+                    + grid[(i + 1) * w + j]
+                    + grid[i * w + j - 1]
+                    + grid[i * w + j + 1]);
+        }
+    }
+    next
+}
+
+/// Runs `steps` reference sweeps.
+pub fn reference(grid: &[f64], n: usize, steps: usize) -> Vec<f64> {
+    let mut g = grid.to_vec();
+    for _ in 0..steps {
+        g = reference_step(&g, n);
+    }
+    g
+}
+
+/// Binds kernel arguments for one sweep.
+pub fn bind_args(grid: &[f64], n: usize) -> KernelArgs {
+    let mut args = KernelArgs::new();
+    args.bind_array("grid", grid.to_vec())
+        .bind_array("next", grid.to_vec())
+        .bind_scalar("n", n as f64);
+    args
+}
+
+/// Bytes of halo exchanged per neighbour per sweep for an `n × n` block.
+pub fn halo_bytes(n: usize) -> u64 {
+    (n * 8) as u64
+}
+
+/// Arithmetic operations per sweep of an `n × n` interior.
+pub fn flops_per_step(n: usize) -> u64 {
+    // 3 adds + 1 mul per point
+    (n * n * 4) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ecoscale_hls::parse_kernel;
+
+    #[test]
+    fn kernel_matches_reference() {
+        let n = 8;
+        let grid = generate(n, 42);
+        let k = parse_kernel(KERNEL).unwrap();
+        let mut args = bind_args(&grid, n);
+        args.run(&k).unwrap();
+        let reference = reference_step(&grid, n);
+        let got = args.array("next").unwrap();
+        for (idx, (g, r)) in got.iter().zip(&reference).enumerate() {
+            // boundary cells differ (the kernel writes only the interior
+            // of `next`, which was initialized from `grid`)
+            assert!((g - r).abs() < 1e-12, "cell {idx}: {g} vs {r}");
+        }
+    }
+
+    #[test]
+    fn heat_diffuses_toward_mean() {
+        let n = 16;
+        let grid = generate(n, 7);
+        let after = reference(&grid, n, 50);
+        let spread = |g: &[f64]| {
+            let vals: Vec<f64> = g.iter().copied().filter(|v| *v != 0.0).collect();
+            let mean = vals.iter().sum::<f64>() / vals.len() as f64;
+            vals.iter().map(|v| (v - mean).abs()).fold(0.0, f64::max)
+        };
+        assert!(spread(&after) < spread(&grid));
+    }
+
+    #[test]
+    fn boundary_stays_fixed() {
+        let n = 8;
+        let grid = generate(n, 3);
+        let after = reference(&grid, n, 5);
+        let w = n + 2;
+        for k in 0..w {
+            assert_eq!(after[k], 0.0); // top row
+            assert_eq!(after[(w - 1) * w + k], 0.0); // bottom row
+            assert_eq!(after[k * w], 0.0); // left col
+            assert_eq!(after[k * w + w - 1], 0.0); // right col
+        }
+    }
+
+    #[test]
+    fn generator_is_deterministic() {
+        assert_eq!(generate(8, 1), generate(8, 1));
+        assert_ne!(generate(8, 1), generate(8, 2));
+    }
+
+    #[test]
+    fn metrics_scale() {
+        assert_eq!(halo_bytes(128), 1024);
+        assert_eq!(flops_per_step(10), 400);
+    }
+
+    #[test]
+    #[should_panic(expected = "(n+2)^2")]
+    fn reference_checks_dimensions() {
+        reference_step(&[0.0; 10], 8);
+    }
+}

@@ -1,0 +1,11 @@
+//! Regenerates the design-decision ablations A1-A3 at full scale.
+
+use ecoscale_bench::Scale;
+
+fn main() {
+    let s = Scale::Full;
+    println!("{}", ecoscale_bench::ablation::a1_cut_through(s));
+    println!("{}", ecoscale_bench::ablation::a2_tlb_size(s));
+    println!("{}", ecoscale_bench::ablation::a3_benefit_margin(s));
+    println!("{}", ecoscale_bench::ablation::a4_fat_tree(s));
+}

@@ -1,0 +1,30 @@
+//! Regenerates every experiment table (E1-E15) at full scale.
+//!
+//! `cargo run --release -p ecoscale-bench --bin exp_all` produces the
+//! outputs quoted in EXPERIMENTS.md.
+
+use ecoscale_bench::Scale;
+
+fn main() {
+    let s = Scale::Full;
+    println!("{}", ecoscale_bench::arch::e01_hierarchy(s));
+    println!("{}", ecoscale_bench::arch::e02_task_vs_data(s));
+    println!("{}", ecoscale_bench::arch::e03_coherence(s));
+    println!("{}", ecoscale_bench::accel::e04_smmu(s));
+    println!("{}", ecoscale_bench::accel::e04_invocation_rate(s));
+    println!("{}", ecoscale_bench::accel::e05_virtualization(s));
+    println!("{}", ecoscale_bench::accel::e06_unilogic(s));
+    println!("{}", ecoscale_bench::runtime_exp::e07_scheduler(s));
+    println!("{}", ecoscale_bench::runtime_exp::e08_lazy(s));
+    println!("{}", ecoscale_bench::fpga_exp::e09_compression(s));
+    println!("{}", ecoscale_bench::fpga_exp::e10_defrag(s));
+    println!("{}", ecoscale_bench::fpga_exp::e11_chaining(s));
+    println!("{}", ecoscale_bench::fpga_exp::e12_hls_dse(s));
+    println!("{}", ecoscale_bench::scale_exp::e13_power(s));
+    println!("{}", ecoscale_bench::scale_exp::e14_hybrid(s));
+    println!("{}", ecoscale_bench::accel::e15_speedup_band(s));
+    println!("{}", ecoscale_bench::ablation::a1_cut_through(s));
+    println!("{}", ecoscale_bench::ablation::a2_tlb_size(s));
+    println!("{}", ecoscale_bench::ablation::a3_benefit_margin(s));
+    println!("{}", ecoscale_bench::ablation::a4_fat_tree(s));
+}

@@ -1,0 +1,5 @@
+//! Regenerates experiment E1 from EXPERIMENTS.md at full scale.
+
+fn main() {
+    println!("{}", ecoscale_bench::arch::e01_hierarchy(ecoscale_bench::Scale::Full));
+}

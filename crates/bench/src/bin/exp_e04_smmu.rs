@@ -1,0 +1,5 @@
+//! Regenerates experiment E4 from EXPERIMENTS.md at full scale.
+
+fn main() {
+    println!("{}", ecoscale_bench::accel::e04_smmu(ecoscale_bench::Scale::Full));
+}

@@ -1,0 +1,5 @@
+//! Regenerates experiment E7 from EXPERIMENTS.md at full scale.
+
+fn main() {
+    println!("{}", ecoscale_bench::runtime_exp::e07_scheduler(ecoscale_bench::Scale::Full));
+}

@@ -1,0 +1,5 @@
+//! Regenerates experiment E8 from EXPERIMENTS.md at full scale.
+
+fn main() {
+    println!("{}", ecoscale_bench::runtime_exp::e08_lazy(ecoscale_bench::Scale::Full));
+}

@@ -1,0 +1,5 @@
+//! Regenerates experiment E9 from EXPERIMENTS.md at full scale.
+
+fn main() {
+    println!("{}", ecoscale_bench::fpga_exp::e09_compression(ecoscale_bench::Scale::Full));
+}

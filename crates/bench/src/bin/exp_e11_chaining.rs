@@ -1,0 +1,5 @@
+//! Regenerates experiment E11 from EXPERIMENTS.md at full scale.
+
+fn main() {
+    println!("{}", ecoscale_bench::fpga_exp::e11_chaining(ecoscale_bench::Scale::Full));
+}

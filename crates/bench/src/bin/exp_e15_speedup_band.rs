@@ -1,0 +1,5 @@
+//! Regenerates experiment E15 from EXPERIMENTS.md at full scale.
+
+fn main() {
+    println!("{}", ecoscale_bench::accel::e15_speedup_band(ecoscale_bench::Scale::Full));
+}

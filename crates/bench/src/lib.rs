@@ -1,0 +1,49 @@
+//! The ECOSCALE experiment harness.
+//!
+//! One function per experiment in `DESIGN.md` §4 (E1–E15) plus the §6
+//! ablations (A1–A3); each returns
+//! the [`Table`]s that the corresponding `exp_*` binary prints and that
+//! `EXPERIMENTS.md` quotes. Criterion benches in `benches/` exercise the
+//! same code paths at reduced scale for wall-clock regression tracking.
+//!
+//! Every experiment takes a [`Scale`] so benches can run small while the
+//! binaries run the full sweeps.
+
+pub mod ablation;
+pub mod accel;
+pub mod arch;
+pub mod fpga_exp;
+pub mod runtime_exp;
+pub mod scale_exp;
+
+pub use ecoscale_sim::report::Table;
+
+/// How big to run an experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Reduced problem sizes for benches and CI.
+    Quick,
+    /// The full sweeps reported in `EXPERIMENTS.md`.
+    Full,
+}
+
+impl Scale {
+    /// Picks `q` under [`Scale::Quick`], else `f`.
+    pub fn pick<T>(self, q: T, f: T) -> T {
+        match self {
+            Scale::Quick => q,
+            Scale::Full => f,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_pick() {
+        assert_eq!(Scale::Quick.pick(1, 2), 1);
+        assert_eq!(Scale::Full.pick(1, 2), 2);
+    }
+}

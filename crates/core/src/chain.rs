@@ -1,0 +1,238 @@
+//! Accelerator chaining (§4.3).
+//!
+//! "We consider chaining together different accelerator modules for
+//! building longer complex processing pipelines, when needed. This will
+//! substantially increase the amount of processing that is carried out
+//! per unit of transferred data and will consequently result in
+//! substantial energy savings."
+//!
+//! A [`Chain`] runs data through K modules. Chained, the intermediate
+//! results stream module-to-module on the fabric and DRAM is touched only
+//! at the ends; unchained (store-and-reload), every stage round-trips
+//! DRAM. Experiment E11 sweeps chain length.
+
+use ecoscale_fpga::AcceleratorModule;
+use ecoscale_mem::DramModel;
+use ecoscale_runtime::FpgaExecModel;
+use ecoscale_sim::{Duration, Energy};
+
+/// The cost of pushing one batch through a chain.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChainCost {
+    /// End-to-end latency.
+    pub latency: Duration,
+    /// Total energy.
+    pub energy: Energy,
+    /// Bytes moved to/from DRAM.
+    pub dram_bytes: u64,
+}
+
+/// A pipeline of accelerator modules.
+///
+/// # Example
+///
+/// ```
+/// use ecoscale_core::Chain;
+/// use ecoscale_fpga::{AcceleratorModule, Bitstream, ModuleId, Resources};
+///
+/// let stage = |i: u32| AcceleratorModule::new(
+///     ModuleId(i), "s", Resources::new(400, 8, 8),
+///     200_000_000, 1, 16,
+///     Bitstream::synthesize(Resources::new(400, 8, 8), i as u64),
+/// );
+/// let chain = Chain::new(vec![stage(0), stage(1), stage(2)]);
+/// let fused = chain.chained(100_000, 8, 10);
+/// let split = chain.store_and_reload(100_000, 8, 10);
+/// assert!(fused.dram_bytes < split.dram_bytes);
+/// assert!(fused.energy < split.energy);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Chain {
+    stages: Vec<AcceleratorModule>,
+    fpga: FpgaExecModel,
+    dram: DramModel,
+}
+
+impl Chain {
+    /// Builds a chain from stages (executed in order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stages` is empty.
+    pub fn new(stages: Vec<AcceleratorModule>) -> Chain {
+        assert!(!stages.is_empty(), "chain needs at least one stage");
+        Chain {
+            stages,
+            fpga: FpgaExecModel::default(),
+            dram: DramModel::default(),
+        }
+    }
+
+    /// Number of stages.
+    pub fn len(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// Returns `true` if the chain has exactly one stage (never empty).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Chained execution: load the batch once, stream it through every
+    /// stage on-fabric, store the result once.
+    ///
+    /// `items` flow through; each item is `bytes_per_item` wide and each
+    /// stage performs `ops_per_item` arithmetic on it.
+    pub fn chained(&self, items: u64, bytes_per_item: u64, ops_per_item: u64) -> ChainCost {
+        let bytes = items * bytes_per_item;
+        let (t_in, e_in) = self.dram.stream(bytes);
+        let (t_out, e_out) = self.dram.stream(bytes);
+        // stages run as one fused pipeline: total depth = sum of depths,
+        // II = max of stage IIs
+        let max_ii = self
+            .stages
+            .iter()
+            .map(|s| s.initiation_interval())
+            .max()
+            .expect("non-empty");
+        let total_depth: u64 = self.stages.iter().map(|s| s.pipeline_depth() as u64).sum();
+        let clock = self
+            .stages
+            .iter()
+            .map(|s| s.clock_hz())
+            .min()
+            .expect("non-empty");
+        let cycles = total_depth + items.saturating_sub(1) * max_ii as u64 + 1;
+        let t_exec = Duration::from_cycles(cycles, clock);
+        let mut e_exec = Energy::ZERO;
+        for _ in &self.stages {
+            e_exec += self.fpga.energy_per_op * (items * ops_per_item) as f64;
+        }
+        e_exec += self.fpga.static_energy_per_sec * t_exec.as_secs_f64();
+        ChainCost {
+            latency: t_in + t_exec + t_out,
+            energy: e_in + e_out + e_exec,
+            dram_bytes: 2 * bytes,
+        }
+    }
+
+    /// Store-and-reload execution: every stage loads its input from DRAM
+    /// and stores its output back.
+    pub fn store_and_reload(&self, items: u64, bytes_per_item: u64, ops_per_item: u64) -> ChainCost {
+        let bytes = items * bytes_per_item;
+        let mut latency = Duration::ZERO;
+        let mut energy = Energy::ZERO;
+        let mut dram_bytes = 0;
+        for stage in &self.stages {
+            let (t_in, e_in) = self.dram.stream(bytes);
+            let (t_out, e_out) = self.dram.stream(bytes);
+            let (t_exec, e_exec) = self.fpga.exec(stage, items, ops_per_item);
+            latency += t_in + t_exec + t_out;
+            energy += e_in + e_out + e_exec;
+            dram_bytes += 2 * bytes;
+        }
+        ChainCost {
+            latency,
+            energy,
+            dram_bytes,
+        }
+    }
+
+    /// Operations performed per DRAM byte moved — the paper's "processing
+    /// per unit of transferred data" metric.
+    pub fn ops_per_dram_byte(&self, cost: &ChainCost, items: u64, ops_per_item: u64) -> f64 {
+        let total_ops = items * ops_per_item * self.stages.len() as u64;
+        if cost.dram_bytes == 0 {
+            return 0.0;
+        }
+        total_ops as f64 / cost.dram_bytes as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ecoscale_fpga::{Bitstream, ModuleId, Resources};
+
+    fn stage(i: u32, ii: u32) -> AcceleratorModule {
+        AcceleratorModule::new(
+            ModuleId(i),
+            "s",
+            Resources::new(400, 8, 8),
+            200_000_000,
+            ii,
+            16,
+            Bitstream::synthesize(Resources::new(400, 8, 8), i as u64),
+        )
+    }
+
+    fn chain(n: u32) -> Chain {
+        Chain::new((0..n).map(|i| stage(i, 1)).collect())
+    }
+
+    #[test]
+    fn chaining_cuts_dram_traffic_linearly() {
+        let items = 100_000;
+        for k in [1u32, 2, 4, 6] {
+            let c = chain(k);
+            let fused = c.chained(items, 8, 10);
+            let split = c.store_and_reload(items, 8, 10);
+            assert_eq!(fused.dram_bytes, 2 * items * 8);
+            assert_eq!(split.dram_bytes, 2 * items * 8 * k as u64);
+        }
+    }
+
+    #[test]
+    fn chaining_saves_energy_and_time() {
+        let c = chain(4);
+        let fused = c.chained(500_000, 8, 10);
+        let split = c.store_and_reload(500_000, 8, 10);
+        assert!(fused.energy < split.energy);
+        assert!(fused.latency < split.latency);
+    }
+
+    #[test]
+    fn ops_per_byte_grows_with_chain_length() {
+        let items = 100_000;
+        let mut last = 0.0;
+        for k in [1u32, 2, 4] {
+            let c = chain(k);
+            let fused = c.chained(items, 8, 10);
+            let v = c.ops_per_dram_byte(&fused, items, 10);
+            assert!(v > last);
+            last = v;
+        }
+    }
+
+    #[test]
+    fn single_stage_chained_close_to_reload() {
+        let c = chain(1);
+        let fused = c.chained(10_000, 8, 10);
+        let split = c.store_and_reload(10_000, 8, 10);
+        assert_eq!(fused.dram_bytes, split.dram_bytes);
+        // same DRAM traffic; latency within 10%
+        let ratio = fused.latency / split.latency;
+        assert!(ratio > 0.8 && ratio < 1.2, "ratio {ratio}");
+    }
+
+    #[test]
+    fn slowest_stage_bounds_fused_ii() {
+        let slow = Chain::new(vec![stage(0, 1), stage(1, 8), stage(2, 1)]);
+        let fast = chain(3);
+        let a = slow.chained(100_000, 8, 10);
+        let b = fast.chained(100_000, 8, 10);
+        assert!(a.latency > b.latency * 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one stage")]
+    fn empty_chain_rejected() {
+        Chain::new(vec![]);
+    }
+
+    #[test]
+    fn len_accessor() {
+        assert_eq!(chain(3).len(), 3);
+        assert!(!chain(1).is_empty());
+    }
+}

@@ -1,0 +1,35 @@
+//! The ECOSCALE system: the paper's primary contribution, assembled.
+//!
+//! An [`EcoscaleSystem`] is a hierarchy of Compute Nodes, each a PGAS
+//! sub-system of Workers (CPU + reconfigurable block + DRAM, Fig. 4),
+//! joined by a multi-layer tree interconnect (Fig. 3). On top of the
+//! substrate crates this crate adds what UNILOGIC is actually *for*:
+//!
+//! * [`worker`] — the Worker: CPU model, dual-stage SMMU, reconfigurable
+//!   block managed by its runtime daemon,
+//! * [`system`] — the builder and the end-to-end `call` path: device
+//!   selection → functional execution → cost accounting → history update,
+//! * [`unilogic`] — the four ways to reach an accelerator (local cached,
+//!   remote uncached load/store, DMA offload, software) and their costs,
+//! * [`virtblock`] — the Virtualization block: many callers sharing one
+//!   fully-pipelined accelerator vs exclusive time multiplexing,
+//! * [`chain`] — accelerator chaining: "different accelerator modules
+//!   \[chained\] for building longer complex processing pipelines …
+//!   substantial energy savings" (§4.3),
+//! * [`power`] — the exaflop power extrapolations from the introduction.
+
+pub mod chain;
+pub mod power;
+pub mod report;
+pub mod system;
+pub mod unilogic;
+pub mod virtblock;
+pub mod worker;
+
+pub use chain::{Chain, ChainCost};
+pub use power::{machine_power_for_exaflop, MachineClass, PowerBreakdown};
+pub use report::{FunctionSummary, SystemReport};
+pub use system::{CallOutcome, EcoscaleSystem, SystemBuilder};
+pub use unilogic::{AccessPath, PathCost, UnilogicModel};
+pub use virtblock::{SharingMode, VirtualizationBlock};
+pub use worker::Worker;

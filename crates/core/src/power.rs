@@ -1,0 +1,142 @@
+//! Exaflop power extrapolation (the paper's §1 motivation).
+//!
+//! "Extrapolating from the top HPC systems, such as China's Tianhe-2
+//! Supercomputer, we estimate that sustaining exaflop performance
+//! requires an enormous 1 GW power. Similar, albeit smaller, figures are
+//! obtained by extrapolating even the best system of the Green 500 list."
+//!
+//! [`machine_power_for_exaflop`] reproduces that arithmetic for the 2015
+//! reference machines and for an ECOSCALE-style Worker, including the
+//! facility overheads (cooling/PSU, PUE) that take the Tianhe-2 figure
+//! from ~525 MW of IT load to the paper's "enormous 1 GW".
+
+use core::fmt;
+
+use ecoscale_sim::Power;
+
+/// The machine classes the introduction extrapolates from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MachineClass {
+    /// Tianhe-2 (Nov 2015 TOP500 #1): 33.86 PFLOPS Linpack @ 17.8 MW.
+    Tianhe2,
+    /// Shoubu (Nov 2015 Green500 #1): ~7.03 GFLOPS/W.
+    Green500Best,
+    /// An ECOSCALE Worker bundle: CPU + reconfigurable accelerator, with
+    /// most FLOPs retired on the fabric at ~5 pJ/op plus node overheads,
+    /// giving ~25 GFLOPS/W at the worker level.
+    EcoscaleWorker,
+}
+
+impl fmt::Display for MachineClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            MachineClass::Tianhe2 => "Tianhe-2 scaling",
+            MachineClass::Green500Best => "Green500-best scaling",
+            MachineClass::EcoscaleWorker => "ECOSCALE worker scaling",
+        })
+    }
+}
+
+impl MachineClass {
+    /// Sustained FLOPS per watt of IT load.
+    pub fn flops_per_watt(self) -> f64 {
+        match self {
+            // 33.86e15 / 17.8e6
+            MachineClass::Tianhe2 => 1.902e9,
+            MachineClass::Green500Best => 7.03e9,
+            // 1/(5 pJ) = 200 GFLOPS/W on the fabric; an 8x node overhead
+            // (DRAM, interconnect, CPU share) lands at 25 GFLOPS/W
+            MachineClass::EcoscaleWorker => 25.0e9,
+        }
+    }
+}
+
+/// The power bill of one exaflop machine built by scaling `class`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerBreakdown {
+    /// IT (compute) power.
+    pub it_power: Power,
+    /// Facility total after PUE.
+    pub facility_power: Power,
+}
+
+/// Power to sustain `exaflops` EFLOPS by scaling `class`, with facility
+/// power-usage-effectiveness `pue` (≈ 1.6–2.0 for 2015-era machine
+/// rooms).
+///
+/// # Panics
+///
+/// Panics if `exaflops` is not positive or `pue < 1`.
+///
+/// # Example
+///
+/// ```
+/// use ecoscale_core::{machine_power_for_exaflop, MachineClass};
+///
+/// let bill = machine_power_for_exaflop(MachineClass::Tianhe2, 1.0, 1.9);
+/// // the paper's "enormous 1 GW"
+/// assert!(bill.facility_power.as_megawatts() > 900.0);
+/// ```
+pub fn machine_power_for_exaflop(class: MachineClass, exaflops: f64, pue: f64) -> PowerBreakdown {
+    assert!(exaflops > 0.0, "exaflops must be positive");
+    assert!(pue >= 1.0, "PUE cannot be below 1");
+    let flops = exaflops * 1e18;
+    let it = flops / class.flops_per_watt();
+    PowerBreakdown {
+        it_power: Power::from_watts(it),
+        facility_power: Power::from_watts(it * pue),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tianhe2_extrapolates_to_a_gigawatt() {
+        let bill = machine_power_for_exaflop(MachineClass::Tianhe2, 1.0, 1.9);
+        let mw = bill.facility_power.as_megawatts();
+        assert!(mw > 900.0 && mw < 1100.0, "{mw} MW");
+        assert!(bill.it_power.as_megawatts() > 500.0);
+    }
+
+    #[test]
+    fn green500_is_smaller_but_still_huge() {
+        // "Similar, albeit smaller, figures"
+        let t = machine_power_for_exaflop(MachineClass::Tianhe2, 1.0, 1.9);
+        let g = machine_power_for_exaflop(MachineClass::Green500Best, 1.0, 1.9);
+        assert!(g.facility_power < t.facility_power);
+        assert!(g.facility_power.as_megawatts() > 200.0);
+    }
+
+    #[test]
+    fn ecoscale_worker_lands_near_budget() {
+        // DOE exascale target was ~20-40 MW
+        let e = machine_power_for_exaflop(MachineClass::EcoscaleWorker, 1.0, 1.4);
+        let mw = e.facility_power.as_megawatts();
+        assert!(mw > 20.0 && mw < 100.0, "{mw} MW");
+    }
+
+    #[test]
+    fn power_scales_linearly_with_target() {
+        let one = machine_power_for_exaflop(MachineClass::Tianhe2, 1.0, 1.5);
+        let two = machine_power_for_exaflop(MachineClass::Tianhe2, 2.0, 1.5);
+        let ratio = two.it_power.as_watts() / one.it_power.as_watts();
+        assert!((ratio - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(MachineClass::Tianhe2.to_string(), "Tianhe-2 scaling");
+        assert_eq!(
+            MachineClass::EcoscaleWorker.to_string(),
+            "ECOSCALE worker scaling"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "PUE")]
+    fn bad_pue_rejected() {
+        machine_power_for_exaflop(MachineClass::Tianhe2, 1.0, 0.5);
+    }
+}

@@ -1,0 +1,188 @@
+//! System-wide execution reports.
+//!
+//! The runtime monitoring §4.2 describes needs somewhere to surface:
+//! [`SystemReport`] snapshots an [`EcoscaleSystem`]
+//! — per-function call counts and devices, per-worker fabric occupancy,
+//! reconfiguration activity — and renders as a fixed-width table for
+//! operator consumption.
+
+use core::fmt;
+
+use ecoscale_runtime::DeviceClass;
+use ecoscale_sim::report::Table;
+use ecoscale_sim::{Energy, Time};
+
+use crate::system::EcoscaleSystem;
+
+/// Per-function aggregate across all workers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FunctionSummary {
+    /// Function name.
+    pub function: String,
+    /// Total calls recorded.
+    pub calls: u64,
+    /// Workers holding the function's module right now.
+    pub resident_on: usize,
+    /// Mean software time, if measured.
+    pub mean_cpu: Option<ecoscale_sim::Duration>,
+    /// Mean local-accelerator time, if measured.
+    pub mean_hw: Option<ecoscale_sim::Duration>,
+}
+
+/// A point-in-time snapshot of a system.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SystemReport {
+    /// System clock at snapshot time.
+    pub now: Time,
+    /// Total energy charged.
+    pub energy: Energy,
+    /// Number of workers.
+    pub workers: usize,
+    /// Modules resident across all fabrics.
+    pub resident_modules: usize,
+    /// Mean fabric column utilization across workers.
+    pub mean_fabric_utilization: f64,
+    /// Per-function aggregates, hottest first.
+    pub functions: Vec<FunctionSummary>,
+}
+
+impl SystemReport {
+    /// Snapshots `system`.
+    pub fn capture(system: &EcoscaleSystem) -> SystemReport {
+        let workers = system.num_workers();
+        let mut resident_modules = 0usize;
+        let mut util = 0.0;
+        // aggregate function stats across workers
+        let mut functions: Vec<FunctionSummary> = Vec::new();
+        for w in 0..workers {
+            let worker = system.worker(ecoscale_noc::NodeId(w));
+            resident_modules += worker.loaded_modules().len();
+            util += worker.daemon().floorplan().utilization();
+            for (name, calls) in worker.history().hottest_functions() {
+                match functions.iter_mut().find(|f| f.function == name) {
+                    Some(f) => f.calls += calls,
+                    None => functions.push(FunctionSummary {
+                        function: name.clone(),
+                        calls,
+                        resident_on: 0,
+                        mean_cpu: worker.history().mean_time(&name, DeviceClass::Cpu),
+                        mean_hw: worker.history().mean_time(&name, DeviceClass::FpgaLocal),
+                    }),
+                }
+            }
+        }
+        // residency per function
+        for f in &mut functions {
+            if let Some(entry) = system.library().get(&f.function) {
+                let id = entry.module.id();
+                f.resident_on = (0..workers)
+                    .filter(|&w| {
+                        system
+                            .worker(ecoscale_noc::NodeId(w))
+                            .daemon()
+                            .is_loaded(id)
+                    })
+                    .count();
+            }
+        }
+        functions.sort_by(|a, b| b.calls.cmp(&a.calls).then(a.function.cmp(&b.function)));
+        SystemReport {
+            now: system.now(),
+            energy: system.energy(),
+            workers,
+            resident_modules,
+            mean_fabric_utilization: util / workers as f64,
+            functions,
+        }
+    }
+
+    /// Renders the per-function table.
+    pub fn to_table(&self) -> Table {
+        let mut t = Table::new(
+            "system report",
+            &["function", "calls", "resident on", "mean cpu", "mean hw"],
+        );
+        for f in &self.functions {
+            t.row_owned(vec![
+                f.function.clone(),
+                f.calls.to_string(),
+                f.resident_on.to_string(),
+                f.mean_cpu.map_or("-".into(), |d| d.to_string()),
+                f.mean_hw.map_or("-".into(), |d| d.to_string()),
+            ]);
+        }
+        t
+    }
+}
+
+impl fmt::Display for SystemReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "t = {}, energy = {}, workers = {}, resident modules = {}, fabric util = {:.1}%",
+            self.now,
+            self.energy,
+            self.workers,
+            self.resident_modules,
+            self.mean_fabric_utilization * 100.0
+        )?;
+        write!(f, "{}", self.to_table())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::system::SystemBuilder;
+    use ecoscale_hls::KernelArgs;
+    use ecoscale_noc::NodeId;
+    use std::collections::HashMap;
+
+    const K: &str = "kernel hot(in float a[], out float b[], int n) {
+        for (i in 0 .. n) { b[i] = sqrt(a[i] + 1.0) * exp(a[i] / 100.0); }
+    }";
+
+    fn args(n: usize) -> KernelArgs {
+        let mut a = KernelArgs::new();
+        a.bind_array("a", (0..n).map(|i| i as f64).collect())
+            .bind_array("b", vec![0.0; n])
+            .bind_scalar("n", n as f64);
+        a
+    }
+
+    #[test]
+    fn report_tracks_calls_and_residency() {
+        let mut s = SystemBuilder::new()
+            .workers_per_node(4)
+            .compute_nodes(2)
+            .kernel(K, HashMap::from([("n".to_owned(), 4096.0)]))
+            .build()
+            .unwrap();
+        let empty = SystemReport::capture(&s);
+        assert_eq!(empty.resident_modules, 0);
+        assert!(empty.functions.is_empty());
+        assert_eq!(empty.workers, 8);
+
+        for _ in 0..12 {
+            let mut a = args(4096);
+            s.call(NodeId(0), "hot", &mut a).unwrap();
+        }
+        s.daemon_tick();
+        let mut a = args(4096);
+        s.call(NodeId(0), "hot", &mut a).unwrap();
+
+        let r = SystemReport::capture(&s);
+        assert_eq!(r.functions.len(), 1);
+        assert_eq!(r.functions[0].function, "hot");
+        assert_eq!(r.functions[0].calls, 13);
+        assert_eq!(r.functions[0].resident_on, 1);
+        assert!(r.functions[0].mean_cpu.is_some());
+        assert!(r.resident_modules >= 1);
+        assert!(r.mean_fabric_utilization > 0.0);
+        assert!(r.energy.as_uj() > 0.0);
+
+        let rendered = r.to_string();
+        assert!(rendered.contains("hot"));
+        assert!(rendered.contains("resident"));
+    }
+}

@@ -1,0 +1,609 @@
+//! The assembled ECOSCALE system and its end-to-end call path.
+//!
+//! [`SystemBuilder`] wires the substrate together: a tree of Compute
+//! Nodes and Workers (Fig. 3), UNIMEM across all partitions, one module
+//! library synthesized from the registered kernels, and a runtime daemon
+//! per Worker. [`EcoscaleSystem::call`] is the whole paper in one
+//! function: the per-worker scheduler consults the execution history and
+//! its prediction models, picks CPU / local accelerator / remote
+//! accelerator (UNILOGIC), *functionally executes* the kernel so results
+//! are real, charges the path's simulated cost, and feeds the outcome
+//! back into the history that the reconfiguration daemon reads.
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+use ecoscale_fpga::Resources;
+use ecoscale_hls::{
+    parse_kernel, ExecKernelError, KernelAnalysis, KernelArgs, ModuleLibrary, ParseKernelError,
+};
+use ecoscale_mem::{CacheConfig, DramModel, UnimemSystem};
+use ecoscale_noc::{Network, NetworkConfig, NodeId, Topology, TreeTopology};
+use ecoscale_runtime::DeviceClass;
+use ecoscale_sim::{Duration, Energy, Time};
+
+use crate::unilogic::{AccessPath, UnilogicModel};
+use crate::worker::Worker;
+
+/// Errors building a system.
+#[derive(Debug)]
+pub enum BuildSystemError {
+    /// A registered kernel failed to parse.
+    Parse(ParseKernelError),
+    /// HLS could not estimate a kernel (e.g. unresolved trip counts).
+    Estimate(ecoscale_hls::EstimateError),
+}
+
+impl fmt::Display for BuildSystemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildSystemError::Parse(e) => write!(f, "kernel parse failed: {e}"),
+            BuildSystemError::Estimate(e) => write!(f, "kernel estimation failed: {e}"),
+        }
+    }
+}
+
+impl Error for BuildSystemError {}
+
+impl From<ParseKernelError> for BuildSystemError {
+    fn from(e: ParseKernelError) -> Self {
+        BuildSystemError::Parse(e)
+    }
+}
+
+impl From<ecoscale_hls::EstimateError> for BuildSystemError {
+    fn from(e: ecoscale_hls::EstimateError) -> Self {
+        BuildSystemError::Estimate(e)
+    }
+}
+
+/// Errors from one call.
+#[derive(Debug)]
+pub enum CallError {
+    /// No registered kernel has this name.
+    UnknownFunction {
+        /// The requested name.
+        name: String,
+    },
+    /// The functional execution failed.
+    Exec(ExecKernelError),
+}
+
+impl fmt::Display for CallError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CallError::UnknownFunction { name } => write!(f, "unknown function `{name}`"),
+            CallError::Exec(e) => write!(f, "kernel execution failed: {e}"),
+        }
+    }
+}
+
+impl Error for CallError {}
+
+impl From<ExecKernelError> for CallError {
+    fn from(e: ExecKernelError) -> Self {
+        CallError::Exec(e)
+    }
+}
+
+/// What one call produced (besides its array results, which land in the
+/// caller's [`KernelArgs`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CallOutcome {
+    /// Where the call ran.
+    pub device: DeviceClass,
+    /// Which Worker's accelerator served it (for the FPGA paths).
+    pub served_by: NodeId,
+    /// Call latency.
+    pub latency: Duration,
+    /// Call energy.
+    pub energy: Energy,
+    /// System time when the call completed.
+    pub completed_at: Time,
+}
+
+/// Builder for [`EcoscaleSystem`].
+///
+/// # Example
+///
+/// ```
+/// use ecoscale_core::SystemBuilder;
+/// use std::collections::HashMap;
+///
+/// let system = SystemBuilder::new()
+///     .workers_per_node(4)
+///     .compute_nodes(2)
+///     .kernel(
+///         "kernel scale(in float a[], out float b[], int n) {
+///              for (i in 0 .. n) { b[i] = 2.0 * a[i]; }
+///          }",
+///         HashMap::from([("n".to_string(), 4096.0)]),
+///     )
+///     .build()?;
+/// assert_eq!(system.num_workers(), 8);
+/// # Ok::<(), ecoscale_core::system::BuildSystemError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct SystemBuilder {
+    workers_per_node: usize,
+    compute_nodes: usize,
+    fabric_cols: u32,
+    fabric_rows: u32,
+    hls_budget: Resources,
+    kernels: Vec<(String, HashMap<String, f64>)>,
+}
+
+impl Default for SystemBuilder {
+    fn default() -> Self {
+        SystemBuilder {
+            workers_per_node: 4,
+            compute_nodes: 4,
+            // roomy enough for two default-budget modules side by side
+            fabric_cols: 72,
+            fabric_rows: 80,
+            hls_budget: Resources::new(2000, 64, 64),
+            kernels: Vec::new(),
+        }
+    }
+}
+
+impl SystemBuilder {
+    /// Creates a builder with defaults (4×4 Workers, 40×60 fabric).
+    pub fn new() -> SystemBuilder {
+        SystemBuilder::default()
+    }
+
+    /// Workers per Compute Node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if below 2 (the tree needs a fanout of at least 2).
+    pub fn workers_per_node(mut self, n: usize) -> SystemBuilder {
+        assert!(n >= 2, "need at least 2 workers per node");
+        self.workers_per_node = n;
+        self
+    }
+
+    /// Number of Compute Nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if below 2.
+    pub fn compute_nodes(mut self, n: usize) -> SystemBuilder {
+        assert!(n >= 2, "need at least 2 compute nodes");
+        self.compute_nodes = n;
+        self
+    }
+
+    /// Reconfigurable-block geometry per Worker.
+    pub fn fabric(mut self, cols: u32, rows: u32) -> SystemBuilder {
+        self.fabric_cols = cols;
+        self.fabric_rows = rows;
+        self
+    }
+
+    /// HLS resource budget per module.
+    pub fn hls_budget(mut self, budget: Resources) -> SystemBuilder {
+        self.hls_budget = budget;
+        self
+    }
+
+    /// Registers a kernel (source + scalar hints for HLS).
+    pub fn kernel(mut self, source: &str, hints: HashMap<String, f64>) -> SystemBuilder {
+        self.kernels.push((source.to_owned(), hints));
+        self
+    }
+
+    /// Builds the system: parses and synthesizes every kernel, then
+    /// assembles Workers, interconnect and UNIMEM.
+    ///
+    /// # Errors
+    ///
+    /// [`BuildSystemError`] on parse or estimation failures.
+    pub fn build(self) -> Result<EcoscaleSystem, BuildSystemError> {
+        let mut parsed = Vec::new();
+        for (src, hints) in &self.kernels {
+            parsed.push((parse_kernel(src)?, hints.clone()));
+        }
+        let library = ModuleLibrary::synthesize(&parsed, self.hls_budget)?;
+        let topo = TreeTopology::new(&[self.workers_per_node, self.compute_nodes]);
+        let n = topo.num_nodes();
+        let workers = (0..n)
+            .map(|i| Worker::new(NodeId(i), self.fabric_cols, self.fabric_rows))
+            .collect();
+        Ok(EcoscaleSystem {
+            workers,
+            net: Network::new(topo, NetworkConfig::default()),
+            mem: UnimemSystem::new(n, CacheConfig::l1_default(), DramModel::default()),
+            library,
+            kernels: parsed.into_iter().map(|(k, _)| (k.name().to_owned(), k)).collect(),
+            unilogic: UnilogicModel::default(),
+            clock: Time::ZERO,
+            energy: Energy::ZERO,
+        })
+    }
+}
+
+/// The assembled system.
+#[derive(Debug)]
+pub struct EcoscaleSystem {
+    workers: Vec<Worker>,
+    net: Network<TreeTopology>,
+    mem: UnimemSystem,
+    library: ModuleLibrary,
+    kernels: HashMap<String, ecoscale_hls::Kernel>,
+    unilogic: UnilogicModel,
+    clock: Time,
+    energy: Energy,
+}
+
+impl EcoscaleSystem {
+    /// Number of Workers.
+    pub fn num_workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// The Worker at `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn worker(&self, id: NodeId) -> &Worker {
+        &self.workers[id.0]
+    }
+
+    /// Mutable Worker access.
+    pub fn worker_mut(&mut self, id: NodeId) -> &mut Worker {
+        &mut self.workers[id.0]
+    }
+
+    /// The synthesized module library.
+    pub fn library(&self) -> &ModuleLibrary {
+        &self.library
+    }
+
+    /// The UNIMEM system.
+    pub fn mem_mut(&mut self) -> &mut UnimemSystem {
+        &mut self.mem
+    }
+
+    /// The interconnect.
+    pub fn net_mut(&mut self) -> &mut Network<TreeTopology> {
+        &mut self.net
+    }
+
+    /// Current system time.
+    pub fn now(&self) -> Time {
+        self.clock
+    }
+
+    /// Total energy charged so far.
+    pub fn energy(&self) -> Energy {
+        self.energy
+    }
+
+    /// Loads `function`'s module onto `worker`'s fabric explicitly.
+    /// Returns the reconfiguration latency, or `None` if unknown or
+    /// unplaceable.
+    pub fn load_module(&mut self, worker: NodeId, function: &str) -> Option<Duration> {
+        let id = self.library.get(function)?.module.id();
+        let lat = self.workers[worker.0].load_module(&self.library, id)?;
+        self.clock += lat;
+        Some(lat)
+    }
+
+    /// Runs every Worker's reconfiguration daemon once; returns how many
+    /// module loads happened system-wide.
+    pub fn daemon_tick(&mut self) -> usize {
+        let mut loads = 0;
+        for w in &mut self.workers {
+            let (daemon, history) = w.daemon_and_history();
+            loads += daemon.evaluate(self.clock, history, &self.library).len();
+        }
+        loads
+    }
+
+    /// Finds a Worker (other than `except`) holding `function`'s module.
+    fn remote_holder(&self, function: &str, except: NodeId) -> Option<NodeId> {
+        let id = self.library.get(function)?.module.id();
+        self.workers
+            .iter()
+            .filter(|w| w.id() != except && w.daemon().is_loaded(id))
+            .min_by_key(|w| self.net.topology().route(except, w.id()).hop_count())
+            .map(|w| w.id())
+    }
+
+    /// Calls `function` from `worker` with `args`: selects the device,
+    /// executes functionally, charges costs, updates history.
+    ///
+    /// # Errors
+    ///
+    /// [`CallError`] for unknown functions or execution faults.
+    pub fn call(
+        &mut self,
+        worker: NodeId,
+        function: &str,
+        args: &mut KernelArgs,
+    ) -> Result<CallOutcome, CallError> {
+        let kernel = self
+            .kernels
+            .get(function)
+            .ok_or_else(|| CallError::UnknownFunction {
+                name: function.to_owned(),
+            })?
+            .clone();
+
+        // features and work estimate from the actual arguments
+        let mut hints = HashMap::new();
+        let mut features = Vec::new();
+        for p in kernel.scalars() {
+            if let Some(v) = args.scalar(&p.name) {
+                hints.insert(p.name.clone(), v);
+                features.push(v);
+            }
+        }
+        let analysis = KernelAnalysis::analyze(&kernel, &hints);
+        let total = analysis.total().copied().unwrap_or_default();
+        // A software core pays ~25 cycles per transcendental (libm on an
+        // A53); a pipelined datapath pays one issue slot. Weight the CPU
+        // path accordingly.
+        const SPECIAL_CPU_CYCLES: u64 = 25;
+        let (items, hw_ops_per_item, cpu_ops_per_item, mem_per_item) = match analysis.hot_loop() {
+            Some(l) => (
+                l.total_iterations.unwrap_or(1).max(1),
+                l.body_census.flops().max(1) as u64,
+                (l.body_census.flops() as u64
+                    + l.body_census.special as u64 * (SPECIAL_CPU_CYCLES - 1))
+                    .max(1),
+                l.body_census.mem_ops().max(1) as u64,
+            ),
+            None => (
+                1,
+                total.flops.max(1),
+                (total.flops + total.special * (SPECIAL_CPU_CYCLES - 1)).max(1),
+                total.mem_ops.max(1),
+            ),
+        };
+        let bytes = total.mem_ops * 8;
+
+        // device selection
+        let entry = self.library.get(function);
+        let local_loaded = entry
+            .map(|e| self.workers[worker.0].daemon().is_loaded(e.module.id()))
+            .unwrap_or(false);
+        let remote = self.remote_holder(function, worker);
+        let device = self.workers[worker.0].daemon().select_device(
+            self.workers[worker.0].history(),
+            function,
+            &features,
+            local_loaded,
+            remote.is_some(),
+        );
+        // downgrade if the selected hardware is not actually available
+        let device = match device {
+            DeviceClass::FpgaLocal if entry.is_none() || !local_loaded => DeviceClass::Cpu,
+            DeviceClass::FpgaRemote if entry.is_none() || remote.is_none() => DeviceClass::Cpu,
+            d => d,
+        };
+
+        // functional execution: results are real regardless of device
+        args.run(&kernel)?;
+
+        // cost the chosen path
+        let (path, served_by) = match device {
+            DeviceClass::Cpu => (AccessPath::Software, worker),
+            DeviceClass::FpgaLocal => (AccessPath::LocalCached, worker),
+            DeviceClass::FpgaRemote => (
+                AccessPath::RemoteUncached,
+                remote.expect("checked above"),
+            ),
+        };
+        let ops_per_item = if path == AccessPath::Software {
+            cpu_ops_per_item
+        } else {
+            hw_ops_per_item
+        };
+        let module = entry.map(|e| &e.module);
+        let cost = match module {
+            Some(m) => self.unilogic.cost(
+                self.net.topology(),
+                path,
+                m,
+                worker,
+                served_by,
+                items,
+                ops_per_item,
+                mem_per_item,
+                bytes,
+            ),
+            None => {
+                let cpu_flops = total.flops + total.special * (SPECIAL_CPU_CYCLES - 1);
+                let (t, e) = self.workers[worker.0].cpu().exec(cpu_flops, total.mem_ops);
+                crate::unilogic::PathCost {
+                    latency: t,
+                    energy: e,
+                    network_bytes: 0,
+                }
+            }
+        };
+
+        self.clock += cost.latency;
+        self.energy += cost.energy;
+        self.workers[worker.0].history_mut().record(
+            function,
+            device,
+            features,
+            cost.latency,
+            cost.energy,
+        );
+        Ok(CallOutcome {
+            device,
+            served_by,
+            latency: cost.latency,
+            energy: cost.energy,
+            completed_at: self.clock,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SCALE: &str = "kernel scale(in float a[], out float b[], int n) {
+        for (i in 0 .. n) {
+            b[i] = sqrt(a[i] + 1.0) * exp(0.5 * a[i] / (a[i] + 2.0)) + log(abs(a[i]) + 1.0);
+        }
+    }";
+
+    fn system() -> EcoscaleSystem {
+        SystemBuilder::new()
+            .workers_per_node(4)
+            .compute_nodes(4)
+            .kernel(SCALE, HashMap::from([("n".to_owned(), 4096.0)]))
+            .build()
+            .unwrap()
+    }
+
+    fn args(n: usize) -> KernelArgs {
+        let mut a = KernelArgs::new();
+        a.bind_array("a", (0..n).map(|i| i as f64).collect())
+            .bind_array("b", vec![0.0; n])
+            .bind_scalar("n", n as f64);
+        a
+    }
+
+    #[test]
+    fn build_shapes_system() {
+        let s = system();
+        assert_eq!(s.num_workers(), 16);
+        assert_eq!(s.library().len(), 1);
+        assert_eq!(s.now(), Time::ZERO);
+        assert_eq!(s.worker(NodeId(3)).id(), NodeId(3));
+    }
+
+    #[test]
+    fn call_computes_correct_results() {
+        let mut s = system();
+        let mut a = args(100);
+        let out = s.call(NodeId(0), "scale", &mut a).unwrap();
+        assert_eq!(out.device, DeviceClass::Cpu); // no history yet
+        let b = a.array("b").unwrap();
+        let expect = |x: f64| {
+            (x + 1.0).sqrt() * (0.5 * x / (x + 2.0)).exp() + (x.abs() + 1.0).ln()
+        };
+        assert!((b[0] - expect(0.0)).abs() < 1e-12);
+        assert!((b[99] - expect(99.0)).abs() < 1e-12);
+        assert!(out.latency > Duration::ZERO);
+        assert!(s.energy().as_pj() > 0.0);
+        assert_eq!(s.now(), out.completed_at);
+    }
+
+    #[test]
+    fn unknown_function_errors() {
+        let mut s = system();
+        let err = s.call(NodeId(0), "ghost", &mut KernelArgs::new()).unwrap_err();
+        assert!(matches!(err, CallError::UnknownFunction { .. }));
+        assert!(err.to_string().contains("ghost"));
+    }
+
+    #[test]
+    fn exec_error_propagates() {
+        let mut s = system();
+        // missing bindings
+        let err = s.call(NodeId(0), "scale", &mut KernelArgs::new()).unwrap_err();
+        assert!(matches!(err, CallError::Exec(_)));
+    }
+
+    #[test]
+    fn calls_migrate_to_hardware_once_loaded_and_measured() {
+        let mut s = system();
+        // warm history with CPU runs
+        for _ in 0..10 {
+            let mut a = args(4096);
+            let out = s.call(NodeId(0), "scale", &mut a).unwrap();
+            assert_eq!(out.device, DeviceClass::Cpu);
+        }
+        // load the module locally
+        let lat = s.load_module(NodeId(0), "scale").unwrap();
+        assert!(lat > Duration::ZERO);
+        // first HW call measures hardware
+        let id = s.library().get("scale").unwrap().module.id();
+        eprintln!("loaded? {}", s.worker(NodeId(0)).daemon().is_loaded(id));
+        let h = s.worker(NodeId(0)).history();
+        eprintln!("cpu pred {:?} hw pred {:?}",
+            ecoscale_runtime::model::predict_time(h, "scale", DeviceClass::Cpu, &[4096.0]),
+            ecoscale_runtime::model::predict_time(h, "scale", DeviceClass::FpgaLocal, &[4096.0]));
+        let mut a = args(4096);
+        let first_hw = s.call(NodeId(0), "scale", &mut a).unwrap();
+        assert_eq!(first_hw.device, DeviceClass::FpgaLocal);
+        // now both sides have history; HW is faster, so it stays on HW
+        for _ in 0..8 {
+            let mut a = args(4096);
+            let out = s.call(NodeId(0), "scale", &mut a).unwrap();
+            assert_eq!(out.device, DeviceClass::FpgaLocal);
+            // results still correct
+            let expect = (2.0f64).sqrt() * (0.5f64 / 3.0).exp() + (2.0f64).ln();
+            assert!((a.array("b").unwrap()[1] - expect).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn remote_unilogic_call_when_only_remote_holds_module() {
+        let mut s = system();
+        // history on both devices at worker 5 (so predictions exist)
+        for _ in 0..10 {
+            let mut a = args(4096);
+            s.call(NodeId(5), "scale", &mut a).unwrap();
+        }
+        // module loaded only at worker 0
+        s.load_module(NodeId(0), "scale").unwrap();
+        // worker 0 measures CPU once (measurement-first policy), then its
+        // next call lands on the local FPGA, producing an FpgaLocal sample
+        // we can seed worker 5's history with.
+        for _ in 0..2 {
+            let mut a = args(4096);
+            s.call(NodeId(0), "scale", &mut a).unwrap();
+        }
+        let sample_time = {
+            let h = s.worker(NodeId(0)).history();
+            h.mean_time("scale", DeviceClass::FpgaLocal).unwrap()
+        };
+        s.worker_mut(NodeId(5)).history_mut().record(
+            "scale",
+            DeviceClass::FpgaLocal,
+            vec![4096.0],
+            sample_time,
+            Energy::ZERO,
+        );
+        // add more FpgaLocal samples so the predictor can fit
+        for _ in 0..3 {
+            s.worker_mut(NodeId(5)).history_mut().record(
+                "scale",
+                DeviceClass::FpgaLocal,
+                vec![4096.0],
+                sample_time,
+                Energy::ZERO,
+            );
+        }
+        let mut a = args(4096);
+        let out = s.call(NodeId(5), "scale", &mut a).unwrap();
+        assert_eq!(out.device, DeviceClass::FpgaRemote);
+        assert_eq!(out.served_by, NodeId(0));
+    }
+
+
+    #[test]
+    fn daemon_tick_loads_hot_functions() {
+        let mut s = system();
+        for _ in 0..200 {
+            let mut a = args(4096);
+            s.call(NodeId(2), "scale", &mut a).unwrap();
+        }
+        let loads = s.daemon_tick();
+        assert!(loads >= 1, "daemon should load the hot kernel somewhere");
+        let id = s.library().get("scale").unwrap().module.id();
+        assert!(s.worker(NodeId(2)).daemon().is_loaded(id));
+    }
+}

@@ -1,0 +1,276 @@
+//! UNILOGIC access paths and their costs.
+//!
+//! §4.1 contrasts four ways for a Worker's task to get its data processed:
+//!
+//! * [`AccessPath::Software`] — run on the local CPU,
+//! * [`AccessPath::LocalCached`] — the Worker's own accelerator, which
+//!   "can also cache its local data" coherently (full ACE port),
+//! * [`AccessPath::RemoteUncached`] — another Worker's accelerator
+//!   reached over the multi-layer interconnect; it connects through an
+//!   ACE-lite port, so "the remote Reconfigurable block should disable
+//!   its data cache (and would not be as efficient as a local one)",
+//! * [`AccessPath::Dma`] — classic offload: DMA the data across, run,
+//!   DMA back. Efficient for bulk, "not efficient for small data
+//!   transfers such as messages to synchronize remote threads".
+//!
+//! [`UnilogicModel`] produces the latency/energy of each path for a given
+//! kernel invocation so experiment E6 can sweep data size and find the
+//! crossovers the paper asserts.
+
+use core::fmt;
+
+use ecoscale_fpga::AcceleratorModule;
+use ecoscale_mem::DramModel;
+use ecoscale_noc::{CostModel, NodeId, Route, Topology};
+use ecoscale_runtime::{CpuModel, FpgaExecModel};
+use ecoscale_sim::{Duration, Energy};
+
+/// How an invocation reaches its compute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessPath {
+    /// Local CPU execution.
+    Software,
+    /// Local accelerator with coherent caching.
+    LocalCached,
+    /// Remote accelerator, cache disabled, word-granular loads/stores.
+    RemoteUncached,
+    /// Remote accelerator with bulk DMA in/out.
+    Dma,
+}
+
+impl AccessPath {
+    /// All paths, for sweeps.
+    pub const ALL: [AccessPath; 4] = [
+        AccessPath::Software,
+        AccessPath::LocalCached,
+        AccessPath::RemoteUncached,
+        AccessPath::Dma,
+    ];
+}
+
+impl fmt::Display for AccessPath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            AccessPath::Software => "software",
+            AccessPath::LocalCached => "local-cached",
+            AccessPath::RemoteUncached => "remote-uncached",
+            AccessPath::Dma => "dma",
+        })
+    }
+}
+
+/// The cost of one invocation over one path.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PathCost {
+    /// End-to-end latency.
+    pub latency: Duration,
+    /// Total energy.
+    pub energy: Energy,
+    /// Bytes that crossed the interconnect.
+    pub network_bytes: u64,
+}
+
+/// Cost parameters for the UNILOGIC paths.
+#[derive(Debug, Clone)]
+pub struct UnilogicModel {
+    /// CPU model for the software path.
+    pub cpu: CpuModel,
+    /// Accelerator energy model.
+    pub fpga: FpgaExecModel,
+    /// DRAM at each Worker.
+    pub dram: DramModel,
+    /// Interconnect cost model.
+    pub cost: CostModel,
+    /// Fraction of accelerator memory accesses that hit its local cache
+    /// on the cached path.
+    pub cache_hit_rate: f64,
+    /// DMA engine setup cost per transfer descriptor.
+    pub dma_setup: Duration,
+    /// Burst size of the remote uncached path (one cache line).
+    pub uncached_burst: u64,
+}
+
+impl Default for UnilogicModel {
+    fn default() -> Self {
+        UnilogicModel {
+            cpu: CpuModel::a53_default(),
+            fpga: FpgaExecModel::default(),
+            dram: DramModel::default(),
+            cost: CostModel::ecoscale_defaults(),
+            cache_hit_rate: 0.9,
+            dma_setup: Duration::from_us(3),
+            uncached_burst: 64,
+        }
+    }
+}
+
+impl UnilogicModel {
+    /// Costs one invocation of `module` processing `items` hot-loop
+    /// iterations over `bytes` of data, issued by `src`, on the
+    /// accelerator at `accel` (ignored for [`AccessPath::Software`] /
+    /// [`AccessPath::LocalCached`], where compute is at `src`).
+    ///
+    /// `ops_per_item` is the arithmetic per iteration; `mem_per_item` the
+    /// memory accesses per iteration.
+    #[allow(clippy::too_many_arguments)]
+    pub fn cost<T: Topology>(
+        &self,
+        topo: &T,
+        path: AccessPath,
+        module: &AcceleratorModule,
+        src: NodeId,
+        accel: NodeId,
+        items: u64,
+        ops_per_item: u64,
+        mem_per_item: u64,
+        bytes: u64,
+    ) -> PathCost {
+        let route: Route = topo.route(src, accel);
+        match path {
+            AccessPath::Software => {
+                let (t, e) = self.cpu.exec(items * ops_per_item, items * mem_per_item);
+                // data comes from local DRAM once
+                let (td, ed) = self.dram.stream(bytes);
+                PathCost {
+                    latency: t + td,
+                    energy: e + ed,
+                    network_bytes: 0,
+                }
+            }
+            AccessPath::LocalCached => {
+                let (t_exec, e_exec) = self.fpga.exec(module, items, ops_per_item);
+                // misses go to local DRAM
+                let misses =
+                    ((items * mem_per_item) as f64 * (1.0 - self.cache_hit_rate)) as u64;
+                let (t_miss, e_miss) = self.dram.access(self.uncached_burst);
+                // miss latency overlaps the pipeline except for a fraction
+                let stall = Duration::from_ns(
+                    (t_miss.as_ns_f64() * misses as f64 * 0.1) as u64,
+                );
+                PathCost {
+                    latency: t_exec + stall,
+                    energy: e_exec + e_miss * misses as f64,
+                    network_bytes: 0,
+                }
+            }
+            AccessPath::RemoteUncached => {
+                // every memory access is a word/line-granular round trip
+                // over the interconnect (no caching allowed)
+                let accesses = (items * mem_per_item).max(1);
+                let rt_lat = self.cost.latency(&route, self.uncached_burst) * 2;
+                let rt_energy = self.cost.energy(&route, self.uncached_burst) * 2.0;
+                // accelerators overlap outstanding requests: assume 4 in
+                // flight, so the exposed latency divides by 4
+                let exposed = Duration::from_ns(
+                    (rt_lat.as_ns_f64() * accesses as f64 / 4.0) as u64,
+                );
+                let (t_exec, e_exec) = self.fpga.exec(module, items, ops_per_item);
+                let (_, e_dram) = self.dram.access(self.uncached_burst);
+                PathCost {
+                    latency: t_exec.max(exposed) + rt_lat, // pipeline hides the smaller
+                    energy: e_exec + rt_energy * accesses as f64 + e_dram * accesses as f64,
+                    network_bytes: accesses * self.uncached_burst * 2,
+                }
+            }
+            AccessPath::Dma => {
+                // descriptor setup + bulk in + exec + bulk out
+                let ser_in = self.cost.latency(&route, bytes);
+                let ser_out = self.cost.latency(&route, bytes / 2);
+                let e_net = self.cost.energy(&route, bytes)
+                    + self.cost.energy(&route, bytes / 2);
+                let (t_exec, e_exec) = self.fpga.exec(module, items, ops_per_item);
+                let (t_dram, e_dram) = self.dram.stream(bytes);
+                PathCost {
+                    latency: self.dma_setup * 2 + ser_in + t_exec + ser_out + t_dram,
+                    energy: e_exec + e_net + e_dram,
+                    network_bytes: bytes + bytes / 2,
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ecoscale_fpga::{Bitstream, ModuleId, Resources};
+    use ecoscale_noc::TreeTopology;
+
+    fn module() -> AcceleratorModule {
+        AcceleratorModule::new(
+            ModuleId(0),
+            "k",
+            Resources::new(800, 16, 32),
+            200_000_000,
+            1,
+            24,
+            Bitstream::synthesize(Resources::new(800, 16, 32), 1),
+        )
+    }
+
+    fn setup() -> (TreeTopology, UnilogicModel, AcceleratorModule) {
+        (TreeTopology::new(&[4, 4]), UnilogicModel::default(), module())
+    }
+
+    #[test]
+    fn local_cached_beats_software_on_big_kernels() {
+        let (topo, m, module) = setup();
+        let items = 1_000_000;
+        let sw = m.cost(&topo, AccessPath::Software, &module, NodeId(0), NodeId(0), items, 20, 2, 8 << 20);
+        let hw = m.cost(&topo, AccessPath::LocalCached, &module, NodeId(0), NodeId(0), items, 20, 2, 8 << 20);
+        assert!(hw.latency < sw.latency);
+        assert!(hw.energy < sw.energy);
+        assert_eq!(hw.network_bytes, 0);
+    }
+
+    #[test]
+    fn remote_uncached_less_efficient_than_local() {
+        // The paper's exact sentence: the remote block "would not be as
+        // efficient as a local one".
+        let (topo, m, module) = setup();
+        let items = 100_000;
+        let local = m.cost(&topo, AccessPath::LocalCached, &module, NodeId(0), NodeId(0), items, 10, 2, 1 << 20);
+        let remote = m.cost(&topo, AccessPath::RemoteUncached, &module, NodeId(0), NodeId(15), items, 10, 2, 1 << 20);
+        assert!(remote.latency > local.latency);
+        assert!(remote.energy > local.energy);
+        assert!(remote.network_bytes > 0);
+    }
+
+    #[test]
+    fn loadstore_beats_dma_for_small_transfers() {
+        // "DMA operations … are not efficient for small data transfers
+        // such as messages to synchronize remote threads."
+        let (topo, m, module) = setup();
+        // tiny: 8 items over 512 bytes
+        let ls = m.cost(&topo, AccessPath::RemoteUncached, &module, NodeId(0), NodeId(5), 8, 4, 1, 512);
+        let dma = m.cost(&topo, AccessPath::Dma, &module, NodeId(0), NodeId(5), 8, 4, 1, 512);
+        assert!(ls.latency < dma.latency, "{} !< {}", ls.latency, dma.latency);
+    }
+
+    #[test]
+    fn dma_beats_loadstore_for_bulk() {
+        let (topo, m, module) = setup();
+        let items = 1_000_000;
+        let bytes = 16 << 20;
+        let ls = m.cost(&topo, AccessPath::RemoteUncached, &module, NodeId(0), NodeId(5), items, 4, 2, bytes);
+        let dma = m.cost(&topo, AccessPath::Dma, &module, NodeId(0), NodeId(5), items, 4, 2, bytes);
+        assert!(dma.latency < ls.latency);
+        assert!(dma.network_bytes < ls.network_bytes);
+    }
+
+    #[test]
+    fn farther_accelerators_cost_more() {
+        let (topo, m, module) = setup();
+        let near = m.cost(&topo, AccessPath::RemoteUncached, &module, NodeId(0), NodeId(1), 1000, 4, 2, 1 << 16);
+        let far = m.cost(&topo, AccessPath::RemoteUncached, &module, NodeId(0), NodeId(15), 1000, 4, 2, 1 << 16);
+        assert!(far.latency > near.latency);
+        assert!(far.energy > near.energy);
+    }
+
+    #[test]
+    fn path_display_and_all() {
+        assert_eq!(AccessPath::ALL.len(), 4);
+        assert_eq!(AccessPath::LocalCached.to_string(), "local-cached");
+        assert_eq!(AccessPath::Dma.to_string(), "dma");
+    }
+}

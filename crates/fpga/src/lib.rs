@@ -1,0 +1,37 @@
+//! The reconfigurable fabric of an ECOSCALE Worker.
+//!
+//! Each Worker carries a Reconfigurable Block (Fig. 4) that the middleware
+//! manages through **partial runtime reconfiguration**: synthesized
+//! accelerator modules are loaded into slots, migrated, evicted, and the
+//! free area is defragmented (§4.3). Bitstreams are stored compressed to
+//! cut "memory requirements, configuration latency and configuration power
+//! at the same time" (Koch et al. \[11\]).
+//!
+//! Modules:
+//!
+//! * [`fabric`] — the resource grid (CLB/BRAM/DSP columns) and region
+//!   resource accounting,
+//! * [`module`] — accelerator module descriptors (area, initiation
+//!   interval, pipeline depth, clock),
+//! * [`bitstream`] — synthetic frame-structured bitstreams and the three
+//!   compression families of \[11\] (zero-RLE, LZ-window, frame dedup),
+//! * [`reconfig`] — the ICAP-class configuration port: latency and energy
+//!   of (de)compressing and loading a bitstream,
+//! * [`preempt`] — pre-emptive hardware execution: checkpoint a running
+//!   module's state through the port and resume it later,
+//! * [`floorplan`] — GoAhead-style slot allocation, fragmentation metrics,
+//!   defragmentation planning and module migration.
+
+pub mod bitstream;
+pub mod fabric;
+pub mod floorplan;
+pub mod module;
+pub mod preempt;
+pub mod reconfig;
+
+pub use bitstream::{Bitstream, CompressionAlgo, CompressionStats};
+pub use fabric::{Fabric, Region, ResourceKind, Resources};
+pub use floorplan::{Floorplanner, PlaceError, Placement, SlotId};
+pub use module::{AcceleratorModule, ModuleId};
+pub use preempt::{PreemptModel, SavedContext};
+pub use reconfig::{ReconfigPort, ReconfigStats};

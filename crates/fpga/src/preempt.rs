@@ -1,0 +1,210 @@
+//! Pre-emptive hardware execution.
+//!
+//! §4.3 lists "pre-emptive hardware execution" among the middleware's
+//! virtualization features: a running accelerator can be checkpointed
+//! (its live state read back through the configuration port), its slot
+//! reused, and the computation later resumed — the hardware analogue of
+//! a context switch.
+//!
+//! [`PreemptModel`] costs the three phases: drain (let in-flight
+//! pipeline stages retire), state readback, and state restore on resume
+//! (the module's bitstream reload is charged separately via
+//! [`crate::reconfig::ReconfigPort`]).
+
+use ecoscale_sim::{Duration, Energy};
+
+use crate::module::AcceleratorModule;
+
+/// Costs of checkpoint/restore through the configuration port.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PreemptModel {
+    /// Live state per occupied fabric cell (FF/BRAM contents), bytes.
+    pub state_bytes_per_cell: u64,
+    /// Readback bandwidth of the configuration port (≈ ICAP rate).
+    pub readback_bandwidth: u64,
+    /// Fixed cost to quiesce and arbitrate the port.
+    pub setup: Duration,
+    /// Energy per byte of state moved (either direction).
+    pub energy_per_byte: Energy,
+}
+
+impl Default for PreemptModel {
+    fn default() -> Self {
+        PreemptModel {
+            state_bytes_per_cell: 8,
+            readback_bandwidth: 400_000_000,
+            setup: Duration::from_us(5),
+            energy_per_byte: Energy::from_pj(60.0),
+        }
+    }
+}
+
+/// A saved accelerator context.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SavedContext {
+    module: crate::module::ModuleId,
+    state_bytes: u64,
+    /// Hot-loop iterations already retired when preempted.
+    progress: u64,
+}
+
+impl SavedContext {
+    /// The checkpointed module.
+    pub fn module(&self) -> crate::module::ModuleId {
+        self.module
+    }
+
+    /// Iterations retired before preemption.
+    pub fn progress(&self) -> u64 {
+        self.progress
+    }
+
+    /// Size of the saved state.
+    pub fn state_bytes(&self) -> u64 {
+        self.state_bytes
+    }
+}
+
+impl PreemptModel {
+    /// State footprint of `module`.
+    pub fn state_bytes(&self, module: &AcceleratorModule) -> u64 {
+        module.resources().total() as u64 * self.state_bytes_per_cell
+    }
+
+    /// Checkpoints `module` after `progress` retired iterations: drain
+    /// the pipeline, read the state back. Returns the context and the
+    /// latency/energy of doing so.
+    pub fn checkpoint(
+        &self,
+        module: &AcceleratorModule,
+        progress: u64,
+    ) -> (SavedContext, Duration, Energy) {
+        // drain: the pipeline empties in `depth` cycles
+        let drain = Duration::from_cycles(module.pipeline_depth() as u64, module.clock_hz());
+        let bytes = self.state_bytes(module);
+        let readback = Duration::from_bytes_at_bandwidth(bytes.max(1), self.readback_bandwidth);
+        let lat = self.setup + drain + readback;
+        let energy = self.energy_per_byte * bytes as f64;
+        (
+            SavedContext {
+                module: module.id(),
+                state_bytes: bytes,
+                progress,
+            },
+            lat,
+            energy,
+        )
+    }
+
+    /// Restores `ctx` into a freshly reconfigured instance of its module.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ctx` belongs to a different module.
+    pub fn restore(
+        &self,
+        module: &AcceleratorModule,
+        ctx: &SavedContext,
+    ) -> (Duration, Energy) {
+        assert_eq!(
+            ctx.module,
+            module.id(),
+            "context belongs to {} not {}",
+            ctx.module,
+            module.id()
+        );
+        let write = Duration::from_bytes_at_bandwidth(
+            ctx.state_bytes.max(1),
+            self.readback_bandwidth,
+        );
+        (self.setup + write, self.energy_per_byte * ctx.state_bytes as f64)
+    }
+
+    /// Remaining batch latency after resuming `ctx` with `total_items`
+    /// originally submitted.
+    pub fn remaining_latency(
+        &self,
+        module: &AcceleratorModule,
+        ctx: &SavedContext,
+        total_items: u64,
+    ) -> Duration {
+        module.batch_latency(total_items.saturating_sub(ctx.progress))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bitstream::Bitstream;
+    use crate::fabric::Resources;
+    use crate::module::ModuleId;
+
+    fn module(id: u32) -> AcceleratorModule {
+        AcceleratorModule::new(
+            ModuleId(id),
+            "m",
+            Resources::new(1000, 16, 32),
+            200_000_000,
+            1,
+            20,
+            Bitstream::synthesize(Resources::new(1000, 16, 32), id as u64),
+        )
+    }
+
+    #[test]
+    fn checkpoint_captures_progress_and_state() {
+        let pm = PreemptModel::default();
+        let m = module(0);
+        let (ctx, lat, energy) = pm.checkpoint(&m, 5_000);
+        assert_eq!(ctx.module(), ModuleId(0));
+        assert_eq!(ctx.progress(), 5_000);
+        assert_eq!(ctx.state_bytes(), 1048 * 8);
+        assert!(lat > pm.setup);
+        assert!(energy.as_nj() > 0.0);
+    }
+
+    #[test]
+    fn restore_costs_less_than_checkpoint_plus_drain() {
+        let pm = PreemptModel::default();
+        let m = module(0);
+        let (ctx, chk, _) = pm.checkpoint(&m, 100);
+        let (res, _) = pm.restore(&m, &ctx);
+        assert!(res <= chk);
+    }
+
+    #[test]
+    #[should_panic(expected = "context belongs to")]
+    fn restore_checks_module_identity() {
+        let pm = PreemptModel::default();
+        let (ctx, _, _) = pm.checkpoint(&module(0), 0);
+        pm.restore(&module(1), &ctx);
+    }
+
+    #[test]
+    fn resume_finishes_only_remaining_work() {
+        let pm = PreemptModel::default();
+        let m = module(0);
+        let total = 10_000u64;
+        let (ctx, _, _) = pm.checkpoint(&m, 7_500);
+        let remaining = pm.remaining_latency(&m, &ctx, total);
+        let full = m.batch_latency(total);
+        assert!(remaining < full / 3);
+        // over-progressed contexts clamp at zero work
+        let (done, _, _) = pm.checkpoint(&m, total + 5);
+        assert_eq!(pm.remaining_latency(&m, &done, total), Duration::ZERO);
+    }
+
+    #[test]
+    fn preempt_resume_beats_restart_for_long_jobs() {
+        // the point of preemption: a 90%-done long job should finish
+        // faster via checkpoint+resume than by restarting from scratch
+        let pm = PreemptModel::default();
+        let m = module(0);
+        let total = 2_000_000u64;
+        let (ctx, chk, _) = pm.checkpoint(&m, total * 9 / 10);
+        let (res, _) = pm.restore(&m, &ctx);
+        let resume_path = chk + res + pm.remaining_latency(&m, &ctx, total);
+        let restart_path = m.batch_latency(total);
+        assert!(resume_path < restart_path);
+    }
+}

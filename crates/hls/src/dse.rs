@@ -1,0 +1,358 @@
+//! Automated design-space exploration and module-library generation.
+//!
+//! The paper: current HLS tools "require an experienced designer to take
+//! architectural decisions, such as the DRAM port parallelism, the local
+//! data memory partitioning, and so on. These will be automated as much
+//! as possible." [`Explorer`] enumerates the directive space (unroll ×
+//! pipeline × partitioning), prunes to the area/throughput Pareto front,
+//! and picks the best implementation under a resource budget.
+//! [`ModuleLibrary::synthesize`] then packages winners as placeable
+//! [`AcceleratorModule`]s — "a library with the hardware implementations
+//! of those functions that will be implemented on reconfigurable
+//! resources" (§4.3).
+
+use std::collections::HashMap;
+
+use ecoscale_fpga::{AcceleratorModule, Bitstream, ModuleId, Resources};
+
+use crate::estimate::{estimate, DesignEstimate, EstimateError, HlsDirectives, OpCosts};
+use crate::ir::Kernel;
+
+/// One explored implementation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DesignPoint {
+    /// The directives that produced it.
+    pub directives: HlsDirectives,
+    /// Its predicted shape.
+    pub estimate: DesignEstimate,
+}
+
+/// The design-space explorer.
+///
+/// # Example
+///
+/// ```
+/// use ecoscale_fpga::Resources;
+/// use ecoscale_hls::{parse_kernel, Explorer};
+/// use std::collections::HashMap;
+///
+/// let k = parse_kernel(
+///     "kernel scale(in float a[], out float b[], int n) {
+///          for (i in 0 .. n) { b[i] = 2.0 * a[i]; }
+///      }",
+/// )?;
+/// let hints = HashMap::from([("n".to_string(), 8192.0)]);
+/// let ex = Explorer::new(Resources::new(20_000, 128, 256));
+/// let best = ex.best(&k, &hints)?.expect("budget admits at least u1");
+/// assert!(best.estimate.resources.fits_in(&Resources::new(20_000, 128, 256)));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Explorer {
+    budget: Resources,
+    costs: OpCosts,
+    unrolls: Vec<u32>,
+    partitions: Vec<u32>,
+}
+
+impl Explorer {
+    /// Creates an explorer with the default directive grid
+    /// (unroll ∈ {1, 2, 4, 8, 16}, partition ∈ {1, 2, 4, 8}, pipeline on
+    /// and off).
+    pub fn new(budget: Resources) -> Explorer {
+        Explorer {
+            budget,
+            costs: OpCosts::default(),
+            unrolls: vec![1, 2, 4, 8, 16],
+            partitions: vec![1, 2, 4, 8],
+        }
+    }
+
+    /// Overrides the directive grid.
+    pub fn with_grid(mut self, unrolls: Vec<u32>, partitions: Vec<u32>) -> Explorer {
+        self.unrolls = unrolls;
+        self.partitions = partitions;
+        self
+    }
+
+    /// The resource budget.
+    pub fn budget(&self) -> Resources {
+        self.budget
+    }
+
+    /// Enumerates every feasible design point (within budget).
+    ///
+    /// # Errors
+    ///
+    /// Propagates estimation failures other than per-point infeasibility.
+    pub fn explore(
+        &self,
+        kernel: &Kernel,
+        hints: &HashMap<String, f64>,
+    ) -> Result<Vec<DesignPoint>, EstimateError> {
+        let mut out = Vec::new();
+        for &unroll in &self.unrolls {
+            for &partition in &self.partitions {
+                for pipeline in [false, true] {
+                    let d = HlsDirectives {
+                        unroll,
+                        pipeline,
+                        partition,
+                    };
+                    let e = estimate(kernel, hints, d, &self.costs)?;
+                    if e.resources.fits_in(&self.budget) {
+                        out.push(DesignPoint {
+                            directives: d,
+                            estimate: e,
+                        });
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Reduces points to the area/latency Pareto front (no point both
+    /// smaller and faster exists), sorted by area.
+    pub fn pareto(mut points: Vec<DesignPoint>) -> Vec<DesignPoint> {
+        points.sort_by_key(|p| (p.estimate.resources.total(), p.estimate.cycles));
+        let mut front: Vec<DesignPoint> = Vec::new();
+        for p in points {
+            if front
+                .iter()
+                .all(|q| p.estimate.cycles < q.estimate.cycles)
+            {
+                front.push(p);
+            }
+        }
+        front
+    }
+
+    /// The fastest feasible point (fewest cycles), area as tie-break.
+    ///
+    /// # Errors
+    ///
+    /// Propagates estimation failures; `Ok(None)` when nothing fits.
+    pub fn best(
+        &self,
+        kernel: &Kernel,
+        hints: &HashMap<String, f64>,
+    ) -> Result<Option<DesignPoint>, EstimateError> {
+        let points = self.explore(kernel, hints)?;
+        Ok(points
+            .into_iter()
+            .min_by_key(|p| (p.estimate.cycles, p.estimate.resources.total())))
+    }
+}
+
+/// One synthesized library entry: the placeable module plus the kernel it
+/// executes (kept so simulated "hardware" runs compute real results).
+#[derive(Debug, Clone)]
+pub struct LibraryEntry {
+    /// The placeable module.
+    pub module: AcceleratorModule,
+    /// The source kernel.
+    pub kernel: Kernel,
+    /// The directives chosen by DSE.
+    pub directives: HlsDirectives,
+}
+
+/// The accelerator module library shipped to the middleware.
+#[derive(Debug, Clone, Default)]
+pub struct ModuleLibrary {
+    entries: Vec<LibraryEntry>,
+}
+
+impl ModuleLibrary {
+    /// Creates an empty library.
+    pub fn new() -> ModuleLibrary {
+        ModuleLibrary::default()
+    }
+
+    /// Synthesizes the best implementation of each kernel under `budget`
+    /// and adds it to a fresh library. Kernels for which nothing fits —
+    /// or whose trip counts are irregular (data-dependent bounds, like
+    /// CSR SpMV) — are skipped: they stay software-only.
+    ///
+    /// # Errors
+    ///
+    /// Propagates estimation failures other than unresolved trip counts.
+    pub fn synthesize(
+        kernels: &[(Kernel, HashMap<String, f64>)],
+        budget: Resources,
+    ) -> Result<ModuleLibrary, EstimateError> {
+        let explorer = Explorer::new(budget);
+        let mut lib = ModuleLibrary::new();
+        for (kernel, hints) in kernels {
+            match explorer.best(kernel, hints) {
+                Ok(Some(best)) => {
+                    lib.add(kernel.clone(), best);
+                }
+                Ok(None) | Err(EstimateError::UnresolvedTripCount) => {}
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(lib)
+    }
+
+    /// Adds a kernel implementation to the library.
+    pub fn add(&mut self, kernel: Kernel, point: DesignPoint) -> ModuleId {
+        let id = ModuleId(self.entries.len() as u32);
+        let seed = fnv(kernel.name());
+        let module = AcceleratorModule::new(
+            id,
+            kernel.name(),
+            point.estimate.resources,
+            point.estimate.clock_hz,
+            point.estimate.ii,
+            point.estimate.depth,
+            Bitstream::synthesize(point.estimate.resources, seed),
+        );
+        self.entries.push(LibraryEntry {
+            module,
+            kernel,
+            directives: point.directives,
+        });
+        id
+    }
+
+    /// Looks up an entry by kernel name.
+    pub fn get(&self, name: &str) -> Option<&LibraryEntry> {
+        self.entries.iter().find(|e| e.kernel.name() == name)
+    }
+
+    /// Looks up an entry by module id.
+    pub fn by_id(&self, id: ModuleId) -> Option<&LibraryEntry> {
+        self.entries.get(id.0 as usize)
+    }
+
+    /// Iterates all entries.
+    pub fn iter(&self) -> impl Iterator<Item = &LibraryEntry> + '_ {
+        self.entries.iter()
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` when the library is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+fn fnv(s: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_kernel;
+
+    fn kernel() -> Kernel {
+        parse_kernel(
+            "kernel saxpy(in float x[], inout float y[], float a, int n) {
+                 for (i in 0 .. n) { y[i] = a * x[i] + y[i]; }
+             }",
+        )
+        .unwrap()
+    }
+
+    fn hints() -> HashMap<String, f64> {
+        HashMap::from([("n".to_owned(), 16_384.0)])
+    }
+
+    #[test]
+    fn explore_respects_budget() {
+        let tight = Explorer::new(Resources::new(1200, 16, 16));
+        let loose = Explorer::new(Resources::new(100_000, 1024, 1024));
+        let a = tight.explore(&kernel(), &hints()).unwrap();
+        let b = loose.explore(&kernel(), &hints()).unwrap();
+        assert!(!a.is_empty());
+        assert!(b.len() > a.len());
+        for p in &a {
+            assert!(p.estimate.resources.fits_in(&tight.budget()));
+        }
+    }
+
+    #[test]
+    fn pareto_front_is_monotone() {
+        let ex = Explorer::new(Resources::new(100_000, 1024, 1024));
+        let pts = ex.explore(&kernel(), &hints()).unwrap();
+        let front = Explorer::pareto(pts.clone());
+        assert!(!front.is_empty());
+        assert!(front.len() <= pts.len());
+        for w in front.windows(2) {
+            assert!(w[0].estimate.resources.total() <= w[1].estimate.resources.total());
+            assert!(w[0].estimate.cycles > w[1].estimate.cycles);
+        }
+    }
+
+    #[test]
+    fn best_is_fastest_feasible() {
+        let ex = Explorer::new(Resources::new(100_000, 1024, 1024));
+        let pts = ex.explore(&kernel(), &hints()).unwrap();
+        let best = ex.best(&kernel(), &hints()).unwrap().unwrap();
+        assert!(pts.iter().all(|p| p.estimate.cycles >= best.estimate.cycles));
+    }
+
+    #[test]
+    fn nothing_fits_tiny_budget() {
+        let ex = Explorer::new(Resources::new(10, 0, 0));
+        assert!(ex.best(&kernel(), &hints()).unwrap().is_none());
+    }
+
+    #[test]
+    fn bigger_budget_never_slower() {
+        let small = Explorer::new(Resources::new(3000, 32, 32));
+        let big = Explorer::new(Resources::new(60_000, 512, 512));
+        let bs = small.best(&kernel(), &hints()).unwrap().unwrap();
+        let bb = big.best(&kernel(), &hints()).unwrap().unwrap();
+        assert!(bb.estimate.cycles <= bs.estimate.cycles);
+    }
+
+    #[test]
+    fn library_synthesis_and_lookup() {
+        let kernels = vec![(kernel(), hints())];
+        let lib = ModuleLibrary::synthesize(&kernels, Resources::new(60_000, 512, 512)).unwrap();
+        assert_eq!(lib.len(), 1);
+        assert!(!lib.is_empty());
+        let e = lib.get("saxpy").unwrap();
+        assert_eq!(e.module.name(), "saxpy");
+        assert!(e.module.bitstream().len() > 0);
+        assert_eq!(lib.by_id(e.module.id()).unwrap().kernel.name(), "saxpy");
+        assert!(lib.get("missing").is_none());
+    }
+
+    #[test]
+    fn library_skips_unsynthesizable() {
+        let kernels = vec![(kernel(), hints())];
+        let lib = ModuleLibrary::synthesize(&kernels, Resources::new(10, 0, 0)).unwrap();
+        assert!(lib.is_empty());
+    }
+
+    #[test]
+    fn library_bitstreams_deterministic() {
+        let kernels = vec![(kernel(), hints())];
+        let a = ModuleLibrary::synthesize(&kernels, Resources::new(60_000, 512, 512)).unwrap();
+        let b = ModuleLibrary::synthesize(&kernels, Resources::new(60_000, 512, 512)).unwrap();
+        assert_eq!(
+            a.get("saxpy").unwrap().module.bitstream().as_bytes(),
+            b.get("saxpy").unwrap().module.bitstream().as_bytes()
+        );
+    }
+
+    #[test]
+    fn with_grid_restricts_space() {
+        let ex = Explorer::new(Resources::new(100_000, 1024, 1024)).with_grid(vec![1], vec![1]);
+        let pts = ex.explore(&kernel(), &hints()).unwrap();
+        assert_eq!(pts.len(), 2); // pipeline on/off only
+    }
+}

@@ -1,0 +1,467 @@
+//! The functional kernel interpreter.
+//!
+//! The same IR the estimator costs is executed here, so a kernel run "in
+//! hardware" by the simulation produces exactly the bytes the software
+//! path produces. Array arguments are `Vec<f64>` buffers bound by name;
+//! scalars are `f64`.
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+use crate::ir::{BinOp, Expr, Kernel, ParamKind, Stmt, UnOp};
+
+/// A runtime value (everything is numeric in the kernel language).
+pub type Value = f64;
+
+/// Errors raised during kernel execution.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExecKernelError {
+    /// An argument required by the signature was not bound.
+    MissingArg {
+        /// Parameter name.
+        name: String,
+    },
+    /// A name was used but never defined.
+    UnknownName {
+        /// The offending name.
+        name: String,
+    },
+    /// An array index fell outside the bound buffer.
+    IndexOutOfBounds {
+        /// Array name.
+        array: String,
+        /// The evaluated index.
+        index: i64,
+        /// The buffer length.
+        len: usize,
+    },
+    /// A write targeted a read-only (`in`) array.
+    WriteToInput {
+        /// Array name.
+        array: String,
+    },
+}
+
+impl fmt::Display for ExecKernelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecKernelError::MissingArg { name } => write!(f, "argument `{name}` not bound"),
+            ExecKernelError::UnknownName { name } => write!(f, "unknown name `{name}`"),
+            ExecKernelError::IndexOutOfBounds { array, index, len } => {
+                write!(f, "index {index} out of bounds for `{array}` (len {len})")
+            }
+            ExecKernelError::WriteToInput { array } => {
+                write!(f, "kernel writes read-only input `{array}`")
+            }
+        }
+    }
+}
+
+impl Error for ExecKernelError {}
+
+/// Argument bindings for one kernel invocation.
+///
+/// # Example
+///
+/// ```
+/// use ecoscale_hls::{parse_kernel, KernelArgs};
+///
+/// let k = parse_kernel(
+///     "kernel scale(in float a[], out float b[], float f, int n) {
+///          for (i in 0 .. n) { b[i] = f * a[i]; }
+///      }",
+/// )?;
+/// let mut args = KernelArgs::new();
+/// args.bind_array("a", vec![1.0, 2.0, 3.0]);
+/// args.bind_array("b", vec![0.0; 3]);
+/// args.bind_scalar("f", 10.0);
+/// args.bind_scalar("n", 3.0);
+/// args.run(&k)?;
+/// assert_eq!(args.array("b").unwrap(), &[10.0, 20.0, 30.0]);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct KernelArgs {
+    arrays: HashMap<String, Vec<Value>>,
+    scalars: HashMap<String, Value>,
+}
+
+impl KernelArgs {
+    /// Creates an empty binding set.
+    pub fn new() -> KernelArgs {
+        KernelArgs::default()
+    }
+
+    /// Binds an array buffer, replacing any previous binding.
+    pub fn bind_array(&mut self, name: &str, data: Vec<Value>) -> &mut Self {
+        self.arrays.insert(name.to_owned(), data);
+        self
+    }
+
+    /// Binds a scalar.
+    pub fn bind_scalar(&mut self, name: &str, v: Value) -> &mut Self {
+        self.scalars.insert(name.to_owned(), v);
+        self
+    }
+
+    /// Reads back an array.
+    pub fn array(&self, name: &str) -> Option<&[Value]> {
+        self.arrays.get(name).map(|v| v.as_slice())
+    }
+
+    /// Reads back a scalar binding.
+    pub fn scalar(&self, name: &str) -> Option<Value> {
+        self.scalars.get(name).copied()
+    }
+
+    /// Takes ownership of an array buffer.
+    pub fn take_array(&mut self, name: &str) -> Option<Vec<Value>> {
+        self.arrays.remove(name)
+    }
+
+    /// Runs `kernel` against these bindings, mutating the bound output
+    /// arrays in place.
+    ///
+    /// # Errors
+    ///
+    /// Any [`ExecKernelError`].
+    pub fn run(&mut self, kernel: &Kernel) -> Result<(), ExecKernelError> {
+        // check bindings
+        for p in kernel.params() {
+            let bound = if p.is_array() {
+                self.arrays.contains_key(&p.name)
+            } else {
+                self.scalars.contains_key(&p.name)
+            };
+            if !bound {
+                return Err(ExecKernelError::MissingArg {
+                    name: p.name.clone(),
+                });
+            }
+        }
+        let read_only: Vec<String> = kernel
+            .params()
+            .iter()
+            .filter(|p| p.kind == ParamKind::ArrayIn)
+            .map(|p| p.name.clone())
+            .collect();
+        let mut env = Env {
+            arrays: &mut self.arrays,
+            locals: self.scalars.clone(),
+            read_only,
+        };
+        exec_block(kernel.body(), &mut env)
+    }
+}
+
+struct Env<'a> {
+    arrays: &'a mut HashMap<String, Vec<Value>>,
+    locals: HashMap<String, Value>,
+    read_only: Vec<String>,
+}
+
+fn truthy(v: Value) -> bool {
+    v != 0.0
+}
+
+fn eval(e: &Expr, env: &Env<'_>) -> Result<Value, ExecKernelError> {
+    match e {
+        Expr::Const(v) => Ok(*v),
+        Expr::Var(name) => env
+            .locals
+            .get(name)
+            .copied()
+            .ok_or_else(|| ExecKernelError::UnknownName { name: name.clone() }),
+        Expr::Load { array, index } => {
+            let idx = eval(index, env)? as i64;
+            let buf = env
+                .arrays
+                .get(array)
+                .ok_or_else(|| ExecKernelError::UnknownName {
+                    name: array.clone(),
+                })?;
+            if idx < 0 || idx as usize >= buf.len() {
+                return Err(ExecKernelError::IndexOutOfBounds {
+                    array: array.clone(),
+                    index: idx,
+                    len: buf.len(),
+                });
+            }
+            Ok(buf[idx as usize])
+        }
+        Expr::Unary(op, a) => {
+            let v = eval(a, env)?;
+            Ok(match op {
+                UnOp::Neg => -v,
+                UnOp::Sqrt => v.sqrt(),
+                UnOp::Exp => v.exp(),
+                UnOp::Log => v.ln(),
+                UnOp::Abs => v.abs(),
+                UnOp::Floor => v.floor(),
+                UnOp::Not => {
+                    if truthy(v) {
+                        0.0
+                    } else {
+                        1.0
+                    }
+                }
+            })
+        }
+        Expr::Binary(op, a, b) => {
+            let x = eval(a, env)?;
+            let y = eval(b, env)?;
+            Ok(match op {
+                BinOp::Add => x + y,
+                BinOp::Sub => x - y,
+                BinOp::Mul => x * y,
+                BinOp::Div => x / y,
+                BinOp::Min => x.min(y),
+                BinOp::Max => x.max(y),
+                BinOp::Rem => x % y,
+                BinOp::Lt => (x < y) as u8 as f64,
+                BinOp::Le => (x <= y) as u8 as f64,
+                BinOp::Gt => (x > y) as u8 as f64,
+                BinOp::Ge => (x >= y) as u8 as f64,
+                BinOp::Eq => (x == y) as u8 as f64,
+                BinOp::And => (truthy(x) && truthy(y)) as u8 as f64,
+                BinOp::Or => (truthy(x) || truthy(y)) as u8 as f64,
+            })
+        }
+        Expr::Select { cond, then, els } => {
+            if truthy(eval(cond, env)?) {
+                eval(then, env)
+            } else {
+                eval(els, env)
+            }
+        }
+    }
+}
+
+fn exec_block(stmts: &[Stmt], env: &mut Env<'_>) -> Result<(), ExecKernelError> {
+    for s in stmts {
+        match s {
+            Stmt::Assign { var, value } => {
+                let v = eval(value, env)?;
+                env.locals.insert(var.clone(), v);
+            }
+            Stmt::Store {
+                array,
+                index,
+                value,
+            } => {
+                if env.read_only.iter().any(|a| a == array) {
+                    return Err(ExecKernelError::WriteToInput {
+                        array: array.clone(),
+                    });
+                }
+                let idx = eval(index, env)? as i64;
+                let v = eval(value, env)?;
+                let buf = env
+                    .arrays
+                    .get_mut(array)
+                    .ok_or_else(|| ExecKernelError::UnknownName {
+                        name: array.clone(),
+                    })?;
+                if idx < 0 || idx as usize >= buf.len() {
+                    return Err(ExecKernelError::IndexOutOfBounds {
+                        array: array.clone(),
+                        index: idx,
+                        len: buf.len(),
+                    });
+                }
+                buf[idx as usize] = v;
+            }
+            Stmt::For {
+                var,
+                start,
+                end,
+                body,
+            } => {
+                let s0 = eval(start, env)? as i64;
+                let e0 = eval(end, env)? as i64;
+                for i in s0..e0 {
+                    env.locals.insert(var.clone(), i as f64);
+                    exec_block(body, env)?;
+                }
+            }
+            Stmt::If { cond, then, els } => {
+                if truthy(eval(cond, env)?) {
+                    exec_block(then, env)?;
+                } else {
+                    exec_block(els, env)?;
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_kernel;
+
+    #[test]
+    fn vadd_executes() {
+        let k = parse_kernel(
+            "kernel vadd(in float a[], in float b[], out float c[], int n) {
+                 for (i in 0 .. n) { c[i] = a[i] + b[i]; }
+             }",
+        )
+        .unwrap();
+        let mut args = KernelArgs::new();
+        args.bind_array("a", vec![1.0, 2.0, 3.0])
+            .bind_array("b", vec![10.0, 20.0, 30.0])
+            .bind_array("c", vec![0.0; 3])
+            .bind_scalar("n", 3.0);
+        args.run(&k).unwrap();
+        assert_eq!(args.array("c").unwrap(), &[11.0, 22.0, 33.0]);
+    }
+
+    #[test]
+    fn gemm_matches_reference() {
+        let k = parse_kernel(
+            "kernel gemm(in float a[], in float b[], out float c[], int n) {
+                 for (i in 0 .. n) {
+                     for (j in 0 .. n) {
+                         acc = 0.0;
+                         for (kk in 0 .. n) {
+                             acc = acc + a[i * n + kk] * b[kk * n + j];
+                         }
+                         c[i * n + j] = acc;
+                     }
+                 }
+             }",
+        )
+        .unwrap();
+        let n = 4usize;
+        let a: Vec<f64> = (0..n * n).map(|i| i as f64 * 0.5).collect();
+        let b: Vec<f64> = (0..n * n).map(|i| (i as f64).sin()).collect();
+        let mut reference = vec![0.0; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                for kk in 0..n {
+                    reference[i * n + j] += a[i * n + kk] * b[kk * n + j];
+                }
+            }
+        }
+        let mut args = KernelArgs::new();
+        args.bind_array("a", a)
+            .bind_array("b", b)
+            .bind_array("c", vec![0.0; n * n])
+            .bind_scalar("n", n as f64);
+        args.run(&k).unwrap();
+        for (got, want) in args.array("c").unwrap().iter().zip(&reference) {
+            assert!((got - want).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn conditionals_and_intrinsics() {
+        let k = parse_kernel(
+            "kernel relu_sqrt(inout float a[], int n) {
+                 for (i in 0 .. n) {
+                     if (a[i] < 0.0) { a[i] = 0.0; } else { a[i] = sqrt(a[i]); }
+                 }
+             }",
+        )
+        .unwrap();
+        let mut args = KernelArgs::new();
+        args.bind_array("a", vec![-4.0, 9.0, 16.0]).bind_scalar("n", 3.0);
+        args.run(&k).unwrap();
+        assert_eq!(args.array("a").unwrap(), &[0.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn select_and_logic() {
+        let k = parse_kernel(
+            "kernel s(out float o[], float x) {
+                 o[0] = select(x > 1.0 && x < 3.0, 1.0, 0.0);
+                 o[1] = select(x == 2.0 || x == 5.0, 7.0, 8.0);
+                 o[2] = !(x > 0.0);
+             }",
+        )
+        .unwrap();
+        let mut args = KernelArgs::new();
+        args.bind_array("o", vec![0.0; 3]).bind_scalar("x", 2.0);
+        args.run(&k).unwrap();
+        assert_eq!(args.array("o").unwrap(), &[1.0, 7.0, 0.0]);
+    }
+
+    #[test]
+    fn missing_argument_detected() {
+        let k = parse_kernel("kernel m(in float a[], int n) { x = a[0]; }").unwrap();
+        let mut args = KernelArgs::new();
+        args.bind_array("a", vec![1.0]);
+        let err = args.run(&k).unwrap_err();
+        assert_eq!(err, ExecKernelError::MissingArg { name: "n".into() });
+    }
+
+    #[test]
+    fn bounds_checked() {
+        let k = parse_kernel("kernel b(out float o[], int n) { o[n] = 1.0; }").unwrap();
+        let mut args = KernelArgs::new();
+        args.bind_array("o", vec![0.0; 2]).bind_scalar("n", 5.0);
+        let err = args.run(&k).unwrap_err();
+        assert!(matches!(err, ExecKernelError::IndexOutOfBounds { index: 5, len: 2, .. }));
+        assert!(err.to_string().contains("out of bounds"));
+    }
+
+    #[test]
+    fn negative_index_rejected() {
+        let k = parse_kernel("kernel b(out float o[]) { o[0 - 1] = 1.0; }").unwrap();
+        let mut args = KernelArgs::new();
+        args.bind_array("o", vec![0.0; 2]);
+        assert!(matches!(
+            args.run(&k).unwrap_err(),
+            ExecKernelError::IndexOutOfBounds { index: -1, .. }
+        ));
+    }
+
+    #[test]
+    fn write_to_input_rejected() {
+        let k = parse_kernel("kernel w(in float a[]) { a[0] = 1.0; }").unwrap();
+        let mut args = KernelArgs::new();
+        args.bind_array("a", vec![1.0]);
+        assert_eq!(
+            args.run(&k).unwrap_err(),
+            ExecKernelError::WriteToInput { array: "a".into() }
+        );
+    }
+
+    #[test]
+    fn unknown_name_detected() {
+        let k = parse_kernel("kernel u(out float o[]) { o[0] = ghost; }").unwrap();
+        let mut args = KernelArgs::new();
+        args.bind_array("o", vec![0.0]);
+        assert_eq!(
+            args.run(&k).unwrap_err(),
+            ExecKernelError::UnknownName { name: "ghost".into() }
+        );
+    }
+
+    #[test]
+    fn empty_loop_runs_zero_times() {
+        let k = parse_kernel(
+            "kernel e(out float o[], int n) {
+                 o[0] = 0.0;
+                 for (i in 0 .. n) { o[0] = o[0] + 1.0; }
+             }",
+        )
+        .unwrap();
+        let mut args = KernelArgs::new();
+        args.bind_array("o", vec![9.0]).bind_scalar("n", 0.0);
+        args.run(&k).unwrap();
+        assert_eq!(args.array("o").unwrap(), &[0.0]);
+    }
+
+    #[test]
+    fn take_array_transfers_ownership() {
+        let mut args = KernelArgs::new();
+        args.bind_array("x", vec![1.0, 2.0]);
+        let v = args.take_array("x").unwrap();
+        assert_eq!(v, vec![1.0, 2.0]);
+        assert!(args.array("x").is_none());
+    }
+}

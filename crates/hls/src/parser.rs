@@ -1,0 +1,674 @@
+//! A compact OpenCL-like textual kernel language.
+//!
+//! Programmers hand the HLS tool plain, hardware-agnostic kernels:
+//!
+//! ```text
+//! kernel vadd(in float a[], in float b[], out float c[], int n) {
+//!     for (i in 0 .. n) {
+//!         c[i] = a[i] + b[i];
+//!     }
+//! }
+//! ```
+//!
+//! The grammar supports counted `for` loops, `if`/`else`, scalar
+//! assignment, array indexing, the arithmetic/comparison/logical
+//! operators, and the intrinsics `sqrt`, `exp`, `log`, `abs`, `floor`,
+//! `min`, `max`, `select`.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::ir::{BinOp, Expr, Kernel, Param, ParamKind, Stmt, UnOp};
+
+/// A parse failure with byte position context.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseKernelError {
+    message: String,
+    offset: usize,
+}
+
+impl ParseKernelError {
+    fn new(message: impl Into<String>, offset: usize) -> ParseKernelError {
+        ParseKernelError {
+            message: message.into(),
+            offset,
+        }
+    }
+
+    /// Byte offset in the source where the error was detected.
+    pub fn offset(&self) -> usize {
+        self.offset
+    }
+}
+
+impl fmt::Display for ParseKernelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl Error for ParseKernelError {}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Ident(String),
+    Num(f64),
+    Punct(&'static str),
+}
+
+#[derive(Debug, Clone)]
+struct SpannedTok {
+    tok: Tok,
+    offset: usize,
+}
+
+fn lex(src: &str) -> Result<Vec<SpannedTok>, ParseKernelError> {
+    let bytes = src.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        if c.is_ascii_whitespace() {
+            i += 1;
+            continue;
+        }
+        // line comments
+        if c == '/' && i + 1 < bytes.len() && bytes[i + 1] == b'/' {
+            while i < bytes.len() && bytes[i] != b'\n' {
+                i += 1;
+            }
+            continue;
+        }
+        let start = i;
+        if c.is_ascii_alphabetic() || c == '_' {
+            while i < bytes.len() && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+            {
+                i += 1;
+            }
+            out.push(SpannedTok {
+                tok: Tok::Ident(src[start..i].to_owned()),
+                offset: start,
+            });
+            continue;
+        }
+        if c.is_ascii_digit()
+            || (c == '.' && i + 1 < bytes.len() && (bytes[i + 1] as char).is_ascii_digit())
+        {
+            while i < bytes.len()
+                && ((bytes[i] as char).is_ascii_digit()
+                    || bytes[i] == b'.'
+                    || bytes[i] == b'e'
+                    || bytes[i] == b'E'
+                    || ((bytes[i] == b'+' || bytes[i] == b'-')
+                        && (bytes[i - 1] == b'e' || bytes[i - 1] == b'E')))
+            {
+                // ".." range operator must not be eaten by a number
+                if bytes[i] == b'.' && i + 1 < bytes.len() && bytes[i + 1] == b'.' {
+                    break;
+                }
+                i += 1;
+            }
+            let text = &src[start..i];
+            let v: f64 = text
+                .parse()
+                .map_err(|_| ParseKernelError::new(format!("bad number `{text}`"), start))?;
+            out.push(SpannedTok {
+                tok: Tok::Num(v),
+                offset: start,
+            });
+            continue;
+        }
+        // multi-char punctuation first
+        const TWO: [&str; 7] = ["..", "<=", ">=", "==", "!=", "&&", "||"];
+        let rest = &src[i..];
+        if let Some(p) = TWO.iter().find(|p| rest.starts_with(**p)) {
+            out.push(SpannedTok {
+                tok: Tok::Punct(p),
+                offset: start,
+            });
+            i += 2;
+            continue;
+        }
+        const ONE: [&str; 15] = [
+            "(", ")", "[", "]", "{", "}", ",", ";", "=", "+", "-", "*", "/", "%", "<",
+        ];
+        const ONE_MORE: [&str; 2] = [">", "!"];
+        let one = ONE
+            .iter()
+            .chain(ONE_MORE.iter())
+            .find(|p| rest.starts_with(**p));
+        match one {
+            Some(p) => {
+                out.push(SpannedTok {
+                    tok: Tok::Punct(p),
+                    offset: start,
+                });
+                i += 1;
+            }
+            None => {
+                return Err(ParseKernelError::new(
+                    format!("unexpected character `{c}`"),
+                    start,
+                ))
+            }
+        }
+    }
+    Ok(out)
+}
+
+struct Parser {
+    toks: Vec<SpannedTok>,
+    pos: usize,
+    src_len: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|t| &t.tok)
+    }
+
+    fn offset(&self) -> usize {
+        self.toks.get(self.pos).map_or(self.src_len, |t| t.offset)
+    }
+
+    fn bump(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).map(|t| t.tok.clone());
+        self.pos += 1;
+        t
+    }
+
+    fn err(&self, msg: impl Into<String>) -> ParseKernelError {
+        ParseKernelError::new(msg, self.offset())
+    }
+
+    fn expect_punct(&mut self, p: &'static str) -> Result<(), ParseKernelError> {
+        match self.peek() {
+            Some(Tok::Punct(q)) if *q == p => {
+                self.pos += 1;
+                Ok(())
+            }
+            other => Err(self.err(format!("expected `{p}`, found {other:?}"))),
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, ParseKernelError> {
+        match self.bump() {
+            Some(Tok::Ident(s)) => Ok(s),
+            other => {
+                self.pos -= 1;
+                Err(self.err(format!("expected identifier, found {other:?}")))
+            }
+        }
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<(), ParseKernelError> {
+        match self.peek() {
+            Some(Tok::Ident(s)) if s == kw => {
+                self.pos += 1;
+                Ok(())
+            }
+            other => Err(self.err(format!("expected `{kw}`, found {other:?}"))),
+        }
+    }
+
+    fn eat_punct(&mut self, p: &str) -> bool {
+        if let Some(Tok::Punct(q)) = self.peek() {
+            if *q == p {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if let Some(Tok::Ident(s)) = self.peek() {
+            if s == kw {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn parse_kernel(&mut self) -> Result<Kernel, ParseKernelError> {
+        self.expect_keyword("kernel")?;
+        let name = self.expect_ident()?;
+        self.expect_punct("(")?;
+        let mut params = Vec::new();
+        if !self.eat_punct(")") {
+            loop {
+                params.push(self.parse_param()?);
+                if self.eat_punct(")") {
+                    break;
+                }
+                self.expect_punct(",")?;
+            }
+        }
+        let body = self.parse_block()?;
+        if self.pos != self.toks.len() {
+            return Err(self.err("trailing input after kernel body"));
+        }
+        Ok(Kernel::new(&name, params, body))
+    }
+
+    fn parse_param(&mut self) -> Result<Param, ParseKernelError> {
+        let kind = if self.eat_keyword("in") {
+            Some(ParamKind::ArrayIn)
+        } else if self.eat_keyword("out") {
+            Some(ParamKind::ArrayOut)
+        } else if self.eat_keyword("inout") {
+            Some(ParamKind::ArrayInOut)
+        } else {
+            None
+        };
+        // element / scalar type keyword
+        if !(self.eat_keyword("float") || self.eat_keyword("int")) {
+            return Err(self.err("expected `float` or `int`"));
+        }
+        let name = self.expect_ident()?;
+        match kind {
+            Some(k) => {
+                self.expect_punct("[")?;
+                self.expect_punct("]")?;
+                Ok(Param::new(&name, k))
+            }
+            None => Ok(Param::new(&name, ParamKind::Scalar)),
+        }
+    }
+
+    fn parse_block(&mut self) -> Result<Vec<Stmt>, ParseKernelError> {
+        self.expect_punct("{")?;
+        let mut stmts = Vec::new();
+        while !self.eat_punct("}") {
+            stmts.push(self.parse_stmt()?);
+        }
+        Ok(stmts)
+    }
+
+    fn parse_stmt(&mut self) -> Result<Stmt, ParseKernelError> {
+        if self.eat_keyword("for") {
+            self.expect_punct("(")?;
+            let var = self.expect_ident()?;
+            self.expect_keyword("in")?;
+            let start = self.parse_expr()?;
+            self.expect_punct("..")?;
+            let end = self.parse_expr()?;
+            self.expect_punct(")")?;
+            let body = self.parse_block()?;
+            return Ok(Stmt::For {
+                var,
+                start,
+                end,
+                body,
+            });
+        }
+        if self.eat_keyword("if") {
+            self.expect_punct("(")?;
+            let cond = self.parse_expr()?;
+            self.expect_punct(")")?;
+            let then = self.parse_block()?;
+            let els = if self.eat_keyword("else") {
+                self.parse_block()?
+            } else {
+                Vec::new()
+            };
+            return Ok(Stmt::If { cond, then, els });
+        }
+        let name = self.expect_ident()?;
+        if self.eat_punct("[") {
+            let index = self.parse_expr()?;
+            self.expect_punct("]")?;
+            self.expect_punct("=")?;
+            let value = self.parse_expr()?;
+            self.expect_punct(";")?;
+            return Ok(Stmt::Store {
+                array: name,
+                index,
+                value,
+            });
+        }
+        self.expect_punct("=")?;
+        let value = self.parse_expr()?;
+        self.expect_punct(";")?;
+        Ok(Stmt::Assign { var: name, value })
+    }
+
+    fn parse_expr(&mut self) -> Result<Expr, ParseKernelError> {
+        self.parse_or()
+    }
+
+    fn parse_or(&mut self) -> Result<Expr, ParseKernelError> {
+        let mut lhs = self.parse_and()?;
+        while self.eat_punct("||") {
+            let rhs = self.parse_and()?;
+            lhs = Expr::bin(BinOp::Or, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn parse_and(&mut self) -> Result<Expr, ParseKernelError> {
+        let mut lhs = self.parse_cmp()?;
+        while self.eat_punct("&&") {
+            let rhs = self.parse_cmp()?;
+            lhs = Expr::bin(BinOp::And, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn parse_cmp(&mut self) -> Result<Expr, ParseKernelError> {
+        let lhs = self.parse_add()?;
+        let op = match self.peek() {
+            Some(Tok::Punct("<")) => Some(BinOp::Lt),
+            Some(Tok::Punct("<=")) => Some(BinOp::Le),
+            Some(Tok::Punct(">")) => Some(BinOp::Gt),
+            Some(Tok::Punct(">=")) => Some(BinOp::Ge),
+            Some(Tok::Punct("==")) => Some(BinOp::Eq),
+            Some(Tok::Punct("!=")) => None, // desugared below
+            _ => return Ok(lhs),
+        };
+        match op {
+            Some(op) => {
+                self.pos += 1;
+                let rhs = self.parse_add()?;
+                Ok(Expr::bin(op, lhs, rhs))
+            }
+            None => {
+                self.pos += 1;
+                let rhs = self.parse_add()?;
+                Ok(Expr::un(UnOp::Not, Expr::bin(BinOp::Eq, lhs, rhs)))
+            }
+        }
+    }
+
+    fn parse_add(&mut self) -> Result<Expr, ParseKernelError> {
+        let mut lhs = self.parse_mul()?;
+        loop {
+            if self.eat_punct("+") {
+                lhs = Expr::bin(BinOp::Add, lhs, self.parse_mul()?);
+            } else if self.eat_punct("-") {
+                lhs = Expr::bin(BinOp::Sub, lhs, self.parse_mul()?);
+            } else {
+                return Ok(lhs);
+            }
+        }
+    }
+
+    fn parse_mul(&mut self) -> Result<Expr, ParseKernelError> {
+        let mut lhs = self.parse_unary()?;
+        loop {
+            if self.eat_punct("*") {
+                lhs = Expr::bin(BinOp::Mul, lhs, self.parse_unary()?);
+            } else if self.eat_punct("/") {
+                lhs = Expr::bin(BinOp::Div, lhs, self.parse_unary()?);
+            } else if self.eat_punct("%") {
+                lhs = Expr::bin(BinOp::Rem, lhs, self.parse_unary()?);
+            } else {
+                return Ok(lhs);
+            }
+        }
+    }
+
+    fn parse_unary(&mut self) -> Result<Expr, ParseKernelError> {
+        if self.eat_punct("-") {
+            return Ok(Expr::un(UnOp::Neg, self.parse_unary()?));
+        }
+        if self.eat_punct("!") {
+            return Ok(Expr::un(UnOp::Not, self.parse_unary()?));
+        }
+        self.parse_primary()
+    }
+
+    fn parse_primary(&mut self) -> Result<Expr, ParseKernelError> {
+        match self.bump() {
+            Some(Tok::Num(v)) => Ok(Expr::Const(v)),
+            Some(Tok::Punct("(")) => {
+                let e = self.parse_expr()?;
+                self.expect_punct(")")?;
+                Ok(e)
+            }
+            Some(Tok::Ident(name)) => {
+                // intrinsic call?
+                let unary_intrinsic = match name.as_str() {
+                    "sqrt" => Some(UnOp::Sqrt),
+                    "exp" => Some(UnOp::Exp),
+                    "log" => Some(UnOp::Log),
+                    "abs" => Some(UnOp::Abs),
+                    "floor" => Some(UnOp::Floor),
+                    _ => None,
+                };
+                if let Some(op) = unary_intrinsic {
+                    self.expect_punct("(")?;
+                    let e = self.parse_expr()?;
+                    self.expect_punct(")")?;
+                    return Ok(Expr::un(op, e));
+                }
+                let binary_intrinsic = match name.as_str() {
+                    "min" => Some(BinOp::Min),
+                    "max" => Some(BinOp::Max),
+                    _ => None,
+                };
+                if let Some(op) = binary_intrinsic {
+                    self.expect_punct("(")?;
+                    let a = self.parse_expr()?;
+                    self.expect_punct(",")?;
+                    let b = self.parse_expr()?;
+                    self.expect_punct(")")?;
+                    return Ok(Expr::bin(op, a, b));
+                }
+                if name == "select" {
+                    self.expect_punct("(")?;
+                    let cond = self.parse_expr()?;
+                    self.expect_punct(",")?;
+                    let then = self.parse_expr()?;
+                    self.expect_punct(",")?;
+                    let els = self.parse_expr()?;
+                    self.expect_punct(")")?;
+                    return Ok(Expr::Select {
+                        cond: Box::new(cond),
+                        then: Box::new(then),
+                        els: Box::new(els),
+                    });
+                }
+                if self.eat_punct("[") {
+                    let idx = self.parse_expr()?;
+                    self.expect_punct("]")?;
+                    return Ok(Expr::load(&name, idx));
+                }
+                Ok(Expr::var(&name))
+            }
+            other => {
+                self.pos -= 1;
+                Err(self.err(format!("expected expression, found {other:?}")))
+            }
+        }
+    }
+}
+
+/// Parses one kernel from source text.
+///
+/// # Errors
+///
+/// Returns a [`ParseKernelError`] with the byte offset of the first
+/// problem.
+///
+/// # Example
+///
+/// ```
+/// let k = ecoscale_hls::parse_kernel(
+///     "kernel scale(in float a[], out float b[], float k, int n) {
+///          for (i in 0 .. n) { b[i] = k * a[i]; }
+///      }",
+/// )?;
+/// assert_eq!(k.name(), "scale");
+/// # Ok::<(), ecoscale_hls::ParseKernelError>(())
+/// ```
+pub fn parse_kernel(src: &str) -> Result<Kernel, ParseKernelError> {
+    let toks = lex(src)?;
+    let mut p = Parser {
+        toks,
+        pos: 0,
+        src_len: src.len(),
+    };
+    p.parse_kernel()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::ParamKind;
+
+    #[test]
+    fn parses_vadd() {
+        let k = parse_kernel(
+            "kernel vadd(in float a[], in float b[], out float c[], int n) {
+                 for (i in 0 .. n) { c[i] = a[i] + b[i]; }
+             }",
+        )
+        .unwrap();
+        assert_eq!(k.name(), "vadd");
+        assert_eq!(k.params().len(), 4);
+        assert_eq!(k.param("a").unwrap().kind, ParamKind::ArrayIn);
+        assert_eq!(k.param("n").unwrap().kind, ParamKind::Scalar);
+        assert!(matches!(k.body()[0], Stmt::For { .. }));
+    }
+
+    #[test]
+    fn parses_nested_loops_and_accumulator() {
+        let k = parse_kernel(
+            "kernel gemm(in float a[], in float b[], out float c[], int n) {
+                 for (i in 0 .. n) {
+                     for (j in 0 .. n) {
+                         acc = 0.0;
+                         for (kk in 0 .. n) {
+                             acc = acc + a[i * n + kk] * b[kk * n + j];
+                         }
+                         c[i * n + j] = acc;
+                     }
+                 }
+             }",
+        )
+        .unwrap();
+        let mut fors = 0;
+        k.visit_stmts(&mut |s, _| {
+            if matches!(s, Stmt::For { .. }) {
+                fors += 1;
+            }
+        });
+        assert_eq!(fors, 3);
+    }
+
+    #[test]
+    fn parses_if_else_and_comparisons() {
+        let k = parse_kernel(
+            "kernel clamp(inout float a[], float lo, float hi, int n) {
+                 for (i in 0 .. n) {
+                     if (a[i] < lo) { a[i] = lo; }
+                     else { if (a[i] >= hi) { a[i] = hi; } }
+                 }
+             }",
+        )
+        .unwrap();
+        assert_eq!(k.param("a").unwrap().kind, ParamKind::ArrayInOut);
+    }
+
+    #[test]
+    fn parses_intrinsics() {
+        let k = parse_kernel(
+            "kernel mix(in float a[], out float b[], int n) {
+                 for (i in 0 .. n) {
+                     b[i] = select(a[i] > 0.0, sqrt(a[i]), exp(min(a[i], 0.0)) + log(abs(a[i]) + 1.0));
+                 }
+             }",
+        )
+        .unwrap();
+        assert_eq!(k.name(), "mix");
+    }
+
+    #[test]
+    fn operator_precedence() {
+        let k = parse_kernel(
+            "kernel p(out float o[], float a, float b, float c) {
+                 o[0] = a + b * c;
+             }",
+        )
+        .unwrap();
+        match &k.body()[0] {
+            Stmt::Store { value, .. } => match value {
+                Expr::Binary(BinOp::Add, lhs, rhs) => {
+                    assert_eq!(**lhs, Expr::var("a"));
+                    assert!(matches!(**rhs, Expr::Binary(BinOp::Mul, _, _)));
+                }
+                other => panic!("wrong tree: {other:?}"),
+            },
+            other => panic!("wrong stmt: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unary_and_not_equal() {
+        let k = parse_kernel(
+            "kernel u(out float o[], float a) {
+                 o[0] = -a;
+                 o[1] = select(a != 0.0, 1.0 / a, 0.0);
+             }",
+        )
+        .unwrap();
+        assert_eq!(k.body().len(), 2);
+    }
+
+    #[test]
+    fn comments_and_scientific_numbers() {
+        let k = parse_kernel(
+            "// black-scholes style constant
+             kernel c(out float o[]) {
+                 o[0] = 2.5e-2 + 1.0E3; // inline comment
+             }",
+        )
+        .unwrap();
+        match &k.body()[0] {
+            Stmt::Store { value, .. } => match value {
+                Expr::Binary(BinOp::Add, a, b) => {
+                    assert_eq!(**a, Expr::Const(2.5e-2));
+                    assert_eq!(**b, Expr::Const(1.0e3));
+                }
+                other => panic!("{other:?}"),
+            },
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn range_dots_not_eaten_by_number() {
+        let k = parse_kernel(
+            "kernel r(out float o[]) {
+                 for (i in 0 .. 4) { o[i] = 1.0; }
+                 for (j in 0..4) { o[j] = 2.0; }
+             }",
+        )
+        .unwrap();
+        assert_eq!(k.body().len(), 2);
+    }
+
+    #[test]
+    fn error_reports_offset() {
+        let err = parse_kernel("kernel bad( {").unwrap_err();
+        assert!(err.offset() > 0);
+        assert!(err.to_string().contains("parse error"));
+    }
+
+    #[test]
+    fn errors_on_garbage() {
+        assert!(parse_kernel("kernel k() { x = $; }").is_err());
+        assert!(parse_kernel("notakernel k() {}").is_err());
+        assert!(parse_kernel("kernel k() {} extra").is_err());
+        assert!(parse_kernel("kernel k(badqual float a[]) {}").is_err());
+    }
+
+    #[test]
+    fn empty_body_and_no_params() {
+        let k = parse_kernel("kernel nop() {}").unwrap();
+        assert!(k.body().is_empty());
+        assert!(k.params().is_empty());
+    }
+}

@@ -1,0 +1,213 @@
+//! Address-space newtypes.
+//!
+//! Four distinct address spaces appear in the ECOSCALE Worker (Fig. 4):
+//!
+//! * [`VirtAddr`] — what an application (or an accelerator programmed with
+//!   user pointers) issues,
+//! * [`Ipa`] — the intermediate physical address after stage-1
+//!   translation (the guest-physical space in a virtualized system),
+//! * [`PhysAddr`] — the machine address after stage-2 translation,
+//! * [`GlobalAddr`] — a UNIMEM global address: `(home node, offset)` in
+//!   the partitioned global address space shared by a Compute Node.
+//!
+//! Keeping them as separate types makes it a compile error to, say, hand a
+//! virtual address to the DRAM model without translating it first.
+
+use core::fmt;
+
+use ecoscale_noc::NodeId;
+
+/// Page size: 4 KiB, the granularity of UNIMEM ownership and of the SMMU.
+pub const PAGE_SIZE: u64 = 4096;
+/// log2 of [`PAGE_SIZE`].
+pub const PAGE_SHIFT: u32 = 12;
+
+macro_rules! addr_newtype {
+    ($(#[$doc:meta])* $name:ident) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+        pub struct $name(pub u64);
+
+        impl $name {
+            /// The page number containing this address.
+            #[inline]
+            pub const fn page(self) -> u64 {
+                self.0 >> PAGE_SHIFT
+            }
+
+            /// The byte offset within the page.
+            #[inline]
+            pub const fn page_offset(self) -> u64 {
+                self.0 & (PAGE_SIZE - 1)
+            }
+
+            /// The first address of this address's page.
+            #[inline]
+            pub const fn page_base(self) -> $name {
+                $name(self.0 & !(PAGE_SIZE - 1))
+            }
+
+            /// Builds an address from a page number and in-page offset.
+            ///
+            /// # Panics
+            ///
+            /// Panics if `offset >= PAGE_SIZE`.
+            #[inline]
+            pub fn from_page(page: u64, offset: u64) -> $name {
+                assert!(offset < PAGE_SIZE, "offset {offset} exceeds page size");
+                $name((page << PAGE_SHIFT) | offset)
+            }
+
+            /// Byte-offset addition.
+            #[inline]
+            pub const fn add(self, bytes: u64) -> $name {
+                $name(self.0 + bytes)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{}({:#x})", stringify!($name), self.0)
+            }
+        }
+
+        impl fmt::LowerHex for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                fmt::LowerHex::fmt(&self.0, f)
+            }
+        }
+    };
+}
+
+addr_newtype!(
+    /// A virtual address as issued by an application or accelerator.
+    VirtAddr
+);
+addr_newtype!(
+    /// An intermediate physical address (output of stage-1 translation).
+    Ipa
+);
+addr_newtype!(
+    /// A machine physical address (output of stage-2 translation).
+    PhysAddr
+);
+
+/// A UNIMEM global address: an offset within the partition owned by a
+/// home node.
+///
+/// # Example
+///
+/// ```
+/// use ecoscale_mem::GlobalAddr;
+/// use ecoscale_noc::NodeId;
+///
+/// let a = GlobalAddr::new(NodeId(3), 0x1000);
+/// assert_eq!(a.home(), NodeId(3));
+/// assert_eq!(a.offset(), 0x1000);
+/// assert_eq!(a.add(8).offset(), 0x1008);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct GlobalAddr {
+    home: NodeId,
+    offset: u64,
+}
+
+impl GlobalAddr {
+    /// Creates a global address in `home`'s partition.
+    #[inline]
+    pub const fn new(home: NodeId, offset: u64) -> GlobalAddr {
+        GlobalAddr { home, offset }
+    }
+
+    /// The node owning the backing memory.
+    #[inline]
+    pub const fn home(self) -> NodeId {
+        self.home
+    }
+
+    /// Offset within the home partition.
+    #[inline]
+    pub const fn offset(self) -> u64 {
+        self.offset
+    }
+
+    /// Page number within the home partition.
+    #[inline]
+    pub const fn page(self) -> u64 {
+        self.offset >> PAGE_SHIFT
+    }
+
+    /// Byte-offset addition within the same partition.
+    #[inline]
+    pub const fn add(self, bytes: u64) -> GlobalAddr {
+        GlobalAddr {
+            home: self.home,
+            offset: self.offset + bytes,
+        }
+    }
+}
+
+impl fmt::Display for GlobalAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "G[{}+{:#x}]", self.home, self.offset)
+    }
+}
+
+/// Number of pages needed to hold `bytes`.
+#[inline]
+pub const fn pages_for(bytes: u64) -> u64 {
+    bytes.div_ceil(PAGE_SIZE)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn page_decomposition() {
+        let a = VirtAddr(0x12345);
+        assert_eq!(a.page(), 0x12);
+        assert_eq!(a.page_offset(), 0x345);
+        assert_eq!(a.page_base(), VirtAddr(0x12000));
+        assert_eq!(VirtAddr::from_page(0x12, 0x345), a);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds page size")]
+    fn from_page_rejects_big_offset() {
+        let _ = PhysAddr::from_page(1, PAGE_SIZE);
+    }
+
+    #[test]
+    fn add_and_display() {
+        let a = Ipa(0xff0).add(0x20);
+        assert_eq!(a, Ipa(0x1010));
+        assert_eq!(format!("{a}"), "Ipa(0x1010)");
+        assert_eq!(format!("{a:#x}"), "0x1010");
+    }
+
+    #[test]
+    fn global_addr_fields() {
+        let g = GlobalAddr::new(NodeId(7), 3 * PAGE_SIZE + 5);
+        assert_eq!(g.home(), NodeId(7));
+        assert_eq!(g.page(), 3);
+        assert_eq!(g.add(PAGE_SIZE).page(), 4);
+        assert_eq!(format!("{g}"), "G[W7+0x3005]");
+    }
+
+    #[test]
+    fn distinct_types_do_not_compare() {
+        // compile-time property: VirtAddr and PhysAddr are different types.
+        fn takes_phys(_p: PhysAddr) {}
+        takes_phys(PhysAddr(1));
+        // takes_phys(VirtAddr(1)); // would not compile
+    }
+
+    #[test]
+    fn pages_for_rounds_up() {
+        assert_eq!(pages_for(0), 0);
+        assert_eq!(pages_for(1), 1);
+        assert_eq!(pages_for(PAGE_SIZE), 1);
+        assert_eq!(pages_for(PAGE_SIZE + 1), 2);
+    }
+}

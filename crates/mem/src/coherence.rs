@@ -1,0 +1,279 @@
+//! A directory-based *global* cache-coherence baseline.
+//!
+//! The paper's claim (§4.1): existing architectures "either require a
+//! global cache coherent mechanism, which simply cannot scale, or support
+//! only DMA operations". This module implements the thing UNIMEM
+//! replaces — a full-map directory MSI protocol across all nodes — purely
+//! to count its protocol traffic. Experiment E3 sweeps node count and
+//! sharing degree to show the message blow-up UNIMEM avoids.
+
+use std::collections::{HashMap, HashSet};
+
+use ecoscale_noc::NodeId;
+
+/// Directory state of one line/page.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum DirState {
+    Uncached,
+    Shared(HashSet<NodeId>),
+    Exclusive(NodeId),
+}
+
+/// Protocol traffic counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CoherenceStats {
+    /// Requests from nodes to the directory.
+    pub requests: u64,
+    /// Invalidation messages sent to sharers.
+    pub invalidations: u64,
+    /// Invalidation acknowledgements returned.
+    pub acks: u64,
+    /// Ownership transfers / data forwards between caches.
+    pub forwards: u64,
+    /// Data replies from the home to the requester.
+    pub data_replies: u64,
+}
+
+impl CoherenceStats {
+    /// All protocol messages combined.
+    pub fn total_messages(&self) -> u64 {
+        self.requests + self.invalidations + self.acks + self.forwards + self.data_replies
+    }
+}
+
+/// A full-map directory MSI coherence protocol over `nodes` caches.
+///
+/// # Example
+///
+/// ```
+/// use ecoscale_mem::GlobalCoherence;
+/// use ecoscale_noc::NodeId;
+///
+/// let mut coh = GlobalCoherence::new(8);
+/// for n in 0..8 {
+///     coh.read(NodeId(n), 0x40); // everyone shares the line
+/// }
+/// let before = coh.stats().invalidations;
+/// coh.write(NodeId(0), 0x40); // invalidates the other 7 sharers
+/// assert_eq!(coh.stats().invalidations - before, 7);
+/// ```
+#[derive(Debug)]
+pub struct GlobalCoherence {
+    nodes: usize,
+    directory: HashMap<u64, DirState>,
+    stats: CoherenceStats,
+}
+
+impl GlobalCoherence {
+    /// Creates a protocol instance over `nodes` caches.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes` is zero.
+    pub fn new(nodes: usize) -> GlobalCoherence {
+        assert!(nodes > 0, "coherence needs at least one node");
+        GlobalCoherence {
+            nodes,
+            directory: HashMap::new(),
+            stats: CoherenceStats::default(),
+        }
+    }
+
+    /// Number of participating nodes.
+    pub fn nodes(&self) -> usize {
+        self.nodes
+    }
+
+    /// Accumulated protocol traffic.
+    pub fn stats(&self) -> CoherenceStats {
+        self.stats
+    }
+
+    fn check(&self, node: NodeId) {
+        assert!(node.0 < self.nodes, "node {node} out of range");
+    }
+
+    /// A read of `line` by `node`.
+    pub fn read(&mut self, node: NodeId, line: u64) {
+        self.check(node);
+        self.stats.requests += 1;
+        let state = self.directory.entry(line).or_insert(DirState::Uncached);
+        match state {
+            DirState::Uncached => {
+                self.stats.data_replies += 1;
+                let mut s = HashSet::new();
+                s.insert(node);
+                *state = DirState::Shared(s);
+            }
+            DirState::Shared(sharers) => {
+                if sharers.insert(node) {
+                    self.stats.data_replies += 1;
+                }
+            }
+            DirState::Exclusive(owner) => {
+                if *owner == node {
+                    return; // silent hit
+                }
+                // downgrade: forward from owner, both become sharers
+                self.stats.forwards += 1;
+                self.stats.data_replies += 1;
+                let mut s = HashSet::new();
+                s.insert(*owner);
+                s.insert(node);
+                *state = DirState::Shared(s);
+            }
+        }
+    }
+
+    /// A write of `line` by `node`.
+    pub fn write(&mut self, node: NodeId, line: u64) {
+        self.check(node);
+        self.stats.requests += 1;
+        let state = self.directory.entry(line).or_insert(DirState::Uncached);
+        match state {
+            DirState::Uncached => {
+                self.stats.data_replies += 1;
+                *state = DirState::Exclusive(node);
+            }
+            DirState::Shared(sharers) => {
+                let to_invalidate = sharers.iter().filter(|&&s| s != node).count() as u64;
+                self.stats.invalidations += to_invalidate;
+                self.stats.acks += to_invalidate;
+                self.stats.data_replies += 1;
+                *state = DirState::Exclusive(node);
+            }
+            DirState::Exclusive(owner) => {
+                if *owner == node {
+                    return; // silent upgrade
+                }
+                self.stats.invalidations += 1;
+                self.stats.acks += 1;
+                self.stats.forwards += 1;
+                *state = DirState::Exclusive(node);
+            }
+        }
+    }
+
+    /// Evicts `line` from `node`'s cache (silent for shared lines, a
+    /// write-back message for exclusive ones).
+    pub fn evict(&mut self, node: NodeId, line: u64) {
+        self.check(node);
+        if let Some(state) = self.directory.get_mut(&line) {
+            match state {
+                DirState::Shared(s) => {
+                    s.remove(&node);
+                    if s.is_empty() {
+                        *state = DirState::Uncached;
+                    }
+                }
+                DirState::Exclusive(owner) if *owner == node => {
+                    self.stats.requests += 1; // write-back
+                    *state = DirState::Uncached;
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// Current number of sharers of `line`.
+    pub fn sharers(&self, line: u64) -> usize {
+        match self.directory.get(&line) {
+            None | Some(DirState::Uncached) => 0,
+            Some(DirState::Shared(s)) => s.len(),
+            Some(DirState::Exclusive(_)) => 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_sharing_accumulates() {
+        let mut c = GlobalCoherence::new(4);
+        c.read(NodeId(0), 1);
+        c.read(NodeId(1), 1);
+        c.read(NodeId(2), 1);
+        assert_eq!(c.sharers(1), 3);
+        assert_eq!(c.stats().data_replies, 3);
+        assert_eq!(c.stats().invalidations, 0);
+    }
+
+    #[test]
+    fn re_read_by_sharer_is_cheap() {
+        let mut c = GlobalCoherence::new(2);
+        c.read(NodeId(0), 1);
+        let before = c.stats().data_replies;
+        c.read(NodeId(0), 1);
+        assert_eq!(c.stats().data_replies, before);
+    }
+
+    #[test]
+    fn write_invalidates_all_sharers() {
+        let mut c = GlobalCoherence::new(8);
+        for n in 0..8 {
+            c.read(NodeId(n), 7);
+        }
+        c.write(NodeId(3), 7);
+        assert_eq!(c.stats().invalidations, 7);
+        assert_eq!(c.stats().acks, 7);
+        assert_eq!(c.sharers(7), 1);
+    }
+
+    #[test]
+    fn exclusive_transfer_forwards() {
+        let mut c = GlobalCoherence::new(4);
+        c.write(NodeId(0), 9);
+        c.write(NodeId(1), 9);
+        assert_eq!(c.stats().forwards, 1);
+        assert_eq!(c.stats().invalidations, 1);
+        // silent upgrade by the owner
+        let total = c.stats().total_messages();
+        c.write(NodeId(1), 9);
+        assert_eq!(c.stats().total_messages(), total + 1); // just the request
+    }
+
+    #[test]
+    fn read_downgrades_exclusive() {
+        let mut c = GlobalCoherence::new(4);
+        c.write(NodeId(0), 5);
+        c.read(NodeId(2), 5);
+        assert_eq!(c.sharers(5), 2);
+        assert_eq!(c.stats().forwards, 1);
+    }
+
+    #[test]
+    fn evictions_clean_up() {
+        let mut c = GlobalCoherence::new(4);
+        c.read(NodeId(0), 2);
+        c.read(NodeId(1), 2);
+        c.evict(NodeId(0), 2);
+        assert_eq!(c.sharers(2), 1);
+        c.evict(NodeId(1), 2);
+        assert_eq!(c.sharers(2), 0);
+        // exclusive eviction counts a write-back request
+        c.write(NodeId(0), 3);
+        let before = c.stats().requests;
+        c.evict(NodeId(0), 3);
+        assert_eq!(c.stats().requests, before + 1);
+    }
+
+    #[test]
+    fn invalidation_traffic_grows_with_sharers() {
+        // The scaling argument: writes to widely-shared lines cost O(n).
+        let mut msgs = Vec::new();
+        for &n in &[2usize, 8, 32, 128] {
+            let mut c = GlobalCoherence::new(n);
+            for i in 0..n {
+                c.read(NodeId(i), 1);
+            }
+            let before = c.stats().total_messages();
+            c.write(NodeId(0), 1);
+            msgs.push(c.stats().total_messages() - before);
+        }
+        assert!(msgs.windows(2).all(|w| w[1] > w[0]));
+        // O(n): 128 sharers cost ~64x the 2-sharer case
+        assert!(msgs[3] > msgs[0] * 32);
+    }
+}

@@ -1,0 +1,112 @@
+//! DRAM latency and energy.
+//!
+//! Each ECOSCALE Worker has its own off-chip DRAM (Fig. 4). This model is
+//! deliberately first-order: a fixed access latency plus a bandwidth term,
+//! and a per-bit access energy in the range published for LPDDR4-class
+//! parts (~15–25 pJ/bit including I/O).
+
+use ecoscale_sim::{Duration, Energy};
+
+/// A Worker's DRAM channel.
+///
+/// # Example
+///
+/// ```
+/// use ecoscale_mem::DramModel;
+///
+/// let dram = DramModel::lpddr4_default();
+/// let (lat, energy) = dram.access(64);
+/// assert!(lat.as_ns_f64() > 50.0);
+/// assert!(energy.as_pj() > 0.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DramModel {
+    /// Fixed access latency (activation + CAS).
+    pub latency: Duration,
+    /// Sustained channel bandwidth, bytes/s.
+    pub bandwidth: u64,
+    /// Energy per byte accessed.
+    pub energy_per_byte: Energy,
+    /// Fixed per-access energy (row activation amortized).
+    pub energy_per_access: Energy,
+}
+
+impl DramModel {
+    /// LPDDR4-class defaults: 70 ns latency, 12.8 GB/s, ~20 pJ/bit.
+    pub fn lpddr4_default() -> DramModel {
+        DramModel {
+            latency: Duration::from_ns(70),
+            bandwidth: 12_800_000_000,
+            energy_per_byte: Energy::from_pj(160.0), // 20 pJ/bit
+            energy_per_access: Energy::from_pj(500.0),
+        }
+    }
+
+    /// Latency and energy of one access of `bytes`.
+    pub fn access(&self, bytes: u64) -> (Duration, Energy) {
+        let mut lat = self.latency;
+        if bytes > 0 {
+            lat += Duration::from_bytes_at_bandwidth(bytes, self.bandwidth);
+        }
+        let e = self.energy_per_access + self.energy_per_byte * bytes as f64;
+        (lat, e)
+    }
+
+    /// Latency of streaming `bytes` sequentially (single activation,
+    /// bandwidth-bound).
+    pub fn stream(&self, bytes: u64) -> (Duration, Energy) {
+        let lat = if bytes == 0 {
+            Duration::ZERO
+        } else {
+            self.latency + Duration::from_bytes_at_bandwidth(bytes, self.bandwidth)
+        };
+        let e = self.energy_per_access + self.energy_per_byte * bytes as f64;
+        (lat, e)
+    }
+}
+
+impl Default for DramModel {
+    fn default() -> Self {
+        DramModel::lpddr4_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn access_latency_has_fixed_and_bandwidth_terms() {
+        let d = DramModel::lpddr4_default();
+        let (l0, _) = d.access(0);
+        let (l64, _) = d.access(64);
+        let (l4k, _) = d.access(4096);
+        assert_eq!(l0, Duration::from_ns(70));
+        assert!(l64 > l0);
+        assert!(l4k > l64);
+    }
+
+    #[test]
+    fn energy_linear_in_bytes() {
+        let d = DramModel::lpddr4_default();
+        let (_, e1) = d.access(1000);
+        let (_, e2) = d.access(2000);
+        let fixed = d.energy_per_access;
+        assert!(((e2 - fixed).as_pj() / (e1 - fixed).as_pj() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stream_zero_bytes_is_free_latency() {
+        let d = DramModel::lpddr4_default();
+        let (l, _) = d.stream(0);
+        assert_eq!(l, Duration::ZERO);
+    }
+
+    #[test]
+    fn dram_energy_dominates_onchip_for_same_bytes() {
+        // sanity: DRAM pJ/byte is far above on-chip link pJ/byte, the
+        // premise of the paper's "reduce data traffic" argument.
+        let d = DramModel::lpddr4_default();
+        assert!(d.energy_per_byte.as_pj() > 100.0);
+    }
+}

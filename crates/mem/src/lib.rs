@@ -1,0 +1,42 @@
+//! The ECOSCALE memory system: UNIMEM, caches, DRAM, the dual-stage SMMU,
+//! and the global-coherence baseline it replaces.
+//!
+//! UNIMEM (inherited from the EUROSERVER project and extended here) gives
+//! every Compute Node a **shared partitioned global address space**: any
+//! Worker can issue plain loads and stores to any address, but a given
+//! page is *cacheable at exactly one node* — its cache home. That single
+//! invariant removes the need for a global cache-coherence protocol: a
+//! remote access is simply an uncached load/store routed to the page's
+//! home, and the paper's runtime moves **tasks to data** rather than data
+//! to tasks.
+//!
+//! Modules:
+//!
+//! * [`addr`] — virtual / intermediate / physical / global address newtypes,
+//! * [`page_table`] — sparse page tables with permissions,
+//! * [`smmu`] — the dual-stage (VA→IPA→PA) system MMU with TLBs that lets
+//!   user-space and accelerators share one translation path (Fig. 4),
+//! * [`cache`] — a set-associative write-back cache model,
+//! * [`dram`] — DRAM latency/energy,
+//! * [`unimem`] — the page-ownership directory and access-path costing,
+//! * [`coherence`] — a directory-based *global* coherence baseline used to
+//!   quantify the paper's "global coherence cannot scale" claim,
+//! * [`progressive`] — progressive address translation windows \[12\] for
+//!   load/store interprocessor communication.
+
+pub mod addr;
+pub mod cache;
+pub mod coherence;
+pub mod dram;
+pub mod page_table;
+pub mod progressive;
+pub mod smmu;
+pub mod unimem;
+
+pub use addr::{GlobalAddr, Ipa, PhysAddr, VirtAddr, PAGE_SHIFT, PAGE_SIZE};
+pub use cache::{Cache, CacheAccess, CacheConfig};
+pub use coherence::{CoherenceStats, GlobalCoherence};
+pub use dram::DramModel;
+pub use page_table::{MapPageError, PagePerms, PageTable, TranslateError};
+pub use smmu::{InvocationModel, Smmu, SmmuConfig, SmmuFault};
+pub use unimem::{AccessKind, MemAccess, UnimemDirectory, UnimemSystem};

@@ -1,0 +1,234 @@
+//! Progressive address translation windows.
+//!
+//! The paper notes that "progressive address translation \[12\] can be
+//! further applied on top of UNIMEM in order to provide interprocessor
+//! communication": a process maps a *window* of its local virtual address
+//! space onto a remote node's global partition, after which ordinary
+//! loads and stores into the window become remote UNIMEM accesses —
+//! load/store generalized into communication (Katevenis \[12\]).
+
+use std::error::Error;
+use std::fmt;
+
+use ecoscale_noc::NodeId;
+
+use crate::addr::{GlobalAddr, VirtAddr};
+
+/// Error resolving a virtual address through the window set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ResolveWindowError {
+    /// No window covers the address.
+    NoWindow {
+        /// The unresolved address.
+        addr: VirtAddr,
+    },
+}
+
+impl fmt::Display for ResolveWindowError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ResolveWindowError::NoWindow { addr } => {
+                write!(f, "no remote window covers {addr}")
+            }
+        }
+    }
+}
+
+impl Error for ResolveWindowError {}
+
+/// Error installing a window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MapWindowError {
+    /// The new window overlaps an existing one.
+    Overlap {
+        /// Base of the conflicting existing window.
+        existing_base: VirtAddr,
+    },
+    /// Zero-length windows are meaningless.
+    EmptyWindow,
+}
+
+impl fmt::Display for MapWindowError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MapWindowError::Overlap { existing_base } => {
+                write!(f, "window overlaps existing window at {existing_base}")
+            }
+            MapWindowError::EmptyWindow => f.write_str("window length must be positive"),
+        }
+    }
+}
+
+impl Error for MapWindowError {}
+
+#[derive(Debug, Clone, Copy)]
+struct Window {
+    base: VirtAddr,
+    len: u64,
+    target: GlobalAddr,
+}
+
+/// A per-process set of remote windows: contiguous VA ranges aliased onto
+/// remote global partitions.
+///
+/// # Example
+///
+/// ```
+/// use ecoscale_mem::progressive::ProgressiveTranslator;
+/// use ecoscale_mem::{GlobalAddr, VirtAddr};
+/// use ecoscale_noc::NodeId;
+///
+/// let mut pt = ProgressiveTranslator::new();
+/// pt.map_window(VirtAddr(0x10000), 0x1000, GlobalAddr::new(NodeId(3), 0x8000))?;
+/// let g = pt.resolve(VirtAddr(0x10010))?;
+/// assert_eq!(g.home(), NodeId(3));
+/// assert_eq!(g.offset(), 0x8010);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ProgressiveTranslator {
+    windows: Vec<Window>,
+}
+
+impl ProgressiveTranslator {
+    /// Creates an empty window set.
+    pub fn new() -> ProgressiveTranslator {
+        ProgressiveTranslator::default()
+    }
+
+    /// Installs a window of `len` bytes at `base` targeting `target`.
+    ///
+    /// # Errors
+    ///
+    /// Rejects empty and overlapping windows.
+    pub fn map_window(
+        &mut self,
+        base: VirtAddr,
+        len: u64,
+        target: GlobalAddr,
+    ) -> Result<(), MapWindowError> {
+        if len == 0 {
+            return Err(MapWindowError::EmptyWindow);
+        }
+        for w in &self.windows {
+            let disjoint = base.0 + len <= w.base.0 || w.base.0 + w.len <= base.0;
+            if !disjoint {
+                return Err(MapWindowError::Overlap {
+                    existing_base: w.base,
+                });
+            }
+        }
+        self.windows.push(Window { base, len, target });
+        Ok(())
+    }
+
+    /// Removes the window at exactly `base`, returning whether it existed.
+    pub fn unmap_window(&mut self, base: VirtAddr) -> bool {
+        let before = self.windows.len();
+        self.windows.retain(|w| w.base != base);
+        self.windows.len() != before
+    }
+
+    /// Resolves `va` to a global address through the window set.
+    ///
+    /// # Errors
+    ///
+    /// [`ResolveWindowError::NoWindow`] if no window covers `va`.
+    pub fn resolve(&self, va: VirtAddr) -> Result<GlobalAddr, ResolveWindowError> {
+        for w in &self.windows {
+            if va.0 >= w.base.0 && va.0 < w.base.0 + w.len {
+                return Ok(w.target.add(va.0 - w.base.0));
+            }
+        }
+        Err(ResolveWindowError::NoWindow { addr: va })
+    }
+
+    /// Returns the remote node `va` targets, if any window covers it.
+    pub fn target_node(&self, va: VirtAddr) -> Option<NodeId> {
+        self.resolve(va).ok().map(|g| g.home())
+    }
+
+    /// Number of installed windows.
+    pub fn window_count(&self) -> usize {
+        self.windows.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_resolve_roundtrip() {
+        let mut pt = ProgressiveTranslator::new();
+        pt.map_window(VirtAddr(0x4000), 0x2000, GlobalAddr::new(NodeId(2), 0))
+            .unwrap();
+        assert_eq!(
+            pt.resolve(VirtAddr(0x4abc)).unwrap(),
+            GlobalAddr::new(NodeId(2), 0xabc)
+        );
+        assert_eq!(pt.target_node(VirtAddr(0x5fff)), Some(NodeId(2)));
+        assert_eq!(pt.window_count(), 1);
+    }
+
+    #[test]
+    fn outside_window_fails() {
+        let mut pt = ProgressiveTranslator::new();
+        pt.map_window(VirtAddr(0x4000), 0x1000, GlobalAddr::new(NodeId(2), 0))
+            .unwrap();
+        assert!(pt.resolve(VirtAddr(0x3fff)).is_err());
+        assert!(pt.resolve(VirtAddr(0x5000)).is_err());
+        assert_eq!(pt.target_node(VirtAddr(0x5000)), None);
+    }
+
+    #[test]
+    fn overlap_rejected() {
+        let mut pt = ProgressiveTranslator::new();
+        pt.map_window(VirtAddr(0x1000), 0x1000, GlobalAddr::new(NodeId(0), 0))
+            .unwrap();
+        let err = pt
+            .map_window(VirtAddr(0x1800), 0x1000, GlobalAddr::new(NodeId(1), 0))
+            .unwrap_err();
+        assert!(matches!(err, MapWindowError::Overlap { .. }));
+        // adjacent is fine
+        pt.map_window(VirtAddr(0x2000), 0x1000, GlobalAddr::new(NodeId(1), 0))
+            .unwrap();
+    }
+
+    #[test]
+    fn empty_window_rejected() {
+        let mut pt = ProgressiveTranslator::new();
+        assert_eq!(
+            pt.map_window(VirtAddr(0), 0, GlobalAddr::new(NodeId(0), 0)),
+            Err(MapWindowError::EmptyWindow)
+        );
+    }
+
+    #[test]
+    fn unmap_removes() {
+        let mut pt = ProgressiveTranslator::new();
+        pt.map_window(VirtAddr(0x1000), 0x1000, GlobalAddr::new(NodeId(0), 0))
+            .unwrap();
+        assert!(pt.unmap_window(VirtAddr(0x1000)));
+        assert!(!pt.unmap_window(VirtAddr(0x1000)));
+        assert!(pt.resolve(VirtAddr(0x1000)).is_err());
+    }
+
+    #[test]
+    fn multiple_windows_to_different_nodes() {
+        let mut pt = ProgressiveTranslator::new();
+        for n in 0..4u64 {
+            pt.map_window(
+                VirtAddr(0x10000 + n * 0x1000),
+                0x1000,
+                GlobalAddr::new(NodeId(n as usize), 0x8000),
+            )
+            .unwrap();
+        }
+        for n in 0..4u64 {
+            let g = pt.resolve(VirtAddr(0x10000 + n * 0x1000 + 4)).unwrap();
+            assert_eq!(g.home(), NodeId(n as usize));
+            assert_eq!(g.offset(), 0x8004);
+        }
+    }
+}

@@ -1,0 +1,258 @@
+//! Latency and energy cost models for routed messages.
+//!
+//! Each hierarchy level has its own [`LinkParams`]: low levels are on-chip
+//! (sub-ns per hop, fractions of a pJ/bit), high levels are cables between
+//! chassis (hundreds of ns, several pJ/bit). The defaults are first-order
+//! figures for the hardware class ECOSCALE targets (ARM SoC + FPGA boards
+//! in chassis); experiments only rely on the *ordering* of these costs.
+
+use ecoscale_sim::{Duration, Energy};
+
+use crate::topology::Route;
+
+/// Cost parameters for links at one hierarchy level.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkParams {
+    /// Per-hop switch + wire latency.
+    pub hop_latency: Duration,
+    /// Link bandwidth in bytes per second.
+    pub bandwidth: u64,
+    /// Energy per byte moved across the link.
+    pub energy_per_byte: Energy,
+    /// Fixed per-message energy (arbitration, header processing).
+    pub energy_per_msg: Energy,
+}
+
+impl LinkParams {
+    /// On-chip interconnect (ECOSCALE L0): ~5 ns hops, 16 GB/s,
+    /// ~0.1 pJ/bit.
+    pub fn on_chip() -> LinkParams {
+        LinkParams {
+            hop_latency: Duration::from_ns(5),
+            bandwidth: 16_000_000_000,
+            energy_per_byte: Energy::from_pj(0.8),
+            energy_per_msg: Energy::from_pj(10.0),
+        }
+    }
+
+    /// Board-level interconnect (L1): ~40 ns hops, 8 GB/s, ~1 pJ/bit.
+    pub fn on_board() -> LinkParams {
+        LinkParams {
+            hop_latency: Duration::from_ns(40),
+            bandwidth: 8_000_000_000,
+            energy_per_byte: Energy::from_pj(8.0),
+            energy_per_msg: Energy::from_pj(100.0),
+        }
+    }
+
+    /// Chassis-level links (L2): ~200 ns hops, 4 GB/s, ~4 pJ/bit.
+    pub fn in_chassis() -> LinkParams {
+        LinkParams {
+            hop_latency: Duration::from_ns(200),
+            bandwidth: 4_000_000_000,
+            energy_per_byte: Energy::from_pj(32.0),
+            energy_per_msg: Energy::from_pj(400.0),
+        }
+    }
+
+    /// Cabinet/inter-chassis cables (L3+): ~500 ns hops, 2 GB/s,
+    /// ~10 pJ/bit.
+    pub fn between_chassis() -> LinkParams {
+        LinkParams {
+            hop_latency: Duration::from_ns(500),
+            bandwidth: 2_000_000_000,
+            energy_per_byte: Energy::from_pj(80.0),
+            energy_per_msg: Energy::from_pj(1_000.0),
+        }
+    }
+}
+
+/// Maps routes and payload sizes to latency and energy.
+///
+/// Level `i` of a route is costed with `params[min(i, params.len()-1)]`,
+/// so a model with fewer levels than the topology degrades gracefully.
+///
+/// # Example
+///
+/// ```
+/// use ecoscale_noc::{CostModel, NodeId, Topology, TreeTopology};
+///
+/// let topo = TreeTopology::new(&[4, 4]);
+/// let cost = CostModel::ecoscale_defaults();
+/// let near = cost.latency(&topo.route(NodeId(0), NodeId(1)), 64);
+/// let far = cost.latency(&topo.route(NodeId(0), NodeId(15)), 64);
+/// assert!(far > near);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CostModel {
+    params: Vec<LinkParams>,
+}
+
+impl CostModel {
+    /// Builds a model from per-level parameters (level 0 first).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params` is empty.
+    pub fn new(params: Vec<LinkParams>) -> CostModel {
+        assert!(!params.is_empty(), "cost model needs at least one level");
+        CostModel { params }
+    }
+
+    /// The default ECOSCALE ladder: on-chip, board, chassis, cables.
+    pub fn ecoscale_defaults() -> CostModel {
+        CostModel::new(vec![
+            LinkParams::on_chip(),
+            LinkParams::on_board(),
+            LinkParams::in_chassis(),
+            LinkParams::between_chassis(),
+        ])
+    }
+
+    /// A uniform model that charges every level the same (used by flat
+    /// baselines so comparisons isolate topology effects).
+    pub fn uniform(p: LinkParams) -> CostModel {
+        CostModel::new(vec![p])
+    }
+
+    /// Parameters for hierarchy level `level`.
+    pub fn level_params(&self, level: u8) -> &LinkParams {
+        &self.params[(level as usize).min(self.params.len() - 1)]
+    }
+
+    /// Number of configured levels.
+    pub fn levels(&self) -> usize {
+        self.params.len()
+    }
+
+    /// End-to-end latency of `bytes` along `route`, assuming wormhole
+    /// routing: per-hop header latency on every hop plus serialization at
+    /// the *slowest* link on the path.
+    pub fn latency(&self, route: &Route, bytes: u64) -> Duration {
+        if route.is_local() {
+            return Duration::ZERO;
+        }
+        let mut lat = Duration::ZERO;
+        let mut min_bw = u64::MAX;
+        for hop in route.iter() {
+            let p = self.level_params(hop.level);
+            lat += p.hop_latency;
+            min_bw = min_bw.min(p.bandwidth);
+        }
+        if bytes > 0 {
+            lat += Duration::from_bytes_at_bandwidth(bytes, min_bw);
+        }
+        lat
+    }
+
+    /// Total energy of moving `bytes` along `route`.
+    pub fn energy(&self, route: &Route, bytes: u64) -> Energy {
+        let mut e = Energy::ZERO;
+        for hop in route.iter() {
+            let p = self.level_params(hop.level);
+            e += p.energy_per_msg;
+            e += p.energy_per_byte * bytes as f64;
+        }
+        e
+    }
+
+    /// Serialization time of `bytes` at the bottleneck bandwidth of
+    /// `route` (zero for a local route).
+    pub fn serialization(&self, route: &Route, bytes: u64) -> Duration {
+        if route.is_local() || bytes == 0 {
+            return Duration::ZERO;
+        }
+        let min_bw = route
+            .iter()
+            .map(|h| self.level_params(h.level).bandwidth)
+            .min()
+            .expect("non-local route has hops");
+        Duration::from_bytes_at_bandwidth(bytes, min_bw)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::{CrossbarTopology, NodeId, Topology, TreeTopology};
+
+    #[test]
+    fn default_ladder_is_monotone() {
+        let m = CostModel::ecoscale_defaults();
+        assert_eq!(m.levels(), 4);
+        for lvl in 0..3u8 {
+            let lo = m.level_params(lvl);
+            let hi = m.level_params(lvl + 1);
+            assert!(hi.hop_latency > lo.hop_latency);
+            assert!(hi.bandwidth < lo.bandwidth);
+            assert!(hi.energy_per_byte > lo.energy_per_byte);
+        }
+    }
+
+    #[test]
+    fn level_params_clamps_beyond_configured() {
+        let m = CostModel::new(vec![LinkParams::on_chip(), LinkParams::on_board()]);
+        assert_eq!(m.level_params(7), m.level_params(1));
+    }
+
+    #[test]
+    fn local_route_is_free() {
+        let m = CostModel::ecoscale_defaults();
+        let t = TreeTopology::new(&[4]);
+        let r = t.route(NodeId(2), NodeId(2));
+        assert_eq!(m.latency(&r, 4096), Duration::ZERO);
+        assert_eq!(m.energy(&r, 4096), Energy::ZERO);
+        assert_eq!(m.serialization(&r, 4096), Duration::ZERO);
+    }
+
+    #[test]
+    fn farther_routes_cost_more() {
+        let m = CostModel::ecoscale_defaults();
+        let t = TreeTopology::new(&[4, 4, 4]);
+        let near = t.route(NodeId(0), NodeId(1));
+        let mid = t.route(NodeId(0), NodeId(5));
+        let far = t.route(NodeId(0), NodeId(63));
+        for bytes in [0u64, 64, 4096, 1 << 20] {
+            assert!(m.latency(&near, bytes) < m.latency(&mid, bytes));
+            assert!(m.latency(&mid, bytes) < m.latency(&far, bytes));
+        }
+        assert!(m.energy(&near, 64) < m.energy(&far, 64));
+    }
+
+    #[test]
+    fn latency_known_value() {
+        // 2 on-chip hops, 64 bytes at 16 GB/s: 2*5ns + 64/16e9 s = 10ns + 4ns
+        let m = CostModel::uniform(LinkParams::on_chip());
+        let x = CrossbarTopology::new(4);
+        let r = x.route(NodeId(0), NodeId(1));
+        let lat = m.latency(&r, 64);
+        assert_eq!(lat, Duration::from_ns(14));
+    }
+
+    #[test]
+    fn energy_scales_linearly_in_bytes() {
+        let m = CostModel::ecoscale_defaults();
+        let t = TreeTopology::new(&[4, 4]);
+        let r = t.route(NodeId(0), NodeId(15));
+        let e1 = m.energy(&r, 1000);
+        let e2 = m.energy(&r, 2000);
+        let fixed = m.energy(&r, 0);
+        assert!(((e2 - fixed).as_pj() / (e1 - fixed).as_pj() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn serialization_uses_bottleneck() {
+        let m = CostModel::ecoscale_defaults();
+        let t = TreeTopology::new(&[2, 2, 2, 2]);
+        let far = t.route(NodeId(0), NodeId(15));
+        // bottleneck is the highest level traversed (level 3 -> 2 GB/s)
+        let s = m.serialization(&far, 2_000_000);
+        assert_eq!(s, Duration::from_ms(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one level")]
+    fn empty_model_rejected() {
+        CostModel::new(vec![]);
+    }
+}

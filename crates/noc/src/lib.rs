@@ -1,0 +1,35 @@
+//! Hierarchical multi-layer interconnect models for the ECOSCALE
+//! reproduction.
+//!
+//! ECOSCALE interconnects its Workers "in a tree-like fashion" (Fig. 1 and
+//! Fig. 3 of the paper): an L0 interconnect inside each Worker group, L1
+//! between groups, and so on up through boards, chassis and cabinets. The
+//! paper argues that hierarchical partitioning bounds the maximum
+//! communication distance (5 hops for petascale, 6–7 for exascale) and that
+//! locality-aware placement keeps most traffic on the cheap low levels.
+//!
+//! This crate provides:
+//!
+//! * [`Topology`] — a trait computing the [`Route`] between two endpoint
+//!   [`NodeId`]s, with implementations:
+//!   [`TreeTopology`] (the ECOSCALE hierarchy), [`CrossbarTopology`] (the
+//!   flat baseline), [`Mesh2d`] and [`Dragonfly`] (the application
+//!   partitioning topologies the paper cites \[2\]),
+//! * [`CostModel`] — per-level latency/bandwidth/energy parameters turning
+//!   a route plus a payload size into [`Duration`](ecoscale_sim::Duration)
+//!   and [`Energy`](ecoscale_sim::Energy),
+//! * [`Network`] — an event-driven network with per-link FIFO contention,
+//! * [`TrafficStats`] — bytes/messages per level, hop histograms.
+
+pub mod cost;
+pub mod network;
+pub mod topology;
+pub mod traffic;
+
+pub use cost::{CostModel, LinkParams};
+pub use network::{Delivery, Network, NetworkConfig};
+pub use topology::{
+    CrossbarTopology, Dragonfly, FatTreeTopology, LinkId, Mesh2d, NodeId, Route, Topology,
+    TreeTopology,
+};
+pub use traffic::TrafficStats;

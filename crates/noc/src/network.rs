@@ -1,0 +1,270 @@
+//! An event-driven network with per-link FIFO contention.
+//!
+//! [`Network`] wraps a [`Topology`] plus a [`CostModel`] and tracks when
+//! each link becomes free. Transfers submitted in time order contend for
+//! links: a message arriving at a busy link waits for the earlier message
+//! to drain. Two forwarding disciplines are modelled:
+//!
+//! * **store-and-forward** — each link serializes the full payload before
+//!   the next hop begins (conservative, used by default), and
+//! * **virtual cut-through** — serialization is charged once at the
+//!   bottleneck link and other links are held only for the header time.
+
+use std::collections::HashMap;
+
+use ecoscale_sim::{Duration, Energy, Time};
+
+use crate::cost::CostModel;
+use crate::topology::{LinkId, NodeId, Route, Topology};
+use crate::traffic::TrafficStats;
+
+/// Configuration for a [`Network`].
+#[derive(Debug, Clone)]
+pub struct NetworkConfig {
+    /// Per-level latency/bandwidth/energy parameters.
+    pub cost: CostModel,
+    /// `true` for virtual cut-through; `false` for store-and-forward.
+    pub cut_through: bool,
+}
+
+impl Default for NetworkConfig {
+    fn default() -> Self {
+        NetworkConfig {
+            cost: CostModel::ecoscale_defaults(),
+            cut_through: false,
+        }
+    }
+}
+
+/// The outcome of one message transfer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Delivery {
+    /// When the last byte arrives at the destination.
+    pub arrival: Time,
+    /// Interconnect energy charged to this message.
+    pub energy: Energy,
+    /// Hops traversed.
+    pub hops: u32,
+    /// Time spent queueing behind other traffic (contention).
+    pub queueing: Duration,
+}
+
+/// A contention-aware network instance.
+///
+/// # Example
+///
+/// ```
+/// use ecoscale_noc::{Network, NetworkConfig, NodeId, TreeTopology};
+/// use ecoscale_sim::Time;
+///
+/// let mut net = Network::new(TreeTopology::new(&[4, 4]), NetworkConfig::default());
+/// let d1 = net.transfer(Time::ZERO, NodeId(0), NodeId(5), 4096);
+/// let d2 = net.transfer(Time::ZERO, NodeId(1), NodeId(5), 4096);
+/// // the second message shares links with the first and queues behind it
+/// assert!(d2.arrival >= d1.arrival || d2.queueing.is_zero());
+/// ```
+#[derive(Debug)]
+pub struct Network<T: Topology> {
+    topo: T,
+    config: NetworkConfig,
+    link_free_at: HashMap<LinkId, Time>,
+    stats: TrafficStats,
+}
+
+impl<T: Topology> Network<T> {
+    /// Creates a network over `topo` with `config`.
+    pub fn new(topo: T, config: NetworkConfig) -> Network<T> {
+        Network {
+            topo,
+            config,
+            link_free_at: HashMap::new(),
+            stats: TrafficStats::new(),
+        }
+    }
+
+    /// The underlying topology.
+    pub fn topology(&self) -> &T {
+        &self.topo
+    }
+
+    /// The cost model in use.
+    pub fn cost(&self) -> &CostModel {
+        &self.config.cost
+    }
+
+    /// Accumulated traffic statistics.
+    pub fn stats(&self) -> &TrafficStats {
+        &self.stats
+    }
+
+    /// Contention-free latency quote for `bytes` from `src` to `dst`.
+    pub fn quote(&self, src: NodeId, dst: NodeId, bytes: u64) -> Duration {
+        let route = self.topo.route(src, dst);
+        self.config.cost.latency(&route, bytes)
+    }
+
+    /// Submits a transfer of `bytes` from `src` to `dst` starting at
+    /// `start`, updating link occupancy and traffic statistics.
+    ///
+    /// Transfers should be submitted in non-decreasing `start` order for
+    /// the contention model to be meaningful; out-of-order submissions are
+    /// allowed but see the link in its latest known state.
+    pub fn transfer(&mut self, start: Time, src: NodeId, dst: NodeId, bytes: u64) -> Delivery {
+        let route = self.topo.route(src, dst);
+        self.stats.record(&route, bytes, &self.config.cost);
+        if route.is_local() {
+            return Delivery {
+                arrival: start,
+                energy: Energy::ZERO,
+                hops: 0,
+                queueing: Duration::ZERO,
+            };
+        }
+        let energy = self.config.cost.energy(&route, bytes);
+        let mut cursor = start;
+        let mut queueing = Duration::ZERO;
+        if self.config.cut_through {
+            // Hold every link for the header; serialize once at the
+            // bottleneck.
+            let mut min_bw = u64::MAX;
+            for hop in route.iter() {
+                let p = *self.config.cost.level_params(hop.level);
+                let free = self.link_free_at.get(&hop.link).copied().unwrap_or(Time::ZERO);
+                if free > cursor {
+                    queueing += free - cursor;
+                    cursor = free;
+                }
+                cursor += p.hop_latency;
+                self.link_free_at.insert(hop.link, cursor);
+                min_bw = min_bw.min(p.bandwidth);
+            }
+            if bytes > 0 {
+                cursor += Duration::from_bytes_at_bandwidth(bytes, min_bw);
+            }
+        } else {
+            // Store-and-forward: each link serializes the whole payload.
+            for hop in route.iter() {
+                let p = *self.config.cost.level_params(hop.level);
+                let free = self.link_free_at.get(&hop.link).copied().unwrap_or(Time::ZERO);
+                if free > cursor {
+                    queueing += free - cursor;
+                    cursor = free;
+                }
+                cursor += p.hop_latency;
+                if bytes > 0 {
+                    cursor += Duration::from_bytes_at_bandwidth(bytes, p.bandwidth);
+                }
+                self.link_free_at.insert(hop.link, cursor);
+            }
+        }
+        Delivery {
+            arrival: cursor,
+            energy,
+            hops: route.hop_count(),
+            queueing,
+        }
+    }
+
+    /// Route lookup passthrough.
+    pub fn route(&self, src: NodeId, dst: NodeId) -> Route {
+        self.topo.route(src, dst)
+    }
+
+    /// Clears link occupancy and statistics.
+    pub fn reset(&mut self) {
+        self.link_free_at.clear();
+        self.stats = TrafficStats::new();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::{CrossbarTopology, TreeTopology};
+
+    fn net(cut_through: bool) -> Network<TreeTopology> {
+        Network::new(
+            TreeTopology::new(&[4, 4]),
+            NetworkConfig {
+                cost: CostModel::ecoscale_defaults(),
+                cut_through,
+            },
+        )
+    }
+
+    #[test]
+    fn local_transfer_is_instant_and_free() {
+        let mut n = net(false);
+        let d = n.transfer(Time::from_ns(100), NodeId(3), NodeId(3), 1 << 20);
+        assert_eq!(d.arrival, Time::from_ns(100));
+        assert_eq!(d.energy, Energy::ZERO);
+        assert_eq!(d.hops, 0);
+    }
+
+    #[test]
+    fn uncontended_matches_quote_in_cut_through() {
+        let mut n = net(true);
+        let quote = n.quote(NodeId(0), NodeId(5), 4096);
+        let d = n.transfer(Time::ZERO, NodeId(0), NodeId(5), 4096);
+        assert_eq!(d.arrival, Time::ZERO + quote);
+        assert_eq!(d.queueing, Duration::ZERO);
+    }
+
+    #[test]
+    fn store_and_forward_slower_than_cut_through() {
+        let mut sf = net(false);
+        let mut ct = net(true);
+        let a = sf.transfer(Time::ZERO, NodeId(0), NodeId(15), 1 << 16);
+        let b = ct.transfer(Time::ZERO, NodeId(0), NodeId(15), 1 << 16);
+        assert!(a.arrival > b.arrival);
+    }
+
+    #[test]
+    fn contention_queues_second_message() {
+        let mut n = net(false);
+        let first = n.transfer(Time::ZERO, NodeId(0), NodeId(15), 1 << 20);
+        // same source, same links
+        let second = n.transfer(Time::ZERO, NodeId(0), NodeId(15), 1 << 20);
+        assert!(second.queueing > Duration::ZERO);
+        assert!(second.arrival > first.arrival);
+    }
+
+    #[test]
+    fn disjoint_routes_do_not_contend() {
+        let mut n = net(false);
+        let a = n.transfer(Time::ZERO, NodeId(0), NodeId(1), 4096);
+        let b = n.transfer(Time::ZERO, NodeId(8), NodeId(9), 4096);
+        assert_eq!(a.queueing, Duration::ZERO);
+        assert_eq!(b.queueing, Duration::ZERO);
+        assert_eq!(a.arrival, b.arrival);
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut n = net(false);
+        n.transfer(Time::ZERO, NodeId(0), NodeId(1), 100);
+        n.transfer(Time::ZERO, NodeId(0), NodeId(15), 100);
+        assert_eq!(n.stats().messages(), 2);
+        assert!(n.stats().energy().as_pj() > 0.0);
+        n.reset();
+        assert_eq!(n.stats().messages(), 0);
+    }
+
+    #[test]
+    fn crossbar_network_works_too() {
+        let mut n = Network::new(CrossbarTopology::new(8), NetworkConfig::default());
+        let d = n.transfer(Time::ZERO, NodeId(0), NodeId(7), 64);
+        assert_eq!(d.hops, 2);
+        assert!(d.arrival > Time::ZERO);
+    }
+
+    #[test]
+    fn later_start_sees_free_links() {
+        let mut n = net(false);
+        let first = n.transfer(Time::ZERO, NodeId(0), NodeId(15), 1 << 20);
+        // start well after the first drains: no queueing
+        let late = first.arrival + Duration::from_ms(1);
+        let second = n.transfer(late, NodeId(0), NodeId(15), 1 << 20);
+        assert_eq!(second.queueing, Duration::ZERO);
+    }
+}

@@ -1,0 +1,437 @@
+//! The runtime reconfiguration daemon and device selector.
+//!
+//! §4.2: "The runtime scheduler/daemon will read periodically the system
+//! status and the History file in order to decide at runtime what
+//! functions should be loaded on the reconfiguration block." The daemon
+//! ranks functions by predicted benefit — calls × (software time −
+//! hardware time) against the reconfiguration cost — and (un)loads
+//! modules on a Worker's floorplan accordingly. The
+//! [`ReconfigDaemon::select_device`] half answers the per-call question:
+//! CPU, local accelerator, or a remote Worker's accelerator (UNILOGIC).
+
+use std::collections::HashMap;
+
+use ecoscale_fpga::{CompressionAlgo, Floorplanner, ModuleId, PlaceError, ReconfigPort, ReconfigStats, SlotId};
+use ecoscale_hls::ModuleLibrary;
+use ecoscale_sim::{Duration, Time};
+
+use crate::device::DeviceClass;
+use crate::history::ExecutionHistory;
+use crate::model::predict_time;
+
+/// Daemon tuning.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DaemonConfig {
+    /// How often the daemon re-evaluates the loadout.
+    pub period: Duration,
+    /// A function must out-benefit the reconfiguration cost by this
+    /// factor before the daemon loads it.
+    pub benefit_margin: f64,
+    /// Bitstream storage compression.
+    pub compression: CompressionAlgo,
+    /// Estimated latency penalty factor for calling a *remote* module
+    /// (cache disabled over the UNILOGIC path).
+    pub remote_penalty: f64,
+}
+
+impl Default for DaemonConfig {
+    fn default() -> Self {
+        DaemonConfig {
+            period: Duration::from_ms(10),
+            benefit_margin: 1.5,
+            compression: CompressionAlgo::Lz,
+            remote_penalty: 3.0,
+        }
+    }
+}
+
+/// The per-Worker daemon: owns the floorplan of one reconfigurable block.
+#[derive(Debug)]
+pub struct ReconfigDaemon {
+    config: DaemonConfig,
+    port: ReconfigPort,
+    floorplan: Floorplanner,
+    loaded: HashMap<ModuleId, SlotId>,
+    stats: ReconfigStats,
+    last_eval: Time,
+}
+
+impl ReconfigDaemon {
+    /// Creates a daemon over an (empty) floorplan.
+    pub fn new(config: DaemonConfig, floorplan: Floorplanner) -> ReconfigDaemon {
+        ReconfigDaemon {
+            config,
+            port: ReconfigPort::default(),
+            floorplan,
+            loaded: HashMap::new(),
+            stats: ReconfigStats::default(),
+            last_eval: Time::ZERO,
+        }
+    }
+
+    /// Currently loaded modules.
+    pub fn loaded(&self) -> impl Iterator<Item = ModuleId> + '_ {
+        self.loaded.keys().copied()
+    }
+
+    /// Returns `true` if `module` is resident.
+    pub fn is_loaded(&self, module: ModuleId) -> bool {
+        self.loaded.contains_key(&module)
+    }
+
+    /// Reconfiguration activity so far.
+    pub fn stats(&self) -> ReconfigStats {
+        self.stats
+    }
+
+    /// The floorplan (for fragmentation metrics).
+    pub fn floorplan(&self) -> &Floorplanner {
+        &self.floorplan
+    }
+
+    /// Explicitly loads `module` from `library`, defragmenting on
+    /// fragmentation failure. Returns the reconfiguration latency, or
+    /// `None` if the module can never fit.
+    pub fn load(&mut self, library: &ModuleLibrary, module: ModuleId) -> Option<Duration> {
+        if self.loaded.contains_key(&module) {
+            return Some(Duration::ZERO);
+        }
+        let entry = library.by_id(module)?;
+        let need = entry.module.resources();
+        let slot = match self.floorplan.place(module, need) {
+            Ok(s) => s,
+            Err(PlaceError::Fragmented { .. }) => {
+                // §4.3 middleware: defragment, migrating live modules.
+                let migrations = self.floorplan.defragment();
+                for (slot, _, _) in &migrations {
+                    // each migration is one partial reconfiguration of the
+                    // module occupying that slot
+                    let mid = self.floorplan.placement(*slot).map(|p| p.module);
+                    if let Some(mid) = mid {
+                        if let Some(e) = library.by_id(mid) {
+                            self.port
+                                .load(e.module.bitstream(), self.config.compression, &mut self.stats);
+                        }
+                    }
+                }
+                self.floorplan.place(module, need).ok()?
+            }
+            Err(PlaceError::TooLarge) => return None,
+        };
+        self.loaded.insert(module, slot);
+        let lat = self
+            .port
+            .load(entry.module.bitstream(), self.config.compression, &mut self.stats);
+        Some(lat)
+    }
+
+    /// Unloads `module`, freeing its slot.
+    pub fn unload(&mut self, module: ModuleId) -> bool {
+        match self.loaded.remove(&module) {
+            Some(slot) => self.floorplan.remove(slot),
+            None => false,
+        }
+    }
+
+    /// Benefit of having `function` in hardware: recorded calls times the
+    /// measured software–hardware gap (`None` if software was never
+    /// measured or hardware would not help).
+    fn benefit(
+        &self,
+        history: &ExecutionHistory,
+        library: &ModuleLibrary,
+        function: &str,
+    ) -> Option<f64> {
+        let entry = library.get(function)?;
+        let t_sw = history.mean_time(function, DeviceClass::Cpu)?;
+        let t_hw = history
+            .mean_time(function, DeviceClass::FpgaLocal)
+            .unwrap_or_else(|| entry.module.single_latency());
+        if t_sw <= t_hw {
+            return None;
+        }
+        Some(history.call_count(function) as f64 * (t_sw.as_ns_f64() - t_hw.as_ns_f64()))
+    }
+
+    /// Periodic evaluation: examines the history's hottest functions and
+    /// loads the most beneficial modules, evicting lower-benefit resident
+    /// modules when the fabric is full. Returns the modules (newly)
+    /// loaded this round.
+    pub fn evaluate(
+        &mut self,
+        now: Time,
+        history: &ExecutionHistory,
+        library: &ModuleLibrary,
+    ) -> Vec<ModuleId> {
+        if now.saturating_since(self.last_eval) < self.config.period && self.last_eval > Time::ZERO
+        {
+            return Vec::new();
+        }
+        self.last_eval = now;
+        let mut newly = Vec::new();
+        // Benefit of every synthesizable function (resident or not).
+        let mut benefit_of: HashMap<ModuleId, f64> = HashMap::new();
+        let mut ranked: Vec<(ModuleId, f64)> = Vec::new();
+        for (function, _) in history.hottest_functions() {
+            let Some(entry) = library.get(&function) else {
+                continue;
+            };
+            let Some(benefit) = self.benefit(history, library, &function) else {
+                continue;
+            };
+            benefit_of.insert(entry.module.id(), benefit);
+            let (reconfig_cost, _) = self
+                .port
+                .load_cost(entry.module.bitstream(), self.config.compression);
+            if benefit > reconfig_cost.as_ns_f64() * self.config.benefit_margin {
+                ranked.push((entry.module.id(), benefit));
+            }
+        }
+        ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("benefits are finite"));
+        for (module, benefit) in ranked {
+            if self.is_loaded(module) {
+                continue;
+            }
+            if self.load(library, module).is_some() {
+                newly.push(module);
+                continue;
+            }
+            // fabric full: evict strictly-lower-benefit residents, lowest
+            // first, until the candidate fits or nothing cheap remains
+            let mut residents: Vec<(ModuleId, f64)> = self
+                .loaded()
+                .map(|m| (m, benefit_of.get(&m).copied().unwrap_or(0.0)))
+                .collect();
+            residents.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("benefits are finite"));
+            for (victim, victim_benefit) in residents {
+                if victim_benefit >= benefit {
+                    break;
+                }
+                self.unload(victim);
+                if self.load(library, module).is_some() {
+                    newly.push(module);
+                    break;
+                }
+            }
+        }
+        newly
+    }
+
+    /// Chooses the device for one call of `function` with `features`,
+    /// given whether a local/remote instance of the module is resident.
+    ///
+    /// With history on both devices, predicted times decide; without, the
+    /// call runs on the CPU (measurement-first policy, so the history
+    /// fills in).
+    pub fn select_device(
+        &self,
+        history: &ExecutionHistory,
+        function: &str,
+        features: &[f64],
+        local_loaded: bool,
+        remote_loaded: bool,
+    ) -> DeviceClass {
+        let t_cpu = predict_time(history, function, DeviceClass::Cpu, features);
+        let t_hw = predict_time(history, function, DeviceClass::FpgaLocal, features);
+        match (t_cpu, t_hw) {
+            (Some(cpu), Some(hw)) => {
+                let local = if local_loaded { Some(hw) } else { None };
+                let remote = if remote_loaded {
+                    Some(hw.mul_f64(self.config.remote_penalty))
+                } else {
+                    None
+                };
+                let mut best = (DeviceClass::Cpu, cpu);
+                if let Some(l) = local {
+                    if l < best.1 {
+                        best = (DeviceClass::FpgaLocal, l);
+                    }
+                }
+                if let Some(r) = remote {
+                    if r < best.1 {
+                        best = (DeviceClass::FpgaRemote, r);
+                    }
+                }
+                best.0
+            }
+            (None, _) => DeviceClass::Cpu, // measure software first
+            (Some(_), None) => {
+                if local_loaded {
+                    DeviceClass::FpgaLocal // measure hardware once loaded
+                } else {
+                    DeviceClass::Cpu
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ecoscale_fpga::{Fabric, Resources};
+    use ecoscale_hls::parse_kernel;
+    use ecoscale_sim::Energy;
+
+    fn library() -> ModuleLibrary {
+        let k1 = parse_kernel(
+            "kernel hot(in float a[], out float b[], int n) {
+                 for (i in 0 .. n) { b[i] = a[i] * 2.0 + 1.0; }
+             }",
+        )
+        .unwrap();
+        let k2 = parse_kernel(
+            "kernel cold(in float a[], out float b[], int n) {
+                 for (i in 0 .. n) { b[i] = a[i] + 1.0; }
+             }",
+        )
+        .unwrap();
+        let hints = HashMap::from([("n".to_owned(), 4096.0)]);
+        ModuleLibrary::synthesize(
+            &[(k1, hints.clone()), (k2, hints)],
+            Resources::new(4000, 64, 64),
+        )
+        .unwrap()
+    }
+
+    fn daemon() -> ReconfigDaemon {
+        ReconfigDaemon::new(
+            DaemonConfig::default(),
+            Floorplanner::new(Fabric::zynq_like(60, 80)),
+        )
+    }
+
+    #[test]
+    fn explicit_load_unload() {
+        let lib = library();
+        let mut d = daemon();
+        let id = lib.get("hot").unwrap().module.id();
+        let lat = d.load(&lib, id).unwrap();
+        assert!(lat > Duration::ZERO);
+        assert!(d.is_loaded(id));
+        assert_eq!(d.load(&lib, id), Some(Duration::ZERO)); // already resident
+        assert!(d.unload(id));
+        assert!(!d.unload(id));
+        assert_eq!(d.stats().loads, 1);
+    }
+
+    #[test]
+    fn evaluate_loads_hot_beneficial_function() {
+        let lib = library();
+        let mut d = daemon();
+        let mut h = ExecutionHistory::new(64);
+        // hot: many slow CPU calls
+        for _ in 0..5000 {
+            h.record("hot", DeviceClass::Cpu, vec![4096.0], Duration::from_ms(5), Energy::ZERO);
+        }
+        // cold: one call
+        h.record("cold", DeviceClass::Cpu, vec![4096.0], Duration::from_us(5), Energy::ZERO);
+        let loaded = d.evaluate(Time::from_ms(100), &h, &lib);
+        let hot_id = lib.get("hot").unwrap().module.id();
+        assert!(loaded.contains(&hot_id));
+        let cold_id = lib.get("cold").unwrap().module.id();
+        assert!(!loaded.contains(&cold_id), "cold function must not be loaded");
+    }
+
+    #[test]
+    fn evaluate_respects_period() {
+        let lib = library();
+        let mut d = daemon();
+        let mut h = ExecutionHistory::new(64);
+        for _ in 0..5000 {
+            h.record("hot", DeviceClass::Cpu, vec![4096.0], Duration::from_ms(5), Energy::ZERO);
+        }
+        let first = d.evaluate(Time::from_ms(50), &h, &lib);
+        assert!(!first.is_empty());
+        // 1 us later: inside the period, no re-evaluation
+        let second = d.evaluate(Time::from_ms(50) + Duration::from_us(1), &h, &lib);
+        assert!(second.is_empty());
+    }
+
+    #[test]
+    fn no_benefit_no_load() {
+        let lib = library();
+        let mut d = daemon();
+        let mut h = ExecutionHistory::new(64);
+        // CPU is already fast: microsecond calls, few of them
+        for _ in 0..3 {
+            h.record("hot", DeviceClass::Cpu, vec![16.0], Duration::from_us(1), Energy::ZERO);
+        }
+        let loaded = d.evaluate(Time::from_ms(100), &h, &lib);
+        assert!(loaded.is_empty());
+    }
+
+    #[test]
+    fn select_device_prefers_measured_winner() {
+        let lib = library();
+        let d = daemon();
+        let _ = &lib;
+        let mut h = ExecutionHistory::new(64);
+        for i in 1..=10u64 {
+            h.record("f", DeviceClass::Cpu, vec![i as f64], Duration::from_us(10 * i), Energy::ZERO);
+            h.record("f", DeviceClass::FpgaLocal, vec![i as f64], Duration::from_us(i), Energy::ZERO);
+        }
+        assert_eq!(
+            d.select_device(&h, "f", &[5.0], true, false),
+            DeviceClass::FpgaLocal
+        );
+        // not loaded locally but loaded remotely: remote wins only if the
+        // penalty keeps it under CPU (10x gap vs 3x penalty -> remote wins)
+        assert_eq!(
+            d.select_device(&h, "f", &[5.0], false, true),
+            DeviceClass::FpgaRemote
+        );
+        // nothing loaded: CPU
+        assert_eq!(
+            d.select_device(&h, "f", &[5.0], false, false),
+            DeviceClass::Cpu
+        );
+    }
+
+    #[test]
+    fn select_device_measures_first() {
+        let d = daemon();
+        let h = ExecutionHistory::new(64);
+        assert_eq!(
+            d.select_device(&h, "new_fn", &[1.0], true, true),
+            DeviceClass::Cpu
+        );
+    }
+
+    #[test]
+    fn load_defragments_when_needed() {
+        // small modules (tight DSE budget) on a small fabric that
+        // fragments quickly
+        let k1 = parse_kernel(
+            "kernel hot(in float a[], out float b[], int n) {
+                 for (i in 0 .. n) { b[i] = a[i] * 2.0 + 1.0; }
+             }",
+        )
+        .unwrap();
+        let k2 = parse_kernel(
+            "kernel cold(in float a[], out float b[], int n) {
+                 for (i in 0 .. n) { b[i] = a[i] + 1.0; }
+             }",
+        )
+        .unwrap();
+        let hints = HashMap::from([("n".to_owned(), 4096.0)]);
+        let lib = ModuleLibrary::synthesize(
+            &[(k1, hints.clone()), (k2, hints)],
+            Resources::new(700, 16, 16),
+        )
+        .unwrap();
+        let mut d = ReconfigDaemon::new(
+            DaemonConfig::default(),
+            Floorplanner::new(Fabric::zynq_like(26, 80)),
+        );
+        let hot = lib.get("hot").unwrap().module.id();
+        let cold = lib.get("cold").unwrap().module.id();
+        d.load(&lib, hot).unwrap();
+        d.load(&lib, cold).unwrap();
+        // unload first, leaving a hole at the left
+        d.unload(hot);
+        // load again; may require compaction depending on widths — must
+        // succeed either way
+        assert!(d.load(&lib, hot).is_some());
+    }
+}

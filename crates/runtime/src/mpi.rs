@@ -1,0 +1,302 @@
+//! The inter-Compute-Node MPI layer.
+//!
+//! §2/§4: Compute Nodes (PGAS sub-systems) talk to each other "via an
+//! MPI-based multi-layer interconnection" following the application's
+//! topology. [`MpiComm`] provides point-to-point transfers and the
+//! collectives the workloads need (barrier, broadcast, reduce, allreduce,
+//! alltoall), all costed through the [`Network`] model so topology and
+//! contention matter.
+
+use ecoscale_noc::{Network, NodeId, Topology};
+use ecoscale_sim::{Energy, Time};
+
+/// Accumulated MPI traffic.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct MpiStats {
+    /// Point-to-point and collective messages sent.
+    pub messages: u64,
+    /// Payload bytes sent.
+    pub bytes: u64,
+    /// Interconnect energy attributed to MPI.
+    pub energy: Energy,
+}
+
+/// An MPI communicator whose ranks are Compute-Node representatives on
+/// the Worker interconnect.
+///
+/// Rank `r` is pinned to endpoint `rank_stride × r` — the first Worker of
+/// each Compute Node.
+///
+/// # Example
+///
+/// ```
+/// use ecoscale_noc::{Network, NetworkConfig, TreeTopology};
+/// use ecoscale_runtime::MpiComm;
+/// use ecoscale_sim::Time;
+///
+/// let mut net = Network::new(TreeTopology::new(&[4, 4]), NetworkConfig::default());
+/// let mut mpi = MpiComm::new(4, 4); // 4 ranks, one per 4-worker node
+/// let t = mpi.send(&mut net, Time::ZERO, 0, 3, 4096);
+/// assert!(t > Time::ZERO);
+/// assert_eq!(mpi.stats().messages, 1);
+/// ```
+#[derive(Debug)]
+pub struct MpiComm {
+    ranks: usize,
+    rank_stride: usize,
+    stats: MpiStats,
+}
+
+impl MpiComm {
+    /// Creates a communicator of `ranks` ranks, each pinned to every
+    /// `rank_stride`-th interconnect endpoint.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ranks` or `rank_stride` is zero.
+    pub fn new(ranks: usize, rank_stride: usize) -> MpiComm {
+        assert!(ranks > 0, "need at least one rank");
+        assert!(rank_stride > 0, "stride must be positive");
+        MpiComm {
+            ranks,
+            rank_stride,
+            stats: MpiStats::default(),
+        }
+    }
+
+    /// Number of ranks.
+    pub fn ranks(&self) -> usize {
+        self.ranks
+    }
+
+    /// The interconnect endpoint of `rank`.
+    pub fn endpoint(&self, rank: usize) -> NodeId {
+        assert!(rank < self.ranks, "rank {rank} out of range");
+        NodeId(rank * self.rank_stride)
+    }
+
+    /// Traffic so far.
+    pub fn stats(&self) -> MpiStats {
+        self.stats
+    }
+
+    /// Point-to-point send; returns the completion (receive) time.
+    pub fn send<T: Topology>(
+        &mut self,
+        net: &mut Network<T>,
+        now: Time,
+        from: usize,
+        to: usize,
+        bytes: u64,
+    ) -> Time {
+        let d = net.transfer(now, self.endpoint(from), self.endpoint(to), bytes);
+        self.stats.messages += 1;
+        self.stats.bytes += bytes;
+        self.stats.energy += d.energy;
+        d.arrival
+    }
+
+    /// Barrier: binomial-tree gather to rank 0 then broadcast; returns
+    /// the time every rank has left the barrier.
+    pub fn barrier<T: Topology>(&mut self, net: &mut Network<T>, now: Time) -> Time {
+        let up = self.reduce_time(net, now, 8);
+        self.bcast_from(net, up, 0, 8)
+    }
+
+    /// Broadcast `bytes` from `root`; returns the time the last rank has
+    /// the data.
+    pub fn bcast<T: Topology>(
+        &mut self,
+        net: &mut Network<T>,
+        now: Time,
+        root: usize,
+        bytes: u64,
+    ) -> Time {
+        self.bcast_from(net, now, root, bytes)
+    }
+
+    fn bcast_from<T: Topology>(
+        &mut self,
+        net: &mut Network<T>,
+        now: Time,
+        root: usize,
+        bytes: u64,
+    ) -> Time {
+        // binomial tree over ranks relative to root: in round `k`
+        // (stride 2^k), every rank that already has the data (rel <
+        // stride) sends to rel + stride.
+        let n = self.ranks;
+        let mut have: Vec<Option<Time>> = vec![None; n];
+        have[root] = Some(now);
+        let mut latest = now;
+        let mut stride = 1usize;
+        while stride < n {
+            for rel in 0..stride {
+                if rel + stride >= n {
+                    break;
+                }
+                let src = (rel + root) % n;
+                let dst = (rel + stride + root) % n;
+                let t0 = have[src].expect("rel < stride implies data present");
+                debug_assert!(have[dst].is_none());
+                let t = self.send(net, t0, src, dst, bytes);
+                have[dst] = Some(t);
+                latest = latest.max(t);
+            }
+            stride *= 2;
+        }
+        latest
+    }
+
+    /// Reduce to rank 0 (binomial tree); returns the completion time at
+    /// the root.
+    pub fn reduce<T: Topology>(
+        &mut self,
+        net: &mut Network<T>,
+        now: Time,
+        bytes: u64,
+    ) -> Time {
+        self.reduce_time(net, now, bytes)
+    }
+
+    fn reduce_time<T: Topology>(&mut self, net: &mut Network<T>, now: Time, bytes: u64) -> Time {
+        let n = self.ranks;
+        let mut ready: Vec<Time> = vec![now; n];
+        let mut stride = 1usize;
+        while stride < n {
+            for r in (0..n).step_by(stride * 2) {
+                let partner = r + stride;
+                if partner < n {
+                    let t = self.send(net, ready[partner].max(ready[r]), partner, r, bytes);
+                    ready[r] = t;
+                }
+            }
+            stride *= 2;
+        }
+        ready[0]
+    }
+
+    /// Allreduce = reduce + broadcast.
+    pub fn allreduce<T: Topology>(
+        &mut self,
+        net: &mut Network<T>,
+        now: Time,
+        bytes: u64,
+    ) -> Time {
+        let t = self.reduce_time(net, now, bytes);
+        self.bcast_from(net, t, 0, bytes)
+    }
+
+    /// All-to-all personalized exchange of `bytes_per_pair`; returns the
+    /// time the last byte lands.
+    pub fn alltoall<T: Topology>(
+        &mut self,
+        net: &mut Network<T>,
+        now: Time,
+        bytes_per_pair: u64,
+    ) -> Time {
+        let mut latest = now;
+        for from in 0..self.ranks {
+            for to in 0..self.ranks {
+                if from != to {
+                    let t = self.send(net, now, from, to, bytes_per_pair);
+                    latest = latest.max(t);
+                }
+            }
+        }
+        latest
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ecoscale_noc::{NetworkConfig, TreeTopology};
+
+    fn net() -> Network<TreeTopology> {
+        Network::new(TreeTopology::new(&[4, 4, 4]), NetworkConfig::default())
+    }
+
+    #[test]
+    fn send_completes_and_counts() {
+        let mut n = net();
+        let mut mpi = MpiComm::new(8, 8);
+        let t = mpi.send(&mut n, Time::ZERO, 0, 7, 1 << 16);
+        assert!(t > Time::ZERO);
+        assert_eq!(mpi.stats().messages, 1);
+        assert_eq!(mpi.stats().bytes, 1 << 16);
+        assert!(mpi.stats().energy.as_pj() > 0.0);
+    }
+
+    #[test]
+    fn endpoint_mapping() {
+        let mpi = MpiComm::new(4, 16);
+        assert_eq!(mpi.endpoint(0), NodeId(0));
+        assert_eq!(mpi.endpoint(3), NodeId(48));
+        assert_eq!(mpi.ranks(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_rank_panics() {
+        MpiComm::new(2, 1).endpoint(2);
+    }
+
+    #[test]
+    fn bcast_reaches_everyone_in_log_rounds() {
+        let mut n = net();
+        let mut mpi = MpiComm::new(8, 8);
+        let t = mpi.bcast(&mut n, Time::ZERO, 0, 4096);
+        assert!(t > Time::ZERO);
+        // binomial: n-1 messages
+        assert_eq!(mpi.stats().messages, 7);
+    }
+
+    #[test]
+    fn bcast_from_nonzero_root() {
+        let mut n = net();
+        let mut mpi = MpiComm::new(5, 8);
+        let t = mpi.bcast(&mut n, Time::ZERO, 3, 128);
+        assert!(t > Time::ZERO);
+        assert_eq!(mpi.stats().messages, 4);
+    }
+
+    #[test]
+    fn reduce_and_allreduce() {
+        let mut n = net();
+        let mut mpi = MpiComm::new(8, 8);
+        let t1 = mpi.reduce(&mut n, Time::ZERO, 1024);
+        assert_eq!(mpi.stats().messages, 7);
+        let t2 = mpi.allreduce(&mut n, t1, 1024);
+        assert!(t2 > t1);
+        assert_eq!(mpi.stats().messages, 7 + 14);
+    }
+
+    #[test]
+    fn barrier_orders_all_ranks() {
+        let mut n = net();
+        let mut mpi = MpiComm::new(4, 16);
+        let t = mpi.barrier(&mut n, Time::from_us(5));
+        assert!(t > Time::from_us(5));
+    }
+
+    #[test]
+    fn alltoall_quadratic_messages() {
+        let mut n = net();
+        let mut mpi = MpiComm::new(6, 8);
+        let t = mpi.alltoall(&mut n, Time::ZERO, 256);
+        assert!(t > Time::ZERO);
+        assert_eq!(mpi.stats().messages, 30);
+    }
+
+    #[test]
+    fn bigger_payload_takes_longer() {
+        let mut n1 = net();
+        let mut m1 = MpiComm::new(4, 16);
+        let small = m1.bcast(&mut n1, Time::ZERO, 0, 1024);
+        let mut n2 = net();
+        let mut m2 = MpiComm::new(4, 16);
+        let big = m2.bcast(&mut n2, Time::ZERO, 0, 1 << 22);
+        assert!(big > small);
+    }
+}

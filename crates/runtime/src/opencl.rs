@@ -1,0 +1,402 @@
+//! The OpenCL-flavoured host API, extended the three ways §4.2 lists.
+//!
+//! 1. **PGAS scoping**: buffers carry a [`BufferScope`] — pinned to one
+//!    worker's partition, or partitioned/replicated across the node's
+//!    NUMA domains (the "new data scoping and consistency abstractions").
+//! 2. **Scalable transfers**: moving data between partitions costs what
+//!    the UNIMEM + interconnect models say, not a flat PCIe number.
+//! 3. **Distributed command queues**: one in-order queue per worker
+//!    ("multiple workers, distributed command queues and transparent
+//!    command queue management across workers"), with cross-queue event
+//!    dependencies.
+//!
+//! This module is the *host-side* object model used by the examples; full
+//! accelerator dispatch (UNILOGIC, virtualization) lives in
+//! `ecoscale-core`.
+
+use ecoscale_mem::DramModel;
+use ecoscale_noc::{Network, NetworkConfig, NodeId, Topology, TreeTopology};
+use ecoscale_sim::{Energy, Time};
+
+use crate::device::CpuModel;
+use crate::pgas::{Distribution, PgasSpace};
+
+/// The ECOSCALE platform: a Compute Node of `workers` workers on a tree
+/// interconnect.
+#[derive(Debug, Clone)]
+pub struct Platform {
+    fanouts: Vec<usize>,
+    workers: usize,
+}
+
+impl Platform {
+    /// Creates a platform over a tree of the given per-level fanouts.
+    pub fn new(fanouts: &[usize]) -> Platform {
+        let topo = TreeTopology::new(fanouts);
+        Platform {
+            fanouts: fanouts.to_vec(),
+            workers: topo.num_nodes(),
+        }
+    }
+
+    /// Platform name, OpenCL style.
+    pub fn name(&self) -> &'static str {
+        "ECOSCALE"
+    }
+
+    /// Number of worker devices.
+    pub fn num_devices(&self) -> usize {
+        self.workers
+    }
+
+    /// Creates an execution context with `partition_bytes` of global
+    /// memory per worker.
+    pub fn create_context(&self, partition_bytes: u64) -> Context {
+        Context {
+            net: Network::new(TreeTopology::new(&self.fanouts), NetworkConfig::default()),
+            space: PgasSpace::new(self.workers, partition_bytes),
+            cpu: CpuModel::a53_default(),
+            queues: Vec::new(),
+            events: Vec::new(),
+            buffers: Vec::new(),
+            energy: Energy::ZERO,
+        }
+    }
+}
+
+/// Where a buffer's bytes live.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BufferScope {
+    /// Entirely in one worker's partition.
+    Device(NodeId),
+    /// Distributed across all partitions.
+    Partitioned(Distribution),
+}
+
+/// Handle to a buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Buffer(usize);
+
+/// Handle to an in-order command queue pinned to one worker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CommandQueue(usize);
+
+/// Handle to a completion event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EventId(usize);
+
+/// A kernel signature for cost purposes: per-item work.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelObject {
+    /// Kernel name.
+    pub name: String,
+    /// Arithmetic ops per item.
+    pub flops_per_item: u64,
+    /// Memory ops per item.
+    pub mem_ops_per_item: u64,
+}
+
+impl KernelObject {
+    /// Creates a kernel signature.
+    pub fn new(name: &str, flops_per_item: u64, mem_ops_per_item: u64) -> KernelObject {
+        KernelObject {
+            name: name.to_owned(),
+            flops_per_item,
+            mem_ops_per_item,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct BufferMeta {
+    bytes: u64,
+    scope: BufferScope,
+}
+
+/// The execution context: devices, memory, queues, events.
+///
+/// # Example
+///
+/// ```
+/// use ecoscale_noc::NodeId;
+/// use ecoscale_runtime::{BufferScope, Distribution, KernelObject, Platform};
+///
+/// let platform = Platform::new(&[4, 4]);
+/// let mut ctx = platform.create_context(64 << 20);
+/// let q0 = ctx.create_queue(NodeId(0));
+/// let buf = ctx.create_buffer(1 << 20, BufferScope::Partitioned(Distribution::Block)).unwrap();
+/// let k = KernelObject::new("stencil", 6, 5);
+/// let w = ctx.enqueue_write(q0, buf, &[]);
+/// let run = ctx.enqueue_kernel(q0, &k, 100_000, &[buf], &[w]);
+/// let done = ctx.finish(q0);
+/// assert!(done >= ctx.event_time(run));
+/// ```
+#[derive(Debug)]
+pub struct Context {
+    net: Network<TreeTopology>,
+    space: PgasSpace,
+    cpu: CpuModel,
+    /// per-queue (worker, available-at)
+    queues: Vec<(NodeId, Time)>,
+    events: Vec<Time>,
+    buffers: Vec<BufferMeta>,
+    energy: Energy,
+}
+
+impl Context {
+    /// Creates an in-order queue on `worker`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `worker` is out of range.
+    pub fn create_queue(&mut self, worker: NodeId) -> CommandQueue {
+        assert!(
+            worker.0 < self.space.nodes(),
+            "worker {worker} out of range"
+        );
+        self.queues.push((worker, Time::ZERO));
+        CommandQueue(self.queues.len() - 1)
+    }
+
+    /// Allocates a buffer under `scope`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates partition exhaustion.
+    pub fn create_buffer(
+        &mut self,
+        bytes: u64,
+        scope: BufferScope,
+    ) -> Result<Buffer, crate::pgas::AllocError> {
+        match scope {
+            BufferScope::Device(node) => {
+                self.space.alloc(node, bytes)?;
+            }
+            BufferScope::Partitioned(dist) => {
+                self.space.alloc_array(bytes.max(1), 1, dist)?;
+            }
+        }
+        self.buffers.push(BufferMeta { bytes, scope });
+        Ok(Buffer(self.buffers.len() - 1))
+    }
+
+    fn dep_time(&self, wait: &[EventId]) -> Time {
+        wait.iter()
+            .map(|e| self.events[e.0])
+            .max()
+            .unwrap_or(Time::ZERO)
+    }
+
+    fn push_event(&mut self, t: Time) -> EventId {
+        self.events.push(t);
+        EventId(self.events.len() - 1)
+    }
+
+    /// Host-to-partition population of `buf` (modelled as a DRAM stream
+    /// at each holding partition).
+    pub fn enqueue_write(&mut self, q: CommandQueue, buf: Buffer, wait: &[EventId]) -> EventId {
+        let (worker, avail) = self.queues[q.0];
+        let start = avail.max(self.dep_time(wait));
+        let meta = self.buffers[buf.0];
+        let dram = DramModel::default();
+        let (lat, e) = dram.stream(meta.bytes);
+        self.energy += e;
+        let done = start + lat;
+        let _ = worker;
+        self.queues[q.0].1 = done;
+        self.push_event(done)
+    }
+
+    /// Reads `buf` back to the host (same cost model as write).
+    pub fn enqueue_read(&mut self, q: CommandQueue, buf: Buffer, wait: &[EventId]) -> EventId {
+        self.enqueue_write(q, buf, wait)
+    }
+
+    /// Runs `kernel` over `items` items on `q`'s worker, touching `bufs`.
+    ///
+    /// Data that is not local to the worker (a `Device` buffer homed
+    /// elsewhere; the remote shares of a partitioned buffer) is pulled
+    /// over the interconnect first.
+    pub fn enqueue_kernel(
+        &mut self,
+        q: CommandQueue,
+        kernel: &KernelObject,
+        items: u64,
+        bufs: &[Buffer],
+        wait: &[EventId],
+    ) -> EventId {
+        let (worker, avail) = self.queues[q.0];
+        let mut start = avail.max(self.dep_time(wait));
+        // pull remote data
+        for b in bufs {
+            let meta = self.buffers[b.0];
+            match meta.scope {
+                BufferScope::Device(home) if home != worker => {
+                    let d = self.net.transfer(start, home, worker, meta.bytes);
+                    self.energy += d.energy;
+                    start = start.max(d.arrival);
+                }
+                BufferScope::Device(_) => {}
+                BufferScope::Partitioned(_) => {
+                    // each worker computes on its local share: only the
+                    // halo (modelled as 2 cache lines) moves
+                    let halo = 128;
+                    let nodes = self.space.nodes();
+                    let neighbor = NodeId((worker.0 + 1) % nodes);
+                    if neighbor != worker {
+                        let d = self.net.transfer(start, neighbor, worker, halo);
+                        self.energy += d.energy;
+                        start = start.max(d.arrival);
+                    }
+                }
+            }
+        }
+        let (t, e) = self.cpu.exec(
+            items * kernel.flops_per_item,
+            items * kernel.mem_ops_per_item,
+        );
+        self.energy += e;
+        let done = start + t;
+        self.queues[q.0].1 = done;
+        self.push_event(done)
+    }
+
+    /// Inserts a cross-queue barrier: `q` waits for `events`.
+    pub fn enqueue_barrier(&mut self, q: CommandQueue, events: &[EventId]) -> EventId {
+        let (_, avail) = self.queues[q.0];
+        let t = avail.max(self.dep_time(events));
+        self.queues[q.0].1 = t;
+        self.push_event(t)
+    }
+
+    /// Blocks until everything on `q` completed; returns that time.
+    pub fn finish(&self, q: CommandQueue) -> Time {
+        self.queues[q.0].1
+    }
+
+    /// Completion time of an event.
+    pub fn event_time(&self, e: EventId) -> Time {
+        self.events[e.0]
+    }
+
+    /// Total energy charged so far.
+    pub fn energy(&self) -> Energy {
+        self.energy
+    }
+
+    /// Interconnect traffic so far.
+    pub fn traffic(&self) -> &ecoscale_noc::TrafficStats {
+        self.net.stats()
+    }
+
+    /// The interconnect topology backing this context.
+    pub fn workers(&self) -> usize {
+        self.net.topology().num_nodes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx() -> Context {
+        Platform::new(&[4, 4]).create_context(64 << 20)
+    }
+
+    #[test]
+    fn platform_shape() {
+        let p = Platform::new(&[8, 4]);
+        assert_eq!(p.name(), "ECOSCALE");
+        assert_eq!(p.num_devices(), 32);
+    }
+
+    #[test]
+    fn in_order_queue_semantics() {
+        let mut c = ctx();
+        let q = c.create_queue(NodeId(0));
+        let b = c.create_buffer(1 << 16, BufferScope::Device(NodeId(0))).unwrap();
+        let k = KernelObject::new("k", 10, 2);
+        let e1 = c.enqueue_kernel(q, &k, 1000, &[b], &[]);
+        let e2 = c.enqueue_kernel(q, &k, 1000, &[b], &[]);
+        assert!(c.event_time(e2) > c.event_time(e1));
+        assert_eq!(c.finish(q), c.event_time(e2));
+    }
+
+    #[test]
+    fn cross_queue_dependency() {
+        let mut c = ctx();
+        let q0 = c.create_queue(NodeId(0));
+        let q1 = c.create_queue(NodeId(5));
+        let b = c.create_buffer(4096, BufferScope::Device(NodeId(0))).unwrap();
+        let k = KernelObject::new("k", 100, 10);
+        let produce = c.enqueue_kernel(q0, &k, 10_000, &[b], &[]);
+        // q1 waits on q0's event
+        let consume = c.enqueue_kernel(q1, &k, 10, &[b], &[produce]);
+        assert!(c.event_time(consume) > c.event_time(produce));
+    }
+
+    #[test]
+    fn remote_device_buffer_costs_transfer() {
+        let mut c = ctx();
+        let q = c.create_queue(NodeId(0));
+        let local = c.create_buffer(1 << 20, BufferScope::Device(NodeId(0))).unwrap();
+        let remote = c.create_buffer(1 << 20, BufferScope::Device(NodeId(15))).unwrap();
+        let k = KernelObject::new("k", 1, 1);
+        let e_local = c.enqueue_kernel(q, &k, 1000, &[local], &[]);
+        let t0 = c.event_time(e_local);
+        let e_remote = c.enqueue_kernel(q, &k, 1000, &[remote], &[]);
+        let remote_cost = c.event_time(e_remote).since(t0);
+        let local_cost = t0.since(Time::ZERO);
+        assert!(remote_cost > local_cost);
+        assert!(c.traffic().messages() > 0);
+    }
+
+    #[test]
+    fn partitioned_buffer_moves_only_halo() {
+        let mut c = ctx();
+        let q = c.create_queue(NodeId(3));
+        let part = c
+            .create_buffer(16 << 20, BufferScope::Partitioned(Distribution::Block))
+            .unwrap();
+        let k = KernelObject::new("stencil", 6, 5);
+        c.enqueue_kernel(q, &k, 1_000, &[part], &[]);
+        // only the halo crossed the network, not 16 MiB
+        assert!(c.traffic().payload_bytes() < 10_000);
+    }
+
+    #[test]
+    fn write_then_read_roundtrip() {
+        let mut c = ctx();
+        let q = c.create_queue(NodeId(0));
+        let b = c.create_buffer(1 << 20, BufferScope::Device(NodeId(0))).unwrap();
+        let w = c.enqueue_write(q, b, &[]);
+        let r = c.enqueue_read(q, b, &[w]);
+        assert!(c.event_time(r) > c.event_time(w));
+        assert!(c.energy().as_uj() > 0.0);
+    }
+
+    #[test]
+    fn barrier_synchronizes() {
+        let mut c = ctx();
+        let q0 = c.create_queue(NodeId(0));
+        let q1 = c.create_queue(NodeId(1));
+        let b = c.create_buffer(1 << 18, BufferScope::Device(NodeId(0))).unwrap();
+        let k = KernelObject::new("k", 50, 5);
+        let e0 = c.enqueue_kernel(q0, &k, 100_000, &[b], &[]);
+        let bar = c.enqueue_barrier(q1, &[e0]);
+        assert_eq!(c.event_time(bar), c.event_time(e0));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn queue_bounds_checked() {
+        ctx().create_queue(NodeId(99));
+    }
+
+    #[test]
+    fn buffer_allocation_failure_surfaces() {
+        let mut c = Platform::new(&[2]).create_context(1024);
+        let r = c.create_buffer(1 << 20, BufferScope::Device(NodeId(0)));
+        assert!(r.is_err());
+    }
+}

@@ -1,0 +1,323 @@
+//! Global arrays over the UNIMEM partitioned address space.
+//!
+//! §4.4: "We will treat the global memory in each compute node as a
+//! collection of NUMA domains accessible via the UNIMEM interface" with
+//! "topology-aware global memory allocators in these domains". A
+//! [`PgasSpace`] owns each node's partition; a [`GlobalArray`] is an
+//! element-addressable array block- or cyclically-distributed across the
+//! partitions.
+
+use std::error::Error;
+use std::fmt;
+
+use ecoscale_mem::{GlobalAddr, UnimemSystem};
+use ecoscale_noc::{Network, NodeId, Topology};
+use ecoscale_sim::{Energy, Time};
+
+/// How a global array's elements map to partitions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Distribution {
+    /// Contiguous blocks: element `i` lives on node `i / ceil(len/nodes)`.
+    Block,
+    /// Round-robin: element `i` lives on node `i % nodes`.
+    Cyclic,
+}
+
+/// Allocation failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AllocError {
+    /// The requested node's partition is exhausted.
+    PartitionFull {
+        /// Which node.
+        node: NodeId,
+    },
+    /// Zero-length allocations are meaningless.
+    ZeroLength,
+}
+
+impl fmt::Display for AllocError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AllocError::PartitionFull { node } => write!(f, "partition of {node} is full"),
+            AllocError::ZeroLength => f.write_str("allocation length must be positive"),
+        }
+    }
+}
+
+impl Error for AllocError {}
+
+/// The per-node partition allocator (bump allocation; the experiments
+/// never free).
+#[derive(Debug, Clone)]
+pub struct PgasSpace {
+    partition_bytes: u64,
+    next: Vec<u64>,
+}
+
+impl PgasSpace {
+    /// Creates a space of `nodes` partitions of `partition_bytes` each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes` or `partition_bytes` is zero.
+    pub fn new(nodes: usize, partition_bytes: u64) -> PgasSpace {
+        assert!(nodes > 0, "need at least one node");
+        assert!(partition_bytes > 0, "partitions must be non-empty");
+        PgasSpace {
+            partition_bytes,
+            next: vec![0; nodes],
+        }
+    }
+
+    /// Number of partitions.
+    pub fn nodes(&self) -> usize {
+        self.next.len()
+    }
+
+    /// Bytes remaining in `node`'s partition.
+    pub fn free_bytes(&self, node: NodeId) -> u64 {
+        self.partition_bytes - self.next[node.0]
+    }
+
+    /// Allocates `bytes` in `node`'s partition.
+    ///
+    /// # Errors
+    ///
+    /// [`AllocError::PartitionFull`] or [`AllocError::ZeroLength`].
+    pub fn alloc(&mut self, node: NodeId, bytes: u64) -> Result<GlobalAddr, AllocError> {
+        if bytes == 0 {
+            return Err(AllocError::ZeroLength);
+        }
+        if self.next[node.0] + bytes > self.partition_bytes {
+            return Err(AllocError::PartitionFull { node });
+        }
+        let addr = GlobalAddr::new(node, self.next[node.0]);
+        self.next[node.0] += bytes;
+        Ok(addr)
+    }
+
+    /// Allocates an `elems`-element array of `elem_bytes`-byte elements
+    /// distributed per `dist` across all partitions.
+    ///
+    /// # Errors
+    ///
+    /// Any per-partition allocation failure.
+    pub fn alloc_array(
+        &mut self,
+        elems: u64,
+        elem_bytes: u64,
+        dist: Distribution,
+    ) -> Result<GlobalArray, AllocError> {
+        if elems == 0 || elem_bytes == 0 {
+            return Err(AllocError::ZeroLength);
+        }
+        let nodes = self.nodes() as u64;
+        let per_node = elems.div_ceil(nodes);
+        let mut parts = Vec::with_capacity(nodes as usize);
+        for n in 0..nodes {
+            let here = match dist {
+                Distribution::Block => per_node.min(elems.saturating_sub(n * per_node)),
+                Distribution::Cyclic => elems / nodes + u64::from(n < elems % nodes),
+            };
+            let base = self.alloc(NodeId(n as usize), (here.max(1)) * elem_bytes)?;
+            parts.push(base);
+        }
+        Ok(GlobalArray {
+            elems,
+            elem_bytes,
+            dist,
+            parts,
+        })
+    }
+}
+
+/// A distributed global array.
+///
+/// # Example
+///
+/// ```
+/// use ecoscale_noc::NodeId;
+/// use ecoscale_runtime::{Distribution, PgasSpace};
+///
+/// let mut space = PgasSpace::new(4, 1 << 20);
+/// let arr = space.alloc_array(1000, 8, Distribution::Block).unwrap();
+/// assert_eq!(arr.home_of(0), NodeId(0));
+/// assert_eq!(arr.home_of(999), NodeId(3));
+/// ```
+#[derive(Debug, Clone)]
+pub struct GlobalArray {
+    elems: u64,
+    elem_bytes: u64,
+    dist: Distribution,
+    parts: Vec<GlobalAddr>,
+}
+
+impl GlobalArray {
+    /// Number of elements.
+    pub fn len(&self) -> u64 {
+        self.elems
+    }
+
+    /// Returns `true` if the array has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.elems == 0
+    }
+
+    /// Element size in bytes.
+    pub fn elem_bytes(&self) -> u64 {
+        self.elem_bytes
+    }
+
+    /// The distribution.
+    pub fn distribution(&self) -> Distribution {
+        self.dist
+    }
+
+    /// The node holding element `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    pub fn home_of(&self, i: u64) -> NodeId {
+        assert!(i < self.elems, "index {i} out of bounds (len {})", self.elems);
+        let nodes = self.parts.len() as u64;
+        match self.dist {
+            Distribution::Block => {
+                let per_node = self.elems.div_ceil(nodes);
+                NodeId((i / per_node) as usize)
+            }
+            Distribution::Cyclic => NodeId((i % nodes) as usize),
+        }
+    }
+
+    /// The global address of element `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    pub fn addr_of(&self, i: u64) -> GlobalAddr {
+        let home = self.home_of(i);
+        let nodes = self.parts.len() as u64;
+        let local_index = match self.dist {
+            Distribution::Block => {
+                let per_node = self.elems.div_ceil(nodes);
+                i % per_node
+            }
+            Distribution::Cyclic => i / nodes,
+        };
+        self.parts[home.0].add(local_index * self.elem_bytes)
+    }
+
+    /// Reads element `i` from `node` through UNIMEM, returning the
+    /// completion time and energy.
+    pub fn get<T: Topology>(
+        &self,
+        mem: &mut UnimemSystem,
+        net: &mut Network<T>,
+        now: Time,
+        node: NodeId,
+        i: u64,
+    ) -> (Time, Energy) {
+        let a = mem.read(net, now, node, self.addr_of(i), self.elem_bytes);
+        (a.completion, a.energy)
+    }
+
+    /// Writes element `i` from `node` through UNIMEM.
+    pub fn put<T: Topology>(
+        &self,
+        mem: &mut UnimemSystem,
+        net: &mut Network<T>,
+        now: Time,
+        node: NodeId,
+        i: u64,
+    ) -> (Time, Energy) {
+        let a = mem.write(net, now, node, self.addr_of(i), self.elem_bytes);
+        (a.completion, a.energy)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ecoscale_mem::{CacheConfig, DramModel};
+    use ecoscale_noc::{NetworkConfig, TreeTopology};
+
+    #[test]
+    fn bump_allocation() {
+        let mut s = PgasSpace::new(2, 100);
+        let a = s.alloc(NodeId(0), 40).unwrap();
+        let b = s.alloc(NodeId(0), 40).unwrap();
+        assert_eq!(a.offset(), 0);
+        assert_eq!(b.offset(), 40);
+        assert_eq!(s.free_bytes(NodeId(0)), 20);
+        assert_eq!(
+            s.alloc(NodeId(0), 40),
+            Err(AllocError::PartitionFull { node: NodeId(0) })
+        );
+        assert_eq!(s.alloc(NodeId(1), 100).unwrap().home(), NodeId(1));
+        assert_eq!(s.alloc(NodeId(1), 0), Err(AllocError::ZeroLength));
+    }
+
+    #[test]
+    fn block_distribution_geometry() {
+        let mut s = PgasSpace::new(4, 1 << 20);
+        let arr = s.alloc_array(100, 8, Distribution::Block).unwrap();
+        // 25 per node
+        assert_eq!(arr.home_of(0), NodeId(0));
+        assert_eq!(arr.home_of(24), NodeId(0));
+        assert_eq!(arr.home_of(25), NodeId(1));
+        assert_eq!(arr.home_of(99), NodeId(3));
+        assert_eq!(arr.addr_of(26).offset() - arr.addr_of(25).offset(), 8);
+        assert_eq!(arr.len(), 100);
+        assert!(!arr.is_empty());
+        assert_eq!(arr.elem_bytes(), 8);
+        assert_eq!(arr.distribution(), Distribution::Block);
+    }
+
+    #[test]
+    fn cyclic_distribution_geometry() {
+        let mut s = PgasSpace::new(4, 1 << 20);
+        let arr = s.alloc_array(10, 8, Distribution::Cyclic).unwrap();
+        assert_eq!(arr.home_of(0), NodeId(0));
+        assert_eq!(arr.home_of(1), NodeId(1));
+        assert_eq!(arr.home_of(5), NodeId(1));
+        // element 5 is node 1's second element
+        let base = arr.addr_of(1);
+        assert_eq!(arr.addr_of(5).offset(), base.offset() + 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn home_of_bounds_checked() {
+        let mut s = PgasSpace::new(2, 1 << 20);
+        let arr = s.alloc_array(4, 8, Distribution::Block).unwrap();
+        arr.home_of(4);
+    }
+
+    #[test]
+    fn get_put_costs_follow_locality() {
+        let mut s = PgasSpace::new(4, 1 << 20);
+        let arr = s.alloc_array(64, 8, Distribution::Block).unwrap();
+        let mut mem = UnimemSystem::new(4, CacheConfig::l1_default(), DramModel::default());
+        let mut net = Network::new(TreeTopology::new(&[4]), NetworkConfig::default());
+        // element 0 lives on node 0: local access from node 0
+        let (t_local, _) = arr.get(&mut mem, &mut net, Time::ZERO, NodeId(0), 0);
+        // remote access from node 3
+        let (t_remote, _) = arr.get(&mut mem, &mut net, t_local, NodeId(3), 0);
+        assert!(t_remote.since(t_local) > t_local.since(Time::ZERO));
+        let (t_put, e) = arr.put(&mut mem, &mut net, t_remote, NodeId(3), 0);
+        assert!(t_put > t_remote);
+        assert!(e.as_pj() > 0.0);
+    }
+
+    #[test]
+    fn distributed_alloc_exhausts_cleanly() {
+        let mut s = PgasSpace::new(2, 64);
+        // 16 elements × 8 bytes = 64 per node for block over 2 nodes
+        assert!(s.alloc_array(16, 8, Distribution::Block).is_ok());
+        assert!(matches!(
+            s.alloc_array(16, 8, Distribution::Block),
+            Err(AllocError::PartitionFull { .. })
+        ));
+    }
+}

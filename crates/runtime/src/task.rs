@@ -1,0 +1,114 @@
+//! Tasks: the unit of scheduled work.
+//!
+//! A [`Task`] is one call of a named function with an input described by a
+//! feature vector (input/output size, shape, access pattern — the model
+//! inputs §4.2 says the prediction models are trained on).
+
+use core::fmt;
+
+use ecoscale_noc::NodeId;
+
+/// Identifies a task within one run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct TaskId(pub u64);
+
+impl fmt::Display for TaskId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T{}", self.0)
+    }
+}
+
+/// One schedulable function call.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Task {
+    id: TaskId,
+    function: String,
+    features: Vec<f64>,
+    /// Total arithmetic operations this call performs.
+    flops: u64,
+    /// Total memory operations this call performs.
+    mem_ops: u64,
+    /// The node whose partition holds the task's data (locality hint).
+    data_home: NodeId,
+}
+
+impl Task {
+    /// Creates a task.
+    pub fn new(
+        id: TaskId,
+        function: &str,
+        features: Vec<f64>,
+        flops: u64,
+        mem_ops: u64,
+        data_home: NodeId,
+    ) -> Task {
+        Task {
+            id,
+            function: function.to_owned(),
+            features,
+            flops,
+            mem_ops,
+            data_home,
+        }
+    }
+
+    /// The task id.
+    pub fn id(&self) -> TaskId {
+        self.id
+    }
+
+    /// The called function's name.
+    pub fn function(&self) -> &str {
+        &self.function
+    }
+
+    /// The input feature vector (model inputs).
+    pub fn features(&self) -> &[f64] {
+        &self.features
+    }
+
+    /// Total arithmetic operations.
+    pub fn flops(&self) -> u64 {
+        self.flops
+    }
+
+    /// Total memory operations.
+    pub fn mem_ops(&self) -> u64 {
+        self.mem_ops
+    }
+
+    /// Where the task's data lives.
+    pub fn data_home(&self) -> NodeId {
+        self.data_home
+    }
+
+    /// Primary size feature (first element, 0 if absent) — the dominant
+    /// model input in the paper's input-dependent models.
+    pub fn size(&self) -> f64 {
+        self.features.first().copied().unwrap_or(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        let t = Task::new(TaskId(3), "gemm", vec![256.0, 2.0], 1_000, 300, NodeId(4));
+        assert_eq!(t.id(), TaskId(3));
+        assert_eq!(t.function(), "gemm");
+        assert_eq!(t.features(), &[256.0, 2.0]);
+        assert_eq!(t.flops(), 1_000);
+        assert_eq!(t.mem_ops(), 300);
+        assert_eq!(t.data_home(), NodeId(4));
+        assert_eq!(t.size(), 256.0);
+        assert_eq!(t.id().to_string(), "T3");
+    }
+
+    #[test]
+    fn empty_features_size_zero() {
+        let t = Task::new(TaskId(0), "f", vec![], 1, 1, NodeId(0));
+        assert_eq!(t.size(), 0.0);
+    }
+}

@@ -1,0 +1,218 @@
+//! The simulation driver loop.
+//!
+//! A domain model implements [`EventHandler`] for its event type; the
+//! [`Simulation`] owns the event queue and repeatedly delivers the earliest
+//! event to the handler until the queue drains, a time horizon passes, or
+//! an event budget is exhausted.
+
+use crate::event::EventQueue;
+use crate::time::Time;
+
+/// A component that consumes events of type `E` and may schedule more.
+///
+/// # Example
+///
+/// ```
+/// use ecoscale_sim::{Duration, EventHandler, EventQueue, Simulation, Time};
+///
+/// struct Counter { fired: u32 }
+///
+/// impl EventHandler<u32> for Counter {
+///     fn handle(&mut self, _now: Time, ev: u32, q: &mut EventQueue<u32>) {
+///         self.fired += 1;
+///         if ev < 3 {
+///             q.schedule_in(Duration::from_ns(10), ev + 1);
+///         }
+///     }
+/// }
+///
+/// let mut sim = Simulation::new(Counter { fired: 0 });
+/// sim.queue_mut().schedule(Time::ZERO, 0);
+/// sim.run();
+/// assert_eq!(sim.handler().fired, 4);
+/// ```
+pub trait EventHandler<E> {
+    /// Handles one event delivered at time `now`. New events may be
+    /// scheduled on `queue`.
+    fn handle(&mut self, now: Time, event: E, queue: &mut EventQueue<E>);
+}
+
+/// Why a [`Simulation::run_until`] call returned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopReason {
+    /// The event queue drained.
+    QueueEmpty,
+    /// The next pending event lies beyond the requested horizon.
+    HorizonReached,
+    /// The event budget was exhausted (livelock guard).
+    BudgetExhausted,
+}
+
+/// A discrete-event simulation: an [`EventQueue`] plus the handler that
+/// consumes it.
+#[derive(Debug)]
+pub struct Simulation<H, E> {
+    handler: H,
+    queue: EventQueue<E>,
+    events_processed: u64,
+}
+
+impl<H, E> Simulation<H, E>
+where
+    H: EventHandler<E>,
+{
+    /// Creates a simulation around `handler` with an empty queue.
+    pub fn new(handler: H) -> Simulation<H, E> {
+        Simulation {
+            handler,
+            queue: EventQueue::new(),
+            events_processed: 0,
+        }
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> Time {
+        self.queue.now()
+    }
+
+    /// Shared access to the handler (model state).
+    pub fn handler(&self) -> &H {
+        &self.handler
+    }
+
+    /// Mutable access to the handler (model state).
+    pub fn handler_mut(&mut self) -> &mut H {
+        &mut self.handler
+    }
+
+    /// Mutable access to the queue, e.g. to seed initial events.
+    pub fn queue_mut(&mut self) -> &mut EventQueue<E> {
+        &mut self.queue
+    }
+
+    /// Shared access to the queue.
+    pub fn queue(&self) -> &EventQueue<E> {
+        &self.queue
+    }
+
+    /// Number of events delivered so far.
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// Consumes the simulation, returning the handler.
+    pub fn into_handler(self) -> H {
+        self.handler
+    }
+
+    /// Runs until the queue drains. Returns the final simulation time.
+    pub fn run(&mut self) -> Time {
+        self.run_until(Time::MAX, u64::MAX);
+        self.now()
+    }
+
+    /// Runs until the queue drains, the next event would be after
+    /// `horizon`, or `max_events` have been delivered.
+    ///
+    /// Events *at* the horizon are still delivered; an event strictly
+    /// after it stays queued.
+    pub fn run_until(&mut self, horizon: Time, max_events: u64) -> StopReason {
+        let mut delivered = 0u64;
+        loop {
+            if delivered >= max_events {
+                return StopReason::BudgetExhausted;
+            }
+            match self.queue.peek_time() {
+                None => return StopReason::QueueEmpty,
+                Some(t) if t > horizon => return StopReason::HorizonReached,
+                Some(_) => {}
+            }
+            let (t, ev) = self.queue.pop().expect("peeked event must exist");
+            self.handler.handle(t, ev, &mut self.queue);
+            self.events_processed += 1;
+            delivered += 1;
+        }
+    }
+
+    /// Delivers exactly one event if one is pending.
+    pub fn step(&mut self) -> bool {
+        if let Some((t, ev)) = self.queue.pop() {
+            self.handler.handle(t, ev, &mut self.queue);
+            self.events_processed += 1;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::Duration;
+
+    /// A handler that re-arms itself every 10 ns and counts deliveries.
+    struct Ticker {
+        ticks: u64,
+        limit: u64,
+    }
+
+    impl EventHandler<()> for Ticker {
+        fn handle(&mut self, _now: Time, _ev: (), q: &mut EventQueue<()>) {
+            self.ticks += 1;
+            if self.ticks < self.limit {
+                q.schedule_in(Duration::from_ns(10), ());
+            }
+        }
+    }
+
+    fn ticker(limit: u64) -> Simulation<Ticker, ()> {
+        let mut sim = Simulation::new(Ticker { ticks: 0, limit });
+        sim.queue_mut().schedule(Time::ZERO, ());
+        sim
+    }
+
+    #[test]
+    fn runs_to_queue_empty() {
+        let mut sim = ticker(5);
+        let end = sim.run();
+        assert_eq!(sim.handler().ticks, 5);
+        assert_eq!(end, Time::from_ns(40));
+        assert_eq!(sim.events_processed(), 5);
+    }
+
+    #[test]
+    fn horizon_is_inclusive() {
+        let mut sim = ticker(u64::MAX);
+        let reason = sim.run_until(Time::from_ns(30), u64::MAX);
+        assert_eq!(reason, StopReason::HorizonReached);
+        // events at 0, 10, 20, 30 delivered; 40 pending
+        assert_eq!(sim.handler().ticks, 4);
+        assert_eq!(sim.queue().peek_time(), Some(Time::from_ns(40)));
+    }
+
+    #[test]
+    fn budget_guard_stops_livelock() {
+        let mut sim = ticker(u64::MAX);
+        let reason = sim.run_until(Time::MAX, 1000);
+        assert_eq!(reason, StopReason::BudgetExhausted);
+        assert_eq!(sim.handler().ticks, 1000);
+    }
+
+    #[test]
+    fn step_delivers_one_event() {
+        let mut sim = ticker(3);
+        assert!(sim.step());
+        assert_eq!(sim.handler().ticks, 1);
+        assert!(sim.step());
+        assert!(sim.step());
+        assert!(!sim.step());
+        assert_eq!(sim.into_handler().ticks, 3);
+    }
+
+    #[test]
+    fn run_until_on_empty_queue() {
+        let mut sim = Simulation::new(Ticker { ticks: 0, limit: 0 });
+        assert_eq!(sim.run_until(Time::MAX, 10), StopReason::QueueEmpty);
+    }
+}

@@ -1,0 +1,52 @@
+//! Deterministic discrete-event simulation substrate for the ECOSCALE
+//! reproduction.
+//!
+//! The ECOSCALE paper (DATE 2016) describes a hardware/software stack that
+//! in reality runs on multi-FPGA prototypes. This crate provides the
+//! foundation every higher layer of the reproduction is modelled on:
+//!
+//! * [`Time`] / [`Duration`] — picosecond-resolution virtual time,
+//! * [`Energy`] / [`Power`] — energy accounting newtypes,
+//! * [`EventQueue`] and the [`Simulation`] engine — a deterministic
+//!   discrete-event kernel with (time, sequence) tie-breaking,
+//! * [`SimRng`] — a seeded random source with the distributions the
+//!   workload generators need (uniform, exponential, normal, Zipf, Pareto),
+//! * [`stats`] — counters, online moments, and log-binned histograms,
+//! * [`report`] — fixed-width table rendering used by the experiment
+//!   binaries to print paper-style figures.
+//!
+//! # Determinism
+//!
+//! Every run of a simulation built on this crate is a pure function of its
+//! configuration and seeds: the event queue breaks ties by insertion
+//! sequence number, and all randomness flows through [`SimRng`].
+//!
+//! # Example
+//!
+//! ```
+//! use ecoscale_sim::{EventQueue, Time};
+//!
+//! #[derive(Debug, PartialEq)]
+//! enum Ev { Ping, Pong }
+//!
+//! let mut q = EventQueue::new();
+//! q.schedule(Time::from_ns(10), Ev::Pong);
+//! q.schedule(Time::from_ns(5), Ev::Ping);
+//! let (t, ev) = q.pop().expect("queue is non-empty");
+//! assert_eq!((t, ev), (Time::from_ns(5), Ev::Ping));
+//! ```
+
+pub mod energy;
+pub mod engine;
+pub mod event;
+pub mod report;
+pub mod rng;
+pub mod stats;
+pub mod time;
+
+pub use energy::{Energy, EnergyMeter, Power};
+pub use engine::{EventHandler, Simulation, StopReason};
+pub use event::EventQueue;
+pub use rng::SimRng;
+pub use stats::{Counter, Histogram, OnlineStats};
+pub use time::{Duration, Time};

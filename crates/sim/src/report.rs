@@ -1,0 +1,209 @@
+//! Fixed-width table rendering for the experiment binaries.
+//!
+//! Every experiment in `ecoscale-bench` prints its series as a [`Table`]
+//! so `EXPERIMENTS.md` can quote outputs verbatim.
+
+use core::fmt;
+
+/// A simple right-aligned fixed-width table.
+///
+/// # Example
+///
+/// ```
+/// use ecoscale_sim::report::Table;
+///
+/// let mut t = Table::new("demo", &["n", "latency"]);
+/// t.row(&["1", "35ns"]);
+/// t.row(&["2", "70ns"]);
+/// let s = t.to_string();
+/// assert!(s.contains("latency"));
+/// assert!(s.contains("70ns"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with a title and column headers.
+    pub fn new(title: &str, headers: &[&str]) -> Table {
+        Table {
+            title: title.to_owned(),
+            headers: headers.iter().map(|s| (*s).to_owned()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row length differs from the header count.
+    pub fn row(&mut self, cells: &[&str]) {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row has {} cells, table has {} columns",
+            cells.len(),
+            self.headers.len()
+        );
+        self.rows.push(cells.iter().map(|s| (*s).to_owned()).collect());
+    }
+
+    /// Appends a row of already-owned strings.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row length differs from the header count.
+    pub fn row_owned(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len());
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Returns `true` if there are no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The table title.
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    /// Access to the raw cells of row `i`.
+    pub fn cells(&self, i: usize) -> Option<&[String]> {
+        self.rows.get(i).map(|r| r.as_slice())
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        writeln!(f, "== {} ==", self.title)?;
+        for (i, h) in self.headers.iter().enumerate() {
+            if i > 0 {
+                write!(f, "  ")?;
+            }
+            write!(f, "{h:>w$}", w = widths[i])?;
+        }
+        writeln!(f)?;
+        let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len().saturating_sub(1));
+        writeln!(f, "{}", "-".repeat(total))?;
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                if i > 0 {
+                    write!(f, "  ")?;
+                }
+                write!(f, "{cell:>w$}", w = widths[i])?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+/// Formats a float with engineering-style precision: 3 significant-ish
+/// decimals for small values, fewer for large.
+pub fn fnum(v: f64) -> String {
+    if !v.is_finite() {
+        return format!("{v}");
+    }
+    let a = v.abs();
+    if a >= 1000.0 {
+        format!("{v:.0}")
+    } else if a >= 10.0 {
+        format!("{v:.1}")
+    } else if a >= 0.01 || a == 0.0 {
+        format!("{v:.3}")
+    } else {
+        format!("{v:.2e}")
+    }
+}
+
+/// Formats a speedup/ratio as `12.3x`.
+pub fn fratio(v: f64) -> String {
+    format!("{}x", fnum(v))
+}
+
+/// Formats a byte count with binary units.
+pub fn fbytes(b: u64) -> String {
+    const UNITS: [&str; 6] = ["B", "KiB", "MiB", "GiB", "TiB", "PiB"];
+    let mut v = b as f64;
+    let mut u = 0;
+    while v >= 1024.0 && u < UNITS.len() - 1 {
+        v /= 1024.0;
+        u += 1;
+    }
+    if u == 0 {
+        format!("{b}B")
+    } else {
+        format!("{v:.1}{}", UNITS[u])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new("t", &["a", "bbbb"]);
+        t.row(&["1", "2"]);
+        t.row(&["333", "4"]);
+        let s = t.to_string();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines[0], "== t ==");
+        assert!(lines[1].contains("a") && lines[1].contains("bbbb"));
+        // all data lines equal width
+        assert_eq!(lines[3].len(), lines[4].len());
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+        assert_eq!(t.cells(1).unwrap()[0], "333");
+        assert_eq!(t.title(), "t");
+    }
+
+    #[test]
+    #[should_panic(expected = "columns")]
+    fn row_arity_checked() {
+        let mut t = Table::new("t", &["a", "b"]);
+        t.row(&["only-one"]);
+    }
+
+    #[test]
+    fn row_owned_works() {
+        let mut t = Table::new("t", &["x"]);
+        t.row_owned(vec!["5".to_owned()]);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn fnum_ranges() {
+        assert_eq!(fnum(12345.6), "12346");
+        assert_eq!(fnum(42.25), "42.2");
+        assert_eq!(fnum(1.23456), "1.235");
+        assert_eq!(fnum(0.0), "0.000");
+        assert_eq!(fnum(0.0001234), "1.23e-4");
+        assert_eq!(fnum(f64::INFINITY), "inf");
+    }
+
+    #[test]
+    fn fratio_and_fbytes() {
+        assert_eq!(fratio(40.0), "40.0x");
+        assert_eq!(fbytes(512), "512B");
+        assert_eq!(fbytes(2048), "2.0KiB");
+        assert_eq!(fbytes(3 * 1024 * 1024), "3.0MiB");
+        assert_eq!(fbytes(5 * 1024 * 1024 * 1024), "5.0GiB");
+    }
+}

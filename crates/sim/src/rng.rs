@@ -1,0 +1,311 @@
+//! Seeded randomness with the distributions the workload generators need.
+//!
+//! Everything random in the reproduction flows through [`SimRng`], a thin
+//! wrapper over [`rand::rngs::StdRng`] seeded explicitly, with hand-rolled
+//! samplers for the exponential, normal, Zipf and Pareto distributions
+//! (only the base `rand` crate is available offline).
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+/// A deterministic random source.
+///
+/// # Example
+///
+/// ```
+/// use ecoscale_sim::SimRng;
+///
+/// let mut a = SimRng::seed_from(42);
+/// let mut b = SimRng::seed_from(42);
+/// assert_eq!(a.gen_range_u64(0, 100), b.gen_range_u64(0, 100));
+/// ```
+#[derive(Debug, Clone)]
+pub struct SimRng {
+    inner: StdRng,
+}
+
+impl SimRng {
+    /// Creates an RNG from a 64-bit seed.
+    pub fn seed_from(seed: u64) -> SimRng {
+        SimRng {
+            inner: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Derives an independent child RNG, e.g. one per simulated worker,
+    /// so adding workers does not perturb the streams of existing ones.
+    pub fn fork(&mut self, salt: u64) -> SimRng {
+        let base = self.inner.next_u64();
+        SimRng::seed_from(base ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+    }
+
+    /// Uniform `u64` in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn gen_range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "empty range [{lo}, {hi})");
+        self.inner.gen_range(lo..hi)
+    }
+
+    /// Uniform `usize` in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn gen_range_usize(&mut self, lo: usize, hi: usize) -> usize {
+        assert!(lo < hi, "empty range [{lo}, {hi})");
+        self.inner.gen_range(lo..hi)
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn gen_unit(&mut self) -> f64 {
+        self.inner.gen::<f64>()
+    }
+
+    /// Uniform `f64` in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi` or either bound is not finite.
+    pub fn gen_range_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        assert!(lo.is_finite() && hi.is_finite() && lo < hi, "invalid range [{lo}, {hi})");
+        lo + (hi - lo) * self.gen_unit()
+    }
+
+    /// Bernoulli draw with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability {p} out of [0, 1]");
+        self.gen_unit() < p
+    }
+
+    /// Exponential draw with mean `mean`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mean` is not positive and finite.
+    pub fn gen_exp(&mut self, mean: f64) -> f64 {
+        assert!(mean.is_finite() && mean > 0.0, "mean must be positive");
+        // Inverse CDF; guard the log argument away from 0.
+        let u = (1.0 - self.gen_unit()).max(f64::MIN_POSITIVE);
+        -mean * u.ln()
+    }
+
+    /// Standard-normal draw via the Box–Muller transform.
+    pub fn gen_std_normal(&mut self) -> f64 {
+        let u1 = self.gen_unit().max(f64::MIN_POSITIVE);
+        let u2 = self.gen_unit();
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+
+    /// Normal draw with the given mean and standard deviation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `std_dev` is negative or either parameter is not finite.
+    pub fn gen_normal(&mut self, mean: f64, std_dev: f64) -> f64 {
+        assert!(mean.is_finite() && std_dev.is_finite() && std_dev >= 0.0);
+        mean + std_dev * self.gen_std_normal()
+    }
+
+    /// Zipf-distributed rank in `[0, n)` with exponent `s` (larger `s`
+    /// skews harder toward rank 0). Uses inverse-CDF over the precomputable
+    /// harmonic weights via rejection-free cumulative search; `O(log n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `s` is negative or not finite.
+    pub fn gen_zipf(&mut self, n: usize, s: f64) -> usize {
+        assert!(n > 0, "zipf needs a non-empty support");
+        assert!(s.is_finite() && s >= 0.0, "zipf exponent must be non-negative");
+        // For the modest n used by the workloads a direct cumulative scan
+        // with on-the-fly weights is fine and allocation-free.
+        let norm: f64 = (1..=n).map(|k| 1.0 / (k as f64).powf(s)).sum();
+        let mut u = self.gen_unit() * norm;
+        for k in 1..=n {
+            let w = 1.0 / (k as f64).powf(s);
+            if u < w {
+                return k - 1;
+            }
+            u -= w;
+        }
+        n - 1
+    }
+
+    /// Pareto draw with scale `x_min` and shape `alpha`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x_min` or `alpha` is not positive and finite.
+    pub fn gen_pareto(&mut self, x_min: f64, alpha: f64) -> f64 {
+        assert!(x_min.is_finite() && x_min > 0.0, "x_min must be positive");
+        assert!(alpha.is_finite() && alpha > 0.0, "alpha must be positive");
+        let u = (1.0 - self.gen_unit()).max(f64::MIN_POSITIVE);
+        x_min / u.powf(1.0 / alpha)
+    }
+
+    /// Fisher–Yates shuffle of a slice.
+    pub fn shuffle<T>(&mut self, slice: &mut [T]) {
+        for i in (1..slice.len()).rev() {
+            let j = self.gen_range_usize(0, i + 1);
+            slice.swap(i, j);
+        }
+    }
+
+    /// Picks a uniformly random element of a non-empty slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slice` is empty.
+    pub fn choose<'a, T>(&mut self, slice: &'a [T]) -> &'a T {
+        assert!(!slice.is_empty(), "cannot choose from an empty slice");
+        &slice[self.gen_range_usize(0, slice.len())]
+    }
+
+    /// Raw 64-bit draw.
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+
+    /// Fills a byte buffer.
+    pub fn fill_bytes(&mut self, buf: &mut [u8]) {
+        self.inner.fill_bytes(buf);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SimRng::seed_from(7);
+        let mut b = SimRng::seed_from(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn forked_streams_differ_from_parent_and_each_other() {
+        let mut root = SimRng::seed_from(1);
+        let mut c1 = root.fork(0);
+        let mut c2 = root.fork(1);
+        let (a, b, c) = (root.next_u64(), c1.next_u64(), c2.next_u64());
+        assert_ne!(a, b);
+        assert_ne!(b, c);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = SimRng::seed_from(3);
+        for _ in 0..1000 {
+            let v = rng.gen_range_u64(10, 20);
+            assert!((10..20).contains(&v));
+            let f = rng.gen_range_f64(-1.0, 1.0);
+            assert!((-1.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn exponential_mean_is_close() {
+        let mut rng = SimRng::seed_from(11);
+        let n = 20_000;
+        let mean = 5.0;
+        let sum: f64 = (0..n).map(|_| rng.gen_exp(mean)).sum();
+        let est = sum / n as f64;
+        assert!((est - mean).abs() < 0.15, "estimated mean {est}");
+    }
+
+    #[test]
+    fn normal_moments_are_close() {
+        let mut rng = SimRng::seed_from(13);
+        let n = 20_000;
+        let xs: Vec<f64> = (0..n).map(|_| rng.gen_normal(3.0, 2.0)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 3.0).abs() < 0.1, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.25, "var {var}");
+    }
+
+    #[test]
+    fn zipf_is_skewed_toward_low_ranks() {
+        let mut rng = SimRng::seed_from(17);
+        let n = 10_000;
+        let mut counts = [0u32; 10];
+        for _ in 0..n {
+            counts[rng.gen_zipf(10, 1.2)] += 1;
+        }
+        assert!(counts[0] > counts[4]);
+        assert!(counts[4] > counts[9]);
+        // rank 0 should hold a large plurality for s=1.2
+        assert!(counts[0] as f64 / n as f64 > 0.25);
+    }
+
+    #[test]
+    fn zipf_zero_exponent_is_uniform_ish() {
+        let mut rng = SimRng::seed_from(19);
+        let mut counts = [0u32; 4];
+        for _ in 0..8000 {
+            counts[rng.gen_zipf(4, 0.0)] += 1;
+        }
+        for c in counts {
+            assert!((c as i64 - 2000).abs() < 300, "count {c}");
+        }
+    }
+
+    #[test]
+    fn pareto_respects_minimum() {
+        let mut rng = SimRng::seed_from(23);
+        for _ in 0..1000 {
+            assert!(rng.gen_pareto(2.0, 1.5) >= 2.0);
+        }
+    }
+
+    #[test]
+    fn bernoulli_frequency() {
+        let mut rng = SimRng::seed_from(29);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.3)).count();
+        assert!((hits as f64 / 10_000.0 - 0.3).abs() < 0.03);
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = SimRng::seed_from(31);
+        let mut v: Vec<u32> = (0..50).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "a 50-element shuffle should not be identity");
+    }
+
+    #[test]
+    fn choose_covers_all_elements_eventually() {
+        let mut rng = SimRng::seed_from(37);
+        let opts = [1, 2, 3];
+        let mut seen = [false; 3];
+        for _ in 0..100 {
+            seen[*rng.choose(&opts) as usize - 1] = true;
+        }
+        assert_eq!(seen, [true; 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        SimRng::seed_from(0).gen_range_u64(5, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty slice")]
+    fn choose_empty_panics() {
+        SimRng::seed_from(0).choose::<u8>(&[]);
+    }
+}

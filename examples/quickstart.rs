@@ -1,0 +1,71 @@
+//! Quickstart: build an ECOSCALE system, register a kernel, watch the
+//! runtime move it from software to hardware.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use std::collections::HashMap;
+use std::error::Error;
+
+use ecoscale::core::SystemBuilder;
+use ecoscale::hls::KernelArgs;
+use ecoscale::noc::NodeId;
+
+// A compute-dense kernel: per element, a square root, an exponential and
+// a logarithm — the profile where reconfigurable logic shines.
+const KERNEL: &str = "kernel intensity(in float a[], out float b[], int n) {
+    for (i in 0 .. n) {
+        b[i] = sqrt(a[i] + 1.0) * exp(0.5 * a[i] / (a[i] + 2.0)) + log(abs(a[i]) + 1.0);
+    }
+}";
+
+fn main() -> Result<(), Box<dyn Error>> {
+    // 1. A Compute Node hierarchy: 4 workers per node, 4 nodes.
+    let mut system = SystemBuilder::new()
+        .workers_per_node(4)
+        .compute_nodes(4)
+        .kernel(KERNEL, HashMap::from([("n".to_string(), 8192.0)]))
+        .build()?;
+    println!(
+        "system: {} workers, {} synthesized module(s)",
+        system.num_workers(),
+        system.library().len()
+    );
+
+    // 2. Call the function a few times; the runtime measures software
+    //    first and fills its execution history.
+    let n = 8192usize;
+    for round in 0..12 {
+        let mut args = KernelArgs::new();
+        args.bind_array("a", (0..n).map(|i| i as f64 * 0.01).collect())
+            .bind_array("b", vec![0.0; n])
+            .bind_scalar("n", n as f64);
+        let out = system.call(NodeId(0), "intensity", &mut args)?;
+        println!(
+            "round {round:>2}: device = {:<11}  latency = {:<12} energy = {}",
+            out.device.to_string(),
+            out.latency.to_string(),
+            out.energy
+        );
+        // 3. Every few calls, the reconfiguration daemon checks the
+        //    history and loads hot functions onto the fabric.
+        if round == 5 {
+            let loads = system.daemon_tick();
+            println!("          daemon tick: {loads} module load(s)");
+        }
+    }
+
+    // 4. Results are real: verify one element.
+    let mut args = KernelArgs::new();
+    args.bind_array("a", vec![4.0])
+        .bind_array("b", vec![0.0])
+        .bind_scalar("n", 1.0);
+    system.call(NodeId(0), "intensity", &mut args)?;
+    let got = args.array("b").expect("bound")[0];
+    let want = (5.0f64).sqrt() * (2.0f64 / 6.0).exp() + (5.0f64).ln();
+    println!("check: b[0] = {got:.6} (expected {want:.6})");
+    assert!((got - want).abs() < 1e-12);
+
+    println!("total system energy: {}", system.energy());
+    println!("\n{}", ecoscale::core::SystemReport::capture(&system));
+    Ok(())
+}

@@ -1,0 +1,25 @@
+//! # ecoscale — a reproduction of the ECOSCALE exascale stack (DATE 2016)
+//!
+//! This facade crate re-exports the whole workspace so examples, tests and
+//! downstream users can reach every layer from one dependency:
+//!
+//! * [`sim`] — deterministic discrete-event simulation substrate
+//! * [`noc`] — hierarchical multi-layer interconnect models
+//! * [`mem`] — UNIMEM global address space, caches, dual-stage SMMU
+//! * [`fpga`] — reconfigurable fabric, partial reconfiguration, bitstreams
+//! * [`hls`] — OpenCL-style kernel DSL, HLS estimation and DSE
+//! * [`runtime`] — distributed command queues, schedulers, prediction models
+//! * [`core`] — Workers, Compute Nodes, UNILOGIC, virtualization block
+//! * [`apps`] — HPC workloads (stencil, GEMM, Monte-Carlo, CART, sort, ...)
+//!
+//! See `README.md` for the architecture overview, `DESIGN.md` for the
+//! system inventory and `EXPERIMENTS.md` for the reproduced figures.
+
+pub use ecoscale_apps as apps;
+pub use ecoscale_core as core;
+pub use ecoscale_fpga as fpga;
+pub use ecoscale_hls as hls;
+pub use ecoscale_mem as mem;
+pub use ecoscale_noc as noc;
+pub use ecoscale_runtime as runtime;
+pub use ecoscale_sim as sim;
