@@ -187,9 +187,9 @@ pub fn distributed_sort(
 
     // 4. local multiway merge and global concatenation
     let mut buckets: Vec<Vec<f64>> = vec![Vec::new(); w];
-    for src in 0..w {
-        for dst in 0..w {
-            buckets[dst].append(&mut outgoing[src][dst]);
+    for per_dst in &mut outgoing {
+        for (dst, chunk) in per_dst.iter_mut().enumerate() {
+            buckets[dst].append(chunk);
         }
     }
     let max_bucket = buckets.iter().map(|b| b.len()).max().unwrap_or(0);

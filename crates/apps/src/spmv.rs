@@ -78,11 +78,11 @@ pub fn generate_vector(n: usize, seed: u64) -> Vec<f64> {
 pub fn reference(m: &CsrMatrix, x: &[f64]) -> Vec<f64> {
     assert_eq!(x.len(), m.n);
     let mut y = vec![0.0; m.n];
-    for i in 0..m.n {
+    for (i, yi) in y.iter_mut().enumerate() {
         let start = m.rowptr[i] as usize;
         let end = m.rowptr[i + 1] as usize;
         for k in start..end {
-            y[i] += m.vals[k] * x[m.cols[k] as usize];
+            *yi += m.vals[k] * x[m.cols[k] as usize];
         }
     }
     y
@@ -147,7 +147,7 @@ mod tests {
     #[test]
     fn zero_vector_gives_zero_result() {
         let m = generate(16, 3, 1);
-        let y = reference(&m, &vec![0.0; 16]);
+        let y = reference(&m, &[0.0; 16]);
         assert!(y.iter().all(|&v| v == 0.0));
     }
 }

@@ -1,0 +1,67 @@
+//! Microbenches of the discrete-event queue hot paths: heap churn,
+//! same-instant FIFO-ring bursts (the pattern zero-latency event
+//! cascades produce), and the `pop_if_at_or_before` horizon fast path
+//! used by `Simulation::run_until`.
+
+use ecoscale_bench::timing::bench;
+use ecoscale_sim::{Duration, EventQueue, SimRng, Time};
+
+const EVENTS: u64 = 10_000;
+
+/// Random future timestamps: everything goes through the heap.
+fn heap_churn() -> u64 {
+    let mut rng = SimRng::seed_from(17);
+    let mut q = EventQueue::with_capacity(EVENTS as usize);
+    for i in 0..EVENTS {
+        q.schedule(Time::from_ns(rng.gen_range_u64(1, 1 << 20)), i);
+    }
+    let mut sum = 0u64;
+    while let Some((_, v)) = q.pop() {
+        sum += v;
+    }
+    sum
+}
+
+/// Zero-latency cascades: each popped event schedules successors at the
+/// current instant, which land in the FIFO ring and bypass the heap.
+fn same_instant_cascade() -> u64 {
+    let mut q = EventQueue::with_capacity(64);
+    q.schedule(Time::from_ns(5), 0u64);
+    let mut spawned = 1u64;
+    let mut sum = 0u64;
+    while let Some((_, v)) = q.pop() {
+        sum += v;
+        for _ in 0..4 {
+            if spawned < EVENTS {
+                q.schedule(q.now(), spawned);
+                spawned += 1;
+            }
+        }
+    }
+    sum
+}
+
+/// Epoch-driven drain: pop everything due up to each horizon, mirroring
+/// `Simulation::run_until` without handler dispatch.
+fn horizon_scan() -> u64 {
+    let mut rng = SimRng::seed_from(23);
+    let mut q = EventQueue::with_capacity(EVENTS as usize);
+    for i in 0..EVENTS {
+        q.schedule(Time::from_ns(rng.gen_range_u64(0, 1000)), i);
+    }
+    let mut sum = 0u64;
+    let mut horizon = Time::ZERO;
+    while !q.is_empty() {
+        horizon += Duration::from_ns(50);
+        while let Some((_, v)) = q.pop_if_at_or_before(horizon) {
+            sum += v;
+        }
+    }
+    sum
+}
+
+fn main() {
+    bench("event_queue/heap_churn_10k", heap_churn);
+    bench("event_queue/same_instant_cascade_10k", same_instant_cascade);
+    bench("event_queue/horizon_scan_10k", horizon_scan);
+}

@@ -1,120 +1,64 @@
-//! Criterion benches: one group per experiment (E1–E15), running each
-//! experiment's code path at [`Scale::Quick`], plus microbenches of the
-//! substrate primitives the experiments are built on.
+//! Wall-clock benches: every experiment's code path at [`Scale::Quick`],
+//! plus microbenches of the substrate primitives the experiments are
+//! built on. Run with `cargo bench -p ecoscale-bench --bench experiments`;
+//! extra arguments filter by substring.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use ecoscale_bench::timing::bench;
+use ecoscale_bench::{Scale, EXPERIMENTS};
 
-use ecoscale_bench::{accel, arch, fpga_exp, runtime_exp, scale_exp, Scale};
-
-fn bench_experiments(c: &mut Criterion) {
-    let mut g = c.benchmark_group("experiments");
-    g.sample_size(10);
-    g.bench_function("e01_hierarchy", |b| {
-        b.iter(|| arch::e01_hierarchy(Scale::Quick))
-    });
-    g.bench_function("e02_task_vs_data", |b| {
-        b.iter(|| arch::e02_task_vs_data(Scale::Quick))
-    });
-    g.bench_function("e03_coherence", |b| {
-        b.iter(|| arch::e03_coherence(Scale::Quick))
-    });
-    g.bench_function("e04_smmu", |b| b.iter(|| accel::e04_smmu(Scale::Quick)));
-    g.bench_function("e05_virtualization", |b| {
-        b.iter(|| accel::e05_virtualization(Scale::Quick))
-    });
-    g.bench_function("e06_unilogic", |b| {
-        b.iter(|| accel::e06_unilogic(Scale::Quick))
-    });
-    g.bench_function("e07_scheduler", |b| {
-        b.iter(|| runtime_exp::e07_scheduler(Scale::Quick))
-    });
-    g.bench_function("e08_lazy", |b| {
-        b.iter(|| runtime_exp::e08_lazy(Scale::Quick))
-    });
-    g.bench_function("e09_compression", |b| {
-        b.iter(|| fpga_exp::e09_compression(Scale::Quick))
-    });
-    g.bench_function("e10_defrag", |b| {
-        b.iter(|| fpga_exp::e10_defrag(Scale::Quick))
-    });
-    g.bench_function("e11_chaining", |b| {
-        b.iter(|| fpga_exp::e11_chaining(Scale::Quick))
-    });
-    g.bench_function("e12_hls_dse", |b| {
-        b.iter(|| fpga_exp::e12_hls_dse(Scale::Quick))
-    });
-    g.bench_function("e13_power", |b| {
-        b.iter(|| scale_exp::e13_power(Scale::Quick))
-    });
-    g.bench_function("e14_hybrid", |b| {
-        b.iter(|| scale_exp::e14_hybrid(Scale::Quick))
-    });
-    g.bench_function("e15_speedup_band", |b| {
-        b.iter(|| accel::e15_speedup_band(Scale::Quick))
-    });
-    g.finish();
+fn bench_experiments() {
+    for &(key, run) in EXPERIMENTS {
+        bench(&format!("exp/{key}"), || run(Scale::Quick));
+    }
 }
 
-fn bench_substrate(c: &mut Criterion) {
+fn bench_substrate() {
     use ecoscale_fpga::{Bitstream, CompressionAlgo, Resources};
     use ecoscale_mem::{PagePerms, Smmu, SmmuConfig, VirtAddr};
     use ecoscale_noc::{NodeId, Topology, TreeTopology};
     use ecoscale_sim::{EventQueue, Time};
 
-    let mut g = c.benchmark_group("substrate");
-
-    g.bench_function("event_queue_push_pop_1k", |b| {
-        b.iter(|| {
-            let mut q = EventQueue::new();
-            for i in 0..1000u64 {
-                q.schedule(Time::from_ns(i * 7 % 500), i);
-            }
-            let mut sum = 0u64;
-            while let Some((_, v)) = q.pop() {
-                sum += v;
-            }
-            sum
-        })
+    bench("substrate/event_queue_push_pop_1k", || {
+        let mut q = EventQueue::new();
+        for i in 0..1000u64 {
+            q.schedule(Time::from_ns(i * 7 % 500), i);
+        }
+        let mut sum = 0u64;
+        while let Some((_, v)) = q.pop() {
+            sum += v;
+        }
+        sum
     });
 
-    g.bench_function("tree_route_4096", |b| {
-        let topo = TreeTopology::new(&[8, 8, 8, 8]);
-        b.iter(|| {
-            let mut hops = 0u32;
-            for i in (0..4096).step_by(17) {
-                hops += topo.route(NodeId(0), NodeId(i)).hop_count();
-            }
-            hops
-        })
+    let topo = TreeTopology::new(&[8, 8, 8, 8]);
+    bench("substrate/tree_route_4096", || {
+        let mut hops = 0u32;
+        for i in (0..4096).step_by(17) {
+            hops += topo.route(NodeId(0), NodeId(i)).hop_count();
+        }
+        hops
     });
 
-    g.bench_function("smmu_translate_hit", |b| {
-        let mut smmu = Smmu::new(SmmuConfig::default());
-        smmu.map(VirtAddr(0x1000), 0x10, 0x100, PagePerms::RW).unwrap();
-        smmu.translate(VirtAddr(0x1000), PagePerms::READ).unwrap();
-        b.iter(|| smmu.translate(VirtAddr(0x1008), PagePerms::READ).unwrap())
+    let mut smmu = Smmu::new(SmmuConfig::default());
+    smmu.map(VirtAddr(0x1000), 0x10, 0x100, PagePerms::RW).unwrap();
+    smmu.translate(VirtAddr(0x1000), PagePerms::READ).unwrap();
+    bench("substrate/smmu_translate_hit", || {
+        smmu.translate(VirtAddr(0x1008), PagePerms::READ).unwrap()
     });
 
     let bs = Bitstream::synthesize(Resources::new(1000, 16, 32), 9);
-    g.bench_function("bitstream_lz_compress", |b| {
-        b.iter(|| CompressionAlgo::Lz.compress(&bs))
-    });
-    g.bench_function("bitstream_rle_compress", |b| {
-        b.iter(|| CompressionAlgo::ZeroRle.compress(&bs))
+    bench("substrate/bitstream_lz_compress", || CompressionAlgo::Lz.compress(&bs));
+    bench("substrate/bitstream_rle_compress", || {
+        CompressionAlgo::ZeroRle.compress(&bs)
     });
 
-    g.bench_function("hls_parse_and_analyze", |b| {
-        b.iter(|| {
-            let k = ecoscale_hls::parse_kernel(ecoscale_apps::blackscholes::KERNEL).unwrap();
-            ecoscale_hls::KernelAnalysis::analyze(
-                &k,
-                &ecoscale_apps::blackscholes::kernel_hints(4096),
-            )
-        })
+    bench("substrate/hls_parse_and_analyze", || {
+        let k = ecoscale_hls::parse_kernel(ecoscale_apps::blackscholes::KERNEL).unwrap();
+        ecoscale_hls::KernelAnalysis::analyze(&k, &ecoscale_apps::blackscholes::kernel_hints(4096))
     });
-
-    g.finish();
 }
 
-criterion_group!(benches, bench_experiments, bench_substrate);
-criterion_main!(benches);
+fn main() {
+    bench_experiments();
+    bench_substrate();
+}

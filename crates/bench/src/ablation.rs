@@ -7,6 +7,7 @@ use ecoscale_hls::ModuleLibrary;
 use ecoscale_mem::{PagePerms, Smmu, SmmuConfig, VirtAddr};
 use ecoscale_noc::{CostModel, Network, NetworkConfig, NodeId, TreeTopology};
 use ecoscale_runtime::{DaemonConfig, DeviceClass, ExecutionHistory, ReconfigDaemon};
+use ecoscale_sim::pool;
 use ecoscale_sim::report::{fnum, fratio, Table};
 use ecoscale_sim::{Duration, Energy, SimRng, Time};
 
@@ -22,8 +23,7 @@ pub fn a4_fat_tree(scale: Scale) -> Table {
         "A4 (ablation): trunk uplink multiplicity under an all-to-all burst",
         &["uplinks", "last arrival", "mean queueing", "speedup vs 1"],
     );
-    let mut base: Option<Duration> = None;
-    for uplinks in [1u64, 2, 4, 8] {
+    let sweeps = pool::parallel_map(vec![1u64, 2, 4, 8], |uplinks| {
         let topo = FatTreeTopology::new(&[8, 8], uplinks);
         let n = topo.num_nodes();
         let mut net = Network::new(topo, NetworkConfig::default());
@@ -40,15 +40,15 @@ pub fn a4_fat_tree(scale: Scale) -> Table {
             last = last.max(del.arrival);
             queueing += del.queueing;
         }
-        let span = last.saturating_since(Time::ZERO);
-        if base.is_none() {
-            base = Some(span);
-        }
+        (uplinks, last.saturating_since(Time::ZERO), queueing)
+    });
+    let base = sweeps.first().expect("uplink sweep non-empty").1;
+    for (uplinks, span, queueing) in sweeps {
         t.row_owned(vec![
             uplinks.to_string(),
             format!("{span}"),
             format!("{}", queueing / msgs as u64),
-            fratio(base.expect("set on first row") / span),
+            fratio(base / span),
         ]);
     }
     t
@@ -62,29 +62,34 @@ pub fn a1_cut_through(scale: Scale) -> Table {
         "A1 (ablation): virtual cut-through vs store-and-forward",
         &["bytes", "hops", "store-and-forward", "cut-through", "speedup"],
     );
-    for &bytes in sizes {
-        for (dst, hops) in [(1usize, 2u32), (63, 6)] {
-            let mk = |cut_through| {
-                Network::new(
-                    TreeTopology::new(&[4, 4, 4]),
-                    NetworkConfig {
-                        cost: CostModel::ecoscale_defaults(),
-                        cut_through,
-                    },
-                )
-            };
-            let sf = mk(false).transfer(Time::ZERO, NodeId(0), NodeId(dst), bytes);
-            let ct = mk(true).transfer(Time::ZERO, NodeId(0), NodeId(dst), bytes);
-            let sf_l = sf.arrival.saturating_since(Time::ZERO);
-            let ct_l = ct.arrival.saturating_since(Time::ZERO);
-            t.row_owned(vec![
-                bytes.to_string(),
-                hops.to_string(),
-                format!("{sf_l}"),
-                format!("{ct_l}"),
-                fratio(sf_l / ct_l),
-            ]);
-        }
+    let combos: Vec<(u64, usize, u32)> = sizes
+        .iter()
+        .flat_map(|&bytes| [(bytes, 1usize, 2u32), (bytes, 63, 6)])
+        .collect();
+    let rows = pool::parallel_map(combos, |(bytes, dst, hops)| {
+        let mk = |cut_through| {
+            Network::new(
+                TreeTopology::new(&[4, 4, 4]),
+                NetworkConfig {
+                    cost: CostModel::ecoscale_defaults(),
+                    cut_through,
+                },
+            )
+        };
+        let sf = mk(false).transfer(Time::ZERO, NodeId(0), NodeId(dst), bytes);
+        let ct = mk(true).transfer(Time::ZERO, NodeId(0), NodeId(dst), bytes);
+        let sf_l = sf.arrival.saturating_since(Time::ZERO);
+        let ct_l = ct.arrival.saturating_since(Time::ZERO);
+        vec![
+            bytes.to_string(),
+            hops.to_string(),
+            format!("{sf_l}"),
+            format!("{ct_l}"),
+            fratio(sf_l / ct_l),
+        ]
+    });
+    for row in rows {
+        t.row_owned(row);
     }
     t
 }
@@ -99,7 +104,7 @@ pub fn a2_tlb_size(scale: Scale) -> Table {
         "A2 (ablation): SMMU TLB capacity vs hit rate (128-page set, 80/20 locality)",
         &["tlb entries", "hit rate", "mean translation", "walks"],
     );
-    for &cap in capacities {
+    let rows = pool::parallel_map(capacities.to_vec(), |cap| {
         let cfg = SmmuConfig {
             tlb_entries: cap,
             ..SmmuConfig::default()
@@ -125,12 +130,15 @@ pub fn a2_tlb_size(scale: Scale) -> Table {
         }
         let hits = smmu.tlb_hits() as f64;
         let misses = smmu.tlb_misses() as f64;
-        t.row_owned(vec![
+        vec![
             cap.to_string(),
             fnum(hits / (hits + misses)),
             format!("{}", total / accesses as u64),
             fnum(misses),
-        ]);
+        ]
+    });
+    for row in rows {
+        t.row_owned(row);
     }
     t
 }
@@ -164,7 +172,7 @@ pub fn a3_benefit_margin(scale: Scale) -> Table {
     let sw_time = [Duration::from_us(480), Duration::from_us(420)];
     let hw_time = Duration::from_us(280);
 
-    for margin in [0.2f64, 1.5, 8.0, 1000.0] {
+    let rows = pool::parallel_map(vec![0.2f64, 1.5, 8.0, 1000.0], |margin| {
         let mut daemon = ReconfigDaemon::new(
             DaemonConfig {
                 period: Duration::from_us(1),
@@ -198,12 +206,15 @@ pub fn a3_benefit_margin(scale: Scale) -> Table {
             }
         }
         let stats = daemon.stats();
-        t.row_owned(vec![
+        vec![
             fnum(margin),
             stats.loads.to_string(),
             format!("{}", stats.busy),
             format!("{}", total + stats.busy),
-        ]);
+        ]
+    });
+    for row in rows {
+        t.row_owned(row);
     }
     t
 }

@@ -10,6 +10,7 @@ use ecoscale_hls::ModuleLibrary;
 use ecoscale_mem::{InvocationModel, SmmuConfig};
 use ecoscale_noc::{NodeId, TreeTopology};
 use ecoscale_runtime::CpuModel;
+use ecoscale_sim::pool;
 use ecoscale_sim::report::{fnum, fratio, Table};
 use ecoscale_sim::Duration;
 
@@ -25,15 +26,18 @@ pub fn e04_smmu(scale: Scale) -> Table {
         "E4 (Fig.4): accelerator invocation overhead, OS-mediated vs user-level SMMU",
         &["buffer pages", "os-mediated", "user-level", "speedup"],
     );
-    for &p in pages {
+    let rows = pool::parallel_map(pages.to_vec(), |p| {
         let os = inv.os_mediated(p);
         let user = inv.user_level(p, &smmu);
-        t.row_owned(vec![
+        vec![
             p.to_string(),
             format!("{os}"),
             format!("{user}"),
             fratio(os / user),
-        ]);
+        ]
+    });
+    for row in rows {
+        t.row_owned(row);
     }
     t
 }
@@ -48,16 +52,19 @@ pub fn e04_invocation_rate(scale: Scale) -> Table {
         "E4b: sustained launch rate vs kernel granularity (1-page args)",
         &["kernel work (us)", "os launches/s", "user launches/s", "ratio"],
     );
-    for &us in works {
+    let rows = pool::parallel_map(works.to_vec(), |us| {
         let work = Duration::from_us(us);
         let os = 1.0 / (inv.os_mediated(1) + work).as_secs_f64();
         let user = 1.0 / (inv.user_level(1, &smmu) + work).as_secs_f64();
-        t.row_owned(vec![
+        vec![
             us.to_string(),
             fnum(os),
             fnum(user),
             fratio(user / os),
-        ]);
+        ]
+    });
+    for row in rows {
+        t.row_owned(row);
     }
     t
 }
@@ -88,19 +95,22 @@ pub fn e05_virtualization(scale: Scale) -> Table {
             "pipelined Mitems/s", "exclusive Mitems/s", "advantage",
         ],
     );
-    for &c in callers {
+    let rows = pool::parallel_map(callers.to_vec(), |c| {
         let p = vb.batch_completion(SharingMode::Pipelined, c, items);
         let e = vb.batch_completion(switch, c, items);
         let tp = vb.aggregate_throughput(SharingMode::Pipelined, c, items) / 1e6;
         let te = vb.aggregate_throughput(switch, c, items) / 1e6;
-        t.row_owned(vec![
+        vec![
             c.to_string(),
             format!("{p}"),
             format!("{e}"),
             fnum(tp),
             fnum(te),
             fratio(e / p),
-        ]);
+        ]
+    });
+    for row in rows {
+        t.row_owned(row);
     }
     t
 }
@@ -134,28 +144,34 @@ pub fn e06_unilogic(scale: Scale) -> Table {
             ecoscale_sim::report::fbytes(c.network_bytes),
         ]);
     }
-    for &bytes in sizes {
+    let blocks = pool::parallel_map(sizes.to_vec(), |bytes| {
         let items = bytes / 16; // two f64 inputs per option
-        for path in AccessPath::ALL {
-            let c = model.cost(
-                &topo,
-                path,
-                module,
-                NodeId(0),
-                NodeId(63),
-                items.max(1),
-                25,
-                3,
-                bytes,
-            );
-            t.row_owned(vec![
-                ecoscale_sim::report::fbytes(bytes),
-                path.to_string(),
-                format!("{}", c.latency),
-                format!("{}", c.energy),
-                ecoscale_sim::report::fbytes(c.network_bytes),
-            ]);
-        }
+        AccessPath::ALL
+            .into_iter()
+            .map(|path| {
+                let c = model.cost(
+                    &topo,
+                    path,
+                    module,
+                    NodeId(0),
+                    NodeId(63),
+                    items.max(1),
+                    25,
+                    3,
+                    bytes,
+                );
+                vec![
+                    ecoscale_sim::report::fbytes(bytes),
+                    path.to_string(),
+                    format!("{}", c.latency),
+                    format!("{}", c.energy),
+                    ecoscale_sim::report::fbytes(c.network_bytes),
+                ]
+            })
+            .collect::<Vec<_>>()
+    });
+    for row in blocks.into_iter().flatten() {
+        t.row_owned(row);
     }
     t
 }
@@ -165,7 +181,9 @@ pub fn e06_unilogic(scale: Scale) -> Table {
 /// Xeon+FPGA 20×) for transcendental-dense kernels, and lower for
 /// lean ones.
 pub fn e15_speedup_band(_scale: Scale) -> Table {
-    let cases: &[(&str, &str, HashMap<String, f64>, u64, u64, u64)] = &[
+    // (name, source, hints, items, ops/item, specials/item)
+    type SpeedupCase = (&'static str, &'static str, HashMap<String, f64>, u64, u64, u64);
+    let cases: &[SpeedupCase] = &[
         (
             "blackscholes",
             ecoscale_apps::blackscholes::KERNEL,
@@ -197,7 +215,7 @@ pub fn e15_speedup_band(_scale: Scale) -> Table {
         "E15 (§3): modelled accelerator speedup over one A53 core",
         &["kernel", "items", "cpu time", "fpga time", "speedup", "energy ratio"],
     );
-    for (name, src, hints, items, ops, specials) in cases {
+    let rows = pool::parallel_map(cases.to_vec(), |(name, src, hints, items, ops, specials)| {
         let kernel = ecoscale_hls::parse_kernel(src).expect("kernel parses");
         let lib = ModuleLibrary::synthesize(
             &[(kernel, hints.clone())],
@@ -208,15 +226,18 @@ pub fn e15_speedup_band(_scale: Scale) -> Table {
         // CPU pays ~25 cycles per transcendental
         let cpu_ops = items * (ops + specials * 24);
         let (t_cpu, e_cpu) = cpu.exec(cpu_ops, items * 3);
-        let (t_fpga, e_fpga) = fpga.exec(module, *items, *ops);
-        t.row_owned(vec![
-            (*name).to_owned(),
+        let (t_fpga, e_fpga) = fpga.exec(module, items, ops);
+        vec![
+            name.to_owned(),
             items.to_string(),
             format!("{t_cpu}"),
             format!("{t_fpga}"),
             fratio(t_cpu / t_fpga),
             fratio(e_cpu / e_fpga),
-        ]);
+        ]
+    });
+    for row in rows {
+        t.row_owned(row);
     }
     t
 }

@@ -7,6 +7,7 @@ use ecoscale_noc::{
     TrafficStats, TreeTopology,
 };
 use ecoscale_runtime::CpuModel;
+use ecoscale_sim::pool;
 use ecoscale_sim::report::{fnum, fratio, Table};
 use ecoscale_sim::{SimRng, Time};
 
@@ -41,7 +42,7 @@ pub fn e01_hierarchy(scale: Scale) -> Table {
             "energy/sweep", "lat ratio",
         ],
     );
-    for &w in sizes {
+    let rows = pool::parallel_map(sizes.to_vec(), |w| {
         let halo = 4096u64;
         let mut rng = SimRng::seed_from(7);
         let pairs: Vec<(usize, usize)> = (0..w)
@@ -77,24 +78,30 @@ pub fn e01_hierarchy(scale: Scale) -> Table {
 
         let n = pairs.len() as f64;
         let ratio = flat_lat / tree_lat;
-        t.row_owned(vec![
-            w.to_string(),
-            "tree".into(),
-            tree.diameter().to_string(),
-            fnum(tree_stats.mean_hops()),
-            format!("{}ns", fnum(tree_lat / n)),
-            format!("{}", tree_stats.energy()),
-            String::new(),
-        ]);
-        t.row_owned(vec![
-            w.to_string(),
-            "flat".into(),
-            flat.diameter().to_string(),
-            fnum(flat_stats.mean_hops()),
-            format!("{}ns", fnum(flat_lat / n)),
-            format!("{}", flat_stats.energy()),
-            fratio(ratio),
-        ]);
+        (
+            vec![
+                w.to_string(),
+                "tree".into(),
+                tree.diameter().to_string(),
+                fnum(tree_stats.mean_hops()),
+                format!("{}ns", fnum(tree_lat / n)),
+                format!("{}", tree_stats.energy()),
+                String::new(),
+            ],
+            vec![
+                w.to_string(),
+                "flat".into(),
+                flat.diameter().to_string(),
+                fnum(flat_stats.mean_hops()),
+                format!("{}ns", fnum(flat_lat / n)),
+                format!("{}", flat_stats.energy()),
+                fratio(ratio),
+            ],
+        )
+    });
+    for (tree_row, flat_row) in rows {
+        t.row_owned(tree_row);
+        t.row_owned(flat_row);
     }
     t
 }
@@ -119,7 +126,7 @@ pub fn e02_task_vs_data(scale: Scale) -> Table {
         ],
     );
     let cpu = CpuModel::a53_default();
-    for &ws in sizes {
+    let rows = pool::parallel_map(sizes.to_vec(), |ws| {
         let flops = ws / 4; // one op per word
         let (compute, _) = cpu.exec(flops, ws / 8);
         // data pull
@@ -133,22 +140,28 @@ pub fn e02_task_vs_data(scale: Scale) -> Table {
         let back = net2.transfer(go.arrival + compute, NodeId(0), NodeId(63), 64);
         let mig_lat = back.arrival.saturating_since(Time::ZERO);
         let mig_energy = go.energy + back.energy;
-        t.row_owned(vec![
-            ecoscale_sim::report::fbytes(ws),
-            "data-pull".into(),
-            ecoscale_sim::report::fbytes(ws),
-            format!("{pull_lat}"),
-            format!("{pull_energy}"),
-            String::new(),
-        ]);
-        t.row_owned(vec![
-            ecoscale_sim::report::fbytes(ws),
-            "task-migrate".into(),
-            "320B".into(),
-            format!("{mig_lat}"),
-            format!("{mig_energy}"),
-            fratio(pull_lat / mig_lat),
-        ]);
+        (
+            vec![
+                ecoscale_sim::report::fbytes(ws),
+                "data-pull".into(),
+                ecoscale_sim::report::fbytes(ws),
+                format!("{pull_lat}"),
+                format!("{pull_energy}"),
+                String::new(),
+            ],
+            vec![
+                ecoscale_sim::report::fbytes(ws),
+                "task-migrate".into(),
+                "320B".into(),
+                format!("{mig_lat}"),
+                format!("{mig_energy}"),
+                fratio(pull_lat / mig_lat),
+            ],
+        )
+    });
+    for (pull_row, mig_row) in rows {
+        t.row_owned(pull_row);
+        t.row_owned(mig_row);
     }
     t
 }
@@ -172,7 +185,7 @@ pub fn e03_coherence(scale: Scale) -> Table {
             "coh total", "unimem total",
         ],
     );
-    for &n in sizes {
+    let rows = pool::parallel_map(sizes.to_vec(), |n| {
         let mut coh = GlobalCoherence::new(n);
         let mut write_msgs = 0u64;
         for _ in 0..epochs {
@@ -190,14 +203,17 @@ pub fn e03_coherence(scale: Scale) -> Table {
         // writer, 2); reads are uncached request/response pairs.
         let unimem_per_write = 2.0;
         let unimem_total = epochs * (n as u64 - 1) * 2 + epochs * 2;
-        t.row_owned(vec![
+        vec![
             n.to_string(),
             fnum(coh_per_write),
             fnum(unimem_per_write),
             fratio(coh_per_write / unimem_per_write),
             coh_total.to_string(),
             unimem_total.to_string(),
-        ]);
+        ]
+    });
+    for row in rows {
+        t.row_owned(row);
     }
     t
 }

@@ -1,30 +1,79 @@
-//! Regenerates every experiment table (E1-E15) at full scale.
+//! Regenerates every experiment table (E1-E15, A1-A4).
 //!
 //! `cargo run --release -p ecoscale-bench --bin exp_all` produces the
-//! outputs quoted in EXPERIMENTS.md.
+//! outputs quoted in EXPERIMENTS.md. Tables are computed concurrently on
+//! the `ecoscale_sim::pool` work pool (width: `ECOSCALE_THREADS`, default
+//! all cores) and printed in the fixed E1→A4 order, so the output is
+//! byte-identical at any thread count.
+//!
+//! ```text
+//! exp_all [--scale quick|full] [KEY...]
+//! exp_all --scale quick e03 e09    # just E3 and E9, reduced sweeps
+//! ```
 
-use ecoscale_bench::Scale;
+use std::process::ExitCode;
 
-fn main() {
-    let s = Scale::Full;
-    println!("{}", ecoscale_bench::arch::e01_hierarchy(s));
-    println!("{}", ecoscale_bench::arch::e02_task_vs_data(s));
-    println!("{}", ecoscale_bench::arch::e03_coherence(s));
-    println!("{}", ecoscale_bench::accel::e04_smmu(s));
-    println!("{}", ecoscale_bench::accel::e04_invocation_rate(s));
-    println!("{}", ecoscale_bench::accel::e05_virtualization(s));
-    println!("{}", ecoscale_bench::accel::e06_unilogic(s));
-    println!("{}", ecoscale_bench::runtime_exp::e07_scheduler(s));
-    println!("{}", ecoscale_bench::runtime_exp::e08_lazy(s));
-    println!("{}", ecoscale_bench::fpga_exp::e09_compression(s));
-    println!("{}", ecoscale_bench::fpga_exp::e10_defrag(s));
-    println!("{}", ecoscale_bench::fpga_exp::e11_chaining(s));
-    println!("{}", ecoscale_bench::fpga_exp::e12_hls_dse(s));
-    println!("{}", ecoscale_bench::scale_exp::e13_power(s));
-    println!("{}", ecoscale_bench::scale_exp::e14_hybrid(s));
-    println!("{}", ecoscale_bench::accel::e15_speedup_band(s));
-    println!("{}", ecoscale_bench::ablation::a1_cut_through(s));
-    println!("{}", ecoscale_bench::ablation::a2_tlb_size(s));
-    println!("{}", ecoscale_bench::ablation::a3_benefit_margin(s));
-    println!("{}", ecoscale_bench::ablation::a4_fat_tree(s));
+use ecoscale_bench::{Scale, EXPERIMENTS};
+use ecoscale_sim::pool;
+
+fn usage() {
+    eprintln!("usage: exp_all [--scale quick|full] [KEY...]");
+    eprintln!("  --scale quick|full   sweep sizes (default: full)");
+    eprintln!("  KEY                  experiment filter, e.g. `exp_all e03 e09`");
+    eprint!("keys:");
+    for (key, _) in EXPERIMENTS {
+        eprint!(" {key}");
+    }
+    eprintln!();
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = Scale::Full;
+    let mut filters: Vec<String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "-h" | "--help" => {
+                usage();
+                return ExitCode::SUCCESS;
+            }
+            "--scale" => {
+                let Some(v) = it.next() else {
+                    eprintln!("error: --scale needs a value (quick|full)");
+                    usage();
+                    return ExitCode::from(2);
+                };
+                scale = match v.as_str() {
+                    "quick" => Scale::Quick,
+                    "full" => Scale::Full,
+                    other => {
+                        eprintln!("error: unknown scale `{other}` (want quick|full)");
+                        usage();
+                        return ExitCode::from(2);
+                    }
+                };
+            }
+            key => filters.push(key.to_ascii_lowercase()),
+        }
+    }
+    for f in &filters {
+        if !EXPERIMENTS.iter().any(|&(key, _)| key == f) {
+            eprintln!("error: unknown experiment `{f}`");
+            usage();
+            return ExitCode::from(2);
+        }
+    }
+    let selected: Vec<_> = EXPERIMENTS
+        .iter()
+        .filter(|&&(key, _)| filters.is_empty() || filters.iter().any(|f| f == key))
+        .copied()
+        .collect();
+    // Whole tables run concurrently; printing happens afterwards in
+    // registry (E1→A4) order.
+    let tables = pool::parallel_map(selected, |(_, run)| run(scale));
+    for table in tables {
+        println!("{table}");
+    }
+    ExitCode::SUCCESS
 }

@@ -6,6 +6,7 @@ use ecoscale_fpga::{
     CompressionAlgo, Fabric, Floorplanner, ModuleId, ReconfigPort, Resources,
 };
 use ecoscale_hls::{Explorer, ModuleLibrary};
+use ecoscale_sim::pool;
 use ecoscale_sim::report::{fnum, fratio, Table};
 use ecoscale_sim::SimRng;
 
@@ -49,8 +50,7 @@ pub fn e09_compression(_scale: Scale) -> Table {
             "total energy", "time vs none",
         ],
     );
-    let mut base_time = None;
-    for algo in CompressionAlgo::ALL {
+    let sweeps = pool::parallel_map(CompressionAlgo::ALL.to_vec(), |algo| {
         let mut stored = 0usize;
         let mut original = 0usize;
         let mut time = ecoscale_sim::Duration::ZERO;
@@ -63,10 +63,14 @@ pub fn e09_compression(_scale: Scale) -> Table {
             time += lat;
             energy += en;
         }
-        if algo == CompressionAlgo::None {
-            base_time = Some(time);
-        }
-        let base = base_time.expect("none runs first");
+        (algo, stored, original, time, energy)
+    });
+    let base = sweeps
+        .iter()
+        .find(|&&(algo, ..)| algo == CompressionAlgo::None)
+        .map(|&(_, _, _, time, _)| time)
+        .expect("uncompressed baseline present");
+    for (algo, stored, original, time, energy) in sweeps {
         t.row_owned(vec![
             algo.name().to_owned(),
             fnum(stored as f64 / 1024.0),
@@ -93,7 +97,7 @@ pub fn e10_defrag(scale: Scale) -> Table {
             "migrations", "final fragmentation",
         ],
     );
-    for defrag in [false, true] {
+    let rows = pool::parallel_map(vec![false, true], |defrag| {
         let mut fp = Floorplanner::new(Fabric::zynq_like(60, 60));
         let mut rng = SimRng::seed_from(11);
         let mut live: Vec<ecoscale_fpga::SlotId> = Vec::new();
@@ -128,14 +132,17 @@ pub fn e10_defrag(scale: Scale) -> Table {
                 fp.remove(slot);
             }
         }
-        t.row_owned(vec![
+        vec![
             if defrag { "defrag+migrate" } else { "first-fit only" }.to_owned(),
             placements.to_string(),
             failures.to_string(),
             fnum(failures as f64 / (failures + placements).max(1) as f64),
             migrations.to_string(),
             fnum(fp.fragmentation()),
-        ]);
+        ]
+    });
+    for row in rows {
+        t.row_owned(row);
     }
     t
 }
@@ -154,7 +161,7 @@ pub fn e11_chaining(scale: Scale) -> Table {
     );
     let lib = workload_library();
     let proto = lib.get("blackscholes").expect("in library").module.clone();
-    for &len in lengths {
+    let rows = pool::parallel_map(lengths.to_vec(), |len| {
         let stages = (0..len)
             .map(|i| {
                 ecoscale_fpga::AcceleratorModule::new(
@@ -171,7 +178,7 @@ pub fn e11_chaining(scale: Scale) -> Table {
         let chain = Chain::new(stages);
         let fused = chain.chained(items, 8, 25);
         let split = chain.store_and_reload(items, 8, 25);
-        t.row_owned(vec![
+        vec![
             len.to_string(),
             ecoscale_sim::report::fbytes(fused.dram_bytes),
             ecoscale_sim::report::fbytes(split.dram_bytes),
@@ -179,7 +186,10 @@ pub fn e11_chaining(scale: Scale) -> Table {
             format!("{}", split.energy),
             fratio(split.energy / fused.energy),
             fnum(chain.ops_per_dram_byte(&fused, items, 25)),
-        ]);
+        ]
+    });
+    for row in rows {
+        t.row_owned(row);
     }
     t
 }

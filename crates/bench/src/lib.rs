@@ -3,8 +3,9 @@
 //! One function per experiment in `DESIGN.md` §4 (E1–E15) plus the §6
 //! ablations (A1–A3); each returns
 //! the [`Table`]s that the corresponding `exp_*` binary prints and that
-//! `EXPERIMENTS.md` quotes. Criterion benches in `benches/` exercise the
-//! same code paths at reduced scale for wall-clock regression tracking.
+//! `EXPERIMENTS.md` quotes. Wall-clock benches in `benches/` (built on
+//! the dependency-free [`timing`] harness) exercise the same code paths
+//! at reduced scale for regression tracking.
 //!
 //! Every experiment takes a [`Scale`] so benches can run small while the
 //! binaries run the full sweeps.
@@ -15,6 +16,7 @@ pub mod arch;
 pub mod fpga_exp;
 pub mod runtime_exp;
 pub mod scale_exp;
+pub mod timing;
 
 pub use ecoscale_sim::report::Table;
 
@@ -37,6 +39,34 @@ impl Scale {
     }
 }
 
+/// The signature every experiment shares.
+pub type ExperimentFn = fn(Scale) -> Table;
+
+/// Every experiment, keyed by the short name `exp_all` accepts as a
+/// filter, in the canonical E1→A4 reporting order.
+pub const EXPERIMENTS: &[(&str, ExperimentFn)] = &[
+    ("e01", arch::e01_hierarchy),
+    ("e02", arch::e02_task_vs_data),
+    ("e03", arch::e03_coherence),
+    ("e04", accel::e04_smmu),
+    ("e04b", accel::e04_invocation_rate),
+    ("e05", accel::e05_virtualization),
+    ("e06", accel::e06_unilogic),
+    ("e07", runtime_exp::e07_scheduler),
+    ("e08", runtime_exp::e08_lazy),
+    ("e09", fpga_exp::e09_compression),
+    ("e10", fpga_exp::e10_defrag),
+    ("e11", fpga_exp::e11_chaining),
+    ("e12", fpga_exp::e12_hls_dse),
+    ("e13", scale_exp::e13_power),
+    ("e14", scale_exp::e14_hybrid),
+    ("e15", accel::e15_speedup_band),
+    ("a1", ablation::a1_cut_through),
+    ("a2", ablation::a2_tlb_size),
+    ("a3", ablation::a3_benefit_margin),
+    ("a4", ablation::a4_fat_tree),
+];
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -45,5 +75,17 @@ mod tests {
     fn scale_pick() {
         assert_eq!(Scale::Quick.pick(1, 2), 1);
         assert_eq!(Scale::Full.pick(1, 2), 2);
+    }
+
+    #[test]
+    fn experiment_registry_keys_are_unique_and_ordered() {
+        assert_eq!(EXPERIMENTS.len(), 20);
+        let keys: Vec<&str> = EXPERIMENTS.iter().map(|&(k, _)| k).collect();
+        let mut dedup = keys.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), keys.len(), "duplicate registry key");
+        assert_eq!(keys.first(), Some(&"e01"));
+        assert_eq!(keys.last(), Some(&"a4"));
     }
 }

@@ -7,6 +7,7 @@ use ecoscale_core::{AccessPath, SystemBuilder, UnilogicModel};
 use ecoscale_hls::KernelAnalysis;
 use ecoscale_noc::{NodeId, TreeTopology};
 use ecoscale_runtime::{skewed_trace, ClusterSim, SchedPolicy};
+use ecoscale_sim::pool;
 use ecoscale_sim::report::{fnum, fratio, Table};
 use ecoscale_sim::{Duration, Energy, SimRng};
 
@@ -74,9 +75,13 @@ pub fn e07_scheduler(scale: Scale) -> Table {
     let mut hw_time = Duration::ZERO;
     let mut hw_energy = Energy::ZERO;
     let mut oracle_time = Duration::ZERO;
-    for &n in &trace {
-        let sw = per_call(n, AccessPath::Software);
-        let hw = per_call(n, AccessPath::LocalCached);
+    let costs = pool::parallel_map(trace.clone(), |n| {
+        (
+            per_call(n, AccessPath::Software),
+            per_call(n, AccessPath::LocalCached),
+        )
+    });
+    for (sw, hw) in costs {
         sw_time += sw.latency;
         sw_energy += sw.energy;
         hw_time += hw.latency;
@@ -133,27 +138,35 @@ pub fn e08_lazy(scale: Scale) -> Table {
         ("coarse", 150_000, scale.pick(400, 3000)),
         ("fine", 8_000, scale.pick(1600, 12_000)),
     ];
-    for &(grain, flops, tasks) in grains {
-        for &w in sizes {
-            let trace = skewed_trace(tasks, w, flops, 1.1, 13);
-            for (name, policy) in [
-                ("lazy-local", SchedPolicy::LazyLocal { probes: 2 }),
-                ("centralized", SchedPolicy::Centralized),
-                ("random-push", SchedPolicy::RandomPush),
-            ] {
-                let r = ClusterSim::new(w, policy, 1).run(&trace);
-                t.row_owned(vec![
-                    grain.to_owned(),
-                    w.to_string(),
-                    name.to_owned(),
-                    format!("{}", r.makespan),
-                    format!("{}", r.sched_overhead),
-                    r.messages.to_string(),
-                    fnum(r.imbalance),
-                    fnum(r.mean_utilization),
-                ]);
-            }
-        }
+    let combos: Vec<(&str, u64, usize, usize)> = grains
+        .iter()
+        .flat_map(|&(grain, flops, tasks)| sizes.iter().map(move |&w| (grain, flops, tasks, w)))
+        .collect();
+    let blocks = pool::parallel_map(combos, |(grain, flops, tasks, w)| {
+        let trace = skewed_trace(tasks, w, flops, 1.1, 13);
+        [
+            ("lazy-local", SchedPolicy::LazyLocal { probes: 2 }),
+            ("centralized", SchedPolicy::Centralized),
+            ("random-push", SchedPolicy::RandomPush),
+        ]
+        .into_iter()
+        .map(|(name, policy)| {
+            let r = ClusterSim::new(w, policy, 1).run(&trace);
+            vec![
+                grain.to_owned(),
+                w.to_string(),
+                name.to_owned(),
+                format!("{}", r.makespan),
+                format!("{}", r.sched_overhead),
+                r.messages.to_string(),
+                fnum(r.imbalance),
+                fnum(r.mean_utilization),
+            ]
+        })
+        .collect::<Vec<_>>()
+    });
+    for row in blocks.into_iter().flatten() {
+        t.row_owned(row);
     }
     t
 }

@@ -3,6 +3,7 @@
 
 use ecoscale_core::{machine_power_for_exaflop, MachineClass};
 use ecoscale_apps::sort::{distributed_sort, generate, SortMode};
+use ecoscale_sim::pool;
 use ecoscale_sim::report::{fnum, fratio, Table};
 
 use crate::Scale;
@@ -43,12 +44,12 @@ pub fn e14_hybrid(scale: Scale) -> Table {
             "inter-node", "speedup", "exchange speedup",
         ],
     );
-    for &nodes in node_counts {
+    let blocks = pool::parallel_map(node_counts.to_vec(), |nodes| {
         let data = generate(keys, 5);
         let mpi = distributed_sort(&data, nodes, wpn, SortMode::PureMpi, 1);
         let hybrid = distributed_sort(&data, nodes, wpn, SortMode::Hybrid, 1);
         assert_eq!(mpi.sorted, hybrid.sorted, "both modes sort identically");
-        for (name, out, speedup, xspeedup) in [
+        [
             ("pure-mpi", &mpi, 1.0, 1.0),
             (
                 "hybrid",
@@ -56,8 +57,10 @@ pub fn e14_hybrid(scale: Scale) -> Table {
                 mpi.elapsed / hybrid.elapsed,
                 mpi.exchange / hybrid.exchange,
             ),
-        ] {
-            t.row_owned(vec![
+        ]
+        .into_iter()
+        .map(|(name, out, speedup, xspeedup)| {
+            vec![
                 nodes.to_string(),
                 (nodes * wpn).to_string(),
                 name.to_owned(),
@@ -67,8 +70,12 @@ pub fn e14_hybrid(scale: Scale) -> Table {
                 ecoscale_sim::report::fbytes(out.inter_node_bytes),
                 fratio(speedup),
                 fratio(xspeedup),
-            ]);
-        }
+            ]
+        })
+        .collect::<Vec<_>>()
+    });
+    for row in blocks.into_iter().flatten() {
+        t.row_owned(row);
     }
     t
 }

@@ -1,0 +1,87 @@
+//! A minimal wall-clock bench harness.
+//!
+//! The workspace carries no external dependencies, so the `benches/`
+//! binaries (built with `harness = false`) time their subjects with this
+//! module instead of criterion: one warm-up call, then repeated calls
+//! until a time budget or iteration cap is reached, reporting mean and
+//! best-case wall-clock per iteration.
+//!
+//! `cargo bench -p ecoscale-bench` runs every bench; passing extra
+//! arguments filters subjects by substring, e.g.
+//! `cargo bench -p ecoscale-bench --bench experiments -- e09`.
+
+use std::time::{Duration, Instant};
+
+/// Per-subject time budget.
+const BUDGET: Duration = Duration::from_millis(300);
+/// Iteration cap per subject.
+const MAX_ITERS: u32 = 1000;
+
+/// Returns `true` when `name` matches the command-line filter (any
+/// non-flag argument as a substring; no arguments means run everything).
+pub fn selected(name: &str) -> bool {
+    let filters: Vec<String> = std::env::args()
+        .skip(1)
+        .filter(|a| !a.starts_with('-'))
+        .collect();
+    filters.is_empty() || filters.iter().any(|f| name.contains(f.as_str()))
+}
+
+/// Times `f` and prints one aligned result line.
+///
+/// Returns the mean per-iteration wall-clock so callers can derive
+/// ratios (e.g. sequential vs parallel).
+pub fn bench<R>(name: &str, mut f: impl FnMut() -> R) -> Option<Duration> {
+    if !selected(name) {
+        return None;
+    }
+    std::hint::black_box(f()); // warm-up
+    let started = Instant::now();
+    let mut iters = 0u32;
+    let mut best = Duration::MAX;
+    while iters < MAX_ITERS && started.elapsed() < BUDGET {
+        let t0 = Instant::now();
+        std::hint::black_box(f());
+        best = best.min(t0.elapsed());
+        iters += 1;
+    }
+    let mean = started.elapsed() / iters;
+    println!(
+        "{name:<44} {iters:>5} iters   mean {:>12}   min {:>12}",
+        fmt(mean),
+        fmt(best)
+    );
+    Some(mean)
+}
+
+fn fmt(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 10_000 {
+        format!("{ns}ns")
+    } else if ns < 10_000_000 {
+        format!("{:.2}us", ns as f64 / 1e3)
+    } else if ns < 10_000_000_000 {
+        format!("{:.2}ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2}s", ns as f64 / 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_returns_a_positive_mean() {
+        let mean = bench("smoke", || std::hint::black_box(1u64 + 1)).expect("no filter set");
+        assert!(mean > Duration::ZERO);
+    }
+
+    #[test]
+    fn fmt_picks_sane_units() {
+        assert_eq!(fmt(Duration::from_nanos(12)), "12ns");
+        assert!(fmt(Duration::from_micros(150)).ends_with("us"));
+        assert!(fmt(Duration::from_millis(150)).ends_with("ms"));
+        assert!(fmt(Duration::from_secs(15)).ends_with('s'));
+    }
+}

@@ -16,8 +16,6 @@
 
 use std::sync::{Arc, OnceLock};
 
-use bytes::Bytes;
-
 use ecoscale_sim::SimRng;
 
 use crate::fabric::Resources;
@@ -42,7 +40,7 @@ pub const FRAME_BYTES: usize = 256;
 /// ```
 #[derive(Debug, Clone)]
 pub struct Bitstream {
-    data: Bytes,
+    data: Arc<[u8]>,
     compressed_sizes: Arc<OnceLock<[usize; 4]>>,
 }
 
@@ -62,7 +60,7 @@ impl Bitstream {
             data.resize(data.len() + FRAME_BYTES - rem, 0);
         }
         Bitstream {
-            data: Bytes::from(data),
+            data: data.into(),
             compressed_sizes: Arc::new(OnceLock::new()),
         }
     }
@@ -110,7 +108,7 @@ impl Bitstream {
             }
         }
         Bitstream {
-            data: Bytes::from(data),
+            data: data.into(),
             compressed_sizes: Arc::new(OnceLock::new()),
         }
     }
@@ -464,7 +462,7 @@ mod tests {
         let c = sample(10);
         assert_eq!(a, b);
         assert_ne!(a, c);
-        assert_eq!(a.len(), 424 * BYTES_PER_CELL / FRAME_BYTES * FRAME_BYTES + if (424 * BYTES_PER_CELL) % FRAME_BYTES != 0 { FRAME_BYTES } else { 0 });
+        assert_eq!(a.len(), 424 * BYTES_PER_CELL / FRAME_BYTES * FRAME_BYTES + if (424 * BYTES_PER_CELL).is_multiple_of(FRAME_BYTES) { 0 } else { FRAME_BYTES });
         assert_eq!(a.len() % FRAME_BYTES, 0);
         assert!(a.frames() > 0);
     }

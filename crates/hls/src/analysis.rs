@@ -460,11 +460,13 @@ mod tests {
 
     #[test]
     fn flops_and_mem_ops_helpers() {
-        let mut c = OpCensus::default();
-        c.add_sub = 2;
-        c.mul = 3;
-        c.loads = 4;
-        c.stores = 1;
+        let c = OpCensus {
+            add_sub: 2,
+            mul: 3,
+            loads: 4,
+            stores: 1,
+            ..OpCensus::default()
+        };
         assert_eq!(c.flops(), 5);
         assert_eq!(c.mem_ops(), 5);
     }

@@ -326,7 +326,7 @@ mod tests {
         assert!(!lib.is_empty());
         let e = lib.get("saxpy").unwrap();
         assert_eq!(e.module.name(), "saxpy");
-        assert!(e.module.bitstream().len() > 0);
+        assert!(!e.module.bitstream().is_empty());
         assert_eq!(lib.by_id(e.module.id()).unwrap().kernel.name(), "saxpy");
         assert!(lib.get("missing").is_none());
     }

@@ -91,6 +91,21 @@ struct TlbEntry {
     lru: u64,
 }
 
+/// The most-recently-used translation, held in front of the TLB map.
+///
+/// Accelerator streams touch the same page for many consecutive accesses,
+/// so this single slot absorbs most lookups without hashing. LRU
+/// bookkeeping for the shadowed TLB entry is deferred: `last_used` is
+/// written back to the map entry when the slot moves to another page, so
+/// eviction decisions are identical to a map-only TLB.
+#[derive(Debug, Clone, Copy)]
+struct MruSlot {
+    vpn: u64,
+    ppn: u64,
+    perms: PagePerms,
+    last_used: u64,
+}
+
 /// The dual-stage SMMU: two page tables plus a unified TLB caching the
 /// combined VA→PA translation.
 ///
@@ -113,9 +128,11 @@ pub struct Smmu {
     stage1: PageTable,
     stage2: PageTable,
     tlb: HashMap<u64, TlbEntry>,
+    mru: Option<MruSlot>,
     clock: u64,
     tlb_hits: Counter,
     tlb_misses: Counter,
+    mru_hits: Counter,
     faults: Counter,
 }
 
@@ -126,10 +143,12 @@ impl Smmu {
             stage1: PageTable::new(config.stage1_levels),
             stage2: PageTable::new(config.stage2_levels),
             config,
-            tlb: HashMap::new(),
+            tlb: HashMap::with_capacity(config.tlb_entries),
+            mru: None,
             clock: 0,
             tlb_hits: Counter::new(),
             tlb_misses: Counter::new(),
+            mru_hits: Counter::new(),
             faults: Counter::new(),
         }
     }
@@ -185,11 +204,29 @@ impl Smmu {
     ) -> Result<(PhysAddr, Duration), SmmuFault> {
         self.clock += 1;
         let vpn = va.page();
+        // MRU fast path: repeated touches of one page skip the map.
+        if let Some(m) = &mut self.mru {
+            if m.vpn == vpn && m.perms.allows(need) {
+                m.last_used = self.clock;
+                self.tlb_hits.incr();
+                self.mru_hits.incr();
+                return Ok((PhysAddr::from_page(m.ppn, va.page_offset()), self.config.tlb_hit));
+            }
+        }
+        // Moving to a different page: sync the shadowed entry's LRU stamp
+        // so eviction order matches a map-only TLB exactly.
+        if let Some(m) = self.mru.take() {
+            if let Some(e) = self.tlb.get_mut(&m.vpn) {
+                e.lru = e.lru.max(m.last_used);
+            }
+        }
         if let Some(e) = self.tlb.get_mut(&vpn) {
             if e.perms.allows(need) {
                 e.lru = self.clock;
+                let slot = MruSlot { vpn, ppn: e.ppn, perms: e.perms, last_used: self.clock };
                 self.tlb_hits.incr();
-                return Ok((PhysAddr::from_page(e.ppn, va.page_offset()), self.config.tlb_hit));
+                self.mru = Some(slot);
+                return Ok((PhysAddr::from_page(slot.ppn, va.page_offset()), self.config.tlb_hit));
             }
             // permission upgrade needs a walk; fall through
         }
@@ -218,12 +255,15 @@ impl Smmu {
                 lru: self.clock,
             },
         );
+        self.mru = Some(MruSlot { vpn, ppn: pa_page, perms, last_used: self.clock });
         Ok((PhysAddr::from_page(pa_page, va.page_offset()), self.config.tlb_hit + walk))
     }
 
-    /// Drops every TLB entry (e.g. on context switch of the accelerator).
+    /// Drops every TLB entry, including the MRU fast slot (e.g. on
+    /// context switch or reconfiguration of the accelerator).
     pub fn invalidate_tlb(&mut self) {
         self.tlb.clear();
+        self.mru = None;
     }
 
     /// TLB hits so far.
@@ -234,6 +274,12 @@ impl Smmu {
     /// TLB misses so far.
     pub fn tlb_misses(&self) -> u64 {
         self.tlb_misses.get()
+    }
+
+    /// TLB hits served by the last-translation MRU slot (a subset of
+    /// [`Smmu::tlb_hits`]).
+    pub fn mru_hits(&self) -> u64 {
+        self.mru_hits.get()
     }
 
     /// Translation faults so far.
@@ -340,8 +386,10 @@ mod tests {
 
     #[test]
     fn tlb_capacity_evicts_lru() {
-        let mut cfg = SmmuConfig::default();
-        cfg.tlb_entries = 2;
+        let cfg = SmmuConfig {
+            tlb_entries: 2,
+            ..SmmuConfig::default()
+        };
         let mut s = Smmu::new(cfg);
         for p in 0..3 {
             s.map(VirtAddr::from_page(p, 0), 0x100 + p, 0x1000 + p, PagePerms::RW)
@@ -354,6 +402,25 @@ mod tests {
         s.translate(VirtAddr::from_page(1, 0), PagePerms::READ).unwrap(); // miss again
         assert_eq!(s.tlb_misses(), 4);
         assert_eq!(s.tlb_hits(), 1);
+    }
+
+    #[test]
+    fn mru_slot_serves_repeated_touches() {
+        let mut s = mapped_smmu(4);
+        s.translate(VirtAddr::from_page(0, 0), PagePerms::READ).unwrap(); // walk
+        for i in 0..10 {
+            s.translate(VirtAddr::from_page(0, i), PagePerms::READ).unwrap();
+        }
+        assert_eq!(s.mru_hits(), 10);
+        assert_eq!(s.tlb_hits(), 10);
+        // a different page misses the MRU slot but may still hit the map
+        s.translate(VirtAddr::from_page(1, 0), PagePerms::READ).unwrap(); // walk
+        s.translate(VirtAddr::from_page(0, 0), PagePerms::READ).unwrap(); // map hit
+        assert_eq!(s.tlb_misses(), 2);
+        assert_eq!(s.mru_hits(), 10);
+        s.invalidate_tlb();
+        s.translate(VirtAddr::from_page(0, 0), PagePerms::READ).unwrap();
+        assert_eq!(s.tlb_misses(), 3, "invalidation clears the MRU slot too");
     }
 
     #[test]

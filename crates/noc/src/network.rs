@@ -69,6 +69,12 @@ pub struct Network<T: Topology> {
     config: NetworkConfig,
     link_free_at: HashMap<LinkId, Time>,
     stats: TrafficStats,
+    /// Memoized routes per (src, dst) pair. Topologies are static between
+    /// [`Network::invalidate_routes`] calls, and traffic patterns reuse
+    /// the same pairs heavily, so transfers skip recomputing the route.
+    route_memo: HashMap<(NodeId, NodeId), Route>,
+    route_memo_hits: u64,
+    route_memo_misses: u64,
 }
 
 impl<T: Topology> Network<T> {
@@ -79,6 +85,9 @@ impl<T: Topology> Network<T> {
             config,
             link_free_at: HashMap::new(),
             stats: TrafficStats::new(),
+            route_memo: HashMap::new(),
+            route_memo_hits: 0,
+            route_memo_misses: 0,
         }
     }
 
@@ -110,7 +119,7 @@ impl<T: Topology> Network<T> {
     /// the contention model to be meaningful; out-of-order submissions are
     /// allowed but see the link in its latest known state.
     pub fn transfer(&mut self, start: Time, src: NodeId, dst: NodeId, bytes: u64) -> Delivery {
-        let route = self.topo.route(src, dst);
+        let route = self.memoized_route(src, dst);
         self.stats.record(&route, bytes, &self.config.cost);
         if route.is_local() {
             return Delivery {
@@ -165,15 +174,39 @@ impl<T: Topology> Network<T> {
         }
     }
 
-    /// Route lookup passthrough.
+    /// Route lookup passthrough (uncached).
     pub fn route(&self, src: NodeId, dst: NodeId) -> Route {
         self.topo.route(src, dst)
     }
 
-    /// Clears link occupancy and statistics.
+    /// Route lookup through the per-(src, dst) memo.
+    fn memoized_route(&mut self, src: NodeId, dst: NodeId) -> Route {
+        if let Some(r) = self.route_memo.get(&(src, dst)) {
+            self.route_memo_hits += 1;
+            return r.clone();
+        }
+        self.route_memo_misses += 1;
+        let r = self.topo.route(src, dst);
+        self.route_memo.insert((src, dst), r.clone());
+        r
+    }
+
+    /// Transfers served from the route memo / computed fresh.
+    pub fn route_memo_stats(&self) -> (u64, u64) {
+        (self.route_memo_hits, self.route_memo_misses)
+    }
+
+    /// Drops all memoized routes. Call after reconfiguring the topology
+    /// (e.g. remapping a failed link) so stale paths are never reused.
+    pub fn invalidate_routes(&mut self) {
+        self.route_memo.clear();
+    }
+
+    /// Clears link occupancy, statistics and memoized routes.
     pub fn reset(&mut self) {
         self.link_free_at.clear();
         self.stats = TrafficStats::new();
+        self.invalidate_routes();
     }
 }
 
@@ -256,6 +289,21 @@ mod tests {
         let d = n.transfer(Time::ZERO, NodeId(0), NodeId(7), 64);
         assert_eq!(d.hops, 2);
         assert!(d.arrival > Time::ZERO);
+    }
+
+    #[test]
+    fn route_memo_hits_on_repeated_pairs_and_invalidates() {
+        let mut n = net(false);
+        n.transfer(Time::ZERO, NodeId(0), NodeId(15), 64);
+        n.transfer(Time::ZERO, NodeId(0), NodeId(15), 64);
+        n.transfer(Time::ZERO, NodeId(1), NodeId(15), 64);
+        assert_eq!(n.route_memo_stats(), (1, 2));
+        // memoized transfers match the uncached route
+        let d = n.transfer(Time::from_ms(10), NodeId(0), NodeId(15), 64);
+        assert_eq!(d.hops, n.route(NodeId(0), NodeId(15)).hop_count());
+        n.invalidate_routes();
+        n.transfer(Time::from_ms(10), NodeId(0), NodeId(15), 64);
+        assert_eq!(n.route_memo_stats(), (2, 3));
     }
 
     #[test]

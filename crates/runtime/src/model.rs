@@ -70,12 +70,14 @@ fn solve(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Option<Vec<f64>> {
         }
         a.swap(col, pivot);
         b.swap(col, pivot);
-        for r in (col + 1)..n {
-            let f = a[r][col] / a[col][col];
-            for c in col..n {
-                a[r][c] -= f * a[col][c];
+        let (pivot_rows, elim_rows) = a.split_at_mut(col + 1);
+        let prow = &pivot_rows[col];
+        for (off, row) in elim_rows.iter_mut().enumerate() {
+            let f = row[col] / prow[col];
+            for (x, p) in row[col..].iter_mut().zip(&prow[col..]) {
+                *x -= f * p;
             }
-            b[r] -= f * b[col];
+            b[col + 1 + off] -= f * b[col];
         }
     }
     let mut w = vec![0.0; n];

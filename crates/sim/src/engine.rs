@@ -122,15 +122,15 @@ where
             if delivered >= max_events {
                 return StopReason::BudgetExhausted;
             }
-            match self.queue.peek_time() {
-                None => return StopReason::QueueEmpty,
-                Some(t) if t > horizon => return StopReason::HorizonReached,
-                Some(_) => {}
+            match self.queue.pop_if_at_or_before(horizon) {
+                None if self.queue.is_empty() => return StopReason::QueueEmpty,
+                None => return StopReason::HorizonReached,
+                Some((t, ev)) => {
+                    self.handler.handle(t, ev, &mut self.queue);
+                    self.events_processed += 1;
+                    delivered += 1;
+                }
             }
-            let (t, ev) = self.queue.pop().expect("peeked event must exist");
-            self.handler.handle(t, ev, &mut self.queue);
-            self.events_processed += 1;
-            delivered += 1;
         }
     }
 

@@ -4,9 +4,19 @@
 //! time, then by insertion sequence number, so that two events scheduled
 //! for the same instant are always delivered in the order they were
 //! scheduled. This tie-break is what makes whole-system runs reproducible.
+//!
+//! # Hot-path structure
+//!
+//! Request/response chains schedule most of their events *at the current
+//! instant* ([`EventQueue::schedule_now`]). Those events never need heap
+//! ordering: any event scheduled at the current time is, by the FIFO
+//! tie-break, delivered after everything already pending for this instant
+//! and before anything later. They therefore go to a plain ring buffer
+//! that is pushed and popped in `O(1)`, bypassing the `BinaryHeap`
+//! entirely; only genuinely future events pay the `O(log n)` heap cost.
 
 use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, VecDeque};
 
 use crate::time::{Duration, Time};
 
@@ -54,6 +64,12 @@ impl<E> Ord for Entry<E> {
 #[derive(Debug)]
 pub struct EventQueue<E> {
     heap: BinaryHeap<Reverse<Entry<E>>>,
+    /// Events scheduled *at* the current instant, in FIFO order. Invariant:
+    /// every entry here carries timestamp `now`, and was scheduled after
+    /// every heap entry with timestamp `now` (heap entries at the current
+    /// instant were pushed before the clock reached it, hence carry
+    /// smaller sequence numbers).
+    now_ring: VecDeque<E>,
     next_seq: u64,
     now: Time,
     scheduled_total: u64,
@@ -70,10 +86,28 @@ impl<E> EventQueue<E> {
     pub fn new() -> EventQueue<E> {
         EventQueue {
             heap: BinaryHeap::new(),
+            now_ring: VecDeque::new(),
             next_seq: 0,
             now: Time::ZERO,
             scheduled_total: 0,
         }
+    }
+
+    /// Creates an empty queue with room for `capacity` pending events.
+    pub fn with_capacity(capacity: usize) -> EventQueue<E> {
+        EventQueue {
+            heap: BinaryHeap::with_capacity(capacity),
+            now_ring: VecDeque::with_capacity(capacity.min(1024)),
+            next_seq: 0,
+            now: Time::ZERO,
+            scheduled_total: 0,
+        }
+    }
+
+    /// Reserves room for at least `additional` more pending events,
+    /// avoiding reallocation churn in scheduling bursts.
+    pub fn reserve(&mut self, additional: usize) {
+        self.heap.reserve(additional);
     }
 
     /// The current simulation time: the timestamp of the most recently
@@ -94,9 +128,15 @@ impl<E> EventQueue<E> {
             "cannot schedule an event at {at}, which is before now ({})",
             self.now
         );
+        self.scheduled_total += 1;
+        if at == self.now {
+            // Same-instant events keep FIFO order by construction; no heap
+            // ordering (or sequence number) needed.
+            self.now_ring.push_back(event);
+            return;
+        }
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.scheduled_total += 1;
         self.heap.push(Reverse(Entry { time: at, seq, event }));
     }
 
@@ -114,25 +154,48 @@ impl<E> EventQueue<E> {
     /// Removes and returns the earliest event, advancing the clock to its
     /// timestamp.
     pub fn pop(&mut self) -> Option<(Time, E)> {
-        let Reverse(entry) = self.heap.pop()?;
-        debug_assert!(entry.time >= self.now);
-        self.now = entry.time;
-        Some((entry.time, entry.event))
+        // Heap entries at the current instant precede the ring (they were
+        // scheduled before the clock reached this instant).
+        if let Some(Reverse(top)) = self.heap.peek() {
+            if top.time == self.now || self.now_ring.is_empty() {
+                let Reverse(entry) = self.heap.pop().expect("peeked entry exists");
+                debug_assert!(entry.time >= self.now);
+                self.now = entry.time;
+                return Some((entry.time, entry.event));
+            }
+        }
+        let event = self.now_ring.pop_front()?;
+        Some((self.now, event))
+    }
+
+    /// Pops the earliest event only if it is at or before `horizon`
+    /// (single traversal — the `run_until` fast path).
+    pub fn pop_if_at_or_before(&mut self, horizon: Time) -> Option<(Time, E)> {
+        if self.peek_time()? > horizon {
+            return None;
+        }
+        self.pop()
     }
 
     /// The timestamp of the earliest pending event, if any.
     pub fn peek_time(&self) -> Option<Time> {
-        self.heap.peek().map(|Reverse(e)| e.time)
+        if self.now_ring.is_empty() {
+            self.heap.peek().map(|Reverse(e)| e.time)
+        } else {
+            // ring entries are at the current instant; a heap entry can
+            // tie but never precede it
+            Some(self.now)
+        }
     }
 
     /// Number of pending events.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.heap.len() + self.now_ring.len()
     }
 
     /// Returns `true` if no events are pending.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.heap.is_empty() && self.now_ring.is_empty()
     }
 
     /// Total number of events ever scheduled on this queue.
@@ -143,6 +206,7 @@ impl<E> EventQueue<E> {
     /// Discards all pending events without advancing the clock.
     pub fn clear(&mut self) {
         self.heap.clear();
+        self.now_ring.clear();
     }
 }
 
@@ -205,6 +269,74 @@ mod tests {
         q.schedule(Time::from_ns(10), ());
         q.pop();
         q.schedule(Time::from_ns(9), ());
+    }
+
+    #[test]
+    fn heap_events_at_current_instant_precede_ring_events() {
+        let mut q = EventQueue::new();
+        q.schedule(Time::from_ns(10), "heap-early"); // seq 0, future
+        q.schedule(Time::from_ns(10), "heap-late"); // seq 1, future
+        q.schedule(Time::from_ns(5), "first");
+        let (_, e) = q.pop().unwrap();
+        assert_eq!(e, "first");
+        // clock at 5; advance to 10 by popping the first heap entry
+        let (t, e) = q.pop().unwrap();
+        assert_eq!((t, e), (Time::from_ns(10), "heap-early"));
+        // now == 10: schedule_now goes to the ring, but the remaining
+        // heap entry at 10 was scheduled earlier and must come first
+        q.schedule_now("ring-a");
+        q.schedule_now("ring-b");
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, ["heap-late", "ring-a", "ring-b"]);
+    }
+
+    #[test]
+    fn ring_then_future_heap_event() {
+        let mut q = EventQueue::new();
+        q.schedule(Time::from_ns(20), "later");
+        q.schedule_now("now-1");
+        q.schedule_now("now-2");
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.peek_time(), Some(Time::ZERO));
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).collect();
+        assert_eq!(
+            order,
+            [
+                (Time::ZERO, "now-1"),
+                (Time::ZERO, "now-2"),
+                (Time::from_ns(20), "later"),
+            ]
+        );
+    }
+
+    #[test]
+    fn pop_if_at_or_before_respects_horizon() {
+        let mut q = EventQueue::new();
+        q.schedule(Time::from_ns(10), "a");
+        q.schedule(Time::from_ns(20), "b");
+        assert_eq!(q.pop_if_at_or_before(Time::from_ns(5)), None);
+        assert_eq!(
+            q.pop_if_at_or_before(Time::from_ns(10)),
+            Some((Time::from_ns(10), "a"))
+        );
+        // ring events sit at now (=10), inside any horizon >= now
+        q.schedule_now("c");
+        assert_eq!(
+            q.pop_if_at_or_before(Time::from_ns(10)),
+            Some((Time::from_ns(10), "c"))
+        );
+        assert_eq!(q.pop_if_at_or_before(Time::from_ns(19)), None);
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn with_capacity_and_reserve_behave_like_new() {
+        let mut q = EventQueue::with_capacity(64);
+        q.reserve(100);
+        q.schedule(Time::from_ns(3), 1);
+        q.schedule_now(0);
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, [0, 1]);
     }
 
     #[test]

@@ -39,6 +39,7 @@
 pub mod energy;
 pub mod engine;
 pub mod event;
+pub mod pool;
 pub mod report;
 pub mod rng;
 pub mod stats;

@@ -1,12 +1,11 @@
 //! Seeded randomness with the distributions the workload generators need.
 //!
-//! Everything random in the reproduction flows through [`SimRng`], a thin
-//! wrapper over [`rand::rngs::StdRng`] seeded explicitly, with hand-rolled
-//! samplers for the exponential, normal, Zipf and Pareto distributions
-//! (only the base `rand` crate is available offline).
-
-use rand::rngs::StdRng;
-use rand::{Rng, RngCore, SeedableRng};
+//! Everything random in the reproduction flows through [`SimRng`], a
+//! self-contained xoshiro256** generator seeded explicitly (via a
+//! splitmix64 expansion of the 64-bit seed), with hand-rolled samplers for
+//! the exponential, normal, Zipf and Pareto distributions. No external
+//! crates are involved, so the streams are stable across toolchains and
+//! fully reproducible offline.
 
 /// A deterministic random source.
 ///
@@ -21,21 +20,67 @@ use rand::{Rng, RngCore, SeedableRng};
 /// ```
 #[derive(Debug, Clone)]
 pub struct SimRng {
-    inner: StdRng,
+    state: [u64; 4],
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 impl SimRng {
     /// Creates an RNG from a 64-bit seed.
     pub fn seed_from(seed: u64) -> SimRng {
+        let mut sm = seed;
         SimRng {
-            inner: StdRng::seed_from_u64(seed),
+            state: [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ],
         }
+    }
+
+    /// The xoshiro256** core step.
+    fn next_raw(&mut self) -> u64 {
+        let s = &mut self.state;
+        let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// Unbiased uniform draw in `[0, bound)` (Lemire's widening-multiply
+    /// method with rejection).
+    fn uniform_below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        let mut x = self.next_raw();
+        let mut m = (x as u128) * (bound as u128);
+        let mut low = m as u64;
+        if low < bound {
+            let threshold = bound.wrapping_neg() % bound;
+            while low < threshold {
+                x = self.next_raw();
+                m = (x as u128) * (bound as u128);
+                low = m as u64;
+            }
+        }
+        (m >> 64) as u64
     }
 
     /// Derives an independent child RNG, e.g. one per simulated worker,
     /// so adding workers does not perturb the streams of existing ones.
     pub fn fork(&mut self, salt: u64) -> SimRng {
-        let base = self.inner.next_u64();
+        let base = self.next_raw();
         SimRng::seed_from(base ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15))
     }
 
@@ -46,7 +91,7 @@ impl SimRng {
     /// Panics if `lo >= hi`.
     pub fn gen_range_u64(&mut self, lo: u64, hi: u64) -> u64 {
         assert!(lo < hi, "empty range [{lo}, {hi})");
-        self.inner.gen_range(lo..hi)
+        lo + self.uniform_below(hi - lo)
     }
 
     /// Uniform `usize` in `[lo, hi)`.
@@ -56,12 +101,12 @@ impl SimRng {
     /// Panics if `lo >= hi`.
     pub fn gen_range_usize(&mut self, lo: usize, hi: usize) -> usize {
         assert!(lo < hi, "empty range [{lo}, {hi})");
-        self.inner.gen_range(lo..hi)
+        lo + self.uniform_below((hi - lo) as u64) as usize
     }
 
-    /// Uniform `f64` in `[0, 1)`.
+    /// Uniform `f64` in `[0, 1)`: the top 53 bits of a raw draw.
     pub fn gen_unit(&mut self) -> f64 {
-        self.inner.gen::<f64>()
+        (self.next_raw() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Uniform `f64` in `[lo, hi)`.
@@ -169,12 +214,15 @@ impl SimRng {
 
     /// Raw 64-bit draw.
     pub fn next_u64(&mut self) -> u64 {
-        self.inner.next_u64()
+        self.next_raw()
     }
 
     /// Fills a byte buffer.
     pub fn fill_bytes(&mut self, buf: &mut [u8]) {
-        self.inner.fill_bytes(buf);
+        for chunk in buf.chunks_mut(8) {
+            let bytes = self.next_raw().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
     }
 }
 

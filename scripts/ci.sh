@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Tier-1 gate plus lints. Run from the repository root:
+#
+#   scripts/ci.sh
+#
+# Mirrors what the roadmap calls the tier-1 command (`cargo build
+# --release && cargo test -q`) and adds a deny-warnings clippy pass over
+# every target. The workspace is dependency-free, so everything works
+# offline.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== tier-1: release build =="
+cargo build --release
+
+echo "== tier-1: tests =="
+cargo test -q
+
+echo "== workspace tests =="
+cargo test --workspace -q
+
+echo "== clippy (deny warnings) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "ci.sh: all green"

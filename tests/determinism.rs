@@ -1,0 +1,46 @@
+//! Determinism regression tests for the parallel experiment harness.
+//!
+//! The contract in `ecoscale_sim::pool` is that results come back in
+//! input order regardless of the pool width, so a rendered experiment
+//! table must be byte-identical run-to-run and across thread counts.
+//!
+//! `ECOSCALE_THREADS` is process-global, so the cross-thread-count test
+//! sets and restores it while holding a lock shared with nothing else in
+//! this binary (each integration test file is its own process, which
+//! keeps the env mutation contained).
+
+use std::sync::Mutex;
+
+use ecoscale::bench::{arch, Scale};
+use ecoscale::sim::pool::THREADS_ENV;
+
+static ENV_LOCK: Mutex<()> = Mutex::new(());
+
+fn render_with_threads(threads: &str) -> String {
+    let _guard = ENV_LOCK.lock().expect("env lock");
+    let prev = std::env::var(THREADS_ENV).ok();
+    std::env::set_var(THREADS_ENV, threads);
+    let out = arch::e01_hierarchy(Scale::Quick).to_string();
+    match prev {
+        Some(v) => std::env::set_var(THREADS_ENV, v),
+        None => std::env::remove_var(THREADS_ENV),
+    }
+    out
+}
+
+#[test]
+fn repeated_runs_render_identically() {
+    let a = arch::e01_hierarchy(Scale::Quick).to_string();
+    let b = arch::e01_hierarchy(Scale::Quick).to_string();
+    assert_eq!(a, b, "same-process reruns must be byte-identical");
+}
+
+#[test]
+fn output_is_independent_of_thread_count() {
+    let sequential = render_with_threads("1");
+    let parallel = render_with_threads("4");
+    assert_eq!(
+        sequential, parallel,
+        "ECOSCALE_THREADS=1 and =4 must render byte-identical tables"
+    );
+}

@@ -1,31 +1,51 @@
-//! Property-based tests on the core data structures and invariants,
+//! Property-style tests on the core data structures and invariants,
 //! spanning crates.
+//!
+//! Each test draws many random cases from a seeded [`SimRng`] (the
+//! workspace carries no external dependencies, so these are hand-rolled
+//! case loops rather than proptest strategies). Failures print the case
+//! seed so a run can be reproduced exactly.
 
-use proptest::prelude::*;
+use std::collections::BTreeMap;
 
-use ecoscale::fpga::{Bitstream, CompressionAlgo, Fabric, Floorplanner, ModuleId, Region, Resources};
+use ecoscale::fpga::{
+    Bitstream, CompressionAlgo, Fabric, Floorplanner, ModuleId, Region, Resources,
+};
 use ecoscale::mem::{PagePerms, PageTable, Smmu, SmmuConfig, VirtAddr};
 use ecoscale::noc::{Dragonfly, Mesh2d, NodeId, Topology, TreeTopology};
-use ecoscale::sim::{Duration, OnlineStats, Time};
+use ecoscale::sim::{Duration, OnlineStats, SimRng, Time};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+const CASES: u64 = 64;
 
-    // ------------------------------------------------------------------
-    // sim: time arithmetic
-    // ------------------------------------------------------------------
-    #[test]
-    fn time_plus_duration_roundtrips(base in 0u64..1 << 40, delta in 0u64..1 << 40) {
+/// One seeded generator per case, salted so tests are independent.
+fn case_rng(test_salt: u64, case: u64) -> SimRng {
+    SimRng::seed_from(0xEC05_CA1E ^ (test_salt << 32) ^ case)
+}
+
+// ----------------------------------------------------------------------
+// sim: time arithmetic
+// ----------------------------------------------------------------------
+#[test]
+fn time_plus_duration_roundtrips() {
+    for case in 0..CASES {
+        let mut rng = case_rng(1, case);
+        let base = rng.gen_range_u64(0, 1 << 40);
+        let delta = rng.gen_range_u64(0, 1 << 40);
         let t = Time::from_ps(base);
         let d = Duration::from_ps(delta);
-        prop_assert_eq!((t + d) - d, t);
-        prop_assert_eq!((t + d) - t, d);
-        prop_assert_eq!((t + d).since(t), d);
+        assert_eq!((t + d) - d, t, "case {case}");
+        assert_eq!((t + d) - t, d, "case {case}");
+        assert_eq!((t + d).since(t), d, "case {case}");
     }
+}
 
-    #[test]
-    fn online_stats_merge_matches_sequential(xs in prop::collection::vec(-1e6f64..1e6, 1..200), split in 0usize..200) {
-        let split = split.min(xs.len());
+#[test]
+fn online_stats_merge_matches_sequential() {
+    for case in 0..CASES {
+        let mut rng = case_rng(2, case);
+        let len = rng.gen_range_usize(1, 200);
+        let xs: Vec<f64> = (0..len).map(|_| rng.gen_range_f64(-1e6, 1e6)).collect();
+        let split = rng.gen_range_usize(0, 200).min(xs.len());
         let mut whole = OnlineStats::new();
         for &x in &xs {
             whole.record(x);
@@ -39,132 +59,186 @@ proptest! {
             b.record(x);
         }
         a.merge(&b);
-        prop_assert_eq!(a.count(), whole.count());
-        prop_assert!((a.mean() - whole.mean()).abs() < 1e-6);
-        prop_assert!((a.variance() - whole.variance()).abs() < 1e-3);
-        prop_assert_eq!(a.min(), whole.min());
-        prop_assert_eq!(a.max(), whole.max());
+        assert_eq!(a.count(), whole.count(), "case {case}");
+        assert!((a.mean() - whole.mean()).abs() < 1e-6, "case {case}");
+        assert!((a.variance() - whole.variance()).abs() < 1e-3, "case {case}");
+        assert_eq!(a.min(), whole.min(), "case {case}");
+        assert_eq!(a.max(), whole.max(), "case {case}");
     }
+}
 
-    // ------------------------------------------------------------------
-    // noc: routing invariants over arbitrary topologies
-    // ------------------------------------------------------------------
-    #[test]
-    fn tree_routes_within_diameter(fanouts in prop::collection::vec(2usize..5, 1..4), s in 0usize..1000, d in 0usize..1000) {
+// ----------------------------------------------------------------------
+// noc: routing invariants over arbitrary topologies
+// ----------------------------------------------------------------------
+#[test]
+fn tree_routes_within_diameter() {
+    for case in 0..CASES {
+        let mut rng = case_rng(3, case);
+        let levels = rng.gen_range_usize(1, 4);
+        let fanouts: Vec<usize> = (0..levels).map(|_| rng.gen_range_usize(2, 5)).collect();
         let t = TreeTopology::new(&fanouts);
         let n = t.num_nodes();
-        let (s, d) = (s % n, d % n);
+        let s = rng.gen_range_usize(0, 1000) % n;
+        let d = rng.gen_range_usize(0, 1000) % n;
         let r = t.route(NodeId(s), NodeId(d));
-        prop_assert!(r.hop_count() <= t.diameter());
-        prop_assert_eq!(r.is_local(), s == d);
+        assert!(r.hop_count() <= t.diameter(), "case {case}");
+        assert_eq!(r.is_local(), s == d, "case {case}");
         // symmetric lengths
         let back = t.route(NodeId(d), NodeId(s));
-        prop_assert_eq!(r.hop_count(), back.hop_count());
+        assert_eq!(r.hop_count(), back.hop_count(), "case {case}");
     }
+}
 
-    #[test]
-    fn mesh_routes_are_manhattan(w in 2usize..8, h in 2usize..8, s in 0usize..64, d in 0usize..64) {
+#[test]
+fn mesh_routes_are_manhattan() {
+    for case in 0..CASES {
+        let mut rng = case_rng(4, case);
+        let w = rng.gen_range_usize(2, 8);
+        let h = rng.gen_range_usize(2, 8);
         let m = Mesh2d::new(w, h);
         let n = m.num_nodes();
-        let (s, d) = (s % n, d % n);
+        let s = rng.gen_range_usize(0, 64) % n;
+        let d = rng.gen_range_usize(0, 64) % n;
         let hops = m.route(NodeId(s), NodeId(d)).hop_count() as usize;
         let (sx, sy) = (s % w, s / w);
         let (dx, dy) = (d % w, d / w);
-        prop_assert_eq!(hops, sx.abs_diff(dx) + sy.abs_diff(dy));
+        assert_eq!(hops, sx.abs_diff(dx) + sy.abs_diff(dy), "case {case}");
     }
+}
 
-    #[test]
-    fn dragonfly_minimal_routes(g in 2usize..5, r in 2usize..4, e in 1usize..4, s in 0usize..100, d in 0usize..100) {
+#[test]
+fn dragonfly_minimal_routes() {
+    for case in 0..CASES {
+        let mut rng = case_rng(5, case);
+        let g = rng.gen_range_usize(2, 5);
+        let r = rng.gen_range_usize(2, 4);
+        let e = rng.gen_range_usize(1, 4);
         let df = Dragonfly::new(g, r, e);
         let n = df.num_nodes();
-        let (s, d) = (s % n, d % n);
+        let s = rng.gen_range_usize(0, 100) % n;
+        let d = rng.gen_range_usize(0, 100) % n;
         let route = df.route(NodeId(s), NodeId(d));
-        prop_assert!(route.hop_count() <= 5);
-        prop_assert_eq!(route.is_local(), s == d);
+        assert!(route.hop_count() <= 5, "case {case}");
+        assert_eq!(route.is_local(), s == d, "case {case}");
     }
+}
 
-    // ------------------------------------------------------------------
-    // mem: page table and SMMU
-    // ------------------------------------------------------------------
-    #[test]
-    fn page_table_translate_is_what_was_mapped(pages in prop::collection::btree_map(0u64..1 << 20, 0u64..1 << 20, 1..50)) {
+// ----------------------------------------------------------------------
+// mem: page table and SMMU
+// ----------------------------------------------------------------------
+#[test]
+fn page_table_translate_is_what_was_mapped() {
+    for case in 0..CASES {
+        let mut rng = case_rng(6, case);
+        let entries = rng.gen_range_usize(1, 50);
+        let mut pages: BTreeMap<u64, u64> = BTreeMap::new();
+        while pages.len() < entries {
+            pages.insert(rng.gen_range_u64(0, 1 << 20), rng.gen_range_u64(0, 1 << 20));
+        }
         let mut pt = PageTable::new(4);
         for (&vp, &pp) in &pages {
             pt.map(vp, pp, PagePerms::RW).expect("fresh mapping");
         }
         for (&vp, &pp) in &pages {
-            prop_assert_eq!(pt.translate(vp, PagePerms::READ), Ok(pp));
+            assert_eq!(pt.translate(vp, PagePerms::READ), Ok(pp), "case {case}");
         }
-        prop_assert_eq!(pt.mapped_pages(), pages.len());
+        assert_eq!(pt.mapped_pages(), pages.len(), "case {case}");
     }
+}
 
-    #[test]
-    fn smmu_translation_is_stable_under_tlb_pressure(pages in prop::collection::vec(0u64..512, 1..100)) {
-        let mut cfg = SmmuConfig::default();
-        cfg.tlb_entries = 8;
+#[test]
+fn smmu_translation_is_stable_under_tlb_pressure() {
+    for case in 0..CASES {
+        let mut rng = case_rng(7, case);
+        let len = rng.gen_range_usize(1, 100);
+        let pages: Vec<u64> = (0..len).map(|_| rng.gen_range_u64(0, 512)).collect();
+        let cfg = SmmuConfig {
+            tlb_entries: 8,
+            ..SmmuConfig::default()
+        };
         let mut smmu = Smmu::new(cfg);
         let mut expected = std::collections::HashMap::new();
         for (i, &p) in pages.iter().enumerate() {
-            if !expected.contains_key(&p) {
+            if let std::collections::hash_map::Entry::Vacant(slot) = expected.entry(p) {
                 let pa = 0x1000 + i as u64;
                 smmu.map(VirtAddr::from_page(p, 0), 0x100 + i as u64, pa, PagePerms::RW)
                     .expect("fresh mapping");
-                expected.insert(p, pa);
+                slot.insert(pa);
             }
         }
         // translate everything twice (evictions in between must not
         // change results)
         for _ in 0..2 {
             for &p in &pages {
-                let (pa, _) = smmu.translate(VirtAddr::from_page(p, 7), PagePerms::READ).expect("mapped");
-                prop_assert_eq!(pa.page(), expected[&p]);
-                prop_assert_eq!(pa.page_offset(), 7);
+                let (pa, _) = smmu
+                    .translate(VirtAddr::from_page(p, 7), PagePerms::READ)
+                    .expect("mapped");
+                assert_eq!(pa.page(), expected[&p], "case {case}");
+                assert_eq!(pa.page_offset(), 7, "case {case}");
             }
         }
     }
+}
 
-    // ------------------------------------------------------------------
-    // fpga: compression round-trips on arbitrary data
-    // ------------------------------------------------------------------
-    #[test]
-    fn compression_roundtrips_arbitrary_bytes(data in prop::collection::vec(any::<u8>(), 0..4096)) {
+// ----------------------------------------------------------------------
+// fpga: compression round-trips on arbitrary data
+// ----------------------------------------------------------------------
+#[test]
+fn compression_roundtrips_arbitrary_bytes() {
+    for case in 0..CASES {
+        let mut rng = case_rng(8, case);
+        let mut data = vec![0u8; rng.gen_range_usize(0, 4096)];
+        rng.fill_bytes(&mut data);
         let bs = Bitstream::from_bytes(data);
         for algo in CompressionAlgo::ALL {
             let packed = algo.compress(&bs);
             let back = algo.decompress(&packed);
-            prop_assert_eq!(back.as_bytes(), bs.as_bytes(), "{} failed", algo.name());
+            assert_eq!(back.as_bytes(), bs.as_bytes(), "case {case}: {} failed", algo.name());
         }
     }
+}
 
-    #[test]
-    fn compression_roundtrips_run_structured_bytes(runs in prop::collection::vec((any::<u8>(), 1usize..64), 1..64) ) {
+#[test]
+fn compression_roundtrips_run_structured_bytes() {
+    for case in 0..CASES {
+        let mut rng = case_rng(9, case);
+        let runs = rng.gen_range_usize(1, 64);
         let mut data = Vec::new();
-        for (byte, len) in runs {
-            data.extend(std::iter::repeat(byte).take(len));
+        for _ in 0..runs {
+            let byte = rng.gen_range_u64(0, 256) as u8;
+            let len = rng.gen_range_usize(1, 64);
+            data.extend(std::iter::repeat_n(byte, len));
         }
         let bs = Bitstream::from_bytes(data);
         for algo in CompressionAlgo::ALL {
             let back = algo.decompress(&algo.compress(&bs));
-            prop_assert_eq!(back.as_bytes(), bs.as_bytes());
+            assert_eq!(back.as_bytes(), bs.as_bytes(), "case {case}");
         }
     }
+}
 
-    // ------------------------------------------------------------------
-    // fpga: floorplanner never overlaps, defrag preserves demands
-    // ------------------------------------------------------------------
-    #[test]
-    fn floorplan_no_overlaps_under_churn(ops in prop::collection::vec((any::<bool>(), 50u32..900), 1..60)) {
+// ----------------------------------------------------------------------
+// fpga: floorplanner never overlaps, defrag preserves demands
+// ----------------------------------------------------------------------
+#[test]
+fn floorplan_no_overlaps_under_churn() {
+    for case in 0..CASES {
+        let mut rng = case_rng(10, case);
+        let steps = rng.gen_range_usize(1, 60);
         let fabric = Fabric::zynq_like(50, 60);
         let mut fp = Floorplanner::new(fabric);
         let mut live = Vec::new();
-        for (i, (load, clb)) in ops.iter().enumerate() {
-            if *load || live.is_empty() {
-                if let Ok(slot) = fp.place(ModuleId(i as u32), Resources::new(*clb, clb / 40, clb / 30)) {
+        for i in 0..steps {
+            let load = rng.gen_bool(0.5);
+            let clb = rng.gen_range_u64(50, 900) as u32;
+            if load || live.is_empty() {
+                if let Ok(slot) = fp.place(ModuleId(i as u32), Resources::new(clb, clb / 40, clb / 30))
+                {
                     live.push(slot);
                 }
             } else {
                 let slot = live.remove(i % live.len());
-                prop_assert!(fp.remove(slot));
+                assert!(fp.remove(slot), "case {case}");
             }
             // invariant: no two placements overlap
             let ps: Vec<_> = fp.placements().copied().collect();
@@ -172,7 +246,7 @@ proptest! {
                 for q in &ps[a + 1..] {
                     let r1 = Region { col: p.col, width: p.width, row: 0, height: 1 };
                     let r2 = Region { col: q.col, width: q.width, row: 0, height: 1 };
-                    prop_assert!(!r1.overlaps(&r2));
+                    assert!(!r1.overlaps(&r2), "case {case}");
                 }
             }
         }
@@ -180,15 +254,20 @@ proptest! {
         // fragmentation and keeps everything placed
         let before = fp.live();
         fp.defragment();
-        prop_assert_eq!(fp.live(), before);
-        prop_assert!(fp.fragmentation() < 1e-9);
+        assert_eq!(fp.live(), before, "case {case}");
+        assert!(fp.fragmentation() < 1e-9, "case {case}");
     }
+}
 
-    // ------------------------------------------------------------------
-    // hls: interpreter equals Rust reference on random inputs
-    // ------------------------------------------------------------------
-    #[test]
-    fn gemm_kernel_equals_reference(n in 2usize..8, seed in 0u64..1000) {
+// ----------------------------------------------------------------------
+// hls: interpreter equals Rust reference on random inputs
+// ----------------------------------------------------------------------
+#[test]
+fn gemm_kernel_equals_reference() {
+    for case in 0..CASES {
+        let mut rng = case_rng(11, case);
+        let n = rng.gen_range_usize(2, 8);
+        let seed = rng.gen_range_u64(0, 1000);
         let a = ecoscale::apps::gemm::generate(n, seed);
         let b = ecoscale::apps::gemm::generate(n, seed + 1);
         let k = ecoscale::hls::parse_kernel(ecoscale::apps::gemm::KERNEL).expect("parses");
@@ -196,123 +275,177 @@ proptest! {
         args.run(&k).expect("executes");
         let want = ecoscale::apps::gemm::reference(&a, &b, n);
         for (g, r) in args.array("c").expect("bound").iter().zip(&want) {
-            prop_assert!((g - r).abs() < 1e-9);
+            assert!((g - r).abs() < 1e-9, "case {case}");
         }
     }
+}
 
-    #[test]
-    fn stencil_kernel_equals_reference(n in 2usize..10, seed in 0u64..1000) {
+#[test]
+fn stencil_kernel_equals_reference() {
+    for case in 0..CASES {
+        let mut rng = case_rng(12, case);
+        let n = rng.gen_range_usize(2, 10);
+        let seed = rng.gen_range_u64(0, 1000);
         let grid = ecoscale::apps::stencil::generate(n, seed);
         let k = ecoscale::hls::parse_kernel(ecoscale::apps::stencil::KERNEL).expect("parses");
         let mut args = ecoscale::apps::stencil::bind_args(&grid, n);
         args.run(&k).expect("executes");
         let want = ecoscale::apps::stencil::reference_step(&grid, n);
         for (g, r) in args.array("next").expect("bound").iter().zip(&want) {
-            prop_assert!((g - r).abs() < 1e-12);
+            assert!((g - r).abs() < 1e-12, "case {case}");
         }
     }
+}
 
-    // ------------------------------------------------------------------
-    // apps: distributed sort is a sorted permutation
-    // ------------------------------------------------------------------
-    #[test]
-    fn distributed_sort_is_sorted_permutation(n in 16usize..2000, seed in 0u64..100) {
+// ----------------------------------------------------------------------
+// apps: distributed sort is a sorted permutation
+// ----------------------------------------------------------------------
+#[test]
+fn distributed_sort_is_sorted_permutation() {
+    // fewer cases: each sorts up to 2000 keys
+    for case in 0..CASES / 2 {
+        let mut rng = case_rng(13, case);
+        let n = rng.gen_range_usize(16, 2000);
+        let seed = rng.gen_range_u64(0, 100);
         let data = ecoscale::apps::sort::generate(n, seed);
         let out = ecoscale::apps::sort::distributed_sort(
-            &data, 2, 2, ecoscale::apps::sort::SortMode::Hybrid, seed,
+            &data,
+            2,
+            2,
+            ecoscale::apps::sort::SortMode::Hybrid,
+            seed,
         );
-        prop_assert_eq!(out.sorted.len(), n);
-        prop_assert!(out.sorted.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(out.sorted.len(), n, "case {case}");
+        assert!(out.sorted.windows(2).all(|w| w[0] <= w[1]), "case {case}");
         let mut expect = data.clone();
         expect.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
-        prop_assert_eq!(out.sorted, expect);
+        assert_eq!(out.sorted, expect, "case {case}");
     }
+}
 
-    // ------------------------------------------------------------------
-    // runtime: prediction models
-    // ------------------------------------------------------------------
-    #[test]
-    fn linear_model_recovers_exact_lines(w0 in -100.0f64..100.0, w1 in -100.0f64..100.0) {
-        use ecoscale::runtime::{LinearModel, Predictor};
+// ----------------------------------------------------------------------
+// runtime: prediction models
+// ----------------------------------------------------------------------
+#[test]
+fn linear_model_recovers_exact_lines() {
+    use ecoscale::runtime::{LinearModel, Predictor};
+    for case in 0..CASES {
+        let mut rng = case_rng(14, case);
+        let w0 = rng.gen_range_f64(-100.0, 100.0);
+        let w1 = rng.gen_range_f64(-100.0, 100.0);
         let xs: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64]).collect();
         let ys: Vec<f64> = (0..20).map(|i| w0 + w1 * i as f64).collect();
         let mut m = LinearModel::new();
         m.fit(&xs, &ys);
         let y = m.predict(&[50.0]).expect("fitted");
-        prop_assert!((y - (w0 + w1 * 50.0)).abs() < 1e-5);
+        assert!((y - (w0 + w1 * 50.0)).abs() < 1e-5, "case {case}");
     }
 }
 
 // ----------------------------------------------------------------------
 // hls: printer/parser round trip on random kernels
 // ----------------------------------------------------------------------
-fn arb_expr(depth: u32) -> impl Strategy<Value = ecoscale::hls::Expr> {
+fn arb_expr(rng: &mut SimRng, depth: u32) -> ecoscale::hls::Expr {
     use ecoscale::hls::{BinOp, Expr, UnOp};
-    let leaf = prop_oneof![
-        (0u32..100, 0u32..10).prop_map(|(a, b)| Expr::Const(a as f64 + b as f64 / 10.0)),
-        Just(Expr::var("x")),
-        Just(Expr::var("i")),
-        Just(Expr::load("a", Expr::var("i"))),
-    ];
-    leaf.prop_recursive(depth, 24, 3, |inner| {
-        prop_oneof![
-            (inner.clone(), inner.clone(), prop_oneof![
-                Just(BinOp::Add), Just(BinOp::Sub), Just(BinOp::Mul), Just(BinOp::Div),
-                Just(BinOp::Min), Just(BinOp::Max), Just(BinOp::Lt), Just(BinOp::Le),
-                Just(BinOp::Gt), Just(BinOp::Ge), Just(BinOp::Eq), Just(BinOp::And),
-                Just(BinOp::Or), Just(BinOp::Rem),
-            ])
-                .prop_map(|(a, b, op)| Expr::bin(op, a, b)),
-            (inner.clone(), prop_oneof![
-                Just(UnOp::Neg), Just(UnOp::Sqrt), Just(UnOp::Exp), Just(UnOp::Log),
-                Just(UnOp::Abs), Just(UnOp::Floor), Just(UnOp::Not),
-            ])
-                .prop_map(|(a, op)| Expr::un(op, a)),
-            (inner.clone(), inner.clone(), inner).prop_map(|(c, t, e)| Expr::Select {
-                cond: Box::new(c),
-                then: Box::new(t),
-                els: Box::new(e),
-            }),
-        ]
-    })
-}
-
-fn arb_stmt(depth: u32) -> impl Strategy<Value = ecoscale::hls::Stmt> {
-    use ecoscale::hls::Stmt;
-    let simple = prop_oneof![
-        arb_expr(2).prop_map(|value| Stmt::Assign { var: "t".into(), value }),
-        (arb_expr(2), arb_expr(2)).prop_map(|(index, value)| Stmt::Store {
-            array: "b".into(),
-            index,
-            value,
-        }),
-    ];
-    simple.prop_recursive(depth, 16, 3, |inner| {
-        prop_oneof![
-            (arb_expr(1), arb_expr(1), prop::collection::vec(inner.clone(), 1..3)).prop_map(
-                |(start, end, body)| Stmt::For {
-                    var: "j".into(),
-                    start,
-                    end,
-                    body,
-                }
+    if depth == 0 || rng.gen_bool(0.35) {
+        return match rng.gen_range_usize(0, 4) {
+            0 => Expr::Const(
+                rng.gen_range_u64(0, 100) as f64 + rng.gen_range_u64(0, 10) as f64 / 10.0,
             ),
-            (
-                arb_expr(1),
-                prop::collection::vec(inner.clone(), 1..3),
-                prop::collection::vec(inner, 0..2)
-            )
-                .prop_map(|(cond, then, els)| Stmt::If { cond, then, els }),
-        ]
-    })
+            1 => Expr::var("x"),
+            2 => Expr::var("i"),
+            _ => Expr::load("a", Expr::var("i")),
+        };
+    }
+    match rng.gen_range_usize(0, 3) {
+        0 => {
+            const OPS: [BinOp; 14] = [
+                BinOp::Add,
+                BinOp::Sub,
+                BinOp::Mul,
+                BinOp::Div,
+                BinOp::Min,
+                BinOp::Max,
+                BinOp::Lt,
+                BinOp::Le,
+                BinOp::Gt,
+                BinOp::Ge,
+                BinOp::Eq,
+                BinOp::And,
+                BinOp::Or,
+                BinOp::Rem,
+            ];
+            let op = *rng.choose(&OPS);
+            let a = arb_expr(rng, depth - 1);
+            let b = arb_expr(rng, depth - 1);
+            Expr::bin(op, a, b)
+        }
+        1 => {
+            const OPS: [UnOp; 7] = [
+                UnOp::Neg,
+                UnOp::Sqrt,
+                UnOp::Exp,
+                UnOp::Log,
+                UnOp::Abs,
+                UnOp::Floor,
+                UnOp::Not,
+            ];
+            let op = *rng.choose(&OPS);
+            let a = arb_expr(rng, depth - 1);
+            Expr::un(op, a)
+        }
+        _ => {
+            let cond = arb_expr(rng, depth - 1);
+            let then = arb_expr(rng, depth - 1);
+            let els = arb_expr(rng, depth - 1);
+            Expr::Select {
+                cond: Box::new(cond),
+                then: Box::new(then),
+                els: Box::new(els),
+            }
+        }
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+fn arb_stmt(rng: &mut SimRng, depth: u32) -> ecoscale::hls::Stmt {
+    use ecoscale::hls::Stmt;
+    if depth == 0 || rng.gen_bool(0.5) {
+        if rng.gen_bool(0.5) {
+            Stmt::Assign {
+                var: "t".into(),
+                value: arb_expr(rng, 2),
+            }
+        } else {
+            Stmt::Store {
+                array: "b".into(),
+                index: arb_expr(rng, 2),
+                value: arb_expr(rng, 2),
+            }
+        }
+    } else if rng.gen_bool(0.5) {
+        let start = arb_expr(rng, 1);
+        let end = arb_expr(rng, 1);
+        let body = (0..rng.gen_range_usize(1, 3)).map(|_| arb_stmt(rng, depth - 1)).collect();
+        Stmt::For {
+            var: "j".into(),
+            start,
+            end,
+            body,
+        }
+    } else {
+        let cond = arb_expr(rng, 1);
+        let then = (0..rng.gen_range_usize(1, 3)).map(|_| arb_stmt(rng, depth - 1)).collect();
+        let els = (0..rng.gen_range_usize(0, 2)).map(|_| arb_stmt(rng, depth - 1)).collect();
+        Stmt::If { cond, then, els }
+    }
+}
 
-    #[test]
-    fn kernel_print_parse_round_trip(body in prop::collection::vec(arb_stmt(2), 1..5)) {
-        use ecoscale::hls::{Kernel, Param, ParamKind};
+#[test]
+fn kernel_print_parse_round_trip() {
+    use ecoscale::hls::{Kernel, Param, ParamKind};
+    for case in 0..48 {
+        let mut rng = case_rng(15, case);
+        let body: Vec<_> = (0..rng.gen_range_usize(1, 5)).map(|_| arb_stmt(&mut rng, 2)).collect();
         let k = Kernel::new(
             "rt",
             vec![
@@ -325,7 +458,7 @@ proptest! {
         );
         let printed = k.to_string();
         let reparsed = ecoscale::hls::parse_kernel(&printed)
-            .map_err(|e| TestCaseError::fail(format!("reparse failed: {e}\n{printed}")))?;
-        prop_assert_eq!(k, reparsed);
+            .unwrap_or_else(|e| panic!("case {case}: reparse failed: {e}\n{printed}"));
+        assert_eq!(k, reparsed, "case {case}");
     }
 }
