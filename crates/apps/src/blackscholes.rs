@@ -46,13 +46,7 @@ fn logistic_cdf(x: f64) -> f64 {
 }
 
 /// Reference pricing with the same CDF approximation as the kernel.
-pub fn reference(
-    spots: &[f64],
-    strikes: &[f64],
-    r: f64,
-    sigma: f64,
-    t: f64,
-) -> Vec<f64> {
+pub fn reference(spots: &[f64], strikes: &[f64], r: f64, sigma: f64, t: f64) -> Vec<f64> {
     assert_eq!(spots.len(), strikes.len());
     spots
         .iter()

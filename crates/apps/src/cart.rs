@@ -264,8 +264,18 @@ pub fn build_tree(
     Tree::Node {
         feature,
         threshold,
-        left: Box::new(build_tree(&left_data, max_depth - 1, thresholds_per_feature, gini_scan)),
-        right: Box::new(build_tree(&right_data, max_depth - 1, thresholds_per_feature, gini_scan)),
+        left: Box::new(build_tree(
+            &left_data,
+            max_depth - 1,
+            thresholds_per_feature,
+            gini_scan,
+        )),
+        right: Box::new(build_tree(
+            &right_data,
+            max_depth - 1,
+            thresholds_per_feature,
+            gini_scan,
+        )),
     }
 }
 
@@ -319,8 +329,7 @@ mod tests {
     fn tree_learns_separable_data() {
         let train = generate(600, 4, 1);
         let test = generate(300, 4, 2);
-        let mut scan =
-            |x: &[f64], y: &[f64], t: &[f64]| reference_gini(x, y, t);
+        let mut scan = |x: &[f64], y: &[f64], t: &[f64]| reference_gini(x, y, t);
         let tree = build_tree(&train, 4, 16, &mut scan);
         let acc = accuracy(&tree, &test);
         assert!(acc > 0.85, "accuracy {acc}");
@@ -334,8 +343,7 @@ mod tests {
             labels: vec![1.0; 8],
             num_features: 1,
         };
-        let mut scan =
-            |x: &[f64], y: &[f64], t: &[f64]| reference_gini(x, y, t);
+        let mut scan = |x: &[f64], y: &[f64], t: &[f64]| reference_gini(x, y, t);
         let tree = build_tree(&data, 3, 4, &mut scan);
         assert!(matches!(tree, Tree::Leaf { p } if p == 1.0));
     }

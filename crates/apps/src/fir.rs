@@ -28,7 +28,9 @@ pub fn kernel_hints(n: u64, taps: u64) -> HashMap<String, f64> {
 /// normalized coefficients.
 pub fn generate(n: usize, taps: usize, seed: u64) -> (Vec<f64>, Vec<f64>) {
     let mut rng = SimRng::seed_from(seed);
-    let x = (0..n + taps).map(|_| rng.gen_range_f64(-1.0, 1.0)).collect();
+    let x = (0..n + taps)
+        .map(|_| rng.gen_range_f64(-1.0, 1.0))
+        .collect();
     let mut h: Vec<f64> = (0..taps).map(|_| rng.gen_range_f64(0.0, 1.0)).collect();
     let sum: f64 = h.iter().sum();
     for c in &mut h {
@@ -95,7 +97,11 @@ mod tests {
         let naive = ecoscale_hls::estimate::estimate(
             &k,
             &hints,
-            ecoscale_hls::HlsDirectives { unroll: 1, pipeline: false, partition: 1 },
+            ecoscale_hls::HlsDirectives {
+                unroll: 1,
+                pipeline: false,
+                partition: 1,
+            },
             &ecoscale_hls::OpCosts::default(),
         )
         .unwrap();

@@ -40,14 +40,7 @@ pub fn generate_normals(n: usize, seed: u64) -> Vec<f64> {
 
 /// Reference per-path payoffs.
 #[allow(clippy::too_many_arguments)]
-pub fn reference_payoffs(
-    z: &[f64],
-    s0: f64,
-    strike: f64,
-    r: f64,
-    sigma: f64,
-    t: f64,
-) -> Vec<f64> {
+pub fn reference_payoffs(z: &[f64], s0: f64, strike: f64, r: f64, sigma: f64, t: f64) -> Vec<f64> {
     z.iter()
         .map(|&zi| {
             let st = s0 * ((r - 0.5 * sigma * sigma) * t + sigma * t.sqrt() * zi).exp();

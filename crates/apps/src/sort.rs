@@ -114,9 +114,7 @@ pub fn distributed_sort(
         }
     }
     samples.sort_by(|a, b| a.partial_cmp(b).expect("no NaN keys"));
-    let splitters: Vec<f64> = (1..w)
-        .map(|k| samples[k * samples.len() / w])
-        .collect();
+    let splitters: Vec<f64> = (1..w).map(|k| samples[k * samples.len() / w]).collect();
     // gather + bcast cost: each worker sends 64 B to worker 0; then 8(w-1)
     // bytes broadcast back (tree) — approximate with two rounds of the
     // farthest route
@@ -162,9 +160,7 @@ pub fn distributed_sort(
                 (SortMode::Hybrid, false) => (NodeId(src), NodeId(dst), MPI_OVERHEAD, bytes),
                 // pure MPI intra-node: shared-memory path bounces through
                 // a copy buffer (bytes move twice)
-                (SortMode::PureMpi, true) => {
-                    (NodeId(src), NodeId(dst), MPI_OVERHEAD, 2 * bytes)
-                }
+                (SortMode::PureMpi, true) => (NodeId(src), NodeId(dst), MPI_OVERHEAD, 2 * bytes),
                 // pure MPI inter-node: routed via node representatives
                 (SortMode::PureMpi, false) => (
                     NodeId((src / workers_per_node) * workers_per_node),

@@ -40,14 +40,17 @@ fn bench_substrate() {
     });
 
     let mut smmu = Smmu::new(SmmuConfig::default());
-    smmu.map(VirtAddr(0x1000), 0x10, 0x100, PagePerms::RW).unwrap();
+    smmu.map(VirtAddr(0x1000), 0x10, 0x100, PagePerms::RW)
+        .unwrap();
     smmu.translate(VirtAddr(0x1000), PagePerms::READ).unwrap();
     bench("substrate/smmu_translate_hit", || {
         smmu.translate(VirtAddr(0x1008), PagePerms::READ).unwrap()
     });
 
     let bs = Bitstream::synthesize(Resources::new(1000, 16, 32), 9);
-    bench("substrate/bitstream_lz_compress", || CompressionAlgo::Lz.compress(&bs));
+    bench("substrate/bitstream_lz_compress", || {
+        CompressionAlgo::Lz.compress(&bs)
+    });
     bench("substrate/bitstream_rle_compress", || {
         CompressionAlgo::ZeroRle.compress(&bs)
     });

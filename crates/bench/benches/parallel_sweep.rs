@@ -34,19 +34,31 @@ fn with_threads<R>(threads: &str, f: impl FnOnce() -> R) -> R {
 }
 
 fn main() {
-    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     let wide = cores.to_string();
 
-    let seq = with_threads("1", || bench("pool/synthetic_sweep_64x1ms/seq", synthetic_sweep));
+    let seq = with_threads("1", || {
+        bench("pool/synthetic_sweep_64x1ms/seq", synthetic_sweep)
+    });
     let par = with_threads(&wide, || {
-        bench(&format!("pool/synthetic_sweep_64x1ms/{cores}t"), synthetic_sweep)
+        bench(
+            &format!("pool/synthetic_sweep_64x1ms/{cores}t"),
+            synthetic_sweep,
+        )
     });
     if let (Some(s), Some(p)) = (seq, par) {
-        println!("  -> synthetic speedup: {:.2}x on {cores} cores", s.as_secs_f64() / p.as_secs_f64());
+        println!(
+            "  -> synthetic speedup: {:.2}x on {cores} cores",
+            s.as_secs_f64() / p.as_secs_f64()
+        );
     }
 
     let seq = with_threads("1", || {
-        bench("pool/e01_hierarchy_quick/seq", || arch::e01_hierarchy(Scale::Quick))
+        bench("pool/e01_hierarchy_quick/seq", || {
+            arch::e01_hierarchy(Scale::Quick)
+        })
     });
     let par = with_threads(&wide, || {
         bench(&format!("pool/e01_hierarchy_quick/{cores}t"), || {
@@ -54,6 +66,9 @@ fn main() {
         })
     });
     if let (Some(s), Some(p)) = (seq, par) {
-        println!("  -> e01 speedup: {:.2}x on {cores} cores", s.as_secs_f64() / p.as_secs_f64());
+        println!(
+            "  -> e01 speedup: {:.2}x on {cores} cores",
+            s.as_secs_f64() / p.as_secs_f64()
+        );
     }
 }

@@ -60,7 +60,13 @@ pub fn a1_cut_through(scale: Scale) -> Table {
     let sizes: &[u64] = scale.pick(&[64, 65_536][..], &[64, 4_096, 65_536, 1 << 20][..]);
     let mut t = Table::new(
         "A1 (ablation): virtual cut-through vs store-and-forward",
-        &["bytes", "hops", "store-and-forward", "cut-through", "speedup"],
+        &[
+            "bytes",
+            "hops",
+            "store-and-forward",
+            "cut-through",
+            "speedup",
+        ],
     );
     let combos: Vec<(u64, usize, u32)> = sizes
         .iter()
@@ -111,8 +117,13 @@ pub fn a2_tlb_size(scale: Scale) -> Table {
         };
         let mut smmu = Smmu::new(cfg);
         for p in 0..working_set_pages {
-            smmu.map(VirtAddr::from_page(p, 0), 0x1000 + p, 0x8000 + p, PagePerms::RW)
-                .expect("fresh mapping");
+            smmu.map(
+                VirtAddr::from_page(p, 0),
+                0x1000 + p,
+                0x8000 + p,
+                PagePerms::RW,
+            )
+            .expect("fresh mapping");
         }
         let mut rng = SimRng::seed_from(5);
         let mut total = Duration::ZERO;
@@ -152,7 +163,12 @@ pub fn a3_benefit_margin(scale: Scale) -> Table {
     let calls_per_phase = scale.pick(4, 6);
     let mut t = Table::new(
         "A3 (ablation): daemon benefit margin on an alternating two-kernel trace",
-        &["margin", "reconfigs", "reconfig time", "estimated total time"],
+        &[
+            "margin",
+            "reconfigs",
+            "reconfig time",
+            "estimated total time",
+        ],
     );
     // two kernels, each ~full fabric: loading one evicts the other
     let k1 = ecoscale_hls::parse_kernel(ecoscale_apps::blackscholes::KERNEL).expect("parses");
@@ -193,7 +209,11 @@ pub fn a3_benefit_margin(scale: Scale) -> Table {
                 let dt = if on_hw { hw_time } else { sw_time[f] };
                 history.record(
                     names[f],
-                    if on_hw { DeviceClass::FpgaLocal } else { DeviceClass::Cpu },
+                    if on_hw {
+                        DeviceClass::FpgaLocal
+                    } else {
+                        DeviceClass::Cpu
+                    },
                     vec![65_536.0],
                     dt,
                     Energy::ZERO,
@@ -262,13 +282,18 @@ mod tests {
     #[test]
     fn a3_margin_gates_reconfiguration_rate() {
         let t = a3_benefit_margin(Scale::Quick);
-        let parse_reconfigs =
-            |i: usize| -> u64 { t.cells(i).unwrap()[1].parse().unwrap() };
+        let parse_reconfigs = |i: usize| -> u64 { t.cells(i).unwrap()[1].parse().unwrap() };
         let eager = parse_reconfigs(0); // margin 0.2
         let mid = parse_reconfigs(2); // margin 8
         let huge = parse_reconfigs(3); // margin 1000
-        assert!(eager >= parse_reconfigs(1), "lower margin loads at least as often");
-        assert!(eager > mid, "eager ({eager}) must thrash more than mid ({mid})");
+        assert!(
+            eager >= parse_reconfigs(1),
+            "lower margin loads at least as often"
+        );
+        assert!(
+            eager > mid,
+            "eager ({eager}) must thrash more than mid ({mid})"
+        );
         assert_eq!(huge, 0, "a huge margin never reconfigures");
     }
 }

@@ -50,18 +50,18 @@ pub fn e04_invocation_rate(scale: Scale) -> Table {
     let smmu = SmmuConfig::default();
     let mut t = Table::new(
         "E4b: sustained launch rate vs kernel granularity (1-page args)",
-        &["kernel work (us)", "os launches/s", "user launches/s", "ratio"],
+        &[
+            "kernel work (us)",
+            "os launches/s",
+            "user launches/s",
+            "ratio",
+        ],
     );
     let rows = pool::parallel_map(works.to_vec(), |us| {
         let work = Duration::from_us(us);
         let os = 1.0 / (inv.os_mediated(1) + work).as_secs_f64();
         let user = 1.0 / (inv.user_level(1, &smmu) + work).as_secs_f64();
-        vec![
-            us.to_string(),
-            fnum(os),
-            fnum(user),
-            fratio(user / os),
-        ]
+        vec![us.to_string(), fnum(os), fnum(user), fratio(user / os)]
     });
     for row in rows {
         t.row_owned(row);
@@ -91,8 +91,12 @@ pub fn e05_virtualization(scale: Scale) -> Table {
     let mut t = Table::new(
         "E5 (Fig.4): shared accelerator, pipelined vs exclusive time-multiplexing",
         &[
-            "callers", "pipelined total", "exclusive total",
-            "pipelined Mitems/s", "exclusive Mitems/s", "advantage",
+            "callers",
+            "pipelined total",
+            "exclusive total",
+            "pipelined Mitems/s",
+            "exclusive Mitems/s",
+            "advantage",
         ],
     );
     let rows = pool::parallel_map(callers.to_vec(), |c| {
@@ -182,7 +186,14 @@ pub fn e06_unilogic(scale: Scale) -> Table {
 /// lean ones.
 pub fn e15_speedup_band(_scale: Scale) -> Table {
     // (name, source, hints, items, ops/item, specials/item)
-    type SpeedupCase = (&'static str, &'static str, HashMap<String, f64>, u64, u64, u64);
+    type SpeedupCase = (
+        &'static str,
+        &'static str,
+        HashMap<String, f64>,
+        u64,
+        u64,
+        u64,
+    );
     let cases: &[SpeedupCase] = &[
         (
             "blackscholes",
@@ -213,29 +224,39 @@ pub fn e15_speedup_band(_scale: Scale) -> Table {
     let fpga = ecoscale_runtime::FpgaExecModel::default();
     let mut t = Table::new(
         "E15 (§3): modelled accelerator speedup over one A53 core",
-        &["kernel", "items", "cpu time", "fpga time", "speedup", "energy ratio"],
+        &[
+            "kernel",
+            "items",
+            "cpu time",
+            "fpga time",
+            "speedup",
+            "energy ratio",
+        ],
     );
-    let rows = pool::parallel_map(cases.to_vec(), |(name, src, hints, items, ops, specials)| {
-        let kernel = ecoscale_hls::parse_kernel(src).expect("kernel parses");
-        let lib = ModuleLibrary::synthesize(
-            &[(kernel, hints.clone())],
-            Resources::new(6000, 256, 256),
-        )
-        .expect("synthesizable");
-        let module = &lib.get(name).expect("in library").module;
-        // CPU pays ~25 cycles per transcendental
-        let cpu_ops = items * (ops + specials * 24);
-        let (t_cpu, e_cpu) = cpu.exec(cpu_ops, items * 3);
-        let (t_fpga, e_fpga) = fpga.exec(module, items, ops);
-        vec![
-            name.to_owned(),
-            items.to_string(),
-            format!("{t_cpu}"),
-            format!("{t_fpga}"),
-            fratio(t_cpu / t_fpga),
-            fratio(e_cpu / e_fpga),
-        ]
-    });
+    let rows = pool::parallel_map(
+        cases.to_vec(),
+        |(name, src, hints, items, ops, specials)| {
+            let kernel = ecoscale_hls::parse_kernel(src).expect("kernel parses");
+            let lib = ModuleLibrary::synthesize(
+                &[(kernel, hints.clone())],
+                Resources::new(6000, 256, 256),
+            )
+            .expect("synthesizable");
+            let module = &lib.get(name).expect("in library").module;
+            // CPU pays ~25 cycles per transcendental
+            let cpu_ops = items * (ops + specials * 24);
+            let (t_cpu, e_cpu) = cpu.exec(cpu_ops, items * 3);
+            let (t_fpga, e_fpga) = fpga.exec(module, items, ops);
+            vec![
+                name.to_owned(),
+                items.to_string(),
+                format!("{t_cpu}"),
+                format!("{t_fpga}"),
+                fratio(t_cpu / t_fpga),
+                fratio(e_cpu / e_fpga),
+            ]
+        },
+    );
     for row in rows {
         t.row_owned(row);
     }
@@ -264,7 +285,10 @@ mod tests {
         let t = e04_invocation_rate(Scale::Full);
         let first = parse_ratio(&t.cells(0).unwrap()[3]);
         let last = parse_ratio(&t.cells(t.len() - 1).unwrap()[3]);
-        assert!(first > last, "fine-grain gap {first} should exceed coarse {last}");
+        assert!(
+            first > last,
+            "fine-grain gap {first} should exceed coarse {last}"
+        );
         assert!(last >= 1.0);
     }
 

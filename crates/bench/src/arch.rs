@@ -38,8 +38,13 @@ pub fn e01_hierarchy(scale: Scale) -> Table {
     let mut t = Table::new(
         "E1 (Fig.1): hierarchical tree vs flat interconnect, halo exchange",
         &[
-            "workers", "topology", "diameter", "mean hops", "mean lat",
-            "energy/sweep", "lat ratio",
+            "workers",
+            "topology",
+            "diameter",
+            "mean hops",
+            "mean lat",
+            "energy/sweep",
+            "lat ratio",
         ],
     );
     let rows = pool::parallel_map(sizes.to_vec(), |w| {
@@ -122,7 +127,12 @@ pub fn e02_task_vs_data(scale: Scale) -> Table {
     let mut t = Table::new(
         "E2: task-to-data (UNIMEM) vs data-to-task",
         &[
-            "working set", "strategy", "net bytes", "latency", "energy", "win",
+            "working set",
+            "strategy",
+            "net bytes",
+            "latency",
+            "energy",
+            "win",
         ],
     );
     let cpu = CpuModel::a53_default();
@@ -181,8 +191,12 @@ pub fn e03_coherence(scale: Scale) -> Table {
     let mut t = Table::new(
         "E3: directory coherence vs UNIMEM, shared page, 1 write + N-1 reads per epoch",
         &[
-            "workers", "coh msgs/write", "unimem msgs/write", "write storm",
-            "coh total", "unimem total",
+            "workers",
+            "coh msgs/write",
+            "unimem msgs/write",
+            "write storm",
+            "coh total",
+            "unimem total",
         ],
     );
     let rows = pool::parallel_map(sizes.to_vec(), |n| {
@@ -243,7 +257,10 @@ mod tests {
     #[test]
     fn e03_coherence_storm_grows() {
         let t = e03_coherence(Scale::Quick);
-        let first: f64 = t.cells(0).unwrap()[3].trim_end_matches('x').parse().unwrap();
+        let first: f64 = t.cells(0).unwrap()[3]
+            .trim_end_matches('x')
+            .parse()
+            .unwrap();
         let last: f64 = t.cells(t.len() - 1).unwrap()[3]
             .trim_end_matches('x')
             .parse()

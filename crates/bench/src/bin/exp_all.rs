@@ -7,18 +7,29 @@
 //! byte-identical at any thread count.
 //!
 //! ```text
-//! exp_all [--scale quick|full] [KEY...]
+//! exp_all [--scale quick|full] [--trace FILE] [--metrics FILE] [KEY...]
 //! exp_all --scale quick e03 e09    # just E3 and E9, reduced sweeps
+//! exp_all --scale quick --trace t.json --metrics m.json e03
 //! ```
+//!
+//! `--trace` writes a Chrome Trace Event JSON file (open in Perfetto or
+//! `chrome://tracing`); `--metrics` writes the instrument registry as
+//! JSON. Either flag triggers one full-stack observability capture
+//! (`ecoscale_bench::obs`) alongside the selected experiments, so the
+//! files always cover SMMU, UNIMEM/NoC, scheduler, and reconfiguration
+//! activity regardless of which experiment keys ran.
 
 use std::process::ExitCode;
 
+use ecoscale_bench::obs::capture_observability;
 use ecoscale_bench::{Scale, EXPERIMENTS};
 use ecoscale_sim::pool;
 
 fn usage() {
-    eprintln!("usage: exp_all [--scale quick|full] [KEY...]");
+    eprintln!("usage: exp_all [--scale quick|full] [--trace FILE] [--metrics FILE] [KEY...]");
     eprintln!("  --scale quick|full   sweep sizes (default: full)");
+    eprintln!("  --trace FILE         write a Chrome/Perfetto trace of an instrumented run");
+    eprintln!("  --metrics FILE       write the metrics registry of an instrumented run as JSON");
     eprintln!("  KEY                  experiment filter, e.g. `exp_all e03 e09`");
     eprint!("keys:");
     for (key, _) in EXPERIMENTS {
@@ -30,6 +41,8 @@ fn usage() {
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut scale = Scale::Full;
+    let mut trace_path: Option<String> = None;
+    let mut metrics_path: Option<String> = None;
     let mut filters: Vec<String> = Vec::new();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -37,6 +50,18 @@ fn main() -> ExitCode {
             "-h" | "--help" => {
                 usage();
                 return ExitCode::SUCCESS;
+            }
+            "--trace" | "--metrics" => {
+                let Some(v) = it.next() else {
+                    eprintln!("error: {arg} needs a file path");
+                    usage();
+                    return ExitCode::from(2);
+                };
+                if arg == "--trace" {
+                    trace_path = Some(v.clone());
+                } else {
+                    metrics_path = Some(v.clone());
+                }
             }
             "--scale" => {
                 let Some(v) = it.next() else {
@@ -74,6 +99,23 @@ fn main() -> ExitCode {
     let tables = pool::parallel_map(selected, |(_, run)| run(scale));
     for table in tables {
         println!("{table}");
+    }
+    if trace_path.is_some() || metrics_path.is_some() {
+        let cap = capture_observability(scale);
+        if let Some(path) = &trace_path {
+            if let Err(e) = std::fs::write(path, cap.trace.to_chrome_json()) {
+                eprintln!("error: cannot write trace to `{path}`: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!("wrote trace to {path} (load in https://ui.perfetto.dev)");
+        }
+        if let Some(path) = &metrics_path {
+            if let Err(e) = std::fs::write(path, cap.metrics.to_json()) {
+                eprintln!("error: cannot write metrics to `{path}`: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!("wrote metrics to {path}");
+        }
     }
     ExitCode::SUCCESS
 }

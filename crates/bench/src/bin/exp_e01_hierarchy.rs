@@ -1,5 +1,8 @@
 //! Regenerates experiment E1 from EXPERIMENTS.md at full scale.
 
 fn main() {
-    println!("{}", ecoscale_bench::arch::e01_hierarchy(ecoscale_bench::Scale::Full));
+    println!(
+        "{}",
+        ecoscale_bench::arch::e01_hierarchy(ecoscale_bench::Scale::Full)
+    );
 }

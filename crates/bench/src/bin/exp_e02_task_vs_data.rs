@@ -1,5 +1,8 @@
 //! Regenerates experiment E2 from EXPERIMENTS.md at full scale.
 
 fn main() {
-    println!("{}", ecoscale_bench::arch::e02_task_vs_data(ecoscale_bench::Scale::Full));
+    println!(
+        "{}",
+        ecoscale_bench::arch::e02_task_vs_data(ecoscale_bench::Scale::Full)
+    );
 }

@@ -1,5 +1,8 @@
 //! Regenerates experiment E3 from EXPERIMENTS.md at full scale.
 
 fn main() {
-    println!("{}", ecoscale_bench::arch::e03_coherence(ecoscale_bench::Scale::Full));
+    println!(
+        "{}",
+        ecoscale_bench::arch::e03_coherence(ecoscale_bench::Scale::Full)
+    );
 }

@@ -1,5 +1,8 @@
 //! Regenerates experiment E4 from EXPERIMENTS.md at full scale.
 
 fn main() {
-    println!("{}", ecoscale_bench::accel::e04_smmu(ecoscale_bench::Scale::Full));
+    println!(
+        "{}",
+        ecoscale_bench::accel::e04_smmu(ecoscale_bench::Scale::Full)
+    );
 }

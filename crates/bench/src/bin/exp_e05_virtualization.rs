@@ -1,5 +1,8 @@
 //! Regenerates experiment E5 from EXPERIMENTS.md at full scale.
 
 fn main() {
-    println!("{}", ecoscale_bench::accel::e05_virtualization(ecoscale_bench::Scale::Full));
+    println!(
+        "{}",
+        ecoscale_bench::accel::e05_virtualization(ecoscale_bench::Scale::Full)
+    );
 }

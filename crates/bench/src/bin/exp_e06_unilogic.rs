@@ -1,5 +1,8 @@
 //! Regenerates experiment E6 from EXPERIMENTS.md at full scale.
 
 fn main() {
-    println!("{}", ecoscale_bench::accel::e06_unilogic(ecoscale_bench::Scale::Full));
+    println!(
+        "{}",
+        ecoscale_bench::accel::e06_unilogic(ecoscale_bench::Scale::Full)
+    );
 }

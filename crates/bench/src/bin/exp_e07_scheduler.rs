@@ -1,5 +1,8 @@
 //! Regenerates experiment E7 from EXPERIMENTS.md at full scale.
 
 fn main() {
-    println!("{}", ecoscale_bench::runtime_exp::e07_scheduler(ecoscale_bench::Scale::Full));
+    println!(
+        "{}",
+        ecoscale_bench::runtime_exp::e07_scheduler(ecoscale_bench::Scale::Full)
+    );
 }

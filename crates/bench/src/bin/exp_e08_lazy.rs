@@ -1,5 +1,8 @@
 //! Regenerates experiment E8 from EXPERIMENTS.md at full scale.
 
 fn main() {
-    println!("{}", ecoscale_bench::runtime_exp::e08_lazy(ecoscale_bench::Scale::Full));
+    println!(
+        "{}",
+        ecoscale_bench::runtime_exp::e08_lazy(ecoscale_bench::Scale::Full)
+    );
 }

@@ -1,5 +1,8 @@
 //! Regenerates experiment E9 from EXPERIMENTS.md at full scale.
 
 fn main() {
-    println!("{}", ecoscale_bench::fpga_exp::e09_compression(ecoscale_bench::Scale::Full));
+    println!(
+        "{}",
+        ecoscale_bench::fpga_exp::e09_compression(ecoscale_bench::Scale::Full)
+    );
 }

@@ -1,5 +1,8 @@
 //! Regenerates experiment E10 from EXPERIMENTS.md at full scale.
 
 fn main() {
-    println!("{}", ecoscale_bench::fpga_exp::e10_defrag(ecoscale_bench::Scale::Full));
+    println!(
+        "{}",
+        ecoscale_bench::fpga_exp::e10_defrag(ecoscale_bench::Scale::Full)
+    );
 }

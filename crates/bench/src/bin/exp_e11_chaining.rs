@@ -1,5 +1,8 @@
 //! Regenerates experiment E11 from EXPERIMENTS.md at full scale.
 
 fn main() {
-    println!("{}", ecoscale_bench::fpga_exp::e11_chaining(ecoscale_bench::Scale::Full));
+    println!(
+        "{}",
+        ecoscale_bench::fpga_exp::e11_chaining(ecoscale_bench::Scale::Full)
+    );
 }

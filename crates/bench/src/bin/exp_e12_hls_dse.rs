@@ -1,5 +1,8 @@
 //! Regenerates experiment E12 from EXPERIMENTS.md at full scale.
 
 fn main() {
-    println!("{}", ecoscale_bench::fpga_exp::e12_hls_dse(ecoscale_bench::Scale::Full));
+    println!(
+        "{}",
+        ecoscale_bench::fpga_exp::e12_hls_dse(ecoscale_bench::Scale::Full)
+    );
 }

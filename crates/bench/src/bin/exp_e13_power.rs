@@ -1,5 +1,8 @@
 //! Regenerates experiment E13 from EXPERIMENTS.md at full scale.
 
 fn main() {
-    println!("{}", ecoscale_bench::scale_exp::e13_power(ecoscale_bench::Scale::Full));
+    println!(
+        "{}",
+        ecoscale_bench::scale_exp::e13_power(ecoscale_bench::Scale::Full)
+    );
 }

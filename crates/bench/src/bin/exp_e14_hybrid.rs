@@ -1,5 +1,8 @@
 //! Regenerates experiment E14 from EXPERIMENTS.md at full scale.
 
 fn main() {
-    println!("{}", ecoscale_bench::scale_exp::e14_hybrid(ecoscale_bench::Scale::Full));
+    println!(
+        "{}",
+        ecoscale_bench::scale_exp::e14_hybrid(ecoscale_bench::Scale::Full)
+    );
 }

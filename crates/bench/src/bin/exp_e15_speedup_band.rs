@@ -1,5 +1,8 @@
 //! Regenerates experiment E15 from EXPERIMENTS.md at full scale.
 
 fn main() {
-    println!("{}", ecoscale_bench::accel::e15_speedup_band(ecoscale_bench::Scale::Full));
+    println!(
+        "{}",
+        ecoscale_bench::accel::e15_speedup_band(ecoscale_bench::Scale::Full)
+    );
 }

@@ -2,9 +2,7 @@
 //! (defragmentation), E11 (accelerator chaining), E12 (HLS DSE).
 
 use ecoscale_core::Chain;
-use ecoscale_fpga::{
-    CompressionAlgo, Fabric, Floorplanner, ModuleId, ReconfigPort, Resources,
-};
+use ecoscale_fpga::{CompressionAlgo, Fabric, Floorplanner, ModuleId, ReconfigPort, Resources};
 use ecoscale_hls::{Explorer, ModuleLibrary};
 use ecoscale_sim::pool;
 use ecoscale_sim::report::{fnum, fratio, Table};
@@ -46,8 +44,12 @@ pub fn e09_compression(_scale: Scale) -> Table {
     let mut t = Table::new(
         "E9 (§4.3,[11]): bitstream compression vs reconfiguration cost (module library)",
         &[
-            "algorithm", "stored KiB", "ratio", "total reconfig time",
-            "total energy", "time vs none",
+            "algorithm",
+            "stored KiB",
+            "ratio",
+            "total reconfig time",
+            "total energy",
+            "time vs none",
         ],
     );
     let sweeps = pool::parallel_map(CompressionAlgo::ALL.to_vec(), |algo| {
@@ -93,8 +95,12 @@ pub fn e10_defrag(scale: Scale) -> Table {
     let mut t = Table::new(
         "E10 (§4.3): fragmentation under churn, with/without defragmentation",
         &[
-            "policy", "placements", "failures", "failure rate",
-            "migrations", "final fragmentation",
+            "policy",
+            "placements",
+            "failures",
+            "failure rate",
+            "migrations",
+            "final fragmentation",
         ],
     );
     let rows = pool::parallel_map(vec![false, true], |defrag| {
@@ -133,7 +139,12 @@ pub fn e10_defrag(scale: Scale) -> Table {
             }
         }
         vec![
-            if defrag { "defrag+migrate" } else { "first-fit only" }.to_owned(),
+            if defrag {
+                "defrag+migrate"
+            } else {
+                "first-fit only"
+            }
+            .to_owned(),
             placements.to_string(),
             failures.to_string(),
             fnum(failures as f64 / (failures + placements).max(1) as f64),
@@ -155,8 +166,13 @@ pub fn e11_chaining(scale: Scale) -> Table {
     let mut t = Table::new(
         "E11 (§4.3): accelerator chaining vs store-and-reload",
         &[
-            "chain len", "fused DRAM", "split DRAM", "fused energy",
-            "split energy", "energy win", "ops/DRAM-byte fused",
+            "chain len",
+            "fused DRAM",
+            "split DRAM",
+            "fused energy",
+            "split energy",
+            "energy win",
+            "ops/DRAM-byte fused",
         ],
     );
     let lib = workload_library();
@@ -206,14 +222,19 @@ pub fn e12_hls_dse(_scale: Scale) -> Table {
     let front = Explorer::pareto(points.clone());
     let naive = points
         .iter()
-        .find(|p| {
-            p.directives.unroll == 1 && !p.directives.pipeline && p.directives.partition == 1
-        })
+        .find(|p| p.directives.unroll == 1 && !p.directives.pipeline && p.directives.partition == 1)
         .expect("naive point feasible");
     let best = explorer.best(&kernel, &hints).expect("ok").expect("fits");
     let mut t = Table::new(
         "E12 (§4.3): HLS DSE Pareto front, gemm 256x256 (last row: naive baseline)",
-        &["directives", "area", "clock MHz", "II", "cycles", "speedup vs naive"],
+        &[
+            "directives",
+            "area",
+            "clock MHz",
+            "II",
+            "cycles",
+            "speedup vs naive",
+        ],
     );
     for p in &front {
         t.row_owned(vec![

@@ -14,6 +14,7 @@ pub mod ablation;
 pub mod accel;
 pub mod arch;
 pub mod fpga_exp;
+pub mod obs;
 pub mod runtime_exp;
 pub mod scale_exp;
 pub mod timing;

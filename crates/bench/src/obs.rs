@@ -1,0 +1,195 @@
+//! Full-stack observability capture behind `exp_all --trace/--metrics`.
+//!
+//! Experiments return only their result tables, so this module drives a
+//! representative instrumented workload through every layer the
+//! tentpole instruments — SMMU translation, UNIMEM over the NoC, the
+//! per-worker scheduler, and the assembled system's call/reconfigure
+//! path — and collects one merged [`TraceBuffer`] plus one
+//! [`MetricsRegistry`].
+//!
+//! Determinism: every phase is seeded, and the scheduler phase runs its
+//! lanes on [`ecoscale_sim::pool`] with one tracer and one registry per
+//! lane, folded back **in input order**. The exported trace JSON and
+//! metrics JSON are therefore byte-identical at any `ECOSCALE_THREADS`
+//! setting — `tests/determinism.rs` pins this.
+
+use std::collections::HashMap;
+
+use ecoscale_core::SystemBuilder;
+use ecoscale_hls::KernelArgs;
+use ecoscale_mem::{
+    CacheConfig, DramModel, GlobalAddr, PagePerms, Smmu, SmmuConfig, UnimemSystem, VirtAddr,
+};
+use ecoscale_noc::{Network, NetworkConfig, NodeId, TreeTopology};
+use ecoscale_runtime::{skewed_trace, ClusterSim, SchedPolicy};
+use ecoscale_sim::{pool, MetricsRegistry, SimRng, Time, TraceBuffer, Tracer};
+
+use crate::Scale;
+
+/// The combined output of one observability capture.
+#[derive(Debug, Clone, Default)]
+pub struct Capture {
+    /// Merged trace across every phase; export with
+    /// [`TraceBuffer::to_chrome_json`].
+    pub trace: TraceBuffer,
+    /// Merged instruments across every phase.
+    pub metrics: MetricsRegistry,
+}
+
+/// Runs the four instrumented phases at `scale` and returns the merged
+/// capture. Pure function of `scale`: byte-identical output at any
+/// thread count.
+pub fn capture_observability(scale: Scale) -> Capture {
+    let mut cap = Capture::default();
+    smmu_phase(scale, &mut cap);
+    unimem_phase(scale, &mut cap);
+    sched_phase(scale, &mut cap);
+    system_phase(scale, &mut cap);
+    cap
+}
+
+/// Zipf-skewed translation stream through one dual-stage SMMU:
+/// populates `smmu.*` (TLB hit/miss/MRU split, walk latencies, faults).
+fn smmu_phase(scale: Scale, cap: &mut Capture) {
+    let mut smmu = Smmu::new(SmmuConfig::default());
+    let pages = 256u64;
+    for p in 0..pages {
+        smmu.map(
+            VirtAddr::from_page(p, 0),
+            0x1_0000 + p,
+            0x2_0000 + p,
+            PagePerms::RW,
+        )
+        .expect("fresh mapping");
+    }
+    let mut rng = SimRng::seed_from(0xec05_ca1e);
+    let n = scale.pick(4_000, 40_000);
+    for _ in 0..n {
+        let page = rng.gen_zipf(pages as usize, 1.2) as u64;
+        let offset = rng.gen_range_u64(0, 4096);
+        let _ = smmu.translate(VirtAddr::from_page(page, offset), PagePerms::READ);
+    }
+    // a few touches beyond the mapped range fault (and cost walks)
+    for p in pages..pages + 8 {
+        let _ = smmu.translate(VirtAddr::from_page(p, 0), PagePerms::READ);
+    }
+    smmu.export_metrics(&mut cap.metrics, "smmu");
+}
+
+/// UNIMEM traffic over a traced tree NoC: populates `unimem.*` and
+/// `noc.*` and contributes per-link `noc/link<N>` trace lanes.
+fn unimem_phase(scale: Scale, cap: &mut Capture) {
+    let nodes = 16usize;
+    let tracer = Tracer::buffering();
+    let mut net = Network::new(TreeTopology::new(&[4, 4]), NetworkConfig::default());
+    net.set_tracer(tracer.clone());
+    let mut mem = UnimemSystem::new(nodes, CacheConfig::l1_default(), DramModel::default());
+    let mut rng = SimRng::seed_from(0x0b5e_7ab1);
+    let mut now = Time::ZERO;
+    let accesses = scale.pick(600, 6_000);
+    for _ in 0..accesses {
+        let node = NodeId(rng.gen_range_usize(0, nodes));
+        // concentrate on few owners/pages so caches and links contend
+        let owner = NodeId(rng.gen_zipf(nodes, 1.1));
+        let addr = GlobalAddr::new(owner, rng.gen_range_u64(0, 32) * 4096);
+        let bytes = 64 * (1 + rng.gen_range_u64(0, 4));
+        let access = if rng.gen_bool(0.3) {
+            mem.write(&mut net, now, node, addr, bytes)
+        } else {
+            mem.read(&mut net, now, node, addr, bytes)
+        };
+        // pace arrivals below the drain rate so queues build but clear
+        now = now.max(access.completion - access.latency) + ecoscale_sim::Duration::from_ns(40);
+    }
+    mem.export_metrics(&mut cap.metrics, "unimem");
+    net.export_metrics(&mut cap.metrics, "noc");
+    cap.trace.merge(tracer.take());
+}
+
+/// Scheduler lanes under [`pool`]: one seeded [`ClusterSim`] per lane
+/// with a private tracer and registry, folded in input order. Populates
+/// `sched.*` and per-worker `sched<L>/w<N>` trace lanes.
+fn sched_phase(scale: Scale, cap: &mut Capture) {
+    let lanes: Vec<u64> = scale.pick(vec![1, 2], vec![1, 2, 3, 4]);
+    let tasks = scale.pick(300, 1_500);
+    let results = pool::parallel_map(lanes, move |seed| {
+        let tracer = Tracer::buffering();
+        let label = format!("sched{seed}");
+        let trace = skewed_trace(tasks, 8, 120_000, 1.1, seed);
+        let mut sim = ClusterSim::new(8, SchedPolicy::LazyLocal { probes: 2 }, seed)
+            .with_tracer(tracer.clone(), &label);
+        sim.run(&trace);
+        let mut m = MetricsRegistry::new();
+        sim.export_metrics(&mut m, "sched");
+        (tracer.take(), m)
+    });
+    for (trace, metrics) in results {
+        cap.trace.merge(trace);
+        cap.metrics.merge(&metrics);
+    }
+}
+
+/// End-to-end [`SystemBuilder`] workload: CPU warm-up calls, an
+/// explicit module load, accelerated calls, and a daemon tick.
+/// Populates `system.*`/`reconfig.*` (and the per-worker SMMU zeros)
+/// plus `w<N>/calls` and `w<N>/fabric` trace lanes.
+fn system_phase(scale: Scale, cap: &mut Capture) {
+    const KERNEL: &str = "kernel scale(in float a[], out float b[], int n) {
+        for (i in 0 .. n) { b[i] = sqrt(a[i] + 1.0) * 2.0; }
+    }";
+    let tracer = Tracer::buffering();
+    let mut sys = SystemBuilder::new()
+        .workers_per_node(4)
+        .compute_nodes(2)
+        .kernel(KERNEL, HashMap::from([("n".to_owned(), 4096.0)]))
+        .build()
+        .expect("kernel synthesizes");
+    sys.set_tracer(&tracer);
+    let n = scale.pick(1_024usize, 4_096);
+    let args = || {
+        let mut a = KernelArgs::new();
+        a.bind_array("a", (0..n).map(|i| i as f64).collect())
+            .bind_array("b", vec![0.0; n])
+            .bind_scalar("n", n as f64);
+        a
+    };
+    for _ in 0..12 {
+        sys.call(NodeId(0), "scale", &mut args())
+            .expect("call runs");
+    }
+    sys.load_module(NodeId(0), "scale").expect("module places");
+    for _ in 0..4 {
+        sys.call(NodeId(0), "scale", &mut args())
+            .expect("call runs");
+    }
+    sys.daemon_tick();
+    cap.metrics.merge(&sys.export_metrics());
+    cap.trace.merge(tracer.take());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capture_populates_every_layer() {
+        let cap = capture_observability(Scale::Quick);
+        let m = &cap.metrics;
+        assert!(m.counter("smmu.tlb_hits").unwrap() > 0);
+        assert!(m.counter("smmu.tlb_misses").unwrap() > 0);
+        assert!(m.counter("noc.messages").unwrap() > 0);
+        assert!(m.counter("unimem.cache.hits").unwrap() > 0);
+        assert!(m.counter("sched.tasks").unwrap() > 0);
+        assert!(m.counter("system.calls_cpu").unwrap() > 0);
+        assert!(m.counter("reconfig.loads").unwrap() > 0);
+        assert!(!cap.trace.is_empty());
+        // every phase contributed lanes
+        let tracks = cap.trace.tracks();
+        assert!(tracks.iter().any(|t| t.starts_with("noc/link")));
+        assert!(tracks.iter().any(|t| t.starts_with("sched1/w")));
+        assert!(tracks.iter().any(|t| t == "w0/calls"));
+        // exports are well-formed
+        ecoscale_sim::json::parse(&cap.trace.to_chrome_json()).expect("trace JSON parses");
+        ecoscale_sim::json::parse(&m.to_json()).expect("metrics JSON parses");
+    }
+}

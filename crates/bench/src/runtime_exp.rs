@@ -38,9 +38,10 @@ pub fn e07_scheduler(scale: Scale) -> Table {
     let mut adaptive_energy = Energy::ZERO;
     for (i, &n) in trace.iter().enumerate() {
         let (spots, strikes) = ecoscale_apps::blackscholes::generate(n as usize, i as u64);
-        let mut args =
-            ecoscale_apps::blackscholes::bind_args(&spots, &strikes, 0.02, 0.3, 1.0);
-        let out = sys.call(NodeId(0), "blackscholes", &mut args).expect("runs");
+        let mut args = ecoscale_apps::blackscholes::bind_args(&spots, &strikes, 0.02, 0.3, 1.0);
+        let out = sys
+            .call(NodeId(0), "blackscholes", &mut args)
+            .expect("runs");
         adaptive_time += out.latency;
         adaptive_energy += out.energy;
         if i % 10 == 9 {
@@ -51,7 +52,12 @@ pub fn e07_scheduler(scale: Scale) -> Table {
     // static baselines, costed with the same models
     let unilogic = UnilogicModel::default();
     let topo = TreeTopology::new(&[4, 2]);
-    let module = sys.library().get("blackscholes").expect("in library").module.clone();
+    let module = sys
+        .library()
+        .get("blackscholes")
+        .expect("in library")
+        .module
+        .clone();
     let per_call = |n: u64, path: AccessPath| {
         let hints = HashMap::from([
             ("n".to_owned(), n as f64),
@@ -67,8 +73,22 @@ pub fn e07_scheduler(scale: Scale) -> Table {
             hot.body_census.flops() as u64 + hot.body_census.special as u64 * 24,
             hot.body_census.mem_ops() as u64,
         );
-        let ops = if path == AccessPath::Software { cpu_ops } else { hw_ops };
-        unilogic.cost(&topo, path, &module, NodeId(0), NodeId(0), items, ops, mem, n * 16)
+        let ops = if path == AccessPath::Software {
+            cpu_ops
+        } else {
+            hw_ops
+        };
+        unilogic.cost(
+            &topo,
+            path,
+            &module,
+            NodeId(0),
+            NodeId(0),
+            items,
+            ops,
+            mem,
+            n * 16,
+        )
     };
     let mut sw_time = Duration::ZERO;
     let mut sw_energy = Energy::ZERO;
@@ -90,8 +110,7 @@ pub fn e07_scheduler(scale: Scale) -> Table {
     }
     // all-HW pays one reconfiguration upfront
     let port = ecoscale_fpga::ReconfigPort::default();
-    let (reconf, reconf_e) =
-        port.load_cost(module.bitstream(), ecoscale_fpga::CompressionAlgo::Lz);
+    let (reconf, reconf_e) = port.load_cost(module.bitstream(), ecoscale_fpga::CompressionAlgo::Lz);
     hw_time += reconf;
     hw_energy += reconf_e;
 
@@ -126,8 +145,14 @@ pub fn e08_lazy(scale: Scale) -> Table {
     let mut t = Table::new(
         "E8 (§4.2,[9]): scheduling policies on a zipf-skewed trace",
         &[
-            "grain", "workers", "policy", "makespan", "sched overhead",
-            "messages", "imbalance", "mean util",
+            "grain",
+            "workers",
+            "policy",
+            "makespan",
+            "sched overhead",
+            "messages",
+            "imbalance",
+            "mean util",
         ],
     );
     // coarse tasks (~130 us) and fine tasks (~7 us): the centralized

@@ -1,8 +1,8 @@
 //! System-scale experiments: E13 (exaflop power extrapolation) and E14
 //! (hybrid MPI+PGAS sorting).
 
-use ecoscale_core::{machine_power_for_exaflop, MachineClass};
 use ecoscale_apps::sort::{distributed_sort, generate, SortMode};
+use ecoscale_core::{machine_power_for_exaflop, MachineClass};
 use ecoscale_sim::pool;
 use ecoscale_sim::report::{fnum, fratio, Table};
 
@@ -12,7 +12,13 @@ use crate::Scale;
 pub fn e13_power(_scale: Scale) -> Table {
     let mut t = Table::new(
         "E13 (§1): power to sustain 1 EFLOPS, by scaling strategy",
-        &["strategy", "GFLOPS/W", "IT power", "facility power (PUE)", "PUE"],
+        &[
+            "strategy",
+            "GFLOPS/W",
+            "IT power",
+            "facility power (PUE)",
+            "PUE",
+        ],
     );
     for (class, pue) in [
         (MachineClass::Tianhe2, 1.9),
@@ -40,8 +46,15 @@ pub fn e14_hybrid(scale: Scale) -> Table {
     let mut t = Table::new(
         "E14 (§2,[5]): hybrid MPI+PGAS vs pure MPI, distributed sample sort",
         &[
-            "nodes", "workers", "mode", "elapsed", "exchange", "intra-node",
-            "inter-node", "speedup", "exchange speedup",
+            "nodes",
+            "workers",
+            "mode",
+            "elapsed",
+            "exchange",
+            "intra-node",
+            "inter-node",
+            "speedup",
+            "exchange speedup",
         ],
     );
     let blocks = pool::parallel_map(node_counts.to_vec(), |nodes| {
@@ -93,7 +106,10 @@ mod tests {
         let mw: f64 = row[3].trim_end_matches("MW").parse().unwrap();
         assert!(mw > 900.0 && mw < 1100.0, "{mw} MW");
         // ECOSCALE row far below
-        let eco: f64 = t.cells(2).unwrap()[3].trim_end_matches("MW").parse().unwrap();
+        let eco: f64 = t.cells(2).unwrap()[3]
+            .trim_end_matches("MW")
+            .parse()
+            .unwrap();
         assert!(eco < 100.0);
     }
 

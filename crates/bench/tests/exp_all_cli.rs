@@ -1,0 +1,97 @@
+//! End-to-end tests for the `exp_all` binary: argument validation and
+//! the `--trace`/`--metrics` observability outputs (the ISSUE acceptance
+//! command, verbatim).
+
+use std::path::PathBuf;
+use std::process::Command;
+
+use ecoscale_sim::json::{self, Value};
+
+fn exp_all() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_exp_all"))
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("ecoscale-exp-all-{}-{name}", std::process::id()));
+    p
+}
+
+#[test]
+fn unknown_key_exits_2_with_key_list() {
+    let out = exp_all().arg("e99").output().expect("binary runs");
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("unknown experiment `e99`"), "stderr: {err}");
+    // usage lists every valid key
+    for (key, _) in ecoscale_bench::EXPERIMENTS {
+        assert!(err.contains(key), "stderr missing key {key}: {err}");
+    }
+}
+
+#[test]
+fn missing_flag_value_exits_2() {
+    let out = exp_all().arg("--trace").output().expect("binary runs");
+    assert_eq!(out.status.code(), Some(2));
+    let out = exp_all().arg("--scale").output().expect("binary runs");
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn trace_and_metrics_outputs_are_valid_and_populated() {
+    let trace_path = tmp("t.json");
+    let metrics_path = tmp("m.json");
+    let out = exp_all()
+        .args(["--scale", "quick", "--trace"])
+        .arg(&trace_path)
+        .arg("--metrics")
+        .arg(&metrics_path)
+        .arg("e03")
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("E3"), "e03 table printed: {stdout}");
+
+    // --- trace: well-formed Chrome Trace Event JSON, monotonic per track
+    let trace_text = std::fs::read_to_string(&trace_path).unwrap();
+    let trace = json::parse(&trace_text).expect("trace JSON parses");
+    let events = trace
+        .get("traceEvents")
+        .and_then(Value::as_arr)
+        .expect("traceEvents array");
+    assert!(!events.is_empty());
+    let mut named_tracks = 0usize;
+    let mut last_ts: std::collections::HashMap<u64, f64> = std::collections::HashMap::new();
+    for ev in events {
+        let ph = ev.get("ph").and_then(Value::as_str).expect("ph field");
+        if ph == "M" {
+            named_tracks += 1;
+            continue;
+        }
+        let tid = ev.get("tid").and_then(Value::as_f64).expect("tid") as u64;
+        let ts = ev.get("ts").and_then(Value::as_f64).expect("ts");
+        let prev = last_ts.insert(tid, ts).unwrap_or(f64::NEG_INFINITY);
+        assert!(ts >= prev, "track {tid} went back in time: {prev} -> {ts}");
+    }
+    assert!(named_tracks >= 3, "expected several named tracks");
+
+    // --- metrics: non-zero SMMU, NoC, and scheduler instruments
+    let metrics_text = std::fs::read_to_string(&metrics_path).unwrap();
+    let metrics = json::parse(&metrics_text).expect("metrics JSON parses");
+    for key in ["smmu.tlb_hits", "noc.messages", "sched.tasks"] {
+        let v = metrics
+            .get(key)
+            .and_then(|m| m.get("value"))
+            .and_then(Value::as_f64)
+            .unwrap_or_else(|| panic!("metric {key} missing"));
+        assert!(v > 0.0, "metric {key} is zero");
+    }
+
+    std::fs::remove_file(&trace_path).ok();
+    std::fs::remove_file(&metrics_path).ok();
+}

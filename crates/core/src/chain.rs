@@ -118,7 +118,12 @@ impl Chain {
 
     /// Store-and-reload execution: every stage loads its input from DRAM
     /// and stores its output back.
-    pub fn store_and_reload(&self, items: u64, bytes_per_item: u64, ops_per_item: u64) -> ChainCost {
+    pub fn store_and_reload(
+        &self,
+        items: u64,
+        bytes_per_item: u64,
+        ops_per_item: u64,
+    ) -> ChainCost {
         let bytes = items * bytes_per_item;
         let mut latency = Duration::ZERO;
         let mut energy = Energy::ZERO;

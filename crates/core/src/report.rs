@@ -10,7 +10,7 @@ use core::fmt;
 
 use ecoscale_runtime::DeviceClass;
 use ecoscale_sim::report::Table;
-use ecoscale_sim::{Energy, Time};
+use ecoscale_sim::{Energy, MetricsRegistry, Time};
 
 use crate::system::EcoscaleSystem;
 
@@ -44,6 +44,9 @@ pub struct SystemReport {
     pub mean_fabric_utilization: f64,
     /// Per-function aggregates, hottest first.
     pub functions: Vec<FunctionSummary>,
+    /// Every layer's instruments (SMMU, UNIMEM, NoC, reconfiguration,
+    /// system call path) snapshotted at capture time.
+    pub metrics: MetricsRegistry,
 }
 
 impl SystemReport {
@@ -93,6 +96,7 @@ impl SystemReport {
             resident_modules,
             mean_fabric_utilization: util / workers as f64,
             functions,
+            metrics: system.export_metrics(),
         }
     }
 
@@ -126,7 +130,8 @@ impl fmt::Display for SystemReport {
             self.resident_modules,
             self.mean_fabric_utilization * 100.0
         )?;
-        write!(f, "{}", self.to_table())
+        writeln!(f, "{}", self.to_table())?;
+        write!(f, "{}", self.metrics.to_table("metrics"))
     }
 }
 
@@ -184,5 +189,11 @@ mod tests {
         let rendered = r.to_string();
         assert!(rendered.contains("hot"));
         assert!(rendered.contains("resident"));
+
+        // the metrics section is populated and rendered
+        assert!(r.metrics.counter("system.calls_cpu").unwrap() >= 12);
+        assert!(r.metrics.counter("reconfig.loads").unwrap() >= 1);
+        assert!(rendered.contains("== metrics =="));
+        assert!(rendered.contains("system.call_ns"));
     }
 }

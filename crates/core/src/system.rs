@@ -21,7 +21,7 @@ use ecoscale_hls::{
 use ecoscale_mem::{CacheConfig, DramModel, UnimemSystem};
 use ecoscale_noc::{Network, NetworkConfig, NodeId, Topology, TreeTopology};
 use ecoscale_runtime::DeviceClass;
-use ecoscale_sim::{Duration, Energy, Time};
+use ecoscale_sim::{Counter, Duration, Energy, Histogram, MetricsRegistry, Time, Tracer, TrackId};
 
 use crate::unilogic::{AccessPath, UnilogicModel};
 use crate::worker::Worker;
@@ -217,10 +217,20 @@ impl SystemBuilder {
             net: Network::new(topo, NetworkConfig::default()),
             mem: UnimemSystem::new(n, CacheConfig::l1_default(), DramModel::default()),
             library,
-            kernels: parsed.into_iter().map(|(k, _)| (k.name().to_owned(), k)).collect(),
+            kernels: parsed
+                .into_iter()
+                .map(|(k, _)| (k.name().to_owned(), k))
+                .collect(),
             unilogic: UnilogicModel::default(),
             clock: Time::ZERO,
             energy: Energy::ZERO,
+            tracer: Tracer::disabled(),
+            worker_tracks: Vec::new(),
+            fabric_tracks: Vec::new(),
+            call_ns: Histogram::new(),
+            calls_cpu: Counter::new(),
+            calls_fpga_local: Counter::new(),
+            calls_fpga_remote: Counter::new(),
         })
     }
 }
@@ -236,6 +246,13 @@ pub struct EcoscaleSystem {
     unilogic: UnilogicModel,
     clock: Time,
     energy: Energy,
+    tracer: Tracer,
+    worker_tracks: Vec<TrackId>,
+    fabric_tracks: Vec<TrackId>,
+    call_ns: Histogram,
+    calls_cpu: Counter,
+    calls_fpga_local: Counter,
+    calls_fpga_remote: Counter,
 }
 
 impl EcoscaleSystem {
@@ -283,13 +300,63 @@ impl EcoscaleSystem {
         self.energy
     }
 
+    /// Installs a tracer: calls become spans on per-worker `w<N>/calls`
+    /// tracks and partial reconfigurations become spans on `w<N>/fabric`
+    /// tracks. The interconnect's per-link tracks share the same
+    /// buffer. The default tracer is disabled and costs one branch per
+    /// recording site.
+    pub fn set_tracer(&mut self, tracer: &Tracer) {
+        self.tracer = tracer.clone();
+        self.net.set_tracer(tracer.clone());
+        self.worker_tracks = self
+            .workers
+            .iter()
+            .map(|w| tracer.track(&format!("w{}/calls", w.id().0)))
+            .collect();
+        self.fabric_tracks = self
+            .workers
+            .iter()
+            .map(|w| tracer.track(&format!("w{}/fabric", w.id().0)))
+            .collect();
+    }
+
+    /// Snapshots every layer's instruments into one registry:
+    /// `smmu.*` and `reconfig.*` aggregated across Workers, `unimem.*`,
+    /// `noc.*`, and the system-level `system.*` call metrics (per-device
+    /// call counters, call-latency histogram, fabric occupancy stats).
+    pub fn export_metrics(&self) -> MetricsRegistry {
+        let mut m = MetricsRegistry::new();
+        for w in &self.workers {
+            w.smmu().export_metrics(&mut m, "smmu");
+            w.daemon().stats().export_metrics(&mut m, "reconfig");
+        }
+        self.mem.export_metrics(&mut m, "unimem");
+        self.net.export_metrics(&mut m, "noc");
+        m.add("system.calls_cpu", self.calls_cpu.get());
+        m.add("system.calls_fpga_local", self.calls_fpga_local.get());
+        m.add("system.calls_fpga_remote", self.calls_fpga_remote.get());
+        m.merge_hist("system.call_ns", &self.call_ns);
+        for w in &self.workers {
+            m.observe(
+                "system.fabric_utilization",
+                w.daemon().floorplan().utilization(),
+            );
+        }
+        m.observe("system.energy_uj", self.energy.as_uj());
+        m
+    }
+
     /// Loads `function`'s module onto `worker`'s fabric explicitly.
     /// Returns the reconfiguration latency, or `None` if unknown or
     /// unplaceable.
     pub fn load_module(&mut self, worker: NodeId, function: &str) -> Option<Duration> {
         let id = self.library.get(function)?.module.id();
+        let start = self.clock;
         let lat = self.workers[worker.0].load_module(&self.library, id)?;
         self.clock += lat;
+        if let Some(&track) = self.fabric_tracks.get(worker.0) {
+            self.tracer.complete(track, function, start, lat);
+        }
         Some(lat)
     }
 
@@ -297,9 +364,18 @@ impl EcoscaleSystem {
     /// module loads happened system-wide.
     pub fn daemon_tick(&mut self) -> usize {
         let mut loads = 0;
-        for w in &mut self.workers {
+        for (i, w) in self.workers.iter_mut().enumerate() {
+            let busy_before = w.daemon().stats().busy;
             let (daemon, history) = w.daemon_and_history();
-            loads += daemon.evaluate(self.clock, history, &self.library).len();
+            let loaded = daemon.evaluate(self.clock, history, &self.library).len();
+            loads += loaded;
+            if loaded > 0 {
+                if let Some(&track) = self.fabric_tracks.get(i) {
+                    let spent = w.daemon().stats().busy - busy_before;
+                    self.tracer
+                        .complete(track, "daemon-reconfig", self.clock, spent);
+                }
+            }
         }
         loads
     }
@@ -394,10 +470,7 @@ impl EcoscaleSystem {
         let (path, served_by) = match device {
             DeviceClass::Cpu => (AccessPath::Software, worker),
             DeviceClass::FpgaLocal => (AccessPath::LocalCached, worker),
-            DeviceClass::FpgaRemote => (
-                AccessPath::RemoteUncached,
-                remote.expect("checked above"),
-            ),
+            DeviceClass::FpgaRemote => (AccessPath::RemoteUncached, remote.expect("checked above")),
         };
         let ops_per_item = if path == AccessPath::Software {
             cpu_ops_per_item
@@ -428,8 +501,18 @@ impl EcoscaleSystem {
             }
         };
 
+        let started = self.clock;
         self.clock += cost.latency;
         self.energy += cost.energy;
+        self.call_ns.record(cost.latency.as_ns());
+        match device {
+            DeviceClass::Cpu => self.calls_cpu.incr(),
+            DeviceClass::FpgaLocal => self.calls_fpga_local.incr(),
+            DeviceClass::FpgaRemote => self.calls_fpga_remote.incr(),
+        }
+        if let Some(&track) = self.worker_tracks.get(worker.0) {
+            self.tracer.complete(track, function, started, cost.latency);
+        }
         self.workers[worker.0].history_mut().record(
             function,
             device,
@@ -490,9 +573,7 @@ mod tests {
         let out = s.call(NodeId(0), "scale", &mut a).unwrap();
         assert_eq!(out.device, DeviceClass::Cpu); // no history yet
         let b = a.array("b").unwrap();
-        let expect = |x: f64| {
-            (x + 1.0).sqrt() * (0.5 * x / (x + 2.0)).exp() + (x.abs() + 1.0).ln()
-        };
+        let expect = |x: f64| (x + 1.0).sqrt() * (0.5 * x / (x + 2.0)).exp() + (x.abs() + 1.0).ln();
         assert!((b[0] - expect(0.0)).abs() < 1e-12);
         assert!((b[99] - expect(99.0)).abs() < 1e-12);
         assert!(out.latency > Duration::ZERO);
@@ -503,7 +584,9 @@ mod tests {
     #[test]
     fn unknown_function_errors() {
         let mut s = system();
-        let err = s.call(NodeId(0), "ghost", &mut KernelArgs::new()).unwrap_err();
+        let err = s
+            .call(NodeId(0), "ghost", &mut KernelArgs::new())
+            .unwrap_err();
         assert!(matches!(err, CallError::UnknownFunction { .. }));
         assert!(err.to_string().contains("ghost"));
     }
@@ -512,7 +595,9 @@ mod tests {
     fn exec_error_propagates() {
         let mut s = system();
         // missing bindings
-        let err = s.call(NodeId(0), "scale", &mut KernelArgs::new()).unwrap_err();
+        let err = s
+            .call(NodeId(0), "scale", &mut KernelArgs::new())
+            .unwrap_err();
         assert!(matches!(err, CallError::Exec(_)));
     }
 
@@ -529,12 +614,6 @@ mod tests {
         let lat = s.load_module(NodeId(0), "scale").unwrap();
         assert!(lat > Duration::ZERO);
         // first HW call measures hardware
-        let id = s.library().get("scale").unwrap().module.id();
-        eprintln!("loaded? {}", s.worker(NodeId(0)).daemon().is_loaded(id));
-        let h = s.worker(NodeId(0)).history();
-        eprintln!("cpu pred {:?} hw pred {:?}",
-            ecoscale_runtime::model::predict_time(h, "scale", DeviceClass::Cpu, &[4096.0]),
-            ecoscale_runtime::model::predict_time(h, "scale", DeviceClass::FpgaLocal, &[4096.0]));
         let mut a = args(4096);
         let first_hw = s.call(NodeId(0), "scale", &mut a).unwrap();
         assert_eq!(first_hw.device, DeviceClass::FpgaLocal);
@@ -593,6 +672,46 @@ mod tests {
         assert_eq!(out.served_by, NodeId(0));
     }
 
+    #[test]
+    fn tracer_and_metrics_capture_call_path() {
+        let tracer = ecoscale_sim::Tracer::buffering();
+        let mut s = system();
+        s.set_tracer(&tracer);
+        for _ in 0..12 {
+            let mut a = args(4096);
+            s.call(NodeId(1), "scale", &mut a).unwrap();
+        }
+        s.load_module(NodeId(1), "scale").unwrap();
+        let mut a = args(4096);
+        s.call(NodeId(1), "scale", &mut a).unwrap();
+
+        let m = s.export_metrics();
+        assert_eq!(m.counter("system.calls_cpu"), Some(12));
+        assert_eq!(m.counter("system.calls_fpga_local"), Some(1));
+        assert_eq!(m.counter("reconfig.loads"), Some(1));
+        match m.get("system.call_ns") {
+            Some(ecoscale_sim::Instrument::Histogram(h)) => assert_eq!(h.count(), 13),
+            other => panic!("unexpected: {other:?}"),
+        }
+        match m.get("system.fabric_utilization") {
+            Some(ecoscale_sim::Instrument::Stats(st)) => {
+                assert_eq!(st.count(), s.num_workers() as u64);
+                assert!(st.max() > 0.0);
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+
+        let buf = tracer.take();
+        assert!(buf.tracks().iter().any(|t| t == "w1/calls"));
+        assert!(buf.tracks().iter().any(|t| t == "w1/fabric"));
+        let spans = buf
+            .events()
+            .iter()
+            .filter(|e| matches!(e.kind, ecoscale_sim::trace::EventKind::Complete { .. }))
+            .count();
+        // 13 calls + 1 reconfiguration
+        assert_eq!(spans, 14);
+    }
 
     #[test]
     fn daemon_tick_loads_hot_functions() {

@@ -140,13 +140,10 @@ impl UnilogicModel {
             AccessPath::LocalCached => {
                 let (t_exec, e_exec) = self.fpga.exec(module, items, ops_per_item);
                 // misses go to local DRAM
-                let misses =
-                    ((items * mem_per_item) as f64 * (1.0 - self.cache_hit_rate)) as u64;
+                let misses = ((items * mem_per_item) as f64 * (1.0 - self.cache_hit_rate)) as u64;
                 let (t_miss, e_miss) = self.dram.access(self.uncached_burst);
                 // miss latency overlaps the pipeline except for a fraction
-                let stall = Duration::from_ns(
-                    (t_miss.as_ns_f64() * misses as f64 * 0.1) as u64,
-                );
+                let stall = Duration::from_ns((t_miss.as_ns_f64() * misses as f64 * 0.1) as u64);
                 PathCost {
                     latency: t_exec + stall,
                     energy: e_exec + e_miss * misses as f64,
@@ -161,9 +158,8 @@ impl UnilogicModel {
                 let rt_energy = self.cost.energy(&route, self.uncached_burst) * 2.0;
                 // accelerators overlap outstanding requests: assume 4 in
                 // flight, so the exposed latency divides by 4
-                let exposed = Duration::from_ns(
-                    (rt_lat.as_ns_f64() * accesses as f64 / 4.0) as u64,
-                );
+                let exposed =
+                    Duration::from_ns((rt_lat.as_ns_f64() * accesses as f64 / 4.0) as u64);
                 let (t_exec, e_exec) = self.fpga.exec(module, items, ops_per_item);
                 let (_, e_dram) = self.dram.access(self.uncached_burst);
                 PathCost {
@@ -176,8 +172,7 @@ impl UnilogicModel {
                 // descriptor setup + bulk in + exec + bulk out
                 let ser_in = self.cost.latency(&route, bytes);
                 let ser_out = self.cost.latency(&route, bytes / 2);
-                let e_net = self.cost.energy(&route, bytes)
-                    + self.cost.energy(&route, bytes / 2);
+                let e_net = self.cost.energy(&route, bytes) + self.cost.energy(&route, bytes / 2);
                 let (t_exec, e_exec) = self.fpga.exec(module, items, ops_per_item);
                 let (t_dram, e_dram) = self.dram.stream(bytes);
                 PathCost {
@@ -209,15 +204,39 @@ mod tests {
     }
 
     fn setup() -> (TreeTopology, UnilogicModel, AcceleratorModule) {
-        (TreeTopology::new(&[4, 4]), UnilogicModel::default(), module())
+        (
+            TreeTopology::new(&[4, 4]),
+            UnilogicModel::default(),
+            module(),
+        )
     }
 
     #[test]
     fn local_cached_beats_software_on_big_kernels() {
         let (topo, m, module) = setup();
         let items = 1_000_000;
-        let sw = m.cost(&topo, AccessPath::Software, &module, NodeId(0), NodeId(0), items, 20, 2, 8 << 20);
-        let hw = m.cost(&topo, AccessPath::LocalCached, &module, NodeId(0), NodeId(0), items, 20, 2, 8 << 20);
+        let sw = m.cost(
+            &topo,
+            AccessPath::Software,
+            &module,
+            NodeId(0),
+            NodeId(0),
+            items,
+            20,
+            2,
+            8 << 20,
+        );
+        let hw = m.cost(
+            &topo,
+            AccessPath::LocalCached,
+            &module,
+            NodeId(0),
+            NodeId(0),
+            items,
+            20,
+            2,
+            8 << 20,
+        );
         assert!(hw.latency < sw.latency);
         assert!(hw.energy < sw.energy);
         assert_eq!(hw.network_bytes, 0);
@@ -229,8 +248,28 @@ mod tests {
         // efficient as a local one".
         let (topo, m, module) = setup();
         let items = 100_000;
-        let local = m.cost(&topo, AccessPath::LocalCached, &module, NodeId(0), NodeId(0), items, 10, 2, 1 << 20);
-        let remote = m.cost(&topo, AccessPath::RemoteUncached, &module, NodeId(0), NodeId(15), items, 10, 2, 1 << 20);
+        let local = m.cost(
+            &topo,
+            AccessPath::LocalCached,
+            &module,
+            NodeId(0),
+            NodeId(0),
+            items,
+            10,
+            2,
+            1 << 20,
+        );
+        let remote = m.cost(
+            &topo,
+            AccessPath::RemoteUncached,
+            &module,
+            NodeId(0),
+            NodeId(15),
+            items,
+            10,
+            2,
+            1 << 20,
+        );
         assert!(remote.latency > local.latency);
         assert!(remote.energy > local.energy);
         assert!(remote.network_bytes > 0);
@@ -242,9 +281,34 @@ mod tests {
         // such as messages to synchronize remote threads."
         let (topo, m, module) = setup();
         // tiny: 8 items over 512 bytes
-        let ls = m.cost(&topo, AccessPath::RemoteUncached, &module, NodeId(0), NodeId(5), 8, 4, 1, 512);
-        let dma = m.cost(&topo, AccessPath::Dma, &module, NodeId(0), NodeId(5), 8, 4, 1, 512);
-        assert!(ls.latency < dma.latency, "{} !< {}", ls.latency, dma.latency);
+        let ls = m.cost(
+            &topo,
+            AccessPath::RemoteUncached,
+            &module,
+            NodeId(0),
+            NodeId(5),
+            8,
+            4,
+            1,
+            512,
+        );
+        let dma = m.cost(
+            &topo,
+            AccessPath::Dma,
+            &module,
+            NodeId(0),
+            NodeId(5),
+            8,
+            4,
+            1,
+            512,
+        );
+        assert!(
+            ls.latency < dma.latency,
+            "{} !< {}",
+            ls.latency,
+            dma.latency
+        );
     }
 
     #[test]
@@ -252,8 +316,28 @@ mod tests {
         let (topo, m, module) = setup();
         let items = 1_000_000;
         let bytes = 16 << 20;
-        let ls = m.cost(&topo, AccessPath::RemoteUncached, &module, NodeId(0), NodeId(5), items, 4, 2, bytes);
-        let dma = m.cost(&topo, AccessPath::Dma, &module, NodeId(0), NodeId(5), items, 4, 2, bytes);
+        let ls = m.cost(
+            &topo,
+            AccessPath::RemoteUncached,
+            &module,
+            NodeId(0),
+            NodeId(5),
+            items,
+            4,
+            2,
+            bytes,
+        );
+        let dma = m.cost(
+            &topo,
+            AccessPath::Dma,
+            &module,
+            NodeId(0),
+            NodeId(5),
+            items,
+            4,
+            2,
+            bytes,
+        );
         assert!(dma.latency < ls.latency);
         assert!(dma.network_bytes < ls.network_bytes);
     }
@@ -261,8 +345,28 @@ mod tests {
     #[test]
     fn farther_accelerators_cost_more() {
         let (topo, m, module) = setup();
-        let near = m.cost(&topo, AccessPath::RemoteUncached, &module, NodeId(0), NodeId(1), 1000, 4, 2, 1 << 16);
-        let far = m.cost(&topo, AccessPath::RemoteUncached, &module, NodeId(0), NodeId(15), 1000, 4, 2, 1 << 16);
+        let near = m.cost(
+            &topo,
+            AccessPath::RemoteUncached,
+            &module,
+            NodeId(0),
+            NodeId(1),
+            1000,
+            4,
+            2,
+            1 << 16,
+        );
+        let far = m.cost(
+            &topo,
+            AccessPath::RemoteUncached,
+            &module,
+            NodeId(0),
+            NodeId(15),
+            1000,
+            4,
+            2,
+            1 << 16,
+        );
         assert!(far.latency > near.latency);
         assert!(far.energy > near.energy);
     }

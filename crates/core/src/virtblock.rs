@@ -170,7 +170,10 @@ mod tests {
     #[test]
     fn zero_cases() {
         let vb = block(1, 10);
-        assert_eq!(vb.batch_completion(SharingMode::Pipelined, 0, 10), Duration::ZERO);
+        assert_eq!(
+            vb.batch_completion(SharingMode::Pipelined, 0, 10),
+            Duration::ZERO
+        );
         assert_eq!(vb.batch_completion(SWITCH, 4, 0), Duration::ZERO);
         assert_eq!(vb.aggregate_throughput(SharingMode::Pipelined, 0, 0), 0.0);
     }

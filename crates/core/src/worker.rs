@@ -5,9 +5,7 @@ use ecoscale_fpga::{Fabric, Floorplanner, ModuleId};
 use ecoscale_hls::ModuleLibrary;
 use ecoscale_mem::{Smmu, SmmuConfig};
 use ecoscale_noc::NodeId;
-use ecoscale_runtime::{
-    CpuModel, DaemonConfig, ExecutionHistory, FpgaExecModel, ReconfigDaemon,
-};
+use ecoscale_runtime::{CpuModel, DaemonConfig, ExecutionHistory, FpgaExecModel, ReconfigDaemon};
 use ecoscale_sim::Duration;
 
 /// One Worker node.

@@ -410,7 +410,10 @@ fn lz_decompress(data: &[u8]) -> Vec<u8> {
 
 fn frame_dedup_compress(data: &[u8]) -> Vec<u8> {
     use std::collections::HashMap;
-    assert!(data.len().is_multiple_of(FRAME_BYTES), "bitstreams are frame aligned");
+    assert!(
+        data.len().is_multiple_of(FRAME_BYTES),
+        "bitstreams are frame aligned"
+    );
     let frames = data.len() / FRAME_BYTES;
     let mut out = Vec::new();
     out.extend_from_slice(&(frames as u32).to_le_bytes());
@@ -462,7 +465,15 @@ mod tests {
         let c = sample(10);
         assert_eq!(a, b);
         assert_ne!(a, c);
-        assert_eq!(a.len(), 424 * BYTES_PER_CELL / FRAME_BYTES * FRAME_BYTES + if (424 * BYTES_PER_CELL).is_multiple_of(FRAME_BYTES) { 0 } else { FRAME_BYTES });
+        assert_eq!(
+            a.len(),
+            424 * BYTES_PER_CELL / FRAME_BYTES * FRAME_BYTES
+                + if (424 * BYTES_PER_CELL).is_multiple_of(FRAME_BYTES) {
+                    0
+                } else {
+                    FRAME_BYTES
+                }
+        );
         assert_eq!(a.len() % FRAME_BYTES, 0);
         assert!(a.frames() > 0);
     }
@@ -493,7 +504,9 @@ mod tests {
             vec![],
             vec![0u8; FRAME_BYTES],
             vec![0xAB; FRAME_BYTES],
-            (0..FRAME_BYTES as u32).map(|i| (i % 251) as u8).collect::<Vec<_>>(),
+            (0..FRAME_BYTES as u32)
+                .map(|i| (i % 251) as u8)
+                .collect::<Vec<_>>(),
         ] {
             let bs = Bitstream::from_bytes(data);
             for algo in CompressionAlgo::ALL {
@@ -506,7 +519,11 @@ mod tests {
     #[test]
     fn compression_actually_compresses_synthetic_streams() {
         let bs = sample(42);
-        for algo in [CompressionAlgo::ZeroRle, CompressionAlgo::Lz, CompressionAlgo::FrameDedup] {
+        for algo in [
+            CompressionAlgo::ZeroRle,
+            CompressionAlgo::Lz,
+            CompressionAlgo::FrameDedup,
+        ] {
             let s = algo.stats(&bs);
             assert!(
                 s.ratio() > 1.3,
@@ -538,7 +555,10 @@ mod tests {
 
     #[test]
     fn stats_ratio_handles_empty() {
-        let s = CompressionStats { original: 0, compressed: 0 };
+        let s = CompressionStats {
+            original: 0,
+            compressed: 0,
+        };
         assert_eq!(s.ratio(), 1.0);
     }
 

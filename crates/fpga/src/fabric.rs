@@ -304,14 +304,34 @@ mod tests {
 
     #[test]
     fn region_geometry() {
-        let a = Region { col: 0, width: 4, row: 0, height: 4 };
-        let b = Region { col: 3, width: 4, row: 0, height: 4 };
-        let c = Region { col: 4, width: 4, row: 0, height: 4 };
+        let a = Region {
+            col: 0,
+            width: 4,
+            row: 0,
+            height: 4,
+        };
+        let b = Region {
+            col: 3,
+            width: 4,
+            row: 0,
+            height: 4,
+        };
+        let c = Region {
+            col: 4,
+            width: 4,
+            row: 0,
+            height: 4,
+        };
         assert!(a.overlaps(&b));
         assert!(!a.overlaps(&c));
         assert_eq!(a.area(), 16);
         // vertical disjointness
-        let d = Region { col: 0, width: 4, row: 4, height: 2 };
+        let d = Region {
+            col: 0,
+            width: 4,
+            row: 4,
+            height: 2,
+        };
         assert!(!a.overlaps(&d));
     }
 
@@ -338,12 +358,22 @@ mod tests {
     #[test]
     fn region_resources_subset() {
         let f = Fabric::zynq_like(20, 8);
-        let half = f.region_resources(&Region { col: 0, width: 10, row: 0, height: 8 });
+        let half = f.region_resources(&Region {
+            col: 0,
+            width: 10,
+            row: 0,
+            height: 8,
+        });
         let whole = f.total_resources();
         assert!(half.fits_in(&whole));
         assert!(half.total() < whole.total());
         // half height halves every count
-        let short = f.region_resources(&Region { col: 0, width: 10, row: 0, height: 4 });
+        let short = f.region_resources(&Region {
+            col: 0,
+            width: 10,
+            row: 0,
+            height: 4,
+        });
         assert_eq!(short.total() * 2, half.total());
     }
 
@@ -351,7 +381,12 @@ mod tests {
     #[should_panic(expected = "out of fabric bounds")]
     fn region_bounds_checked() {
         let f = Fabric::zynq_like(10, 10);
-        f.region_resources(&Region { col: 8, width: 4, row: 0, height: 10 });
+        f.region_resources(&Region {
+            col: 8,
+            width: 4,
+            row: 0,
+            height: 10,
+        });
     }
 
     #[test]

@@ -130,8 +130,18 @@ impl Floorplanner {
 
     fn occupied(&self, col: u32, width: u32) -> bool {
         self.placements.values().any(|p| {
-            let r1 = Region { col, width, row: 0, height: 1 };
-            let r2 = Region { col: p.col, width: p.width, row: 0, height: 1 };
+            let r1 = Region {
+                col,
+                width,
+                row: 0,
+                height: 1,
+            };
+            let r2 = Region {
+                col: p.col,
+                width: p.width,
+                row: 0,
+                height: 1,
+            };
             r1.overlaps(&r2)
         })
     }
@@ -141,7 +151,12 @@ impl Floorplanner {
     fn width_at(&self, col: u32, need: &Resources) -> Option<u32> {
         let rows = self.fabric.rows();
         for width in 1..=(self.fabric.width() - col) {
-            let region = Region { col, width, row: 0, height: rows };
+            let region = Region {
+                col,
+                width,
+                row: 0,
+                height: rows,
+            };
             if need.fits_in(&self.fabric.region_resources(&region)) {
                 return Some(width);
             }
@@ -168,7 +183,12 @@ impl Floorplanner {
                     self.next_slot += 1;
                     self.placements.insert(
                         slot,
-                        Placement { slot, module, col, width },
+                        Placement {
+                            slot,
+                            module,
+                            col,
+                            width,
+                        },
                     );
                     self.demands.insert(slot, need);
                     return Ok(slot);
@@ -292,7 +312,10 @@ mod tests {
     #[test]
     fn too_large_rejected() {
         let mut fp = planner();
-        assert_eq!(fp.place(ModuleId(0), clb(1_000_000)), Err(PlaceError::TooLarge));
+        assert_eq!(
+            fp.place(ModuleId(0), clb(1_000_000)),
+            Err(PlaceError::TooLarge)
+        );
     }
 
     #[test]
@@ -325,10 +348,7 @@ mod tests {
 
     #[test]
     fn fragmented_error_when_no_window_fits() {
-        let mut fp = Floorplanner::new(Fabric::new(
-            vec![crate::fabric::ResourceKind::Clb; 10],
-            10,
-        ));
+        let mut fp = Floorplanner::new(Fabric::new(vec![crate::fabric::ResourceKind::Clb; 10], 10));
         // occupy cols with gaps: place 3 modules of 3 columns each (9 cols),
         // remove the middle one -> 3+1 free columns in two extents
         let a = fp.place(ModuleId(0), clb(30)).unwrap();
@@ -339,7 +359,13 @@ mod tests {
         assert_eq!(fp.free_columns(), 4);
         // a 4-column module cannot fit although 4 columns are free
         let err = fp.place(ModuleId(3), clb(40)).unwrap_err();
-        assert!(matches!(err, PlaceError::Fragmented { free_columns: 4, largest_extent: 3 }));
+        assert!(matches!(
+            err,
+            PlaceError::Fragmented {
+                free_columns: 4,
+                largest_extent: 3
+            }
+        ));
         // defragment, then it fits
         let migs = fp.defragment();
         assert_eq!(migs.len(), 1); // module c moves left
@@ -371,8 +397,18 @@ mod tests {
         let ps: Vec<_> = fp.placements().copied().collect();
         for (i, p) in ps.iter().enumerate() {
             for q in &ps[i + 1..] {
-                let r1 = Region { col: p.col, width: p.width, row: 0, height: 1 };
-                let r2 = Region { col: q.col, width: q.width, row: 0, height: 1 };
+                let r1 = Region {
+                    col: p.col,
+                    width: p.width,
+                    row: 0,
+                    height: 1,
+                };
+                let r2 = Region {
+                    col: q.col,
+                    width: q.width,
+                    row: 0,
+                    height: 1,
+                };
                 assert!(!r1.overlaps(&r2));
             }
         }

@@ -71,7 +71,10 @@ impl AcceleratorModule {
         bitstream: Bitstream,
     ) -> AcceleratorModule {
         assert!(clock_hz > 0, "module clock must be positive");
-        assert!(initiation_interval > 0, "initiation interval must be positive");
+        assert!(
+            initiation_interval > 0,
+            "initiation interval must be positive"
+        );
         AcceleratorModule {
             id,
             name: name.to_owned(),
@@ -129,9 +132,7 @@ impl AcceleratorModule {
         if items == 0 {
             return Duration::ZERO;
         }
-        let cycles = self.pipeline_depth as u64
-            + (items - 1) * self.initiation_interval as u64
-            + 1;
+        let cycles = self.pipeline_depth as u64 + (items - 1) * self.initiation_interval as u64 + 1;
         Duration::from_cycles(cycles, self.clock_hz)
     }
 

@@ -101,11 +101,7 @@ impl PreemptModel {
     /// # Panics
     ///
     /// Panics if `ctx` belongs to a different module.
-    pub fn restore(
-        &self,
-        module: &AcceleratorModule,
-        ctx: &SavedContext,
-    ) -> (Duration, Energy) {
+    pub fn restore(&self, module: &AcceleratorModule, ctx: &SavedContext) -> (Duration, Energy) {
         assert_eq!(
             ctx.module,
             module.id(),
@@ -113,11 +109,12 @@ impl PreemptModel {
             ctx.module,
             module.id()
         );
-        let write = Duration::from_bytes_at_bandwidth(
-            ctx.state_bytes.max(1),
-            self.readback_bandwidth,
-        );
-        (self.setup + write, self.energy_per_byte * ctx.state_bytes as f64)
+        let write =
+            Duration::from_bytes_at_bandwidth(ctx.state_bytes.max(1), self.readback_bandwidth);
+        (
+            self.setup + write,
+            self.energy_per_byte * ctx.state_bytes as f64,
+        )
     }
 
     /// Remaining batch latency after resuming `ctx` with `total_items`

@@ -6,7 +6,7 @@
 //! at port speed, the configuration latency and energy drop by the same
 //! ratio \[11\].
 
-use ecoscale_sim::{Counter, Duration, Energy};
+use ecoscale_sim::{Counter, Duration, Energy, MetricsRegistry};
 
 use crate::bitstream::{Bitstream, CompressionAlgo};
 
@@ -59,6 +59,20 @@ pub struct ReconfigStats {
     pub busy: Duration,
     /// Total reconfiguration energy.
     pub energy: Energy,
+}
+
+impl ReconfigStats {
+    /// Folds these stats into `m` under `prefix` (`{prefix}.loads`,
+    /// `.config_bytes`, `.stored_bytes`, `.busy_us` counters and an
+    /// `.energy_uj` observation). Exporting several ports' stats under
+    /// one prefix aggregates them.
+    pub fn export_metrics(&self, m: &mut MetricsRegistry, prefix: &str) {
+        m.add(&format!("{prefix}.loads"), self.loads);
+        m.add(&format!("{prefix}.config_bytes"), self.config_bytes);
+        m.add(&format!("{prefix}.stored_bytes"), self.stored_bytes);
+        m.add(&format!("{prefix}.busy_us"), self.busy.as_ns() / 1_000);
+        m.observe(&format!("{prefix}.energy_uj"), self.energy.as_uj());
+    }
 }
 
 impl ReconfigPort {

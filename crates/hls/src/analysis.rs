@@ -234,9 +234,10 @@ impl KernelAnalysis {
                         };
                         let has_inner = body.iter().any(|s| matches!(s, Stmt::For { .. }))
                             || body.iter().any(|s| match s {
-                                Stmt::If { then, els, .. } => {
-                                    then.iter().chain(els.iter()).any(|x| matches!(x, Stmt::For { .. }))
-                                }
+                                Stmt::If { then, els, .. } => then
+                                    .iter()
+                                    .chain(els.iter())
+                                    .any(|x| matches!(x, Stmt::For { .. })),
                                 _ => false,
                             });
                         out.push(LoopInfo {
@@ -309,14 +310,11 @@ impl KernelAnalysis {
     /// The innermost loop doing the most total work — the pipelining
     /// target. `None` for loop-free kernels.
     pub fn hot_loop(&self) -> Option<&LoopInfo> {
-        self.loops
-            .iter()
-            .filter(|l| l.innermost)
-            .max_by_key(|l| {
-                l.total_iterations
-                    .map(|t| t * l.body_census.flops().max(1) as u64)
-                    .unwrap_or(u64::MAX) // unresolved: assume hottest
-            })
+        self.loops.iter().filter(|l| l.innermost).max_by_key(|l| {
+            l.total_iterations
+                .map(|t| t * l.body_census.flops().max(1) as u64)
+                .unwrap_or(u64::MAX) // unresolved: assume hottest
+        })
     }
 }
 
@@ -371,10 +369,9 @@ mod tests {
 
     #[test]
     fn unresolved_trip_counts_are_none() {
-        let k = parse_kernel(
-            "kernel u(out float o[], int n) { for (i in 0 .. n) { o[i] = 0.0; } }",
-        )
-        .unwrap();
+        let k =
+            parse_kernel("kernel u(out float o[], int n) { for (i in 0 .. n) { o[i] = 0.0; } }")
+                .unwrap();
         let an = KernelAnalysis::analyze(&k, &HashMap::new());
         assert_eq!(an.loops()[0].trip_count, None);
         assert!(an.total().is_none());

@@ -118,10 +118,7 @@ impl Explorer {
         points.sort_by_key(|p| (p.estimate.resources.total(), p.estimate.cycles));
         let mut front: Vec<DesignPoint> = Vec::new();
         for p in points {
-            if front
-                .iter()
-                .all(|q| p.estimate.cycles < q.estimate.cycles)
-            {
+            if front.iter().all(|q| p.estimate.cycles < q.estimate.cycles) {
                 front.push(p);
             }
         }
@@ -300,7 +297,9 @@ mod tests {
         let ex = Explorer::new(Resources::new(100_000, 1024, 1024));
         let pts = ex.explore(&kernel(), &hints()).unwrap();
         let best = ex.best(&kernel(), &hints()).unwrap().unwrap();
-        assert!(pts.iter().all(|p| p.estimate.cycles >= best.estimate.cycles));
+        assert!(pts
+            .iter()
+            .all(|p| p.estimate.cycles >= best.estimate.cycles));
     }
 
     #[test]

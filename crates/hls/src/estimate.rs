@@ -251,8 +251,9 @@ pub fn estimate(
     let groups = hot_iters.div_ceil(directives.unroll as u64);
     let hot_cycles = groups * ii_group as u64 + depth as u64;
     // remaining (non-hot) work at 1 op/cycle
-    let rest_cycles = (total.flops + total.mem_ops)
-        .saturating_sub(hot_census.flops() as u64 * hot_iters + hot_census.mem_ops() as u64 * hot_iters);
+    let rest_cycles = (total.flops + total.mem_ops).saturating_sub(
+        hot_census.flops() as u64 * hot_iters + hot_census.mem_ops() as u64 * hot_iters,
+    );
     let cycles = hot_cycles + rest_cycles;
 
     let latency = Duration::from_cycles(cycles.max(1), clock_hz);
@@ -319,8 +320,28 @@ mod tests {
         let k = streaming_kernel();
         let h = hints(65_536.0);
         let costs = OpCosts::default();
-        let base = estimate(&k, &h, HlsDirectives { unroll: 1, pipeline: true, partition: 4 }, &costs).unwrap();
-        let wide = estimate(&k, &h, HlsDirectives { unroll: 8, pipeline: true, partition: 4 }, &costs).unwrap();
+        let base = estimate(
+            &k,
+            &h,
+            HlsDirectives {
+                unroll: 1,
+                pipeline: true,
+                partition: 4,
+            },
+            &costs,
+        )
+        .unwrap();
+        let wide = estimate(
+            &k,
+            &h,
+            HlsDirectives {
+                unroll: 8,
+                pipeline: true,
+                partition: 4,
+            },
+            &costs,
+        )
+        .unwrap();
         assert!(wide.resources.total() > base.resources.total() * 3);
         assert!(wide.latency < base.latency);
     }
@@ -330,8 +351,28 @@ mod tests {
         let k = streaming_kernel();
         let h = hints(65_536.0);
         let costs = OpCosts::default();
-        let pipe = estimate(&k, &h, HlsDirectives { unroll: 1, pipeline: true, partition: 2 }, &costs).unwrap();
-        let seq = estimate(&k, &h, HlsDirectives { unroll: 1, pipeline: false, partition: 2 }, &costs).unwrap();
+        let pipe = estimate(
+            &k,
+            &h,
+            HlsDirectives {
+                unroll: 1,
+                pipeline: true,
+                partition: 2,
+            },
+            &costs,
+        )
+        .unwrap();
+        let seq = estimate(
+            &k,
+            &h,
+            HlsDirectives {
+                unroll: 1,
+                pipeline: false,
+                partition: 2,
+            },
+            &costs,
+        )
+        .unwrap();
         assert!(seq.ii > pipe.ii);
         assert!(seq.latency > pipe.latency * 2);
     }
@@ -341,7 +382,11 @@ mod tests {
         let e = estimate(
             &reduction_kernel(),
             &hints(4096.0),
-            HlsDirectives { unroll: 1, pipeline: true, partition: 8 },
+            HlsDirectives {
+                unroll: 1,
+                pipeline: true,
+                partition: 8,
+            },
             &OpCosts::default(),
         )
         .unwrap();
@@ -354,8 +399,28 @@ mod tests {
         let k = streaming_kernel();
         let h = hints(65_536.0);
         let costs = OpCosts::default();
-        let p1 = estimate(&k, &h, HlsDirectives { unroll: 8, pipeline: true, partition: 1 }, &costs).unwrap();
-        let p8 = estimate(&k, &h, HlsDirectives { unroll: 8, pipeline: true, partition: 8 }, &costs).unwrap();
+        let p1 = estimate(
+            &k,
+            &h,
+            HlsDirectives {
+                unroll: 8,
+                pipeline: true,
+                partition: 1,
+            },
+            &costs,
+        )
+        .unwrap();
+        let p8 = estimate(
+            &k,
+            &h,
+            HlsDirectives {
+                unroll: 8,
+                pipeline: true,
+                partition: 8,
+            },
+            &costs,
+        )
+        .unwrap();
         assert!(p8.cycles < p1.cycles);
         assert!(p8.resources.bram > p1.resources.bram);
     }
@@ -377,7 +442,11 @@ mod tests {
         let err = estimate(
             &streaming_kernel(),
             &hints(16.0),
-            HlsDirectives { unroll: 0, pipeline: true, partition: 1 },
+            HlsDirectives {
+                unroll: 0,
+                pipeline: true,
+                partition: 1,
+            },
             &OpCosts::default(),
         )
         .unwrap_err();
@@ -386,9 +455,17 @@ mod tests {
 
     #[test]
     fn directives_display() {
-        let d = HlsDirectives { unroll: 4, pipeline: true, partition: 2 };
+        let d = HlsDirectives {
+            unroll: 4,
+            pipeline: true,
+            partition: 2,
+        };
         assert_eq!(d.to_string(), "u4Pp2");
-        let s = HlsDirectives { unroll: 1, pipeline: false, partition: 1 };
+        let s = HlsDirectives {
+            unroll: 1,
+            pipeline: false,
+            partition: 1,
+        };
         assert_eq!(s.to_string(), "u1sp1");
     }
 
@@ -397,8 +474,28 @@ mod tests {
         let k = streaming_kernel();
         let h = hints(1024.0);
         let costs = OpCosts::default();
-        let small = estimate(&k, &h, HlsDirectives { unroll: 1, pipeline: true, partition: 1 }, &costs).unwrap();
-        let big = estimate(&k, &h, HlsDirectives { unroll: 16, pipeline: true, partition: 8 }, &costs).unwrap();
+        let small = estimate(
+            &k,
+            &h,
+            HlsDirectives {
+                unroll: 1,
+                pipeline: true,
+                partition: 1,
+            },
+            &costs,
+        )
+        .unwrap();
+        let big = estimate(
+            &k,
+            &h,
+            HlsDirectives {
+                unroll: 16,
+                pipeline: true,
+                partition: 8,
+            },
+            &costs,
+        )
+        .unwrap();
         assert!(big.clock_hz < small.clock_hz);
     }
 
@@ -407,7 +504,11 @@ mod tests {
         let e = estimate(
             &streaming_kernel(),
             &hints(4096.0),
-            HlsDirectives { unroll: 4, pipeline: true, partition: 8 },
+            HlsDirectives {
+                unroll: 4,
+                pipeline: true,
+                partition: 8,
+            },
             &OpCosts::default(),
         )
         .unwrap();

@@ -257,12 +257,12 @@ fn exec_block(stmts: &[Stmt], env: &mut Env<'_>) -> Result<(), ExecKernelError> 
                 }
                 let idx = eval(index, env)? as i64;
                 let v = eval(value, env)?;
-                let buf = env
-                    .arrays
-                    .get_mut(array)
-                    .ok_or_else(|| ExecKernelError::UnknownName {
-                        name: array.clone(),
-                    })?;
+                let buf =
+                    env.arrays
+                        .get_mut(array)
+                        .ok_or_else(|| ExecKernelError::UnknownName {
+                            name: array.clone(),
+                        })?;
                 if idx < 0 || idx as usize >= buf.len() {
                     return Err(ExecKernelError::IndexOutOfBounds {
                         array: array.clone(),
@@ -368,7 +368,8 @@ mod tests {
         )
         .unwrap();
         let mut args = KernelArgs::new();
-        args.bind_array("a", vec![-4.0, 9.0, 16.0]).bind_scalar("n", 3.0);
+        args.bind_array("a", vec![-4.0, 9.0, 16.0])
+            .bind_scalar("n", 3.0);
         args.run(&k).unwrap();
         assert_eq!(args.array("a").unwrap(), &[0.0, 3.0, 4.0]);
     }
@@ -404,7 +405,14 @@ mod tests {
         let mut args = KernelArgs::new();
         args.bind_array("o", vec![0.0; 2]).bind_scalar("n", 5.0);
         let err = args.run(&k).unwrap_err();
-        assert!(matches!(err, ExecKernelError::IndexOutOfBounds { index: 5, len: 2, .. }));
+        assert!(matches!(
+            err,
+            ExecKernelError::IndexOutOfBounds {
+                index: 5,
+                len: 2,
+                ..
+            }
+        ));
         assert!(err.to_string().contains("out of bounds"));
     }
 
@@ -437,7 +445,9 @@ mod tests {
         args.bind_array("o", vec![0.0]);
         assert_eq!(
             args.run(&k).unwrap_err(),
-            ExecKernelError::UnknownName { name: "ghost".into() }
+            ExecKernelError::UnknownName {
+                name: "ghost".into()
+            }
         );
     }
 

@@ -246,7 +246,6 @@ pub enum Stmt {
     },
 }
 
-
 impl fmt::Display for Expr {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -280,10 +279,17 @@ fn write_block(f: &mut fmt::Formatter<'_>, stmts: &[Stmt], indent: usize) -> fmt
     for s in stmts {
         match s {
             Stmt::Assign { var, value } => writeln!(f, "{pad}{var} = {value};")?,
-            Stmt::Store { array, index, value } => {
-                writeln!(f, "{pad}{array}[{index}] = {value};")?
-            }
-            Stmt::For { var, start, end, body } => {
+            Stmt::Store {
+                array,
+                index,
+                value,
+            } => writeln!(f, "{pad}{array}[{index}] = {value};")?,
+            Stmt::For {
+                var,
+                start,
+                end,
+                body,
+            } => {
                 writeln!(f, "{pad}for ({var} in {start} .. {end}) {{")?;
                 write_block(f, body, indent + 1)?;
                 writeln!(f, "{pad}}}")?;
@@ -520,7 +526,6 @@ mod tests {
         e.visit(&mut |_| n += 1);
         assert_eq!(n, 8);
     }
-
 
     #[test]
     fn display_round_trips_through_parser() {

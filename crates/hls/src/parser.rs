@@ -81,7 +81,8 @@ fn lex(src: &str) -> Result<Vec<SpannedTok>, ParseKernelError> {
         }
         let start = i;
         if c.is_ascii_alphabetic() || c == '_' {
-            while i < bytes.len() && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+            while i < bytes.len()
+                && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
             {
                 i += 1;
             }

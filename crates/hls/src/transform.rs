@@ -65,15 +65,11 @@ pub fn fold_expr(e: &Expr) -> Expr {
             // kernel language targets well-behaved numeric data, but we
             // stay conservative anyway)
             match (op, &a, &b) {
-                (BinOp::Add, x, Expr::Const(c)) | (BinOp::Add, Expr::Const(c), x)
-                    if *c == 0.0 =>
-                {
+                (BinOp::Add, x, Expr::Const(c)) | (BinOp::Add, Expr::Const(c), x) if *c == 0.0 => {
                     return x.clone()
                 }
                 (BinOp::Sub, x, Expr::Const(c)) if *c == 0.0 => return x.clone(),
-                (BinOp::Mul, x, Expr::Const(c)) | (BinOp::Mul, Expr::Const(c), x)
-                    if *c == 1.0 =>
-                {
+                (BinOp::Mul, x, Expr::Const(c)) | (BinOp::Mul, Expr::Const(c), x) if *c == 1.0 => {
                     return x.clone()
                 }
                 (BinOp::Div, x, Expr::Const(c)) if *c == 1.0 => return x.clone(),
@@ -215,18 +211,39 @@ mod tests {
 
     #[test]
     fn folds_unary_and_intrinsics() {
-        assert_eq!(fold_expr(&Expr::un(UnOp::Sqrt, Expr::Const(9.0))), Expr::Const(3.0));
-        assert_eq!(fold_expr(&Expr::un(UnOp::Not, Expr::Const(0.0))), Expr::Const(1.0));
-        assert_eq!(fold_expr(&Expr::un(UnOp::Neg, Expr::Const(2.5))), Expr::Const(-2.5));
+        assert_eq!(
+            fold_expr(&Expr::un(UnOp::Sqrt, Expr::Const(9.0))),
+            Expr::Const(3.0)
+        );
+        assert_eq!(
+            fold_expr(&Expr::un(UnOp::Not, Expr::Const(0.0))),
+            Expr::Const(1.0)
+        );
+        assert_eq!(
+            fold_expr(&Expr::un(UnOp::Neg, Expr::Const(2.5))),
+            Expr::Const(-2.5)
+        );
     }
 
     #[test]
     fn strips_identities() {
         let x = Expr::var("x");
-        assert_eq!(fold_expr(&Expr::bin(BinOp::Add, x.clone(), Expr::Const(0.0))), x);
-        assert_eq!(fold_expr(&Expr::bin(BinOp::Mul, Expr::Const(1.0), x.clone())), x);
-        assert_eq!(fold_expr(&Expr::bin(BinOp::Div, x.clone(), Expr::Const(1.0))), x);
-        assert_eq!(fold_expr(&Expr::bin(BinOp::Sub, x.clone(), Expr::Const(0.0))), x);
+        assert_eq!(
+            fold_expr(&Expr::bin(BinOp::Add, x.clone(), Expr::Const(0.0))),
+            x
+        );
+        assert_eq!(
+            fold_expr(&Expr::bin(BinOp::Mul, Expr::Const(1.0), x.clone())),
+            x
+        );
+        assert_eq!(
+            fold_expr(&Expr::bin(BinOp::Div, x.clone(), Expr::Const(1.0))),
+            x
+        );
+        assert_eq!(
+            fold_expr(&Expr::bin(BinOp::Sub, x.clone(), Expr::Const(0.0))),
+            x
+        );
         // x*0 is NOT folded (conservative)
         let x0 = Expr::bin(BinOp::Mul, x.clone(), Expr::Const(0.0));
         assert_eq!(fold_expr(&x0), x0);
@@ -270,8 +287,13 @@ mod tests {
         let folded = fold_kernel(&k);
         let hints = HashMap::from([("n".to_owned(), 1024.0)]);
         let before = estimate(&k, &hints, HlsDirectives::default(), &OpCosts::default()).unwrap();
-        let after =
-            estimate(&folded, &hints, HlsDirectives::default(), &OpCosts::default()).unwrap();
+        let after = estimate(
+            &folded,
+            &hints,
+            HlsDirectives::default(),
+            &OpCosts::default(),
+        )
+        .unwrap();
         assert!(
             after.resources.total() < before.resources.total(),
             "{} !< {}",

@@ -101,10 +101,15 @@ impl Cache {
     /// Panics if the geometry is degenerate (zero sets/ways, non-power-of-2
     /// line size, or capacity not divisible by `line_size × ways`).
     pub fn new(config: CacheConfig) -> Cache {
-        assert!(config.line_size.is_power_of_two(), "line size must be a power of two");
+        assert!(
+            config.line_size.is_power_of_two(),
+            "line size must be a power of two"
+        );
         assert!(config.ways > 0, "cache needs at least one way");
         assert!(
-            config.capacity.is_multiple_of(config.line_size * config.ways as u64),
+            config
+                .capacity
+                .is_multiple_of(config.line_size * config.ways as u64),
             "capacity must divide evenly into sets"
         );
         let sets = config.sets();
@@ -158,16 +163,13 @@ impl Cache {
         }
         self.misses.incr();
         // choose victim: first invalid, else LRU
-        let victim_idx = set
-            .iter()
-            .position(|l| !l.valid)
-            .unwrap_or_else(|| {
-                set.iter()
-                    .enumerate()
-                    .min_by_key(|(_, l)| l.lru)
-                    .map(|(i, _)| i)
-                    .expect("ways > 0")
-            });
+        let victim_idx = set.iter().position(|l| !l.valid).unwrap_or_else(|| {
+            set.iter()
+                .enumerate()
+                .min_by_key(|(_, l)| l.lru)
+                .map(|(i, _)| i)
+                .expect("ways > 0")
+        });
         let victim = set[victim_idx];
         let result = if victim.valid && victim.dirty {
             self.writebacks.incr();
@@ -291,7 +293,7 @@ mod tests {
         c.access(0, true); // dirty A in set 0
         c.access(128, false); // B
         c.access(256, false); // evicts A (LRU) -> dirty writeback
-        // find the eviction among the last access
+                              // find the eviction among the last access
         let mut c2 = tiny();
         c2.access(0, true);
         c2.access(128, false);

@@ -60,9 +60,21 @@ impl core::ops::BitOr for PagePerms {
 
 impl fmt::Display for PagePerms {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let r = if self.allows(PagePerms::READ) { 'r' } else { '-' };
-        let w = if self.allows(PagePerms::WRITE) { 'w' } else { '-' };
-        let x = if self.allows(PagePerms::EXEC) { 'x' } else { '-' };
+        let r = if self.allows(PagePerms::READ) {
+            'r'
+        } else {
+            '-'
+        };
+        let w = if self.allows(PagePerms::WRITE) {
+            'w'
+        } else {
+            '-'
+        };
+        let x = if self.allows(PagePerms::EXEC) {
+            'x'
+        } else {
+            '-'
+        };
         write!(f, "{r}{w}{x}")
     }
 }
@@ -171,7 +183,12 @@ impl PageTable {
     /// # Errors
     ///
     /// Returns [`MapPageError::AlreadyMapped`] if `in_page` has a mapping.
-    pub fn map(&mut self, in_page: u64, out_page: u64, perms: PagePerms) -> Result<(), MapPageError> {
+    pub fn map(
+        &mut self,
+        in_page: u64,
+        out_page: u64,
+        perms: PagePerms,
+    ) -> Result<(), MapPageError> {
         if self.entries.contains_key(&in_page) {
             return Err(MapPageError::AlreadyMapped { page: in_page });
         }

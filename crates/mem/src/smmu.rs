@@ -16,7 +16,7 @@ use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
 
-use ecoscale_sim::{Counter, Duration};
+use ecoscale_sim::{Counter, Duration, Histogram, MetricsRegistry};
 
 use crate::addr::{PhysAddr, VirtAddr};
 use crate::page_table::{PagePerms, PageTable, TranslateError};
@@ -134,6 +134,7 @@ pub struct Smmu {
     tlb_misses: Counter,
     mru_hits: Counter,
     faults: Counter,
+    translate_ns: Histogram,
 }
 
 impl Smmu {
@@ -150,6 +151,7 @@ impl Smmu {
             tlb_misses: Counter::new(),
             mru_hits: Counter::new(),
             faults: Counter::new(),
+            translate_ns: Histogram::new(),
         }
     }
 
@@ -210,7 +212,11 @@ impl Smmu {
                 m.last_used = self.clock;
                 self.tlb_hits.incr();
                 self.mru_hits.incr();
-                return Ok((PhysAddr::from_page(m.ppn, va.page_offset()), self.config.tlb_hit));
+                self.translate_ns.record(self.config.tlb_hit.as_ns());
+                return Ok((
+                    PhysAddr::from_page(m.ppn, va.page_offset()),
+                    self.config.tlb_hit,
+                ));
             }
         }
         // Moving to a different page: sync the shadowed entry's LRU stamp
@@ -223,10 +229,19 @@ impl Smmu {
         if let Some(e) = self.tlb.get_mut(&vpn) {
             if e.perms.allows(need) {
                 e.lru = self.clock;
-                let slot = MruSlot { vpn, ppn: e.ppn, perms: e.perms, last_used: self.clock };
+                let slot = MruSlot {
+                    vpn,
+                    ppn: e.ppn,
+                    perms: e.perms,
+                    last_used: self.clock,
+                };
                 self.tlb_hits.incr();
                 self.mru = Some(slot);
-                return Ok((PhysAddr::from_page(slot.ppn, va.page_offset()), self.config.tlb_hit));
+                self.translate_ns.record(self.config.tlb_hit.as_ns());
+                return Ok((
+                    PhysAddr::from_page(slot.ppn, va.page_offset()),
+                    self.config.tlb_hit,
+                ));
             }
             // permission upgrade needs a walk; fall through
         }
@@ -234,12 +249,17 @@ impl Smmu {
         let walk = self.config.walk_latency();
         let ipa_page = self.stage1.translate(vpn, need).map_err(|e| {
             self.faults.incr();
+            self.translate_ns.record(walk.as_ns());
             SmmuFault::Stage1(e)
         })?;
-        let pa_page = self.stage2.translate(ipa_page, PagePerms::READ).map_err(|e| {
-            self.faults.incr();
-            SmmuFault::Stage2(e)
-        })?;
+        let pa_page = self
+            .stage2
+            .translate(ipa_page, PagePerms::READ)
+            .map_err(|e| {
+                self.faults.incr();
+                self.translate_ns.record(walk.as_ns());
+                SmmuFault::Stage2(e)
+            })?;
         // fill TLB with combined translation
         let perms = PagePerms::RW; // combined entry carries stage-1 perms; RW after a successful walk
         if self.tlb.len() >= self.config.tlb_entries {
@@ -255,8 +275,18 @@ impl Smmu {
                 lru: self.clock,
             },
         );
-        self.mru = Some(MruSlot { vpn, ppn: pa_page, perms, last_used: self.clock });
-        Ok((PhysAddr::from_page(pa_page, va.page_offset()), self.config.tlb_hit + walk))
+        self.mru = Some(MruSlot {
+            vpn,
+            ppn: pa_page,
+            perms,
+            last_used: self.clock,
+        });
+        self.translate_ns
+            .record((self.config.tlb_hit + walk).as_ns());
+        Ok((
+            PhysAddr::from_page(pa_page, va.page_offset()),
+            self.config.tlb_hit + walk,
+        ))
     }
 
     /// Drops every TLB entry, including the MRU fast slot (e.g. on
@@ -285,6 +315,24 @@ impl Smmu {
     /// Translation faults so far.
     pub fn faults(&self) -> u64 {
         self.faults.get()
+    }
+
+    /// Distribution of per-translation latencies (nanoseconds),
+    /// including the walks charged to faulting accesses.
+    pub fn translate_latency_ns(&self) -> &Histogram {
+        &self.translate_ns
+    }
+
+    /// Folds this SMMU's instruments into `m` under `prefix`
+    /// (`{prefix}.tlb_hits`, `.tlb_misses`, `.mru_hits`, `.faults`,
+    /// `.translate_ns`). Exporting several SMMUs under one prefix
+    /// aggregates them.
+    pub fn export_metrics(&self, m: &mut MetricsRegistry, prefix: &str) {
+        m.add(&format!("{prefix}.tlb_hits"), self.tlb_hits.get());
+        m.add(&format!("{prefix}.tlb_misses"), self.tlb_misses.get());
+        m.add(&format!("{prefix}.mru_hits"), self.mru_hits.get());
+        m.add(&format!("{prefix}.faults"), self.faults.get());
+        m.merge_hist(&format!("{prefix}.translate_ns"), &self.translate_ns);
     }
 }
 
@@ -342,8 +390,13 @@ mod tests {
     fn mapped_smmu(pages: u64) -> Smmu {
         let mut s = Smmu::new(SmmuConfig::default());
         for p in 0..pages {
-            s.map(VirtAddr::from_page(p, 0), 0x100 + p, 0x1000 + p, PagePerms::RW)
-                .unwrap();
+            s.map(
+                VirtAddr::from_page(p, 0),
+                0x100 + p,
+                0x1000 + p,
+                PagePerms::RW,
+            )
+            .unwrap();
         }
         s
     }
@@ -369,8 +422,13 @@ mod tests {
     #[test]
     fn faults_on_unmapped_and_permission() {
         let mut s = mapped_smmu(1);
-        let err = s.translate(VirtAddr::from_page(99, 0), PagePerms::READ).unwrap_err();
-        assert!(matches!(err, SmmuFault::Stage1(TranslateError::NotMapped { .. })));
+        let err = s
+            .translate(VirtAddr::from_page(99, 0), PagePerms::READ)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            SmmuFault::Stage1(TranslateError::NotMapped { .. })
+        ));
         assert_eq!(s.faults(), 1);
         assert!(err.to_string().contains("stage-1"));
     }
@@ -380,7 +438,9 @@ mod tests {
         let mut s = Smmu::new(SmmuConfig::default());
         // map stage 1 only
         s.stage1_mut().map(7, 0x70, PagePerms::RW).unwrap();
-        let err = s.translate(VirtAddr::from_page(7, 0), PagePerms::READ).unwrap_err();
+        let err = s
+            .translate(VirtAddr::from_page(7, 0), PagePerms::READ)
+            .unwrap_err();
         assert!(matches!(err, SmmuFault::Stage2(_)));
     }
 
@@ -392,14 +452,24 @@ mod tests {
         };
         let mut s = Smmu::new(cfg);
         for p in 0..3 {
-            s.map(VirtAddr::from_page(p, 0), 0x100 + p, 0x1000 + p, PagePerms::RW)
-                .unwrap();
+            s.map(
+                VirtAddr::from_page(p, 0),
+                0x100 + p,
+                0x1000 + p,
+                PagePerms::RW,
+            )
+            .unwrap();
         }
-        s.translate(VirtAddr::from_page(0, 0), PagePerms::READ).unwrap(); // miss
-        s.translate(VirtAddr::from_page(1, 0), PagePerms::READ).unwrap(); // miss
-        s.translate(VirtAddr::from_page(0, 0), PagePerms::READ).unwrap(); // hit; 1 is LRU
-        s.translate(VirtAddr::from_page(2, 0), PagePerms::READ).unwrap(); // miss, evicts 1
-        s.translate(VirtAddr::from_page(1, 0), PagePerms::READ).unwrap(); // miss again
+        s.translate(VirtAddr::from_page(0, 0), PagePerms::READ)
+            .unwrap(); // miss
+        s.translate(VirtAddr::from_page(1, 0), PagePerms::READ)
+            .unwrap(); // miss
+        s.translate(VirtAddr::from_page(0, 0), PagePerms::READ)
+            .unwrap(); // hit; 1 is LRU
+        s.translate(VirtAddr::from_page(2, 0), PagePerms::READ)
+            .unwrap(); // miss, evicts 1
+        s.translate(VirtAddr::from_page(1, 0), PagePerms::READ)
+            .unwrap(); // miss again
         assert_eq!(s.tlb_misses(), 4);
         assert_eq!(s.tlb_hits(), 1);
     }
@@ -407,19 +477,24 @@ mod tests {
     #[test]
     fn mru_slot_serves_repeated_touches() {
         let mut s = mapped_smmu(4);
-        s.translate(VirtAddr::from_page(0, 0), PagePerms::READ).unwrap(); // walk
+        s.translate(VirtAddr::from_page(0, 0), PagePerms::READ)
+            .unwrap(); // walk
         for i in 0..10 {
-            s.translate(VirtAddr::from_page(0, i), PagePerms::READ).unwrap();
+            s.translate(VirtAddr::from_page(0, i), PagePerms::READ)
+                .unwrap();
         }
         assert_eq!(s.mru_hits(), 10);
         assert_eq!(s.tlb_hits(), 10);
         // a different page misses the MRU slot but may still hit the map
-        s.translate(VirtAddr::from_page(1, 0), PagePerms::READ).unwrap(); // walk
-        s.translate(VirtAddr::from_page(0, 0), PagePerms::READ).unwrap(); // map hit
+        s.translate(VirtAddr::from_page(1, 0), PagePerms::READ)
+            .unwrap(); // walk
+        s.translate(VirtAddr::from_page(0, 0), PagePerms::READ)
+            .unwrap(); // map hit
         assert_eq!(s.tlb_misses(), 2);
         assert_eq!(s.mru_hits(), 10);
         s.invalidate_tlb();
-        s.translate(VirtAddr::from_page(0, 0), PagePerms::READ).unwrap();
+        s.translate(VirtAddr::from_page(0, 0), PagePerms::READ)
+            .unwrap();
         assert_eq!(s.tlb_misses(), 3, "invalidation clears the MRU slot too");
     }
 
@@ -450,11 +525,17 @@ mod tests {
     #[test]
     fn shared_stage2_pages_allowed() {
         let mut s = Smmu::new(SmmuConfig::default());
-        s.map(VirtAddr::from_page(1, 0), 0x50, 0x500, PagePerms::RW).unwrap();
+        s.map(VirtAddr::from_page(1, 0), 0x50, 0x500, PagePerms::RW)
+            .unwrap();
         // second VA aliasing the same IPA page must not error
-        s.map(VirtAddr::from_page(2, 0), 0x50, 0x500, PagePerms::RW).unwrap();
-        let (pa1, _) = s.translate(VirtAddr::from_page(1, 0), PagePerms::READ).unwrap();
-        let (pa2, _) = s.translate(VirtAddr::from_page(2, 0), PagePerms::READ).unwrap();
+        s.map(VirtAddr::from_page(2, 0), 0x50, 0x500, PagePerms::RW)
+            .unwrap();
+        let (pa1, _) = s
+            .translate(VirtAddr::from_page(1, 0), PagePerms::READ)
+            .unwrap();
+        let (pa2, _) = s
+            .translate(VirtAddr::from_page(2, 0), PagePerms::READ)
+            .unwrap();
         assert_eq!(pa1, pa2);
     }
 }

@@ -19,7 +19,7 @@ use std::collections::HashMap;
 use std::fmt;
 
 use ecoscale_noc::{Network, NodeId, Topology};
-use ecoscale_sim::{Counter, Duration, Energy, Time};
+use ecoscale_sim::{Counter, Duration, Energy, MetricsRegistry, Time};
 
 use crate::addr::GlobalAddr;
 use crate::cache::{Cache, CacheAccess, CacheConfig};
@@ -213,6 +213,39 @@ impl UnimemSystem {
     /// How many accesses of each kind have been served.
     pub fn count(&self, kind: AccessKind) -> u64 {
         self.kind_counts.get(&kind).copied().unwrap_or(0)
+    }
+
+    /// Folds UNIMEM instruments into `m` under `prefix`: one counter
+    /// per [`AccessKind`] (`{prefix}.access.*`), aggregate cache
+    /// hit/miss/writeback counts across every node's cache, the
+    /// local-vs-remote split the paper's exclusive-cacheability
+    /// argument turns on, and directory migrations.
+    pub fn export_metrics(&self, m: &mut MetricsRegistry, prefix: &str) {
+        const KINDS: [(AccessKind, &str); 5] = [
+            (AccessKind::CacheHit, "cache_hit"),
+            (AccessKind::CacheMissLocalFill, "miss_local_fill"),
+            (AccessKind::CacheMissRemoteFill, "miss_remote_fill"),
+            (AccessKind::RemoteUncached, "remote_uncached"),
+            (AccessKind::Atomic, "atomic"),
+        ];
+        for (kind, label) in KINDS {
+            m.add(&format!("{prefix}.access.{label}"), self.count(kind));
+        }
+        let local = self.count(AccessKind::CacheHit) + self.count(AccessKind::CacheMissLocalFill);
+        let remote =
+            self.count(AccessKind::CacheMissRemoteFill) + self.count(AccessKind::RemoteUncached);
+        m.add(&format!("{prefix}.local_accesses"), local);
+        m.add(&format!("{prefix}.remote_accesses"), remote);
+        let (mut hits, mut misses, mut writebacks) = (0, 0, 0);
+        for c in &self.caches {
+            hits += c.hits();
+            misses += c.misses();
+            writebacks += c.writebacks();
+        }
+        m.add(&format!("{prefix}.cache.hits"), hits);
+        m.add(&format!("{prefix}.cache.misses"), misses);
+        m.add(&format!("{prefix}.cache.writebacks"), writebacks);
+        m.add(&format!("{prefix}.migrations"), self.directory.migrations());
     }
 
     /// Reads `bytes` at `addr` from `node`.

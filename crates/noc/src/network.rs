@@ -12,7 +12,9 @@
 
 use std::collections::HashMap;
 
-use ecoscale_sim::{Duration, Energy, Time};
+use ecoscale_sim::{
+    Duration, Energy, Histogram, MetricsRegistry, OnlineStats, Time, TraceBuffer, Tracer, TrackId,
+};
 
 use crate::cost::CostModel;
 use crate::topology::{LinkId, NodeId, Route, Topology};
@@ -75,6 +77,13 @@ pub struct Network<T: Topology> {
     route_memo: HashMap<(NodeId, NodeId), Route>,
     route_memo_hits: u64,
     route_memo_misses: u64,
+    hop_hist: Histogram,
+    queue_ns: OnlineStats,
+    /// Cumulative busy time per link (the intervals a link was held by a
+    /// message), the basis of per-link utilization.
+    link_busy: HashMap<LinkId, Duration>,
+    tracer: Tracer,
+    link_tracks: HashMap<LinkId, TrackId>,
 }
 
 impl<T: Topology> Network<T> {
@@ -88,7 +97,25 @@ impl<T: Topology> Network<T> {
             route_memo: HashMap::new(),
             route_memo_hits: 0,
             route_memo_misses: 0,
+            hop_hist: Histogram::new(),
+            queue_ns: OnlineStats::new(),
+            link_busy: HashMap::new(),
+            tracer: Tracer::disabled(),
+            link_tracks: HashMap::new(),
         }
+    }
+
+    /// Installs a tracer. Every subsequent transfer records one span
+    /// per link held, on a `noc/link<N>` track. The default tracer is
+    /// disabled and costs one branch per hop.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
+        self.link_tracks.clear();
+    }
+
+    /// Drains the tracer's buffered events (empty when disabled).
+    pub fn take_trace(&self) -> TraceBuffer {
+        self.tracer.take()
     }
 
     /// The underlying topology.
@@ -121,7 +148,9 @@ impl<T: Topology> Network<T> {
     pub fn transfer(&mut self, start: Time, src: NodeId, dst: NodeId, bytes: u64) -> Delivery {
         let route = self.memoized_route(src, dst);
         self.stats.record(&route, bytes, &self.config.cost);
+        self.hop_hist.record(route.hop_count() as u64);
         if route.is_local() {
+            self.queue_ns.record(0.0);
             return Delivery {
                 arrival: start,
                 energy: Energy::ZERO,
@@ -138,13 +167,19 @@ impl<T: Topology> Network<T> {
             let mut min_bw = u64::MAX;
             for hop in route.iter() {
                 let p = *self.config.cost.level_params(hop.level);
-                let free = self.link_free_at.get(&hop.link).copied().unwrap_or(Time::ZERO);
+                let free = self
+                    .link_free_at
+                    .get(&hop.link)
+                    .copied()
+                    .unwrap_or(Time::ZERO);
                 if free > cursor {
                     queueing += free - cursor;
                     cursor = free;
                 }
+                let held_from = cursor;
                 cursor += p.hop_latency;
                 self.link_free_at.insert(hop.link, cursor);
+                self.note_link_use(hop.link, held_from, cursor - held_from);
                 min_bw = min_bw.min(p.bandwidth);
             }
             if bytes > 0 {
@@ -154,24 +189,84 @@ impl<T: Topology> Network<T> {
             // Store-and-forward: each link serializes the whole payload.
             for hop in route.iter() {
                 let p = *self.config.cost.level_params(hop.level);
-                let free = self.link_free_at.get(&hop.link).copied().unwrap_or(Time::ZERO);
+                let free = self
+                    .link_free_at
+                    .get(&hop.link)
+                    .copied()
+                    .unwrap_or(Time::ZERO);
                 if free > cursor {
                     queueing += free - cursor;
                     cursor = free;
                 }
+                let held_from = cursor;
                 cursor += p.hop_latency;
                 if bytes > 0 {
                     cursor += Duration::from_bytes_at_bandwidth(bytes, p.bandwidth);
                 }
                 self.link_free_at.insert(hop.link, cursor);
+                self.note_link_use(hop.link, held_from, cursor - held_from);
             }
         }
+        self.queue_ns.record(queueing.as_ns_f64());
         Delivery {
             arrival: cursor,
             energy,
             hops: route.hop_count(),
             queueing,
         }
+    }
+
+    /// Records one link occupancy interval: accumulates per-link busy
+    /// time and, when tracing, emits a span on the link's track.
+    fn note_link_use(&mut self, link: LinkId, from: Time, held: Duration) {
+        *self.link_busy.entry(link).or_insert(Duration::ZERO) += held;
+        if self.tracer.is_enabled() {
+            let track = match self.link_tracks.get(&link) {
+                Some(&t) => t,
+                None => {
+                    let t = self.tracer.track(&format!("noc/{link}"));
+                    self.link_tracks.insert(link, t);
+                    t
+                }
+            };
+            self.tracer.complete(track, "xfer", from, held);
+        }
+    }
+
+    /// Cumulative busy time of `link` so far.
+    pub fn link_busy(&self, link: LinkId) -> Duration {
+        self.link_busy.get(&link).copied().unwrap_or(Duration::ZERO)
+    }
+
+    /// Folds NoC instruments into `m` under `prefix`: message/byte
+    /// counters, the hop-count histogram, queueing-delay stats, the
+    /// number of distinct links used, and the distribution of per-link
+    /// busy time (microseconds) — the per-link utilization signal.
+    pub fn export_metrics(&self, m: &mut MetricsRegistry, prefix: &str) {
+        m.add(&format!("{prefix}.messages"), self.stats.messages());
+        m.add(
+            &format!("{prefix}.local_messages"),
+            self.stats.local_messages(),
+        );
+        m.add(
+            &format!("{prefix}.payload_bytes"),
+            self.stats.payload_bytes(),
+        );
+        m.add(&format!("{prefix}.byte_hops"), self.stats.byte_hops());
+        m.merge_hist(&format!("{prefix}.hops"), &self.hop_hist);
+        m.merge_stats(&format!("{prefix}.queue_ns"), &self.queue_ns);
+        m.add(&format!("{prefix}.links_used"), self.link_busy.len() as u64);
+        let busy_name = format!("{prefix}.link_busy_us");
+        let mut links: Vec<(&LinkId, &Duration)> = self.link_busy.iter().collect();
+        links.sort_by_key(|(id, _)| **id);
+        for (_, busy) in links {
+            m.record(&busy_name, busy.as_ns() / 1_000);
+        }
+        m.add(&format!("{prefix}.route_memo_hits"), self.route_memo_hits);
+        m.add(
+            &format!("{prefix}.route_memo_misses"),
+            self.route_memo_misses,
+        );
     }
 
     /// Route lookup passthrough (uncached).
@@ -202,10 +297,15 @@ impl<T: Topology> Network<T> {
         self.route_memo.clear();
     }
 
-    /// Clears link occupancy, statistics and memoized routes.
+    /// Clears link occupancy, statistics, instruments and memoized
+    /// routes. The tracer (if any) is kept but its per-link track cache
+    /// is rebuilt lazily.
     pub fn reset(&mut self) {
         self.link_free_at.clear();
         self.stats = TrafficStats::new();
+        self.hop_hist = Histogram::new();
+        self.queue_ns = OnlineStats::new();
+        self.link_busy.clear();
         self.invalidate_routes();
     }
 }
@@ -304,6 +404,37 @@ mod tests {
         n.invalidate_routes();
         n.transfer(Time::from_ms(10), NodeId(0), NodeId(15), 64);
         assert_eq!(n.route_memo_stats(), (2, 3));
+    }
+
+    #[test]
+    fn metrics_and_trace_capture_link_activity() {
+        let mut n = net(false);
+        n.set_tracer(ecoscale_sim::Tracer::buffering());
+        n.transfer(Time::ZERO, NodeId(0), NodeId(15), 4096);
+        n.transfer(Time::ZERO, NodeId(3), NodeId(3), 4096); // local
+        let mut m = ecoscale_sim::MetricsRegistry::new();
+        n.export_metrics(&mut m, "noc");
+        assert_eq!(m.counter("noc.messages"), Some(2));
+        assert_eq!(m.counter("noc.local_messages"), Some(1));
+        assert!(m.counter("noc.links_used").unwrap() > 0);
+        match m.get("noc.hops") {
+            Some(ecoscale_sim::Instrument::Histogram(h)) => assert_eq!(h.count(), 2),
+            other => panic!("unexpected: {other:?}"),
+        }
+        let trace = n.take_trace();
+        // one span per link held by the non-local transfer
+        assert_eq!(trace.len() as u64, m.counter("noc.links_used").unwrap());
+        assert!(trace.tracks().iter().all(|t| t.starts_with("noc/link")));
+        let total: Duration = trace
+            .events()
+            .iter()
+            .map(|e| match e.kind {
+                ecoscale_sim::trace::EventKind::Complete { dur } => dur,
+                _ => Duration::ZERO,
+            })
+            .fold(Duration::ZERO, |a, b| a + b);
+        let busy: Duration = n.link_busy.values().fold(Duration::ZERO, |a, b| a + *b);
+        assert_eq!(total, busy);
     }
 
     #[test]

@@ -22,6 +22,15 @@ impl fmt::Display for NodeId {
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct LinkId(pub u64);
 
+impl fmt::Display for LinkId {
+    /// Hex, because topologies bit-pack direction/level/endpoint fields
+    /// into the id — `link8000000000000003` beats its decimal form in a
+    /// trace viewer.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "link{:x}", self.0)
+    }
+}
+
 /// One traversed link: its id and its hierarchy level.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Hop {
@@ -408,7 +417,10 @@ impl Dragonfly {
     fn locate(&self, n: NodeId) -> (usize, usize) {
         // (group, router-within-group)
         let router = n.0 / self.nodes_per_router;
-        (router / self.routers_per_group, router % self.routers_per_group)
+        (
+            router / self.routers_per_group,
+            router % self.routers_per_group,
+        )
     }
 
     /// The router in `group` that owns the global link toward `other`.
@@ -423,12 +435,7 @@ impl Dragonfly {
     }
 
     fn local_link(&self, group: usize, from: usize, to: usize) -> LinkId {
-        LinkId(
-            1 << 63
-                | (group as u64) << 32
-                | (from as u64) << 16
-                | to as u64,
-        )
+        LinkId(1 << 63 | (group as u64) << 32 | (from as u64) << 16 | to as u64)
     }
 
     fn global_link(&self, from_group: usize, to_group: usize) -> LinkId {
@@ -496,7 +503,6 @@ impl Topology for Dragonfly {
         d
     }
 }
-
 
 /// A fat tree: the ECOSCALE hierarchy with `uplinks` parallel links out
 /// of every subtree at every level. Routes hash `(src, dst)` onto one of
@@ -741,7 +747,6 @@ mod tests {
         let r = d.route(NodeId(0), NodeId(d.num_nodes() - 1));
         assert_eq!(r.max_level(), Some(2));
     }
-
 
     #[test]
     fn fat_tree_same_lengths_as_tree() {

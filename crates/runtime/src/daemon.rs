@@ -11,7 +11,9 @@
 
 use std::collections::HashMap;
 
-use ecoscale_fpga::{CompressionAlgo, Floorplanner, ModuleId, PlaceError, ReconfigPort, ReconfigStats, SlotId};
+use ecoscale_fpga::{
+    CompressionAlgo, Floorplanner, ModuleId, PlaceError, ReconfigPort, ReconfigStats, SlotId,
+};
 use ecoscale_hls::ModuleLibrary;
 use ecoscale_sim::{Duration, Time};
 
@@ -109,8 +111,11 @@ impl ReconfigDaemon {
                     let mid = self.floorplan.placement(*slot).map(|p| p.module);
                     if let Some(mid) = mid {
                         if let Some(e) = library.by_id(mid) {
-                            self.port
-                                .load(e.module.bitstream(), self.config.compression, &mut self.stats);
+                            self.port.load(
+                                e.module.bitstream(),
+                                self.config.compression,
+                                &mut self.stats,
+                            );
                         }
                     }
                 }
@@ -119,9 +124,11 @@ impl ReconfigDaemon {
             Err(PlaceError::TooLarge) => return None,
         };
         self.loaded.insert(module, slot);
-        let lat = self
-            .port
-            .load(entry.module.bitstream(), self.config.compression, &mut self.stats);
+        let lat = self.port.load(
+            entry.module.bitstream(),
+            self.config.compression,
+            &mut self.stats,
+        );
         Some(lat)
     }
 
@@ -322,15 +329,30 @@ mod tests {
         let mut h = ExecutionHistory::new(64);
         // hot: many slow CPU calls
         for _ in 0..5000 {
-            h.record("hot", DeviceClass::Cpu, vec![4096.0], Duration::from_ms(5), Energy::ZERO);
+            h.record(
+                "hot",
+                DeviceClass::Cpu,
+                vec![4096.0],
+                Duration::from_ms(5),
+                Energy::ZERO,
+            );
         }
         // cold: one call
-        h.record("cold", DeviceClass::Cpu, vec![4096.0], Duration::from_us(5), Energy::ZERO);
+        h.record(
+            "cold",
+            DeviceClass::Cpu,
+            vec![4096.0],
+            Duration::from_us(5),
+            Energy::ZERO,
+        );
         let loaded = d.evaluate(Time::from_ms(100), &h, &lib);
         let hot_id = lib.get("hot").unwrap().module.id();
         assert!(loaded.contains(&hot_id));
         let cold_id = lib.get("cold").unwrap().module.id();
-        assert!(!loaded.contains(&cold_id), "cold function must not be loaded");
+        assert!(
+            !loaded.contains(&cold_id),
+            "cold function must not be loaded"
+        );
     }
 
     #[test]
@@ -339,7 +361,13 @@ mod tests {
         let mut d = daemon();
         let mut h = ExecutionHistory::new(64);
         for _ in 0..5000 {
-            h.record("hot", DeviceClass::Cpu, vec![4096.0], Duration::from_ms(5), Energy::ZERO);
+            h.record(
+                "hot",
+                DeviceClass::Cpu,
+                vec![4096.0],
+                Duration::from_ms(5),
+                Energy::ZERO,
+            );
         }
         let first = d.evaluate(Time::from_ms(50), &h, &lib);
         assert!(!first.is_empty());
@@ -355,7 +383,13 @@ mod tests {
         let mut h = ExecutionHistory::new(64);
         // CPU is already fast: microsecond calls, few of them
         for _ in 0..3 {
-            h.record("hot", DeviceClass::Cpu, vec![16.0], Duration::from_us(1), Energy::ZERO);
+            h.record(
+                "hot",
+                DeviceClass::Cpu,
+                vec![16.0],
+                Duration::from_us(1),
+                Energy::ZERO,
+            );
         }
         let loaded = d.evaluate(Time::from_ms(100), &h, &lib);
         assert!(loaded.is_empty());
@@ -368,8 +402,20 @@ mod tests {
         let _ = &lib;
         let mut h = ExecutionHistory::new(64);
         for i in 1..=10u64 {
-            h.record("f", DeviceClass::Cpu, vec![i as f64], Duration::from_us(10 * i), Energy::ZERO);
-            h.record("f", DeviceClass::FpgaLocal, vec![i as f64], Duration::from_us(i), Energy::ZERO);
+            h.record(
+                "f",
+                DeviceClass::Cpu,
+                vec![i as f64],
+                Duration::from_us(10 * i),
+                Energy::ZERO,
+            );
+            h.record(
+                "f",
+                DeviceClass::FpgaLocal,
+                vec![i as f64],
+                Duration::from_us(i),
+                Energy::ZERO,
+            );
         }
         assert_eq!(
             d.select_device(&h, "f", &[5.0], true, false),

@@ -73,8 +73,7 @@ impl CpuModel {
     /// Time and energy to execute `flops` arithmetic and `mem_ops` memory
     /// operations.
     pub fn exec(&self, flops: u64, mem_ops: u64) -> (Duration, Energy) {
-        let cycles = (flops as f64 / self.flops_per_cycle
-            + mem_ops as f64 / self.mem_ops_per_cycle)
+        let cycles = (flops as f64 / self.flops_per_cycle + mem_ops as f64 / self.mem_ops_per_cycle)
             .ceil() as u64;
         let t = Duration::from_cycles(cycles.max(1), self.clock_hz);
         let e = self.energy_per_op * (flops + mem_ops) as f64

@@ -145,8 +145,7 @@ impl TaskGraph {
                 out[d].push(i);
             }
         }
-        let mut ready: VecDeque<usize> =
-            (0..n).filter(|&i| indeg[i] == 0).collect();
+        let mut ready: VecDeque<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
         let mut order = Vec::with_capacity(n);
         while let Some(i) = ready.pop_front() {
             order.push(i);
@@ -213,11 +212,11 @@ impl TaskGraph {
 
         // Greedy dispatch helper.
         let dispatch = |i: usize,
-                            now: Time,
-                            worker_free: &mut [Time],
-                            busy_time: &mut [Duration],
-                            q: &mut EventQueue<usize>,
-                            finish_at: &mut [Time]| {
+                        now: Time,
+                        worker_free: &mut [Time],
+                        busy_time: &mut [Duration],
+                        q: &mut EventQueue<usize>,
+                        finish_at: &mut [Time]| {
             let dep_ready = self.deps[i]
                 .iter()
                 .map(|&d| finish_at[d])
@@ -230,9 +229,7 @@ impl TaskGraph {
             let best = (0..worker_free.len())
                 .min_by_key(|&w| worker_free[w])
                 .expect("workers > 0");
-            let w = if worker_free[home]
-                <= worker_free[best] + Duration::from_us(5)
-            {
+            let w = if worker_free[home] <= worker_free[best] + Duration::from_us(5) {
                 home
             } else {
                 best
@@ -246,14 +243,28 @@ impl TaskGraph {
         };
 
         for i in ready.drain(..) {
-            dispatch(i, Time::ZERO, &mut worker_free, &mut busy_time, &mut q, &mut finish_at);
+            dispatch(
+                i,
+                Time::ZERO,
+                &mut worker_free,
+                &mut busy_time,
+                &mut q,
+                &mut finish_at,
+            );
         }
         while let Some((now, i)) = q.pop() {
             completed += 1;
             for &s in &out[i] {
                 indeg[s] -= 1;
                 if indeg[s] == 0 {
-                    dispatch(s, now, &mut worker_free, &mut busy_time, &mut q, &mut finish_at);
+                    dispatch(
+                        s,
+                        now,
+                        &mut worker_free,
+                        &mut busy_time,
+                        &mut q,
+                        &mut finish_at,
+                    );
                 }
             }
         }

@@ -8,7 +8,7 @@
 
 use std::collections::HashMap;
 
-use ecoscale_sim::{Duration, Energy};
+use ecoscale_sim::{Duration, Energy, OnlineStats};
 
 use crate::device::DeviceClass;
 
@@ -44,6 +44,11 @@ pub struct Sample {
 pub struct ExecutionHistory {
     capacity_per_key: usize,
     samples: HashMap<(String, DeviceClass), Vec<Sample>>,
+    /// Lifetime online time statistics per key. Raw samples above are
+    /// capacity-bounded (they exist for the feature-based prediction
+    /// models); the aggregates answer [`ExecutionHistory::mean_time`]
+    /// in O(1) without re-summing.
+    time_stats: HashMap<(String, DeviceClass), OnlineStats>,
     call_counts: HashMap<String, u64>,
 }
 
@@ -59,6 +64,7 @@ impl ExecutionHistory {
         ExecutionHistory {
             capacity_per_key,
             samples: HashMap::new(),
+            time_stats: HashMap::new(),
             call_counts: HashMap::new(),
         }
     }
@@ -74,6 +80,10 @@ impl ExecutionHistory {
     ) {
         *self.call_counts.entry(function.to_owned()).or_insert(0) += 1;
         let key = (function.to_owned(), device);
+        self.time_stats
+            .entry(key.clone())
+            .or_default()
+            .record(time.as_ps() as f64);
         let v = self.samples.entry(key).or_default();
         if v.len() == self.capacity_per_key {
             v.remove(0); // drop the oldest
@@ -113,14 +123,21 @@ impl ExecutionHistory {
         v
     }
 
-    /// Mean observed time of `(function, device)` if any samples exist.
+    /// Mean observed time of `(function, device)` over every execution
+    /// ever recorded, if any exist. Served from the online aggregate in
+    /// O(1); unlike [`ExecutionHistory::samples`] it is not bounded by
+    /// the per-key capacity.
     pub fn mean_time(&self, function: &str, device: DeviceClass) -> Option<Duration> {
-        let s = self.samples(function, device);
-        if s.is_empty() {
-            return None;
-        }
-        let total: Duration = s.iter().map(|x| x.time).sum();
-        Some(total / s.len() as u64)
+        self.time_stats(function, device)
+            .map(|s| Duration::from_ps(s.mean().round() as u64))
+    }
+
+    /// Lifetime [`OnlineStats`] of execution time in picoseconds for
+    /// `(function, device)`, if any executions were recorded.
+    pub fn time_stats(&self, function: &str, device: DeviceClass) -> Option<&OnlineStats> {
+        self.time_stats
+            .get(&(function.to_owned(), device))
+            .filter(|s| s.count() > 0)
     }
 }
 
@@ -135,8 +152,20 @@ mod tests {
     #[test]
     fn record_and_query() {
         let mut hist = h();
-        hist.record("f", DeviceClass::Cpu, vec![1.0], Duration::from_us(10), Energy::from_uj(1.0));
-        hist.record("f", DeviceClass::FpgaLocal, vec![1.0], Duration::from_us(2), Energy::from_uj(0.2));
+        hist.record(
+            "f",
+            DeviceClass::Cpu,
+            vec![1.0],
+            Duration::from_us(10),
+            Energy::from_uj(1.0),
+        );
+        hist.record(
+            "f",
+            DeviceClass::FpgaLocal,
+            vec![1.0],
+            Duration::from_us(2),
+            Energy::from_uj(0.2),
+        );
         assert_eq!(hist.call_count("f"), 2);
         assert_eq!(hist.samples("f", DeviceClass::Cpu).len(), 1);
         assert_eq!(hist.samples("f", DeviceClass::FpgaLocal).len(), 1);
@@ -148,7 +177,13 @@ mod tests {
     fn capacity_evicts_oldest() {
         let mut hist = h();
         for i in 0..5u64 {
-            hist.record("f", DeviceClass::Cpu, vec![i as f64], Duration::from_us(i), Energy::ZERO);
+            hist.record(
+                "f",
+                DeviceClass::Cpu,
+                vec![i as f64],
+                Duration::from_us(i),
+                Energy::ZERO,
+            );
         }
         let s = hist.samples("f", DeviceClass::Cpu);
         assert_eq!(s.len(), 3);
@@ -162,9 +197,21 @@ mod tests {
     fn hottest_functions_sorted() {
         let mut hist = h();
         for _ in 0..3 {
-            hist.record("hot", DeviceClass::Cpu, vec![], Duration::from_us(1), Energy::ZERO);
+            hist.record(
+                "hot",
+                DeviceClass::Cpu,
+                vec![],
+                Duration::from_us(1),
+                Energy::ZERO,
+            );
         }
-        hist.record("cold", DeviceClass::Cpu, vec![], Duration::from_us(1), Energy::ZERO);
+        hist.record(
+            "cold",
+            DeviceClass::Cpu,
+            vec![],
+            Duration::from_us(1),
+            Energy::ZERO,
+        );
         let top = hist.hottest_functions();
         assert_eq!(top[0].0, "hot");
         assert_eq!(top[0].1, 3);
@@ -175,9 +222,47 @@ mod tests {
     fn mean_time() {
         let mut hist = h();
         assert!(hist.mean_time("f", DeviceClass::Cpu).is_none());
-        hist.record("f", DeviceClass::Cpu, vec![], Duration::from_us(10), Energy::ZERO);
-        hist.record("f", DeviceClass::Cpu, vec![], Duration::from_us(20), Energy::ZERO);
-        assert_eq!(hist.mean_time("f", DeviceClass::Cpu), Some(Duration::from_us(15)));
+        hist.record(
+            "f",
+            DeviceClass::Cpu,
+            vec![],
+            Duration::from_us(10),
+            Energy::ZERO,
+        );
+        hist.record(
+            "f",
+            DeviceClass::Cpu,
+            vec![],
+            Duration::from_us(20),
+            Energy::ZERO,
+        );
+        assert_eq!(
+            hist.mean_time("f", DeviceClass::Cpu),
+            Some(Duration::from_us(15))
+        );
+    }
+
+    #[test]
+    fn mean_time_covers_evicted_samples() {
+        let mut hist = h(); // capacity 3
+        for us in [10, 20, 30, 40, 50] {
+            hist.record(
+                "f",
+                DeviceClass::Cpu,
+                vec![],
+                Duration::from_us(us),
+                Energy::ZERO,
+            );
+        }
+        // raw samples kept only for features; the mean is lifetime
+        assert_eq!(hist.samples("f", DeviceClass::Cpu).len(), 3);
+        assert_eq!(
+            hist.mean_time("f", DeviceClass::Cpu),
+            Some(Duration::from_us(30))
+        );
+        let s = hist.time_stats("f", DeviceClass::Cpu).unwrap();
+        assert_eq!(s.count(), 5);
+        assert_eq!(s.max(), Duration::from_us(50).as_ps() as f64);
     }
 
     #[test]

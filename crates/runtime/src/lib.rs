@@ -44,5 +44,7 @@ pub use model::{KnnPredictor, LinearModel, Predictor};
 pub use mpi::{MpiComm, MpiStats};
 pub use opencl::{Buffer, BufferScope, CommandQueue, Context, KernelObject, Platform};
 pub use pgas::{Distribution, GlobalArray, PgasSpace};
-pub use sched::{skewed_trace, skewed_trace_with_spacing, ClusterSim, SchedPolicy, SchedReport, TaskSpec};
+pub use sched::{
+    skewed_trace, skewed_trace_with_spacing, ClusterSim, SchedPolicy, SchedReport, TaskSpec,
+};
 pub use task::{Task, TaskId};

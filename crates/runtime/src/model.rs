@@ -8,8 +8,8 @@
 //! ([`KnnPredictor`]) for small histories, both behind the [`Predictor`]
 //! trait the scheduler consumes.
 
-use crate::history::{ExecutionHistory, Sample};
 use crate::device::DeviceClass;
+use crate::history::{ExecutionHistory, Sample};
 
 use ecoscale_sim::Duration;
 
@@ -184,11 +184,7 @@ impl Predictor for KnnPredictor {
             .iter()
             .zip(&self.ys)
             .map(|(xi, &yi)| {
-                let d: f64 = xi
-                    .iter()
-                    .zip(x)
-                    .map(|(a, b)| (a - b) * (a - b))
-                    .sum();
+                let d: f64 = xi.iter().zip(x).map(|(a, b)| (a - b) * (a - b)).sum();
                 (d, yi)
             })
             .collect();
@@ -283,10 +279,7 @@ mod tests {
     #[test]
     fn knn_interpolates() {
         let mut knn = KnnPredictor::new(2);
-        knn.fit(
-            &[vec![0.0], vec![10.0], vec![20.0]],
-            &[0.0, 100.0, 200.0],
-        );
+        knn.fit(&[vec![0.0], vec![10.0], vec![20.0]], &[0.0, 100.0, 200.0]);
         // nearest to 11: 10 -> 100 and 20 -> 200; mean 150
         assert_eq!(knn.predict(&[11.0]), Some(150.0));
         // exact hit dominated by k=2 mean
@@ -322,8 +315,20 @@ mod tests {
     #[test]
     fn predict_time_small_history_falls_back_to_knn() {
         let mut h = ExecutionHistory::new(64);
-        h.record("f", DeviceClass::FpgaLocal, vec![8.0], Duration::from_us(8), Energy::ZERO);
-        h.record("f", DeviceClass::FpgaLocal, vec![16.0], Duration::from_us(16), Energy::ZERO);
+        h.record(
+            "f",
+            DeviceClass::FpgaLocal,
+            vec![8.0],
+            Duration::from_us(8),
+            Energy::ZERO,
+        );
+        h.record(
+            "f",
+            DeviceClass::FpgaLocal,
+            vec![16.0],
+            Duration::from_us(16),
+            Energy::ZERO,
+        );
         let t = predict_time(&h, "f", DeviceClass::FpgaLocal, &[12.0]).unwrap();
         assert!(t >= Duration::from_us(8) && t <= Duration::from_us(16));
     }

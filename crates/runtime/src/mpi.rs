@@ -150,12 +150,7 @@ impl MpiComm {
 
     /// Reduce to rank 0 (binomial tree); returns the completion time at
     /// the root.
-    pub fn reduce<T: Topology>(
-        &mut self,
-        net: &mut Network<T>,
-        now: Time,
-        bytes: u64,
-    ) -> Time {
+    pub fn reduce<T: Topology>(&mut self, net: &mut Network<T>, now: Time, bytes: u64) -> Time {
         self.reduce_time(net, now, bytes)
     }
 
@@ -177,12 +172,7 @@ impl MpiComm {
     }
 
     /// Allreduce = reduce + broadcast.
-    pub fn allreduce<T: Topology>(
-        &mut self,
-        net: &mut Network<T>,
-        now: Time,
-        bytes: u64,
-    ) -> Time {
+    pub fn allreduce<T: Topology>(&mut self, net: &mut Network<T>, now: Time, bytes: u64) -> Time {
         let t = self.reduce_time(net, now, bytes);
         self.bcast_from(net, t, 0, bytes)
     }

@@ -314,7 +314,9 @@ mod tests {
     fn in_order_queue_semantics() {
         let mut c = ctx();
         let q = c.create_queue(NodeId(0));
-        let b = c.create_buffer(1 << 16, BufferScope::Device(NodeId(0))).unwrap();
+        let b = c
+            .create_buffer(1 << 16, BufferScope::Device(NodeId(0)))
+            .unwrap();
         let k = KernelObject::new("k", 10, 2);
         let e1 = c.enqueue_kernel(q, &k, 1000, &[b], &[]);
         let e2 = c.enqueue_kernel(q, &k, 1000, &[b], &[]);
@@ -327,7 +329,9 @@ mod tests {
         let mut c = ctx();
         let q0 = c.create_queue(NodeId(0));
         let q1 = c.create_queue(NodeId(5));
-        let b = c.create_buffer(4096, BufferScope::Device(NodeId(0))).unwrap();
+        let b = c
+            .create_buffer(4096, BufferScope::Device(NodeId(0)))
+            .unwrap();
         let k = KernelObject::new("k", 100, 10);
         let produce = c.enqueue_kernel(q0, &k, 10_000, &[b], &[]);
         // q1 waits on q0's event
@@ -339,8 +343,12 @@ mod tests {
     fn remote_device_buffer_costs_transfer() {
         let mut c = ctx();
         let q = c.create_queue(NodeId(0));
-        let local = c.create_buffer(1 << 20, BufferScope::Device(NodeId(0))).unwrap();
-        let remote = c.create_buffer(1 << 20, BufferScope::Device(NodeId(15))).unwrap();
+        let local = c
+            .create_buffer(1 << 20, BufferScope::Device(NodeId(0)))
+            .unwrap();
+        let remote = c
+            .create_buffer(1 << 20, BufferScope::Device(NodeId(15)))
+            .unwrap();
         let k = KernelObject::new("k", 1, 1);
         let e_local = c.enqueue_kernel(q, &k, 1000, &[local], &[]);
         let t0 = c.event_time(e_local);
@@ -368,7 +376,9 @@ mod tests {
     fn write_then_read_roundtrip() {
         let mut c = ctx();
         let q = c.create_queue(NodeId(0));
-        let b = c.create_buffer(1 << 20, BufferScope::Device(NodeId(0))).unwrap();
+        let b = c
+            .create_buffer(1 << 20, BufferScope::Device(NodeId(0)))
+            .unwrap();
         let w = c.enqueue_write(q, b, &[]);
         let r = c.enqueue_read(q, b, &[w]);
         assert!(c.event_time(r) > c.event_time(w));
@@ -380,7 +390,9 @@ mod tests {
         let mut c = ctx();
         let q0 = c.create_queue(NodeId(0));
         let q1 = c.create_queue(NodeId(1));
-        let b = c.create_buffer(1 << 18, BufferScope::Device(NodeId(0))).unwrap();
+        let b = c
+            .create_buffer(1 << 18, BufferScope::Device(NodeId(0)))
+            .unwrap();
         let k = KernelObject::new("k", 50, 5);
         let e0 = c.enqueue_kernel(q0, &k, 100_000, &[b], &[]);
         let bar = c.enqueue_barrier(q1, &[e0]);

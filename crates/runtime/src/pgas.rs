@@ -179,7 +179,11 @@ impl GlobalArray {
     ///
     /// Panics if `i` is out of bounds.
     pub fn home_of(&self, i: u64) -> NodeId {
-        assert!(i < self.elems, "index {i} out of bounds (len {})", self.elems);
+        assert!(
+            i < self.elems,
+            "index {i} out of bounds (len {})",
+            self.elems
+        );
         let nodes = self.parts.len() as u64;
         match self.dist {
             Distribution::Block => {

@@ -18,7 +18,10 @@
 use std::collections::VecDeque;
 
 use ecoscale_noc::NodeId;
-use ecoscale_sim::{Duration, EventQueue, SimRng, Time};
+use ecoscale_sim::{
+    Counter, Duration, EventQueue, Histogram, MetricsRegistry, OnlineStats, SimRng, Time, Tracer,
+    TrackId,
+};
 
 use crate::device::CpuModel;
 use crate::task::Task;
@@ -107,6 +110,50 @@ pub struct ClusterSim {
     probe_latency: Duration,
     dispatch_latency: Duration,
     rng: SimRng,
+    ins: SchedInstruments,
+    tracer: Tracer,
+    trace_label: String,
+}
+
+/// Scheduler instruments accumulated by [`ClusterSim::run`] and read
+/// back through [`ClusterSim::export_metrics`].
+#[derive(Debug, Clone, Default)]
+struct SchedInstruments {
+    tasks: Counter,
+    steals: Counter,
+    probes: Counter,
+    migrations: Counter,
+    wait_ns: OnlineStats,
+    exec_ns: OnlineStats,
+    queue_depth: Histogram,
+}
+
+impl SchedInstruments {
+    /// Records one task execution: wait latency (arrival → start),
+    /// exec latency, migration (executed away from its data home), and
+    /// a span on the executing worker's track.
+    #[allow(clippy::too_many_arguments)]
+    fn on_exec(
+        &mut self,
+        spec: &TaskSpec,
+        w: usize,
+        workers: usize,
+        start: Time,
+        d: Duration,
+        tracer: &Tracer,
+        tracks: &[TrackId],
+    ) {
+        self.tasks.incr();
+        self.wait_ns
+            .record(start.saturating_since(spec.arrival).as_ns_f64());
+        self.exec_ns.record(d.as_ns_f64());
+        if spec.task.data_home().0 % workers != w {
+            self.migrations.incr();
+        }
+        if let Some(&track) = tracks.get(w) {
+            tracer.complete(track, spec.task.function(), start, d);
+        }
+    }
 }
 
 impl ClusterSim {
@@ -124,6 +171,9 @@ impl ClusterSim {
             probe_latency: Duration::from_ns(300),
             dispatch_latency: Duration::from_ns(800),
             rng: SimRng::seed_from(seed),
+            ins: SchedInstruments::default(),
+            tracer: Tracer::disabled(),
+            trace_label: "sched".to_owned(),
         }
     }
 
@@ -133,8 +183,45 @@ impl ClusterSim {
         self
     }
 
+    /// Installs a tracer; task executions become spans on per-worker
+    /// `{label}/w<N>` tracks and arrivals sample a `{label}/queued`
+    /// counter track. `label` keeps lanes distinct when several
+    /// simulations share one trace.
+    pub fn with_tracer(mut self, tracer: Tracer, label: &str) -> ClusterSim {
+        self.tracer = tracer;
+        self.trace_label = label.to_owned();
+        self
+    }
+
+    /// Folds the instruments of the most recent [`ClusterSim::run`]
+    /// into `m` under `prefix`: task/steal/probe/migration counters,
+    /// wait and exec latency stats, and the queue-depth histogram
+    /// sampled at each arrival.
+    pub fn export_metrics(&self, m: &mut MetricsRegistry, prefix: &str) {
+        m.add(&format!("{prefix}.tasks"), self.ins.tasks.get());
+        m.add(&format!("{prefix}.steals"), self.ins.steals.get());
+        m.add(&format!("{prefix}.probes"), self.ins.probes.get());
+        m.add(&format!("{prefix}.migrations"), self.ins.migrations.get());
+        m.merge_stats(&format!("{prefix}.wait_ns"), &self.ins.wait_ns);
+        m.merge_stats(&format!("{prefix}.exec_ns"), &self.ins.exec_ns);
+        m.merge_hist(&format!("{prefix}.queue_depth"), &self.ins.queue_depth);
+    }
+
     /// Runs the trace to completion and reports.
     pub fn run(&mut self, tasks: &[TaskSpec]) -> SchedReport {
+        self.ins = SchedInstruments::default();
+        let tracks: Vec<TrackId> = if self.tracer.is_enabled() {
+            (0..self.workers)
+                .map(|w| self.tracer.track(&format!("{}/w{}", self.trace_label, w)))
+                .collect()
+        } else {
+            Vec::new()
+        };
+        let queue_track = if self.tracer.is_enabled() {
+            Some(self.tracer.track(&format!("{}/queued", self.trace_label)))
+        } else {
+            None
+        };
         let mut q: EventQueue<Ev> = EventQueue::new();
         let mut backoff: Vec<u32> = vec![0; self.workers];
         let mut queues: Vec<VecDeque<usize>> = vec![VecDeque::new(); self.workers];
@@ -169,10 +256,25 @@ impl ClusterSim {
                     match self.policy {
                         SchedPolicy::LazyLocal { .. } => {
                             queues[home].push_back(idx);
+                            self.ins.queue_depth.record(queues[home].len() as u64);
+                            if let Some(t) = queue_track {
+                                self.tracer
+                                    .counter(t, "queued", now, queues[home].len() as f64);
+                            }
                             if !busy[home] {
                                 Self::start(
-                                    home, &mut queues, &mut busy, &mut busy_time, &mut q, now,
-                                    tasks, &self.cpu, exec_time,
+                                    home,
+                                    &mut queues,
+                                    &mut busy,
+                                    &mut busy_time,
+                                    &mut q,
+                                    now,
+                                    tasks,
+                                    &self.cpu,
+                                    exec_time,
+                                    &mut self.ins,
+                                    &self.tracer,
+                                    &tracks,
                                 );
                             }
                         }
@@ -180,15 +282,34 @@ impl ClusterSim {
                             let w = self.rng.gen_range_usize(0, self.workers);
                             messages += 1;
                             queues[w].push_back(idx);
+                            self.ins.queue_depth.record(queues[w].len() as u64);
+                            if let Some(t) = queue_track {
+                                self.tracer
+                                    .counter(t, "queued", now, queues[w].len() as f64);
+                            }
                             if !busy[w] {
                                 Self::start(
-                                    w, &mut queues, &mut busy, &mut busy_time, &mut q, now,
-                                    tasks, &self.cpu, exec_time,
+                                    w,
+                                    &mut queues,
+                                    &mut busy,
+                                    &mut busy_time,
+                                    &mut q,
+                                    now,
+                                    tasks,
+                                    &self.cpu,
+                                    exec_time,
+                                    &mut self.ins,
+                                    &self.tracer,
+                                    &tracks,
                                 );
                             }
                         }
                         SchedPolicy::Centralized => {
                             central.push_back(idx);
+                            self.ins.queue_depth.record(central.len() as u64);
+                            if let Some(t) = queue_track {
+                                self.tracer.counter(t, "queued", now, central.len() as f64);
+                            }
                             // try to dispatch to an idle worker
                             if let Some(w) = (0..self.workers).find(|&w| !busy[w]) {
                                 if let Some(t) = central.pop_front() {
@@ -207,6 +328,15 @@ impl ClusterSim {
                 Ev::Dispatched { worker, task } => {
                     let d = exec_time(&tasks[task].task, &self.cpu);
                     busy_time[worker] += d;
+                    self.ins.on_exec(
+                        &tasks[task],
+                        worker,
+                        self.workers,
+                        now,
+                        d,
+                        &self.tracer,
+                        &tracks,
+                    );
                     q.schedule(now + d, Ev::Finish(worker));
                 }
                 Ev::Finish(w) | Ev::Retry(w) => {
@@ -232,16 +362,36 @@ impl ClusterSim {
                         SchedPolicy::RandomPush => {
                             if !queues[w].is_empty() {
                                 Self::start(
-                                    w, &mut queues, &mut busy, &mut busy_time, &mut q, now,
-                                    tasks, &self.cpu, exec_time,
+                                    w,
+                                    &mut queues,
+                                    &mut busy,
+                                    &mut busy_time,
+                                    &mut q,
+                                    now,
+                                    tasks,
+                                    &self.cpu,
+                                    exec_time,
+                                    &mut self.ins,
+                                    &self.tracer,
+                                    &tracks,
                                 );
                             }
                         }
                         SchedPolicy::LazyLocal { probes } => {
                             if !queues[w].is_empty() {
                                 Self::start(
-                                    w, &mut queues, &mut busy, &mut busy_time, &mut q, now,
-                                    tasks, &self.cpu, exec_time,
+                                    w,
+                                    &mut queues,
+                                    &mut busy,
+                                    &mut busy_time,
+                                    &mut q,
+                                    now,
+                                    tasks,
+                                    &self.cpu,
+                                    exec_time,
+                                    &mut self.ins,
+                                    &self.tracer,
+                                    &tracks,
                                 );
                             } else {
                                 // steal: probe random victims and take
@@ -253,6 +403,7 @@ impl ClusterSim {
                                     let v = self.rng.gen_range_usize(0, self.workers);
                                     probe_cost += self.probe_latency;
                                     messages += 1;
+                                    self.ins.probes.incr();
                                     if v != w && queues[v].len() > 1 {
                                         victim = Some(v);
                                         break;
@@ -261,6 +412,7 @@ impl ClusterSim {
                                 overhead += probe_cost;
                                 if let Some(v) = victim {
                                     backoff[w] = 0;
+                                    self.ins.steals.incr();
                                     let keep = queues[v].len() / 2;
                                     let mut taken = queues[v].split_off(keep);
                                     let first = taken.pop_front().expect("len > 1");
@@ -268,6 +420,15 @@ impl ClusterSim {
                                     let d = exec_time(&tasks[first].task, &self.cpu);
                                     busy[w] = true;
                                     busy_time[w] += d;
+                                    self.ins.on_exec(
+                                        &tasks[first],
+                                        w,
+                                        self.workers,
+                                        now + probe_cost,
+                                        d,
+                                        &self.tracer,
+                                        &tracks,
+                                    );
                                     q.schedule(now + probe_cost + d, Ev::Finish(w));
                                 }
                                 // if nothing stolen the worker idles until
@@ -296,13 +457,7 @@ impl ClusterSim {
         let span = makespan.saturating_since(Time::ZERO);
         let utils: Vec<f64> = busy_time
             .iter()
-            .map(|b| {
-                if span.is_zero() {
-                    0.0
-                } else {
-                    *b / span
-                }
-            })
+            .map(|b| if span.is_zero() { 0.0 } else { *b / span })
             .collect();
         let mean = utils.iter().sum::<f64>() / utils.len() as f64;
         let max = utils.iter().cloned().fold(0.0, f64::max);
@@ -333,11 +488,15 @@ impl ClusterSim {
         tasks: &[TaskSpec],
         cpu: &CpuModel,
         exec_time: impl Fn(&Task, &CpuModel) -> Duration,
+        ins: &mut SchedInstruments,
+        tracer: &Tracer,
+        tracks: &[TrackId],
     ) {
         if let Some(t) = queues[w].pop_front() {
             let d = exec_time(&tasks[t].task, cpu);
             busy[w] = true;
             busy_time[w] += d;
+            ins.on_exec(&tasks[t], w, queues.len(), now, d, tracer, tracks);
             q.schedule(now + d, Ev::Finish(w));
         }
     }
@@ -478,6 +637,32 @@ mod tests {
             counts[t.task.data_home().0] += 1;
         }
         assert!(counts[0] > counts[7] * 2);
+    }
+
+    #[test]
+    fn instruments_and_trace_capture_executions() {
+        let trace = skewed_trace(100, 8, 80_000, 1.0, 3);
+        let tracer = Tracer::buffering();
+        let mut sim = ClusterSim::new(8, SchedPolicy::LazyLocal { probes: 2 }, 5)
+            .with_tracer(tracer, "lane0");
+        sim.run(&trace);
+        let mut m = MetricsRegistry::new();
+        sim.export_metrics(&mut m, "sched");
+        assert_eq!(m.counter("sched.tasks"), Some(100));
+        assert!(m.counter("sched.probes").unwrap() > 0);
+        match m.get("sched.wait_ns") {
+            Some(ecoscale_sim::Instrument::Stats(s)) => assert_eq!(s.count(), 100),
+            other => panic!("unexpected: {other:?}"),
+        }
+        let buf = sim.tracer.take();
+        let spans = buf
+            .events()
+            .iter()
+            .filter(|e| matches!(e.kind, ecoscale_sim::trace::EventKind::Complete { .. }))
+            .count();
+        assert_eq!(spans, 100);
+        assert!(buf.tracks().iter().any(|t| t == "lane0/w0"));
+        assert!(buf.tracks().iter().any(|t| t == "lane0/queued"));
     }
 
     #[test]

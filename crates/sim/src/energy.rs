@@ -41,7 +41,10 @@ impl Energy {
     /// Panics if `j` is negative or not finite.
     #[inline]
     pub fn from_joules(j: f64) -> Energy {
-        assert!(j.is_finite() && j >= 0.0, "energy must be finite and non-negative");
+        assert!(
+            j.is_finite() && j >= 0.0,
+            "energy must be finite and non-negative"
+        );
         Energy(j)
     }
 
@@ -122,7 +125,10 @@ impl Power {
     /// Panics if `w` is negative or not finite.
     #[inline]
     pub fn from_watts(w: f64) -> Power {
-        assert!(w.is_finite() && w >= 0.0, "power must be finite and non-negative");
+        assert!(
+            w.is_finite() && w >= 0.0,
+            "power must be finite and non-negative"
+        );
         Power(w)
     }
 
@@ -332,7 +338,10 @@ impl EnergyMeter {
 
     /// Energy charged under `category` ([`Energy::ZERO`] if never charged).
     pub fn category(&self, category: &str) -> Energy {
-        self.categories.get(category).copied().unwrap_or(Energy::ZERO)
+        self.categories
+            .get(category)
+            .copied()
+            .unwrap_or(Energy::ZERO)
     }
 
     /// Iterates over `(category, energy)` pairs in category-name order.

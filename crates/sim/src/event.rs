@@ -137,7 +137,11 @@ impl<E> EventQueue<E> {
         }
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Reverse(Entry { time: at, seq, event }));
+        self.heap.push(Reverse(Entry {
+            time: at,
+            seq,
+            event,
+        }));
     }
 
     /// Schedules `event` at `now() + delay`.

@@ -12,6 +12,10 @@
 //! * [`SimRng`] — a seeded random source with the distributions the
 //!   workload generators need (uniform, exponential, normal, Zipf, Pareto),
 //! * [`stats`] — counters, online moments, and log-binned histograms,
+//! * [`metrics`] — a deterministic [`MetricsRegistry`] of named
+//!   instruments with snapshot/merge semantics,
+//! * [`trace`] — structured tracing ([`Tracer`]) with a Chrome Trace
+//!   Event JSON exporter loadable in Perfetto,
 //! * [`report`] — fixed-width table rendering used by the experiment
 //!   binaries to print paper-style figures.
 //!
@@ -39,15 +43,20 @@
 pub mod energy;
 pub mod engine;
 pub mod event;
+pub mod json;
+pub mod metrics;
 pub mod pool;
 pub mod report;
 pub mod rng;
 pub mod stats;
 pub mod time;
+pub mod trace;
 
 pub use energy::{Energy, EnergyMeter, Power};
 pub use engine::{EventHandler, Simulation, StopReason};
 pub use event::EventQueue;
+pub use metrics::{Instrument, MetricsRegistry};
 pub use rng::SimRng;
 pub use stats::{Counter, Histogram, OnlineStats};
 pub use time::{Duration, Time};
+pub use trace::{TraceBuffer, TraceEvent, Tracer, TrackId};

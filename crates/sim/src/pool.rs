@@ -29,7 +29,9 @@ pub fn thread_count() -> usize {
             }
         }
     }
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
 }
 
 /// Applies `f` to every item, in parallel, returning results in input
@@ -62,7 +64,11 @@ where
     let n = items.len();
     let workers = thread_count().min(n);
     if workers <= 1 {
-        return items.into_iter().enumerate().map(|(i, item)| f(i, item)).collect();
+        return items
+            .into_iter()
+            .enumerate()
+            .map(|(i, item)| f(i, item))
+            .collect();
     }
     // Items are parked in take-once slots; workers self-schedule via an
     // atomic cursor and publish results into per-index cells, so the
@@ -133,7 +139,9 @@ mod tests {
             // a little arithmetic so threads interleave
             let mut acc = x;
             for k in 0..50 {
-                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(k + i as u64);
+                acc = acc
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(k + i as u64);
             }
             acc
         };

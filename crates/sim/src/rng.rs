@@ -115,7 +115,10 @@ impl SimRng {
     ///
     /// Panics if `lo >= hi` or either bound is not finite.
     pub fn gen_range_f64(&mut self, lo: f64, hi: f64) -> f64 {
-        assert!(lo.is_finite() && hi.is_finite() && lo < hi, "invalid range [{lo}, {hi})");
+        assert!(
+            lo.is_finite() && hi.is_finite() && lo < hi,
+            "invalid range [{lo}, {hi})"
+        );
         lo + (hi - lo) * self.gen_unit()
     }
 
@@ -167,7 +170,10 @@ impl SimRng {
     /// Panics if `n == 0` or `s` is negative or not finite.
     pub fn gen_zipf(&mut self, n: usize, s: f64) -> usize {
         assert!(n > 0, "zipf needs a non-empty support");
-        assert!(s.is_finite() && s >= 0.0, "zipf exponent must be non-negative");
+        assert!(
+            s.is_finite() && s >= 0.0,
+            "zipf exponent must be non-negative"
+        );
         // For the modest n used by the workloads a direct cumulative scan
         // with on-the-fly weights is fine and allocation-free.
         let norm: f64 = (1..=n).map(|k| 1.0 / (k as f64).powf(s)).sum();

@@ -68,7 +68,7 @@ impl fmt::Display for Counter {
 /// assert_eq!(s.mean(), 4.0);
 /// assert_eq!(s.max(), 6.0);
 /// ```
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct OnlineStats {
     count: u64,
     mean: f64,
@@ -192,7 +192,7 @@ impl OnlineStats {
 /// assert_eq!(h.count(), 5);
 /// assert!(h.percentile(50.0) <= 100);
 /// ```
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Histogram {
     bins: Vec<u64>,
     count: u64,
@@ -262,7 +262,11 @@ impl Histogram {
         for (i, &c) in self.bins.iter().enumerate() {
             seen += c;
             if seen >= rank {
-                let upper = if i >= 63 { u64::MAX } else { (1u64 << (i + 1)) - 1 };
+                let upper = if i >= 63 {
+                    u64::MAX
+                } else {
+                    (1u64 << (i + 1)) - 1
+                };
                 return upper.min(self.max);
             }
         }

@@ -87,7 +87,10 @@ macro_rules! time_ctors {
             /// Panics if `ns` is negative or not finite.
             #[inline]
             pub fn from_ns_f64(ns: f64) -> Self {
-                assert!(ns.is_finite() && ns >= 0.0, "time must be finite and non-negative");
+                assert!(
+                    ns.is_finite() && ns >= 0.0,
+                    "time must be finite and non-negative"
+                );
                 Self((ns * 1_000.0).round() as u64)
             }
 
@@ -202,7 +205,10 @@ impl Duration {
     /// Panics if `scale` is negative or not finite.
     #[inline]
     pub fn mul_f64(self, scale: f64) -> Self {
-        assert!(scale.is_finite() && scale >= 0.0, "scale must be finite and non-negative");
+        assert!(
+            scale.is_finite() && scale >= 0.0,
+            "scale must be finite and non-negative"
+        );
         Duration((self.0 as f64 * scale).round() as u64)
     }
 
@@ -408,7 +414,10 @@ mod tests {
     #[test]
     fn cycles_duration() {
         // 10 cycles at 1 GHz = 10 ns
-        assert_eq!(Duration::from_cycles(10, 1_000_000_000), Duration::from_ns(10));
+        assert_eq!(
+            Duration::from_cycles(10, 1_000_000_000),
+            Duration::from_ns(10)
+        );
         // 3 cycles at 2 GHz = 1.5 ns
         assert_eq!(Duration::from_cycles(3, 2_000_000_000).as_ps(), 1_500);
     }
@@ -421,7 +430,10 @@ mod tests {
         assert_eq!(d / 2, Duration::from_ns(5));
         assert_eq!(Duration::from_ns(30) / d, 3.0);
         assert_eq!(d.mul_f64(2.5), Duration::from_ns(25));
-        assert_eq!(Duration::from_ns(7) % Duration::from_ns(3), Duration::from_ns(1));
+        assert_eq!(
+            Duration::from_ns(7) % Duration::from_ns(3),
+            Duration::from_ns(1)
+        );
     }
 
     #[test]

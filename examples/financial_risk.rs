@@ -24,7 +24,10 @@ fn main() -> Result<(), Box<dyn Error>> {
         .kernel(blackscholes::KERNEL, blackscholes::kernel_hints(65_536))
         .kernel(montecarlo::KERNEL, montecarlo::kernel_hints(65_536))
         .build()?;
-    println!("module library: {} kernels synthesized", system.library().len());
+    println!(
+        "module library: {} kernels synthesized",
+        system.library().len()
+    );
 
     // --- price a book of options, watching the device migrate ---------
     let n = 16_384usize;
@@ -51,7 +54,10 @@ fn main() -> Result<(), Box<dyn Error>> {
     let payoffs = args.array("payoff").expect("bound");
     let mc_price = montecarlo::price_from_payoffs(payoffs, 0.02, 1.0);
     let bs_price = blackscholes::reference(&[100.0], &[100.0], 0.02, 0.3, 1.0)[0];
-    println!("\nMC price ({paths} paths): {mc_price:.3} on {}", out.device);
+    println!(
+        "\nMC price ({paths} paths): {mc_price:.3} on {}",
+        out.device
+    );
     println!("closed-form price:        {bs_price:.3}");
     // the closed form uses a logistic CDF approximation (~1% abs error),
     // which overprices at-the-money by a few tenths; MC is unbiased

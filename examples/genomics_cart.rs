@@ -24,8 +24,7 @@ fn main() -> Result<(), Box<dyn Error>> {
     );
 
     // software Gini scan
-    let mut sw_scan =
-        |x: &[f64], y: &[f64], t: &[f64]| cart::reference_gini(x, y, t);
+    let mut sw_scan = |x: &[f64], y: &[f64], t: &[f64]| cart::reference_gini(x, y, t);
     let sw_tree = cart::build_tree(&train, 5, 16, &mut sw_scan);
 
     // "hardware" Gini scan: the same computation through the HLS kernel
@@ -42,8 +41,16 @@ fn main() -> Result<(), Box<dyn Error>> {
 
     let sw_acc = cart::accuracy(&sw_tree, &test);
     let hw_acc = cart::accuracy(&hw_tree, &test);
-    println!("software-scanned tree: {} nodes, accuracy {:.3}", sw_tree.size(), sw_acc);
-    println!("hardware-scanned tree: {} nodes, accuracy {:.3}", hw_tree.size(), hw_acc);
+    println!(
+        "software-scanned tree: {} nodes, accuracy {:.3}",
+        sw_tree.size(),
+        sw_acc
+    );
+    println!(
+        "hardware-scanned tree: {} nodes, accuracy {:.3}",
+        hw_tree.size(),
+        hw_acc
+    );
     println!("gini kernel invocations: {scans}");
 
     assert_eq!(sw_tree.size(), hw_tree.size());

@@ -27,9 +27,7 @@ fn main() -> Result<(), Box<dyn Error>> {
     let mut mem = UnimemSystem::new(w, CacheConfig::l1_default(), DramModel::default());
 
     // each worker's grid lives in its own partition
-    let mut grids: Vec<Vec<f64>> = (0..w)
-        .map(|i| stencil::generate(block, i as u64))
-        .collect();
+    let mut grids: Vec<Vec<f64>> = (0..w).map(|i| stencil::generate(block, i as u64)).collect();
 
     let mut now = Time::ZERO;
     let halo = stencil::halo_bytes(block);
@@ -69,14 +67,8 @@ fn main() -> Result<(), Box<dyn Error>> {
     println!("\nsweeps complete at t = {now}");
     println!("messages:          {}", stats.messages());
     println!("mean hops/message: {:.2}", stats.mean_hops());
-    println!(
-        "bytes at level 0 (intra-node): {}",
-        stats.bytes_at_level(0)
-    );
-    println!(
-        "bytes at level 1 (inter-node): {}",
-        stats.bytes_at_level(1)
-    );
+    println!("bytes at level 0 (intra-node): {}", stats.bytes_at_level(0));
+    println!("bytes at level 1 (inter-node): {}", stats.bytes_at_level(1));
     println!("interconnect energy: {}", stats.energy());
 
     // hierarchical placement keeps most halo traffic on the cheap level

@@ -4,11 +4,14 @@
 #   scripts/ci.sh
 #
 # Mirrors what the roadmap calls the tier-1 command (`cargo build
-# --release && cargo test -q`) and adds a deny-warnings clippy pass over
-# every target. The workspace is dependency-free, so everything works
-# offline.
+# --release && cargo test -q`) and adds deny-warnings clippy, rustfmt,
+# and rustdoc passes over every target. The workspace is
+# dependency-free, so everything works offline.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+echo "== rustfmt =="
+cargo fmt --check
 
 echo "== tier-1: release build =="
 cargo build --release
@@ -21,5 +24,8 @@ cargo test --workspace -q
 
 echo "== clippy (deny warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== rustdoc (deny warnings) =="
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
 
 echo "ci.sh: all green"

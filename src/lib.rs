@@ -11,7 +11,7 @@
 //! * [`runtime`] — distributed command queues, schedulers, prediction models
 //! * [`core`] — Workers, Compute Nodes, UNILOGIC, virtualization block
 //! * [`apps`] — HPC workloads (stencil, GEMM, Monte-Carlo, CART, sort, ...)
-//! * [`bench`] — the experiment harness behind `exp_all` (E1-E15, A1-A4)
+//! * [`mod@bench`] — the experiment harness behind `exp_all` (E1-E15, A1-A4)
 //!
 //! See `README.md` for the architecture overview, `DESIGN.md` for the
 //! system inventory and `EXPERIMENTS.md` for the reproduced figures.

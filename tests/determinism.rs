@@ -11,21 +11,25 @@
 
 use std::sync::Mutex;
 
-use ecoscale::bench::{arch, Scale};
+use ecoscale::bench::{arch, obs, Scale};
 use ecoscale::sim::pool::THREADS_ENV;
 
 static ENV_LOCK: Mutex<()> = Mutex::new(());
 
-fn render_with_threads(threads: &str) -> String {
+fn with_threads<T>(threads: &str, f: impl FnOnce() -> T) -> T {
     let _guard = ENV_LOCK.lock().expect("env lock");
     let prev = std::env::var(THREADS_ENV).ok();
     std::env::set_var(THREADS_ENV, threads);
-    let out = arch::e01_hierarchy(Scale::Quick).to_string();
+    let out = f();
     match prev {
         Some(v) => std::env::set_var(THREADS_ENV, v),
         None => std::env::remove_var(THREADS_ENV),
     }
     out
+}
+
+fn render_with_threads(threads: &str) -> String {
+    with_threads(threads, || arch::e01_hierarchy(Scale::Quick).to_string())
 }
 
 #[test]
@@ -42,5 +46,28 @@ fn output_is_independent_of_thread_count() {
     assert_eq!(
         sequential, parallel,
         "ECOSCALE_THREADS=1 and =4 must render byte-identical tables"
+    );
+}
+
+/// The observability capture fans its scheduler lanes out on the pool and
+/// merges per-lane tracers and registries in input order, so both exports
+/// must be byte-identical at any pool width.
+#[test]
+fn observability_exports_are_independent_of_thread_count() {
+    let capture = |threads| {
+        with_threads(threads, || {
+            let cap = obs::capture_observability(Scale::Quick);
+            (cap.trace.to_chrome_json(), cap.metrics.to_json())
+        })
+    };
+    let (trace_seq, metrics_seq) = capture("1");
+    let (trace_par, metrics_par) = capture("8");
+    assert_eq!(
+        trace_seq, trace_par,
+        "trace JSON must be byte-identical at ECOSCALE_THREADS=1 vs =8"
+    );
+    assert_eq!(
+        metrics_seq, metrics_par,
+        "metrics JSON must be byte-identical at ECOSCALE_THREADS=1 vs =8"
     );
 }

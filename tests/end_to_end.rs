@@ -141,7 +141,11 @@ fn energy_and_clock_monotonically_increase() {
 fn unknown_kernel_is_a_clean_error() {
     let mut s = build_full_system();
     let err = s
-        .call(NodeId(0), "nonexistent", &mut ecoscale::hls::KernelArgs::new())
+        .call(
+            NodeId(0),
+            "nonexistent",
+            &mut ecoscale::hls::KernelArgs::new(),
+        )
         .unwrap_err();
     assert!(err.to_string().contains("nonexistent"));
 }

@@ -61,7 +61,10 @@ fn online_stats_merge_matches_sequential() {
         a.merge(&b);
         assert_eq!(a.count(), whole.count(), "case {case}");
         assert!((a.mean() - whole.mean()).abs() < 1e-6, "case {case}");
-        assert!((a.variance() - whole.variance()).abs() < 1e-3, "case {case}");
+        assert!(
+            (a.variance() - whole.variance()).abs() < 1e-3,
+            "case {case}"
+        );
         assert_eq!(a.min(), whole.min(), "case {case}");
         assert_eq!(a.max(), whole.max(), "case {case}");
     }
@@ -161,8 +164,13 @@ fn smmu_translation_is_stable_under_tlb_pressure() {
         for (i, &p) in pages.iter().enumerate() {
             if let std::collections::hash_map::Entry::Vacant(slot) = expected.entry(p) {
                 let pa = 0x1000 + i as u64;
-                smmu.map(VirtAddr::from_page(p, 0), 0x100 + i as u64, pa, PagePerms::RW)
-                    .expect("fresh mapping");
+                smmu.map(
+                    VirtAddr::from_page(p, 0),
+                    0x100 + i as u64,
+                    pa,
+                    PagePerms::RW,
+                )
+                .expect("fresh mapping");
                 slot.insert(pa);
             }
         }
@@ -193,7 +201,12 @@ fn compression_roundtrips_arbitrary_bytes() {
         for algo in CompressionAlgo::ALL {
             let packed = algo.compress(&bs);
             let back = algo.decompress(&packed);
-            assert_eq!(back.as_bytes(), bs.as_bytes(), "case {case}: {} failed", algo.name());
+            assert_eq!(
+                back.as_bytes(),
+                bs.as_bytes(),
+                "case {case}: {} failed",
+                algo.name()
+            );
         }
     }
 }
@@ -232,7 +245,8 @@ fn floorplan_no_overlaps_under_churn() {
             let load = rng.gen_bool(0.5);
             let clb = rng.gen_range_u64(50, 900) as u32;
             if load || live.is_empty() {
-                if let Ok(slot) = fp.place(ModuleId(i as u32), Resources::new(clb, clb / 40, clb / 30))
+                if let Ok(slot) =
+                    fp.place(ModuleId(i as u32), Resources::new(clb, clb / 40, clb / 30))
                 {
                     live.push(slot);
                 }
@@ -244,8 +258,18 @@ fn floorplan_no_overlaps_under_churn() {
             let ps: Vec<_> = fp.placements().copied().collect();
             for (a, p) in ps.iter().enumerate() {
                 for q in &ps[a + 1..] {
-                    let r1 = Region { col: p.col, width: p.width, row: 0, height: 1 };
-                    let r2 = Region { col: q.col, width: q.width, row: 0, height: 1 };
+                    let r1 = Region {
+                        col: p.col,
+                        width: p.width,
+                        row: 0,
+                        height: 1,
+                    };
+                    let r2 = Region {
+                        col: q.col,
+                        width: q.width,
+                        row: 0,
+                        height: 1,
+                    };
                     assert!(!r1.overlaps(&r2), "case {case}");
                 }
             }
@@ -425,7 +449,9 @@ fn arb_stmt(rng: &mut SimRng, depth: u32) -> ecoscale::hls::Stmt {
     } else if rng.gen_bool(0.5) {
         let start = arb_expr(rng, 1);
         let end = arb_expr(rng, 1);
-        let body = (0..rng.gen_range_usize(1, 3)).map(|_| arb_stmt(rng, depth - 1)).collect();
+        let body = (0..rng.gen_range_usize(1, 3))
+            .map(|_| arb_stmt(rng, depth - 1))
+            .collect();
         Stmt::For {
             var: "j".into(),
             start,
@@ -434,8 +460,12 @@ fn arb_stmt(rng: &mut SimRng, depth: u32) -> ecoscale::hls::Stmt {
         }
     } else {
         let cond = arb_expr(rng, 1);
-        let then = (0..rng.gen_range_usize(1, 3)).map(|_| arb_stmt(rng, depth - 1)).collect();
-        let els = (0..rng.gen_range_usize(0, 2)).map(|_| arb_stmt(rng, depth - 1)).collect();
+        let then = (0..rng.gen_range_usize(1, 3))
+            .map(|_| arb_stmt(rng, depth - 1))
+            .collect();
+        let els = (0..rng.gen_range_usize(0, 2))
+            .map(|_| arb_stmt(rng, depth - 1))
+            .collect();
         Stmt::If { cond, then, els }
     }
 }
@@ -445,7 +475,9 @@ fn kernel_print_parse_round_trip() {
     use ecoscale::hls::{Kernel, Param, ParamKind};
     for case in 0..48 {
         let mut rng = case_rng(15, case);
-        let body: Vec<_> = (0..rng.gen_range_usize(1, 5)).map(|_| arb_stmt(&mut rng, 2)).collect();
+        let body: Vec<_> = (0..rng.gen_range_usize(1, 5))
+            .map(|_| arb_stmt(&mut rng, 2))
+            .collect();
         let k = Kernel::new(
             "rt",
             vec![
