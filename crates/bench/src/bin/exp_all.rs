@@ -1,4 +1,4 @@
-//! Regenerates every experiment table (E1-E15, A1-A4).
+//! Regenerates every experiment table (E1-E16, A1-A4).
 //!
 //! `cargo run --release -p ecoscale-bench --bin exp_all` produces the
 //! outputs quoted in EXPERIMENTS.md. Tables are computed concurrently on
@@ -7,9 +7,10 @@
 //! byte-identical at any thread count.
 //!
 //! ```text
-//! exp_all [--scale quick|full] [--trace FILE] [--metrics FILE] [KEY...]
+//! exp_all [--scale quick|full] [--trace FILE] [--metrics FILE] [--faults SPEC] [KEY...]
 //! exp_all --scale quick e03 e09    # just E3 and E9, reduced sweeps
 //! exp_all --scale quick --trace t.json --metrics m.json e03
+//! exp_all --faults seed=3,crash=1ms,seu=400us,scrub=800us e16 e16b
 //! ```
 //!
 //! `--trace` writes a Chrome Trace Event JSON file (open in Perfetto or
@@ -18,18 +19,28 @@
 //! (`ecoscale_bench::obs`) alongside the selected experiments, so the
 //! files always cover SMMU, UNIMEM/NoC, scheduler, and reconfiguration
 //! activity regardless of which experiment keys ran.
+//!
+//! `--faults` takes a seeded [`CampaignSpec`] (`key=value,...`); it
+//! replaces the base campaign the E16/E16b sweeps scale from and, when
+//! combined with `--trace`/`--metrics`, also folds a faulted capture
+//! (`capture_fault_campaign`) into the exported files.
 
 use std::process::ExitCode;
 
-use ecoscale_bench::obs::capture_observability;
-use ecoscale_bench::{Scale, EXPERIMENTS};
-use ecoscale_sim::pool;
+use ecoscale_bench::obs::{capture_fault_campaign, capture_observability};
+use ecoscale_bench::{resilience_exp, Scale, EXPERIMENTS};
+use ecoscale_sim::{pool, CampaignSpec};
 
 fn usage() {
-    eprintln!("usage: exp_all [--scale quick|full] [--trace FILE] [--metrics FILE] [KEY...]");
+    eprintln!(
+        "usage: exp_all [--scale quick|full] [--trace FILE] [--metrics FILE] [--faults SPEC] [KEY...]"
+    );
     eprintln!("  --scale quick|full   sweep sizes (default: full)");
     eprintln!("  --trace FILE         write a Chrome/Perfetto trace of an instrumented run");
     eprintln!("  --metrics FILE       write the metrics registry of an instrumented run as JSON");
+    eprintln!("  --faults SPEC        seeded fault campaign, e.g. `seed=3,crash=1ms,seu=400us`;");
+    eprintln!("                       overrides the E16/E16b base campaign and adds a faulted");
+    eprintln!("                       capture to --trace/--metrics output");
     eprintln!("  KEY                  experiment filter, e.g. `exp_all e03 e09`");
     eprint!("keys:");
     for (key, _) in EXPERIMENTS {
@@ -43,6 +54,7 @@ fn main() -> ExitCode {
     let mut scale = Scale::Full;
     let mut trace_path: Option<String> = None;
     let mut metrics_path: Option<String> = None;
+    let mut faults: Option<CampaignSpec> = None;
     let mut filters: Vec<String> = Vec::new();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -61,6 +73,21 @@ fn main() -> ExitCode {
                     trace_path = Some(v.clone());
                 } else {
                     metrics_path = Some(v.clone());
+                }
+            }
+            "--faults" => {
+                let Some(v) = it.next() else {
+                    eprintln!("error: --faults needs a campaign spec (key=value,...)");
+                    usage();
+                    return ExitCode::from(2);
+                };
+                match CampaignSpec::parse(v) {
+                    Ok(spec) => faults = Some(spec),
+                    Err(e) => {
+                        eprintln!("error: bad --faults spec: {e}");
+                        usage();
+                        return ExitCode::from(2);
+                    }
                 }
             }
             "--scale" => {
@@ -89,6 +116,11 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     }
+    if let Some(spec) = &faults {
+        // E16/E16b scale their sweeps from this campaign instead of the
+        // built-in default.
+        resilience_exp::set_campaign_override(Some(spec.clone()));
+    }
     let selected: Vec<_> = EXPERIMENTS
         .iter()
         .filter(|&&(key, _)| filters.is_empty() || filters.iter().any(|f| f == key))
@@ -101,7 +133,12 @@ fn main() -> ExitCode {
         println!("{table}");
     }
     if trace_path.is_some() || metrics_path.is_some() {
-        let cap = capture_observability(scale);
+        let mut cap = capture_observability(scale);
+        if let Some(spec) = faults.as_ref().filter(|s| !s.is_off()) {
+            let fc = capture_fault_campaign(scale, spec);
+            cap.trace.merge(fc.trace);
+            cap.metrics.merge(&fc.metrics);
+        }
         if let Some(path) = &trace_path {
             if let Err(e) = std::fs::write(path, cap.trace.to_chrome_json()) {
                 eprintln!("error: cannot write trace to `{path}`: {e}");

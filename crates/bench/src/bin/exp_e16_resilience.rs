@@ -1,0 +1,12 @@
+//! Regenerates experiment E16 (+E16b) from EXPERIMENTS.md at full scale.
+
+fn main() {
+    println!(
+        "{}",
+        ecoscale_bench::resilience_exp::e16_resilience(ecoscale_bench::Scale::Full)
+    );
+    println!(
+        "{}",
+        ecoscale_bench::resilience_exp::e16b_fabric(ecoscale_bench::Scale::Full)
+    );
+}

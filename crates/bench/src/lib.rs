@@ -1,6 +1,6 @@
 //! The ECOSCALE experiment harness.
 //!
-//! One function per experiment in `DESIGN.md` §4 (E1–E15) plus the §6
+//! One function per experiment in `DESIGN.md` §4 (E1–E16) plus the §6
 //! ablations (A1–A3); each returns
 //! the [`Table`]s that the corresponding `exp_*` binary prints and that
 //! `EXPERIMENTS.md` quotes. Wall-clock benches in `benches/` (built on
@@ -15,6 +15,7 @@ pub mod accel;
 pub mod arch;
 pub mod fpga_exp;
 pub mod obs;
+pub mod resilience_exp;
 pub mod runtime_exp;
 pub mod scale_exp;
 pub mod timing;
@@ -62,6 +63,8 @@ pub const EXPERIMENTS: &[(&str, ExperimentFn)] = &[
     ("e13", scale_exp::e13_power),
     ("e14", scale_exp::e14_hybrid),
     ("e15", accel::e15_speedup_band),
+    ("e16", resilience_exp::e16_resilience),
+    ("e16b", resilience_exp::e16b_fabric),
     ("a1", ablation::a1_cut_through),
     ("a2", ablation::a2_tlb_size),
     ("a3", ablation::a3_benefit_margin),
@@ -80,7 +83,7 @@ mod tests {
 
     #[test]
     fn experiment_registry_keys_are_unique_and_ordered() {
-        assert_eq!(EXPERIMENTS.len(), 20);
+        assert_eq!(EXPERIMENTS.len(), 22);
         let keys: Vec<&str> = EXPERIMENTS.iter().map(|&(k, _)| k).collect();
         let mut dedup = keys.clone();
         dedup.sort_unstable();

@@ -21,8 +21,8 @@ use ecoscale_mem::{
     CacheConfig, DramModel, GlobalAddr, PagePerms, Smmu, SmmuConfig, UnimemSystem, VirtAddr,
 };
 use ecoscale_noc::{Network, NetworkConfig, NodeId, TreeTopology};
-use ecoscale_runtime::{skewed_trace, ClusterSim, SchedPolicy};
-use ecoscale_sim::{pool, MetricsRegistry, SimRng, Time, TraceBuffer, Tracer};
+use ecoscale_runtime::{skewed_trace, ClusterSim, ResilienceConfig, SchedPolicy};
+use ecoscale_sim::{pool, CampaignSpec, MetricsRegistry, SimRng, Time, TraceBuffer, Tracer};
 
 use crate::Scale;
 
@@ -46,6 +46,72 @@ pub fn capture_observability(scale: Scale) -> Capture {
     sched_phase(scale, &mut cap);
     system_phase(scale, &mut cap);
     cap
+}
+
+/// Runs a seeded fault campaign through the FaultPlane's two live
+/// halves — a faulted scheduler run (worker crashes/stalls, full
+/// recovery) and a faulted system run (SEU scrub/repair plus SMMU/NoC
+/// injection) — and returns the merged capture. Pure function of
+/// `(scale, spec)`: byte-identical at any thread count, and with an
+/// all-off spec the exported JSON is byte-identical to not injecting at
+/// all.
+pub fn capture_fault_campaign(scale: Scale, spec: &CampaignSpec) -> Capture {
+    let mut cap = Capture::default();
+    faulted_sched_phase(scale, spec, &mut cap);
+    faulted_system_phase(scale, spec, &mut cap);
+    cap
+}
+
+/// A faulted [`ClusterSim`] run under the full recovery policy:
+/// populates `sched.*` including `sched.resilience.*` fault tracks.
+fn faulted_sched_phase(scale: Scale, spec: &CampaignSpec, cap: &mut Capture) {
+    let tasks = scale.pick(300, 1_500);
+    let tracer = Tracer::buffering();
+    let trace = skewed_trace(tasks, 8, 120_000, 1.2, 17);
+    let mut sim = ClusterSim::new(8, SchedPolicy::LazyLocal { probes: 2 }, 5)
+        .with_faults(spec, ResilienceConfig::full())
+        .with_tracer(tracer.clone(), "fsched");
+    sim.run(&trace);
+    sim.export_metrics(&mut cap.metrics, "sched");
+    cap.trace.merge(tracer.take());
+}
+
+/// A faulted assembled-system run: SEU upsets with scrub/repair,
+/// software fallback, plus the SMMU/NoC injection hooks armed from the
+/// same spec. Populates `system.*`, `seu.*`, `resilience.*`.
+fn faulted_system_phase(scale: Scale, spec: &CampaignSpec, cap: &mut Capture) {
+    const KERNEL: &str = "kernel scale(in float a[], out float b[], int n) {
+        for (i in 0 .. n) { b[i] = sqrt(a[i] + 1.0) * 2.0; }
+    }";
+    let tracer = Tracer::buffering();
+    let mut sys = SystemBuilder::new()
+        .workers_per_node(4)
+        .compute_nodes(2)
+        .kernel(KERNEL, HashMap::from([("n".to_owned(), 4096.0)]))
+        .build()
+        .expect("kernel synthesizes");
+    sys.set_tracer(&tracer);
+    sys.enable_faults(spec, ResilienceConfig::full());
+    let n = scale.pick(1_024usize, 4_096);
+    let args = || {
+        let mut a = KernelArgs::new();
+        a.bind_array("a", (0..n).map(|i| i as f64).collect())
+            .bind_array("b", vec![0.0; n])
+            .bind_scalar("n", n as f64);
+        a
+    };
+    for _ in 0..12 {
+        sys.call(NodeId(0), "scale", &mut args()).expect("runs");
+    }
+    sys.load_module(NodeId(0), "scale").expect("places");
+    let calls = scale.pick(40, 160);
+    for _ in 0..calls {
+        sys.call(NodeId(0), "scale", &mut args()).expect("runs");
+        sys.fault_tick();
+        sys.daemon_tick();
+    }
+    cap.metrics.merge(&sys.export_metrics());
+    cap.trace.merge(tracer.take());
 }
 
 /// Zipf-skewed translation stream through one dual-stage SMMU:
@@ -191,5 +257,27 @@ mod tests {
         // exports are well-formed
         ecoscale_sim::json::parse(&cap.trace.to_chrome_json()).expect("trace JSON parses");
         ecoscale_sim::json::parse(&m.to_json()).expect("metrics JSON parses");
+    }
+
+    #[test]
+    fn fault_capture_records_recovery_tracks() {
+        let spec =
+            CampaignSpec::parse("seed=3,crash=1ms,seu=400us,scrub=800us").expect("spec parses");
+        let cap = capture_fault_campaign(Scale::Quick, &spec);
+        let m = &cap.metrics;
+        assert!(m.counter("sched.resilience.failures").unwrap() > 0);
+        assert!(m.counter("seu.upsets").unwrap() > 0);
+        assert!(m.get("resilience.recovery_ns").is_some());
+        ecoscale_sim::json::parse(&cap.trace.to_chrome_json()).expect("trace JSON parses");
+        ecoscale_sim::json::parse(&m.to_json()).expect("metrics JSON parses");
+    }
+
+    #[test]
+    fn fault_capture_with_off_spec_matches_plain_runs() {
+        let off = capture_fault_campaign(Scale::Quick, &CampaignSpec::off());
+        // no resilience/seu instruments leak into a fault-free capture
+        assert!(off.metrics.counter("seu.upsets").is_none());
+        assert!(off.metrics.counter("resilience.failures").is_none());
+        assert!(off.metrics.counter("sched.resilience.failures").is_none());
     }
 }

@@ -14,14 +14,17 @@ use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
 
-use ecoscale_fpga::Resources;
+use ecoscale_fpga::{Resources, SeuScrubber};
 use ecoscale_hls::{
     parse_kernel, ExecKernelError, KernelAnalysis, KernelArgs, ModuleLibrary, ParseKernelError,
 };
 use ecoscale_mem::{CacheConfig, DramModel, UnimemSystem};
 use ecoscale_noc::{Network, NetworkConfig, NodeId, Topology, TreeTopology};
-use ecoscale_runtime::DeviceClass;
-use ecoscale_sim::{Counter, Duration, Energy, Histogram, MetricsRegistry, Time, Tracer, TrackId};
+use ecoscale_runtime::{DeviceClass, Domain, ReconfigError, ResilienceConfig, ResilienceManager};
+use ecoscale_sim::{
+    fault::salt, CampaignSpec, Counter, Duration, Energy, Histogram, MetricsRegistry, Time, Tracer,
+    TrackId,
+};
 
 use crate::unilogic::{AccessPath, UnilogicModel};
 use crate::worker::Worker;
@@ -231,8 +234,17 @@ impl SystemBuilder {
             calls_cpu: Counter::new(),
             calls_fpga_local: Counter::new(),
             calls_fpga_remote: Counter::new(),
+            faults: None,
         })
     }
+}
+
+/// The FaultPlane's system-level state: per-fabric SEU scrubbers plus
+/// the resilience manager driving repair and fallback decisions.
+#[derive(Debug)]
+struct SystemFaults {
+    scrubbers: Vec<SeuScrubber>,
+    mgr: ResilienceManager,
 }
 
 /// The assembled system.
@@ -253,6 +265,7 @@ pub struct EcoscaleSystem {
     calls_cpu: Counter,
     calls_fpga_local: Counter,
     calls_fpga_remote: Counter,
+    faults: Option<SystemFaults>,
 }
 
 impl EcoscaleSystem {
@@ -343,21 +356,143 @@ impl EcoscaleSystem {
             );
         }
         m.observe("system.energy_uj", self.energy.as_uj());
+        if let Some(f) = &self.faults {
+            for s in &f.scrubbers {
+                s.export_metrics(&mut m, "seu");
+            }
+            f.mgr.export_metrics(&mut m, "resilience");
+        }
         m
     }
 
     /// Loads `function`'s module onto `worker`'s fabric explicitly.
-    /// Returns the reconfiguration latency, or `None` if unknown or
-    /// unplaceable.
-    pub fn load_module(&mut self, worker: NodeId, function: &str) -> Option<Duration> {
-        let id = self.library.get(function)?.module.id();
+    /// Returns the reconfiguration latency.
+    ///
+    /// # Errors
+    ///
+    /// [`ReconfigError`] when the function was never synthesized or the
+    /// module cannot be placed on the Worker's fabric.
+    pub fn load_module(
+        &mut self,
+        worker: NodeId,
+        function: &str,
+    ) -> Result<Duration, ReconfigError> {
+        let id = self
+            .library
+            .get(function)
+            .ok_or_else(|| ReconfigError::UnknownFunction(function.to_owned()))?
+            .module
+            .id();
         let start = self.clock;
         let lat = self.workers[worker.0].load_module(&self.library, id)?;
         self.clock += lat;
         if let Some(&track) = self.fabric_tracks.get(worker.0) {
             self.tracer.complete(track, function, start, lat);
         }
-        Some(lat)
+        Ok(lat)
+    }
+
+    /// Arms the FaultPlane across every layer of this system from
+    /// `spec`: SMMU translation-fault injection per Worker, NoC link
+    /// degradation and packet corruption, and SEU upsets in each fabric
+    /// with periodic scrubbing. `config` decides how
+    /// [`EcoscaleSystem::fault_tick`] and [`EcoscaleSystem::call`]
+    /// recover. An all-off spec installs nothing and the system stays
+    /// bit-identical to an unarmed one.
+    pub fn enable_faults(&mut self, spec: &CampaignSpec, config: ResilienceConfig) {
+        if spec.is_off() {
+            self.faults = None;
+            return;
+        }
+        for (i, w) in self.workers.iter_mut().enumerate() {
+            w.smmu_mut().set_fault_injection(
+                spec.smmu_fault_p,
+                spec.rng(salt::SMMU_FAULT ^ ((i as u64) << 32)),
+            );
+        }
+        self.net.set_faults(spec);
+        let scrubbers = (0..self.workers.len())
+            .map(|i| SeuScrubber::from_campaign(spec, i as u64))
+            .collect();
+        self.faults = Some(SystemFaults {
+            scrubbers,
+            mgr: ResilienceManager::new(config),
+        });
+    }
+
+    /// The resilience manager's view of the campaign so far (`None`
+    /// until [`EcoscaleSystem::enable_faults`] armed a live campaign).
+    pub fn resilience(&self) -> Option<&ResilienceManager> {
+        self.faults.as_ref().map(|f| &f.mgr)
+    }
+
+    /// Whether `worker`'s copy of `function` is currently upset by an
+    /// undetected SEU (its results would be wrong). Always `false`
+    /// without an armed campaign.
+    pub fn module_upset(&self, worker: NodeId, function: &str) -> bool {
+        let Some(f) = &self.faults else { return false };
+        let Some(entry) = self.library.get(function) else {
+            return false;
+        };
+        f.scrubbers[worker.0].is_upset(entry.module.id())
+    }
+
+    /// Advances the FaultPlane to the current clock: draws due SEU
+    /// upsets on every fabric and, when a scrub pass is due, detects
+    /// them and repairs via the reconfiguration daemon (a partial
+    /// bitstream reload). Persistent failers are quarantined — unloaded
+    /// and left off the fabric. Returns the number of repairs performed.
+    /// A no-op without an armed campaign.
+    pub fn fault_tick(&mut self) -> usize {
+        let Some(mut faults) = self.faults.take() else {
+            return 0;
+        };
+        let mut repairs = 0;
+        for (i, w) in self.workers.iter_mut().enumerate() {
+            let scrubber = &mut faults.scrubbers[i];
+            if !scrubber.is_enabled() {
+                continue;
+            }
+            let resident: Vec<_> = w.daemon().loaded().collect();
+            scrubber.advance(self.clock, &resident);
+            if !scrubber.scrub_due(self.clock) {
+                continue;
+            }
+            for (module, detect_lat) in scrubber.scrub(self.clock) {
+                let domain = Domain::Module(module.0);
+                faults.mgr.record_failure(domain, self.clock);
+                let quarantined = faults.mgr.is_quarantined(domain);
+                if quarantined || !faults.mgr.config().repair_reconfig {
+                    // no repair path: drop the corrupted module; calls
+                    // fall back to software until the daemon reloads it
+                    w.daemon_mut().unload(module);
+                    scrubber.repaired(module);
+                    continue;
+                }
+                // repair = partial reconfiguration with a clean bitstream
+                w.daemon_mut().unload(module);
+                match w.daemon_mut().load(&self.library, module) {
+                    Ok(lat) => {
+                        let start = self.clock;
+                        self.clock += lat;
+                        repairs += 1;
+                        faults.mgr.note_repair(lat);
+                        faults.mgr.note_recovery(detect_lat + lat);
+                        scrubber.repaired(module);
+                        if let Some(&track) = self.fabric_tracks.get(i) {
+                            self.tracer.complete(track, "seu-repair", start, lat);
+                        }
+                    }
+                    Err(_) => {
+                        // can't place it back: treat as lost capacity
+                        faults.mgr.note_lost();
+                        scrubber.repaired(module);
+                    }
+                }
+            }
+        }
+        self.faults = Some(faults);
+        repairs
     }
 
     /// Runs every Worker's reconfiguration daemon once; returns how many
@@ -457,11 +592,31 @@ impl EcoscaleSystem {
             remote.is_some(),
         );
         // downgrade if the selected hardware is not actually available
-        let device = match device {
+        let mut device = match device {
             DeviceClass::FpgaLocal if entry.is_none() || !local_loaded => DeviceClass::Cpu,
             DeviceClass::FpgaRemote if entry.is_none() || remote.is_none() => DeviceClass::Cpu,
             d => d,
         };
+        // FaultPlane: an SEU-upset module would compute garbage. With
+        // software fallback the call runs on the CPU instead; without it
+        // the (wrong) hardware result is still costed on the FPGA path —
+        // silent data corruption, visible only through verification.
+        if let Some(f) = &mut self.faults {
+            if f.mgr.config().software_fallback && entry.is_some() {
+                let id = entry.map(|e| e.module.id()).expect("checked");
+                let serving = match device {
+                    DeviceClass::FpgaLocal => Some(worker),
+                    DeviceClass::FpgaRemote => remote,
+                    DeviceClass::Cpu => None,
+                };
+                if let Some(s) = serving {
+                    if f.scrubbers[s.0].is_upset(id) {
+                        f.mgr.note_fallback();
+                        device = DeviceClass::Cpu;
+                    }
+                }
+            }
+        }
 
         // functional execution: results are real regardless of device
         args.run(&kernel)?;
@@ -711,6 +866,115 @@ mod tests {
             .count();
         // 13 calls + 1 reconfiguration
         assert_eq!(spans, 14);
+    }
+
+    fn seu_campaign() -> CampaignSpec {
+        let mut spec = CampaignSpec::off();
+        spec.seu_mtbf = Duration::from_us(200);
+        spec.scrub_period = Duration::from_us(500);
+        spec
+    }
+
+    #[test]
+    fn off_campaign_arms_nothing() {
+        let mut s = system();
+        s.enable_faults(&CampaignSpec::off(), ResilienceConfig::full());
+        assert!(s.resilience().is_none());
+        let mut plain = system();
+        for _ in 0..5 {
+            let mut a = args(1024);
+            let x = s.call(NodeId(0), "scale", &mut a).unwrap();
+            let mut b = args(1024);
+            let y = plain.call(NodeId(0), "scale", &mut b).unwrap();
+            assert_eq!(x, y);
+        }
+        assert_eq!(s.fault_tick(), 0);
+        assert_eq!(
+            s.export_metrics().to_json(),
+            plain.export_metrics().to_json(),
+            "off campaign leaves reports byte-identical"
+        );
+    }
+
+    #[test]
+    fn seu_upsets_are_scrubbed_and_repaired() {
+        let mut s = system();
+        s.enable_faults(&seu_campaign(), ResilienceConfig::full());
+        s.load_module(NodeId(0), "scale").unwrap();
+        let mut repairs = 0;
+        for _ in 0..200 {
+            let mut a = args(1024);
+            s.call(NodeId(0), "scale", &mut a).unwrap();
+            repairs += s.fault_tick();
+        }
+        let mgr = s.resilience().unwrap();
+        assert!(mgr.failures() > 0, "upsets recorded as failures");
+        assert!(repairs > 0, "scrub loop repaired upset modules");
+        assert_eq!(mgr.repairs(), repairs as u64);
+        // a persistent failer ends up quarantined (unloaded); otherwise
+        // the repair path keeps it resident
+        let id = s.library().get("scale").unwrap().module.id();
+        let mgr = s.resilience().unwrap();
+        if mgr.quarantines() > 0 {
+            assert!(!s.worker(NodeId(0)).daemon().is_loaded(id));
+        } else {
+            assert!(s.worker(NodeId(0)).daemon().is_loaded(id));
+        }
+        let mgr = s.resilience().unwrap();
+        let m = s.export_metrics();
+        assert!(m.counter("seu.upsets").unwrap() > 0);
+        assert_eq!(m.counter("resilience.repairs"), Some(mgr.repairs()));
+    }
+
+    #[test]
+    fn upset_module_falls_back_to_software() {
+        let mut s = system();
+        s.enable_faults(&seu_campaign(), ResilienceConfig::full());
+        // make the local FPGA the preferred device
+        for _ in 0..10 {
+            let mut a = args(4096);
+            s.call(NodeId(0), "scale", &mut a).unwrap();
+        }
+        s.load_module(NodeId(0), "scale").unwrap();
+        {
+            let mut a = args(4096);
+            assert_eq!(
+                s.call(NodeId(0), "scale", &mut a).unwrap().device,
+                DeviceClass::FpgaLocal
+            );
+        }
+        // run until an upset lands while the module is preferred; the
+        // call between upset and scrub must fall back to the CPU
+        let mut saw_fallback = false;
+        for _ in 0..400 {
+            let mut a = args(4096);
+            let out = s.call(NodeId(0), "scale", &mut a).unwrap();
+            if s.module_upset(NodeId(0), "scale") {
+                assert_eq!(out.device, DeviceClass::Cpu, "upset module not used");
+            }
+            s.fault_tick();
+            if s.resilience().unwrap().fallbacks() > 0 {
+                saw_fallback = true;
+                break;
+            }
+        }
+        assert!(saw_fallback, "campaign never forced a software fallback");
+    }
+
+    #[test]
+    fn faulted_system_is_deterministic() {
+        let run = || {
+            let mut s = system();
+            s.enable_faults(&seu_campaign(), ResilienceConfig::full());
+            s.load_module(NodeId(1), "scale").unwrap();
+            for _ in 0..100 {
+                let mut a = args(1024);
+                s.call(NodeId(1), "scale", &mut a).unwrap();
+                s.fault_tick();
+            }
+            s.export_metrics().to_json()
+        };
+        assert_eq!(run(), run());
     }
 
     #[test]

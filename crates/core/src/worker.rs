@@ -5,7 +5,9 @@ use ecoscale_fpga::{Fabric, Floorplanner, ModuleId};
 use ecoscale_hls::ModuleLibrary;
 use ecoscale_mem::{Smmu, SmmuConfig};
 use ecoscale_noc::NodeId;
-use ecoscale_runtime::{CpuModel, DaemonConfig, ExecutionHistory, FpgaExecModel, ReconfigDaemon};
+use ecoscale_runtime::{
+    CpuModel, DaemonConfig, ExecutionHistory, FpgaExecModel, ReconfigDaemon, ReconfigError,
+};
 use ecoscale_sim::Duration;
 
 /// One Worker node.
@@ -104,8 +106,16 @@ impl Worker {
     }
 
     /// Loads `module` from `library` onto the fabric, returning the
-    /// reconfiguration latency (`None` if it can never fit).
-    pub fn load_module(&mut self, library: &ModuleLibrary, module: ModuleId) -> Option<Duration> {
+    /// reconfiguration latency.
+    ///
+    /// # Errors
+    ///
+    /// [`ReconfigError`] describing why the module cannot be placed.
+    pub fn load_module(
+        &mut self,
+        library: &ModuleLibrary,
+        module: ModuleId,
+    ) -> Result<Duration, ReconfigError> {
         self.daemon.load(library, module)
     }
 }

@@ -20,7 +20,9 @@
 //! * [`preempt`] — pre-emptive hardware execution: checkpoint a running
 //!   module's state through the port and resume it later,
 //! * [`floorplan`] — GoAhead-style slot allocation, fragmentation metrics,
-//!   defragmentation planning and module migration.
+//!   defragmentation planning and module migration,
+//! * [`seu`] — single-event upsets in configuration memory and the
+//!   periodic scrub loop that detects them (FaultPlane).
 
 pub mod bitstream;
 pub mod fabric;
@@ -28,6 +30,7 @@ pub mod floorplan;
 pub mod module;
 pub mod preempt;
 pub mod reconfig;
+pub mod seu;
 
 pub use bitstream::{Bitstream, CompressionAlgo, CompressionStats};
 pub use fabric::{Fabric, Region, ResourceKind, Resources};
@@ -35,3 +38,4 @@ pub use floorplan::{Floorplanner, PlaceError, Placement, SlotId};
 pub use module::{AcceleratorModule, ModuleId};
 pub use preempt::{PreemptModel, SavedContext};
 pub use reconfig::{ReconfigPort, ReconfigStats};
+pub use seu::SeuScrubber;

@@ -5,7 +5,7 @@
 //! and a per-bit access energy in the range published for LPDDR4-class
 //! parts (~15–25 pJ/bit including I/O).
 
-use ecoscale_sim::{Duration, Energy};
+use ecoscale_sim::{Counter, Duration, Energy, MetricsRegistry, ProbFault, SimRng};
 
 /// A Worker's DRAM channel.
 ///
@@ -71,6 +71,120 @@ impl Default for DramModel {
     }
 }
 
+/// What ECC saw on one DRAM access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EccOutcome {
+    /// No bit error struck.
+    Clean,
+    /// A single-bit error was corrected in-line (SECDED), costing
+    /// [`EccModel::correction_latency`] extra.
+    Corrected,
+    /// A multi-bit error was detected but not correctable; the caller
+    /// must retry the access or escalate.
+    Uncorrectable,
+}
+
+/// SECDED ECC wrapped around a [`DramModel`] channel for fault campaigns.
+///
+/// Each access draws bit errors at the campaign's per-bit probability
+/// over the bits actually transferred. A single flipped bit is corrected
+/// transparently for a small latency penalty; two or more flipped bits in
+/// the same access are detected-but-uncorrectable and surfaced to the
+/// caller. With a zero error rate no randomness is drawn at all, so an
+/// armed-but-idle model is bit-identical to the bare channel.
+#[derive(Debug)]
+pub struct EccModel {
+    dram: DramModel,
+    fault: ProbFault,
+    /// Extra latency of an in-line single-bit correction.
+    pub correction_latency: Duration,
+    accesses: Counter,
+    corrected: Counter,
+    uncorrected: Counter,
+}
+
+impl EccModel {
+    /// Wraps `dram` with SECDED ECC at per-bit error probability `p`,
+    /// drawing from a stream seeded by `rng`.
+    pub fn new(dram: DramModel, p: f64, rng: SimRng) -> EccModel {
+        EccModel {
+            dram,
+            fault: if p > 0.0 {
+                ProbFault::new(p, rng)
+            } else {
+                ProbFault::disabled()
+            },
+            correction_latency: Duration::from_ns(10),
+            accesses: Counter::new(),
+            corrected: Counter::new(),
+            uncorrected: Counter::new(),
+        }
+    }
+
+    /// The wrapped channel.
+    pub fn dram(&self) -> &DramModel {
+        &self.dram
+    }
+
+    /// Whether a nonzero error rate is armed.
+    pub fn is_enabled(&self) -> bool {
+        self.fault.is_enabled()
+    }
+
+    /// One access of `bytes` through ECC: latency (including any
+    /// correction penalty), energy, and what ECC observed. An
+    /// [`EccOutcome::Uncorrectable`] access still pays full latency; the
+    /// caller decides whether to retry.
+    pub fn access(&mut self, bytes: u64) -> (Duration, Energy, EccOutcome) {
+        self.accesses.incr();
+        let (mut lat, energy) = self.dram.access(bytes);
+        let bits = bytes * 8;
+        let outcome = if bits > 0 && self.fault.strikes_any(bits) {
+            // One bit certainly flipped. A second, independent flip in
+            // the same access upgrades it to uncorrectable.
+            if self.fault.strikes_any(bits.saturating_sub(1)) {
+                self.uncorrected.incr();
+                EccOutcome::Uncorrectable
+            } else {
+                self.corrected.incr();
+                lat += self.correction_latency;
+                EccOutcome::Corrected
+            }
+        } else {
+            EccOutcome::Clean
+        };
+        (lat, energy, outcome)
+    }
+
+    /// Accesses so far.
+    pub fn accesses(&self) -> u64 {
+        self.accesses.get()
+    }
+
+    /// Single-bit errors corrected so far.
+    pub fn corrected(&self) -> u64 {
+        self.corrected.get()
+    }
+
+    /// Multi-bit errors detected (uncorrectable) so far.
+    pub fn uncorrected(&self) -> u64 {
+        self.uncorrected.get()
+    }
+
+    /// Folds the ECC instruments into `m` under `prefix`
+    /// (`{prefix}.accesses`, `.corrected`, `.uncorrected`). Exported only
+    /// when a nonzero error rate is armed, so fault-free reports are
+    /// unchanged.
+    pub fn export_metrics(&self, m: &mut MetricsRegistry, prefix: &str) {
+        if !self.is_enabled() {
+            return;
+        }
+        m.add(&format!("{prefix}.accesses"), self.accesses.get());
+        m.add(&format!("{prefix}.corrected"), self.corrected.get());
+        m.add(&format!("{prefix}.uncorrected"), self.uncorrected.get());
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -100,6 +214,63 @@ mod tests {
         let d = DramModel::lpddr4_default();
         let (l, _) = d.stream(0);
         assert_eq!(l, Duration::ZERO);
+    }
+
+    #[test]
+    fn ecc_zero_rate_matches_bare_channel() {
+        let d = DramModel::lpddr4_default();
+        let mut ecc = EccModel::new(d, 0.0, SimRng::seed_from(1));
+        assert!(!ecc.is_enabled());
+        for bytes in [0u64, 64, 4096] {
+            let (bl, be) = d.access(bytes);
+            let (el, ee, out) = ecc.access(bytes);
+            assert_eq!((bl, be, out), (el, ee, EccOutcome::Clean));
+        }
+        let mut m = MetricsRegistry::new();
+        ecc.export_metrics(&mut m, "dram.ecc");
+        assert!(m.is_empty(), "disabled ECC exports nothing");
+    }
+
+    #[test]
+    fn ecc_corrects_and_detects() {
+        let d = DramModel::lpddr4_default();
+        // per-bit rate high enough that 64-byte accesses see errors
+        let mut ecc = EccModel::new(d, 1e-3, SimRng::seed_from(7));
+        let mut clean = 0u64;
+        let mut corrected = 0u64;
+        let mut uncorrected = 0u64;
+        for _ in 0..2000 {
+            let (lat, _, out) = ecc.access(64);
+            match out {
+                EccOutcome::Clean => {
+                    clean += 1;
+                    assert_eq!(lat, d.access(64).0);
+                }
+                EccOutcome::Corrected => {
+                    corrected += 1;
+                    assert_eq!(lat, d.access(64).0 + ecc.correction_latency);
+                }
+                EccOutcome::Uncorrectable => uncorrected += 1,
+            }
+        }
+        assert!(clean > 0 && corrected > 0 && uncorrected > 0);
+        assert_eq!(ecc.corrected(), corrected);
+        assert_eq!(ecc.uncorrected(), uncorrected);
+        assert_eq!(ecc.accesses(), 2000);
+        assert!(
+            corrected > uncorrected,
+            "single-bit errors dominate double-bit"
+        );
+    }
+
+    #[test]
+    fn ecc_is_deterministic_per_seed() {
+        let run = |seed| {
+            let mut ecc = EccModel::new(DramModel::lpddr4_default(), 1e-3, SimRng::seed_from(seed));
+            (0..500).map(|_| ecc.access(64).2).collect::<Vec<_>>()
+        };
+        assert_eq!(run(5), run(5));
+        assert_ne!(run(5), run(6), "different seeds diverge");
     }
 
     #[test]

@@ -36,7 +36,7 @@ pub mod unimem;
 pub use addr::{GlobalAddr, Ipa, PhysAddr, VirtAddr, PAGE_SHIFT, PAGE_SIZE};
 pub use cache::{Cache, CacheAccess, CacheConfig};
 pub use coherence::{CoherenceStats, GlobalCoherence};
-pub use dram::DramModel;
+pub use dram::{DramModel, EccModel, EccOutcome};
 pub use page_table::{MapPageError, PagePerms, PageTable, TranslateError};
 pub use smmu::{InvocationModel, Smmu, SmmuConfig, SmmuFault};
 pub use unimem::{AccessKind, MemAccess, UnimemDirectory, UnimemSystem};

@@ -16,7 +16,7 @@ use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
 
-use ecoscale_sim::{Counter, Duration, Histogram, MetricsRegistry};
+use ecoscale_sim::{Counter, Duration, Histogram, MetricsRegistry, ProbFault, SimRng};
 
 use crate::addr::{PhysAddr, VirtAddr};
 use crate::page_table::{PagePerms, PageTable, TranslateError};
@@ -71,6 +71,10 @@ pub enum SmmuFault {
     Stage1(TranslateError),
     /// Stage-2 (IPA→PA) fault.
     Stage2(TranslateError),
+    /// A spurious fault injected by an active fault campaign (transient
+    /// walker/table upset). The translation would otherwise have
+    /// succeeded; a retry is expected to go through.
+    Injected,
 }
 
 impl fmt::Display for SmmuFault {
@@ -78,6 +82,7 @@ impl fmt::Display for SmmuFault {
         match self {
             SmmuFault::Stage1(e) => write!(f, "stage-1 fault: {e}"),
             SmmuFault::Stage2(e) => write!(f, "stage-2 fault: {e}"),
+            SmmuFault::Injected => write!(f, "injected transient translation fault"),
         }
     }
 }
@@ -134,6 +139,8 @@ pub struct Smmu {
     tlb_misses: Counter,
     mru_hits: Counter,
     faults: Counter,
+    injected: Counter,
+    injection: Option<ProbFault>,
     translate_ns: Histogram,
 }
 
@@ -151,6 +158,8 @@ impl Smmu {
             tlb_misses: Counter::new(),
             mru_hits: Counter::new(),
             faults: Counter::new(),
+            injected: Counter::new(),
+            injection: None,
             translate_ns: Histogram::new(),
         }
     }
@@ -158,6 +167,23 @@ impl Smmu {
     /// The configuration.
     pub fn config(&self) -> &SmmuConfig {
         &self.config
+    }
+
+    /// Arms fault injection: each translation faults spuriously with
+    /// probability `p`, drawn from a stream seeded by `rng`. A `p` of
+    /// zero disarms injection entirely (no draws, no behaviour change).
+    pub fn set_fault_injection(&mut self, p: f64, rng: SimRng) {
+        self.injection = if p > 0.0 {
+            Some(ProbFault::new(p, rng))
+        } else {
+            None
+        };
+    }
+
+    /// Spurious faults injected by an active campaign (a subset of
+    /// [`Smmu::faults`]).
+    pub fn injected_faults(&self) -> u64 {
+        self.injected.get()
     }
 
     /// Stage-1 table (VA→IPA), e.g. to map process pages.
@@ -205,6 +231,18 @@ impl Smmu {
         need: PagePerms,
     ) -> Result<(PhysAddr, Duration), SmmuFault> {
         self.clock += 1;
+        // Injected transient faults strike before any lookup: the walker
+        // itself glitches, so even a TLB-resident page faults. Charged a
+        // full walk, like architectural faults.
+        if let Some(inj) = &mut self.injection {
+            if inj.strikes() {
+                self.faults.incr();
+                self.injected.incr();
+                let walk = self.config.walk_latency();
+                self.translate_ns.record(walk.as_ns());
+                return Err(SmmuFault::Injected);
+            }
+        }
         let vpn = va.page();
         // MRU fast path: repeated touches of one page skip the map.
         if let Some(m) = &mut self.mru {
@@ -332,6 +370,9 @@ impl Smmu {
         m.add(&format!("{prefix}.tlb_misses"), self.tlb_misses.get());
         m.add(&format!("{prefix}.mru_hits"), self.mru_hits.get());
         m.add(&format!("{prefix}.faults"), self.faults.get());
+        if self.injection.is_some() {
+            m.add(&format!("{prefix}.injected_faults"), self.injected.get());
+        }
         m.merge_hist(&format!("{prefix}.translate_ns"), &self.translate_ns);
     }
 }
@@ -520,6 +561,52 @@ mod tests {
     fn os_path_scales_with_pages() {
         let inv = InvocationModel::default();
         assert!(inv.os_mediated(1000) > inv.os_mediated(10) * 10);
+    }
+
+    #[test]
+    fn injected_faults_strike_and_count() {
+        let mut s = mapped_smmu(2);
+        s.set_fault_injection(0.5, SimRng::seed_from(11));
+        let mut hits = 0u64;
+        let mut faults = 0u64;
+        for i in 0..200 {
+            match s.translate(VirtAddr::from_page(i % 2, 0), PagePerms::READ) {
+                Ok(_) => hits += 1,
+                Err(e) => {
+                    assert_eq!(e, SmmuFault::Injected);
+                    faults += 1;
+                }
+            }
+        }
+        assert!(hits > 0 && faults > 0, "both outcomes occur at p=0.5");
+        assert_eq!(s.injected_faults(), faults);
+        assert_eq!(s.faults(), faults, "no architectural faults here");
+        // retry after an injected fault succeeds (transient)
+        s.set_fault_injection(0.0, SimRng::seed_from(11));
+        assert!(s
+            .translate(VirtAddr::from_page(0, 0), PagePerms::READ)
+            .is_ok());
+    }
+
+    #[test]
+    fn zero_rate_injection_changes_nothing() {
+        let mut base = mapped_smmu(4);
+        let mut inj = mapped_smmu(4);
+        inj.set_fault_injection(0.0, SimRng::seed_from(99));
+        for i in 0..50 {
+            let a = base.translate(VirtAddr::from_page(i % 4, 0), PagePerms::READ);
+            let b = inj.translate(VirtAddr::from_page(i % 4, 0), PagePerms::READ);
+            assert_eq!(a, b);
+        }
+        let mut ma = MetricsRegistry::new();
+        let mut mb = MetricsRegistry::new();
+        base.export_metrics(&mut ma, "smmu");
+        inj.export_metrics(&mut mb, "smmu");
+        assert_eq!(
+            ma.to_json(),
+            mb.to_json(),
+            "disarmed injection is invisible"
+        );
     }
 
     #[test]

@@ -13,7 +13,8 @@
 use std::collections::HashMap;
 
 use ecoscale_sim::{
-    Duration, Energy, Histogram, MetricsRegistry, OnlineStats, Time, TraceBuffer, Tracer, TrackId,
+    fault::salt, CampaignSpec, Counter, Duration, Energy, FaultClock, Histogram, MetricsRegistry,
+    OnlineStats, ProbFault, SimRng, Time, TraceBuffer, Tracer, TrackId,
 };
 
 use crate::cost::CostModel;
@@ -49,6 +50,32 @@ pub struct Delivery {
     pub hops: u32,
     /// Time spent queueing behind other traffic (contention).
     pub queueing: Duration,
+    /// `true` when an active fault campaign corrupted the payload in
+    /// flight; the receiver must discard and re-request it. Always
+    /// `false` without a fault model.
+    pub corrupted: bool,
+}
+
+/// FaultPlane injection for the interconnect: link degradation windows
+/// plus probabilistic packet corruption.
+///
+/// A [`FaultClock`] fires degradation events; each one picks a hop of the
+/// transfer in flight when it comes due and multiplies that link's
+/// serialization time by the campaign's slowdown factor for a fixed
+/// window (a flapping or retraining link). Independently, every delivery
+/// is corrupted with the campaign's per-message probability.
+#[derive(Debug)]
+struct LinkFaultModel {
+    degrade_clock: FaultClock,
+    pick: SimRng,
+    corrupt: ProbFault,
+    degrade_for: Duration,
+    slowdown: f64,
+    /// Links currently degraded, and when they recover.
+    degraded: HashMap<LinkId, Time>,
+    degrade_events: Counter,
+    degraded_hops: Counter,
+    corrupted: Counter,
 }
 
 /// A contention-aware network instance.
@@ -84,6 +111,7 @@ pub struct Network<T: Topology> {
     link_busy: HashMap<LinkId, Duration>,
     tracer: Tracer,
     link_tracks: HashMap<LinkId, TrackId>,
+    faults: Option<LinkFaultModel>,
 }
 
 impl<T: Topology> Network<T> {
@@ -102,6 +130,52 @@ impl<T: Topology> Network<T> {
             link_busy: HashMap::new(),
             tracer: Tracer::disabled(),
             link_tracks: HashMap::new(),
+            faults: None,
+        }
+    }
+
+    /// Arms interconnect fault injection from `spec`. A campaign with
+    /// both the link-degradation clock and packet corruption off is a
+    /// no-op: no model is installed and transfers behave bit-identically
+    /// to an unarmed network.
+    pub fn set_faults(&mut self, spec: &CampaignSpec) {
+        let degrade = !spec.link_degrade_mtbf.is_zero();
+        let corrupt = spec.packet_corrupt_p > 0.0;
+        self.faults = if degrade || corrupt {
+            Some(LinkFaultModel {
+                degrade_clock: if degrade {
+                    FaultClock::new(spec.link_degrade_mtbf, spec.rng(salt::LINK_DEGRADE))
+                } else {
+                    FaultClock::disabled()
+                },
+                pick: spec.rng(salt::LINK_PICK),
+                corrupt: if corrupt {
+                    ProbFault::new(spec.packet_corrupt_p, spec.rng(salt::PACKET_CORRUPT))
+                } else {
+                    ProbFault::disabled()
+                },
+                degrade_for: spec.link_degrade_for,
+                slowdown: spec.link_slowdown.max(1.0),
+                degraded: HashMap::new(),
+                degrade_events: Counter::new(),
+                degraded_hops: Counter::new(),
+                corrupted: Counter::new(),
+            })
+        } else {
+            None
+        };
+    }
+
+    /// Link-degradation events fired, hops that crossed a degraded link,
+    /// and deliveries corrupted so far (all zero when unarmed).
+    pub fn fault_stats(&self) -> (u64, u64, u64) {
+        match &self.faults {
+            Some(f) => (
+                f.degrade_events.get(),
+                f.degraded_hops.get(),
+                f.corrupted.get(),
+            ),
+            None => (0, 0, 0),
         }
     }
 
@@ -156,7 +230,20 @@ impl<T: Topology> Network<T> {
                 energy: Energy::ZERO,
                 hops: 0,
                 queueing: Duration::ZERO,
+                corrupted: false,
             };
+        }
+        // Drain due link-degradation events: each picks a hop of this
+        // transfer's route and slows that link for a recovery window.
+        if let Some(f) = &mut self.faults {
+            while let Some(at) = f.degrade_clock.pop_due(start) {
+                f.degrade_events.incr();
+                let hops: Vec<LinkId> = route.iter().map(|h| h.link).collect();
+                let victim = hops[f.pick.gen_range_usize(0, hops.len())];
+                let until = at + f.degrade_for;
+                let e = f.degraded.entry(victim).or_insert(until);
+                *e = (*e).max(until);
+            }
         }
         let energy = self.config.cost.energy(&route, bytes);
         let mut cursor = start;
@@ -165,6 +252,7 @@ impl<T: Topology> Network<T> {
             // Hold every link for the header; serialize once at the
             // bottleneck.
             let mut min_bw = u64::MAX;
+            let mut degraded_any = false;
             for hop in route.iter() {
                 let p = *self.config.cost.level_params(hop.level);
                 let free = self
@@ -176,6 +264,12 @@ impl<T: Topology> Network<T> {
                     queueing += free - cursor;
                     cursor = free;
                 }
+                if let Some(f) = &mut self.faults {
+                    if f.degraded.get(&hop.link).is_some_and(|&u| u > cursor) {
+                        f.degraded_hops.incr();
+                        degraded_any = true;
+                    }
+                }
                 let held_from = cursor;
                 cursor += p.hop_latency;
                 self.link_free_at.insert(hop.link, cursor);
@@ -183,7 +277,12 @@ impl<T: Topology> Network<T> {
                 min_bw = min_bw.min(p.bandwidth);
             }
             if bytes > 0 {
-                cursor += Duration::from_bytes_at_bandwidth(bytes, min_bw);
+                let mut ser = Duration::from_bytes_at_bandwidth(bytes, min_bw);
+                if degraded_any {
+                    // a degraded link bottlenecks the whole cut-through path
+                    ser = ser.mul_f64(self.faults.as_ref().map_or(1.0, |f| f.slowdown));
+                }
+                cursor += ser;
             }
         } else {
             // Store-and-forward: each link serializes the whole payload.
@@ -201,18 +300,33 @@ impl<T: Topology> Network<T> {
                 let held_from = cursor;
                 cursor += p.hop_latency;
                 if bytes > 0 {
-                    cursor += Duration::from_bytes_at_bandwidth(bytes, p.bandwidth);
+                    let mut ser = Duration::from_bytes_at_bandwidth(bytes, p.bandwidth);
+                    if let Some(f) = &mut self.faults {
+                        if f.degraded.get(&hop.link).is_some_and(|&u| u > cursor) {
+                            f.degraded_hops.incr();
+                            ser = ser.mul_f64(f.slowdown);
+                        }
+                    }
+                    cursor += ser;
                 }
                 self.link_free_at.insert(hop.link, cursor);
                 self.note_link_use(hop.link, held_from, cursor - held_from);
             }
         }
         self.queue_ns.record(queueing.as_ns_f64());
+        let corrupted = match &mut self.faults {
+            Some(f) => f.corrupt.strikes(),
+            None => false,
+        };
+        if corrupted {
+            self.faults.as_mut().expect("faults armed").corrupted.incr();
+        }
         Delivery {
             arrival: cursor,
             energy,
             hops: route.hop_count(),
             queueing,
+            corrupted,
         }
     }
 
@@ -267,6 +381,11 @@ impl<T: Topology> Network<T> {
             &format!("{prefix}.route_memo_misses"),
             self.route_memo_misses,
         );
+        if let Some(f) = &self.faults {
+            m.add(&format!("{prefix}.degrade_events"), f.degrade_events.get());
+            m.add(&format!("{prefix}.degraded_hops"), f.degraded_hops.get());
+            m.add(&format!("{prefix}.corrupted"), f.corrupted.get());
+        }
     }
 
     /// Route lookup passthrough (uncached).
@@ -306,6 +425,9 @@ impl<T: Topology> Network<T> {
         self.hop_hist = Histogram::new();
         self.queue_ns = OnlineStats::new();
         self.link_busy.clear();
+        if let Some(f) = &mut self.faults {
+            f.degraded.clear();
+        }
         self.invalidate_routes();
     }
 }
@@ -435,6 +557,86 @@ mod tests {
             .fold(Duration::ZERO, |a, b| a + b);
         let busy: Duration = n.link_busy.values().fold(Duration::ZERO, |a, b| a + *b);
         assert_eq!(total, busy);
+    }
+
+    fn fault_spec() -> CampaignSpec {
+        let mut s = CampaignSpec::off();
+        s.link_degrade_mtbf = Duration::from_us(100);
+        s.link_degrade_for = Duration::from_us(500);
+        s.link_slowdown = 8.0;
+        s.packet_corrupt_p = 0.2;
+        s
+    }
+
+    #[test]
+    fn off_campaign_leaves_network_untouched() {
+        let mut plain = net(false);
+        let mut armed = net(false);
+        armed.set_faults(&CampaignSpec::off());
+        for i in 0..20u64 {
+            let t = Time::from_us(i);
+            let a = plain.transfer(t, NodeId(0), NodeId(15), 4096);
+            let b = armed.transfer(t, NodeId(0), NodeId(15), 4096);
+            assert_eq!(a, b);
+        }
+        let mut ma = ecoscale_sim::MetricsRegistry::new();
+        let mut mb = ecoscale_sim::MetricsRegistry::new();
+        plain.export_metrics(&mut ma, "noc");
+        armed.export_metrics(&mut mb, "noc");
+        assert_eq!(ma.to_json(), mb.to_json());
+    }
+
+    #[test]
+    fn degraded_links_slow_transfers() {
+        let mut n = net(false);
+        n.set_faults(&fault_spec());
+        let clean = net(false).transfer(Time::ZERO, NodeId(0), NodeId(15), 1 << 16);
+        // advance far enough that degradation windows are active
+        let d = n.transfer(Time::from_ms(1), NodeId(0), NodeId(15), 1 << 16);
+        let (events, hops, _) = n.fault_stats();
+        assert!(events > 0, "10 ms at 100 us MTBF fires");
+        assert!(hops > 0, "transfer crossed a degraded link");
+        assert!(
+            d.arrival.since(Time::from_ms(1)) > clean.arrival.since(Time::ZERO),
+            "degraded path is slower than the clean quote"
+        );
+    }
+
+    #[test]
+    fn packets_corrupt_at_campaign_rate() {
+        let mut spec = CampaignSpec::off();
+        spec.packet_corrupt_p = 0.3;
+        let mut n = net(false);
+        n.set_faults(&spec);
+        let mut corrupted = 0u64;
+        for i in 0..500u64 {
+            let d = n.transfer(Time::from_us(i * 10), NodeId(0), NodeId(15), 64);
+            if d.corrupted {
+                corrupted += 1;
+            }
+        }
+        assert!(corrupted > 80 && corrupted < 250, "got {corrupted}/500");
+        assert_eq!(n.fault_stats().2, corrupted);
+        // local transfers never corrupt (no links crossed)
+        assert!(
+            !n.transfer(Time::from_ms(100), NodeId(2), NodeId(2), 64)
+                .corrupted
+        );
+    }
+
+    #[test]
+    fn faulted_network_is_deterministic() {
+        let run = || {
+            let mut n = net(false);
+            n.set_faults(&fault_spec());
+            let mut log = Vec::new();
+            for i in 0..100u64 {
+                let d = n.transfer(Time::from_us(i * 50), NodeId(0), NodeId(15), 4096);
+                log.push((d.arrival, d.corrupted));
+            }
+            (log, n.fault_stats())
+        };
+        assert_eq!(run(), run());
     }
 
     #[test]

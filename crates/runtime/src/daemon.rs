@@ -9,6 +9,7 @@
 //! [`ReconfigDaemon::select_device`] half answers the per-call question:
 //! CPU, local accelerator, or a remote Worker's accelerator (UNILOGIC).
 
+use core::fmt;
 use std::collections::HashMap;
 
 use ecoscale_fpga::{
@@ -20,6 +21,40 @@ use ecoscale_sim::{Duration, Time};
 use crate::device::DeviceClass;
 use crate::history::ExecutionHistory;
 use crate::model::predict_time;
+
+/// Why a module load on the reconfiguration path failed.
+///
+/// Fault-triggered reconfigurations (SEU repair, module migration) hit
+/// this path at runtime, so failures must propagate as values instead of
+/// panicking or collapsing into an opaque `None`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReconfigError {
+    /// The module id has no entry in the module library.
+    UnknownModule(ModuleId),
+    /// The named function was never synthesized into the library.
+    UnknownFunction(String),
+    /// The module's resource demand exceeds the whole fabric.
+    TooLarge(ModuleId),
+    /// No contiguous window fits even after defragmentation.
+    Fragmented(ModuleId),
+}
+
+impl fmt::Display for ReconfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReconfigError::UnknownModule(m) => write!(f, "module {m:?} is not in the library"),
+            ReconfigError::UnknownFunction(name) => {
+                write!(f, "function `{name}` has no synthesized module")
+            }
+            ReconfigError::TooLarge(m) => write!(f, "module {m:?} exceeds the fabric capacity"),
+            ReconfigError::Fragmented(m) => {
+                write!(f, "module {m:?} does not fit even after defragmentation")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ReconfigError {}
 
 /// Daemon tuning.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -92,13 +127,23 @@ impl ReconfigDaemon {
     }
 
     /// Explicitly loads `module` from `library`, defragmenting on
-    /// fragmentation failure. Returns the reconfiguration latency, or
-    /// `None` if the module can never fit.
-    pub fn load(&mut self, library: &ModuleLibrary, module: ModuleId) -> Option<Duration> {
+    /// fragmentation failure. Returns the reconfiguration latency
+    /// (`Duration::ZERO` when already resident).
+    ///
+    /// # Errors
+    ///
+    /// [`ReconfigError`] describing why the module cannot be placed.
+    pub fn load(
+        &mut self,
+        library: &ModuleLibrary,
+        module: ModuleId,
+    ) -> Result<Duration, ReconfigError> {
         if self.loaded.contains_key(&module) {
-            return Some(Duration::ZERO);
+            return Ok(Duration::ZERO);
         }
-        let entry = library.by_id(module)?;
+        let entry = library
+            .by_id(module)
+            .ok_or(ReconfigError::UnknownModule(module))?;
         let need = entry.module.resources();
         let slot = match self.floorplan.place(module, need) {
             Ok(s) => s,
@@ -119,9 +164,11 @@ impl ReconfigDaemon {
                         }
                     }
                 }
-                self.floorplan.place(module, need).ok()?
+                self.floorplan
+                    .place(module, need)
+                    .map_err(|_| ReconfigError::Fragmented(module))?
             }
-            Err(PlaceError::TooLarge) => return None,
+            Err(PlaceError::TooLarge) => return Err(ReconfigError::TooLarge(module)),
         };
         self.loaded.insert(module, slot);
         let lat = self.port.load(
@@ -129,7 +176,7 @@ impl ReconfigDaemon {
             self.config.compression,
             &mut self.stats,
         );
-        Some(lat)
+        Ok(lat)
     }
 
     /// Unloads `module`, freeing its slot.
@@ -199,7 +246,7 @@ impl ReconfigDaemon {
             if self.is_loaded(module) {
                 continue;
             }
-            if self.load(library, module).is_some() {
+            if self.load(library, module).is_ok() {
                 newly.push(module);
                 continue;
             }
@@ -215,7 +262,7 @@ impl ReconfigDaemon {
                     break;
                 }
                 self.unload(victim);
-                if self.load(library, module).is_some() {
+                if self.load(library, module).is_ok() {
                     newly.push(module);
                     break;
                 }
@@ -316,7 +363,7 @@ mod tests {
         let lat = d.load(&lib, id).unwrap();
         assert!(lat > Duration::ZERO);
         assert!(d.is_loaded(id));
-        assert_eq!(d.load(&lib, id), Some(Duration::ZERO)); // already resident
+        assert_eq!(d.load(&lib, id), Ok(Duration::ZERO)); // already resident
         assert!(d.unload(id));
         assert!(!d.unload(id));
         assert_eq!(d.stats().loads, 1);
@@ -478,6 +525,19 @@ mod tests {
         d.unload(hot);
         // load again; may require compaction depending on widths — must
         // succeed either way
-        assert!(d.load(&lib, hot).is_some());
+        assert!(d.load(&lib, hot).is_ok());
+    }
+
+    #[test]
+    fn load_reports_typed_errors() {
+        let mut d = daemon();
+        let lib = library();
+        let bogus = ModuleId(9999);
+        assert_eq!(
+            d.load(&lib, bogus),
+            Err(ReconfigError::UnknownModule(bogus))
+        );
+        let err = ReconfigError::UnknownFunction("ghost".to_owned());
+        assert!(err.to_string().contains("ghost"));
     }
 }

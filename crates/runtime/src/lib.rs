@@ -19,6 +19,9 @@
 //!   scheduling (§4.1 "execute, fork, and join tasks"),
 //! * [`daemon`] — the runtime daemon deciding which functions to load
 //!   onto each reconfigurable block (benefit-cost over the history),
+//! * [`resilience`] — recovery policy for injected faults: bounded
+//!   retry with exponential backoff, software fallback, reconfig-repair
+//!   and quarantine (the FaultPlane's runtime half),
 //! * [`opencl`] — the OpenCL-flavoured object model with PGAS scoping and
 //!   distributed command queues,
 //! * [`mpi`] — the inter-Compute-Node MPI layer (point-to-point and
@@ -33,10 +36,11 @@ pub mod model;
 pub mod mpi;
 pub mod opencl;
 pub mod pgas;
+pub mod resilience;
 pub mod sched;
 pub mod task;
 
-pub use daemon::{DaemonConfig, ReconfigDaemon};
+pub use daemon::{DaemonConfig, ReconfigDaemon, ReconfigError};
 pub use device::{CpuModel, DeviceClass, FpgaExecModel};
 pub use graph::{GraphRun, TaskGraph};
 pub use history::{ExecutionHistory, Sample};
@@ -44,6 +48,7 @@ pub use model::{KnnPredictor, LinearModel, Predictor};
 pub use mpi::{MpiComm, MpiStats};
 pub use opencl::{Buffer, BufferScope, CommandQueue, Context, KernelObject, Platform};
 pub use pgas::{Distribution, GlobalArray, PgasSpace};
+pub use resilience::{Backoff, Domain, ResilienceConfig, ResilienceManager, RetryPolicy};
 pub use sched::{
     skewed_trace, skewed_trace_with_spacing, ClusterSim, SchedPolicy, SchedReport, TaskSpec,
 };

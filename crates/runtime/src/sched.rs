@@ -14,16 +14,26 @@
 //! * [`SchedPolicy::Centralized`] — one global queue behind a serializing
 //!   dispatcher (what it replaces),
 //! * [`SchedPolicy::RandomPush`] — blind load spreading with no stealing.
+//!
+//! With [`ClusterSim::with_faults`] the simulation additionally draws
+//! worker crashes and stalls from a seeded
+//! [`CampaignSpec`] and recovers
+//! through the [`resilience`](crate::resilience) policy: queued work on a
+//! dead worker is re-homed with bounded retry, persistent offenders are
+//! quarantined, and the report carries completed/lost counts plus an
+//! availability figure.
 
 use std::collections::VecDeque;
 
 use ecoscale_noc::NodeId;
+use ecoscale_sim::fault::{salt, CampaignSpec, FaultClock};
 use ecoscale_sim::{
     Counter, Duration, EventQueue, Histogram, MetricsRegistry, OnlineStats, SimRng, Time, Tracer,
     TrackId,
 };
 
 use crate::device::CpuModel;
+use crate::resilience::{Backoff, Domain, ResilienceConfig, ResilienceManager, RetryPolicy};
 use crate::task::Task;
 
 /// A task plus its arrival time at the runtime.
@@ -66,6 +76,15 @@ pub struct SchedReport {
     pub mean_utilization: f64,
     /// Coefficient of variation of per-worker busy time (imbalance).
     pub imbalance: f64,
+    /// Tasks that ran to completion.
+    pub completed: u64,
+    /// Tasks abandoned to faults (retry budget exhausted, or no
+    /// recovery armed when their worker died). Zero without faults.
+    pub lost: u64,
+    /// Fraction of worker-time the machine was in service: `1.0` minus
+    /// crash/stall/quarantine downtime over `workers × makespan`.
+    /// Exactly `1.0` when no fault campaign is installed.
+    pub availability: f64,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -113,6 +132,19 @@ pub struct ClusterSim {
     ins: SchedInstruments,
     tracer: Tracer,
     trace_label: String,
+    faults: Option<WorkerFaults>,
+}
+
+/// Worker fault injection installed by [`ClusterSim::with_faults`]:
+/// crash and stall arrival clocks, the victim-pick stream, and the
+/// resilience manager that decides recovery.
+#[derive(Debug)]
+struct WorkerFaults {
+    crash_clock: FaultClock,
+    stall_clock: FaultClock,
+    pick: SimRng,
+    stall_for: Duration,
+    mgr: ResilienceManager,
 }
 
 /// Scheduler instruments accumulated by [`ClusterSim::run`] and read
@@ -174,6 +206,7 @@ impl ClusterSim {
             ins: SchedInstruments::default(),
             tracer: Tracer::disabled(),
             trace_label: "sched".to_owned(),
+            faults: None,
         }
     }
 
@@ -181,6 +214,34 @@ impl ClusterSim {
     pub fn with_cpu(mut self, cpu: CpuModel) -> ClusterSim {
         self.cpu = cpu;
         self
+    }
+
+    /// Installs worker fault injection from `spec` (crash and stall
+    /// clocks seeded off the campaign) with `recovery` as the
+    /// resilience policy. A spec with both worker fault classes
+    /// disabled is a no-op, so fault-free campaigns stay byte-identical
+    /// to runs without the FaultPlane at all.
+    ///
+    /// The campaign is one-shot: fault clocks advance across
+    /// [`ClusterSim::run`]; install a fresh campaign per run to repeat
+    /// one deterministically.
+    pub fn with_faults(mut self, spec: &CampaignSpec, recovery: ResilienceConfig) -> ClusterSim {
+        if spec.worker_crash_mtbf.is_zero() && spec.worker_stall_mtbf.is_zero() {
+            return self;
+        }
+        self.faults = Some(WorkerFaults {
+            crash_clock: FaultClock::new(spec.worker_crash_mtbf, spec.rng(salt::WORKER_CRASH)),
+            stall_clock: FaultClock::new(spec.worker_stall_mtbf, spec.rng(salt::WORKER_STALL)),
+            pick: spec.rng(salt::WORKER_PICK),
+            stall_for: spec.worker_stall_for,
+            mgr: ResilienceManager::new(recovery),
+        });
+        self
+    }
+
+    /// The resilience manager, when a fault campaign is installed.
+    pub fn resilience(&self) -> Option<&ResilienceManager> {
+        self.faults.as_ref().map(|f| &f.mgr)
     }
 
     /// Installs a tracer; task executions become spans on per-worker
@@ -205,6 +266,11 @@ impl ClusterSim {
         m.merge_stats(&format!("{prefix}.wait_ns"), &self.ins.wait_ns);
         m.merge_stats(&format!("{prefix}.exec_ns"), &self.ins.exec_ns);
         m.merge_hist(&format!("{prefix}.queue_depth"), &self.ins.queue_depth);
+        // Gated on installation so fault-free captures keep the exact
+        // pre-FaultPlane key set (byte-identical JSON).
+        if let Some(f) = &self.faults {
+            f.mgr.export_metrics(m, &format!("{prefix}.resilience"));
+        }
     }
 
     /// Runs the trace to completion and reports.
@@ -223,7 +289,15 @@ impl ClusterSim {
             None
         };
         let mut q: EventQueue<Ev> = EventQueue::new();
-        let mut backoff: Vec<u32> = vec![0; self.workers];
+        // The lazy scheduler's historical probe backoff, expressed as a
+        // resilience retry policy: 8x, 16x, then capped at 32x the probe
+        // latency — bit-identical to the old `(4 << min(k, 3))` ladder.
+        let steal_policy = RetryPolicy::new(
+            self.probe_latency * 8,
+            self.probe_latency * 32,
+            RetryPolicy::UNBOUNDED,
+        );
+        let mut steal_backoff: Vec<Backoff> = vec![Backoff::new(); self.workers];
         let mut queues: Vec<VecDeque<usize>> = vec![VecDeque::new(); self.workers];
         let mut central: VecDeque<usize> = VecDeque::new();
         let mut busy: Vec<bool> = vec![false; self.workers];
@@ -232,6 +306,21 @@ impl ClusterSim {
         let mut overhead = Duration::ZERO;
         let mut messages = 0u64;
         let mut completed = 0usize;
+        // FaultPlane state. All of it is inert without a campaign:
+        // `retired` stays false, `stalled_until` stays ZERO, and the
+        // guards below reduce to the fault-free control flow.
+        let mut retired: Vec<bool> = vec![false; self.workers];
+        let mut down_since: Vec<Option<Time>> = vec![None; self.workers];
+        let mut stalled_until: Vec<Time> = vec![Time::ZERO; self.workers];
+        let mut stall_downtime: Vec<Duration> = vec![Duration::ZERO; self.workers];
+        let mut doomed: Vec<u32> = vec![0; self.workers];
+        let mut current: Vec<Option<usize>> = vec![None; self.workers];
+        let mut task_backoff: Vec<Backoff> = if self.faults.is_some() {
+            vec![Backoff::new(); tasks.len()]
+        } else {
+            Vec::new()
+        };
+        let mut lost = 0u64;
 
         for (i, t) in tasks.iter().enumerate() {
             q.schedule(t.arrival, Ev::Arrive(i));
@@ -250,11 +339,79 @@ impl ClusterSim {
         let exec_time = |task: &Task, cpu: &CpuModel| cpu.exec(task.flops(), task.mem_ops()).0;
 
         while let Some((now, ev)) = q.pop() {
+            // Drain fault arrivals up to the current instant, in time
+            // order across both clocks.
+            while let Some(f) = self.faults.as_mut() {
+                let crash_at = f.crash_clock.peek().filter(|&t| t <= now);
+                let stall_at = f.stall_clock.peek().filter(|&t| t <= now);
+                let (at, is_crash) = match (crash_at, stall_at) {
+                    (Some(c), Some(s)) if c <= s => (f.crash_clock.pop_due(now), true),
+                    (Some(_), Some(_)) => (f.stall_clock.pop_due(now), false),
+                    (Some(_), None) => (f.crash_clock.pop_due(now), true),
+                    (None, Some(_)) => (f.stall_clock.pop_due(now), false),
+                    (None, None) => break,
+                };
+                let at = at.expect("peeked arrival is due");
+                let in_service: Vec<usize> = (0..self.workers).filter(|&w| !retired[w]).collect();
+                let Some(&v) = in_service
+                    .get(f.pick.gen_range_usize(0, in_service.len().max(1)))
+                    .filter(|_| !in_service.is_empty())
+                else {
+                    continue; // machine already fully down
+                };
+                if is_crash {
+                    // Hard fault: the worker dies with its queue, and
+                    // any in-flight task fails with it.
+                    f.mgr.record_failure(Domain::Worker(v), at);
+                    retired[v] = true;
+                    down_since[v] = Some(at);
+                    let orphans: Vec<usize> = queues[v].drain(..).collect();
+                    let inflight = current[v].take();
+                    if inflight.is_some() {
+                        doomed[v] += 1; // swallow the pending Finish
+                    }
+                    for t in orphans.into_iter().chain(inflight) {
+                        Self::rehome(t, at, now, &mut f.mgr, &mut task_backoff, &mut q, &mut lost);
+                    }
+                } else {
+                    // Transient stall: no new work until it clears.
+                    stalled_until[v] = stalled_until[v].max(at + f.stall_for);
+                    stall_downtime[v] += f.stall_for;
+                    if f.mgr.record_failure(Domain::Worker(v), at) {
+                        // Persistent offender: quarantine. Unlike a
+                        // crash this is graceful — the queue is drained
+                        // for re-homing and in-flight work completes.
+                        retired[v] = true;
+                        down_since[v] = Some(at);
+                        let orphans: Vec<usize> = queues[v].drain(..).collect();
+                        for t in orphans {
+                            Self::rehome(
+                                t,
+                                at,
+                                now,
+                                &mut f.mgr,
+                                &mut task_backoff,
+                                &mut q,
+                                &mut lost,
+                            );
+                        }
+                    }
+                }
+            }
             match ev {
                 Ev::Arrive(idx) => {
                     let home = tasks[idx].task.data_home().0 % self.workers;
                     match self.policy {
                         SchedPolicy::LazyLocal { .. } => {
+                            // A dead home re-routes to the next worker
+                            // still in service, or the task is lost.
+                            let Some(home) = Self::next_in_service(home, &retired) else {
+                                lost += 1;
+                                if let Some(f) = self.faults.as_mut() {
+                                    f.mgr.note_lost();
+                                }
+                                continue;
+                            };
                             queues[home].push_back(idx);
                             self.ins.queue_depth.record(queues[home].len() as u64);
                             if let Some(t) = queue_track {
@@ -262,25 +419,37 @@ impl ClusterSim {
                                     .counter(t, "queued", now, queues[home].len() as f64);
                             }
                             if !busy[home] {
-                                Self::start(
-                                    home,
-                                    &mut queues,
-                                    &mut busy,
-                                    &mut busy_time,
-                                    &mut q,
-                                    now,
-                                    tasks,
-                                    &self.cpu,
-                                    exec_time,
-                                    &mut self.ins,
-                                    &self.tracer,
-                                    &tracks,
-                                );
+                                if now < stalled_until[home] {
+                                    q.schedule(stalled_until[home], Ev::Retry(home));
+                                } else {
+                                    Self::start(
+                                        home,
+                                        &mut queues,
+                                        &mut busy,
+                                        &mut busy_time,
+                                        &mut current,
+                                        &mut q,
+                                        now,
+                                        tasks,
+                                        &self.cpu,
+                                        exec_time,
+                                        &mut self.ins,
+                                        &self.tracer,
+                                        &tracks,
+                                    );
+                                }
                             }
                         }
                         SchedPolicy::RandomPush => {
                             let w = self.rng.gen_range_usize(0, self.workers);
                             messages += 1;
+                            let Some(w) = Self::next_in_service(w, &retired) else {
+                                lost += 1;
+                                if let Some(f) = self.faults.as_mut() {
+                                    f.mgr.note_lost();
+                                }
+                                continue;
+                            };
                             queues[w].push_back(idx);
                             self.ins.queue_depth.record(queues[w].len() as u64);
                             if let Some(t) = queue_track {
@@ -288,20 +457,25 @@ impl ClusterSim {
                                     .counter(t, "queued", now, queues[w].len() as f64);
                             }
                             if !busy[w] {
-                                Self::start(
-                                    w,
-                                    &mut queues,
-                                    &mut busy,
-                                    &mut busy_time,
-                                    &mut q,
-                                    now,
-                                    tasks,
-                                    &self.cpu,
-                                    exec_time,
-                                    &mut self.ins,
-                                    &self.tracer,
-                                    &tracks,
-                                );
+                                if now < stalled_until[w] {
+                                    q.schedule(stalled_until[w], Ev::Retry(w));
+                                } else {
+                                    Self::start(
+                                        w,
+                                        &mut queues,
+                                        &mut busy,
+                                        &mut busy_time,
+                                        &mut current,
+                                        &mut q,
+                                        now,
+                                        tasks,
+                                        &self.cpu,
+                                        exec_time,
+                                        &mut self.ins,
+                                        &self.tracer,
+                                        &tracks,
+                                    );
+                                }
                             }
                         }
                         SchedPolicy::Centralized => {
@@ -311,7 +485,9 @@ impl ClusterSim {
                                 self.tracer.counter(t, "queued", now, central.len() as f64);
                             }
                             // try to dispatch to an idle worker
-                            if let Some(w) = (0..self.workers).find(|&w| !busy[w]) {
+                            if let Some(w) = (0..self.workers)
+                                .find(|&w| !busy[w] && !retired[w] && now >= stalled_until[w])
+                            {
                                 if let Some(t) = central.pop_front() {
                                     busy[w] = true; // reserved while dispatching
                                     let start = dispatcher_free.max(now);
@@ -326,8 +502,24 @@ impl ClusterSim {
                     }
                 }
                 Ev::Dispatched { worker, task } => {
+                    if retired[worker] {
+                        // The worker died between grant and delivery:
+                        // the dispatch fails and the task is recovered.
+                        let f = self.faults.as_mut().expect("retired implies faults");
+                        Self::rehome(
+                            task,
+                            now,
+                            now,
+                            &mut f.mgr,
+                            &mut task_backoff,
+                            &mut q,
+                            &mut lost,
+                        );
+                        continue;
+                    }
                     let d = exec_time(&tasks[task].task, &self.cpu);
                     busy_time[worker] += d;
+                    current[worker] = Some(task);
                     self.ins.on_exec(
                         &tasks[task],
                         worker,
@@ -340,13 +532,28 @@ impl ClusterSim {
                     q.schedule(now + d, Ev::Finish(worker));
                 }
                 Ev::Finish(w) | Ev::Retry(w) => {
+                    if matches!(ev, Ev::Finish(_)) {
+                        if doomed[w] > 0 {
+                            // the worker crashed mid-execution; the task
+                            // already went through recovery
+                            doomed[w] -= 1;
+                            continue;
+                        }
+                        completed += 1;
+                        current[w] = None;
+                    }
+                    if retired[w] {
+                        continue; // crashed or quarantined: no new work
+                    }
                     if matches!(ev, Ev::Retry(_)) && busy[w] {
                         continue; // stale poll: the worker found work meanwhile
                     }
-                    if matches!(ev, Ev::Finish(_)) {
-                        completed += 1;
-                    }
                     busy[w] = false;
+                    if now < stalled_until[w] {
+                        // stalled: wake again once the stall clears
+                        q.schedule(stalled_until[w], Ev::Retry(w));
+                        continue;
+                    }
                     match self.policy {
                         SchedPolicy::Centralized => {
                             if let Some(t) = central.pop_front() {
@@ -366,6 +573,7 @@ impl ClusterSim {
                                     &mut queues,
                                     &mut busy,
                                     &mut busy_time,
+                                    &mut current,
                                     &mut q,
                                     now,
                                     tasks,
@@ -384,6 +592,7 @@ impl ClusterSim {
                                     &mut queues,
                                     &mut busy,
                                     &mut busy_time,
+                                    &mut current,
                                     &mut q,
                                     now,
                                     tasks,
@@ -411,7 +620,7 @@ impl ClusterSim {
                                 }
                                 overhead += probe_cost;
                                 if let Some(v) = victim {
-                                    backoff[w] = 0;
+                                    steal_backoff[w].reset();
                                     self.ins.steals.incr();
                                     let keep = queues[v].len() / 2;
                                     let mut taken = queues[v].split_off(keep);
@@ -420,6 +629,7 @@ impl ClusterSim {
                                     let d = exec_time(&tasks[first].task, &self.cpu);
                                     busy[w] = true;
                                     busy_time[w] += d;
+                                    current[w] = Some(first);
                                     self.ins.on_exec(
                                         &tasks[first],
                                         w,
@@ -442,13 +652,27 @@ impl ClusterSim {
                                     // bounded backoff: stay responsive
                                     // (hot queues refill constantly) while
                                     // capping the probe storm
-                                    backoff[w] = (backoff[w] + 1).min(3);
-                                    let wait = self.probe_latency * (4u64 << backoff[w]);
+                                    let wait = steal_backoff[w]
+                                        .next(&steal_policy)
+                                        .expect("steal retry is unbounded");
                                     q.schedule(now + probe_cost + wait, Ev::Retry(w));
                                 }
                             }
                         }
                     }
+                }
+            }
+        }
+
+        // Work still queued when the event stream dries up — possible
+        // only once every worker has died — is lost.
+        if let Some(f) = self.faults.as_mut() {
+            let leftover: u64 =
+                queues.iter().map(|qq| qq.len() as u64).sum::<u64>() + central.len() as u64;
+            if leftover > 0 {
+                lost += leftover;
+                for _ in 0..leftover {
+                    f.mgr.note_lost();
                 }
             }
         }
@@ -463,6 +687,19 @@ impl ClusterSim {
         let max = utils.iter().cloned().fold(0.0, f64::max);
         let var = utils.iter().map(|u| (u - mean) * (u - mean)).sum::<f64>() / utils.len() as f64;
         let imbalance = if mean > 0.0 { var.sqrt() / mean } else { 0.0 };
+        let availability = if self.faults.is_some() && !span.is_zero() {
+            let mut down = Duration::ZERO;
+            for (stalled, since) in stall_downtime.iter().zip(&down_since) {
+                let mut d = *stalled;
+                if let Some(t0) = *since {
+                    d += makespan.saturating_since(t0);
+                }
+                down += d.min(span);
+            }
+            (1.0 - down / (span * self.workers as u64)).max(0.0)
+        } else {
+            1.0
+        };
         SchedReport {
             makespan,
             sched_overhead: overhead,
@@ -470,11 +707,50 @@ impl ClusterSim {
             max_utilization: max,
             mean_utilization: mean,
             imbalance,
+            completed: completed as u64,
+            lost,
+            availability,
         }
     }
 
     fn in_flight(busy: &[bool]) -> usize {
         busy.iter().filter(|b| **b).count()
+    }
+
+    /// First worker at or after `start` (wrapping) still in service.
+    fn next_in_service(start: usize, retired: &[bool]) -> Option<usize> {
+        let n = retired.len();
+        (0..n).map(|k| (start + k) % n).find(|&w| !retired[w])
+    }
+
+    /// Recovers a task orphaned by a worker fault at `at`: re-injects
+    /// it as a fresh arrival after the bounded-retry delay (never
+    /// before `now` — the fault may predate the event being handled),
+    /// or counts it lost once the budget (or the whole retry
+    /// mechanism) is absent.
+    #[allow(clippy::too_many_arguments)]
+    fn rehome(
+        task: usize,
+        at: Time,
+        now: Time,
+        mgr: &mut ResilienceManager,
+        task_backoff: &mut [Backoff],
+        q: &mut EventQueue<Ev>,
+        lost: &mut u64,
+    ) {
+        let policy = mgr.config().retry;
+        match policy.and_then(|p| task_backoff[task].next(&p)) {
+            Some(delay) => {
+                let fire = (at + delay).max(now);
+                mgr.note_retry();
+                mgr.note_recovery(fire.since(at));
+                q.schedule(fire, Ev::Arrive(task));
+            }
+            None => {
+                mgr.note_lost();
+                *lost += 1;
+            }
+        }
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -483,6 +759,7 @@ impl ClusterSim {
         queues: &mut [VecDeque<usize>],
         busy: &mut [bool],
         busy_time: &mut [Duration],
+        current: &mut [Option<usize>],
         q: &mut EventQueue<Ev>,
         now: Time,
         tasks: &[TaskSpec],
@@ -496,6 +773,7 @@ impl ClusterSim {
             let d = exec_time(&tasks[t].task, cpu);
             busy[w] = true;
             busy_time[w] += d;
+            current[w] = Some(t);
             ins.on_exec(&tasks[t], w, queues.len(), now, d, tracer, tracks);
             q.schedule(now + d, Ev::Finish(w));
         }
@@ -576,6 +854,9 @@ mod tests {
             let r = ClusterSim::new(8, policy, 1).run(&trace);
             assert!(r.makespan > Time::ZERO, "{policy:?}");
             assert!(r.mean_utilization > 0.0, "{policy:?}");
+            assert_eq!(r.completed, 200, "{policy:?}");
+            assert_eq!(r.lost, 0, "{policy:?}");
+            assert_eq!(r.availability, 1.0, "{policy:?}");
         }
     }
 
@@ -629,6 +910,24 @@ mod tests {
         assert_eq!(a.messages, b.messages);
     }
 
+    /// Golden values pinning the lazy scheduler's probe-backoff timing
+    /// before the resilience layer generalized it: the `RetryPolicy`
+    /// rewrite must not move a single picosecond or message.
+    #[test]
+    fn pins_lazy_backoff_golden_values() {
+        let trace = skewed_trace(300, 8, 120_000, 1.3, 21);
+        let r = ClusterSim::new(8, SchedPolicy::LazyLocal { probes: 2 }, 9).run(&trace);
+        assert_eq!(r.makespan.as_ps(), 5_417_607_987);
+        assert_eq!(r.sched_overhead.as_ps(), 59_100_000);
+        assert_eq!(r.messages, 197);
+
+        let trace = skewed_trace(64, 4, 60_000, 1.0, 5);
+        let r = ClusterSim::new(4, SchedPolicy::LazyLocal { probes: 3 }, 2).run(&trace);
+        assert_eq!(r.makespan.as_ps(), 1_159_461_494);
+        assert_eq!(r.sched_overhead.as_ps(), 14_700_000);
+        assert_eq!(r.messages, 49);
+    }
+
     #[test]
     fn skewed_trace_is_skewed() {
         let trace = skewed_trace(1000, 8, 1000, 1.5, 9);
@@ -654,6 +953,8 @@ mod tests {
             Some(ecoscale_sim::Instrument::Stats(s)) => assert_eq!(s.count(), 100),
             other => panic!("unexpected: {other:?}"),
         }
+        // no fault campaign installed: no resilience keys appear
+        assert!(m.counter("sched.resilience.failures").is_none());
         let buf = sim.tracer.take();
         let spans = buf
             .events()
@@ -670,5 +971,108 @@ mod tests {
         let r = ClusterSim::new(4, SchedPolicy::RandomPush, 1).run(&[]);
         assert_eq!(r.makespan, Time::ZERO);
         assert_eq!(r.messages, 0);
+        assert_eq!(r.availability, 1.0);
+    }
+
+    #[test]
+    fn off_campaign_is_a_no_op() {
+        let trace = skewed_trace(200, 8, 100_000, 1.1, 13);
+        let base = ClusterSim::new(8, SchedPolicy::LazyLocal { probes: 2 }, 3).run(&trace);
+        let mut faulted = ClusterSim::new(8, SchedPolicy::LazyLocal { probes: 2 }, 3)
+            .with_faults(&CampaignSpec::off(), ResilienceConfig::full());
+        let same = faulted.run(&trace);
+        assert_eq!(base, same);
+        assert!(faulted.resilience().is_none());
+    }
+
+    #[test]
+    fn crashes_recover_through_retry() {
+        let spec = CampaignSpec::parse("seed=3,crash=1ms").expect("valid spec");
+        let trace = skewed_trace(300, 8, 120_000, 1.2, 7);
+        let mut sim = ClusterSim::new(8, SchedPolicy::LazyLocal { probes: 2 }, 1)
+            .with_faults(&spec, ResilienceConfig::full());
+        let r = sim.run(&trace);
+        let mgr = sim.resilience().expect("campaign installed");
+        assert!(mgr.failures() > 0, "campaign produced no crashes");
+        assert_eq!(r.completed + r.lost, 300, "every task accounted for");
+        assert!(r.completed > 0);
+        assert!(mgr.retries() > 0, "orphans were re-homed");
+        assert!(r.availability < 1.0, "downtime must show up");
+        assert!(r.availability > 0.5, "bounded availability loss");
+    }
+
+    #[test]
+    fn no_recovery_loses_orphaned_work() {
+        let spec = CampaignSpec::parse("seed=3,crash=1ms").expect("valid spec");
+        let trace = skewed_trace(300, 8, 120_000, 1.2, 7);
+        let mut none = ClusterSim::new(8, SchedPolicy::LazyLocal { probes: 2 }, 1)
+            .with_faults(&spec, ResilienceConfig::none());
+        let bare = none.run(&trace);
+        let mut full = ClusterSim::new(8, SchedPolicy::LazyLocal { probes: 2 }, 1)
+            .with_faults(&spec, ResilienceConfig::full());
+        let recovered = full.run(&trace);
+        assert_eq!(bare.completed + bare.lost, 300);
+        assert!(
+            bare.lost > recovered.lost,
+            "recovery must save tasks: bare={} full={}",
+            bare.lost,
+            recovered.lost
+        );
+    }
+
+    #[test]
+    fn stalls_quarantine_persistent_offenders() {
+        let spec = CampaignSpec::parse("seed=9,stall=100us,stall_for=200us").expect("valid spec");
+        let config = ResilienceConfig {
+            quarantine_after: 2,
+            ..ResilienceConfig::retry_only()
+        };
+        let trace = skewed_trace(300, 8, 120_000, 1.2, 7);
+        let mut sim =
+            ClusterSim::new(8, SchedPolicy::LazyLocal { probes: 2 }, 1).with_faults(&spec, config);
+        let r = sim.run(&trace);
+        let mgr = sim.resilience().expect("campaign installed");
+        assert!(mgr.quarantines() > 0, "repeat offenders get quarantined");
+        assert_eq!(r.completed + r.lost, 300);
+        assert!(r.availability < 1.0);
+    }
+
+    #[test]
+    fn centralized_survives_crashes() {
+        let spec = CampaignSpec::parse("seed=5,crash=2ms").expect("valid spec");
+        let trace = uniform_trace(256, 50_000);
+        let mut sim = ClusterSim::new(8, SchedPolicy::Centralized, 1)
+            .with_faults(&spec, ResilienceConfig::full());
+        let r = sim.run(&trace);
+        assert_eq!(r.completed + r.lost, 256);
+        assert!(r.completed > 0);
+    }
+
+    #[test]
+    fn fault_campaign_is_deterministic() {
+        let trace = skewed_trace(200, 8, 100_000, 1.1, 13);
+        let run = || {
+            let spec = CampaignSpec::parse("seed=7,crash=1ms,stall=500us,stall_for=100us")
+                .expect("valid spec");
+            let mut sim = ClusterSim::new(8, SchedPolicy::LazyLocal { probes: 2 }, 3)
+                .with_faults(&spec, ResilienceConfig::full());
+            let r = sim.run(&trace);
+            let mgr = sim.resilience().expect("campaign installed");
+            (r, mgr.failures(), mgr.retries(), mgr.lost())
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn faulted_run_exports_resilience_metrics() {
+        let spec = CampaignSpec::parse("seed=3,crash=1ms").expect("valid spec");
+        let trace = skewed_trace(300, 8, 120_000, 1.2, 7);
+        let mut sim = ClusterSim::new(8, SchedPolicy::LazyLocal { probes: 2 }, 1)
+            .with_faults(&spec, ResilienceConfig::full());
+        sim.run(&trace);
+        let mut m = MetricsRegistry::new();
+        sim.export_metrics(&mut m, "sched");
+        assert!(m.counter("sched.resilience.failures").unwrap() > 0);
+        assert!(m.counter("sched.resilience.retries").unwrap() > 0);
     }
 }

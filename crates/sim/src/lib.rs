@@ -11,6 +11,9 @@
 //!   discrete-event kernel with (time, sequence) tie-breaking,
 //! * [`SimRng`] — a seeded random source with the distributions the
 //!   workload generators need (uniform, exponential, normal, Zipf, Pareto),
+//! * [`fault`] — seeded fault-campaign primitives ([`CampaignSpec`],
+//!   [`FaultClock`], [`ProbFault`]) that every layer's injection hooks
+//!   build on,
 //! * [`stats`] — counters, online moments, and log-binned histograms,
 //! * [`metrics`] — a deterministic [`MetricsRegistry`] of named
 //!   instruments with snapshot/merge semantics,
@@ -43,6 +46,7 @@
 pub mod energy;
 pub mod engine;
 pub mod event;
+pub mod fault;
 pub mod json;
 pub mod metrics;
 pub mod pool;
@@ -55,6 +59,7 @@ pub mod trace;
 pub use energy::{Energy, EnergyMeter, Power};
 pub use engine::{EventHandler, Simulation, StopReason};
 pub use event::EventQueue;
+pub use fault::{CampaignSpec, FaultClock, ProbFault};
 pub use metrics::{Instrument, MetricsRegistry};
 pub use rng::SimRng;
 pub use stats::{Counter, Histogram, OnlineStats};

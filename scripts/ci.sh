@@ -19,6 +19,19 @@ cargo build --release
 echo "== tier-1: tests =="
 cargo test -q
 
+echo "== tier-1: smoke fault campaign =="
+# Small seeded FaultPlane campaign through the resilience sweeps: must
+# run clean, and a repeat must be byte-identical (campaign determinism).
+FAULTS="seed=3,crash=1ms,seu=400us,scrub=800us"
+./target/release/exp_all --scale quick --faults "$FAULTS" e16 e16b \
+    > target/fault_smoke_a.txt
+./target/release/exp_all --scale quick --faults "$FAULTS" e16 e16b \
+    > target/fault_smoke_b.txt
+cmp target/fault_smoke_a.txt target/fault_smoke_b.txt
+
+echo "== regenerate experiment snapshot (target/) =="
+./target/release/exp_all > target/bench_output_tables.txt
+
 echo "== workspace tests =="
 cargo test --workspace -q
 

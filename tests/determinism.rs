@@ -13,6 +13,7 @@ use std::sync::Mutex;
 
 use ecoscale::bench::{arch, obs, Scale};
 use ecoscale::sim::pool::THREADS_ENV;
+use ecoscale::sim::CampaignSpec;
 
 static ENV_LOCK: Mutex<()> = Mutex::new(());
 
@@ -69,5 +70,31 @@ fn observability_exports_are_independent_of_thread_count() {
     assert_eq!(
         metrics_seq, metrics_par,
         "metrics JSON must be byte-identical at ECOSCALE_THREADS=1 vs =8"
+    );
+}
+
+/// A seeded fault campaign is part of the deterministic state: the
+/// faulted capture (worker crashes/stalls, SEU scrub/repair, SMMU/NoC
+/// injection under recovery) must export byte-identical metrics and
+/// trace JSON at any pool width.
+#[test]
+fn fault_campaign_exports_are_independent_of_thread_count() {
+    let spec = CampaignSpec::parse("seed=3,crash=1ms,seu=400us,scrub=800us,smmu=1e-3,corrupt=1e-3")
+        .expect("campaign spec parses");
+    let capture = |threads| {
+        with_threads(threads, || {
+            let cap = obs::capture_fault_campaign(Scale::Quick, &spec);
+            (cap.trace.to_chrome_json(), cap.metrics.to_json())
+        })
+    };
+    let (trace_seq, metrics_seq) = capture("1");
+    let (trace_par, metrics_par) = capture("8");
+    assert_eq!(
+        trace_seq, trace_par,
+        "faulted trace JSON must be byte-identical at ECOSCALE_THREADS=1 vs =8"
+    );
+    assert_eq!(
+        metrics_seq, metrics_par,
+        "faulted metrics JSON must be byte-identical at ECOSCALE_THREADS=1 vs =8"
     );
 }

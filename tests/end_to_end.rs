@@ -102,7 +102,7 @@ fn multiple_kernels_coexist_on_one_fabric() {
         .expect("system builds");
     let a = s.load_module(NodeId(0), "gemm");
     let b = s.load_module(NodeId(0), "jacobi2d");
-    assert!(a.is_some() && b.is_some(), "both modules placed");
+    assert!(a.is_ok() && b.is_ok(), "both modules placed");
     let loaded = s.worker(NodeId(0)).loaded_modules();
     assert_eq!(loaded.len(), 2);
 }
