@@ -14,6 +14,7 @@ pub mod ablation;
 pub mod accel;
 pub mod arch;
 pub mod fpga_exp;
+pub mod fuzz;
 pub mod obs;
 pub mod resilience_exp;
 pub mod runtime_exp;

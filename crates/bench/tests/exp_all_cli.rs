@@ -35,6 +35,37 @@ fn missing_flag_value_exits_2() {
     assert_eq!(out.status.code(), Some(2));
     let out = exp_all().arg("--scale").output().expect("binary runs");
     assert_eq!(out.status.code(), Some(2));
+    let out = exp_all().arg("--faults").output().expect("binary runs");
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(
+        err.contains("--faults needs a campaign spec"),
+        "stderr: {err}"
+    );
+}
+
+#[test]
+fn malformed_faults_spec_exits_2_with_offending_pair() {
+    // a pair without `=` is rejected with the pair quoted back
+    let out = exp_all()
+        .args(["--faults", "crash", "e03"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("error: bad --faults spec:"), "stderr: {err}");
+    assert!(err.contains("`crash`"), "offending pair quoted: {err}");
+
+    // an unknown key is rejected the same way
+    let out = exp_all()
+        .args(["--faults", "seed=3,frobnicate=1ms"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("`frobnicate=1ms`"), "stderr: {err}");
+    // usage follows so the operator sees the expected shape
+    assert!(err.contains("usage: exp_all"), "stderr: {err}");
 }
 
 #[test]

@@ -1,0 +1,107 @@
+//! End-to-end tests for the `fuzz_configs` binary: a clean smoke sweep,
+//! the deliberate-violation catch → shrink → repro pipeline, and argument
+//! validation.
+
+use std::process::Command;
+
+fn fuzz_configs() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_fuzz_configs"))
+}
+
+#[test]
+fn clean_sweep_exits_0_with_summary() {
+    let out = fuzz_configs()
+        .args(["--count", "4"])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(
+        stdout.contains("fuzz_configs: 4 configs clean"),
+        "stdout: {stdout}"
+    );
+    assert!(stdout.contains("0 violations"), "stdout: {stdout}");
+}
+
+#[test]
+fn injected_violation_is_caught_shrunk_and_reproducible() {
+    let out = fuzz_configs()
+        .args(["--count", "8", "--inject-violation"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("check.sabotage"), "stdout: {stdout}");
+    assert!(stdout.contains("shrunk to"), "stdout: {stdout}");
+
+    // extract the printed repro spec and round-trip it: the single-line
+    // command must reproduce the failure on its own
+    let repro_line = stdout
+        .lines()
+        .find(|l| l.starts_with("repro: fuzz_configs --repro '"))
+        .unwrap_or_else(|| panic!("no repro line in: {stdout}"));
+    let spec = repro_line
+        .split('\'')
+        .nth(1)
+        .expect("spec is single-quoted");
+    assert!(
+        repro_line.ends_with("--inject-violation"),
+        "repro keeps the flag: {repro_line}"
+    );
+    // the shrinker converges on the sabotage threshold
+    assert!(spec.contains("tasks=24"), "spec: {spec}");
+
+    let rerun = fuzz_configs()
+        .args(["--repro", spec, "--inject-violation"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(rerun.status.code(), Some(1), "repro still fails");
+    let rerun_out = String::from_utf8(rerun.stdout).unwrap();
+    assert!(rerun_out.contains("check.sabotage"), "stdout: {rerun_out}");
+
+    // without the flag the same config is clean
+    let clean = fuzz_configs()
+        .args(["--repro", spec])
+        .output()
+        .expect("binary runs");
+    assert!(clean.status.success());
+}
+
+#[test]
+fn malformed_arguments_exit_2() {
+    // unknown argument
+    let out = fuzz_configs().arg("--bogus").output().expect("binary runs");
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("unknown argument `--bogus`"), "stderr: {err}");
+    assert!(err.contains("usage: fuzz_configs"), "stderr: {err}");
+
+    // flags that need values
+    for flag in ["--count", "--start", "--repro"] {
+        let out = fuzz_configs().arg(flag).output().expect("binary runs");
+        assert_eq!(out.status.code(), Some(2), "{flag} without value");
+    }
+
+    // non-numeric count
+    let out = fuzz_configs()
+        .args(["--count", "many"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(2));
+
+    // malformed repro spec names the offending pair
+    let out = fuzz_configs()
+        .args(["--repro", "topo=ring"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(
+        err.contains("bad fuzz config pair `topo=ring`"),
+        "stderr: {err}"
+    );
+}

@@ -9,6 +9,7 @@
 use core::fmt;
 
 use ecoscale_runtime::DeviceClass;
+use ecoscale_sim::json;
 use ecoscale_sim::report::Table;
 use ecoscale_sim::{Energy, MetricsRegistry, Time};
 
@@ -98,6 +99,51 @@ impl SystemReport {
             functions,
             metrics: system.export_metrics(),
         }
+    }
+
+    /// Renders the snapshot as a JSON object. Deterministic: fixed key
+    /// order, functions in the (sorted) capture order, and the metrics
+    /// section embedded via [`MetricsRegistry::to_json`]. The golden
+    /// schema test under `tests/golden/` pins this shape.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(512);
+        out.push_str("{\"now_ps\":");
+        out.push_str(&self.now.as_ps().to_string());
+        out.push_str(",\"energy_uj\":");
+        json::fmt_f64(&mut out, self.energy.as_uj());
+        out.push_str(",\"workers\":");
+        out.push_str(&self.workers.to_string());
+        out.push_str(",\"resident_modules\":");
+        out.push_str(&self.resident_modules.to_string());
+        out.push_str(",\"mean_fabric_utilization\":");
+        json::fmt_f64(&mut out, self.mean_fabric_utilization);
+        out.push_str(",\"functions\":[");
+        for (i, f) in self.functions.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"function\":");
+            json::escape(&mut out, &f.function);
+            out.push_str(",\"calls\":");
+            out.push_str(&f.calls.to_string());
+            out.push_str(",\"resident_on\":");
+            out.push_str(&f.resident_on.to_string());
+            out.push_str(",\"mean_cpu_ns\":");
+            match f.mean_cpu {
+                Some(d) => json::fmt_f64(&mut out, d.as_ns_f64()),
+                None => out.push_str("null"),
+            }
+            out.push_str(",\"mean_hw_ns\":");
+            match f.mean_hw {
+                Some(d) => json::fmt_f64(&mut out, d.as_ns_f64()),
+                None => out.push_str("null"),
+            }
+            out.push('}');
+        }
+        out.push_str("],\"metrics\":");
+        out.push_str(&self.metrics.to_json());
+        out.push('}');
+        out
     }
 
     /// Renders the per-function table.
@@ -195,5 +241,19 @@ mod tests {
         assert!(r.metrics.counter("reconfig.loads").unwrap() >= 1);
         assert!(rendered.contains("== metrics =="));
         assert!(rendered.contains("system.call_ns"));
+
+        // JSON rendering parses and carries the same aggregates.
+        let parsed = json::parse(&r.to_json()).unwrap();
+        assert_eq!(parsed.get("workers").and_then(|v| v.as_f64()), Some(8.0));
+        let funcs = parsed.get("functions").and_then(|v| v.as_arr()).unwrap();
+        assert_eq!(funcs.len(), 1);
+        assert_eq!(
+            funcs[0].get("function").and_then(|v| v.as_str()),
+            Some("hot")
+        );
+        assert!(parsed
+            .get("metrics")
+            .and_then(|m| m.get("system.calls_cpu"))
+            .is_some());
     }
 }

@@ -21,6 +21,7 @@ use ecoscale_hls::{
 use ecoscale_mem::{CacheConfig, DramModel, UnimemSystem};
 use ecoscale_noc::{Network, NetworkConfig, NodeId, Topology, TreeTopology};
 use ecoscale_runtime::{DeviceClass, Domain, ReconfigError, ResilienceConfig, ResilienceManager};
+use ecoscale_sim::check::{invariant, CheckPlane};
 use ecoscale_sim::{
     fault::salt, CampaignSpec, Counter, Duration, Energy, Histogram, MetricsRegistry, Time, Tracer,
     TrackId,
@@ -235,6 +236,7 @@ impl SystemBuilder {
             calls_fpga_local: Counter::new(),
             calls_fpga_remote: Counter::new(),
             faults: None,
+            check: CheckPlane::from_env(),
         })
     }
 }
@@ -266,6 +268,7 @@ pub struct EcoscaleSystem {
     calls_fpga_local: Counter,
     calls_fpga_remote: Counter,
     faults: Option<SystemFaults>,
+    check: CheckPlane,
 }
 
 impl EcoscaleSystem {
@@ -363,6 +366,38 @@ impl EcoscaleSystem {
             f.mgr.export_metrics(&mut m, "resilience");
         }
         m
+    }
+
+    /// CheckPlane hook: verifies the whole stack's structural invariants in
+    /// one read-only pass — clock and energy monotonicity (against the
+    /// plane's high-watermarks), every Worker's SMMU translation caches and
+    /// fabric residency, golden-bitstream availability for each resident
+    /// module, SEU-scrubber bookkeeping, the NoC's memo/accounting and
+    /// UNIMEM's single-home directory. Early-outs when `cp` is disabled.
+    pub fn check_invariants(&self, cp: &mut CheckPlane) {
+        if !cp.is_enabled() {
+            return;
+        }
+        cp.check_monotone(invariant::SYSTEM_TIME_MONOTONE, self.clock.as_ps() as f64);
+        cp.check_monotone(invariant::SYSTEM_ENERGY_MONOTONE, self.energy.as_uj());
+        for w in &self.workers {
+            w.smmu().check_invariants(cp);
+            w.daemon().check_invariants(cp);
+            for module in w.loaded_modules() {
+                cp.check(
+                    invariant::FABRIC_GOLDEN_BITSTREAM,
+                    self.library.by_id(module).is_some(),
+                    || format!("resident module {module} has no library bitstream"),
+                );
+            }
+        }
+        if let Some(f) = &self.faults {
+            for s in &f.scrubbers {
+                s.check_invariants(cp);
+            }
+        }
+        self.net.check_invariants(cp);
+        self.mem.check_invariants(cp);
     }
 
     /// Loads `function`'s module onto `worker`'s fabric explicitly.
@@ -511,6 +546,13 @@ impl EcoscaleSystem {
                         .complete(track, "daemon-reconfig", self.clock, spent);
                 }
             }
+        }
+        // Self-check pass at the plane's cadence when `ECOSCALE_CHECK` is
+        // armed; the take/put dance lets the hook borrow `&self` whole.
+        if self.check.due() {
+            let mut cp = std::mem::take(&mut self.check);
+            self.check_invariants(&mut cp);
+            self.check = cp;
         }
         loads
     }

@@ -18,6 +18,8 @@ use std::collections::BTreeMap;
 use std::error::Error;
 use std::fmt;
 
+use ecoscale_sim::check::{invariant, CheckPlane};
+
 use crate::fabric::{Fabric, Region, Resources};
 use crate::module::ModuleId;
 
@@ -246,6 +248,70 @@ impl Floorplanner {
     /// Column utilization in `[0, 1]`.
     pub fn utilization(&self) -> f64 {
         1.0 - self.free_columns() as f64 / self.fabric.width() as f64
+    }
+
+    /// CheckPlane hook: asserts exclusive region ownership. Read-only;
+    /// early-outs when `cp` is disabled.
+    ///
+    /// * `fabric.region_exclusive` — placements are pairwise disjoint and
+    ///   lie entirely inside the fabric.
+    /// * `fabric.demand_satisfied` — each placed window's resources still
+    ///   cover the demand recorded at placement time (so defragmentation
+    ///   never migrates a module onto an inadequate window).
+    pub fn check_invariants(&self, cp: &mut CheckPlane) {
+        if !cp.is_enabled() {
+            return;
+        }
+        let placed: Vec<(&SlotId, &Placement)> = self.placements.iter().collect();
+        for (i, (slot, p)) in placed.iter().enumerate() {
+            cp.check(
+                invariant::FABRIC_REGION_EXCLUSIVE,
+                p.col + p.width <= self.fabric.width(),
+                || {
+                    format!(
+                        "{slot} at cols {}..{} exceeds fabric width {}",
+                        p.col,
+                        p.col + p.width,
+                        self.fabric.width()
+                    )
+                },
+            );
+            for (other_slot, q) in &placed[i + 1..] {
+                cp.check(
+                    invariant::FABRIC_REGION_EXCLUSIVE,
+                    p.col + p.width <= q.col || q.col + q.width <= p.col,
+                    || format!("{slot} and {other_slot} overlap in columns"),
+                );
+            }
+            let region = Region {
+                col: p.col,
+                width: p.width,
+                row: 0,
+                height: self.fabric.rows(),
+            };
+            let have = self.fabric.region_resources(&region);
+            match self.demands.get(slot) {
+                Some(need) => cp.check(
+                    invariant::FABRIC_DEMAND_SATISFIED,
+                    need.fits_in(&have),
+                    || format!("{slot} demands {need} but its window offers {have}"),
+                ),
+                None => cp.check(invariant::FABRIC_DEMAND_SATISFIED, false, || {
+                    format!("{slot} has a placement but no recorded demand")
+                }),
+            }
+        }
+        cp.check(
+            invariant::FABRIC_DEMAND_SATISFIED,
+            self.demands.len() == self.placements.len(),
+            || {
+                format!(
+                    "{} demands recorded for {} placements",
+                    self.demands.len(),
+                    self.placements.len()
+                )
+            },
+        );
     }
 
     /// Plans and applies a left-compaction. Returns the migrations

@@ -14,6 +14,7 @@
 //! runtime half (software fallback, reload, quarantine) lives in the
 //! runtime crate's resilience module.
 
+use ecoscale_sim::check::{invariant, CheckPlane};
 use ecoscale_sim::{CampaignSpec, Counter, Duration, FaultClock, MetricsRegistry, SimRng, Time};
 use std::collections::BTreeMap;
 
@@ -162,6 +163,32 @@ impl SeuScrubber {
         m.add(&format!("{prefix}.masked"), self.masked.get());
         m.add(&format!("{prefix}.detected"), self.detected.get());
         m.add(&format!("{prefix}.scrubs"), self.scrubs.get());
+    }
+
+    /// CheckPlane hook: scrubber bookkeeping consistency — every pending or
+    /// masked upset traces back to an injected one. Read-only; early-outs
+    /// when `cp` is disabled (or the scrubber itself is off).
+    pub fn check_invariants(&self, cp: &mut CheckPlane) {
+        if !cp.is_enabled() || !self.is_enabled() {
+            return;
+        }
+        let pending = self.upset.len() as u64;
+        cp.check(
+            invariant::SEU_COUNTS_AGREE,
+            self.masked.get() + pending <= self.upsets.get(),
+            || {
+                format!(
+                    "masked {} + pending {pending} exceed total upsets {}",
+                    self.masked.get(),
+                    self.upsets.get()
+                )
+            },
+        );
+        cp.check(
+            invariant::SEU_COUNTS_AGREE,
+            self.scrub_period > Duration::ZERO,
+            || "scrub period is zero on an armed scrubber".to_string(),
+        );
     }
 }
 

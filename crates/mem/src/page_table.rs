@@ -221,6 +221,13 @@ impl PageTable {
         self.entries.remove(&in_page).is_some()
     }
 
+    /// Permission bits recorded for `in_page`, if mapped. Used by the SMMU to
+    /// propagate real stage-1 permissions into combined TLB entries and by
+    /// the CheckPlane to cross-check cached translations.
+    pub fn perms_of(&self, in_page: u64) -> Option<PagePerms> {
+        self.entries.get(&in_page).map(|e| e.perms)
+    }
+
     /// Translates input page → output page, checking `need` permissions.
     ///
     /// # Errors

@@ -16,6 +16,7 @@ use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
 
+use ecoscale_sim::check::{invariant, CheckPlane};
 use ecoscale_sim::{Counter, Duration, Histogram, MetricsRegistry, ProbFault, SimRng};
 
 use crate::addr::{PhysAddr, VirtAddr};
@@ -298,8 +299,13 @@ impl Smmu {
                 self.translate_ns.record(walk.as_ns());
                 SmmuFault::Stage2(e)
             })?;
-        // fill TLB with combined translation
-        let perms = PagePerms::RW; // combined entry carries stage-1 perms; RW after a successful walk
+        // Fill the TLB with the combined translation. The cached entry must
+        // carry the *stage-1* permission bits: caching RW unconditionally
+        // would let a read-only page be written once TLB-resident.
+        let perms = self
+            .stage1
+            .perms_of(vpn)
+            .expect("stage-1 walk above succeeded");
         if self.tlb.len() >= self.config.tlb_entries {
             if let Some((&evict, _)) = self.tlb.iter().min_by_key(|(_, e)| e.lru) {
                 self.tlb.remove(&evict);
@@ -374,6 +380,62 @@ impl Smmu {
             m.add(&format!("{prefix}.injected_faults"), self.injected.get());
         }
         m.merge_hist(&format!("{prefix}.translate_ns"), &self.translate_ns);
+    }
+
+    /// CheckPlane hook: asserts the cached translation state agrees with the
+    /// page tables. Read-only; early-outs when `cp` is disabled.
+    ///
+    /// * `smmu.tlb_bounded` — occupancy never exceeds the configured size.
+    /// * `smmu.tlb_consistent` — each entry's output frame and permission
+    ///   bits equal a fresh stage-1 ∘ stage-2 walk.
+    /// * `smmu.mru_coherent` — the MRU fast slot mirrors a live TLB entry.
+    pub fn check_invariants(&self, cp: &mut CheckPlane) {
+        if !cp.is_enabled() {
+            return;
+        }
+        cp.check(
+            invariant::SMMU_TLB_BOUNDED,
+            self.tlb.len() <= self.config.tlb_entries,
+            || {
+                format!(
+                    "tlb holds {} entries, capacity {}",
+                    self.tlb.len(),
+                    self.config.tlb_entries
+                )
+            },
+        );
+        for (&vpn, e) in &self.tlb {
+            let walk = self
+                .stage1
+                .translate(vpn, PagePerms::NONE)
+                .ok()
+                .and_then(|ipa| self.stage2.translate(ipa, PagePerms::NONE).ok());
+            cp.check(invariant::SMMU_TLB_CONSISTENT, walk == Some(e.ppn), || {
+                format!(
+                    "vpn {vpn:#x}: cached ppn {:#x}, walk yields {walk:?}",
+                    e.ppn
+                )
+            });
+            let perms = self.stage1.perms_of(vpn);
+            cp.check(
+                invariant::SMMU_TLB_CONSISTENT,
+                perms == Some(e.perms),
+                || {
+                    format!(
+                        "vpn {vpn:#x}: cached perms {}, stage-1 has {perms:?}",
+                        e.perms
+                    )
+                },
+            );
+        }
+        if let Some(m) = &self.mru {
+            let entry = self.tlb.get(&m.vpn);
+            cp.check(
+                invariant::SMMU_MRU_COHERENT,
+                entry.is_some_and(|e| e.ppn == m.ppn && e.perms == m.perms),
+                || format!("mru slot vpn {:#x} does not mirror a live TLB entry", m.vpn),
+            );
+        }
     }
 }
 
@@ -472,6 +534,59 @@ mod tests {
         ));
         assert_eq!(s.faults(), 1);
         assert!(err.to_string().contains("stage-1"));
+    }
+
+    #[test]
+    fn tlb_fill_preserves_stage1_perms() {
+        // Regression: the TLB fill used to cache RW unconditionally, so a
+        // read-only page became writable once resident.
+        let mut s = Smmu::new(SmmuConfig::default());
+        s.map(VirtAddr::from_page(3, 0), 0x30, 0x300, PagePerms::READ)
+            .unwrap();
+        // Walk once (read), making the page TLB-resident.
+        s.translate(VirtAddr::from_page(3, 8), PagePerms::READ)
+            .unwrap();
+        assert_eq!(s.tlb_misses(), 1);
+        // A write must still be denied by the stage-1 permissions.
+        let err = s
+            .translate(VirtAddr::from_page(3, 8), PagePerms::WRITE)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            SmmuFault::Stage1(TranslateError::PermissionDenied { .. })
+        ));
+        let mut cp = CheckPlane::enabled(1);
+        s.check_invariants(&mut cp);
+        assert!(cp.ok(), "{:?}", cp.first());
+    }
+
+    #[test]
+    fn check_invariants_pass_and_catch_staleness() {
+        let mut s = mapped_smmu(8);
+        for p in 0..8 {
+            s.translate(VirtAddr::from_page(p, 0), PagePerms::RW)
+                .unwrap();
+        }
+        let mut cp = CheckPlane::enabled(1);
+        s.check_invariants(&mut cp);
+        assert!(cp.ok(), "{:?}", cp.first());
+        assert!(cp.checks_run() > 8);
+        // Remapping stage-1 underneath the TLB (without an invalidate) must
+        // be flagged as a stale cached translation.
+        s.stage1_mut().unmap(2);
+        s.stage1_mut().map(2, 0x999, PagePerms::RW).unwrap();
+        let mut cp = CheckPlane::enabled(1);
+        s.check_invariants(&mut cp);
+        assert!(!cp.ok());
+        assert_eq!(
+            cp.first().unwrap().invariant,
+            invariant::SMMU_TLB_CONSISTENT
+        );
+        // A disabled plane does no work on the same (inconsistent) state.
+        let mut off = CheckPlane::disabled();
+        s.check_invariants(&mut off);
+        assert!(off.ok());
+        assert_eq!(off.checks_run(), 0);
     }
 
     #[test]

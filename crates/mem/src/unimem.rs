@@ -19,6 +19,7 @@ use std::collections::HashMap;
 use std::fmt;
 
 use ecoscale_noc::{Network, NodeId, Topology};
+use ecoscale_sim::check::{invariant, CheckPlane};
 use ecoscale_sim::{Counter, Duration, Energy, MetricsRegistry, Time};
 
 use crate::addr::GlobalAddr;
@@ -141,6 +142,27 @@ impl UnimemDirectory {
     pub fn migrations(&self) -> u64 {
         self.migrations.get()
     }
+
+    /// CheckPlane hook: every directory override must name an in-range node
+    /// and must not alias the page's natural home (`set_cache_home` removes
+    /// identity overrides, so a surviving one is stale state). Together with
+    /// `HashMap` key uniqueness this is the paper's "exactly one cache home
+    /// per page" claim. Read-only; early-outs when `cp` is disabled.
+    pub fn check_invariants(&self, cp: &mut CheckPlane) {
+        if !cp.is_enabled() {
+            return;
+        }
+        for (&(home, page), &target) in &self.overrides {
+            cp.check(
+                invariant::UNIMEM_SINGLE_HOME,
+                home.0 < self.nodes && target.0 < self.nodes,
+                || format!("override ({home}, page {page:#x}) -> {target} out of range"),
+            );
+            cp.check(invariant::UNIMEM_SINGLE_HOME, target != home, || {
+                format!("override ({home}, page {page:#x}) aliases the natural home")
+            });
+        }
+    }
 }
 
 /// The UNIMEM memory system: one cache per node, DRAM at every node, and
@@ -246,6 +268,45 @@ impl UnimemSystem {
         m.add(&format!("{prefix}.cache.misses"), misses);
         m.add(&format!("{prefix}.cache.writebacks"), writebacks);
         m.add(&format!("{prefix}.migrations"), self.directory.migrations());
+    }
+
+    /// CheckPlane hook: directory single-home invariants plus agreement
+    /// between the per-kind access counters and the per-node cache counters
+    /// (every cacheable access is accounted exactly once on both sides).
+    /// Read-only; early-outs when `cp` is disabled.
+    pub fn check_invariants(&self, cp: &mut CheckPlane) {
+        if !cp.is_enabled() {
+            return;
+        }
+        self.directory.check_invariants(cp);
+        cp.check(
+            invariant::UNIMEM_COUNTS_AGREE,
+            self.caches.len() == self.directory.nodes(),
+            || {
+                format!(
+                    "{} caches for {} directory nodes",
+                    self.caches.len(),
+                    self.directory.nodes()
+                )
+            },
+        );
+        let hits: u64 = self.caches.iter().map(|c| c.hits()).sum();
+        let misses: u64 = self.caches.iter().map(|c| c.misses()).sum();
+        cp.check(
+            invariant::UNIMEM_COUNTS_AGREE,
+            hits == self.count(AccessKind::CacheHit),
+            || {
+                format!(
+                    "cache hits {hits} != access.cache_hit {}",
+                    self.count(AccessKind::CacheHit)
+                )
+            },
+        );
+        let fills = self.count(AccessKind::CacheMissLocalFill)
+            + self.count(AccessKind::CacheMissRemoteFill);
+        cp.check(invariant::UNIMEM_COUNTS_AGREE, misses == fills, || {
+            format!("cache misses {misses} != local+remote fills {fills}")
+        });
     }
 
     /// Reads `bytes` at `addr` from `node`.

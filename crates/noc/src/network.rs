@@ -12,6 +12,7 @@
 
 use std::collections::HashMap;
 
+use ecoscale_sim::check::{invariant, CheckPlane};
 use ecoscale_sim::{
     fault::salt, CampaignSpec, Counter, Duration, Energy, FaultClock, Histogram, MetricsRegistry,
     OnlineStats, ProbFault, SimRng, Time, TraceBuffer, Tracer, TrackId,
@@ -414,6 +415,68 @@ impl<T: Topology> Network<T> {
     /// (e.g. remapping a failed link) so stale paths are never reused.
     pub fn invalidate_routes(&mut self) {
         self.route_memo.clear();
+    }
+
+    /// CheckPlane hook: asserts the optimized transfer path's caches and
+    /// accounting agree with first principles. Read-only; early-outs when
+    /// `cp` is disabled.
+    ///
+    /// * `noc.route_memo_fresh` — every memoized route equals a fresh
+    ///   computation on the topology.
+    /// * `noc.conservation` — every transfer is counted exactly once in the
+    ///   hop histogram and queueing stats, and the memo counters cover at
+    ///   least every recorded message (they survive [`Network::reset`]).
+    /// * `noc.link_bookkeeping` — busy-time and free-at maps track the same
+    ///   link set.
+    pub fn check_invariants(&self, cp: &mut CheckPlane) {
+        if !cp.is_enabled() {
+            return;
+        }
+        for (&(src, dst), route) in &self.route_memo {
+            cp.check(
+                invariant::NOC_ROUTE_MEMO_FRESH,
+                self.topo.route(src, dst) == *route,
+                || format!("memoized route {src} -> {dst} is stale"),
+            );
+        }
+        let messages = self.stats.messages();
+        cp.check(
+            invariant::NOC_CONSERVATION,
+            self.hop_hist.count() == messages,
+            || {
+                format!(
+                    "hop histogram holds {} samples for {messages} messages",
+                    self.hop_hist.count()
+                )
+            },
+        );
+        cp.check(
+            invariant::NOC_CONSERVATION,
+            self.queue_ns.count() == messages,
+            || {
+                format!(
+                    "queueing stats hold {} samples for {messages} messages",
+                    self.queue_ns.count()
+                )
+            },
+        );
+        cp.check(
+            invariant::NOC_CONSERVATION,
+            self.route_memo_hits + self.route_memo_misses >= messages,
+            || {
+                format!(
+                    "route memo saw {} lookups for {messages} messages",
+                    self.route_memo_hits + self.route_memo_misses
+                )
+            },
+        );
+        for link in self.link_busy.keys() {
+            cp.check(
+                invariant::NOC_LINK_BOOKKEEPING,
+                self.link_free_at.contains_key(link),
+                || format!("{link} has busy-time but no occupancy record"),
+            );
+        }
     }
 
     /// Clears link occupancy, statistics, instruments and memoized

@@ -16,6 +16,7 @@ use ecoscale_fpga::{
     CompressionAlgo, Floorplanner, ModuleId, PlaceError, ReconfigPort, ReconfigStats, SlotId,
 };
 use ecoscale_hls::ModuleLibrary;
+use ecoscale_sim::check::{invariant, CheckPlane};
 use ecoscale_sim::{Duration, Time};
 
 use crate::device::DeviceClass;
@@ -124,6 +125,39 @@ impl ReconfigDaemon {
     /// The floorplan (for fragmentation metrics).
     pub fn floorplan(&self) -> &Floorplanner {
         &self.floorplan
+    }
+
+    /// CheckPlane hook: the daemon's loaded-module map and the
+    /// floorplanner's placements must describe the same residency — every
+    /// loaded module occupies exactly the slot recorded for it, and every
+    /// placed slot hosts a loaded module. Delegates region-exclusivity
+    /// checks to [`Floorplanner::check_invariants`]. Read-only; early-outs
+    /// when `cp` is disabled.
+    pub fn check_invariants(&self, cp: &mut CheckPlane) {
+        if !cp.is_enabled() {
+            return;
+        }
+        self.floorplan.check_invariants(cp);
+        for (&module, &slot) in &self.loaded {
+            cp.check(
+                invariant::FABRIC_RESIDENCY_AGREES,
+                self.floorplan
+                    .placement(slot)
+                    .is_some_and(|p| p.module == module),
+                || format!("loaded module {module} claims {slot} but the floorplan disagrees"),
+            );
+        }
+        let placed = self.floorplan.placements().count();
+        cp.check(
+            invariant::FABRIC_RESIDENCY_AGREES,
+            placed == self.loaded.len(),
+            || {
+                format!(
+                    "{placed} floorplan placements for {} loaded modules",
+                    self.loaded.len()
+                )
+            },
+        );
     }
 
     /// Explicitly loads `module` from `library`, defragmenting on

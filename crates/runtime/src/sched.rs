@@ -23,9 +23,10 @@
 //! quarantined, and the report carries completed/lost counts plus an
 //! availability figure.
 
-use std::collections::VecDeque;
+use std::collections::{HashSet, VecDeque};
 
 use ecoscale_noc::NodeId;
+use ecoscale_sim::check::{invariant, CheckPlane};
 use ecoscale_sim::fault::{salt, CampaignSpec, FaultClock};
 use ecoscale_sim::{
     Counter, Duration, EventQueue, Histogram, MetricsRegistry, OnlineStats, SimRng, Time, Tracer,
@@ -133,6 +134,7 @@ pub struct ClusterSim {
     tracer: Tracer,
     trace_label: String,
     faults: Option<WorkerFaults>,
+    check: CheckPlane,
 }
 
 /// Worker fault injection installed by [`ClusterSim::with_faults`]:
@@ -207,6 +209,7 @@ impl ClusterSim {
             tracer: Tracer::disabled(),
             trace_label: "sched".to_owned(),
             faults: None,
+            check: CheckPlane::from_env(),
         }
     }
 
@@ -252,6 +255,24 @@ impl ClusterSim {
         self.tracer = tracer;
         self.trace_label = label.to_owned();
         self
+    }
+
+    /// Installs a CheckPlane. [`ClusterSim::run`] then verifies, at the
+    /// plane's cadence, that no task is queued or in flight twice across
+    /// worker queues, the central queue and execution slots, and — at the
+    /// end of each run — that every submitted task was either completed or
+    /// declared lost. All checks are read-only: they draw nothing from the
+    /// RNG, record no metrics and change no event ordering, so installing
+    /// an (enabled or disabled) plane never perturbs golden schedules.
+    pub fn with_checks(mut self, check: CheckPlane) -> ClusterSim {
+        self.check = check;
+        self
+    }
+
+    /// The installed CheckPlane (disabled by default); violations collected
+    /// by [`ClusterSim::run`] are read back from here.
+    pub fn checks(&self) -> &CheckPlane {
+        &self.check
     }
 
     /// Folds the instruments of the most recent [`ClusterSim::run`]
@@ -339,6 +360,11 @@ impl ClusterSim {
         let exec_time = |task: &Task, cpu: &CpuModel| cpu.exec(task.flops(), task.mem_ops()).0;
 
         while let Some((now, ev)) = q.pop() {
+            // CheckPlane cadence gate: read-only duplicate-task scan over
+            // every queue and execution slot. One branch when disabled.
+            if self.check.due() {
+                Self::check_no_duplicates(&mut self.check, &queues, &central, &current);
+            }
             // Drain fault arrivals up to the current instant, in time
             // order across both clocks.
             while let Some(f) = self.faults.as_mut() {
@@ -677,6 +703,20 @@ impl ClusterSim {
             }
         }
 
+        if self.check.is_enabled() {
+            Self::check_no_duplicates(&mut self.check, &queues, &central, &current);
+            self.check.check(
+                invariant::SCHED_TASK_CONSERVATION,
+                completed as u64 + lost == tasks.len() as u64,
+                || {
+                    format!(
+                        "completed {completed} + lost {lost} != submitted {}",
+                        tasks.len()
+                    )
+                },
+            );
+        }
+
         let makespan = q.now();
         let span = makespan.saturating_since(Time::ZERO);
         let utils: Vec<f64> = busy_time
@@ -715,6 +755,27 @@ impl ClusterSim {
 
     fn in_flight(busy: &[bool]) -> usize {
         busy.iter().filter(|b| **b).count()
+    }
+
+    /// Read-only scan asserting no task index appears twice across worker
+    /// queues, the central queue and in-flight execution slots.
+    fn check_no_duplicates(
+        cp: &mut CheckPlane,
+        queues: &[VecDeque<usize>],
+        central: &VecDeque<usize>,
+        current: &[Option<usize>],
+    ) {
+        let mut seen: HashSet<usize> = HashSet::new();
+        let all = queues
+            .iter()
+            .flatten()
+            .chain(central.iter())
+            .chain(current.iter().flatten());
+        for &t in all {
+            cp.check(invariant::SCHED_NO_DUPLICATE_TASKS, seen.insert(t), || {
+                format!("task {t} queued or running twice")
+            });
+        }
     }
 
     /// First worker at or after `start` (wrapping) still in service.

@@ -14,6 +14,9 @@
 //! * [`fault`] — seeded fault-campaign primitives ([`CampaignSpec`],
 //!   [`FaultClock`], [`ProbFault`]) that every layer's injection hooks
 //!   build on,
+//! * [`check`] — the CheckPlane: declarative cross-layer invariant
+//!   checks ([`CheckPlane`]) and a delta-debugging op-stream reducer,
+//!   zero-cost when disabled,
 //! * [`stats`] — counters, online moments, and log-binned histograms,
 //! * [`metrics`] — a deterministic [`MetricsRegistry`] of named
 //!   instruments with snapshot/merge semantics,
@@ -43,6 +46,7 @@
 //! assert_eq!((t, ev), (Time::from_ns(5), Ev::Ping));
 //! ```
 
+pub mod check;
 pub mod energy;
 pub mod engine;
 pub mod event;
@@ -56,6 +60,7 @@ pub mod stats;
 pub mod time;
 pub mod trace;
 
+pub use check::{CheckPlane, Violation};
 pub use energy::{Energy, EnergyMeter, Power};
 pub use engine::{EventHandler, Simulation, StopReason};
 pub use event::EventQueue;

@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Tier-1 gate plus lints. Run from the repository root:
 #
-#   scripts/ci.sh
+#   scripts/ci.sh            # full gate
+#   scripts/ci.sh --bless    # regenerate tests/golden/ schema snapshots
 #
 # Mirrors what the roadmap calls the tier-1 command (`cargo build
 # --release && cargo test -q`) and adds deny-warnings clippy, rustfmt,
@@ -9,6 +10,13 @@
 # dependency-free, so everything works offline.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+if [[ "${1:-}" == "--bless" ]]; then
+    echo "== bless golden schemas (tests/golden/) =="
+    ECOSCALE_BLESS=1 cargo test -q --test golden
+    git --no-pager diff --stat -- tests/golden/ || true
+    exit 0
+fi
 
 echo "== rustfmt =="
 cargo fmt --check
@@ -29,11 +37,20 @@ FAULTS="seed=3,crash=1ms,seu=400us,scrub=800us"
     > target/fault_smoke_b.txt
 cmp target/fault_smoke_a.txt target/fault_smoke_b.txt
 
+echo "== tier-1: seeded fuzz smoke (CheckPlane) =="
+# 64 seeded configs across topology x policy x faults x threads, every
+# invariant armed, exports compared byte-for-byte at THREADS=1 vs k.
+./target/release/fuzz_configs --count 64
+
 echo "== regenerate experiment snapshot (target/) =="
 ./target/release/exp_all > target/bench_output_tables.txt
 
 echo "== workspace tests =="
 cargo test --workspace -q
+
+echo "== workspace tests (invariants armed) =="
+# One full pass with every layer's CheckPlane hooks firing at cadence 1.
+ECOSCALE_CHECK=1 cargo test --workspace -q
 
 echo "== clippy (deny warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings

@@ -1,0 +1,135 @@
+//! Golden-snapshot tests pinning the JSON *schemas* of the three export
+//! surfaces — [`SystemReport::to_json`], the metrics registry and the
+//! Chrome-trace exporter — against files under `tests/golden/`.
+//!
+//! The schema of a document is the sorted set of `path: kind` lines over
+//! every value it contains (arrays contribute the union of their elements
+//! under `path[]`), so adding, removing, renaming or re-typing any field —
+//! including any metric key — fails the test, while changing numeric
+//! values does not.
+//!
+//! Regenerate after an intentional schema change with
+//! `scripts/ci.sh --bless` (sets `ECOSCALE_BLESS=1`).
+
+use std::collections::BTreeSet;
+use std::collections::HashMap;
+use std::fs;
+use std::path::PathBuf;
+
+use ecoscale::bench::obs::capture_observability;
+use ecoscale::bench::Scale;
+use ecoscale::core::{SystemBuilder, SystemReport};
+use ecoscale::hls::KernelArgs;
+use ecoscale::noc::NodeId;
+use ecoscale::sim::json::{parse, Value};
+
+/// Recursively collects `path: kind` lines for `v`.
+fn collect_schema(v: &Value, path: &str, out: &mut BTreeSet<String>) {
+    match v {
+        Value::Null => {
+            out.insert(format!("{path}: null"));
+        }
+        Value::Bool(_) => {
+            out.insert(format!("{path}: bool"));
+        }
+        Value::Num(_) => {
+            out.insert(format!("{path}: num"));
+        }
+        Value::Str(_) => {
+            out.insert(format!("{path}: str"));
+        }
+        Value::Arr(items) => {
+            out.insert(format!("{path}: arr"));
+            for item in items {
+                collect_schema(item, &format!("{path}[]"), out);
+            }
+        }
+        Value::Obj(fields) => {
+            out.insert(format!("{path}: obj"));
+            for (key, val) in fields {
+                collect_schema(val, &format!("{path}.{key}"), out);
+            }
+        }
+    }
+}
+
+/// Renders the schema of a JSON document, one sorted line per path.
+fn schema_of(json: &str) -> String {
+    let v = parse(json).expect("document parses as JSON");
+    let mut out = BTreeSet::new();
+    collect_schema(&v, "$", &mut out);
+    let mut s: String = out.into_iter().collect::<Vec<_>>().join("\n");
+    s.push('\n');
+    s
+}
+
+/// Compares `actual` against `tests/golden/<name>`, or rewrites the file
+/// when `ECOSCALE_BLESS=1` is set.
+fn assert_golden(name: &str, actual: &str) {
+    let path: PathBuf = [env!("CARGO_MANIFEST_DIR"), "tests", "golden", name]
+        .iter()
+        .collect();
+    if std::env::var("ECOSCALE_BLESS").is_ok_and(|v| v == "1") {
+        fs::create_dir_all(path.parent().unwrap()).unwrap();
+        fs::write(&path, actual).unwrap();
+        return;
+    }
+    let expected = fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {} ({e}); run scripts/ci.sh --bless",
+            path.display()
+        )
+    });
+    assert_eq!(
+        actual,
+        expected,
+        "schema drift against {}; if intentional, run scripts/ci.sh --bless",
+        path.display()
+    );
+}
+
+const K: &str = "kernel hot(in float a[], out float b[], int n) {
+    for (i in 0 .. n) { b[i] = sqrt(a[i] + 1.0) * exp(a[i] / 100.0); }
+}";
+
+fn args(n: usize) -> KernelArgs {
+    let mut a = KernelArgs::new();
+    a.bind_array("a", (0..n).map(|i| i as f64).collect())
+        .bind_array("b", vec![0.0; n])
+        .bind_scalar("n", n as f64);
+    a
+}
+
+#[test]
+fn system_report_json_schema_is_pinned() {
+    let mut s = SystemBuilder::new()
+        .workers_per_node(2)
+        .compute_nodes(2)
+        .kernel(K, HashMap::from([("n".to_owned(), 4096.0)]))
+        .build()
+        .unwrap();
+    for _ in 0..12 {
+        let mut a = args(4096);
+        s.call(NodeId(0), "hot", &mut a).unwrap();
+    }
+    s.daemon_tick();
+    let mut a = args(4096);
+    s.call(NodeId(0), "hot", &mut a).unwrap();
+    let report = SystemReport::capture(&s);
+    assert_golden("system_report.schema", &schema_of(&report.to_json()));
+}
+
+#[test]
+fn metrics_export_json_schema_is_pinned() {
+    let cap = capture_observability(Scale::Quick);
+    assert_golden("metrics.schema", &schema_of(&cap.metrics.to_json()));
+}
+
+#[test]
+fn chrome_trace_json_schema_is_pinned() {
+    let cap = capture_observability(Scale::Quick);
+    assert_golden(
+        "chrome_trace.schema",
+        &schema_of(&cap.trace.to_chrome_json()),
+    );
+}

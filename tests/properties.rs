@@ -470,6 +470,387 @@ fn arb_stmt(rng: &mut SimRng, depth: u32) -> ecoscale::hls::Stmt {
     }
 }
 
+// ----------------------------------------------------------------------
+// CheckPlane differential oracles: optimized implementations vs small
+// obviously-correct reference models driven by the same op stream, with
+// seed-reproducible shrinking of failing streams (sim::check::shrink).
+// ----------------------------------------------------------------------
+
+/// Runs `replay` (None = agreement); on divergence shrinks the op stream
+/// to a 1-minimal failing subsequence and panics with the repro.
+fn assert_lockstep<T: Clone + std::fmt::Debug>(
+    what: &str,
+    case: u64,
+    ops: &[T],
+    mut replay: impl FnMut(&[T]) -> Option<String>,
+) {
+    if let Some(msg) = replay(ops) {
+        let min = ecoscale::sim::check::shrink(ops, |s| replay(s).is_some());
+        let detail = replay(&min).unwrap_or_else(|| msg.clone());
+        panic!(
+            "{what} diverged from its oracle (case {case}): {detail}\n\
+             minimal failing stream ({} of {} ops): {min:?}",
+            min.len(),
+            ops.len(),
+        );
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum QueueOp {
+    /// Schedule at `now + dt_ps` (0 lands in the same-instant FIFO ring).
+    Schedule(u64),
+    /// Schedule at `now` via the dedicated ring fast path.
+    ScheduleNow,
+    Pop,
+    /// `pop_if_at_or_before(now + dh_ps)`.
+    PopHorizon(u64),
+}
+
+#[test]
+fn event_queue_matches_sequential_oracle() {
+    use ecoscale::sim::EventQueue;
+    for case in 0..CASES {
+        let mut rng = case_rng(16, case);
+        let len = rng.gen_range_usize(1, 120);
+        let ops: Vec<QueueOp> = (0..len)
+            .map(|_| match rng.gen_range_usize(0, 5) {
+                0 => QueueOp::Schedule(rng.gen_range_u64(0, 1_000)),
+                1 => QueueOp::ScheduleNow,
+                2 => QueueOp::PopHorizon(rng.gen_range_u64(0, 500)),
+                _ => QueueOp::Pop,
+            })
+            .collect();
+        // Oracle: a flat vector popped by the total order (time, global
+        // scheduling index) — the queue's documented delivery order across
+        // both the binary heap and the same-instant ring.
+        assert_lockstep("EventQueue", case, &ops, |ops| {
+            let mut q: EventQueue<u64> = EventQueue::new();
+            let mut model: Vec<(Time, u64)> = Vec::new();
+            let mut next_id = 0u64;
+            let model_pop = |model: &mut Vec<(Time, u64)>| -> Option<(Time, u64)> {
+                let best = model
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, &(t, id))| (t, id))
+                    .map(|(i, _)| i)?;
+                Some(model.remove(best))
+            };
+            for (step, op) in ops.iter().enumerate() {
+                match *op {
+                    QueueOp::Schedule(dt) => {
+                        let at = q.now() + Duration::from_ps(dt);
+                        q.schedule(at, next_id);
+                        model.push((at, next_id));
+                        next_id += 1;
+                    }
+                    QueueOp::ScheduleNow => {
+                        q.schedule_now(next_id);
+                        model.push((q.now(), next_id));
+                        next_id += 1;
+                    }
+                    QueueOp::Pop => {
+                        let got = q.pop();
+                        let want = model_pop(&mut model);
+                        if got != want {
+                            return Some(format!("step {step} pop: {got:?} != {want:?}"));
+                        }
+                    }
+                    QueueOp::PopHorizon(dh) => {
+                        let horizon = q.now() + Duration::from_ps(dh);
+                        let got = q.pop_if_at_or_before(horizon);
+                        let due = model
+                            .iter()
+                            .map(|&(t, _)| t)
+                            .min()
+                            .is_some_and(|t| t <= horizon);
+                        let want = if due { model_pop(&mut model) } else { None };
+                        if got != want {
+                            return Some(format!(
+                                "step {step} pop_if_at_or_before({horizon}): {got:?} != {want:?}"
+                            ));
+                        }
+                    }
+                }
+                if q.len() != model.len() {
+                    return Some(format!(
+                        "step {step}: len {} != oracle {}",
+                        q.len(),
+                        model.len()
+                    ));
+                }
+                let want_peek = model.iter().map(|&(t, _)| t).min();
+                if q.peek_time() != want_peek {
+                    return Some(format!(
+                        "step {step}: peek_time {:?} != oracle {want_peek:?}",
+                        q.peek_time()
+                    ));
+                }
+            }
+            None
+        });
+    }
+}
+
+#[test]
+fn cache_matches_linear_scan_oracle() {
+    use ecoscale::mem::{Cache, CacheAccess, CacheConfig};
+
+    #[derive(Debug, Clone, Copy)]
+    struct RefLine {
+        tag: u64,
+        dirty: bool,
+        lru: u64,
+    }
+
+    for case in 0..CASES {
+        let mut rng = case_rng(17, case);
+        let config = CacheConfig {
+            capacity: 1024,
+            line_size: 64,
+            ways: 2,
+        };
+        let sets = (config.capacity / config.line_size) as usize / config.ways;
+        let len = rng.gen_range_usize(1, 200);
+        let ops: Vec<(u64, bool)> = (0..len)
+            .map(|_| (rng.gen_range_u64(0, 8 * config.capacity), rng.gen_bool(0.4)))
+            .collect();
+        // Oracle: per-set linear scan with exact-LRU replacement (first
+        // invalid slot, else the minimum-stamp line, first on ties).
+        assert_lockstep("Cache", case, &ops, |ops| {
+            let mut cache = Cache::new(config);
+            let mut model: Vec<Vec<Option<RefLine>>> = vec![vec![None; config.ways]; sets];
+            let (mut hits, mut misses, mut writebacks) = (0u64, 0u64, 0u64);
+            let mut clock = 0u64;
+            for (step, &(addr, write)) in ops.iter().enumerate() {
+                clock += 1;
+                let line = addr / config.line_size;
+                let set_idx = (line % sets as u64) as usize;
+                let tag = line / sets as u64;
+                let set = &mut model[set_idx];
+                let want = if let Some(l) = set.iter_mut().flatten().find(|l| l.tag == tag) {
+                    l.lru = clock;
+                    l.dirty |= write;
+                    hits += 1;
+                    CacheAccess::Hit
+                } else {
+                    misses += 1;
+                    let slot = set.iter().position(Option::is_none).unwrap_or_else(|| {
+                        set.iter()
+                            .enumerate()
+                            .min_by_key(|(_, l)| l.expect("set is full").lru)
+                            .map(|(i, _)| i)
+                            .expect("ways > 0")
+                    });
+                    let outcome = match set[slot] {
+                        Some(v) if v.dirty => {
+                            writebacks += 1;
+                            CacheAccess::MissDirtyEviction {
+                                victim_addr: (v.tag * sets as u64 + set_idx as u64)
+                                    * config.line_size,
+                            }
+                        }
+                        _ => CacheAccess::Miss,
+                    };
+                    set[slot] = Some(RefLine {
+                        tag,
+                        dirty: write,
+                        lru: clock,
+                    });
+                    outcome
+                };
+                let got = cache.access(addr, write);
+                if got != want {
+                    return Some(format!(
+                        "step {step} access({addr:#x}): {got:?} != {want:?}"
+                    ));
+                }
+            }
+            if (cache.hits(), cache.misses(), cache.writebacks()) != (hits, misses, writebacks) {
+                return Some(format!(
+                    "counters ({}, {}, {}) != oracle ({hits}, {misses}, {writebacks})",
+                    cache.hits(),
+                    cache.misses(),
+                    cache.writebacks()
+                ));
+            }
+            None
+        });
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum PtOp {
+    Map {
+        page: u64,
+        out: u64,
+        perms: PagePerms,
+    },
+    Unmap {
+        page: u64,
+    },
+    Translate {
+        page: u64,
+        need: PagePerms,
+    },
+}
+
+#[test]
+fn page_table_matches_btreemap_oracle() {
+    use ecoscale::mem::{MapPageError, TranslateError};
+    const PERMS: [PagePerms; 4] = [
+        PagePerms::READ,
+        PagePerms::RW,
+        PagePerms::WRITE,
+        PagePerms::NONE,
+    ];
+    for case in 0..CASES {
+        let mut rng = case_rng(18, case);
+        let len = rng.gen_range_usize(1, 150);
+        let ops: Vec<PtOp> = (0..len)
+            .map(|_| {
+                let page = rng.gen_range_u64(0, 24);
+                match rng.gen_range_usize(0, 4) {
+                    0 => PtOp::Map {
+                        page,
+                        out: rng.gen_range_u64(0, 1 << 20),
+                        perms: *rng.choose(&PERMS),
+                    },
+                    1 => PtOp::Unmap { page },
+                    _ => PtOp::Translate {
+                        page,
+                        need: *rng.choose(&[PagePerms::READ, PagePerms::WRITE, PagePerms::NONE]),
+                    },
+                }
+            })
+            .collect();
+        // Oracle: a BTreeMap of page -> (out, perms) with the documented
+        // error responses, including exact PermissionDenied payloads.
+        assert_lockstep("PageTable", case, &ops, |ops| {
+            let mut pt = PageTable::new(4);
+            let mut model: BTreeMap<u64, (u64, PagePerms)> = BTreeMap::new();
+            for (step, op) in ops.iter().enumerate() {
+                match *op {
+                    PtOp::Map { page, out, perms } => {
+                        let want = match model.entry(page) {
+                            std::collections::btree_map::Entry::Occupied(_) => {
+                                Err(MapPageError::AlreadyMapped { page })
+                            }
+                            std::collections::btree_map::Entry::Vacant(slot) => {
+                                slot.insert((out, perms));
+                                Ok(())
+                            }
+                        };
+                        let got = pt.map(page, out, perms);
+                        if got != want {
+                            return Some(format!("step {step} map: {got:?} != {want:?}"));
+                        }
+                    }
+                    PtOp::Unmap { page } => {
+                        let want = model.remove(&page).is_some();
+                        let got = pt.unmap(page);
+                        if got != want {
+                            return Some(format!("step {step} unmap: {got} != {want}"));
+                        }
+                    }
+                    PtOp::Translate { page, need } => {
+                        let want = match model.get(&page) {
+                            None => Err(TranslateError::NotMapped { page }),
+                            Some(&(out, have)) if have.allows(need) => Ok(out),
+                            Some(&(_, have)) => {
+                                Err(TranslateError::PermissionDenied { page, have, need })
+                            }
+                        };
+                        let got = pt.translate(page, need);
+                        if got != want {
+                            return Some(format!("step {step} translate: {got:?} != {want:?}"));
+                        }
+                        let want_perms = model.get(&page).map(|&(_, p)| p);
+                        if pt.perms_of(page) != want_perms {
+                            return Some(format!(
+                                "step {step} perms_of: {:?} != {want_perms:?}",
+                                pt.perms_of(page)
+                            ));
+                        }
+                    }
+                }
+                if pt.mapped_pages() != model.len() {
+                    return Some(format!(
+                        "step {step}: {} mapped pages != oracle {}",
+                        pt.mapped_pages(),
+                        model.len()
+                    ));
+                }
+            }
+            None
+        });
+    }
+}
+
+#[test]
+fn smmu_matches_always_walk_oracle() {
+    use ecoscale::mem::{SmmuFault, TranslateError};
+    // (vpn, need) translation stream against a TLB-free oracle that walks
+    // both stages on every access. This is the oracle that catches cached
+    // permission bugs: the TLB used to cache RW unconditionally, letting a
+    // read-only page be written once resident.
+    const PERMS: [PagePerms; 3] = [PagePerms::READ, PagePerms::RW, PagePerms::WRITE];
+    for case in 0..CASES {
+        let mut rng = case_rng(19, case);
+        let pages = rng.gen_range_u64(1, 12);
+        let mapped: Vec<(u64, PagePerms)> = (0..pages).map(|p| (p, *rng.choose(&PERMS))).collect();
+        let len = rng.gen_range_usize(1, 150);
+        let ops: Vec<(u64, PagePerms)> = (0..len)
+            .map(|_| {
+                (
+                    rng.gen_range_u64(0, pages + 2),
+                    *rng.choose(&[PagePerms::READ, PagePerms::WRITE]),
+                )
+            })
+            .collect();
+        let config = SmmuConfig {
+            tlb_entries: 4,
+            ..SmmuConfig::default()
+        };
+        assert_lockstep("Smmu", case, &ops, |ops| {
+            let mut smmu = Smmu::new(config);
+            for &(vpn, perms) in &mapped {
+                smmu.map(
+                    VirtAddr::from_page(vpn, 0),
+                    0x100 + vpn,
+                    0x1000 + vpn,
+                    perms,
+                )
+                .expect("fresh mapping");
+            }
+            for (step, &(vpn, need)) in ops.iter().enumerate() {
+                let want = match mapped.iter().find(|&&(p, _)| p == vpn) {
+                    None => Err(SmmuFault::Stage1(TranslateError::NotMapped { page: vpn })),
+                    Some(&(_, have)) if !have.allows(need) => {
+                        Err(SmmuFault::Stage1(TranslateError::PermissionDenied {
+                            page: vpn,
+                            have,
+                            need,
+                        }))
+                    }
+                    Some(_) => Ok(0x1000 + vpn),
+                };
+                let got = smmu
+                    .translate(VirtAddr::from_page(vpn, 5), need)
+                    .map(|(pa, _)| pa.page());
+                if got != want {
+                    return Some(format!(
+                        "step {step} ({vpn:#x}, {need}): {got:?} != {want:?}"
+                    ));
+                }
+            }
+            let mut cp = ecoscale::sim::CheckPlane::enabled(1);
+            smmu.check_invariants(&mut cp);
+            cp.first().map(|v| format!("after stream: {v}"))
+        });
+    }
+}
+
 #[test]
 fn kernel_print_parse_round_trip() {
     use ecoscale::hls::{Kernel, Param, ParamKind};
