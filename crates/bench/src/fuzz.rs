@@ -1,26 +1,30 @@
 //! Seeded configuration fuzzing behind the `fuzz_configs` binary.
 //!
 //! A [`FuzzConfig`] is one point in the (topology × scheduler policy ×
-//! fault campaign × scale × thread count) space. [`FuzzConfig::from_index`]
-//! enumerates the space deterministically, so `fuzz_configs --count 500`
-//! sweeps the same 500 configurations on every machine, and any failure is
-//! reproducible from its spec string alone.
+//! fault campaign × scale × thread count × shard count) space.
+//! [`FuzzConfig::from_index`] enumerates the space deterministically, so
+//! `fuzz_configs --count 500` sweeps the same 500 configurations on every
+//! machine, and any failure is reproducible from its spec string alone.
 //!
-//! Each configuration drives four seeded phases — scheduler lanes on the
+//! Each configuration drives five seeded phases — scheduler lanes on the
 //! work pool, a NoC transfer storm on the configured topology, a mixed-
-//! permission SMMU translation stream, and UNIMEM traffic over a tree NoC —
-//! with a fully-armed [`CheckPlane`], then repeats the run at the
-//! configuration's thread count and asserts the metrics export is
-//! **byte-identical** to the single-threaded run. Any invariant violation
-//! or export divergence fails the config; the binary then shrinks the
-//! configuration ([`shrink_config`]) and prints a one-line
-//! `fuzz_configs --repro '<spec>'` command.
+//! permission SMMU translation stream, UNIMEM traffic over a tree NoC,
+//! and the cluster-partitioned sharded simulation — with a fully-armed
+//! [`CheckPlane`], then repeats the run at the configuration's thread
+//! count and asserts the metrics export is **byte-identical** to the
+//! single-threaded run. The shard phase additionally re-runs on the
+//! sharded engine at the configuration's shard count and asserts its
+//! metrics, trace, and report exports match the 1-shard run byte for
+//! byte. Any invariant violation or export divergence fails the config;
+//! the binary then shrinks the configuration ([`shrink_config`]) and
+//! prints a one-line `fuzz_configs --repro '<spec>'` command.
 //!
 //! `--inject-violation` arms a deliberate [`invariant::SABOTAGE`] failure
 //! for every configuration with `tasks >= 24`, proving the
 //! catch → shrink → repro pipeline end to end (the shrinker converges on
 //! `tasks=24`).
 
+use ecoscale_core::{run_shard_sim_with, ShardSimConfig};
 use ecoscale_mem::{
     CacheConfig, DramModel, GlobalAddr, PagePerms, Smmu, SmmuConfig, UnimemSystem, VirtAddr,
 };
@@ -184,20 +188,24 @@ pub struct FuzzConfig {
     /// `ECOSCALE_THREADS` value the run is repeated under and compared
     /// byte-for-byte against the single-threaded export.
     pub threads: usize,
+    /// Shard count the cluster-partitioned phase is repeated under and
+    /// compared byte-for-byte against its 1-shard export.
+    pub shards: usize,
 }
 
 impl fmt::Display for FuzzConfig {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "seed={},topo={},sched={},faults={},tasks={},workers={},threads={}",
+            "seed={},topo={},sched={},faults={},tasks={},workers={},threads={},shards={}",
             self.seed,
             self.topo.as_str(),
             self.sched,
             self.faults.as_str(),
             self.tasks,
             self.workers,
-            self.threads
+            self.threads,
+            self.shards
         )
     }
 }
@@ -232,6 +240,7 @@ impl Default for FuzzConfig {
             tasks: 32,
             workers: 8,
             threads: 1,
+            shards: 1,
         }
     }
 }
@@ -252,6 +261,7 @@ impl FuzzConfig {
         let tasks = 16 + rng.gen_range_usize(0, 145);
         let workers = 4 + rng.gen_range_usize(0, 13);
         let threads = 1 + rng.gen_range_usize(0, 8);
+        let shards = 1 + rng.gen_range_usize(0, 8);
         FuzzConfig {
             seed,
             topo,
@@ -260,6 +270,7 @@ impl FuzzConfig {
             tasks,
             workers,
             threads,
+            shards,
         }
     }
 
@@ -316,6 +327,14 @@ impl FuzzConfig {
                         .map_err(|e| spec_err(pair, format!("bad threads: {e}")))?;
                     if cfg.threads == 0 {
                         return Err(spec_err(pair, "threads must be >= 1"));
+                    }
+                }
+                "shards" => {
+                    cfg.shards = v
+                        .parse()
+                        .map_err(|e| spec_err(pair, format!("bad shards: {e}")))?;
+                    if cfg.shards == 0 {
+                        return Err(spec_err(pair, "shards must be >= 1"));
                     }
                 }
                 _ => return Err(spec_err(pair, "unknown key")),
@@ -398,7 +417,57 @@ pub fn run_config(cfg: &FuzzConfig, inject: bool) -> Result<RunReport, FuzzFailu
             )));
         }
     }
+    // Sharded-engine phase: the cluster-partitioned simulation must
+    // export byte-identically at 1 shard and at the configured count.
+    let scfg = shard_sim_config(cfg);
+    let mut cp_seq = CheckPlane::enabled(1);
+    let seq = run_shard_sim_with(&scfg, Some(1), &mut cp_seq);
+    if let Some(v) = cp_seq.first() {
+        return Err(fail(format!("shard sim at shards=1: {v}")));
+    }
+    checks += cp_seq.checks_run();
+    if cfg.shards != 1 {
+        let mut cp_par = CheckPlane::enabled(1);
+        let par = run_shard_sim_with(&scfg, Some(cfg.shards), &mut cp_par);
+        if let Some(v) = cp_par.first() {
+            return Err(fail(format!("shard sim at shards={}: {v}", cfg.shards)));
+        }
+        checks += cp_par.checks_run();
+        if seq.metrics.to_json() != par.metrics.to_json() {
+            return Err(fail(format!(
+                "shard-sim metrics diverged between shards=1 and {}",
+                cfg.shards
+            )));
+        }
+        if seq.trace.to_chrome_json() != par.trace.to_chrome_json() {
+            return Err(fail(format!(
+                "shard-sim trace diverged between shards=1 and {}",
+                cfg.shards
+            )));
+        }
+        if seq.report() != par.report() {
+            return Err(fail(format!(
+                "shard-sim report diverged between shards=1 and {}: {} vs {}",
+                cfg.shards,
+                seq.report(),
+                par.report()
+            )));
+        }
+    }
     Ok(RunReport { checks_run: checks })
+}
+
+/// The cluster-partitioned simulation a configuration's shard phase runs:
+/// small enough to stay cheap across a 500-config sweep, varied enough
+/// (clusters, workload, seed all derive from the config) to exercise
+/// uneven cluster-to-shard packings.
+fn shard_sim_config(cfg: &FuzzConfig) -> ShardSimConfig {
+    let mut scfg = ShardSimConfig::new(2 + cfg.workers % 5, 2 + cfg.workers % 3);
+    scfg.tasks_per_cluster = cfg.tasks.clamp(8, 48);
+    scfg.flops = 400;
+    scfg.spacing_ns = 60;
+    scfg.seed = cfg.seed ^ 0x5da2_c0de;
+    scfg
 }
 
 /// Shrinks a failing configuration to a smaller one that still fails,
@@ -443,6 +512,12 @@ fn shrink_candidates(c: &FuzzConfig) -> Vec<FuzzConfig> {
     if c.threads > 1 {
         out.push(FuzzConfig {
             threads: 1,
+            ..c.clone()
+        });
+    }
+    if c.shards > 1 {
+        out.push(FuzzConfig {
+            shards: 1,
             ..c.clone()
         });
     }
@@ -697,6 +772,7 @@ mod tests {
         );
         assert!(FuzzConfig::parse("tasks=0").is_err());
         assert!(FuzzConfig::parse("threads=0").is_err());
+        assert!(FuzzConfig::parse("shards=0").is_err());
         assert!(FuzzConfig::parse("workers=1").is_err());
         assert!(FuzzConfig::parse("bogus=1").is_err());
         assert!(FuzzConfig::parse("noequals").is_err());
@@ -718,9 +794,24 @@ mod tests {
             tasks: 40,
             workers: 6,
             threads: 4,
+            shards: 4,
         };
         let report = run_config(&cfg, false).expect("clean config passes");
         assert!(report.checks_run > 0);
+    }
+
+    #[test]
+    fn shard_axis_sweeps_and_shrinks() {
+        let shards: std::collections::BTreeSet<usize> =
+            (0..64).map(|i| FuzzConfig::from_index(i).shards).collect();
+        assert!(shards.len() >= 4, "sweep covers shard counts: {shards:?}");
+        let wide = FuzzConfig {
+            shards: 6,
+            ..FuzzConfig::default()
+        };
+        assert!(shrink_candidates(&wide)
+            .iter()
+            .any(|c| c.shards == 1 && c.tasks == wide.tasks));
     }
 
     #[test]

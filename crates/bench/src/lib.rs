@@ -1,7 +1,7 @@
 //! The ECOSCALE experiment harness.
 //!
-//! One function per experiment in `DESIGN.md` §4 (E1–E16) plus the §6
-//! ablations (A1–A3); each returns
+//! One function per experiment in `DESIGN.md` §4 (E1–E16), the §6
+//! ablations (A1–A4), and the §11 parallel-engine study (P1); each returns
 //! the [`Table`]s that the corresponding `exp_*` binary prints and that
 //! `EXPERIMENTS.md` quotes. Wall-clock benches in `benches/` (built on
 //! the dependency-free [`timing`] harness) exercise the same code paths
@@ -19,6 +19,7 @@ pub mod obs;
 pub mod resilience_exp;
 pub mod runtime_exp;
 pub mod scale_exp;
+pub mod shard_exp;
 pub mod timing;
 
 pub use ecoscale_sim::report::Table;
@@ -70,6 +71,7 @@ pub const EXPERIMENTS: &[(&str, ExperimentFn)] = &[
     ("a2", ablation::a2_tlb_size),
     ("a3", ablation::a3_benefit_margin),
     ("a4", ablation::a4_fat_tree),
+    ("p1", shard_exp::p1_parallel_des),
 ];
 
 #[cfg(test)]
@@ -84,13 +86,13 @@ mod tests {
 
     #[test]
     fn experiment_registry_keys_are_unique_and_ordered() {
-        assert_eq!(EXPERIMENTS.len(), 22);
+        assert_eq!(EXPERIMENTS.len(), 23);
         let keys: Vec<&str> = EXPERIMENTS.iter().map(|&(k, _)| k).collect();
         let mut dedup = keys.clone();
         dedup.sort_unstable();
         dedup.dedup();
         assert_eq!(dedup.len(), keys.len(), "duplicate registry key");
         assert_eq!(keys.first(), Some(&"e01"));
-        assert_eq!(keys.last(), Some(&"a4"));
+        assert_eq!(keys.last(), Some(&"p1"));
     }
 }

@@ -16,11 +16,15 @@
 //! * [`chain`] — accelerator chaining: "different accelerator modules
 //!   \[chained\] for building longer complex processing pipelines …
 //!   substantial energy savings" (§4.3),
-//! * [`power`] — the exaflop power extrapolations from the introduction.
+//! * [`power`] — the exaflop power extrapolations from the introduction,
+//! * [`shard_model`] — the cluster-partitioned model driven by the
+//!   conservative-parallel sharded engine (one UNIMEM + NoC + trace per
+//!   Compute Node, NoC-lookahead synchronization).
 
 pub mod chain;
 pub mod power;
 pub mod report;
+pub mod shard_model;
 pub mod system;
 pub mod unilogic;
 pub mod virtblock;
@@ -29,6 +33,10 @@ pub mod worker;
 pub use chain::{Chain, ChainCost};
 pub use power::{machine_power_for_exaflop, MachineClass, PowerBreakdown};
 pub use report::{FunctionSummary, SystemReport};
+pub use shard_model::{
+    run_shard_sim, run_shard_sim_profiled, run_shard_sim_with, ClusterEv, ClusterSimModel,
+    ShardOutcome, ShardSimConfig,
+};
 pub use system::{CallOutcome, EcoscaleSystem, SystemBuilder};
 pub use unilogic::{AccessPath, PathCost, UnilogicModel};
 pub use virtblock::{SharingMode, VirtualizationBlock};

@@ -39,6 +39,11 @@ pub enum AccessKind {
     RemoteUncached,
     /// Atomic read-modify-write executed at the home node.
     Atomic,
+    /// Home-side DRAM service of a request that originated *outside*
+    /// this memory system (the sharded simulator runs one `UnimemSystem`
+    /// per cluster; cross-cluster requests arrive as NoC messages and
+    /// are serviced through [`UnimemSystem::serve_remote`]).
+    RemoteServed,
 }
 
 impl fmt::Display for AccessKind {
@@ -49,6 +54,7 @@ impl fmt::Display for AccessKind {
             AccessKind::CacheMissRemoteFill => "miss-remote-fill",
             AccessKind::RemoteUncached => "remote-uncached",
             AccessKind::Atomic => "atomic",
+            AccessKind::RemoteServed => "remote-served",
         };
         f.write_str(s)
     }
@@ -243,12 +249,13 @@ impl UnimemSystem {
     /// local-vs-remote split the paper's exclusive-cacheability
     /// argument turns on, and directory migrations.
     pub fn export_metrics(&self, m: &mut MetricsRegistry, prefix: &str) {
-        const KINDS: [(AccessKind, &str); 5] = [
+        const KINDS: [(AccessKind, &str); 6] = [
             (AccessKind::CacheHit, "cache_hit"),
             (AccessKind::CacheMissLocalFill, "miss_local_fill"),
             (AccessKind::CacheMissRemoteFill, "miss_remote_fill"),
             (AccessKind::RemoteUncached, "remote_uncached"),
             (AccessKind::Atomic, "atomic"),
+            (AccessKind::RemoteServed, "remote_served"),
         ];
         for (kind, label) in KINDS {
             m.add(&format!("{prefix}.access.{label}"), self.count(kind));
@@ -307,6 +314,18 @@ impl UnimemSystem {
         cp.check(invariant::UNIMEM_COUNTS_AGREE, misses == fills, || {
             format!("cache misses {misses} != local+remote fills {fills}")
         });
+    }
+
+    /// Home-side service of a UNIMEM request that arrived from outside
+    /// this memory system: one DRAM access of `bytes`, counted as
+    /// [`AccessKind::RemoteServed`]. The sharded simulator runs one
+    /// `UnimemSystem` per cluster, so a cross-cluster access splits into
+    /// the NoC transit (paid by the message carrying the request) and
+    /// this service cost at the home cluster.
+    pub fn serve_remote(&mut self, bytes: u64) -> (Duration, Energy) {
+        let (latency, energy) = self.dram.access(bytes);
+        self.bump(AccessKind::RemoteServed);
+        (latency, energy)
     }
 
     /// Reads `bytes` at `addr` from `node`.
@@ -547,6 +566,21 @@ mod tests {
         let net = Network::new(TreeTopology::new(&[4, 4]), NetworkConfig::default());
         let mem = UnimemSystem::new(16, CacheConfig::l1_default(), DramModel::default());
         (net, mem)
+    }
+
+    #[test]
+    fn serve_remote_charges_dram_and_counts() {
+        let (_, mut mem) = setup();
+        let (lat, e) = mem.serve_remote(64);
+        assert!(lat > Duration::ZERO);
+        assert!(e > Energy::ZERO);
+        assert_eq!(mem.count(AccessKind::RemoteServed), 1);
+        // exported under its own key, outside the local/remote split of
+        // accesses the cluster itself issued
+        let mut m = MetricsRegistry::new();
+        mem.export_metrics(&mut m, "mem");
+        assert_eq!(m.counter("mem.access.remote_served"), Some(1));
+        assert_eq!(m.counter("mem.remote_accesses"), Some(0));
     }
 
     #[test]

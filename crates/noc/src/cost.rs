@@ -8,7 +8,7 @@
 
 use ecoscale_sim::{Duration, Energy};
 
-use crate::topology::Route;
+use crate::topology::{NodeId, Route, Topology, TreeTopology};
 
 /// Cost parameters for links at one hierarchy level.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -156,6 +156,39 @@ impl CostModel {
         e
     }
 
+    /// The minimum header latency of any message between Workers in
+    /// *different* level-`cluster_level` subtrees of `topo`.
+    ///
+    /// This is the safe lookahead for a DES engine sharded at that level
+    /// of the hierarchy: no cross-cluster interaction can take effect
+    /// sooner, so every cluster may run `[t, t + lookahead)` without
+    /// synchronizing. In a tree, every pair whose lowest common ancestor
+    /// sits at level `c` costs the same, so scanning one representative
+    /// pair per ancestor level `c` in `cluster_level+1 ..= levels()`
+    /// covers all inter-cluster pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cluster_level` is 0 (every Worker its own cluster has no
+    /// positive latency floor below one hop pair — use level >= 1) or not
+    /// below `topo.levels()` (coarser would leave a single cluster).
+    pub fn min_inter_cluster_latency(&self, topo: &TreeTopology, cluster_level: usize) -> Duration {
+        assert!(
+            cluster_level >= 1 && cluster_level < topo.levels(),
+            "cluster level {cluster_level} must be in 1..{}",
+            topo.levels()
+        );
+        (cluster_level + 1..=topo.levels())
+            .map(|c| {
+                // first leaf of the second level-(c-1) subtree: the nearest
+                // Worker whose common ancestor with Worker 0 is level c
+                let dst = NodeId(topo.subtree_leaves(c - 1));
+                self.latency(&topo.route(NodeId(0), dst), 0)
+            })
+            .min()
+            .expect("at least one ancestor level above the cluster level")
+    }
+
     /// Serialization time of `bytes` at the bottleneck bandwidth of
     /// `route` (zero for a local route).
     pub fn serialization(&self, route: &Route, bytes: u64) -> Duration {
@@ -248,6 +281,50 @@ mod tests {
         // bottleneck is the highest level traversed (level 3 -> 2 GB/s)
         let s = m.serialization(&far, 2_000_000);
         assert_eq!(s, Duration::from_ms(1));
+    }
+
+    #[test]
+    fn min_inter_cluster_latency_known_value() {
+        // clusters = level-1 groups of [4, 4]: nearest foreign Worker is
+        // up on-chip, across the board switch, down on-chip:
+        // 5 + 40 + 40 + 5 = 90 ns
+        let m = CostModel::ecoscale_defaults();
+        let t = TreeTopology::new(&[4, 4]);
+        assert_eq!(m.min_inter_cluster_latency(&t, 1), Duration::from_ns(90));
+    }
+
+    #[test]
+    fn min_inter_cluster_latency_matches_exhaustive_scan() {
+        let m = CostModel::ecoscale_defaults();
+        for fanouts in [&[2usize, 3, 2][..], &[4, 2, 2][..], &[3, 3][..]] {
+            let t = TreeTopology::new(fanouts);
+            for cluster_level in 1..t.levels() {
+                let mut best: Option<Duration> = None;
+                for s in 0..t.num_nodes() {
+                    for d in 0..t.num_nodes() {
+                        let (s, d) = (NodeId(s), NodeId(d));
+                        if t.subtree_index(s, cluster_level) == t.subtree_index(d, cluster_level) {
+                            continue;
+                        }
+                        let lat = m.latency(&t.route(s, d), 0);
+                        best = Some(best.map_or(lat, |b| b.min(lat)));
+                    }
+                }
+                assert_eq!(
+                    m.min_inter_cluster_latency(&t, cluster_level),
+                    best.unwrap(),
+                    "fanouts {fanouts:?}, cluster level {cluster_level}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must be in 1..")]
+    fn min_inter_cluster_latency_rejects_whole_machine_cluster() {
+        let m = CostModel::ecoscale_defaults();
+        let t = TreeTopology::new(&[4, 4]);
+        let _ = m.min_inter_cluster_latency(&t, 2);
     }
 
     #[test]

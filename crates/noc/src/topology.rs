@@ -178,6 +178,40 @@ impl TreeTopology {
         &self.fanouts
     }
 
+    /// Number of Worker leaves under one level-`level` subtree
+    /// (`subtree_leaves(0)` = 1 — a leaf is its own level-0 subtree;
+    /// `subtree_leaves(levels())` = the whole machine).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level > levels()`.
+    pub fn subtree_leaves(&self, level: usize) -> usize {
+        assert!(
+            level <= self.levels(),
+            "level {level} beyond tree depth {}",
+            self.levels()
+        );
+        self.subtree_size[level]
+    }
+
+    /// Index (in left-to-right order) of the level-`level` subtree
+    /// containing `node`. Two nodes share a level-`k` subtree iff their
+    /// level-`k` indices match; the sharded engine uses this to map
+    /// Workers onto their cluster.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range or `level > levels()`.
+    pub fn subtree_index(&self, node: NodeId, level: usize) -> usize {
+        check_bounds(self.num_nodes, node, node);
+        assert!(
+            level <= self.levels(),
+            "level {level} beyond tree depth {}",
+            self.levels()
+        );
+        node.0 / self.subtree_size[level]
+    }
+
     /// The lowest level at which `a` and `b` share a subtree
     /// (0 = same leaf; `k` = same level-`k` subtree).
     pub fn common_level(&self, a: NodeId, b: NodeId) -> usize {
@@ -592,6 +626,38 @@ mod tests {
         assert_eq!(t.num_nodes(), 64);
         assert_eq!(t.levels(), 3);
         assert_eq!(t.fanouts(), &[8, 4, 2]);
+    }
+
+    #[test]
+    fn tree_subtree_accessors() {
+        let t = TreeTopology::new(&[4, 2, 3]);
+        assert_eq!(t.subtree_leaves(0), 1);
+        assert_eq!(t.subtree_leaves(1), 4);
+        assert_eq!(t.subtree_leaves(2), 8);
+        assert_eq!(t.subtree_leaves(3), 24);
+        assert_eq!(t.subtree_index(NodeId(0), 1), 0);
+        assert_eq!(t.subtree_index(NodeId(5), 1), 1);
+        assert_eq!(t.subtree_index(NodeId(7), 2), 0);
+        assert_eq!(t.subtree_index(NodeId(8), 2), 1);
+        // consistency with common_level: same level-k index iff common
+        // level <= k
+        for s in 0..t.num_nodes() {
+            for d in 0..t.num_nodes() {
+                let (s, d) = (NodeId(s), NodeId(d));
+                for k in 0..=t.levels() {
+                    assert_eq!(
+                        t.subtree_index(s, k) == t.subtree_index(d, k),
+                        t.common_level(s, d) <= k
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond tree depth")]
+    fn tree_subtree_leaves_bounds_checked() {
+        TreeTopology::new(&[4]).subtree_leaves(2);
     }
 
     #[test]

@@ -50,6 +50,7 @@ pub use opencl::{Buffer, BufferScope, CommandQueue, Context, KernelObject, Platf
 pub use pgas::{Distribution, GlobalArray, PgasSpace};
 pub use resilience::{Backoff, Domain, ResilienceConfig, ResilienceManager, RetryPolicy};
 pub use sched::{
-    skewed_trace, skewed_trace_with_spacing, ClusterSim, SchedPolicy, SchedReport, TaskSpec,
+    partitioned_traces, skewed_trace, skewed_trace_with_spacing, ClusterSim, SchedPolicy,
+    SchedReport, TaskSpec,
 };
 pub use task::{Task, TaskId};

@@ -80,6 +80,13 @@ pub mod invariant {
     pub const SYSTEM_TIME_MONOTONE: &str = "system.time_monotone";
     /// Accumulated energy never decreases between checks.
     pub const SYSTEM_ENERGY_MONOTONE: &str = "system.energy_monotone";
+    /// The sharded engine's safe-window end never moves backwards, and no
+    /// cluster clock ever runs ahead of the window it executed under.
+    pub const SHARD_WINDOW_MONOTONE: &str = "shard.window_monotone";
+    /// Cross-shard mailbox conservation: every message sent through a
+    /// per-pair mailbox is delivered exactly once, and no mailbox holds
+    /// messages after the engine stops (stops happen post-drain).
+    pub const SHARD_MAILBOX_CONSERVED: &str = "shard.mailbox_conserved";
     /// Test-only hook used by `fuzz_configs --inject-violation` to prove the
     /// catch → shrink → repro pipeline works end to end.
     pub const SABOTAGE: &str = "check.sabotage";
@@ -134,6 +141,14 @@ pub mod invariant {
         (SEU_COUNTS_AGREE, "scrubber counters mutually consistent"),
         (SYSTEM_TIME_MONOTONE, "simulated time never decreases"),
         (SYSTEM_ENERGY_MONOTONE, "accumulated energy never decreases"),
+        (
+            SHARD_WINDOW_MONOTONE,
+            "safe-window end and cluster clocks monotone",
+        ),
+        (
+            SHARD_MAILBOX_CONSERVED,
+            "cross-shard messages delivered exactly once",
+        ),
         (SABOTAGE, "test-only deliberate violation hook"),
     ];
 }

@@ -4,6 +4,12 @@
 //! [`Simulation`] owns the event queue and repeatedly delivers the earliest
 //! event to the handler until the queue drains, a time horizon passes, or
 //! an event budget is exhausted.
+//!
+//! This is the single-queue engine. Models that partition into clusters
+//! with a bounded minimum communication latency can instead run on the
+//! conservative-parallel [`crate::shard::ShardedEngine`], which shares
+//! this module's [`StopReason`] vocabulary and produces byte-identical
+//! results at any shard count.
 
 use crate::event::EventQueue;
 use crate::time::Time;

@@ -14,6 +14,12 @@
 //! and before anything later. They therefore go to a plain ring buffer
 //! that is pushed and popped in `O(1)`, bypassing the `BinaryHeap`
 //! entirely; only genuinely future events pay the `O(log n)` heap cost.
+//!
+//! Heap entries are fixed-size `(time, seq, slot)` keys; the event
+//! payloads live in a slot arena whose freed slots are chained through a
+//! freelist and reused by the next push. In steady state (pushes balanced
+//! by pops) neither the heap nor the arena grows, so the hot path
+//! performs zero allocations.
 
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
@@ -21,24 +27,25 @@ use std::collections::{BinaryHeap, VecDeque};
 use crate::time::{Duration, Time};
 
 #[derive(Debug)]
-struct Entry<E> {
+struct Entry {
     time: Time,
     seq: u64,
-    event: E,
+    /// Index of the event payload in the arena.
+    slot: u32,
 }
 
-impl<E> PartialEq for Entry<E> {
+impl PartialEq for Entry {
     fn eq(&self, other: &Self) -> bool {
         self.time == other.time && self.seq == other.seq
     }
 }
-impl<E> Eq for Entry<E> {}
-impl<E> PartialOrd for Entry<E> {
+impl Eq for Entry {}
+impl PartialOrd for Entry {
     fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
         Some(self.cmp(other))
     }
 }
-impl<E> Ord for Entry<E> {
+impl Ord for Entry {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
         self.time.cmp(&other.time).then(self.seq.cmp(&other.seq))
     }
@@ -63,7 +70,12 @@ impl<E> Ord for Entry<E> {
 /// ```
 #[derive(Debug)]
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Reverse<Entry<E>>>,
+    heap: BinaryHeap<Reverse<Entry>>,
+    /// Heap event payloads, indexed by `Entry::slot`. `None` slots are
+    /// free and chained through `free_slots` for reuse.
+    arena: Vec<Option<E>>,
+    /// Indices of free arena slots (a freelist kept as a stack).
+    free_slots: Vec<u32>,
     /// Events scheduled *at* the current instant, in FIFO order. Invariant:
     /// every entry here carries timestamp `now`, and was scheduled after
     /// every heap entry with timestamp `now` (heap entries at the current
@@ -86,6 +98,8 @@ impl<E> EventQueue<E> {
     pub fn new() -> EventQueue<E> {
         EventQueue {
             heap: BinaryHeap::new(),
+            arena: Vec::new(),
+            free_slots: Vec::new(),
             now_ring: VecDeque::new(),
             next_seq: 0,
             now: Time::ZERO,
@@ -97,6 +111,8 @@ impl<E> EventQueue<E> {
     pub fn with_capacity(capacity: usize) -> EventQueue<E> {
         EventQueue {
             heap: BinaryHeap::with_capacity(capacity),
+            arena: Vec::with_capacity(capacity),
+            free_slots: Vec::new(),
             now_ring: VecDeque::with_capacity(capacity.min(1024)),
             next_seq: 0,
             now: Time::ZERO,
@@ -108,6 +124,14 @@ impl<E> EventQueue<E> {
     /// avoiding reallocation churn in scheduling bursts.
     pub fn reserve(&mut self, additional: usize) {
         self.heap.reserve(additional);
+        self.arena.reserve(additional);
+    }
+
+    /// Number of arena slots ever allocated for heap payloads. In steady
+    /// state (pushes balanced by pops) this stays flat: freed slots are
+    /// reused instead of allocating per push.
+    pub fn arena_len(&self) -> usize {
+        self.arena.len()
     }
 
     /// The current simulation time: the timestamp of the most recently
@@ -137,10 +161,22 @@ impl<E> EventQueue<E> {
         }
         let seq = self.next_seq;
         self.next_seq += 1;
+        let slot = match self.free_slots.pop() {
+            Some(slot) => {
+                debug_assert!(self.arena[slot as usize].is_none());
+                self.arena[slot as usize] = Some(event);
+                slot
+            }
+            None => {
+                let slot = u32::try_from(self.arena.len()).expect("arena exhausted");
+                self.arena.push(Some(event));
+                slot
+            }
+        };
         self.heap.push(Reverse(Entry {
             time: at,
             seq,
-            event,
+            slot,
         }));
     }
 
@@ -165,7 +201,11 @@ impl<E> EventQueue<E> {
                 let Reverse(entry) = self.heap.pop().expect("peeked entry exists");
                 debug_assert!(entry.time >= self.now);
                 self.now = entry.time;
-                return Some((entry.time, entry.event));
+                let event = self.arena[entry.slot as usize]
+                    .take()
+                    .expect("heap entry has a live arena slot");
+                self.free_slots.push(entry.slot);
+                return Some((entry.time, event));
             }
         }
         let event = self.now_ring.pop_front()?;
@@ -207,9 +247,12 @@ impl<E> EventQueue<E> {
         self.scheduled_total
     }
 
-    /// Discards all pending events without advancing the clock.
+    /// Discards all pending events without advancing the clock. The arena
+    /// keeps its capacity.
     pub fn clear(&mut self) {
         self.heap.clear();
+        self.arena.clear();
+        self.free_slots.clear();
         self.now_ring.clear();
     }
 }
@@ -341,6 +384,25 @@ mod tests {
         q.schedule_now(0);
         let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
         assert_eq!(order, [0, 1]);
+    }
+
+    #[test]
+    fn steady_state_churn_performs_zero_allocations() {
+        let mut q = EventQueue::new();
+        // Warm up to the working-set size: 64 pending future events.
+        for i in 0..64u64 {
+            q.schedule(Time::from_ns(i + 1), i);
+        }
+        let arena = q.arena_len();
+        assert_eq!(arena, 64);
+        // Steady state: every push follows a pop. Freed slots must be
+        // reused, so the arena never grows past the warm-up watermark.
+        for i in 0..10_000u64 {
+            let (t, _) = q.pop().unwrap();
+            q.schedule(t + Duration::from_ns(100), i);
+            assert_eq!(q.arena_len(), arena, "push {i} allocated a new slot");
+        }
+        assert_eq!(q.len(), 64);
     }
 
     #[test]

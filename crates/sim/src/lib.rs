@@ -9,6 +9,12 @@
 //! * [`Energy`] / [`Power`] — energy accounting newtypes,
 //! * [`EventQueue`] and the [`Simulation`] engine — a deterministic
 //!   discrete-event kernel with (time, sequence) tie-breaking,
+//! * [`TimingWheel`] — a hierarchical timing wheel with an arena of
+//!   reusable entries, the per-cluster queue behind the sharded engine,
+//! * [`shard`] — the conservative-parallel engine ([`ShardedEngine`]):
+//!   cluster-partitioned wheels synchronized by NoC-lookahead safe
+//!   windows, byte-identical to sequential execution at any
+//!   `ECOSCALE_SHARDS` setting,
 //! * [`SimRng`] — a seeded random source with the distributions the
 //!   workload generators need (uniform, exponential, normal, Zipf, Pareto),
 //! * [`fault`] — seeded fault-campaign primitives ([`CampaignSpec`],
@@ -56,9 +62,11 @@ pub mod metrics;
 pub mod pool;
 pub mod report;
 pub mod rng;
+pub mod shard;
 pub mod stats;
 pub mod time;
 pub mod trace;
+pub mod wheel;
 
 pub use check::{CheckPlane, Violation};
 pub use energy::{Energy, EnergyMeter, Power};
@@ -67,6 +75,8 @@ pub use event::EventQueue;
 pub use fault::{CampaignSpec, FaultClock, ProbFault};
 pub use metrics::{Instrument, MetricsRegistry};
 pub use rng::SimRng;
+pub use shard::{ClusterCtx, ClusterModel, ShardProfile, ShardedEngine};
 pub use stats::{Counter, Histogram, OnlineStats};
 pub use time::{Duration, Time};
 pub use trace::{TraceBuffer, TraceEvent, Tracer, TrackId};
+pub use wheel::TimingWheel;

@@ -103,6 +103,80 @@ where
         .collect()
 }
 
+/// A reusable sense-reversing spin barrier for round-based parallel loops.
+///
+/// The sharded DES engine crosses a barrier several times per safe window
+/// — tens of thousands of times per run — so the mutex/condvar cost of
+/// [`std::sync::Barrier`] would dominate. This barrier spins (yielding
+/// periodically so oversubscribed CI boxes still make progress) and is
+/// reusable: generations advance automatically.
+///
+/// # Example
+///
+/// ```
+/// use std::sync::atomic::{AtomicU64, Ordering};
+/// use ecoscale_sim::pool::RoundBarrier;
+///
+/// let barrier = RoundBarrier::new(4);
+/// let sum = AtomicU64::new(0);
+/// std::thread::scope(|s| {
+///     let (sum, barrier) = (&sum, &barrier);
+///     for i in 0..4u64 {
+///         s.spawn(move || {
+///             sum.fetch_add(i + 1, Ordering::Relaxed);
+///             barrier.wait();
+///             // all four increments are visible after the barrier
+///             assert_eq!(sum.load(Ordering::Relaxed), 10);
+///         });
+///     }
+/// });
+/// ```
+#[derive(Debug)]
+pub struct RoundBarrier {
+    parties: usize,
+    arrived: AtomicUsize,
+    generation: AtomicUsize,
+}
+
+impl RoundBarrier {
+    /// Creates a barrier for `parties` threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parties` is zero.
+    pub fn new(parties: usize) -> RoundBarrier {
+        assert!(parties > 0, "barrier needs at least one party");
+        RoundBarrier {
+            parties,
+            arrived: AtomicUsize::new(0),
+            generation: AtomicUsize::new(0),
+        }
+    }
+
+    /// Blocks until all parties have called `wait` for this generation.
+    /// Returns `true` on exactly one thread per crossing (the last
+    /// arriver), mirroring `std::sync::Barrier`'s leader flag.
+    pub fn wait(&self) -> bool {
+        let gen = self.generation.load(Ordering::Acquire);
+        if self.arrived.fetch_add(1, Ordering::AcqRel) + 1 == self.parties {
+            self.arrived.store(0, Ordering::Release);
+            self.generation
+                .store(gen.wrapping_add(1), Ordering::Release);
+            return true;
+        }
+        let mut spins = 0u32;
+        while self.generation.load(Ordering::Acquire) == gen {
+            spins += 1;
+            if spins & 0x3FF == 0 {
+                std::thread::yield_now();
+            } else {
+                std::hint::spin_loop();
+            }
+        }
+        false
+    }
+}
+
 /// [`parallel_map_indexed`] without the index.
 pub fn parallel_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
 where
@@ -154,5 +228,51 @@ mod tests {
     #[test]
     fn thread_count_is_at_least_one() {
         assert!(thread_count() >= 1);
+    }
+
+    #[test]
+    fn round_barrier_synchronizes_many_rounds() {
+        const PARTIES: usize = 4;
+        const ROUNDS: usize = 500;
+        let barrier = RoundBarrier::new(PARTIES);
+        let counter = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..PARTIES {
+                s.spawn(|| {
+                    for round in 0..ROUNDS {
+                        counter.fetch_add(1, Ordering::Relaxed);
+                        barrier.wait();
+                        // every party has contributed to this round
+                        assert!(counter.load(Ordering::Relaxed) >= (round + 1) * PARTIES);
+                        barrier.wait();
+                    }
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), PARTIES * ROUNDS);
+    }
+
+    #[test]
+    fn round_barrier_elects_one_leader_per_crossing() {
+        let barrier = RoundBarrier::new(3);
+        let leaders = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..3 {
+                s.spawn(|| {
+                    for _ in 0..100 {
+                        if barrier.wait() {
+                            leaders.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(leaders.load(Ordering::Relaxed), 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one party")]
+    fn round_barrier_rejects_zero_parties() {
+        let _ = RoundBarrier::new(0);
     }
 }

@@ -1,0 +1,1080 @@
+//! Sharded conservative-parallel discrete-event engine.
+//!
+//! The ECOSCALE scaling argument is hierarchical partitioning: Workers
+//! grouped into clusters that communicate over UNIMEM/NoC links with
+//! *known, bounded minimum latency*. That bound is exactly the lookahead a
+//! conservative parallel DES needs, so the simulator can partition the
+//! system by cluster into per-shard event queues and run them on real
+//! threads without ever risking a causality violation.
+//!
+//! # Protocol
+//!
+//! [`ShardedEngine`] owns one [`TimingWheel`] per *cluster* (the model's
+//! fixed partition unit — never per shard, so the event structure is
+//! independent of how clusters are packed onto threads). Execution
+//! proceeds in safe windows:
+//!
+//! 1. **Drain**: each shard moves messages from its mailboxes into the
+//!    destination clusters' wheels and publishes the minimum pending
+//!    timestamp over its clusters.
+//! 2. **Window**: the leader computes `gmin = min(shard horizons)` and
+//!    opens the window `[gmin, gmin + lookahead)`. If nothing is pending,
+//!    the budget is exhausted, or `gmin` passed the horizon, the run stops
+//!    (always post-drain, so mailboxes are empty at every stop).
+//! 3. **Process**: every shard executes, for each owned cluster, all
+//!    events with `t < gmin + lookahead`. Cross-cluster sends must carry a
+//!    delay of at least `lookahead`, so they land at or after the window
+//!    end and cannot be needed by any cluster still executing this window.
+//!    Sends are staged into per-shard-pair mailboxes for the next drain.
+//!
+//! # Determinism
+//!
+//! Results are **byte-identical at any shard count** by construction:
+//! every event carries a canonical key `(source cluster, per-cluster send
+//! sequence)`, each cluster's wheel delivers in `(time, key)` order, the
+//! window sequence depends only on global minima (not the layout), and
+//! clusters interact exclusively through these keyed messages. Mailboxes
+//! are transport only — arrival order through them never affects delivery
+//! order. `ECOSCALE_SHARDS` (default 1) selects the shard count; shard 1
+//! is the sequential engine, same code path minus the barriers.
+//!
+//! Shards are a *partitioning* choice, threads an *execution* choice: the
+//! engine caps worker threads at the host's available parallelism and
+//! assigns each worker a contiguous group of shards, so oversubscribing
+//! `ECOSCALE_SHARDS` past the core count never melts into spin-barrier
+//! contention (results are unchanged either way). [`ShardedEngine::with_threads`]
+//! forces a specific worker count for tests.
+//!
+//! # Example
+//!
+//! ```
+//! use ecoscale_sim::shard::{ClusterCtx, ClusterModel, ShardedEngine};
+//! use ecoscale_sim::{Duration, Time};
+//!
+//! struct Echo {
+//!     heard: u64,
+//! }
+//!
+//! impl ClusterModel for Echo {
+//!     type Event = u64;
+//!     fn handle(&mut self, _now: Time, ev: u64, ctx: &mut ClusterCtx<'_, u64>) {
+//!         self.heard += ev;
+//!         if ev > 1 {
+//!             // bounce the decremented token to the next cluster
+//!             let dst = (ctx.cluster() + 1) % ctx.clusters();
+//!             ctx.send(dst, ctx.lookahead(), ev - 1);
+//!         }
+//!     }
+//! }
+//!
+//! let models = (0..4).map(|_| Echo { heard: 0 }).collect();
+//! let mut engine = ShardedEngine::new(models, Duration::from_ns(90)).with_shards(2);
+//! engine.schedule(0, Time::ZERO, 8);
+//! engine.run();
+//! let total: u64 = (0..4).map(|c| engine.model(c).heard).sum();
+//! assert_eq!(total, 8 + 7 + 6 + 5 + 4 + 3 + 2 + 1);
+//! ```
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use crate::check::{invariant, CheckPlane};
+use crate::engine::StopReason;
+use crate::pool::RoundBarrier;
+use crate::time::{Duration, Time};
+use crate::wheel::TimingWheel;
+
+/// Environment variable selecting the shard count (default: 1).
+pub const SHARDS_ENV: &str = "ECOSCALE_SHARDS";
+
+/// Bits of the canonical event key reserved for the per-cluster sequence
+/// number; the source cluster index lives above them.
+const SEQ_BITS: u32 = 48;
+/// Maximum number of clusters an engine can address.
+pub const MAX_CLUSTERS: usize = 1 << (64 - SEQ_BITS);
+
+/// The configured shard count: `ECOSCALE_SHARDS` if set to a positive
+/// integer, else 1 (sequential — the current behavior).
+///
+/// Read on every call so tests can toggle the variable between runs.
+pub fn shard_count() -> usize {
+    if let Ok(v) = std::env::var(SHARDS_ENV) {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    1
+}
+
+/// Packs the canonical event key: source cluster in the high bits, the
+/// per-cluster send sequence below.
+fn pack_key(src: usize, seq: u64) -> u64 {
+    debug_assert!(src < MAX_CLUSTERS);
+    debug_assert!(seq < 1 << SEQ_BITS);
+    ((src as u64) << SEQ_BITS) | seq
+}
+
+/// A partitioned model: one instance per cluster, driven by cluster-local
+/// events, interacting with other clusters only through [`ClusterCtx::send`].
+pub trait ClusterModel: Send {
+    /// The cluster-local event type.
+    type Event: Send;
+
+    /// Handles one event delivered at `now`. New local events and
+    /// cross-cluster messages are issued through `ctx`.
+    fn handle(&mut self, now: Time, event: Self::Event, ctx: &mut ClusterCtx<'_, Self::Event>);
+}
+
+/// The scheduling surface a [`ClusterModel`] sees while handling an event.
+pub struct ClusterCtx<'a, E> {
+    now: Time,
+    cluster: usize,
+    clusters: usize,
+    lookahead: Duration,
+    wheel: &'a mut TimingWheel<E>,
+    seq: &'a mut u64,
+    outbox: &'a mut Vec<OutMsg<E>>,
+}
+
+impl<E> ClusterCtx<'_, E> {
+    /// The timestamp of the event being handled.
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// This cluster's index.
+    pub fn cluster(&self) -> usize {
+        self.cluster
+    }
+
+    /// Total number of clusters in the engine.
+    pub fn clusters(&self) -> usize {
+        self.clusters
+    }
+
+    /// The engine's lookahead: the minimum legal cross-cluster delay.
+    pub fn lookahead(&self) -> Duration {
+        self.lookahead
+    }
+
+    fn next_key(&mut self) -> u64 {
+        let key = pack_key(self.cluster, *self.seq);
+        *self.seq += 1;
+        key
+    }
+
+    /// Schedules a cluster-local event at absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is before `now`.
+    pub fn schedule_at(&mut self, at: Time, event: E) {
+        let key = self.next_key();
+        self.wheel.schedule(at, key, event);
+    }
+
+    /// Schedules a cluster-local event at `now + delay`.
+    pub fn schedule_in(&mut self, delay: Duration, event: E) {
+        self.schedule_at(self.now + delay, event);
+    }
+
+    /// Sends `event` to cluster `dst`, arriving at `now + delay`.
+    ///
+    /// A send to this cluster itself is an ordinary local schedule (any
+    /// delay). A cross-cluster send must respect the lookahead — that
+    /// bound is what makes the safe-window protocol conservative.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dst` is out of range, or if `dst` differs from this
+    /// cluster and `delay` is below the engine lookahead.
+    pub fn send(&mut self, dst: usize, delay: Duration, event: E) {
+        assert!(
+            dst < self.clusters,
+            "destination cluster {dst} out of range"
+        );
+        if dst == self.cluster {
+            self.schedule_in(delay, event);
+            return;
+        }
+        assert!(
+            delay >= self.lookahead,
+            "cross-cluster delay {delay} below lookahead {}",
+            self.lookahead
+        );
+        let key = self.next_key();
+        self.outbox.push(OutMsg {
+            dst: dst as u32,
+            at: self.now + delay,
+            key,
+            event,
+        });
+    }
+}
+
+/// A staged cross-cluster message.
+struct OutMsg<E> {
+    dst: u32,
+    at: Time,
+    key: u64,
+    event: E,
+}
+
+struct ClusterState<M: ClusterModel> {
+    model: M,
+    wheel: TimingWheel<M::Event>,
+    seq: u64,
+    clock: Time,
+    events: u64,
+    outbox: Vec<OutMsg<M::Event>>,
+}
+
+/// One shard's clusters, tagged with their global cluster indices.
+type ShardPart<M> = Vec<(usize, ClusterState<M>)>;
+
+/// A worker's owned shards: `(shard index, that shard's clusters)`.
+type WorkerShards<M> = Vec<(usize, ShardPart<M>)>;
+
+/// A worker's return: its clusters, counters, stop reason, and (leader
+/// only) the window-end sequence.
+type WorkerResult<M> = (ShardPart<M>, WorkerStats, StopReason, Vec<u64>);
+
+/// Per-worker counters folded into the engine after a run.
+#[derive(Debug, Default, Clone, Copy)]
+struct WorkerStats {
+    events: u64,
+    sent: u64,
+    delivered: u64,
+}
+
+/// Critical-path profile of a run, collected when
+/// [`ShardedEngine::profile_as`] is armed: per safe window, how long each
+/// hypothetical shard's slice took on the measuring host.
+///
+/// `seq_ns / crit_ns` is the standard conservative-PDES critical-path
+/// speedup bound — what the window protocol would yield with one core per
+/// shard and free barriers. It is measured from the *sequential* run (the
+/// event stream is byte-identical at any shard count, so the per-cluster
+/// work is too), which keeps barrier noise out of the numerator.
+#[derive(Debug, Default, Clone)]
+pub struct ShardProfile {
+    /// The hypothetical shard count the profile was bucketed for.
+    pub shards: usize,
+    /// Total processing time across all clusters (ns).
+    pub seq_ns: u128,
+    /// Sum over windows of the slowest shard's slice (ns).
+    pub crit_ns: u128,
+    /// Windows profiled.
+    pub rounds: u64,
+}
+
+impl ShardProfile {
+    /// `seq_ns / crit_ns`: the speedup an ideal `shards`-core host could
+    /// reach on this workload (1.0 when nothing was profiled).
+    pub fn critical_path_speedup(&self) -> f64 {
+        if self.crit_ns == 0 {
+            1.0
+        } else {
+            self.seq_ns as f64 / self.crit_ns as f64
+        }
+    }
+}
+
+/// Shared coordination state for one parallel run.
+struct RunShared<E> {
+    barrier: RoundBarrier,
+    /// Per-shard minimum pending timestamp (ps; `u64::MAX` = idle).
+    next_times: Vec<AtomicU64>,
+    /// Safe-window end for the current round (ps, exclusive).
+    window_end: AtomicU64,
+    /// 0 = keep running, else `StopReason` code (1/2/3).
+    stop: AtomicU64,
+    /// Events processed in finished rounds (budget checks).
+    total_events: AtomicU64,
+    /// Cleared by the leader if a window end ever regresses.
+    windows_monotone: AtomicBool,
+    /// Per-shard-pair mailboxes, indexed `src_shard * shards + dst_shard`.
+    mail: Vec<Mutex<Vec<OutMsg<E>>>>,
+}
+
+/// The conservative-parallel engine: per-cluster wheels, safe-window
+/// synchronization, deterministic keyed messaging. See the [module
+/// docs](self) for the protocol and determinism argument.
+pub struct ShardedEngine<M: ClusterModel> {
+    clusters: Vec<ClusterState<M>>,
+    lookahead: Duration,
+    shards: usize,
+    threads: Option<usize>,
+    profile: Option<ShardProfile>,
+    events_processed: u64,
+    rounds: u64,
+    messages_sent: u64,
+    messages_delivered: u64,
+    last_window_end: Time,
+    windows_monotone: bool,
+}
+
+impl<M: ClusterModel> ShardedEngine<M> {
+    /// Creates an engine over one model per cluster with the given
+    /// lookahead, reading the shard count from `ECOSCALE_SHARDS`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `models` is empty or larger than [`MAX_CLUSTERS`], or if
+    /// `lookahead` is zero (a conservative protocol needs strictly
+    /// positive lookahead to make progress).
+    pub fn new(models: Vec<M>, lookahead: Duration) -> ShardedEngine<M> {
+        assert!(!models.is_empty(), "engine needs at least one cluster");
+        assert!(
+            models.len() <= MAX_CLUSTERS,
+            "too many clusters ({} > {MAX_CLUSTERS})",
+            models.len()
+        );
+        assert!(
+            lookahead > Duration::ZERO,
+            "conservative lookahead must be positive"
+        );
+        ShardedEngine {
+            clusters: models
+                .into_iter()
+                .map(|model| ClusterState {
+                    model,
+                    wheel: TimingWheel::new(),
+                    seq: 0,
+                    clock: Time::ZERO,
+                    events: 0,
+                    outbox: Vec::new(),
+                })
+                .collect(),
+            lookahead,
+            shards: shard_count(),
+            threads: None,
+            profile: None,
+            events_processed: 0,
+            rounds: 0,
+            messages_sent: 0,
+            messages_delivered: 0,
+            last_window_end: Time::ZERO,
+            windows_monotone: true,
+        }
+    }
+
+    /// Overrides the shard count (otherwise taken from `ECOSCALE_SHARDS`).
+    pub fn with_shards(mut self, shards: usize) -> ShardedEngine<M> {
+        self.shards = shards.max(1);
+        self
+    }
+
+    /// Forces the worker-thread count for parallel runs. By default the
+    /// engine spawns `min(shards, available_parallelism)` workers, each
+    /// owning a contiguous group of shards; results are identical either
+    /// way, so this only matters for exercising the barrier under real
+    /// concurrency or benchmarking a specific width.
+    pub fn with_threads(mut self, threads: usize) -> ShardedEngine<M> {
+        self.threads = Some(threads.max(1));
+        self
+    }
+
+    /// Arms critical-path profiling for a hypothetical `shards`-way
+    /// partition. Subsequent runs execute *sequentially* (profiling and
+    /// thread timing don't mix) and fill [`ShardedEngine::profile`].
+    pub fn profile_as(&mut self, shards: usize) {
+        self.profile = Some(ShardProfile {
+            shards: shards.max(1),
+            ..ShardProfile::default()
+        });
+    }
+
+    /// The critical-path profile collected since [`ShardedEngine::profile_as`],
+    /// if armed.
+    pub fn profile(&self) -> Option<&ShardProfile> {
+        self.profile.as_ref()
+    }
+
+    /// The requested shard count. The effective count is capped at the
+    /// number of clusters.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// Number of clusters.
+    pub fn clusters(&self) -> usize {
+        self.clusters.len()
+    }
+
+    /// The engine lookahead.
+    pub fn lookahead(&self) -> Duration {
+        self.lookahead
+    }
+
+    /// The model of cluster `c`.
+    pub fn model(&self, c: usize) -> &M {
+        &self.clusters[c].model
+    }
+
+    /// Mutable model of cluster `c` (setup between runs).
+    pub fn model_mut(&mut self, c: usize) -> &mut M {
+        &mut self.clusters[c].model
+    }
+
+    /// Consumes the engine, returning the models in cluster order.
+    pub fn into_models(self) -> Vec<M> {
+        self.clusters.into_iter().map(|c| c.model).collect()
+    }
+
+    /// Total events delivered across all clusters.
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// Events delivered on cluster `c`.
+    pub fn cluster_events(&self, c: usize) -> u64 {
+        self.clusters[c].events
+    }
+
+    /// Safe windows executed. Identical at any shard count.
+    pub fn rounds(&self) -> u64 {
+        self.rounds
+    }
+
+    /// Cross-cluster messages sent.
+    pub fn messages_sent(&self) -> u64 {
+        self.messages_sent
+    }
+
+    /// Cross-cluster messages delivered (equals sent after every stop —
+    /// the mailbox-conservation invariant).
+    pub fn messages_delivered(&self) -> u64 {
+        self.messages_delivered
+    }
+
+    /// The latest cluster clock: the timestamp of the last event any
+    /// cluster processed.
+    pub fn clock(&self) -> Time {
+        self.clusters
+            .iter()
+            .map(|c| c.clock)
+            .max()
+            .unwrap_or(Time::ZERO)
+    }
+
+    /// Seeds `event` on cluster `cluster` at absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cluster` is out of range or `at` is in the cluster's
+    /// past.
+    pub fn schedule(&mut self, cluster: usize, at: Time, event: M::Event) {
+        let c = &mut self.clusters[cluster];
+        let key = pack_key(cluster, c.seq);
+        c.seq += 1;
+        c.wheel.schedule(at, key, event);
+    }
+
+    /// CheckPlane hook: safe-window monotonicity (window ends never
+    /// regress, no cluster clock beyond the last window) and mailbox
+    /// conservation (sent == delivered; stops happen post-drain, so no
+    /// message is ever stranded). Read-only; early-outs when disabled.
+    pub fn check_invariants(&self, cp: &mut CheckPlane) {
+        if !cp.is_enabled() {
+            return;
+        }
+        let clocks_ok = self
+            .clusters
+            .iter()
+            .all(|c| c.clock <= self.last_window_end || c.events == 0);
+        cp.check(
+            invariant::SHARD_WINDOW_MONOTONE,
+            self.windows_monotone && clocks_ok,
+            || {
+                format!(
+                    "windows_monotone={} last_window_end={} max_clock={}",
+                    self.windows_monotone,
+                    self.last_window_end,
+                    self.clock()
+                )
+            },
+        );
+        cp.check_monotone(
+            invariant::SHARD_WINDOW_MONOTONE,
+            self.last_window_end.as_ps() as f64,
+        );
+        cp.check(
+            invariant::SHARD_MAILBOX_CONSERVED,
+            self.messages_sent == self.messages_delivered,
+            || {
+                format!(
+                    "sent {} != delivered {}",
+                    self.messages_sent, self.messages_delivered
+                )
+            },
+        );
+    }
+
+    /// Runs until every wheel and mailbox drains. Returns the final
+    /// simulation time (the latest cluster clock).
+    pub fn run(&mut self) -> Time {
+        self.run_until(Time::MAX, u64::MAX);
+        self.clock()
+    }
+
+    /// Runs until everything drains, the next window would open after
+    /// `horizon`, or at least `max_events` events have been delivered.
+    ///
+    /// Events *at* the horizon are still delivered. The budget is checked
+    /// at window boundaries (windows always complete), so the stop point
+    /// is identical at any shard count.
+    pub fn run_until(&mut self, horizon: Time, max_events: u64) -> StopReason {
+        let shards = self.shards.min(self.clusters.len()).max(1);
+        if shards == 1 || self.profile.is_some() {
+            self.run_sequential(horizon, max_events)
+        } else {
+            self.run_parallel(shards, horizon, max_events)
+        }
+    }
+
+    /// Leader decision: stop, or open the next window. Returns the window
+    /// end (ps, exclusive) or the stop reason.
+    fn decide(
+        &self,
+        gmin_ps: u64,
+        horizon: Time,
+        max_events: u64,
+        events_so_far: u64,
+    ) -> Result<u64, StopReason> {
+        if events_so_far >= max_events {
+            return Err(StopReason::BudgetExhausted);
+        }
+        if gmin_ps == u64::MAX {
+            return Err(StopReason::QueueEmpty);
+        }
+        if gmin_ps > horizon.as_ps() {
+            return Err(StopReason::HorizonReached);
+        }
+        let wend = gmin_ps
+            .saturating_add(self.lookahead.as_ps())
+            .min(horizon.as_ps().saturating_add(1));
+        Ok(wend)
+    }
+
+    fn note_window(&mut self, wend_ps: u64) {
+        let wend = Time::from_ps(wend_ps);
+        if wend < self.last_window_end {
+            self.windows_monotone = false;
+        }
+        self.last_window_end = wend;
+        self.rounds += 1;
+    }
+
+    fn run_sequential(&mut self, horizon: Time, max_events: u64) -> StopReason {
+        let clusters = self.clusters.len();
+        let lookahead = self.lookahead;
+        let mut pending: Vec<OutMsg<M::Event>> = Vec::new();
+        let profile_shards = self.profile.as_ref().map_or(0, |p| p.shards.min(clusters));
+        let mut buckets: Vec<u128> = vec![0; profile_shards];
+        loop {
+            // Drain: staged messages land in their destination wheels.
+            for msg in pending.drain(..) {
+                self.clusters[msg.dst as usize]
+                    .wheel
+                    .schedule(msg.at, msg.key, msg.event);
+                self.messages_delivered += 1;
+            }
+            let gmin = self
+                .clusters
+                .iter()
+                .filter_map(|c| c.wheel.peek_time())
+                .map(Time::as_ps)
+                .min()
+                .unwrap_or(u64::MAX);
+            let wend = match self.decide(gmin, horizon, max_events, self.events_processed) {
+                Ok(wend) => wend,
+                Err(reason) => return reason,
+            };
+            self.note_window(wend);
+            // Process: every cluster executes its slice of the window.
+            buckets.iter_mut().for_each(|b| *b = 0);
+            for idx in 0..clusters {
+                let state = &mut self.clusters[idx];
+                let t0 = (profile_shards > 0).then(std::time::Instant::now);
+                self.events_processed += process_window(idx, state, clusters, lookahead, wend);
+                if let Some(t0) = t0 {
+                    buckets[idx * profile_shards / clusters] += t0.elapsed().as_nanos();
+                }
+                self.messages_sent += state.outbox.len() as u64;
+                pending.append(&mut state.outbox);
+            }
+            if let Some(p) = self.profile.as_mut() {
+                p.seq_ns += buckets.iter().sum::<u128>();
+                p.crit_ns += buckets.iter().copied().max().unwrap_or(0);
+                p.rounds += 1;
+            }
+        }
+    }
+
+    fn run_parallel(&mut self, shards: usize, horizon: Time, max_events: u64) -> StopReason {
+        let clusters = self.clusters.len();
+        let lookahead = self.lookahead;
+        // Contiguous balanced partition: cluster c belongs to shard
+        // c * shards / clusters (layout never affects results).
+        let mut parts: Vec<ShardPart<M>> = (0..shards).map(|_| Vec::new()).collect();
+        for (idx, state) in std::mem::take(&mut self.clusters).into_iter().enumerate() {
+            parts[idx * shards / clusters].push((idx, state));
+        }
+        // Workers are capped at the host's parallelism; each owns a
+        // contiguous group of shards (shard s → worker s * threads /
+        // shards), so oversubscribed shard counts cost bookkeeping, not
+        // spin-barrier contention.
+        let threads = self
+            .threads
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+            })
+            .clamp(1, shards);
+        let mut groups: Vec<WorkerShards<M>> = (0..threads).map(|_| Vec::new()).collect();
+        for (shard, part) in parts.into_iter().enumerate() {
+            groups[shard * threads / shards].push((shard, part));
+        }
+        let shared: RunShared<M::Event> = RunShared {
+            barrier: RoundBarrier::new(threads),
+            next_times: (0..shards).map(|_| AtomicU64::new(u64::MAX)).collect(),
+            window_end: AtomicU64::new(0),
+            stop: AtomicU64::new(0),
+            total_events: AtomicU64::new(self.events_processed),
+            windows_monotone: AtomicBool::new(true),
+            mail: (0..shards * shards)
+                .map(|_| Mutex::new(Vec::new()))
+                .collect(),
+        };
+        // The leader (worker 0) needs window bookkeeping the workers don't
+        // share; collected via its returned stats.
+        let mut leader_windows: Vec<u64> = Vec::new();
+        let base_events = self.events_processed;
+        let results: Vec<WorkerResult<M>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = groups
+                .into_iter()
+                .enumerate()
+                .map(|(worker, mine)| {
+                    let shared = &shared;
+                    scope.spawn(move || {
+                        run_worker(
+                            worker, shards, clusters, lookahead, horizon, max_events, mine, shared,
+                        )
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("shard worker panicked"))
+                .collect()
+        });
+        let mut reason = StopReason::QueueEmpty;
+        let mut reassembled: ShardPart<M> = Vec::with_capacity(clusters);
+        for (worker, (states, stats, worker_reason, windows)) in results.into_iter().enumerate() {
+            reassembled.extend(states);
+            self.messages_sent += stats.sent;
+            self.messages_delivered += stats.delivered;
+            if worker == 0 {
+                reason = worker_reason;
+                leader_windows = windows;
+            }
+        }
+        reassembled.sort_by_key(|(idx, _)| *idx);
+        self.clusters = reassembled.into_iter().map(|(_, s)| s).collect();
+        self.events_processed = shared.total_events.load(Ordering::Acquire);
+        debug_assert!(self.events_processed >= base_events);
+        if !shared.windows_monotone.load(Ordering::Acquire) {
+            self.windows_monotone = false;
+        }
+        for wend in leader_windows {
+            self.note_window(wend);
+        }
+        reason
+    }
+}
+
+/// Executes one cluster's slice of the current window; returns the number
+/// of events delivered.
+fn process_window<M: ClusterModel>(
+    idx: usize,
+    state: &mut ClusterState<M>,
+    clusters: usize,
+    lookahead: Duration,
+    wend_ps: u64,
+) -> u64 {
+    let mut delivered = 0u64;
+    loop {
+        match state.wheel.peek_time() {
+            Some(t) if t.as_ps() < wend_ps => {}
+            _ => break,
+        }
+        let (t, _key, event) = state.wheel.pop().expect("peeked event exists");
+        state.clock = t;
+        delivered += 1;
+        let mut ctx = ClusterCtx {
+            now: t,
+            cluster: idx,
+            clusters,
+            lookahead,
+            wheel: &mut state.wheel,
+            seq: &mut state.seq,
+            outbox: &mut state.outbox,
+        };
+        state.model.handle(t, event, &mut ctx);
+    }
+    state.events += delivered;
+    delivered
+}
+
+/// The worker loop — drain → window decision → process — over every shard
+/// the worker owns.
+#[allow(clippy::too_many_arguments)]
+fn run_worker<M: ClusterModel>(
+    worker: usize,
+    shards: usize,
+    clusters: usize,
+    lookahead: Duration,
+    horizon: Time,
+    max_events: u64,
+    mut mine: WorkerShards<M>,
+    shared: &RunShared<M::Event>,
+) -> WorkerResult<M> {
+    let mut stats = WorkerStats::default();
+    let mut windows: Vec<u64> = Vec::new();
+    let mut last_wend = 0u64;
+    let reason = loop {
+        // Phase A: drain each owned shard's inboxes into its clusters'
+        // wheels. Each mailbox has exactly one reading worker, so the
+        // locks are uncontended.
+        for (shard, part) in mine.iter_mut() {
+            for src in 0..shards {
+                let inbox = std::mem::take(
+                    &mut *shared.mail[src * shards + *shard]
+                        .lock()
+                        .expect("mailbox poisoned"),
+                );
+                for msg in inbox {
+                    let dst = msg.dst as usize;
+                    let slot = part
+                        .binary_search_by_key(&dst, |(idx, _)| *idx)
+                        .expect("message routed to owning shard");
+                    part[slot].1.wheel.schedule(msg.at, msg.key, msg.event);
+                    stats.delivered += 1;
+                }
+            }
+            let my_min = part
+                .iter()
+                .filter_map(|(_, c)| c.wheel.peek_time())
+                .map(Time::as_ps)
+                .min()
+                .unwrap_or(u64::MAX);
+            shared.next_times[*shard].store(my_min, Ordering::Release);
+        }
+        shared.barrier.wait();
+        if worker == 0 {
+            // Leader: fold shard horizons into the global window.
+            let gmin = shared
+                .next_times
+                .iter()
+                .map(|t| t.load(Ordering::Acquire))
+                .min()
+                .unwrap_or(u64::MAX);
+            let events_so_far = shared.total_events.load(Ordering::Acquire);
+            let decision = decide_static(gmin, horizon, max_events, events_so_far, lookahead);
+            match decision {
+                Ok(wend) => {
+                    if wend < last_wend {
+                        shared.windows_monotone.store(false, Ordering::Release);
+                    }
+                    last_wend = wend;
+                    windows.push(wend);
+                    shared.window_end.store(wend, Ordering::Release);
+                    shared.stop.store(0, Ordering::Release);
+                }
+                Err(reason) => {
+                    shared.stop.store(stop_code(reason), Ordering::Release);
+                }
+            }
+        }
+        shared.barrier.wait();
+        let code = shared.stop.load(Ordering::Acquire);
+        if code != 0 {
+            break stop_reason(code);
+        }
+        // Phase B: process the window and stage outgoing messages.
+        let wend = shared.window_end.load(Ordering::Acquire);
+        let mut processed = 0u64;
+        for (shard, part) in mine.iter_mut() {
+            for (idx, state) in part.iter_mut() {
+                processed += process_window(*idx, state, clusters, lookahead, wend);
+                stats.sent += state.outbox.len() as u64;
+                for msg in state.outbox.drain(..) {
+                    let dst_shard = msg.dst as usize * shards / clusters;
+                    shared.mail[*shard * shards + dst_shard]
+                        .lock()
+                        .expect("mailbox poisoned")
+                        .push(msg);
+                }
+            }
+        }
+        stats.events += processed;
+        shared.total_events.fetch_add(processed, Ordering::AcqRel);
+        // The barrier between process and the next drain keeps a fast
+        // worker from draining while a slow one is still publishing.
+        shared.barrier.wait();
+    };
+    (
+        mine.into_iter().flat_map(|(_, part)| part).collect(),
+        stats,
+        reason,
+        windows,
+    )
+}
+
+/// [`ShardedEngine::decide`] without `&self`, for worker threads.
+fn decide_static(
+    gmin_ps: u64,
+    horizon: Time,
+    max_events: u64,
+    events_so_far: u64,
+    lookahead: Duration,
+) -> Result<u64, StopReason> {
+    if events_so_far >= max_events {
+        return Err(StopReason::BudgetExhausted);
+    }
+    if gmin_ps == u64::MAX {
+        return Err(StopReason::QueueEmpty);
+    }
+    if gmin_ps > horizon.as_ps() {
+        return Err(StopReason::HorizonReached);
+    }
+    Ok(gmin_ps
+        .saturating_add(lookahead.as_ps())
+        .min(horizon.as_ps().saturating_add(1)))
+}
+
+fn stop_code(reason: StopReason) -> u64 {
+    match reason {
+        StopReason::QueueEmpty => 1,
+        StopReason::HorizonReached => 2,
+        StopReason::BudgetExhausted => 3,
+    }
+}
+
+fn stop_reason(code: u64) -> StopReason {
+    match code {
+        1 => StopReason::QueueEmpty,
+        2 => StopReason::HorizonReached,
+        3 => StopReason::BudgetExhausted,
+        _ => unreachable!("unknown stop code {code}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::SimRng;
+
+    /// A gossip model: every event re-arms locally a few times and
+    /// occasionally messages a pseudo-random peer. All randomness is
+    /// per-cluster, so behavior is a pure function of the event set.
+    struct Gossip {
+        rng: SimRng,
+        log: Vec<(u64, u32)>,
+        digest: u64,
+    }
+
+    impl Gossip {
+        fn new(cluster: usize, seed: u64) -> Gossip {
+            Gossip {
+                rng: SimRng::seed_from(seed ^ ((cluster as u64) << 32)),
+                log: Vec::new(),
+                digest: 0xcbf29ce484222325,
+            }
+        }
+    }
+
+    impl ClusterModel for Gossip {
+        type Event = u32;
+
+        fn handle(&mut self, now: Time, tag: u32, ctx: &mut ClusterCtx<'_, u32>) {
+            self.log.push((now.as_ps(), tag));
+            self.digest = (self.digest ^ now.as_ps() ^ tag as u64).wrapping_mul(0x100000001b3);
+            if tag == 0 {
+                return;
+            }
+            if self.rng.gen_bool(0.3) && ctx.clusters() > 1 {
+                let mut dst = self.rng.gen_range_usize(0, ctx.clusters() - 1);
+                if dst >= ctx.cluster() {
+                    dst += 1;
+                }
+                let extra = Duration::from_ps(self.rng.gen_range_u64(0, 5_000));
+                ctx.send(dst, ctx.lookahead() + extra, tag - 1);
+            } else {
+                let delay = Duration::from_ps(self.rng.gen_range_u64(1, 2_000));
+                ctx.schedule_in(delay, tag - 1);
+            }
+        }
+    }
+
+    fn gossip_engine(clusters: usize, seed: u64, shards: usize) -> ShardedEngine<Gossip> {
+        let models = (0..clusters).map(|c| Gossip::new(c, seed)).collect();
+        let mut engine = ShardedEngine::new(models, Duration::from_ns(90)).with_shards(shards);
+        for c in 0..clusters {
+            engine.schedule(c, Time::from_ns(c as u64 * 3), 12);
+        }
+        engine
+    }
+
+    type Fingerprint = (Vec<u64>, Vec<Vec<(u64, u32)>>, u64, u64, u64);
+
+    fn fingerprint(engine: &ShardedEngine<Gossip>) -> Fingerprint {
+        (
+            (0..engine.clusters())
+                .map(|c| engine.model(c).digest)
+                .collect(),
+            (0..engine.clusters())
+                .map(|c| engine.model(c).log.clone())
+                .collect(),
+            engine.events_processed(),
+            engine.rounds(),
+            engine.messages_sent(),
+        )
+    }
+
+    #[test]
+    fn sharded_runs_are_byte_identical_to_sequential() {
+        let mut baseline = gossip_engine(7, 42, 1);
+        baseline.run();
+        let want = fingerprint(&baseline);
+        for shards in [2, 3, 4, 8, 16] {
+            let mut engine = gossip_engine(7, 42, shards);
+            engine.run();
+            assert_eq!(
+                fingerprint(&engine),
+                want,
+                "shards={shards} diverged from sequential"
+            );
+            assert_eq!(engine.messages_sent(), engine.messages_delivered());
+        }
+    }
+
+    #[test]
+    fn worker_thread_grouping_preserves_results() {
+        let mut baseline = gossip_engine(7, 42, 1);
+        baseline.run();
+        let want = fingerprint(&baseline);
+        // Threads below, equal to, and above the shard count (the last is
+        // clamped); every grouping must reproduce the sequential run.
+        for threads in [1, 2, 3, 4, 9] {
+            let mut engine = gossip_engine(7, 42, 4).with_threads(threads);
+            engine.run();
+            assert_eq!(
+                fingerprint(&engine),
+                want,
+                "threads={threads} diverged from sequential"
+            );
+        }
+    }
+
+    #[test]
+    fn critical_path_profile_accumulates() {
+        let mut engine = gossip_engine(6, 11, 4);
+        engine.profile_as(4);
+        engine.run();
+        let p = engine.profile().expect("profile armed");
+        assert_eq!(p.shards, 4);
+        assert_eq!(p.rounds, engine.rounds());
+        assert!(p.seq_ns >= p.crit_ns, "{} < {}", p.seq_ns, p.crit_ns);
+        assert!(p.critical_path_speedup() >= 1.0);
+        // Profiled runs execute sequentially but must not perturb results.
+        let mut plain = gossip_engine(6, 11, 1);
+        plain.run();
+        assert_eq!(fingerprint(&engine), fingerprint(&plain));
+    }
+
+    #[test]
+    fn horizon_and_budget_stops_are_layout_independent() {
+        for shards in [1, 3] {
+            let mut engine = gossip_engine(5, 9, shards);
+            let reason = engine.run_until(Time::from_us(2), u64::MAX);
+            assert!(
+                matches!(reason, StopReason::HorizonReached | StopReason::QueueEmpty),
+                "got {reason:?}"
+            );
+        }
+        let mut a = gossip_engine(5, 9, 1);
+        let ra = a.run_until(Time::from_us(2), u64::MAX);
+        let mut b = gossip_engine(5, 9, 4);
+        let rb = b.run_until(Time::from_us(2), u64::MAX);
+        assert_eq!(ra, rb);
+        assert_eq!(fingerprint(&a), fingerprint(&b));
+
+        let mut c = gossip_engine(5, 9, 1);
+        let rc = c.run_until(Time::MAX, 20);
+        let mut d = gossip_engine(5, 9, 4);
+        let rd = d.run_until(Time::MAX, 20);
+        assert_eq!(rc, rd);
+        assert_eq!(rc, StopReason::BudgetExhausted);
+        assert_eq!(fingerprint(&c), fingerprint(&d));
+    }
+
+    #[test]
+    fn invariants_hold_after_runs() {
+        for shards in [1, 4] {
+            let mut engine = gossip_engine(6, 3, shards);
+            engine.run();
+            let mut cp = CheckPlane::enabled(1);
+            engine.check_invariants(&mut cp);
+            assert!(cp.ok(), "shards={shards}: {:?}", cp.first());
+        }
+    }
+
+    #[test]
+    fn run_resumes_after_horizon() {
+        let mut whole = gossip_engine(4, 17, 2);
+        whole.run();
+        let want = fingerprint(&whole);
+
+        let mut split = gossip_engine(4, 17, 2);
+        split.run_until(Time::from_us(1), u64::MAX);
+        split.run();
+        assert_eq!(fingerprint(&split), want);
+    }
+
+    #[test]
+    #[should_panic(expected = "below lookahead")]
+    fn undershooting_lookahead_panics() {
+        struct Bad;
+        impl ClusterModel for Bad {
+            type Event = ();
+            fn handle(&mut self, _now: Time, _ev: (), ctx: &mut ClusterCtx<'_, ()>) {
+                ctx.send(1, Duration::from_ps(1), ());
+            }
+        }
+        let mut engine = ShardedEngine::new(vec![Bad, Bad], Duration::from_ns(50));
+        engine.schedule(0, Time::ZERO, ());
+        engine.run();
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_lookahead_rejected() {
+        struct Noop;
+        impl ClusterModel for Noop {
+            type Event = ();
+            fn handle(&mut self, _: Time, _: (), _: &mut ClusterCtx<'_, ()>) {}
+        }
+        let _ = ShardedEngine::new(vec![Noop], Duration::ZERO);
+    }
+
+    #[test]
+    fn shard_count_reads_env_with_default_one() {
+        // No env mutation here (process-global); just the default path.
+        if std::env::var(SHARDS_ENV).is_err() {
+            assert_eq!(shard_count(), 1);
+        }
+    }
+}

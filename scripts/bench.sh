@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Wall-clock measurement of the sharded conservative-parallel DES engine.
+# Run from the repository root:
+#
+#   scripts/bench.sh                 # full measurement -> BENCH_parallel_des.json
+#   scripts/bench.sh --smoke         # reduced workload + JSON schema check
+#
+# Builds the workspace in release mode and runs `bench_parallel_des`,
+# which times the P1 cluster-partitioned model at ECOSCALE_SHARDS =
+# 1/2/4/8, asserts every shard count exports byte-identically to the
+# sequential run, and records wall-clock, events/sec, measured wall
+# speedup, and the critical-path speedup bound per point (plus
+# `host_cores` — wall speedup is meaningless past it). Any extra
+# arguments are passed through to the binary.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release -p ecoscale-bench --bin bench_parallel_des
+
+./target/release/bench_parallel_des "$@"

@@ -38,9 +38,21 @@ FAULTS="seed=3,crash=1ms,seu=400us,scrub=800us"
 cmp target/fault_smoke_a.txt target/fault_smoke_b.txt
 
 echo "== tier-1: seeded fuzz smoke (CheckPlane) =="
-# 64 seeded configs across topology x policy x faults x threads, every
-# invariant armed, exports compared byte-for-byte at THREADS=1 vs k.
+# 64 seeded configs across topology x policy x faults x threads x shards,
+# every invariant armed, exports compared byte-for-byte at THREADS=1 vs k
+# and (for the cluster-partitioned sim) at 1 shard vs k shards.
 ./target/release/fuzz_configs --count 64
+
+echo "== tier-1: sharded determinism smoke =="
+# The determinism suite under both shard settings with invariants armed:
+# the sharded engine must export byte-identically at any ECOSCALE_SHARDS.
+ECOSCALE_SHARDS=1 ECOSCALE_CHECK=1 cargo test -q --test determinism
+ECOSCALE_SHARDS=4 ECOSCALE_CHECK=1 cargo test -q --test determinism
+
+echo "== tier-1: parallel DES bench smoke =="
+# Reduced workload; asserts 1-vs-N-shard byte identity and validates the
+# BENCH_parallel_des.json schema by re-parsing what it wrote.
+./target/release/bench_parallel_des --smoke --out target/bench_parallel_des_smoke.json
 
 echo "== regenerate experiment snapshot (target/) =="
 ./target/release/exp_all > target/bench_output_tables.txt

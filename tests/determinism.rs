@@ -11,8 +11,12 @@
 
 use std::sync::Mutex;
 
+use ecoscale::bench::fuzz::FuzzConfig;
 use ecoscale::bench::{arch, obs, Scale};
+use ecoscale::core::{run_shard_sim, run_shard_sim_with, ShardOutcome, ShardSimConfig};
+use ecoscale::sim::check::CheckPlane;
 use ecoscale::sim::pool::THREADS_ENV;
+use ecoscale::sim::shard::SHARDS_ENV;
 use ecoscale::sim::CampaignSpec;
 
 static ENV_LOCK: Mutex<()> = Mutex::new(());
@@ -97,4 +101,65 @@ fn fault_campaign_exports_are_independent_of_thread_count() {
         metrics_seq, metrics_par,
         "faulted metrics JSON must be byte-identical at ECOSCALE_THREADS=1 vs =8"
     );
+}
+
+fn with_shards<T>(shards: &str, f: impl FnOnce() -> T) -> T {
+    let _guard = ENV_LOCK.lock().expect("env lock");
+    let prev = std::env::var(SHARDS_ENV).ok();
+    std::env::set_var(SHARDS_ENV, shards);
+    let out = f();
+    match prev {
+        Some(v) => std::env::set_var(SHARDS_ENV, v),
+        None => std::env::remove_var(SHARDS_ENV),
+    }
+    out
+}
+
+fn shard_exports(out: &ShardOutcome) -> (String, String, String) {
+    (
+        out.metrics.to_json(),
+        out.trace.to_chrome_json(),
+        out.report(),
+    )
+}
+
+/// The sharded conservative-parallel engine promises byte-identical
+/// results at any `ECOSCALE_SHARDS` setting: metrics, trace, and report
+/// exports of the cluster-partitioned simulation must match exactly
+/// between the sequential run and a 4-shard run.
+#[test]
+fn shard_sim_exports_are_independent_of_shard_count() {
+    let mut cfg = ShardSimConfig::new(6, 4);
+    cfg.tasks_per_cluster = 96;
+    let capture = |shards| with_shards(shards, || shard_exports(&run_shard_sim(&cfg)));
+    let sequential = capture("1");
+    let parallel = capture("4");
+    assert_eq!(
+        sequential, parallel,
+        "shard-sim exports must be byte-identical at ECOSCALE_SHARDS=1 vs =4"
+    );
+}
+
+/// Sixteen fuzzed configurations (varying cluster counts, cluster widths,
+/// workloads, and seeds drawn from the deterministic fuzz sweep), each
+/// compared byte-for-byte between 1 and 4 shards.
+#[test]
+fn fuzzed_shard_sims_are_byte_identical_at_four_shards() {
+    for i in 0..16 {
+        let fz = FuzzConfig::from_index(i);
+        let mut cfg = ShardSimConfig::new(2 + fz.workers % 5, 2 + fz.workers % 3);
+        cfg.tasks_per_cluster = fz.tasks.clamp(8, 48);
+        cfg.flops = 400;
+        cfg.spacing_ns = 60;
+        cfg.seed = fz.seed;
+        let mut cp = CheckPlane::enabled(1);
+        let seq = run_shard_sim_with(&cfg, Some(1), &mut cp);
+        let par = run_shard_sim_with(&cfg, Some(4), &mut cp);
+        assert!(cp.ok(), "config {i}: {:?}", cp.first());
+        assert_eq!(
+            shard_exports(&seq),
+            shard_exports(&par),
+            "fuzz config {i} ({fz}) diverged between shards=1 and =4"
+        );
+    }
 }

@@ -875,3 +875,67 @@ fn kernel_print_parse_round_trip() {
         assert_eq!(k, reparsed, "case {case}");
     }
 }
+
+// ----------------------------------------------------------------------
+// sim: timing wheel vs event queue vs sorted-map oracle
+// ----------------------------------------------------------------------
+
+/// Lockstep oracle for the hierarchical timing wheel behind the sharded
+/// engine: an interleaved schedule/pop workload is mirrored into the
+/// wheel, the binary-heap [`EventQueue`], and a `BTreeMap` keyed by
+/// `(time, sequence)`. All three must agree on every pop. The wheel is
+/// driven with monotonically increasing keys, which matches the queue's
+/// FIFO-at-equal-times contract.
+#[test]
+fn timing_wheel_matches_event_queue_and_btree_oracle() {
+    use ecoscale::sim::{EventQueue, TimingWheel};
+    for case in 0..CASES {
+        let mut rng = case_rng(20, case);
+        let mut wheel: TimingWheel<u64> = TimingWheel::new();
+        let mut queue: EventQueue<u64> = EventQueue::new();
+        let mut oracle: BTreeMap<(u64, u64), u64> = BTreeMap::new();
+        let mut seq = 0u64;
+        let mut now = 0u64;
+        let steps = rng.gen_range_usize(50, 400);
+        for step in 0..steps {
+            if rng.gen_bool(0.55) || oracle.is_empty() {
+                // Schedule a small batch at or after the current time;
+                // occasionally far out, to cross wheel levels.
+                for _ in 0..rng.gen_range_usize(1, 4) {
+                    let horizon = if rng.gen_bool(0.15) { 1 << 40 } else { 50_000 };
+                    let at = now + rng.gen_range_u64(0, horizon);
+                    wheel.schedule(Time::from_ps(at), seq, seq);
+                    queue.schedule(Time::from_ps(at), seq);
+                    oracle.insert((at, seq), seq);
+                    seq += 1;
+                }
+            } else {
+                let (&(at, key), &payload) = oracle.iter().next().expect("oracle non-empty");
+                oracle.remove(&(at, key));
+                let (wt, wkey, wev) = wheel.pop().expect("wheel has events");
+                let (qt, qev) = queue.pop().expect("queue has events");
+                assert_eq!(
+                    (wt.as_ps(), wkey, wev),
+                    (at, key, payload),
+                    "case {case} step {step}: wheel diverged from oracle"
+                );
+                assert_eq!(
+                    (qt.as_ps(), qev),
+                    (at, payload),
+                    "case {case} step {step}: event queue diverged from oracle"
+                );
+                now = at;
+            }
+        }
+        // Drain whatever is left; the three must agree to the last event.
+        while let Some((&(at, key), &payload)) = oracle.iter().next() {
+            oracle.remove(&(at, key));
+            let (wt, wkey, wev) = wheel.pop().expect("wheel drains with oracle");
+            let (qt, qev) = queue.pop().expect("queue drains with oracle");
+            assert_eq!((wt.as_ps(), wkey, wev), (at, key, payload), "case {case}");
+            assert_eq!((qt.as_ps(), qev), (at, payload), "case {case}");
+        }
+        assert!(wheel.is_empty(), "case {case}");
+        assert!(queue.is_empty(), "case {case}");
+    }
+}
