@@ -14,10 +14,14 @@
 //! records (a 1-core container cannot exhibit wall-clock parallel
 //! speedup; the engine caps its workers at the host's parallelism, so
 //! oversubscribed runs degrade gracefully instead of spinning).
-//! `critical_path_speedup` is the standard conservative-PDES bound
-//! measured from the sequential run: per safe window, total processing
-//! time over the slowest shard's slice — what the window protocol yields
-//! with one core per shard.
+//! `critical_path_speedup` is the standard conservative-PDES bound read
+//! from the run's own [`ShardOccupancy`] accounting: per safe window,
+//! total events over the busiest shard's slice — what the window
+//! protocol yields with one core per shard. Event counts are
+//! deterministic simulation state, so this bound is byte-identical at
+//! any shard layout (unlike the wall-clock columns).
+//!
+//! [`ShardOccupancy`]: ecoscale_sim::ShardOccupancy
 //!
 //! `--smoke` shrinks the workload for CI, re-parses the emitted JSON and
 //! validates the schema instead of chasing a speedup target. Timings are
@@ -27,7 +31,7 @@ use std::process::ExitCode;
 use std::time::Instant;
 
 use ecoscale_bench::shard_exp::scaling_config;
-use ecoscale_core::{run_shard_sim_profiled, run_shard_sim_with, ShardOutcome};
+use ecoscale_core::{run_shard_sim_with, ShardOutcome};
 use ecoscale_sim::check::CheckPlane;
 use ecoscale_sim::json::{self, fmt_f64};
 
@@ -119,15 +123,11 @@ fn main() -> ExitCode {
         }
         let outcome = last.expect("reps >= 1");
         let events = outcome.events;
-        // Critical-path bound for this shard count, measured from a
-        // sequential profiled run (shards=1 trivially has bound 1.0).
-        let crit = if shards == 1 {
-            1.0
-        } else {
-            let mut cp = CheckPlane::enabled(1);
-            let (_, profile) = run_shard_sim_profiled(&cfg, shards, &mut cp);
-            profile.critical_path_speedup()
-        };
+        // Critical-path bound for this shard count, read from the run's
+        // occupancy bands (shards=1 trivially has bound 1.0; occupancy
+        // bands only cover widths >= 2 and `speedup` returns 1.0 for
+        // anything unbanded).
+        let crit = outcome.occupancy.speedup(shards);
         match &baseline {
             None => baseline = Some((best_s, outcome)),
             Some((base_s, base)) => {

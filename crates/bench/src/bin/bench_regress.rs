@@ -1,0 +1,100 @@
+//! Perf-regression gate: compares a fresh `BENCH_*.json` against a
+//! committed baseline.
+//!
+//! ```text
+//! bench_regress [--tolerance RATIO] BASELINE.json FRESH.json
+//! ```
+//!
+//! Field classes and the default 3.0× wall-clock ratio tolerance are
+//! documented in [`ecoscale_bench::regress`]: deterministic fields
+//! (event counts, rounds, critical-path speedups) must reproduce the
+//! baseline exactly, wall-clock fields may drift within the tolerance,
+//! and workload parameters must match or the comparison is refused.
+//!
+//! Exit codes: `0` — no regression; `1` — at least one field regressed
+//! (each printed on stdout); `2` — the documents cannot be compared
+//! (bad usage, unreadable file, invalid JSON, different bench kind or
+//! workload, shape mismatch).
+
+use std::process::ExitCode;
+
+use ecoscale_bench::regress::{compare, DEFAULT_WALL_TOLERANCE};
+use ecoscale_sim::json;
+
+fn usage() {
+    eprintln!("usage: bench_regress [--tolerance RATIO] BASELINE.json FRESH.json");
+    eprintln!("  --tolerance RATIO   wall-clock ratio tolerance, >= 1.0 (default {DEFAULT_WALL_TOLERANCE})");
+}
+
+fn load(path: &str) -> Result<json::Value, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+    json::parse(&text).map_err(|e| format!("`{path}` is not valid JSON: {e}"))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut tolerance = DEFAULT_WALL_TOLERANCE;
+    let mut paths: Vec<String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "-h" | "--help" => {
+                usage();
+                return ExitCode::SUCCESS;
+            }
+            "--tolerance" => {
+                let parsed = it.next().and_then(|v| v.parse::<f64>().ok());
+                match parsed {
+                    Some(t) if t >= 1.0 => tolerance = t,
+                    _ => {
+                        eprintln!("error: --tolerance needs a ratio >= 1.0");
+                        usage();
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            p if p.starts_with('-') => {
+                eprintln!("error: unknown flag `{p}`");
+                usage();
+                return ExitCode::from(2);
+            }
+            p => paths.push(p.to_owned()),
+        }
+    }
+    let [baseline_path, fresh_path] = paths.as_slice() else {
+        eprintln!("error: need exactly two files (baseline, fresh)");
+        usage();
+        return ExitCode::from(2);
+    };
+    let (baseline, fresh) = match (load(baseline_path), load(fresh_path)) {
+        (Ok(b), Ok(f)) => (b, f),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    match compare(&baseline, &fresh, tolerance) {
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(2)
+        }
+        Ok(cmp) if cmp.regressions.is_empty() => {
+            eprintln!(
+                "bench_regress: ok — {} fields within tolerance ({tolerance}x wall) vs {baseline_path}",
+                cmp.checked
+            );
+            ExitCode::SUCCESS
+        }
+        Ok(cmp) => {
+            for r in &cmp.regressions {
+                println!("regression: {r}");
+            }
+            eprintln!(
+                "bench_regress: {} regression(s) vs {baseline_path} ({} fields checked)",
+                cmp.regressions.len(),
+                cmp.checked
+            );
+            ExitCode::FAILURE
+        }
+    }
+}

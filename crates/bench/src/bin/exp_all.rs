@@ -7,18 +7,28 @@
 //! byte-identical at any thread count.
 //!
 //! ```text
-//! exp_all [--scale quick|full] [--trace FILE] [--metrics FILE] [--faults SPEC] [KEY...]
+//! exp_all [--scale quick|full] [--trace FILE] [--metrics FILE] [--profile FILE]
+//!         [--faults SPEC] [KEY...]
 //! exp_all --scale quick e03 e09    # just E3 and E9, reduced sweeps
 //! exp_all --scale quick --trace t.json --metrics m.json e03
+//! exp_all --scale quick --profile p.json e03
 //! exp_all --faults seed=3,crash=1ms,seu=400us,scrub=800us e16 e16b
 //! ```
 //!
 //! `--trace` writes a Chrome Trace Event JSON file (open in Perfetto or
 //! `chrome://tracing`); `--metrics` writes the instrument registry as
-//! JSON. Either flag triggers one full-stack observability capture
-//! (`ecoscale_bench::obs`) alongside the selected experiments, so the
-//! files always cover SMMU, UNIMEM/NoC, scheduler, and reconfiguration
-//! activity regardless of which experiment keys ran.
+//! JSON. Any of the three capture flags triggers one full-stack
+//! observability capture (`ecoscale_bench::obs`) alongside the selected
+//! experiments, so the files always cover SMMU, UNIMEM/NoC, scheduler,
+//! reconfiguration, and sharded-engine activity regardless of which
+//! experiment keys ran.
+//!
+//! `--profile` writes the ProfPlane report over that capture: the
+//! critical-path blame split plus the shard-occupancy bands, as one
+//! JSON object (`{"profile":...,"occupancy":...}`). Both sections are
+//! deterministic — the file is byte-identical at any `ECOSCALE_THREADS`
+//! or `ECOSCALE_SHARDS` — and the rendered tables go to stdout. The
+//! engine's host-dependent wall-clock phase timers go to stderr only.
 //!
 //! `--faults` takes a seeded [`CampaignSpec`] (`key=value,...`); it
 //! replaces the base campaign the E16/E16b sweeps scale from and, when
@@ -27,17 +37,19 @@
 
 use std::process::ExitCode;
 
-use ecoscale_bench::obs::{capture_fault_campaign, capture_observability};
+use ecoscale_bench::obs::{capture_fault_campaign, capture_observability, capture_profile};
 use ecoscale_bench::{resilience_exp, Scale, EXPERIMENTS};
-use ecoscale_sim::{pool, CampaignSpec};
+use ecoscale_sim::{pool, prof, CampaignSpec};
 
 fn usage() {
     eprintln!(
-        "usage: exp_all [--scale quick|full] [--trace FILE] [--metrics FILE] [--faults SPEC] [KEY...]"
+        "usage: exp_all [--scale quick|full] [--trace FILE] [--metrics FILE] [--profile FILE] [--faults SPEC] [KEY...]"
     );
     eprintln!("  --scale quick|full   sweep sizes (default: full)");
     eprintln!("  --trace FILE         write a Chrome/Perfetto trace of an instrumented run");
     eprintln!("  --metrics FILE       write the metrics registry of an instrumented run as JSON");
+    eprintln!("  --profile FILE       write the ProfPlane critical-path blame + shard occupancy");
+    eprintln!("                       report of an instrumented run as JSON");
     eprintln!("  --faults SPEC        seeded fault campaign, e.g. `seed=3,crash=1ms,seu=400us`;");
     eprintln!("                       overrides the E16/E16b base campaign and adds a faulted");
     eprintln!("                       capture to --trace/--metrics output");
@@ -54,6 +66,7 @@ fn main() -> ExitCode {
     let mut scale = Scale::Full;
     let mut trace_path: Option<String> = None;
     let mut metrics_path: Option<String> = None;
+    let mut profile_path: Option<String> = None;
     let mut faults: Option<CampaignSpec> = None;
     let mut filters: Vec<String> = Vec::new();
     let mut it = args.iter();
@@ -63,16 +76,16 @@ fn main() -> ExitCode {
                 usage();
                 return ExitCode::SUCCESS;
             }
-            "--trace" | "--metrics" => {
+            "--trace" | "--metrics" | "--profile" => {
                 let Some(v) = it.next() else {
                     eprintln!("error: {arg} needs a file path");
                     usage();
                     return ExitCode::from(2);
                 };
-                if arg == "--trace" {
-                    trace_path = Some(v.clone());
-                } else {
-                    metrics_path = Some(v.clone());
+                match arg.as_str() {
+                    "--trace" => trace_path = Some(v.clone()),
+                    "--metrics" => metrics_path = Some(v.clone()),
+                    _ => profile_path = Some(v.clone()),
                 }
             }
             "--faults" => {
@@ -132,8 +145,15 @@ fn main() -> ExitCode {
     for table in tables {
         println!("{table}");
     }
-    if trace_path.is_some() || metrics_path.is_some() {
-        let mut cap = capture_observability(scale);
+    if trace_path.is_some() || metrics_path.is_some() || profile_path.is_some() {
+        // One capture serves all three outputs; --profile additionally
+        // keeps the sharded phase's occupancy bands and wall timers.
+        let (mut cap, prof_extras) = if profile_path.is_some() {
+            let pc = capture_profile(scale);
+            (pc.capture, Some((pc.occupancy, pc.wall)))
+        } else {
+            (capture_observability(scale), None)
+        };
         if let Some(spec) = faults.as_ref().filter(|s| !s.is_off()) {
             let fc = capture_fault_campaign(scale, spec);
             cap.trace.merge(fc.trace);
@@ -152,6 +172,25 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
             eprintln!("wrote metrics to {path}");
+        }
+        if let Some(path) = &profile_path {
+            let (occupancy, wall) = prof_extras.expect("profile capture ran");
+            let report = prof::critical_path(&cap.trace);
+            let mut s = String::with_capacity(1024);
+            s.push_str("{\"profile\":");
+            s.push_str(&report.to_json());
+            s.push_str(",\"occupancy\":");
+            s.push_str(&occupancy.to_json());
+            s.push('}');
+            if let Err(e) = std::fs::write(path, &s) {
+                eprintln!("error: cannot write profile to `{path}`: {e}");
+                return ExitCode::FAILURE;
+            }
+            println!("{}", report.to_table());
+            println!("{}", occupancy.to_table());
+            // wall timers are host-dependent: stderr only, never in the file
+            eprintln!("{}", wall.to_table());
+            eprintln!("wrote profile to {path}");
         }
     }
     ExitCode::SUCCESS

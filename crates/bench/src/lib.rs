@@ -16,6 +16,7 @@ pub mod arch;
 pub mod fpga_exp;
 pub mod fuzz;
 pub mod obs;
+pub mod regress;
 pub mod resilience_exp;
 pub mod runtime_exp;
 pub mod scale_exp;

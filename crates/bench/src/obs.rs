@@ -1,11 +1,15 @@
-//! Full-stack observability capture behind `exp_all --trace/--metrics`.
+//! Full-stack observability capture behind `exp_all
+//! --trace/--metrics/--profile`.
 //!
 //! Experiments return only their result tables, so this module drives a
 //! representative instrumented workload through every layer the
 //! tentpole instruments — SMMU translation, UNIMEM over the NoC, the
-//! per-worker scheduler, and the assembled system's call/reconfigure
-//! path — and collects one merged [`TraceBuffer`] plus one
-//! [`MetricsRegistry`].
+//! per-worker scheduler, the assembled system's call/reconfigure path,
+//! and the sharded conservative-parallel engine — and collects one
+//! merged [`TraceBuffer`] plus one [`MetricsRegistry`].
+//! [`capture_profile`] additionally returns the shard run's occupancy
+//! accounting and the engine's wall-clock phase timers for the ProfPlane
+//! report.
 //!
 //! Determinism: every phase is seeded, and the scheduler phase runs its
 //! lanes on [`ecoscale_sim::pool`] with one tracer and one registry per
@@ -15,15 +19,20 @@
 
 use std::collections::HashMap;
 
-use ecoscale_core::SystemBuilder;
+use ecoscale_core::{run_shard_sim_observed, SystemBuilder};
 use ecoscale_hls::KernelArgs;
 use ecoscale_mem::{
     CacheConfig, DramModel, GlobalAddr, PagePerms, Smmu, SmmuConfig, UnimemSystem, VirtAddr,
 };
 use ecoscale_noc::{Network, NetworkConfig, NodeId, TreeTopology};
 use ecoscale_runtime::{skewed_trace, ClusterSim, ResilienceConfig, SchedPolicy};
-use ecoscale_sim::{pool, CampaignSpec, MetricsRegistry, SimRng, Time, TraceBuffer, Tracer};
+use ecoscale_sim::check::CheckPlane;
+use ecoscale_sim::{
+    pool, CampaignSpec, MetricsRegistry, Profiler, ShardOccupancy, SimRng, Time, TraceBuffer,
+    Tracer,
+};
 
+use crate::shard_exp::scaling_config;
 use crate::Scale;
 
 /// The combined output of one observability capture.
@@ -36,16 +45,44 @@ pub struct Capture {
     pub metrics: MetricsRegistry,
 }
 
-/// Runs the four instrumented phases at `scale` and returns the merged
+/// A [`Capture`] plus the ProfPlane extras from the sharded-engine
+/// phase: the run's deterministic occupancy accounting and the engine's
+/// host-dependent wall-clock phase timers.
+#[derive(Debug, Clone)]
+pub struct ProfileCapture {
+    /// The merged five-phase capture.
+    pub capture: Capture,
+    /// Shard occupancy bands from the cluster-partitioned run
+    /// (deterministic: byte-identical at any `ECOSCALE_SHARDS`).
+    pub occupancy: ShardOccupancy,
+    /// Engine wall-clock phase timers (host-dependent — keep out of
+    /// byte-compared exports).
+    pub wall: Profiler,
+}
+
+/// Runs the five instrumented phases at `scale` and returns the merged
 /// capture. Pure function of `scale`: byte-identical output at any
-/// thread count.
+/// thread count (and at any `ECOSCALE_SHARDS` — the sharded phase's
+/// exports are layout-independent by the engine's contract).
 pub fn capture_observability(scale: Scale) -> Capture {
+    capture_profile(scale).capture
+}
+
+/// [`capture_observability`] keeping the sharded phase's ProfPlane
+/// extras — the occupancy bands and the engine's wall-clock profile —
+/// next to the merged capture. Backs `exp_all --profile`.
+pub fn capture_profile(scale: Scale) -> ProfileCapture {
     let mut cap = Capture::default();
     smmu_phase(scale, &mut cap);
     unimem_phase(scale, &mut cap);
     sched_phase(scale, &mut cap);
     system_phase(scale, &mut cap);
-    cap
+    let (occupancy, wall) = shard_phase(scale, &mut cap);
+    ProfileCapture {
+        capture: cap,
+        occupancy,
+        wall,
+    }
 }
 
 /// Runs a seeded fault campaign through the FaultPlane's two live
@@ -115,9 +152,13 @@ fn faulted_system_phase(scale: Scale, spec: &CampaignSpec, cap: &mut Capture) {
 }
 
 /// Zipf-skewed translation stream through one dual-stage SMMU:
-/// populates `smmu.*` (TLB hit/miss/MRU split, walk latencies, faults).
+/// populates `smmu.*` (TLB hit/miss/MRU split, walk latencies, faults)
+/// and an `smmu/walks` trace lane with one span per table walk, on a
+/// synthetic clock advanced by each translation's returned latency.
 fn smmu_phase(scale: Scale, cap: &mut Capture) {
-    let mut smmu = Smmu::new(SmmuConfig::default());
+    let config = SmmuConfig::default();
+    let tlb_hit = config.tlb_hit;
+    let mut smmu = Smmu::new(config);
     let pages = 256u64;
     for p in 0..pages {
         smmu.map(
@@ -128,18 +169,29 @@ fn smmu_phase(scale: Scale, cap: &mut Capture) {
         )
         .expect("fresh mapping");
     }
+    let tracer = Tracer::buffering();
+    let walks = tracer.track("smmu/walks");
+    let mut now = Time::ZERO;
     let mut rng = SimRng::seed_from(0xec05_ca1e);
     let n = scale.pick(4_000, 40_000);
     for _ in 0..n {
         let page = rng.gen_zipf(pages as usize, 1.2) as u64;
         let offset = rng.gen_range_u64(0, 4096);
-        let _ = smmu.translate(VirtAddr::from_page(page, offset), PagePerms::READ);
+        if let Ok((_, latency)) = smmu.translate(VirtAddr::from_page(page, offset), PagePerms::READ)
+        {
+            // latency beyond the TLB-hit cost means the table walker ran
+            if latency > tlb_hit {
+                tracer.complete(walks, "walk", now, latency);
+            }
+            now += latency;
+        }
     }
     // a few touches beyond the mapped range fault (and cost walks)
     for p in pages..pages + 8 {
         let _ = smmu.translate(VirtAddr::from_page(p, 0), PagePerms::READ);
     }
     smmu.export_metrics(&mut cap.metrics, "smmu");
+    cap.trace.merge(tracer.take());
 }
 
 /// UNIMEM traffic over a traced tree NoC: populates `unimem.*` and
@@ -233,6 +285,21 @@ fn system_phase(scale: Scale, cap: &mut Capture) {
     cap.trace.merge(tracer.take());
 }
 
+/// One observed cluster-partitioned run through the sharded engine:
+/// populates `shard.*` (including the `shard.occupancy.*` bands) and
+/// per-cluster worker trace lanes, and returns the ProfPlane extras.
+/// The outcome — and therefore everything merged into `cap` — is
+/// byte-identical at any `ECOSCALE_SHARDS`; only the returned
+/// [`Profiler`] is host-dependent.
+fn shard_phase(scale: Scale, cap: &mut Capture) -> (ShardOccupancy, Profiler) {
+    let cfg = scaling_config(scale.pick(4, 8), scale.pick(48, 256));
+    let mut cp = CheckPlane::from_env();
+    let (outcome, wall) = run_shard_sim_observed(&cfg, &mut cp);
+    cap.metrics.merge(&outcome.metrics);
+    cap.trace.merge(outcome.trace);
+    (outcome.occupancy, wall)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -248,15 +315,44 @@ mod tests {
         assert!(m.counter("sched.tasks").unwrap() > 0);
         assert!(m.counter("system.calls_cpu").unwrap() > 0);
         assert!(m.counter("reconfig.loads").unwrap() > 0);
+        assert!(m.counter("shard.occupancy.events").unwrap() > 0);
         assert!(!cap.trace.is_empty());
         // every phase contributed lanes
         let tracks = cap.trace.tracks();
+        assert!(tracks.iter().any(|t| t == "smmu/walks"));
         assert!(tracks.iter().any(|t| t.starts_with("noc/link")));
         assert!(tracks.iter().any(|t| t.starts_with("sched1/w")));
         assert!(tracks.iter().any(|t| t == "w0/calls"));
         // exports are well-formed
         ecoscale_sim::json::parse(&cap.trace.to_chrome_json()).expect("trace JSON parses");
         ecoscale_sim::json::parse(&m.to_json()).expect("metrics JSON parses");
+    }
+
+    #[test]
+    fn profile_capture_returns_occupancy_and_wall_timers() {
+        let pc = capture_profile(Scale::Quick);
+        // occupancy bands cover the configured widths and saw events
+        assert!(pc.occupancy.events > 0);
+        assert!(pc.occupancy.windows > 0);
+        // widths wider than the cluster count are clamped away
+        let clusters = pc.occupancy.clusters();
+        for w in ecoscale_core::OCCUPANCY_WIDTHS
+            .iter()
+            .filter(|&&w| w <= clusters)
+        {
+            let band = pc.occupancy.band(*w).expect("band armed");
+            assert!(band.crit_events > 0, "band {w} never saw a window");
+        }
+        // the observed run arms the wall profiler
+        assert!(pc.wall.is_enabled());
+        assert!(pc.wall.total_ns() > 0);
+        // the capture itself matches the plain observability capture
+        let plain = capture_observability(Scale::Quick);
+        assert_eq!(
+            pc.capture.trace.to_chrome_json(),
+            plain.trace.to_chrome_json()
+        );
+        assert_eq!(pc.capture.metrics.to_json(), plain.metrics.to_json());
     }
 
     #[test]

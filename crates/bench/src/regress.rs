@@ -1,0 +1,321 @@
+//! Perf-regression gate over `BENCH_*.json` artifacts.
+//!
+//! [`compare`] walks a freshly measured bench document against a
+//! committed baseline and splits every numeric field into one of four
+//! classes, keyed by field name:
+//!
+//! * **workload** (`clusters`, `tasks_per_cluster`, `reps`,
+//!   `lookahead_ns`, `scale`, `shards`) — the two documents must
+//!   describe the same experiment; any difference is a comparison
+//!   error, not a regression (you re-ran the wrong config).
+//! * **wall-clock** (`wall_s`: higher is worse; `events_per_sec`:
+//!   lower is worse) — host-dependent, so they get a *ratio* tolerance
+//!   rather than equality. The default, [`DEFAULT_WALL_TOLERANCE`] =
+//!   3.0×, is deliberately generous: CI hosts differ and share cores,
+//!   so the gate is tuned to catch order-of-magnitude regressions
+//!   (accidental debug builds, quadratic blowups, lost parallelism)
+//!   without flaking on scheduler noise. Tighten it for dedicated
+//!   measurement boxes.
+//! * **ignored** (`host_cores`, `speedup`, the `wall` phase-timer
+//!   object) — either informational or a pure ratio of two wall
+//!   clocks, which on a loaded 1-core host is all noise.
+//! * **deterministic** (everything else: `events`, `rounds`,
+//!   `identical_exports`, `critical_path_speedup`, the whole
+//!   `profile`/`occupancy` sections, …) — produced by the seeded
+//!   simulation, so the fresh run must reproduce the baseline exactly
+//!   (floats to 1e-9). A mismatch is reported as a regression: the
+//!   simulation's behavior changed.
+//!
+//! Shape mismatches (missing/extra keys, array length changes, a
+//! different `bench` kind) are comparison errors. The `bench_regress`
+//! binary maps: no regressions → exit 0, regressions → exit 1,
+//! comparison error → exit 2.
+
+use ecoscale_sim::json::Value;
+
+/// Default ratio tolerance for wall-clock fields (see module docs for
+/// why it is this loose).
+pub const DEFAULT_WALL_TOLERANCE: f64 = 3.0;
+
+/// Equality slack for deterministic floats (covers decimal
+/// round-tripping, not behavior changes).
+const EXACT_EPS: f64 = 1e-9;
+
+/// How a field participates in the comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Rule {
+    /// Must match exactly; a difference means the config differs and
+    /// the comparison itself is invalid.
+    Workload,
+    /// Host-dependent; fresh may exceed baseline by at most the ratio
+    /// tolerance.
+    WallHigherWorse,
+    /// Host-dependent; fresh may fall below baseline by at most the
+    /// ratio tolerance.
+    ThroughputLowerWorse,
+    /// Not compared at all (subtrees included).
+    Ignore,
+    /// Deterministic output; must reproduce exactly.
+    Exact,
+}
+
+fn rule(key: &str) -> Rule {
+    match key {
+        "clusters" | "tasks_per_cluster" | "reps" | "lookahead_ns" | "scale" | "shards" => {
+            Rule::Workload
+        }
+        "wall_s" => Rule::WallHigherWorse,
+        "events_per_sec" => Rule::ThroughputLowerWorse,
+        "host_cores" | "speedup" | "wall" => Rule::Ignore,
+        _ => Rule::Exact,
+    }
+}
+
+/// The outcome of a baseline-vs-fresh walk.
+#[derive(Debug, Clone, Default)]
+pub struct Comparison {
+    /// Fields compared (ignored fields excluded).
+    pub checked: usize,
+    /// One line per regressed field; empty means the gate passes.
+    pub regressions: Vec<String>,
+}
+
+/// Compares `fresh` against `baseline` under `wall_tolerance` (a ratio
+/// ≥ 1). Returns the per-field verdicts, or `Err` when the documents
+/// cannot be meaningfully compared (different bench kind or workload,
+/// shape mismatch, bad tolerance).
+pub fn compare(baseline: &Value, fresh: &Value, wall_tolerance: f64) -> Result<Comparison, String> {
+    if wall_tolerance.is_nan() || wall_tolerance < 1.0 {
+        return Err(format!(
+            "wall tolerance must be a ratio >= 1.0, got {wall_tolerance}"
+        ));
+    }
+    let bk = baseline
+        .get("bench")
+        .and_then(Value::as_str)
+        .ok_or("baseline has no \"bench\" kind field")?;
+    let fk = fresh
+        .get("bench")
+        .and_then(Value::as_str)
+        .ok_or("fresh document has no \"bench\" kind field")?;
+    if bk != fk {
+        return Err(format!(
+            "benchmark kind mismatch: baseline is `{bk}`, fresh is `{fk}`"
+        ));
+    }
+    let mut out = Comparison::default();
+    walk("$", Rule::Exact, baseline, fresh, wall_tolerance, &mut out)?;
+    Ok(out)
+}
+
+fn walk(
+    path: &str,
+    active: Rule,
+    base: &Value,
+    fresh: &Value,
+    tol: f64,
+    out: &mut Comparison,
+) -> Result<(), String> {
+    match (base, fresh) {
+        (Value::Obj(bp), Value::Obj(fp)) => {
+            for (k, bv) in bp {
+                let child = format!("{path}.{k}");
+                let r = rule(k);
+                if r == Rule::Ignore {
+                    continue;
+                }
+                let Some(fv) = fresh.get(k) else {
+                    return Err(format!("{child}: missing from fresh document"));
+                };
+                walk(&child, r, bv, fv, tol, out)?;
+            }
+            for (k, _) in fp {
+                if rule(k) != Rule::Ignore && base.get(k).is_none() {
+                    return Err(format!("{path}.{k}: not present in baseline"));
+                }
+            }
+            Ok(())
+        }
+        (Value::Arr(bs), Value::Arr(fs)) => {
+            if bs.len() != fs.len() {
+                return Err(format!(
+                    "{path}: array length changed: {} -> {}",
+                    bs.len(),
+                    fs.len()
+                ));
+            }
+            for (i, (bv, fv)) in bs.iter().zip(fs).enumerate() {
+                // element rule is inherited from the array's key
+                walk(&format!("{path}[{i}]"), active, bv, fv, tol, out)?;
+            }
+            Ok(())
+        }
+        (Value::Num(b), Value::Num(f)) => {
+            out.checked += 1;
+            match active {
+                Rule::Workload => {
+                    if (b - f).abs() > EXACT_EPS {
+                        return Err(format!(
+                            "{path}: workload mismatch: baseline ran {b}, fresh ran {f}"
+                        ));
+                    }
+                }
+                Rule::WallHigherWorse => {
+                    if *f > b * tol + EXACT_EPS {
+                        out.regressions.push(format!(
+                            "{path}: {f:.6} is {:.2}x the baseline {b:.6} (tolerance {tol:.1}x)",
+                            f / b
+                        ));
+                    }
+                }
+                Rule::ThroughputLowerWorse => {
+                    if *f < b / tol - EXACT_EPS {
+                        out.regressions.push(format!(
+                            "{path}: {f:.3} is {:.2}x below the baseline {b:.3} (tolerance {tol:.1}x)",
+                            b / f
+                        ));
+                    }
+                }
+                Rule::Exact | Rule::Ignore => {
+                    if (b - f).abs() > EXACT_EPS {
+                        out.regressions
+                            .push(format!("{path}: deterministic field changed: {b} -> {f}"));
+                    }
+                }
+            }
+            Ok(())
+        }
+        (Value::Str(b), Value::Str(f)) => {
+            out.checked += 1;
+            if b != f {
+                if active == Rule::Workload {
+                    return Err(format!(
+                        "{path}: workload mismatch: baseline ran `{b}`, fresh ran `{f}`"
+                    ));
+                }
+                out.regressions
+                    .push(format!("{path}: field changed: `{b}` -> `{f}`"));
+            }
+            Ok(())
+        }
+        (Value::Bool(b), Value::Bool(f)) => {
+            out.checked += 1;
+            if b != f {
+                out.regressions
+                    .push(format!("{path}: field changed: {b} -> {f}"));
+            }
+            Ok(())
+        }
+        (Value::Null, Value::Null) => Ok(()),
+        _ => Err(format!("{path}: value type changed between documents")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ecoscale_sim::json;
+
+    const BASE: &str = r#"{"bench":"parallel_des","host_cores":1,"clusters":4,
+        "tasks_per_cluster":64,"reps":1,"events":1000,"rounds":40,"lookahead_ns":90,
+        "identical_exports":true,"points":[
+        {"shards":2,"wall_s":0.1,"events_per_sec":10000,"speedup":1.0,
+         "critical_path_speedup":1.5}]}"#;
+
+    fn base() -> Value {
+        json::parse(BASE).expect("fixture parses")
+    }
+
+    #[test]
+    fn identical_documents_pass() {
+        let cmp = compare(&base(), &base(), DEFAULT_WALL_TOLERANCE).unwrap();
+        assert!(cmp.regressions.is_empty(), "{:?}", cmp.regressions);
+        assert!(cmp.checked > 5);
+    }
+
+    #[test]
+    fn slow_wall_clock_within_tolerance_passes() {
+        let fresh = json::parse(&BASE.replace("\"wall_s\":0.1", "\"wall_s\":0.25")).unwrap();
+        let cmp = compare(&base(), &fresh, 3.0).unwrap();
+        assert!(cmp.regressions.is_empty(), "{:?}", cmp.regressions);
+    }
+
+    #[test]
+    fn slow_wall_clock_beyond_tolerance_regresses() {
+        let fresh = json::parse(&BASE.replace("\"wall_s\":0.1", "\"wall_s\":1.0")).unwrap();
+        let cmp = compare(&base(), &fresh, 3.0).unwrap();
+        assert_eq!(cmp.regressions.len(), 1, "{:?}", cmp.regressions);
+        assert!(cmp.regressions[0].contains("wall_s"));
+    }
+
+    #[test]
+    fn throughput_drop_beyond_tolerance_regresses() {
+        let fresh =
+            json::parse(&BASE.replace("\"events_per_sec\":10000", "\"events_per_sec\":1000"))
+                .unwrap();
+        let cmp = compare(&base(), &fresh, 3.0).unwrap();
+        assert_eq!(cmp.regressions.len(), 1, "{:?}", cmp.regressions);
+        assert!(cmp.regressions[0].contains("events_per_sec"));
+    }
+
+    #[test]
+    fn deterministic_field_change_regresses() {
+        let fresh = json::parse(&BASE.replace("\"events\":1000", "\"events\":1001")).unwrap();
+        let cmp = compare(&base(), &fresh, 3.0).unwrap();
+        assert_eq!(cmp.regressions.len(), 1);
+        assert!(cmp.regressions[0].contains("deterministic"));
+        // critical-path speedups are deterministic too
+        let fresh = json::parse(&BASE.replace(
+            "\"critical_path_speedup\":1.5",
+            "\"critical_path_speedup\":1.4",
+        ))
+        .unwrap();
+        let cmp = compare(&base(), &fresh, 3.0).unwrap();
+        assert_eq!(cmp.regressions.len(), 1);
+    }
+
+    #[test]
+    fn wall_speedup_and_host_cores_are_ignored() {
+        let fresh = json::parse(
+            &BASE
+                .replace("\"speedup\":1.0", "\"speedup\":0.2")
+                .replace("\"host_cores\":1", "\"host_cores\":64"),
+        )
+        .unwrap();
+        let cmp = compare(&base(), &fresh, 3.0).unwrap();
+        assert!(cmp.regressions.is_empty(), "{:?}", cmp.regressions);
+    }
+
+    #[test]
+    fn kind_and_workload_mismatches_are_errors_not_regressions() {
+        let other = json::parse(&BASE.replace("parallel_des", "profile")).unwrap();
+        assert!(compare(&base(), &other, 3.0).unwrap_err().contains("kind"));
+        let other = json::parse(&BASE.replace("\"clusters\":4", "\"clusters\":8")).unwrap();
+        assert!(compare(&base(), &other, 3.0)
+            .unwrap_err()
+            .contains("workload mismatch"));
+    }
+
+    #[test]
+    fn shape_changes_are_errors() {
+        let missing = json::parse(&BASE.replace("\"rounds\":40,", "")).unwrap();
+        assert!(compare(&base(), &missing, 3.0)
+            .unwrap_err()
+            .contains("missing from fresh"));
+        assert!(compare(&missing, &base(), 3.0)
+            .unwrap_err()
+            .contains("not present in baseline"));
+        let extra_point = json::parse(
+            &BASE.replace("}]}", "},{\"shards\":4,\"wall_s\":0.1,\"events_per_sec\":10000,\"speedup\":1.0,\"critical_path_speedup\":2.0}]}"),
+        )
+        .unwrap();
+        assert!(compare(&base(), &extra_point, 3.0)
+            .unwrap_err()
+            .contains("length changed"));
+    }
+
+    #[test]
+    fn bad_tolerance_is_an_error() {
+        assert!(compare(&base(), &base(), 0.5).is_err());
+    }
+}

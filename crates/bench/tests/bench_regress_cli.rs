@@ -1,0 +1,137 @@
+//! End-to-end tests for the `bench_regress` binary: the three exit
+//! codes the ISSUE pins — 0 on the committed baseline vs itself, 1 on a
+//! synthetically slowed run, 2 when the documents cannot be compared.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn bench_regress() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_bench_regress"))
+}
+
+fn committed_baseline() -> PathBuf {
+    // crates/bench -> workspace root
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_parallel_des.json")
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("ecoscale-regress-{}-{name}", std::process::id()));
+    p
+}
+
+/// A small but schema-complete parallel_des document.
+const BASE: &str = r#"{"bench":"parallel_des","host_cores":1,"clusters":4,
+    "tasks_per_cluster":64,"reps":1,"events":1000,"rounds":40,"lookahead_ns":90,
+    "identical_exports":true,"points":[
+    {"shards":2,"wall_s":0.1,"events_per_sec":10000,"speedup":1.0,
+     "critical_path_speedup":1.5}]}"#;
+
+#[test]
+fn committed_baseline_vs_itself_exits_0() {
+    let baseline = committed_baseline();
+    assert!(baseline.exists(), "committed baseline missing");
+    let out = bench_regress()
+        .arg(&baseline)
+        .arg(&baseline)
+        .output()
+        .expect("binary runs");
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("bench_regress: ok"), "stderr: {err}");
+}
+
+#[test]
+fn synthetically_slowed_run_exits_1() {
+    let base_path = tmp("slow-base.json");
+    let slow_path = tmp("slow-fresh.json");
+    std::fs::write(&base_path, BASE).unwrap();
+    // 100x slower wall clock and throughput: far past any tolerance
+    let slowed = BASE
+        .replace("\"wall_s\":0.1", "\"wall_s\":10.0")
+        .replace("\"events_per_sec\":10000", "\"events_per_sec\":100");
+    std::fs::write(&slow_path, slowed).unwrap();
+    let out = bench_regress()
+        .arg(&base_path)
+        .arg(&slow_path)
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("regression:"), "stdout: {stdout}");
+    assert!(stdout.contains("wall_s"), "stdout: {stdout}");
+    assert!(stdout.contains("events_per_sec"), "stdout: {stdout}");
+    std::fs::remove_file(&base_path).ok();
+    std::fs::remove_file(&slow_path).ok();
+}
+
+#[test]
+fn changed_deterministic_field_exits_1() {
+    let base_path = tmp("det-base.json");
+    let fresh_path = tmp("det-fresh.json");
+    std::fs::write(&base_path, BASE).unwrap();
+    std::fs::write(
+        &fresh_path,
+        BASE.replace("\"events\":1000", "\"events\":1002"),
+    )
+    .unwrap();
+    let out = bench_regress()
+        .arg(&base_path)
+        .arg(&fresh_path)
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(
+        stdout.contains("deterministic field changed"),
+        "stdout: {stdout}"
+    );
+    std::fs::remove_file(&base_path).ok();
+    std::fs::remove_file(&fresh_path).ok();
+}
+
+#[test]
+fn unreadable_file_and_kind_mismatch_exit_2() {
+    let out = bench_regress()
+        .args(["/nonexistent/a.json", "/nonexistent/b.json"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("cannot read"), "stderr: {err}");
+
+    let base_path = tmp("kind-base.json");
+    let other_path = tmp("kind-other.json");
+    std::fs::write(&base_path, BASE).unwrap();
+    std::fs::write(&other_path, BASE.replace("parallel_des", "profile")).unwrap();
+    let out = bench_regress()
+        .arg(&base_path)
+        .arg(&other_path)
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("kind mismatch"), "stderr: {err}");
+    std::fs::remove_file(&base_path).ok();
+    std::fs::remove_file(&other_path).ok();
+}
+
+#[test]
+fn bad_usage_exits_2() {
+    // missing operands
+    let out = bench_regress().output().expect("binary runs");
+    assert_eq!(out.status.code(), Some(2));
+    // bad tolerance
+    let out = bench_regress()
+        .args(["--tolerance", "0.5", "a.json", "b.json"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("--tolerance needs a ratio"), "stderr: {err}");
+}

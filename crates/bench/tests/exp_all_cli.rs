@@ -45,6 +45,70 @@ fn missing_flag_value_exits_2() {
 }
 
 #[test]
+fn missing_profile_value_exits_2_with_message() {
+    let out = exp_all().arg("--profile").output().expect("binary runs");
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(
+        err.contains("error: --profile needs a file path"),
+        "stderr: {err}"
+    );
+    assert!(err.contains("usage: exp_all"), "stderr: {err}");
+}
+
+#[test]
+fn profile_output_blames_sum_to_100_percent() {
+    let profile_path = tmp("p.json");
+    let out = exp_all()
+        .args(["--scale", "quick", "--profile"])
+        .arg(&profile_path)
+        .arg("e01")
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("critical-path blame"), "stdout: {stdout}");
+    assert!(stdout.contains("shard occupancy"), "stdout: {stdout}");
+    // wall timers are host-dependent and must only reach stderr
+    assert!(!stdout.contains("engine wall phases"), "stdout: {stdout}");
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("engine wall phases"), "stderr: {err}");
+
+    let text = std::fs::read_to_string(&profile_path).unwrap();
+    let doc = json::parse(&text).expect("profile JSON parses");
+    let profile = doc.get("profile").expect("profile section");
+    assert!(profile.get("total_ps").and_then(Value::as_f64).unwrap() > 0.0);
+    let blame = profile
+        .get("blame")
+        .and_then(Value::as_arr)
+        .expect("blame array");
+    assert_eq!(blame.len(), 5, "one entry per layer");
+    let total: f64 = blame
+        .iter()
+        .map(|b| b.get("percent").and_then(Value::as_f64).expect("percent"))
+        .sum();
+    assert!(
+        (total - 100.0).abs() < 1e-9,
+        "blame percentages sum to {total}"
+    );
+    let occ = doc.get("occupancy").expect("occupancy section");
+    assert!(occ.get("events").and_then(Value::as_f64).unwrap() > 0.0);
+    assert!(!occ
+        .get("bands")
+        .and_then(Value::as_arr)
+        .expect("bands")
+        .is_empty());
+    // the wall section never leaks into the deterministic file
+    assert!(doc.get("wall").is_none());
+
+    std::fs::remove_file(&profile_path).ok();
+}
+
+#[test]
 fn malformed_faults_spec_exits_2_with_offending_pair() {
     // a pair without `=` is rejected with the pair quoted back
     let out = exp_all()

@@ -34,8 +34,8 @@ pub use chain::{Chain, ChainCost};
 pub use power::{machine_power_for_exaflop, MachineClass, PowerBreakdown};
 pub use report::{FunctionSummary, SystemReport};
 pub use shard_model::{
-    run_shard_sim, run_shard_sim_profiled, run_shard_sim_with, ClusterEv, ClusterSimModel,
-    ShardOutcome, ShardSimConfig,
+    run_shard_sim, run_shard_sim_observed, run_shard_sim_with, ClusterEv, ClusterSimModel,
+    ShardOutcome, ShardSimConfig, OCCUPANCY_WIDTHS,
 };
 pub use system::{CallOutcome, EcoscaleSystem, SystemBuilder};
 pub use unilogic::{AccessPath, PathCost, UnilogicModel};

@@ -10,6 +10,7 @@ use core::fmt;
 
 use ecoscale_runtime::DeviceClass;
 use ecoscale_sim::json;
+use ecoscale_sim::prof::{self, ProfileReport};
 use ecoscale_sim::report::Table;
 use ecoscale_sim::{Energy, MetricsRegistry, Time};
 
@@ -48,6 +49,9 @@ pub struct SystemReport {
     /// Every layer's instruments (SMMU, UNIMEM, NoC, reconfiguration,
     /// system call path) snapshotted at capture time.
     pub metrics: MetricsRegistry,
+    /// ProfPlane critical-path blame over the system's trace buffer.
+    /// `None` when no tracer is installed (nothing to analyse).
+    pub profile: Option<ProfileReport>,
 }
 
 impl SystemReport {
@@ -98,6 +102,10 @@ impl SystemReport {
             mean_fabric_utilization: util / workers as f64,
             functions,
             metrics: system.export_metrics(),
+            profile: system
+                .tracer()
+                .is_enabled()
+                .then(|| prof::critical_path(&system.tracer().snapshot())),
         }
     }
 
@@ -142,6 +150,11 @@ impl SystemReport {
         }
         out.push_str("],\"metrics\":");
         out.push_str(&self.metrics.to_json());
+        out.push_str(",\"profile\":");
+        match &self.profile {
+            Some(p) => out.push_str(&p.to_json()),
+            None => out.push_str("null"),
+        }
         out.push('}');
         out
     }
@@ -177,7 +190,11 @@ impl fmt::Display for SystemReport {
             self.mean_fabric_utilization * 100.0
         )?;
         writeln!(f, "{}", self.to_table())?;
-        write!(f, "{}", self.metrics.to_table("metrics"))
+        write!(f, "{}", self.metrics.to_table("metrics"))?;
+        if let Some(p) = &self.profile {
+            write!(f, "\n{}", p.to_table())?;
+        }
+        Ok(())
     }
 }
 
@@ -255,5 +272,45 @@ mod tests {
             .get("metrics")
             .and_then(|m| m.get("system.calls_cpu"))
             .is_some());
+        // no tracer installed -> no profile section to analyse
+        assert!(r.profile.is_none());
+        assert!(r.to_json().ends_with(",\"profile\":null}"));
+    }
+
+    #[test]
+    fn traced_system_report_carries_blame_profile() {
+        let tracer = ecoscale_sim::Tracer::buffering();
+        let mut s = SystemBuilder::new()
+            .workers_per_node(2)
+            .compute_nodes(2)
+            .kernel(K, HashMap::from([("n".to_owned(), 4096.0)]))
+            .build()
+            .unwrap();
+        s.set_tracer(&tracer);
+        for _ in 0..13 {
+            let mut a = args(4096);
+            s.call(NodeId(0), "hot", &mut a).unwrap();
+        }
+        s.daemon_tick();
+
+        let r = SystemReport::capture(&s);
+        let p = r.profile.as_ref().expect("tracer installed");
+        assert!(p.total_ps > 0);
+        assert_eq!(p.blame_ps.iter().sum::<u64>(), p.total_ps);
+        let total: f64 = ecoscale_sim::prof::Layer::ALL
+            .into_iter()
+            .map(|l| p.percent(l))
+            .sum();
+        assert!((total - 100.0).abs() < 1e-9, "percentages sum to {total}");
+        // capture() must not drain the tracer's buffer
+        assert!(!tracer.snapshot().is_empty());
+        assert!(r.to_string().contains("critical-path blame"));
+        let parsed = json::parse(&r.to_json()).unwrap();
+        let blame = parsed
+            .get("profile")
+            .and_then(|p| p.get("blame"))
+            .and_then(|b| b.as_arr())
+            .expect("profile blame array");
+        assert_eq!(blame.len(), ecoscale_sim::prof::LAYERS);
     }
 }

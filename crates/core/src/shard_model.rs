@@ -20,10 +20,15 @@ use ecoscale_mem::{CacheConfig, DramModel, GlobalAddr, UnimemSystem};
 use ecoscale_noc::{CostModel, Network, NetworkConfig, NodeId, Topology, TreeTopology};
 use ecoscale_runtime::{partitioned_traces, CpuModel, TaskSpec};
 use ecoscale_sim::check::CheckPlane;
-use ecoscale_sim::shard::{ClusterCtx, ClusterModel, ShardProfile, ShardedEngine};
+use ecoscale_sim::prof::{Profiler, ShardOccupancy};
+use ecoscale_sim::shard::{ClusterCtx, ClusterModel, ShardedEngine};
 use ecoscale_sim::{
     Duration, Energy, MetricsRegistry, SimRng, StopReason, Time, TraceBuffer, Tracer, TrackId,
 };
+
+/// Occupancy band widths every shard run accounts for (clamped to the
+/// cluster count). One run yields critical-path bounds for all of them.
+pub const OCCUPANCY_WIDTHS: [usize; 3] = [2, 4, 8];
 
 /// Shape and workload of a cluster-partitioned simulation.
 #[derive(Debug, Clone)]
@@ -310,6 +315,10 @@ pub struct ShardOutcome {
     pub messages: u64,
     /// The lookahead the run synchronized on.
     pub lookahead: Duration,
+    /// Per-window occupancy accounting over [`OCCUPANCY_WIDTHS`] bands.
+    /// Derived from event counts, so byte-identical at any shard count;
+    /// also exported under `shard.occupancy.*` in `metrics`.
+    pub occupancy: ShardOccupancy,
 }
 
 impl ShardOutcome {
@@ -350,29 +359,27 @@ pub fn run_shard_sim_with(
     shards: Option<usize>,
     cp: &mut CheckPlane,
 ) -> ShardOutcome {
-    run_shard_sim_inner(cfg, shards, None, cp).0
+    run_shard_sim_inner(cfg, shards, false, cp).0
 }
 
-/// [`run_shard_sim_with`] with critical-path profiling armed for a
-/// hypothetical `profile_shards`-way partition. The run executes
-/// sequentially (profiling and thread timing don't mix) and returns the
-/// outcome plus the measured [`ShardProfile`] — the outcome is
-/// byte-identical to any other shard count, the profile host-dependent.
-pub fn run_shard_sim_profiled(
+/// [`run_shard_sim`] with wall-clock self-profiling armed: the engine
+/// times its drain/decide/process/barrier phases and returns them next
+/// to the outcome. The outcome stays byte-identical to an unobserved
+/// run at any shard count; the [`Profiler`] is host-dependent and must
+/// never be folded into deterministic exports.
+pub fn run_shard_sim_observed(
     cfg: &ShardSimConfig,
-    profile_shards: usize,
     cp: &mut CheckPlane,
-) -> (ShardOutcome, ShardProfile) {
-    let (out, profile) = run_shard_sim_inner(cfg, Some(1), Some(profile_shards), cp);
-    (out, profile.expect("profiling was armed"))
+) -> (ShardOutcome, Profiler) {
+    run_shard_sim_inner(cfg, None, true, cp)
 }
 
 fn run_shard_sim_inner(
     cfg: &ShardSimConfig,
     shards: Option<usize>,
-    profile_shards: Option<usize>,
+    observe: bool,
     cp: &mut CheckPlane,
-) -> (ShardOutcome, Option<ShardProfile>) {
+) -> (ShardOutcome, Profiler) {
     assert!(cfg.clusters >= 2, "need at least 2 clusters");
     assert!(
         cfg.workers_per_cluster >= 2,
@@ -393,12 +400,12 @@ fn run_shard_sim_inner(
         .map(|(c, trace)| ClusterSimModel::new(c, cfg, trace))
         .collect();
     let lookahead = cfg.lookahead();
-    let mut engine = ShardedEngine::new(models, lookahead);
+    let mut engine = ShardedEngine::new(models, lookahead).with_occupancy(&OCCUPANCY_WIDTHS);
     if let Some(n) = shards {
         engine = engine.with_shards(n);
     }
-    if let Some(n) = profile_shards {
-        engine.profile_as(n);
+    if observe {
+        engine = engine.with_self_profiling();
     }
     for c in 0..cfg.clusters {
         let arrivals: Vec<Time> = engine.model(c).trace.iter().map(|s| s.arrival).collect();
@@ -419,6 +426,11 @@ fn run_shard_sim_inner(
         model.mem.check_invariants(cp);
         trace.merge(model.tracer.take());
     }
+    let occupancy = engine
+        .occupancy()
+        .cloned()
+        .expect("occupancy is always armed");
+    occupancy.export_metrics(&mut metrics, "shard.occupancy");
     let outcome = ShardOutcome {
         metrics,
         trace,
@@ -429,8 +441,9 @@ fn run_shard_sim_inner(
         rounds: engine.rounds(),
         messages: engine.messages_sent(),
         lookahead,
+        occupancy,
     };
-    (outcome, engine.profile().cloned())
+    (outcome, engine.wall_profile().clone())
 }
 
 #[cfg(test)]
@@ -495,17 +508,44 @@ mod tests {
     }
 
     #[test]
-    fn profiled_run_matches_unprofiled() {
+    fn occupancy_is_exported_in_metrics_and_layout_independent() {
+        let mut cp = CheckPlane::enabled(1);
+        let base = run_shard_sim_with(&small(), Some(1), &mut cp);
+        assert!(cp.ok(), "{:?}", cp.first());
+        let occ = &base.occupancy;
+        assert_eq!(occ.windows, base.rounds);
+        assert_eq!(occ.events, base.events);
+        for shards in OCCUPANCY_WIDTHS {
+            assert!(occ.speedup(shards) >= 1.0, "band {shards}");
+        }
+        // Satellite of ISSUE 7: the occupancy numbers live in the
+        // standard metrics snapshot, not just a bench-only side channel.
+        assert_eq!(
+            base.metrics.counter("shard.occupancy.events"),
+            Some(occ.events)
+        );
+        assert_eq!(
+            base.metrics.counter("shard.occupancy.s4.crit_events"),
+            Some(occ.band(4).expect("band 4").crit_events)
+        );
+        let mut cp = CheckPlane::enabled(1);
+        let wide = run_shard_sim_with(&small(), Some(4), &mut cp);
+        assert_eq!(wide.occupancy.to_json(), occ.to_json());
+    }
+
+    #[test]
+    fn observed_run_matches_unobserved() {
         let cfg = small();
         let mut cp = CheckPlane::enabled(1);
-        let base = run_shard_sim_with(&cfg, Some(1), &mut cp);
-        let (out, profile) = run_shard_sim_profiled(&cfg, 4, &mut cp);
+        let base = run_shard_sim_with(&cfg, None, &mut cp);
+        let (out, wall) = run_shard_sim_observed(&cfg, &mut cp);
         assert!(cp.ok(), "{:?}", cp.first());
         assert_eq!(base.metrics.to_json(), out.metrics.to_json());
         assert_eq!(base.report(), out.report());
-        assert_eq!(profile.shards, 4);
-        assert_eq!(profile.rounds, out.rounds);
-        assert!(profile.seq_ns >= profile.crit_ns);
-        assert!(profile.critical_path_speedup() >= 1.0);
+        assert!(wall.is_enabled());
+        assert!(
+            wall.phase_calls(ecoscale_sim::prof::Phase::Process) >= out.rounds,
+            "every window's process phase is timed"
+        );
     }
 }

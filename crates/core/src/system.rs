@@ -336,6 +336,13 @@ impl EcoscaleSystem {
             .collect();
     }
 
+    /// The installed tracer (disabled unless
+    /// [`EcoscaleSystem::set_tracer`] was called). Post-hoc analyses
+    /// snapshot its buffer without draining it.
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
     /// Snapshots every layer's instruments into one registry:
     /// `smmu.*` and `reconfig.*` aggregated across Workers, `unimem.*`,
     /// `noc.*`, and the system-level `system.*` call metrics (per-device

@@ -164,8 +164,10 @@ struct SchedInstruments {
 
 impl SchedInstruments {
     /// Records one task execution: wait latency (arrival → start),
-    /// exec latency, migration (executed away from its data home), and
-    /// a span on the executing worker's track.
+    /// exec latency, migration (executed away from its data home), a
+    /// span on the executing worker's track, and — when the task waited
+    /// at all — a `wait` span on the shared wait track so ProfPlane can
+    /// blame scheduler queueing on the critical path.
     #[allow(clippy::too_many_arguments)]
     fn on_exec(
         &mut self,
@@ -176,16 +178,22 @@ impl SchedInstruments {
         d: Duration,
         tracer: &Tracer,
         tracks: &[TrackId],
+        wait_track: Option<TrackId>,
     ) {
         self.tasks.incr();
-        self.wait_ns
-            .record(start.saturating_since(spec.arrival).as_ns_f64());
+        let waited = start.saturating_since(spec.arrival);
+        self.wait_ns.record(waited.as_ns_f64());
         self.exec_ns.record(d.as_ns_f64());
         if spec.task.data_home().0 % workers != w {
             self.migrations.incr();
         }
         if let Some(&track) = tracks.get(w) {
             tracer.complete(track, spec.task.function(), start, d);
+        }
+        if let Some(track) = wait_track {
+            if waited > Duration::ZERO {
+                tracer.complete(track, "wait", spec.arrival, waited);
+            }
         }
     }
 }
@@ -306,6 +314,11 @@ impl ClusterSim {
         };
         let queue_track = if self.tracer.is_enabled() {
             Some(self.tracer.track(&format!("{}/queued", self.trace_label)))
+        } else {
+            None
+        };
+        let wait_track = if self.tracer.is_enabled() {
+            Some(self.tracer.track(&format!("{}/wait", self.trace_label)))
         } else {
             None
         };
@@ -462,6 +475,7 @@ impl ClusterSim {
                                         &mut self.ins,
                                         &self.tracer,
                                         &tracks,
+                                        wait_track,
                                     );
                                 }
                             }
@@ -500,6 +514,7 @@ impl ClusterSim {
                                         &mut self.ins,
                                         &self.tracer,
                                         &tracks,
+                                        wait_track,
                                     );
                                 }
                             }
@@ -554,6 +569,7 @@ impl ClusterSim {
                         d,
                         &self.tracer,
                         &tracks,
+                        wait_track,
                     );
                     q.schedule(now + d, Ev::Finish(worker));
                 }
@@ -608,6 +624,7 @@ impl ClusterSim {
                                     &mut self.ins,
                                     &self.tracer,
                                     &tracks,
+                                    wait_track,
                                 );
                             }
                         }
@@ -627,6 +644,7 @@ impl ClusterSim {
                                     &mut self.ins,
                                     &self.tracer,
                                     &tracks,
+                                    wait_track,
                                 );
                             } else {
                                 // steal: probe random victims and take
@@ -664,6 +682,7 @@ impl ClusterSim {
                                         d,
                                         &self.tracer,
                                         &tracks,
+                                        wait_track,
                                     );
                                     q.schedule(now + probe_cost + d, Ev::Finish(w));
                                 }
@@ -829,13 +848,23 @@ impl ClusterSim {
         ins: &mut SchedInstruments,
         tracer: &Tracer,
         tracks: &[TrackId],
+        wait_track: Option<TrackId>,
     ) {
         if let Some(t) = queues[w].pop_front() {
             let d = exec_time(&tasks[t].task, cpu);
             busy[w] = true;
             busy_time[w] += d;
             current[w] = Some(t);
-            ins.on_exec(&tasks[t], w, queues.len(), now, d, tracer, tracks);
+            ins.on_exec(
+                &tasks[t],
+                w,
+                queues.len(),
+                now,
+                d,
+                tracer,
+                tracks,
+                wait_track,
+            );
             q.schedule(now + d, Ev::Finish(w));
         }
     }
@@ -1063,14 +1092,35 @@ mod tests {
         // no fault campaign installed: no resilience keys appear
         assert!(m.counter("sched.resilience.failures").is_none());
         let buf = sim.tracer.take();
-        let spans = buf
+        let tracks = buf.tracks();
+        let complete = |e: &&ecoscale_sim::trace::TraceEvent| {
+            matches!(e.kind, ecoscale_sim::trace::EventKind::Complete { .. })
+        };
+        let exec_spans = buf
             .events()
             .iter()
-            .filter(|e| matches!(e.kind, ecoscale_sim::trace::EventKind::Complete { .. }))
+            .filter(complete)
+            .filter(|e| {
+                let t = &tracks[e.track.0 as usize];
+                t.starts_with("lane0/w") && t != "lane0/wait"
+            })
             .count();
-        assert_eq!(spans, 100);
-        assert!(buf.tracks().iter().any(|t| t == "lane0/w0"));
-        assert!(buf.tracks().iter().any(|t| t == "lane0/queued"));
+        assert_eq!(exec_spans, 100, "one exec span per task");
+        // queued tasks additionally record wait spans for ProfPlane
+        let wait_spans = buf
+            .events()
+            .iter()
+            .filter(complete)
+            .filter(|e| tracks[e.track.0 as usize] == "lane0/wait")
+            .count();
+        assert!(wait_spans > 0, "overloaded workers must record waits");
+        assert!(buf
+            .events()
+            .iter()
+            .filter(complete)
+            .all(|e| { tracks[e.track.0 as usize] != "lane0/wait" || e.name == "wait" }));
+        assert!(tracks.iter().any(|t| t == "lane0/w0"));
+        assert!(tracks.iter().any(|t| t == "lane0/queued"));
     }
 
     #[test]

@@ -28,6 +28,10 @@
 //!   instruments with snapshot/merge semantics,
 //! * [`trace`] — structured tracing ([`Tracer`]) with a Chrome Trace
 //!   Event JSON exporter loadable in Perfetto,
+//! * [`prof`] — ProfPlane: causal critical-path extraction with
+//!   per-layer blame ([`ProfileReport`]), deterministic shard occupancy
+//!   analytics ([`ShardOccupancy`]), and zero-cost-when-disabled
+//!   wall-clock phase timers ([`Profiler`]),
 //! * [`report`] — fixed-width table rendering used by the experiment
 //!   binaries to print paper-style figures.
 //!
@@ -60,6 +64,7 @@ pub mod fault;
 pub mod json;
 pub mod metrics;
 pub mod pool;
+pub mod prof;
 pub mod report;
 pub mod rng;
 pub mod shard;
@@ -74,8 +79,9 @@ pub use engine::{EventHandler, Simulation, StopReason};
 pub use event::EventQueue;
 pub use fault::{CampaignSpec, FaultClock, ProbFault};
 pub use metrics::{Instrument, MetricsRegistry};
+pub use prof::{Layer, ProfileReport, Profiler, ShardOccupancy};
 pub use rng::SimRng;
-pub use shard::{ClusterCtx, ClusterModel, ShardProfile, ShardedEngine};
+pub use shard::{ClusterCtx, ClusterModel, ShardedEngine};
 pub use stats::{Counter, Histogram, OnlineStats};
 pub use time::{Duration, Time};
 pub use trace::{TraceBuffer, TraceEvent, Tracer, TrackId};

@@ -81,6 +81,7 @@ use std::sync::Mutex;
 use crate::check::{invariant, CheckPlane};
 use crate::engine::StopReason;
 use crate::pool::RoundBarrier;
+use crate::prof::{Phase, Profiler, ShardOccupancy};
 use crate::time::{Duration, Time};
 use crate::wheel::TimingWheel;
 
@@ -237,9 +238,18 @@ type ShardPart<M> = Vec<(usize, ClusterState<M>)>;
 /// A worker's owned shards: `(shard index, that shard's clusters)`.
 type WorkerShards<M> = Vec<(usize, ShardPart<M>)>;
 
-/// A worker's return: its clusters, counters, stop reason, and (leader
-/// only) the window-end sequence.
-type WorkerResult<M> = (ShardPart<M>, WorkerStats, StopReason, Vec<u64>);
+/// A worker's return after a parallel run.
+struct WorkerResult<M: ClusterModel> {
+    part: ShardPart<M>,
+    stats: WorkerStats,
+    reason: StopReason,
+    /// Leader only: the window-end sequence.
+    windows: Vec<u64>,
+    /// Leader only: the folded occupancy accumulator, when armed.
+    occ: Option<ShardOccupancy>,
+    /// This worker's wall-clock phase timers (disabled unless armed).
+    wall: Profiler,
+}
 
 /// Per-worker counters folded into the engine after a run.
 #[derive(Debug, Default, Clone, Copy)]
@@ -247,39 +257,6 @@ struct WorkerStats {
     events: u64,
     sent: u64,
     delivered: u64,
-}
-
-/// Critical-path profile of a run, collected when
-/// [`ShardedEngine::profile_as`] is armed: per safe window, how long each
-/// hypothetical shard's slice took on the measuring host.
-///
-/// `seq_ns / crit_ns` is the standard conservative-PDES critical-path
-/// speedup bound — what the window protocol would yield with one core per
-/// shard and free barriers. It is measured from the *sequential* run (the
-/// event stream is byte-identical at any shard count, so the per-cluster
-/// work is too), which keeps barrier noise out of the numerator.
-#[derive(Debug, Default, Clone)]
-pub struct ShardProfile {
-    /// The hypothetical shard count the profile was bucketed for.
-    pub shards: usize,
-    /// Total processing time across all clusters (ns).
-    pub seq_ns: u128,
-    /// Sum over windows of the slowest shard's slice (ns).
-    pub crit_ns: u128,
-    /// Windows profiled.
-    pub rounds: u64,
-}
-
-impl ShardProfile {
-    /// `seq_ns / crit_ns`: the speedup an ideal `shards`-core host could
-    /// reach on this workload (1.0 when nothing was profiled).
-    pub fn critical_path_speedup(&self) -> f64 {
-        if self.crit_ns == 0 {
-            1.0
-        } else {
-            self.seq_ns as f64 / self.crit_ns as f64
-        }
-    }
 }
 
 /// Shared coordination state for one parallel run.
@@ -297,6 +274,11 @@ struct RunShared<E> {
     windows_monotone: AtomicBool,
     /// Per-shard-pair mailboxes, indexed `src_shard * shards + dst_shard`.
     mail: Vec<Mutex<Vec<OutMsg<E>>>>,
+    /// Per-cluster event counts of the current window (empty unless
+    /// occupancy is armed). Workers add during process; the leader swaps
+    /// them out at the next decision — the barriers in between order the
+    /// accesses, so `Relaxed` suffices.
+    occ_counts: Vec<AtomicU64>,
 }
 
 /// The conservative-parallel engine: per-cluster wheels, safe-window
@@ -307,7 +289,10 @@ pub struct ShardedEngine<M: ClusterModel> {
     lookahead: Duration,
     shards: usize,
     threads: Option<usize>,
-    profile: Option<ShardProfile>,
+    occ_widths: Option<Vec<usize>>,
+    occupancy: Option<ShardOccupancy>,
+    self_prof: bool,
+    wall: Profiler,
     events_processed: u64,
     rounds: u64,
     messages_sent: u64,
@@ -351,7 +336,10 @@ impl<M: ClusterModel> ShardedEngine<M> {
             lookahead,
             shards: shard_count(),
             threads: None,
-            profile: None,
+            occ_widths: None,
+            occupancy: None,
+            self_prof: false,
+            wall: Profiler::disabled(),
             events_processed: 0,
             rounds: 0,
             messages_sent: 0,
@@ -377,20 +365,52 @@ impl<M: ClusterModel> ShardedEngine<M> {
         self
     }
 
-    /// Arms critical-path profiling for a hypothetical `shards`-way
-    /// partition. Subsequent runs execute *sequentially* (profiling and
-    /// thread timing don't mix) and fill [`ShardedEngine::profile`].
-    pub fn profile_as(&mut self, shards: usize) {
-        self.profile = Some(ShardProfile {
-            shards: shards.max(1),
-            ..ShardProfile::default()
-        });
+    /// Arms per-window occupancy accounting with one band per width in
+    /// `widths`. Occupancy is derived from deterministic event counts, so
+    /// arming it never perturbs results, adds no measurable cost, and the
+    /// accumulated [`ShardedEngine::occupancy`] export is byte-identical
+    /// at any shard/thread layout.
+    pub fn with_occupancy(mut self, widths: &[usize]) -> ShardedEngine<M> {
+        self.occ_widths = Some(widths.to_vec());
+        self.occupancy = None;
+        self
     }
 
-    /// The critical-path profile collected since [`ShardedEngine::profile_as`],
-    /// if armed.
-    pub fn profile(&self) -> Option<&ShardProfile> {
-        self.profile.as_ref()
+    /// Arms wall-clock self-profiling of the engine phases
+    /// (drain/decide/process/barrier). Timers are host-dependent — they
+    /// are exported via [`ShardedEngine::wall_profile`], never inside
+    /// deterministic results.
+    pub fn with_self_profiling(mut self) -> ShardedEngine<M> {
+        self.self_prof = true;
+        self
+    }
+
+    /// The occupancy accumulated so far, when armed via
+    /// [`ShardedEngine::with_occupancy`].
+    pub fn occupancy(&self) -> Option<&ShardOccupancy> {
+        self.occupancy.as_ref()
+    }
+
+    /// The wall-clock phase timers (disabled and all-zero unless armed
+    /// via [`ShardedEngine::with_self_profiling`]). Parallel runs merge
+    /// every worker's timers, so phase totals can exceed elapsed wall
+    /// time.
+    pub fn wall_profile(&self) -> &Profiler {
+        &self.wall
+    }
+
+    /// Lazily creates the occupancy accumulator on first use so split
+    /// runs keep accumulating into one export. `clusters` is passed in
+    /// because the parallel path has already moved the cluster states
+    /// into shard parts by the time it takes the accumulator.
+    fn take_occupancy(&mut self, clusters: usize) -> Option<ShardOccupancy> {
+        match self.occupancy.take() {
+            Some(occ) => Some(occ),
+            None => self
+                .occ_widths
+                .as_ref()
+                .map(|w| ShardOccupancy::new(clusters, w)),
+        }
     }
 
     /// The requested shard count. The effective count is capped at the
@@ -528,7 +548,7 @@ impl<M: ClusterModel> ShardedEngine<M> {
     /// is identical at any shard count.
     pub fn run_until(&mut self, horizon: Time, max_events: u64) -> StopReason {
         let shards = self.shards.min(self.clusters.len()).max(1);
-        if shards == 1 || self.profile.is_some() {
+        if shards == 1 {
             self.run_sequential(horizon, max_events)
         } else {
             self.run_parallel(shards, horizon, max_events)
@@ -572,10 +592,15 @@ impl<M: ClusterModel> ShardedEngine<M> {
         let clusters = self.clusters.len();
         let lookahead = self.lookahead;
         let mut pending: Vec<OutMsg<M::Event>> = Vec::new();
-        let profile_shards = self.profile.as_ref().map_or(0, |p| p.shards.min(clusters));
-        let mut buckets: Vec<u128> = vec![0; profile_shards];
-        loop {
+        let mut occ = self.take_occupancy(clusters);
+        let mut deltas: Vec<u64> = vec![0; if occ.is_some() { clusters } else { 0 }];
+        if self.self_prof && !self.wall.is_enabled() {
+            self.wall = Profiler::armed();
+        }
+        let mut wall = std::mem::take(&mut self.wall);
+        let reason = loop {
             // Drain: staged messages land in their destination wheels.
+            let t = wall.begin();
             for msg in pending.drain(..) {
                 self.clusters[msg.dst as usize]
                     .wheel
@@ -589,29 +614,35 @@ impl<M: ClusterModel> ShardedEngine<M> {
                 .map(Time::as_ps)
                 .min()
                 .unwrap_or(u64::MAX);
-            let wend = match self.decide(gmin, horizon, max_events, self.events_processed) {
+            wall.end(Phase::Drain, t);
+            let t = wall.begin();
+            let decision = self.decide(gmin, horizon, max_events, self.events_processed);
+            wall.end(Phase::Decide, t);
+            let wend = match decision {
                 Ok(wend) => wend,
-                Err(reason) => return reason,
+                Err(reason) => break reason,
             };
             self.note_window(wend);
             // Process: every cluster executes its slice of the window.
-            buckets.iter_mut().for_each(|b| *b = 0);
+            let t = wall.begin();
             for idx in 0..clusters {
                 let state = &mut self.clusters[idx];
-                let t0 = (profile_shards > 0).then(std::time::Instant::now);
-                self.events_processed += process_window(idx, state, clusters, lookahead, wend);
-                if let Some(t0) = t0 {
-                    buckets[idx * profile_shards / clusters] += t0.elapsed().as_nanos();
+                let n = process_window(idx, state, clusters, lookahead, wend);
+                self.events_processed += n;
+                if let Some(d) = deltas.get_mut(idx) {
+                    *d = n;
                 }
                 self.messages_sent += state.outbox.len() as u64;
                 pending.append(&mut state.outbox);
             }
-            if let Some(p) = self.profile.as_mut() {
-                p.seq_ns += buckets.iter().sum::<u128>();
-                p.crit_ns += buckets.iter().copied().max().unwrap_or(0);
-                p.rounds += 1;
+            wall.end(Phase::Process, t);
+            if let Some(occ) = occ.as_mut() {
+                occ.fold_window(&deltas);
             }
-        }
+        };
+        self.wall = wall;
+        self.occupancy = occ;
+        reason
     }
 
     fn run_parallel(&mut self, shards: usize, horizon: Time, max_events: u64) -> StopReason {
@@ -637,6 +668,7 @@ impl<M: ClusterModel> ShardedEngine<M> {
         for (shard, part) in parts.into_iter().enumerate() {
             groups[shard * threads / shards].push((shard, part));
         }
+        let occ = self.take_occupancy(clusters);
         let shared: RunShared<M::Event> = RunShared {
             barrier: RoundBarrier::new(threads),
             next_times: (0..shards).map(|_| AtomicU64::new(u64::MAX)).collect(),
@@ -647,20 +679,33 @@ impl<M: ClusterModel> ShardedEngine<M> {
             mail: (0..shards * shards)
                 .map(|_| Mutex::new(Vec::new()))
                 .collect(),
+            occ_counts: (0..if occ.is_some() { clusters } else { 0 })
+                .map(|_| AtomicU64::new(0))
+                .collect(),
         };
         // The leader (worker 0) needs window bookkeeping the workers don't
         // share; collected via its returned stats.
         let mut leader_windows: Vec<u64> = Vec::new();
         let base_events = self.events_processed;
+        let self_prof = self.self_prof;
+        let mut occ_slot = Some(occ);
         let results: Vec<WorkerResult<M>> = std::thread::scope(|scope| {
             let handles: Vec<_> = groups
                 .into_iter()
                 .enumerate()
                 .map(|(worker, mine)| {
                     let shared = &shared;
+                    // Only the leader folds occupancy; it owns the
+                    // accumulator for the whole run.
+                    let occ = if worker == 0 {
+                        occ_slot.take().expect("leader spawned once")
+                    } else {
+                        None
+                    };
                     scope.spawn(move || {
                         run_worker(
                             worker, shards, clusters, lookahead, horizon, max_events, mine, shared,
+                            occ, self_prof,
                         )
                     })
                 })
@@ -672,13 +717,15 @@ impl<M: ClusterModel> ShardedEngine<M> {
         });
         let mut reason = StopReason::QueueEmpty;
         let mut reassembled: ShardPart<M> = Vec::with_capacity(clusters);
-        for (worker, (states, stats, worker_reason, windows)) in results.into_iter().enumerate() {
-            reassembled.extend(states);
-            self.messages_sent += stats.sent;
-            self.messages_delivered += stats.delivered;
+        for (worker, result) in results.into_iter().enumerate() {
+            reassembled.extend(result.part);
+            self.messages_sent += result.stats.sent;
+            self.messages_delivered += result.stats.delivered;
+            self.wall.merge(&result.wall);
             if worker == 0 {
-                reason = worker_reason;
-                leader_windows = windows;
+                reason = result.reason;
+                leader_windows = result.windows;
+                self.occupancy = result.occ;
             }
         }
         reassembled.sort_by_key(|(idx, _)| *idx);
@@ -740,14 +787,24 @@ fn run_worker<M: ClusterModel>(
     max_events: u64,
     mut mine: WorkerShards<M>,
     shared: &RunShared<M::Event>,
+    mut occ: Option<ShardOccupancy>,
+    self_prof: bool,
 ) -> WorkerResult<M> {
     let mut stats = WorkerStats::default();
     let mut windows: Vec<u64> = Vec::new();
     let mut last_wend = 0u64;
+    let mut wall = if self_prof {
+        Profiler::armed()
+    } else {
+        Profiler::disabled()
+    };
+    // Leader-only scratch for the occupancy fold.
+    let mut deltas: Vec<u64> = vec![0; if occ.is_some() { clusters } else { 0 }];
     let reason = loop {
         // Phase A: drain each owned shard's inboxes into its clusters'
         // wheels. Each mailbox has exactly one reading worker, so the
         // locks are uncontended.
+        let t = wall.begin();
         for (shard, part) in mine.iter_mut() {
             for src in 0..shards {
                 let inbox = std::mem::take(
@@ -772,8 +829,22 @@ fn run_worker<M: ClusterModel>(
                 .unwrap_or(u64::MAX);
             shared.next_times[*shard].store(my_min, Ordering::Release);
         }
+        wall.end(Phase::Drain, t);
+        let t = wall.begin();
         shared.barrier.wait();
+        wall.end(Phase::Barrier, t);
         if worker == 0 {
+            let t = wall.begin();
+            // The previous window's event counts are complete (its
+            // process phase ended at the last barrier); fold them before
+            // this round's decision so every executed window — including
+            // the final one before a stop — is accounted.
+            if let Some(occ) = occ.as_mut() {
+                for (d, c) in deltas.iter_mut().zip(&shared.occ_counts) {
+                    *d = c.swap(0, Ordering::Relaxed);
+                }
+                occ.fold_window(&deltas);
+            }
             // Leader: fold shard horizons into the global window.
             let gmin = shared
                 .next_times
@@ -797,18 +868,27 @@ fn run_worker<M: ClusterModel>(
                     shared.stop.store(stop_code(reason), Ordering::Release);
                 }
             }
+            wall.end(Phase::Decide, t);
         }
+        let t = wall.begin();
         shared.barrier.wait();
+        wall.end(Phase::Barrier, t);
         let code = shared.stop.load(Ordering::Acquire);
         if code != 0 {
             break stop_reason(code);
         }
         // Phase B: process the window and stage outgoing messages.
+        let t = wall.begin();
         let wend = shared.window_end.load(Ordering::Acquire);
         let mut processed = 0u64;
+        let count_occ = !shared.occ_counts.is_empty();
         for (shard, part) in mine.iter_mut() {
             for (idx, state) in part.iter_mut() {
-                processed += process_window(*idx, state, clusters, lookahead, wend);
+                let n = process_window(*idx, state, clusters, lookahead, wend);
+                processed += n;
+                if count_occ {
+                    shared.occ_counts[*idx].fetch_add(n, Ordering::Relaxed);
+                }
                 stats.sent += state.outbox.len() as u64;
                 for msg in state.outbox.drain(..) {
                     let dst_shard = msg.dst as usize * shards / clusters;
@@ -821,16 +901,21 @@ fn run_worker<M: ClusterModel>(
         }
         stats.events += processed;
         shared.total_events.fetch_add(processed, Ordering::AcqRel);
+        wall.end(Phase::Process, t);
         // The barrier between process and the next drain keeps a fast
         // worker from draining while a slow one is still publishing.
+        let t = wall.begin();
         shared.barrier.wait();
+        wall.end(Phase::Barrier, t);
     };
-    (
-        mine.into_iter().flat_map(|(_, part)| part).collect(),
+    WorkerResult {
+        part: mine.into_iter().flat_map(|(_, part)| part).collect(),
         stats,
         reason,
         windows,
-    )
+        occ,
+        wall,
+    }
 }
 
 /// [`ShardedEngine::decide`] without `&self`, for worker threads.
@@ -980,19 +1065,71 @@ mod tests {
     }
 
     #[test]
-    fn critical_path_profile_accumulates() {
-        let mut engine = gossip_engine(6, 11, 4);
-        engine.profile_as(4);
-        engine.run();
-        let p = engine.profile().expect("profile armed");
-        assert_eq!(p.shards, 4);
-        assert_eq!(p.rounds, engine.rounds());
-        assert!(p.seq_ns >= p.crit_ns, "{} < {}", p.seq_ns, p.crit_ns);
-        assert!(p.critical_path_speedup() >= 1.0);
-        // Profiled runs execute sequentially but must not perturb results.
+    fn occupancy_accumulates_and_is_layout_independent() {
+        let mut base = gossip_engine(6, 11, 1).with_occupancy(&[2, 4]);
+        base.run();
+        let occ = base.occupancy().expect("occupancy armed");
+        // Every executed window delivers at least one event.
+        assert_eq!(occ.windows, base.rounds());
+        assert_eq!(occ.events, base.events_processed());
+        assert!(occ.speedup(4) >= 1.0);
+        let want_occ = occ.to_json();
+        let want = fingerprint(&base);
+        for shards in [2, 4] {
+            let mut engine = gossip_engine(6, 11, shards).with_occupancy(&[2, 4]);
+            engine.run();
+            assert_eq!(fingerprint(&engine), want, "shards={shards} perturbed");
+            assert_eq!(
+                engine.occupancy().expect("armed").to_json(),
+                want_occ,
+                "occupancy diverged at shards={shards}"
+            );
+        }
+    }
+
+    #[test]
+    fn occupancy_survives_split_runs() {
+        let mut whole = gossip_engine(4, 17, 2).with_occupancy(&[2]);
+        whole.run();
+        let want = whole.occupancy().expect("armed").to_json();
+
+        let mut split = gossip_engine(4, 17, 2).with_occupancy(&[2]);
+        split.run_until(Time::from_us(1), u64::MAX);
+        split.run();
+        assert_eq!(split.occupancy().expect("armed").to_json(), want);
+    }
+
+    #[test]
+    fn self_profiling_times_phases_without_perturbing_results() {
         let mut plain = gossip_engine(6, 11, 1);
         plain.run();
-        assert_eq!(fingerprint(&engine), fingerprint(&plain));
+        let want = fingerprint(&plain);
+
+        let mut seq = gossip_engine(6, 11, 1).with_self_profiling();
+        seq.run();
+        assert_eq!(fingerprint(&seq), want);
+        let wall = seq.wall_profile();
+        assert!(wall.is_enabled());
+        assert_eq!(wall.phase_calls(crate::prof::Phase::Process), seq.rounds());
+        assert_eq!(wall.phase_calls(crate::prof::Phase::Barrier), 0);
+
+        let mut par = gossip_engine(6, 11, 4)
+            .with_threads(2)
+            .with_self_profiling();
+        par.run();
+        assert_eq!(fingerprint(&par), want);
+        let wall = par.wall_profile();
+        assert!(wall.phase_calls(crate::prof::Phase::Barrier) > 0);
+        assert!(wall.phase_calls(crate::prof::Phase::Process) > 0);
+    }
+
+    #[test]
+    fn disabled_profiling_leaves_timers_empty() {
+        let mut engine = gossip_engine(4, 3, 2);
+        engine.run();
+        assert!(!engine.wall_profile().is_enabled());
+        assert_eq!(engine.wall_profile().total_ns(), 0);
+        assert!(engine.occupancy().is_none());
     }
 
     #[test]

@@ -274,6 +274,17 @@ impl Tracer {
             None => TraceBuffer::default(),
         }
     }
+
+    /// Clones the buffered events without draining them — for post-hoc
+    /// analysis (e.g. [`crate::prof::critical_path`]) that must not
+    /// steal the trace from a later exporter. Returns an empty buffer on
+    /// a disabled tracer.
+    pub fn snapshot(&self) -> TraceBuffer {
+        match &self.shared {
+            Some(buf) => buf.lock().unwrap().clone(),
+            None => TraceBuffer::default(),
+        }
+    }
 }
 
 #[cfg(test)]

@@ -1,20 +1,36 @@
 #!/usr/bin/env bash
-# Wall-clock measurement of the sharded conservative-parallel DES engine.
-# Run from the repository root:
+# Wall-clock measurement of the sharded conservative-parallel DES engine
+# plus the ProfPlane profile artifact. Run from the repository root:
 #
 #   scripts/bench.sh                 # full measurement -> BENCH_parallel_des.json
-#   scripts/bench.sh --smoke         # reduced workload + JSON schema check
+#                                    #                  + BENCH_profile.json
+#   scripts/bench.sh --smoke         # reduced workloads + JSON schema check
 #
-# Builds the workspace in release mode and runs `bench_parallel_des`,
-# which times the P1 cluster-partitioned model at ECOSCALE_SHARDS =
-# 1/2/4/8, asserts every shard count exports byte-identically to the
-# sequential run, and records wall-clock, events/sec, measured wall
-# speedup, and the critical-path speedup bound per point (plus
-# `host_cores` — wall speedup is meaningless past it). Any extra
-# arguments are passed through to the binary.
+# Builds the bench binaries in release mode and runs:
+#
+# * `bench_parallel_des` — times the P1 cluster-partitioned model at
+#   ECOSCALE_SHARDS = 1/2/4/8, asserts every shard count exports
+#   byte-identically to the sequential run, and records wall-clock,
+#   events/sec, measured wall speedup, and the critical-path speedup
+#   bound per point (plus `host_cores` — wall speedup is meaningless
+#   past it). Any extra arguments are passed through to this binary.
+# * `bench_profile` — the ProfPlane artifact: critical-path blame
+#   breakdown, shard-occupancy bands with the imbalance index, and the
+#   engine's wall-clock phase timers (`--smoke` maps to its reduced
+#   `--quick` scale).
+#
+# Compare fresh artifacts against the committed baselines with
+# `bench_regress` (scripts/ci.sh runs that gate automatically).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-cargo build --release -p ecoscale-bench --bin bench_parallel_des
+cargo build --release -p ecoscale-bench \
+    --bin bench_parallel_des --bin bench_profile
 
 ./target/release/bench_parallel_des "$@"
+
+if [[ "${1:-}" == "--smoke" ]]; then
+    ./target/release/bench_profile --quick --out BENCH_profile.json
+else
+    ./target/release/bench_profile --out BENCH_profile.json
+fi

@@ -54,6 +54,17 @@ echo "== tier-1: parallel DES bench smoke =="
 # BENCH_parallel_des.json schema by re-parsing what it wrote.
 ./target/release/bench_parallel_des --smoke --out target/bench_parallel_des_smoke.json
 
+echo "== tier-1: perf-regression gate (bench_regress) =="
+# Fresh full-config run vs the committed baseline. Deterministic fields
+# (events, rounds, critical-path speedup bounds) must reproduce the
+# baseline exactly; wall-clock fields get a ratio tolerance. The default
+# 3x (documented in crates/bench/src/regress.rs) is widened to 8x here:
+# CI hosts vary and share cores, and the gate exists to catch
+# order-of-magnitude regressions, not scheduler noise.
+./target/release/bench_parallel_des --out target/bench_parallel_des_fresh.json
+./target/release/bench_regress --tolerance 8 \
+    BENCH_parallel_des.json target/bench_parallel_des_fresh.json
+
 echo "== regenerate experiment snapshot (target/) =="
 ./target/release/exp_all > target/bench_output_tables.txt
 

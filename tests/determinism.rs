@@ -140,6 +140,32 @@ fn shard_sim_exports_are_independent_of_shard_count() {
     );
 }
 
+/// The ProfPlane export behind `exp_all --profile` — critical-path
+/// blame over the merged capture plus the shard-occupancy bands — is a
+/// pure function of the seeded workload: occupancy is event-count
+/// accounting, not wall clock, so the rendered JSON must be
+/// byte-identical at any `ECOSCALE_SHARDS` setting.
+#[test]
+fn profile_export_is_independent_of_shard_count() {
+    let render = |shards| {
+        with_shards(shards, || {
+            let pc = obs::capture_profile(Scale::Quick);
+            let report = ecoscale::sim::prof::critical_path(&pc.capture.trace);
+            format!(
+                "{{\"profile\":{},\"occupancy\":{}}}",
+                report.to_json(),
+                pc.occupancy.to_json()
+            )
+        })
+    };
+    let sequential = render("1");
+    let sharded = render("4");
+    assert_eq!(
+        sequential, sharded,
+        "profile export must be byte-identical at ECOSCALE_SHARDS=1 vs =4"
+    );
+}
+
 /// Sixteen fuzzed configurations (varying cluster counts, cluster widths,
 /// workloads, and seeds drawn from the deterministic fuzz sweep), each
 /// compared byte-for-byte between 1 and 4 shards.

@@ -16,7 +16,7 @@ use std::collections::HashMap;
 use std::fs;
 use std::path::PathBuf;
 
-use ecoscale::bench::obs::capture_observability;
+use ecoscale::bench::obs::{capture_observability, capture_profile};
 use ecoscale::bench::Scale;
 use ecoscale::core::{SystemBuilder, SystemReport};
 use ecoscale::hls::KernelArgs;
@@ -117,6 +117,47 @@ fn system_report_json_schema_is_pinned() {
     s.call(NodeId(0), "hot", &mut a).unwrap();
     let report = SystemReport::capture(&s);
     assert_golden("system_report.schema", &schema_of(&report.to_json()));
+}
+
+/// The populated `SystemReport` profile section: same workload as the
+/// plain system-report schema test, but with a tracer installed so the
+/// ProfPlane critical-path extraction has spans to analyse.
+#[test]
+fn system_report_profile_section_schema_is_pinned() {
+    let tracer = ecoscale::sim::Tracer::buffering();
+    let mut s = SystemBuilder::new()
+        .workers_per_node(2)
+        .compute_nodes(2)
+        .kernel(K, HashMap::from([("n".to_owned(), 4096.0)]))
+        .build()
+        .unwrap();
+    s.set_tracer(&tracer);
+    for _ in 0..12 {
+        let mut a = args(4096);
+        s.call(NodeId(0), "hot", &mut a).unwrap();
+    }
+    s.daemon_tick();
+    let report = SystemReport::capture(&s);
+    let profile = report.profile.expect("tracer installed");
+    assert_golden(
+        "system_report_profile.schema",
+        &schema_of(&profile.to_json()),
+    );
+}
+
+/// The `exp_all --profile` document: critical-path blame over the
+/// five-phase capture plus the shard-occupancy bands, assembled exactly
+/// as the binary writes it.
+#[test]
+fn profile_export_json_schema_is_pinned() {
+    let pc = capture_profile(Scale::Quick);
+    let report = ecoscale::sim::prof::critical_path(&pc.capture.trace);
+    let doc = format!(
+        "{{\"profile\":{},\"occupancy\":{}}}",
+        report.to_json(),
+        pc.occupancy.to_json()
+    );
+    assert_golden("profile.schema", &schema_of(&doc));
 }
 
 #[test]
