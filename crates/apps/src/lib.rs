@@ -21,6 +21,7 @@ pub mod blackscholes;
 pub mod cart;
 pub mod fir;
 pub mod gemm;
+pub mod mix;
 pub mod montecarlo;
 pub mod nbody;
 pub mod sort;

@@ -1,4 +1,4 @@
-//! Regenerates every experiment table (E1-E16, A1-A4).
+//! Regenerates every experiment table (E1-E16, A1-A4, P1, S1).
 //!
 //! `cargo run --release -p ecoscale-bench --bin exp_all` produces the
 //! outputs quoted in EXPERIMENTS.md. Tables are computed concurrently on
@@ -8,11 +8,12 @@
 //!
 //! ```text
 //! exp_all [--scale quick|full] [--trace FILE] [--metrics FILE] [--profile FILE]
-//!         [--faults SPEC] [KEY...]
+//!         [--faults SPEC] [--serve SPEC] [--serve-out FILE] [KEY...]
 //! exp_all --scale quick e03 e09    # just E3 and E9, reduced sweeps
 //! exp_all --scale quick --trace t.json --metrics m.json e03
 //! exp_all --scale quick --profile p.json e03
 //! exp_all --faults seed=3,crash=1ms,seu=400us,scrub=800us e16 e16b
+//! exp_all --serve seed=7,rate=200000,horizon=1ms --serve-out s.json s1
 //! ```
 //!
 //! `--trace` writes a Chrome Trace Event JSON file (open in Perfetto or
@@ -34,16 +35,28 @@
 //! replaces the base campaign the E16/E16b sweeps scale from and, when
 //! combined with `--trace`/`--metrics`, also folds a faulted capture
 //! (`capture_fault_campaign`) into the exported files.
+//!
+//! `--serve` takes a seeded [`ServeSpec`] (`key=value,...`, e.g.
+//! `seed=7,tenants=4,rate=200000,horizon=1ms,batch=8`) and runs one
+//! ServePlane simulation over the `apps` serving mix after the selected
+//! tables, printing the per-tenant SLO table. A `--faults` campaign, when
+//! given, is injected into the serving backend too. `--serve-out FILE`
+//! writes the run's serving report as deterministic JSON
+//! (`{"spec":...,"serving":...}` — byte-identical at any
+//! `ECOSCALE_THREADS`/`ECOSCALE_SHARDS`).
 
 use std::process::ExitCode;
 
+use ecoscale_apps::mix::serve_mix;
 use ecoscale_bench::obs::{capture_fault_campaign, capture_observability, capture_profile};
 use ecoscale_bench::{resilience_exp, Scale, EXPERIMENTS};
+use ecoscale_core::{run_serve_sim, ServeSimConfig};
+use ecoscale_runtime::ServeSpec;
 use ecoscale_sim::{pool, prof, CampaignSpec};
 
 fn usage() {
     eprintln!(
-        "usage: exp_all [--scale quick|full] [--trace FILE] [--metrics FILE] [--profile FILE] [--faults SPEC] [KEY...]"
+        "usage: exp_all [--scale quick|full] [--trace FILE] [--metrics FILE] [--profile FILE] [--faults SPEC] [--serve SPEC] [--serve-out FILE] [KEY...]"
     );
     eprintln!("  --scale quick|full   sweep sizes (default: full)");
     eprintln!("  --trace FILE         write a Chrome/Perfetto trace of an instrumented run");
@@ -53,6 +66,10 @@ fn usage() {
     eprintln!("  --faults SPEC        seeded fault campaign, e.g. `seed=3,crash=1ms,seu=400us`;");
     eprintln!("                       overrides the E16/E16b base campaign and adds a faulted");
     eprintln!("                       capture to --trace/--metrics output");
+    eprintln!("  --serve SPEC         run one ServePlane simulation over the apps mix, e.g.");
+    eprintln!("                       `seed=7,tenants=4,rate=200000,horizon=1ms,batch=8`;");
+    eprintln!("                       a --faults campaign is injected into its backend");
+    eprintln!("  --serve-out FILE     write the --serve run's serving report as JSON");
     eprintln!("  KEY                  experiment filter, e.g. `exp_all e03 e09`");
     eprint!("keys:");
     for (key, _) in EXPERIMENTS {
@@ -68,6 +85,8 @@ fn main() -> ExitCode {
     let mut metrics_path: Option<String> = None;
     let mut profile_path: Option<String> = None;
     let mut faults: Option<CampaignSpec> = None;
+    let mut serve: Option<ServeSpec> = None;
+    let mut serve_out: Option<String> = None;
     let mut filters: Vec<String> = Vec::new();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -76,7 +95,7 @@ fn main() -> ExitCode {
                 usage();
                 return ExitCode::SUCCESS;
             }
-            "--trace" | "--metrics" | "--profile" => {
+            "--trace" | "--metrics" | "--profile" | "--serve-out" => {
                 let Some(v) = it.next() else {
                     eprintln!("error: {arg} needs a file path");
                     usage();
@@ -85,6 +104,7 @@ fn main() -> ExitCode {
                 match arg.as_str() {
                     "--trace" => trace_path = Some(v.clone()),
                     "--metrics" => metrics_path = Some(v.clone()),
+                    "--serve-out" => serve_out = Some(v.clone()),
                     _ => profile_path = Some(v.clone()),
                 }
             }
@@ -98,6 +118,21 @@ fn main() -> ExitCode {
                     Ok(spec) => faults = Some(spec),
                     Err(e) => {
                         eprintln!("error: bad --faults spec: {e}");
+                        usage();
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            "--serve" => {
+                let Some(v) = it.next() else {
+                    eprintln!("error: --serve needs a serving spec (key=value,...)");
+                    usage();
+                    return ExitCode::from(2);
+                };
+                match ServeSpec::parse(v) {
+                    Ok(spec) => serve = Some(spec),
+                    Err(e) => {
+                        eprintln!("error: bad --serve spec: {e}");
                         usage();
                         return ExitCode::from(2);
                     }
@@ -129,6 +164,11 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     }
+    if serve_out.is_some() && serve.is_none() {
+        eprintln!("error: --serve-out needs a --serve SPEC to export");
+        usage();
+        return ExitCode::from(2);
+    }
     if let Some(spec) = &faults {
         // E16/E16b scale their sweeps from this campaign instead of the
         // built-in default.
@@ -144,6 +184,34 @@ fn main() -> ExitCode {
     let tables = pool::parallel_map(selected, |(_, run)| run(scale));
     for table in tables {
         println!("{table}");
+    }
+    if let Some(spec) = serve {
+        let mut cfg = ServeSimConfig::new(spec, serve_mix());
+        if let Some(campaign) = faults.as_ref().filter(|s| !s.is_off()) {
+            cfg.faults = campaign.clone();
+        }
+        let out = run_serve_sim(&cfg);
+        println!("{}", out.serving.to_table());
+        if out.violations > 0 {
+            eprintln!(
+                "error: serving run violated {} invariant check(s)",
+                out.violations
+            );
+            return ExitCode::FAILURE;
+        }
+        if let Some(path) = &serve_out {
+            let mut s = String::with_capacity(1024);
+            s.push_str("{\"spec\":");
+            ecoscale_sim::json::escape(&mut s, &cfg.spec.to_string());
+            s.push_str(",\"serving\":");
+            s.push_str(&out.serving.to_json());
+            s.push('}');
+            if let Err(e) = std::fs::write(path, &s) {
+                eprintln!("error: cannot write serving report to `{path}`: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!("wrote serving report to {path}");
+        }
     }
     if trace_path.is_some() || metrics_path.is_some() || profile_path.is_some() {
         // One capture serves all three outputs; --profile additionally

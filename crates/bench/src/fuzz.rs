@@ -1,14 +1,16 @@
 //! Seeded configuration fuzzing behind the `fuzz_configs` binary.
 //!
 //! A [`FuzzConfig`] is one point in the (topology × scheduler policy ×
-//! fault campaign × scale × thread count × shard count) space.
-//! [`FuzzConfig::from_index`] enumerates the space deterministically, so
-//! `fuzz_configs --count 500` sweeps the same 500 configurations on every
-//! machine, and any failure is reproducible from its spec string alone.
+//! fault campaign × scale × thread count × shard count × tenant count)
+//! space. [`FuzzConfig::from_index`] enumerates the space
+//! deterministically, so `fuzz_configs --count 500` sweeps the same 500
+//! configurations on every machine, and any failure is reproducible from
+//! its spec string alone.
 //!
-//! Each configuration drives five seeded phases — scheduler lanes on the
+//! Each configuration drives six seeded phases — scheduler lanes on the
 //! work pool, a NoC transfer storm on the configured topology, a mixed-
 //! permission SMMU translation stream, UNIMEM traffic over a tree NoC,
+//! a multi-tenant ServePlane run (admission, batching, SLO conservation),
 //! and the cluster-partitioned sharded simulation — with a fully-armed
 //! [`CheckPlane`], then repeats the run at the configuration's thread
 //! count and asserts the metrics export is **byte-identical** to the
@@ -24,7 +26,9 @@
 //! catch → shrink → repro pipeline end to end (the shrinker converges on
 //! `tasks=24`).
 
-use ecoscale_core::{run_shard_sim_with, ShardSimConfig};
+use ecoscale_core::{
+    linear_test_mix, run_serve_sim_with, run_shard_sim_with, ServeSimConfig, ShardSimConfig,
+};
 use ecoscale_mem::{
     CacheConfig, DramModel, GlobalAddr, PagePerms, Smmu, SmmuConfig, UnimemSystem, VirtAddr,
 };
@@ -32,7 +36,7 @@ use ecoscale_noc::{
     CrossbarTopology, Dragonfly, FatTreeTopology, Mesh2d, Network, NetworkConfig, NodeId, Topology,
     TreeTopology,
 };
-use ecoscale_runtime::{skewed_trace, ClusterSim, ResilienceConfig, SchedPolicy};
+use ecoscale_runtime::{skewed_trace, ClusterSim, ResilienceConfig, SchedPolicy, ServeSpec};
 use ecoscale_sim::check::{invariant, CheckPlane};
 use ecoscale_sim::{pool, CampaignSpec, Duration, MetricsRegistry, SimRng, Time};
 
@@ -191,13 +195,16 @@ pub struct FuzzConfig {
     /// Shard count the cluster-partitioned phase is repeated under and
     /// compared byte-for-byte against its 1-shard export.
     pub shards: usize,
+    /// Tenant count for the ServePlane phase (traffic sources over the
+    /// shared accelerators; serving cells derive from it).
+    pub tenants: usize,
 }
 
 impl fmt::Display for FuzzConfig {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "seed={},topo={},sched={},faults={},tasks={},workers={},threads={},shards={}",
+            "seed={},topo={},sched={},faults={},tasks={},workers={},threads={},shards={},tenants={}",
             self.seed,
             self.topo.as_str(),
             self.sched,
@@ -205,7 +212,8 @@ impl fmt::Display for FuzzConfig {
             self.tasks,
             self.workers,
             self.threads,
-            self.shards
+            self.shards,
+            self.tenants
         )
     }
 }
@@ -241,6 +249,7 @@ impl Default for FuzzConfig {
             workers: 8,
             threads: 1,
             shards: 1,
+            tenants: 2,
         }
     }
 }
@@ -262,6 +271,7 @@ impl FuzzConfig {
         let workers = 4 + rng.gen_range_usize(0, 13);
         let threads = 1 + rng.gen_range_usize(0, 8);
         let shards = 1 + rng.gen_range_usize(0, 8);
+        let tenants = 1 + rng.gen_range_usize(0, 4);
         FuzzConfig {
             seed,
             topo,
@@ -271,6 +281,7 @@ impl FuzzConfig {
             workers,
             threads,
             shards,
+            tenants,
         }
     }
 
@@ -335,6 +346,14 @@ impl FuzzConfig {
                         .map_err(|e| spec_err(pair, format!("bad shards: {e}")))?;
                     if cfg.shards == 0 {
                         return Err(spec_err(pair, "shards must be >= 1"));
+                    }
+                }
+                "tenants" => {
+                    cfg.tenants = v
+                        .parse()
+                        .map_err(|e| spec_err(pair, format!("bad tenants: {e}")))?;
+                    if cfg.tenants == 0 {
+                        return Err(spec_err(pair, "tenants must be >= 1"));
                     }
                 }
                 _ => return Err(spec_err(pair, "unknown key")),
@@ -521,6 +540,12 @@ fn shrink_candidates(c: &FuzzConfig) -> Vec<FuzzConfig> {
             ..c.clone()
         });
     }
+    if c.tenants > 1 {
+        out.push(FuzzConfig {
+            tenants: 1,
+            ..c.clone()
+        });
+    }
     if c.faults != FaultKind::None {
         out.push(FuzzConfig {
             faults: FaultKind::None,
@@ -558,6 +583,7 @@ fn run_once(cfg: &FuzzConfig, inject: bool) -> (String, CheckPlane) {
     noc_fuzz(cfg, &mut cp, &mut m);
     smmu_fuzz(cfg, &mut cp, &mut m);
     unimem_fuzz(cfg, &mut cp, &mut m);
+    serve_fuzz(cfg, &mut cp, &mut m);
     if inject {
         cp.check(invariant::SABOTAGE, cfg.tasks < 24, || {
             format!(
@@ -708,6 +734,30 @@ fn smmu_fuzz(cfg: &FuzzConfig, cp: &mut CheckPlane, m: &mut MetricsRegistry) {
     smmu.export_metrics(m, "smmu");
 }
 
+/// A short multi-tenant ServePlane run over the linear test mix: the
+/// configured tenant count partitioned across up to two serving cells,
+/// with the configuration's fault campaign injected. The serve plane's
+/// conservation and queue-bound invariants are absorbed into `cp`, and
+/// the `serve.*` metrics join the byte-identity comparison.
+fn serve_fuzz(cfg: &FuzzConfig, cp: &mut CheckPlane, m: &mut MetricsRegistry) {
+    let spec = ServeSpec::parse(&format!(
+        "seed={},tenants={},rate=60000,horizon=150us,batch=4,deadline=120us,queue=16",
+        cfg.seed, cfg.tenants
+    ))
+    .expect("fuzz serve specs are well-formed");
+    let mut scfg = ServeSimConfig::new(spec, linear_test_mix());
+    scfg.items = 24;
+    scfg.workers_per_node = 2;
+    scfg.compute_nodes = 2;
+    scfg.cells = cfg.tenants.min(2);
+    scfg.cadence = Duration::from_us(25);
+    if cfg.faults != FaultKind::None {
+        scfg.faults = cfg.campaign();
+    }
+    let out = run_serve_sim_with(&scfg, cp);
+    m.merge(&out.metrics);
+}
+
 /// Zipf-skewed UNIMEM traffic from `workers` nodes over a tree NoC.
 fn unimem_fuzz(cfg: &FuzzConfig, cp: &mut CheckPlane, m: &mut MetricsRegistry) {
     let nodes = cfg.workers;
@@ -795,6 +845,7 @@ mod tests {
             workers: 6,
             threads: 4,
             shards: 4,
+            tenants: 3,
         };
         let report = run_config(&cfg, false).expect("clean config passes");
         assert!(report.checks_run > 0);
@@ -805,6 +856,12 @@ mod tests {
         let shards: std::collections::BTreeSet<usize> =
             (0..64).map(|i| FuzzConfig::from_index(i).shards).collect();
         assert!(shards.len() >= 4, "sweep covers shard counts: {shards:?}");
+        let tenants: std::collections::BTreeSet<usize> =
+            (0..64).map(|i| FuzzConfig::from_index(i).tenants).collect();
+        assert!(
+            tenants.len() >= 3,
+            "sweep covers tenant counts: {tenants:?}"
+        );
         let wide = FuzzConfig {
             shards: 6,
             ..FuzzConfig::default()
@@ -835,5 +892,6 @@ mod tests {
         );
         assert_eq!(min.workers, 2);
         assert_eq!(min.faults, FaultKind::None);
+        assert_eq!(min.tenants, 1, "the serve axis shrinks away too");
     }
 }

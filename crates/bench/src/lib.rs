@@ -1,7 +1,8 @@
 //! The ECOSCALE experiment harness.
 //!
 //! One function per experiment in `DESIGN.md` §4 (E1–E16), the §6
-//! ablations (A1–A4), and the §11 parallel-engine study (P1); each returns
+//! ablations (A1–A4), the §11 parallel-engine study (P1), and the §13
+//! serving study (S1); each returns
 //! the [`Table`]s that the corresponding `exp_*` binary prints and that
 //! `EXPERIMENTS.md` quotes. Wall-clock benches in `benches/` (built on
 //! the dependency-free [`timing`] harness) exercise the same code paths
@@ -20,6 +21,7 @@ pub mod regress;
 pub mod resilience_exp;
 pub mod runtime_exp;
 pub mod scale_exp;
+pub mod serve_exp;
 pub mod shard_exp;
 pub mod timing;
 
@@ -73,6 +75,7 @@ pub const EXPERIMENTS: &[(&str, ExperimentFn)] = &[
     ("a3", ablation::a3_benefit_margin),
     ("a4", ablation::a4_fat_tree),
     ("p1", shard_exp::p1_parallel_des),
+    ("s1", serve_exp::s1_serving),
 ];
 
 #[cfg(test)]
@@ -87,13 +90,13 @@ mod tests {
 
     #[test]
     fn experiment_registry_keys_are_unique_and_ordered() {
-        assert_eq!(EXPERIMENTS.len(), 23);
+        assert_eq!(EXPERIMENTS.len(), 24);
         let keys: Vec<&str> = EXPERIMENTS.iter().map(|&(k, _)| k).collect();
         let mut dedup = keys.clone();
         dedup.sort_unstable();
         dedup.dedup();
         assert_eq!(dedup.len(), keys.len(), "duplicate registry key");
         assert_eq!(keys.first(), Some(&"e01"));
-        assert_eq!(keys.last(), Some(&"p1"));
+        assert_eq!(keys.last(), Some(&"s1"));
     }
 }

@@ -5,7 +5,8 @@
 //! classes, keyed by field name:
 //!
 //! * **workload** (`clusters`, `tasks_per_cluster`, `reps`,
-//!   `lookahead_ns`, `scale`, `shards`) — the two documents must
+//!   `lookahead_ns`, `scale`, `shards`, and the serving bench's `spec`,
+//!   `spec_off`, `faults`, `items` strings) — the two documents must
 //!   describe the same experiment; any difference is a comparison
 //!   error, not a regression (you re-ran the wrong config).
 //! * **wall-clock** (`wall_s`: higher is worse; `events_per_sec`:
@@ -61,9 +62,8 @@ enum Rule {
 
 fn rule(key: &str) -> Rule {
     match key {
-        "clusters" | "tasks_per_cluster" | "reps" | "lookahead_ns" | "scale" | "shards" => {
-            Rule::Workload
-        }
+        "clusters" | "tasks_per_cluster" | "reps" | "lookahead_ns" | "scale" | "shards"
+        | "spec" | "spec_off" | "faults" | "items" => Rule::Workload,
         "wall_s" => Rule::WallHigherWorse,
         "events_per_sec" => Rule::ThroughputLowerWorse,
         "host_cores" | "speedup" | "wall" => Rule::Ignore,
@@ -317,5 +317,26 @@ mod tests {
     #[test]
     fn bad_tolerance_is_an_error() {
         assert!(compare(&base(), &base(), 0.5).is_err());
+    }
+
+    const SERVE: &str = r#"{"bench":"serve","scale":"quick",
+        "spec":"seed=42,tenants=4,rate=350000","spec_off":"seed=42,batch=1",
+        "faults":"seed=5,seu=200us","items":32,
+        "batching_on":{"goodput":566,"p99_ns":218232,"conserved":true},
+        "goodput_gain":1.59}"#;
+
+    #[test]
+    fn serve_spec_is_workload_and_goodput_is_deterministic() {
+        let base = json::parse(SERVE).unwrap();
+        // running a different serving spec is a comparison error
+        let other = json::parse(&SERVE.replace("rate=350000", "rate=999")).unwrap();
+        assert!(compare(&base, &other, 3.0)
+            .unwrap_err()
+            .contains("workload mismatch"));
+        // a goodput change is a deterministic regression
+        let other = json::parse(&SERVE.replace("\"goodput\":566", "\"goodput\":500")).unwrap();
+        let cmp = compare(&base, &other, 3.0).unwrap();
+        assert_eq!(cmp.regressions.len(), 1, "{:?}", cmp.regressions);
+        assert!(cmp.regressions[0].contains("goodput"));
     }
 }

@@ -42,6 +42,94 @@ fn missing_flag_value_exits_2() {
         err.contains("--faults needs a campaign spec"),
         "stderr: {err}"
     );
+    let out = exp_all().arg("--serve").output().expect("binary runs");
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(
+        err.contains("--serve needs a serving spec"),
+        "stderr: {err}"
+    );
+    let out = exp_all().arg("--serve-out").output().expect("binary runs");
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn malformed_serve_spec_exits_2_with_offending_pair() {
+    let out = exp_all()
+        .args(["--serve", "rate"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("error: bad --serve spec:"), "stderr: {err}");
+    assert!(err.contains("`rate`"), "offending pair quoted: {err}");
+
+    let out = exp_all()
+        .args(["--serve", "seed=3,frobnicate=4"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("`frobnicate=4`"), "stderr: {err}");
+    assert!(err.contains("usage: exp_all"), "stderr: {err}");
+}
+
+#[test]
+fn serve_out_without_serve_exits_2() {
+    let out = exp_all()
+        .args(["--serve-out", "never-written.json"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(
+        err.contains("--serve-out needs a --serve SPEC"),
+        "stderr: {err}"
+    );
+    assert!(!std::path::Path::new("never-written.json").exists());
+}
+
+#[test]
+fn serve_run_prints_slo_table_and_exports_conserved_json() {
+    let serve_path = tmp("serve.json");
+    let out = exp_all()
+        .args([
+            "--scale",
+            "quick",
+            "--serve",
+            "seed=7,tenants=2,rate=120000,horizon=300us,batch=4",
+            "--serve-out",
+        ])
+        .arg(&serve_path)
+        .arg("e01")
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("== serving =="), "stdout: {stdout}");
+    assert!(stdout.contains("goodput"), "stdout: {stdout}");
+
+    let text = std::fs::read_to_string(&serve_path).unwrap();
+    let doc = json::parse(&text).expect("serving JSON parses");
+    let spec = doc.get("spec").and_then(Value::as_str).expect("spec field");
+    assert!(spec.contains("tenants=2"), "spec echoed: {spec}");
+    let serving = doc.get("serving").expect("serving section");
+    assert_eq!(serving.get("conserved"), Some(&Value::Bool(true)));
+    assert!(serving.get("submitted").and_then(Value::as_f64).unwrap() > 0.0);
+    assert_eq!(
+        serving
+            .get("tenants")
+            .and_then(Value::as_arr)
+            .expect("tenants array")
+            .len(),
+        2
+    );
+
+    std::fs::remove_file(&serve_path).ok();
 }
 
 #[test]

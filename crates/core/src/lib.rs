@@ -19,11 +19,15 @@
 //! * [`power`] — the exaflop power extrapolations from the introduction,
 //! * [`shard_model`] — the cluster-partitioned model driven by the
 //!   conservative-parallel sharded engine (one UNIMEM + NoC + trace per
-//!   Compute Node, NoC-lookahead synchronization).
+//!   Compute Node, NoC-lookahead synchronization),
+//! * [`serve_model`] — the ServePlane backend: multi-tenant open-loop
+//!   serving cells driving `EcoscaleSystem::call` with batching,
+//!   admission backpressure and SLO accounting.
 
 pub mod chain;
 pub mod power;
 pub mod report;
+pub mod serve_model;
 pub mod shard_model;
 pub mod system;
 pub mod unilogic;
@@ -33,6 +37,10 @@ pub mod worker;
 pub use chain::{Chain, ChainCost};
 pub use power::{machine_power_for_exaflop, MachineClass, PowerBreakdown};
 pub use report::{FunctionSummary, SystemReport};
+pub use serve_model::{
+    linear_test_mix, run_serve_sim, run_serve_sim_with, serve_hints, ServeKernel, ServeOutcome,
+    ServeSimConfig,
+};
 pub use shard_model::{
     run_shard_sim, run_shard_sim_observed, run_shard_sim_with, ClusterEv, ClusterSimModel,
     ShardOutcome, ShardSimConfig, OCCUPANCY_WIDTHS,

@@ -8,6 +8,7 @@
 
 use core::fmt;
 
+use ecoscale_runtime::serve::ServingReport;
 use ecoscale_runtime::DeviceClass;
 use ecoscale_sim::json;
 use ecoscale_sim::prof::{self, ProfileReport};
@@ -52,6 +53,9 @@ pub struct SystemReport {
     /// ProfPlane critical-path blame over the system's trace buffer.
     /// `None` when no tracer is installed (nothing to analyse).
     pub profile: Option<ProfileReport>,
+    /// ServePlane SLO accounting. `None` unless the system was driven
+    /// by a serving run (`ecoscale_core::serve_model` fills it in).
+    pub serving: Option<ServingReport>,
 }
 
 impl SystemReport {
@@ -106,6 +110,7 @@ impl SystemReport {
                 .tracer()
                 .is_enabled()
                 .then(|| prof::critical_path(&system.tracer().snapshot())),
+            serving: None,
         }
     }
 
@@ -155,6 +160,11 @@ impl SystemReport {
             Some(p) => out.push_str(&p.to_json()),
             None => out.push_str("null"),
         }
+        out.push_str(",\"serving\":");
+        match &self.serving {
+            Some(s) => out.push_str(&s.to_json()),
+            None => out.push_str("null"),
+        }
         out.push('}');
         out
     }
@@ -193,6 +203,9 @@ impl fmt::Display for SystemReport {
         write!(f, "{}", self.metrics.to_table("metrics"))?;
         if let Some(p) = &self.profile {
             write!(f, "\n{}", p.to_table())?;
+        }
+        if let Some(s) = &self.serving {
+            write!(f, "\n{}", s.to_table())?;
         }
         Ok(())
     }
@@ -272,9 +285,10 @@ mod tests {
             .get("metrics")
             .and_then(|m| m.get("system.calls_cpu"))
             .is_some());
-        // no tracer installed -> no profile section to analyse
+        // no tracer installed -> no profile section; not a serving run
         assert!(r.profile.is_none());
-        assert!(r.to_json().ends_with(",\"profile\":null}"));
+        assert!(r.serving.is_none());
+        assert!(r.to_json().ends_with(",\"profile\":null,\"serving\":null}"));
     }
 
     #[test]

@@ -1,0 +1,500 @@
+//! Driving an [`EcoscaleSystem`] from the ServePlane: open-loop
+//! multi-tenant serving over the shared accelerators.
+//!
+//! `runtime::serve` owns the traffic side — workload generation,
+//! admission, batching, SLO accounting. This module is the backend glue:
+//! it partitions the spec's tenants across **serving cells** (one
+//! [`EcoscaleSystem`] each, run concurrently via
+//! [`ecoscale_sim::pool::parallel_map`] with results
+//! merged in cell order, so exports are byte-identical at any
+//! `ECOSCALE_THREADS`), and inside each cell runs the serving event
+//! loop:
+//!
+//! 1. retire due completions into the plane's SLO ledger,
+//! 2. generate/admit arrivals up to the current instant,
+//! 3. on each cadence tick: [`EcoscaleSystem::fault_tick`] +
+//!    [`EcoscaleSystem::daemon_tick`], feed resilience pressure back
+//!    into admission, and check the `serve.*` CheckPlane invariants,
+//! 4. dispatch ripe batches onto free worker lanes as single
+//!    [`EcoscaleSystem::call`]s whose argument sizes scale with the
+//!    batch (one per-dispatch overhead amortized over the whole batch),
+//! 5. advance virtual time to the next arrival / completion / ripe
+//!    dispatch / cadence tick.
+//!
+//! Under a FaultPlane campaign the system sheds load instead of
+//! stalling: fresh resilience activity halves the admission queue bound
+//! for the next window, and SEU fallbacks slow (but never drop) the
+//! batches in flight. Every request stays accounted — the
+//! `serve.request_conserved` invariant holds at every tick and at drain.
+
+use std::collections::HashMap;
+
+use ecoscale_hls::KernelArgs;
+use ecoscale_noc::NodeId;
+use ecoscale_runtime::serve::{Batch, ServePlane, ServeSpec, ServingReport};
+use ecoscale_runtime::ResilienceConfig;
+use ecoscale_sim::check::CheckPlane;
+use ecoscale_sim::{pool, CampaignSpec, Duration, MetricsRegistry, Time};
+
+use crate::report::SystemReport;
+use crate::system::{EcoscaleSystem, SystemBuilder};
+
+/// One entry of a serving kernel mix: the HLS source to register at
+/// build time plus a binder that materializes arguments for a given
+/// total item count (a batch of `k` requests binds `k × items_per_req`
+/// items, which is what makes batching amortize the per-dispatch
+/// overhead — valid for item-linear kernels only).
+#[derive(Debug, Clone)]
+pub struct ServeKernel {
+    /// Function name (must match the kernel source's name).
+    pub name: &'static str,
+    /// HLS kernel source registered with the [`SystemBuilder`].
+    pub source: &'static str,
+    /// Build-time scalar hints (trip-count resolution for synthesis).
+    pub hints: HashMap<String, f64>,
+    /// Binds arguments for `total_items` items. Must be deterministic.
+    pub bind: fn(usize) -> KernelArgs,
+}
+
+/// Configuration of one serving simulation.
+#[derive(Debug, Clone)]
+pub struct ServeSimConfig {
+    /// The serving workload and policy.
+    pub spec: ServeSpec,
+    /// The kernel mix tenants draw requests from (non-empty).
+    pub kernels: Vec<ServeKernel>,
+    /// Items per request (batch of `k` binds `k * items`).
+    pub items: usize,
+    /// Workers per Compute Node in each cell's system.
+    pub workers_per_node: usize,
+    /// Compute Nodes in each cell's system.
+    pub compute_nodes: usize,
+    /// Serving cells: independent systems the tenants are partitioned
+    /// over round-robin (clamped to the tenant count).
+    pub cells: usize,
+    /// Maintenance cadence: fault/daemon ticks, pressure refresh and
+    /// invariant checks fire every `cadence` of serving time.
+    pub cadence: Duration,
+    /// Fault campaign injected into every cell ([`CampaignSpec::off`]
+    /// for a clean run).
+    pub faults: CampaignSpec,
+    /// Recovery policy when the campaign is active.
+    pub resilience: ResilienceConfig,
+}
+
+impl ServeSimConfig {
+    /// A config serving `spec` over `kernels` with the default backend
+    /// shape: one cell of 2×2 workers, 50 us cadence, 96-item requests,
+    /// no faults.
+    pub fn new(spec: ServeSpec, kernels: Vec<ServeKernel>) -> ServeSimConfig {
+        ServeSimConfig {
+            spec,
+            kernels,
+            items: 96,
+            workers_per_node: 2,
+            compute_nodes: 2,
+            cells: 1,
+            cadence: Duration::from_us(50),
+            faults: CampaignSpec::off(),
+            resilience: ResilienceConfig::full(),
+        }
+    }
+}
+
+/// What one serving run produced.
+#[derive(Debug, Clone)]
+pub struct ServeOutcome {
+    /// The merged SLO ledger across all cells.
+    pub serving: ServingReport,
+    /// Every cell's instruments (system layers + `serve.*`), merged in
+    /// cell order.
+    pub metrics: MetricsRegistry,
+    /// Cell 0's system snapshot carrying the merged `serving` section
+    /// and the merged metrics.
+    pub report: SystemReport,
+    /// Serving time from first arrival opportunity to full drain (the
+    /// slowest cell).
+    pub makespan: Duration,
+    /// SEU software fallbacks across cells (resilience activity).
+    pub fallbacks: u64,
+    /// Requests the resilience layer lost across cells (must stay 0:
+    /// ServePlane sheds at admission, it never drops accepted work).
+    pub lost: u64,
+    /// Invariant checks run across all cells' serve planes.
+    pub checks_run: u64,
+    /// Invariant violations across all cells (0 on a healthy run).
+    pub violations: u64,
+}
+
+struct CellResult {
+    serving: ServingReport,
+    metrics: MetricsRegistry,
+    report: SystemReport,
+    drained_at: Time,
+    fallbacks: u64,
+    lost: u64,
+    cp: CheckPlane,
+}
+
+/// Runs the serving simulation, arming the CheckPlane from
+/// `ECOSCALE_CHECK`.
+pub fn run_serve_sim(cfg: &ServeSimConfig) -> ServeOutcome {
+    let mut cp = CheckPlane::from_env();
+    run_serve_sim_with(cfg, &mut cp)
+}
+
+/// Runs the serving simulation, absorbing every cell's invariant
+/// tallies into `cp`. (Cells always check their own planes at cadence
+/// 1; `cp` only controls aggregation.)
+///
+/// # Panics
+///
+/// Panics on an empty kernel mix, a zero cadence, or an unbuildable
+/// system config.
+pub fn run_serve_sim_with(cfg: &ServeSimConfig, cp: &mut CheckPlane) -> ServeOutcome {
+    assert!(!cfg.kernels.is_empty(), "serving needs a kernel mix");
+    assert!(!cfg.cadence.is_zero(), "cadence must be > 0");
+    let cells = cfg.cells.clamp(1, cfg.spec.tenants);
+    let partitions: Vec<Vec<u32>> = (0..cells)
+        .map(|c| {
+            (0..cfg.spec.tenants as u32)
+                .filter(|t| *t as usize % cells == c)
+                .collect()
+        })
+        .collect();
+
+    let results = pool::parallel_map(partitions, |ids| run_cell(cfg, ids));
+
+    let mut iter = results.into_iter();
+    let first = iter.next().expect("at least one cell");
+    let mut serving = first.serving;
+    let mut metrics = first.metrics;
+    let mut report = first.report;
+    let mut drained_at = first.drained_at;
+    let mut fallbacks = first.fallbacks;
+    let mut lost = first.lost;
+    let mut checks_run = first.cp.checks_run();
+    let mut violations = first.cp.violation_count();
+    cp.absorb(&first.cp);
+    for cell in iter {
+        serving.merge(&cell.serving);
+        metrics.merge(&cell.metrics);
+        drained_at = drained_at.max(cell.drained_at);
+        fallbacks += cell.fallbacks;
+        lost += cell.lost;
+        checks_run += cell.cp.checks_run();
+        violations += cell.cp.violation_count();
+        cp.absorb(&cell.cp);
+    }
+    report.serving = Some(serving.clone());
+    report.metrics = metrics.clone();
+    ServeOutcome {
+        serving,
+        metrics,
+        report,
+        makespan: drained_at.since(Time::ZERO),
+        fallbacks,
+        lost,
+        checks_run,
+        violations,
+    }
+}
+
+fn build_cell_system(cfg: &ServeSimConfig) -> EcoscaleSystem {
+    let mut b = SystemBuilder::new()
+        .workers_per_node(cfg.workers_per_node)
+        .compute_nodes(cfg.compute_nodes);
+    for k in &cfg.kernels {
+        b = b.kernel(k.source, k.hints.clone());
+    }
+    let mut system = b.build().expect("serving kernel mix must build");
+    // A serving cell provisions its mix eagerly: every lane keeps the
+    // whole mix resident so steady-state requests hit the accelerator
+    // path (and a fault campaign has real fabric state to upset). A
+    // module that does not fit a lane's fabric is skipped — calls for
+    // it fall back to software on that lane.
+    for lane in 0..system.num_workers() {
+        for k in &cfg.kernels {
+            let _ = system.load_module(NodeId(lane), k.name);
+        }
+    }
+    system
+}
+
+fn run_cell(cfg: &ServeSimConfig, ids: Vec<u32>) -> CellResult {
+    let mut system = build_cell_system(cfg);
+    if !cfg.faults.is_off() {
+        system.enable_faults(&cfg.faults, cfg.resilience);
+    }
+    let mut plane = ServePlane::for_tenants(&cfg.spec, cfg.kernels.len(), &ids);
+    // the cell checks itself unconditionally; the caller's plane decides
+    // whether the tallies are aggregated further
+    let mut cp = CheckPlane::enabled(1);
+
+    let lanes = system.num_workers();
+    let mut free_at = vec![Time::ZERO; lanes];
+    // (completion time, dispatch sequence, batch): retired in
+    // (time, seq) order so completions are deterministic
+    let mut in_flight: Vec<(Time, u64, Batch)> = Vec::new();
+    let mut seq = 0u64;
+    let mut now = Time::ZERO;
+    let mut next_tick = Time::ZERO + cfg.cadence;
+    let mut last_resil = 0u64;
+
+    loop {
+        // 1. retire completions due
+        if in_flight.iter().any(|(t, _, _)| *t <= now) {
+            let mut due: Vec<(Time, u64, Batch)> = Vec::new();
+            in_flight.retain_mut(|entry| {
+                if entry.0 <= now {
+                    let batch = Batch {
+                        kernel: entry.2.kernel,
+                        requests: std::mem::take(&mut entry.2.requests),
+                    };
+                    due.push((entry.0, entry.1, batch));
+                    false
+                } else {
+                    true
+                }
+            });
+            due.sort_by_key(|(t, s, _)| (*t, *s));
+            for (t, _, b) in &due {
+                plane.complete_batch(b, *t);
+            }
+        }
+
+        // 2. arrivals up to now
+        plane.pop_arrivals(now);
+
+        // 3. cadence maintenance (the advance step lands exactly on
+        // tick boundaries while work remains)
+        while next_tick <= now {
+            system.fault_tick();
+            system.daemon_tick();
+            let resil = system
+                .resilience()
+                .map(|r| r.failures() + r.fallbacks() + r.quarantines())
+                .unwrap_or(0);
+            plane.set_pressure(resil > last_resil);
+            last_resil = resil;
+            plane.check_invariants(&mut cp);
+            next_tick += cfg.cadence;
+        }
+
+        // 4. dispatch ripe batches onto free lanes
+        while plane.dispatch_ready(now) {
+            let lane = match (0..lanes).find(|&l| free_at[l] <= now) {
+                Some(l) => l,
+                None => break,
+            };
+            let batch = plane.take_batch(now).expect("ready implies queued");
+            let kernel = &cfg.kernels[batch.kernel as usize];
+            let mut args = (kernel.bind)(cfg.items * batch.len());
+            match system.call(NodeId(lane), kernel.name, &mut args) {
+                Ok(out) => {
+                    let done = now + cfg.spec.overhead + out.latency;
+                    free_at[lane] = done;
+                    in_flight.push((done, seq, batch));
+                    seq += 1;
+                }
+                Err(_) => plane.fail_batch(&batch),
+            }
+        }
+
+        // 5. advance to the next interesting instant
+        let mut next: Option<Time> = None;
+        let mut fold = |t: Time| next = Some(next.map_or(t, |n: Time| n.min(t)));
+        if let Some(a) = plane.next_arrival() {
+            fold(a);
+        }
+        for (t, _, _) in &in_flight {
+            fold(*t);
+        }
+        if plane.queued() > 0 {
+            let ripe = plane.ripe_at(now).expect("queued");
+            let lane = free_at.iter().copied().min().expect("lanes");
+            fold(ripe.max(lane));
+        }
+        match next {
+            // while work remains, maintenance keeps firing on cadence
+            Some(t) => {
+                let t = t.min(next_tick);
+                now = if t > now {
+                    t
+                } else {
+                    Time::from_ps(now.as_ps() + 1)
+                };
+            }
+            None => break,
+        }
+    }
+
+    debug_assert!(plane.drained());
+    plane.check_invariants(&mut cp);
+
+    let mut metrics = system.export_metrics();
+    plane.export_metrics(&mut metrics);
+    let (fallbacks, lost) = system
+        .resilience()
+        .map(|r| (r.fallbacks(), r.lost()))
+        .unwrap_or((0, 0));
+    let mut report = SystemReport::capture(&system);
+    let serving = plane.report();
+    report.serving = Some(serving.clone());
+    CellResult {
+        serving,
+        metrics,
+        report,
+        drained_at: now,
+        fallbacks,
+        lost,
+        cp,
+    }
+}
+
+/// Convenience: builds a scalar-hint map for a [`ServeKernel`].
+pub fn serve_hints(pairs: &[(&str, f64)]) -> HashMap<String, f64> {
+    pairs.iter().map(|(k, v)| ((*k).to_owned(), *v)).collect()
+}
+
+/// A minimal item-linear mix for tests and smoke runs that cannot see
+/// the `apps` crate (which hosts the full mix in `apps::mix`).
+pub fn linear_test_mix() -> Vec<ServeKernel> {
+    fn bind_saxpy(n: usize) -> KernelArgs {
+        let mut a = KernelArgs::new();
+        a.bind_array("x", (0..n).map(|i| i as f64 * 0.5).collect())
+            .bind_array("y", (0..n).map(|i| (i % 7) as f64).collect())
+            .bind_array("z", vec![0.0; n])
+            .bind_scalar("a", 3.0)
+            .bind_scalar("n", n as f64);
+        a
+    }
+    fn bind_smooth(n: usize) -> KernelArgs {
+        let mut a = KernelArgs::new();
+        a.bind_array("x", (0..n + 2).map(|i| (i % 11) as f64).collect())
+            .bind_array("y", vec![0.0; n])
+            .bind_scalar("n", n as f64);
+        a
+    }
+    vec![
+        ServeKernel {
+            name: "saxpy",
+            source: "kernel saxpy(in float x[], in float y[], out float z[], float a, int n) {
+                for (i in 0 .. n) { z[i] = a * x[i] + y[i]; }
+            }",
+            hints: serve_hints(&[("a", 3.0), ("n", 96.0)]),
+            bind: bind_saxpy,
+        },
+        ServeKernel {
+            name: "smooth",
+            source: "kernel smooth(in float x[], out float y[], int n) {
+                for (i in 0 .. n) { y[i] = 0.25 * x[i] + 0.5 * x[i + 1] + 0.25 * x[i + 2]; }
+            }",
+            hints: serve_hints(&[("n", 96.0)]),
+            bind: bind_smooth,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ecoscale_sim::json;
+
+    fn quick_cfg() -> ServeSimConfig {
+        let spec =
+            ServeSpec::parse("seed=21,tenants=4,rate=100000,horizon=500us,batch=4,deadline=200us")
+                .unwrap();
+        ServeSimConfig::new(spec, linear_test_mix())
+    }
+
+    #[test]
+    fn clean_run_conserves_and_completes() {
+        let cfg = quick_cfg();
+        let mut cp = CheckPlane::enabled(1);
+        let out = run_serve_sim_with(&cfg, &mut cp);
+        assert!(cp.ok(), "{:?}", cp.first());
+        assert_eq!(out.violations, 0);
+        assert!(out.checks_run > 0);
+        assert!(out.serving.conserved(), "drained run conserves requests");
+        assert!(out.serving.completed() > 0);
+        assert_eq!(out.lost, 0);
+        assert!(out.makespan >= cfg.spec.horizon);
+        // metrics carry both the system layers and the serve plane
+        assert!(out.metrics.counter("serve.submitted").unwrap() > 0);
+        assert!(out.metrics.counter("system.calls_cpu").is_some());
+        // the report embeds the serving section
+        let serving = out.report.serving.as_ref().expect("serving section");
+        assert_eq!(serving.completed(), out.serving.completed());
+        let parsed = json::parse(&out.report.to_json()).unwrap();
+        assert!(parsed
+            .get("serving")
+            .and_then(|s| s.get("completed"))
+            .is_some());
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let cfg = quick_cfg();
+        let a = run_serve_sim(&cfg);
+        let b = run_serve_sim(&cfg);
+        assert_eq!(a.serving, b.serving);
+        assert_eq!(a.metrics.to_json(), b.metrics.to_json());
+        assert_eq!(a.report.to_json(), b.report.to_json());
+    }
+
+    #[test]
+    fn cells_partition_tenants_without_losing_traffic() {
+        let cfg = quick_cfg();
+        let mut split = quick_cfg();
+        split.cells = 2;
+        let whole = run_serve_sim(&cfg);
+        let split = run_serve_sim(&split);
+        // per-tenant arrival streams are salted by global id: the
+        // submitted totals agree regardless of the partition
+        assert_eq!(whole.serving.submitted(), split.serving.submitted());
+        assert_eq!(split.serving.tenants.len(), 4);
+        assert!(split.serving.conserved());
+        // cells clamp to the tenant count
+        let mut over = quick_cfg();
+        over.cells = 64;
+        let over = run_serve_sim(&over);
+        assert!(over.serving.conserved());
+    }
+
+    #[test]
+    fn batching_on_beats_batching_off_on_goodput() {
+        // saturating load: per-dispatch overhead dominates unbatched
+        // service, so coalescing buys real capacity
+        let spec = ServeSpec::parse(
+            "seed=33,tenants=4,rate=350000,horizon=1ms,batch=8,deadline=300us,queue=32",
+        )
+        .unwrap();
+        let mut on = ServeSimConfig::new(spec.clone(), linear_test_mix());
+        on.items = 32;
+        let mut off = on.clone();
+        off.spec = spec.batching_off();
+        let on = run_serve_sim(&on);
+        let off = run_serve_sim(&off);
+        assert!(on.serving.conserved() && off.serving.conserved());
+        assert!(
+            on.serving.goodput() > off.serving.goodput(),
+            "batching on {} must beat off {}",
+            on.serving.goodput(),
+            off.serving.goodput()
+        );
+    }
+
+    #[test]
+    fn faulted_campaign_sheds_but_never_loses() {
+        let mut cfg = quick_cfg();
+        cfg.faults = CampaignSpec::parse("seed=5,seu=200us,smmu=0.002,scrub=400us").unwrap();
+        cfg.resilience = ResilienceConfig::full();
+        let mut cp = CheckPlane::enabled(1);
+        let out = run_serve_sim_with(&cfg, &mut cp);
+        assert!(cp.ok(), "{:?}", cp.first());
+        assert_eq!(out.lost, 0, "resilience must not drop accepted work");
+        assert!(out.serving.conserved(), "conservation holds under faults");
+        assert!(out.serving.completed() > 0, "the system must not stall");
+    }
+}

@@ -10,7 +10,7 @@
 //! CPU, local accelerator, or a remote Worker's accelerator (UNILOGIC).
 
 use core::fmt;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 use ecoscale_fpga::{
     CompressionAlgo, Floorplanner, ModuleId, PlaceError, ReconfigPort, ReconfigStats, SlotId,
@@ -89,7 +89,10 @@ pub struct ReconfigDaemon {
     config: DaemonConfig,
     port: ReconfigPort,
     floorplan: Floorplanner,
-    loaded: HashMap<ModuleId, SlotId>,
+    // BTreeMap, not HashMap: residency is iterated by the FaultPlane
+    // (SEU draws per resident module) and by eviction tie-breaking, so
+    // the order must be deterministic across threads and processes.
+    loaded: BTreeMap<ModuleId, SlotId>,
     stats: ReconfigStats,
     last_eval: Time,
 }
@@ -101,7 +104,7 @@ impl ReconfigDaemon {
             config,
             port: ReconfigPort::default(),
             floorplan,
-            loaded: HashMap::new(),
+            loaded: BTreeMap::new(),
             stats: ReconfigStats::default(),
             last_eval: Time::ZERO,
         }

@@ -22,6 +22,9 @@
 //! * [`resilience`] — recovery policy for injected faults: bounded
 //!   retry with exponential backoff, software fallback, reconfig-repair
 //!   and quarantine (the FaultPlane's runtime half),
+//! * [`serve`] — ServePlane: multi-tenant open-loop request serving
+//!   (deterministic workload generation, admission control with bounded
+//!   queues and token buckets, a batching dispatcher, SLO accounting),
 //! * [`opencl`] — the OpenCL-flavoured object model with PGAS scoping and
 //!   distributed command queues,
 //! * [`mpi`] — the inter-Compute-Node MPI layer (point-to-point and
@@ -38,6 +41,7 @@ pub mod opencl;
 pub mod pgas;
 pub mod resilience;
 pub mod sched;
+pub mod serve;
 pub mod task;
 
 pub use daemon::{DaemonConfig, ReconfigDaemon, ReconfigError};
@@ -53,4 +57,5 @@ pub use sched::{
     partitioned_traces, skewed_trace, skewed_trace_with_spacing, ClusterSim, SchedPolicy,
     SchedReport, TaskSpec,
 };
+pub use serve::{Batch, Request, ServePlane, ServeSpec, ServeSpecError, ServingReport};
 pub use task::{Task, TaskId};

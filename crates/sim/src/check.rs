@@ -87,6 +87,14 @@ pub mod invariant {
     /// per-pair mailbox is delivered exactly once, and no mailbox holds
     /// messages after the engine stops (stops happen post-drain).
     pub const SHARD_MAILBOX_CONSERVED: &str = "shard.mailbox_conserved";
+    /// ServePlane request conservation: every submitted request is accounted
+    /// exactly once (`submitted = admitted + shed` and
+    /// `admitted = queued + in-flight + completed + failed`) at every cadence
+    /// tick and at drain. Rejected is not lost.
+    pub const SERVE_REQUEST_CONSERVED: &str = "serve.request_conserved";
+    /// No ServePlane tenant queue ever exceeds its configured bound, so
+    /// backpressure is explicit load-shedding rather than unbounded buffering.
+    pub const SERVE_QUEUE_BOUNDED: &str = "serve.queue_bounded";
     /// Test-only hook used by `fuzz_configs --inject-violation` to prove the
     /// catch → shrink → repro pipeline works end to end.
     pub const SABOTAGE: &str = "check.sabotage";
@@ -148,6 +156,14 @@ pub mod invariant {
         (
             SHARD_MAILBOX_CONSERVED,
             "cross-shard messages delivered exactly once",
+        ),
+        (
+            SERVE_REQUEST_CONSERVED,
+            "admitted == queued + in-flight + completed + failed",
+        ),
+        (
+            SERVE_QUEUE_BOUNDED,
+            "tenant queues never exceed the configured cap",
         ),
         (SABOTAGE, "test-only deliberate violation hook"),
     ];

@@ -316,7 +316,10 @@ impl fmt::Display for SpecParseError {
 
 impl std::error::Error for SpecParseError {}
 
-fn parse_duration(s: &str) -> Option<Duration> {
+/// Parses a duration with an `ns`/`us`/`ms`/`s` suffix (`"300us"`,
+/// `"1.5ms"`). Shared by every `key=value` spec grammar in the workspace
+/// ([`CampaignSpec`], the ServePlane's `ServeSpec`).
+pub fn parse_duration(s: &str) -> Option<Duration> {
     let s = s.trim();
     let (num, unit) = s.split_at(s.find(|c: char| c.is_ascii_alphabetic())?);
     let v: f64 = num.parse().ok()?;
@@ -339,8 +342,9 @@ fn parse_prob_or_factor(s: &str, lo: f64, hi: f64) -> Option<f64> {
 }
 
 /// Renders a duration in the largest unit that keeps it integral, so
-/// `Display` output re-parses to the same value.
-fn fmt_duration(d: Duration) -> String {
+/// `Display` output re-parses to the same value. The inverse of
+/// [`parse_duration`], shared by every spec grammar.
+pub fn fmt_duration(d: Duration) -> String {
     if !d.as_ps().is_multiple_of(1_000) {
         return format!("{}ns", d.as_ns_f64());
     }

@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
 # Wall-clock measurement of the sharded conservative-parallel DES engine
-# plus the ProfPlane profile artifact. Run from the repository root:
+# plus the ProfPlane profile and ServePlane serving artifacts. Run from
+# the repository root:
 #
 #   scripts/bench.sh                 # full measurement -> BENCH_parallel_des.json
 #                                    #                  + BENCH_profile.json
+#                                    #                  + BENCH_serve.json
 #   scripts/bench.sh --smoke         # reduced workloads + JSON schema check
 #
 # Builds the bench binaries in release mode and runs:
@@ -18,6 +20,10 @@
 #   breakdown, shard-occupancy bands with the imbalance index, and the
 #   engine's wall-clock phase timers (`--smoke` maps to its reduced
 #   `--quick` scale).
+# * `bench_serve` — the ServePlane artifact: multi-tenant serving at a
+#   saturating offered load, batching on vs off plus a faulted lane;
+#   asserts conservation, the batching goodput win, and bounded p99
+#   degradation (`--smoke` maps to its reduced `--quick` scale).
 #
 # Compare fresh artifacts against the committed baselines with
 # `bench_regress` (scripts/ci.sh runs that gate automatically).
@@ -25,12 +31,14 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cargo build --release -p ecoscale-bench \
-    --bin bench_parallel_des --bin bench_profile
+    --bin bench_parallel_des --bin bench_profile --bin bench_serve
 
 ./target/release/bench_parallel_des "$@"
 
 if [[ "${1:-}" == "--smoke" ]]; then
     ./target/release/bench_profile --quick --out BENCH_profile.json
+    ./target/release/bench_serve --quick --out BENCH_serve.json
 else
     ./target/release/bench_profile --out BENCH_profile.json
+    ./target/release/bench_serve --out BENCH_serve.json
 fi

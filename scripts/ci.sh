@@ -54,6 +54,12 @@ echo "== tier-1: parallel DES bench smoke =="
 # BENCH_parallel_des.json schema by re-parsing what it wrote.
 ./target/release/bench_parallel_des --smoke --out target/bench_parallel_des_smoke.json
 
+echo "== tier-1: serving bench smoke (bench_serve) =="
+# Reduced serving workload: batching on/off/faulted lanes; the binary
+# itself asserts conservation, zero lost requests under faults, the
+# strict batching goodput win, and bounded p99 degradation.
+./target/release/bench_serve --quick --out target/bench_serve_smoke.json
+
 echo "== tier-1: perf-regression gate (bench_regress) =="
 # Fresh full-config run vs the committed baseline. Deterministic fields
 # (events, rounds, critical-path speedup bounds) must reproduce the
@@ -64,6 +70,11 @@ echo "== tier-1: perf-regression gate (bench_regress) =="
 ./target/release/bench_parallel_des --out target/bench_parallel_des_fresh.json
 ./target/release/bench_regress --tolerance 8 \
     BENCH_parallel_des.json target/bench_parallel_des_fresh.json
+# The serving artifact is fully deterministic (no wall-clock fields), so
+# the same gate compares it exactly against the committed baseline.
+./target/release/bench_serve --out target/bench_serve_fresh.json
+./target/release/bench_regress --tolerance 8 \
+    BENCH_serve.json target/bench_serve_fresh.json
 
 echo "== regenerate experiment snapshot (target/) =="
 ./target/release/exp_all > target/bench_output_tables.txt

@@ -11,9 +11,13 @@
 
 use std::sync::Mutex;
 
+use ecoscale::apps::mix::serve_mix;
 use ecoscale::bench::fuzz::FuzzConfig;
 use ecoscale::bench::{arch, obs, Scale};
-use ecoscale::core::{run_shard_sim, run_shard_sim_with, ShardOutcome, ShardSimConfig};
+use ecoscale::core::{
+    run_serve_sim, run_shard_sim, run_shard_sim_with, ServeSimConfig, ShardOutcome, ShardSimConfig,
+};
+use ecoscale::runtime::ServeSpec;
 use ecoscale::sim::check::CheckPlane;
 use ecoscale::sim::pool::THREADS_ENV;
 use ecoscale::sim::shard::SHARDS_ENV;
@@ -163,6 +167,53 @@ fn profile_export_is_independent_of_shard_count() {
     assert_eq!(
         sequential, sharded,
         "profile export must be byte-identical at ECOSCALE_SHARDS=1 vs =4"
+    );
+}
+
+fn serve_cfg() -> ServeSimConfig {
+    let spec = ServeSpec::parse(
+        "seed=19,tenants=4,rate=200000,horizon=400us,batch=6,deadline=250us,queue=24",
+    )
+    .expect("spec parses");
+    let mut cfg = ServeSimConfig::new(spec, serve_mix());
+    cfg.items = 32;
+    cfg.cells = 2;
+    cfg
+}
+
+fn serve_exports(cfg: &ServeSimConfig) -> (String, String) {
+    let out = run_serve_sim(cfg);
+    (out.serving.to_json(), out.metrics.to_json())
+}
+
+/// ServePlane runs partition tenants over serving cells fanned out on
+/// the pool; the merged serving report and metrics must be
+/// byte-identical at any pool width.
+#[test]
+fn serving_exports_are_independent_of_thread_count() {
+    let cfg = serve_cfg();
+    let sequential = with_threads("1", || serve_exports(&cfg));
+    let parallel = with_threads("8", || serve_exports(&cfg));
+    assert_eq!(
+        sequential, parallel,
+        "serving exports must be byte-identical at ECOSCALE_THREADS=1 vs =8"
+    );
+}
+
+/// A faulted serving run (SEU + SMMU campaign through the resilience
+/// layer) is part of the same deterministic state — and serving never
+/// touches the sharded engine, so `ECOSCALE_SHARDS` must not perturb it
+/// either.
+#[test]
+fn serving_exports_are_independent_of_shard_count() {
+    let mut cfg = serve_cfg();
+    cfg.faults = CampaignSpec::parse("seed=5,seu=200us,smmu=0.002,scrub=400us")
+        .expect("campaign spec parses");
+    let sequential = with_shards("1", || serve_exports(&cfg));
+    let sharded = with_shards("4", || serve_exports(&cfg));
+    assert_eq!(
+        sequential, sharded,
+        "faulted serving exports must be byte-identical at ECOSCALE_SHARDS=1 vs =4"
     );
 }
 

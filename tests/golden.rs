@@ -160,6 +160,23 @@ fn profile_export_json_schema_is_pinned() {
     assert_golden("profile.schema", &schema_of(&doc));
 }
 
+/// The `serving` section of a drained ServePlane run — per-tenant SLO
+/// ledger plus the aggregate counters — as exported by
+/// `exp_all --serve-out` and embedded in `SystemReport::to_json`.
+#[test]
+fn serving_report_json_schema_is_pinned() {
+    use ecoscale::apps::mix::serve_mix;
+    use ecoscale::core::{run_serve_sim, ServeSimConfig};
+    use ecoscale::runtime::ServeSpec;
+    let spec = ServeSpec::parse("seed=7,tenants=2,rate=120000,horizon=300us,batch=4")
+        .expect("spec parses");
+    let mut cfg = ServeSimConfig::new(spec, serve_mix());
+    cfg.items = 32;
+    let out = run_serve_sim(&cfg);
+    assert!(out.serving.conserved());
+    assert_golden("serving_report.schema", &schema_of(&out.serving.to_json()));
+}
+
 #[test]
 fn metrics_export_json_schema_is_pinned() {
     let cap = capture_observability(Scale::Quick);
