@@ -15,7 +15,7 @@
 //! {"bench":"serve","scale":...,"spec":...,"spec_off":...,"faults":...,
 //!  "items":...,                            // workload
 //!  "batching_on":{...},"batching_off":{...},"faulted":{...},
-//!  "goodput_gain":...,"p99_degradation":...}
+//!  "goodput_gain":...,"p99_degradation":...,"snapshot_bytes":...}
 //! ```
 //!
 //! Every field is a pure function of the seeded simulation —
@@ -23,15 +23,18 @@
 //! `bench_regress` compares the whole document exactly. The binary
 //! itself enforces the serving acceptance bar: requests conserved on
 //! all three runs, zero requests lost under faults, a strict batching
-//! goodput win, and bounded p99 growth under the campaign.
+//! goodput win, bounded p99 growth under the campaign, and a mid-horizon
+//! SnapPlane checkpoint whose resumed continuation reproduces the
+//! uninterrupted serving export byte for byte (its size is the pinned
+//! `snapshot_bytes` row).
 
 use std::process::ExitCode;
 
 use ecoscale_bench::serve_exp::serving_config;
 use ecoscale_bench::Scale;
-use ecoscale_core::{run_serve_sim, ServeOutcome};
+use ecoscale_core::{run_serve_sim, serve_checkpoint, serve_resume, ServeOutcome};
 use ecoscale_sim::json::{self, escape, fmt_f64};
-use ecoscale_sim::CampaignSpec;
+use ecoscale_sim::{CampaignSpec, Duration, Time};
 
 /// The E16-style campaign the faulted lane runs under.
 const FAULTS: &str = "seed=5,seu=200us,smmu=0.002,scrub=400us";
@@ -101,6 +104,24 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
 
+    // SnapPlane row: checkpoint the batched lane mid-horizon. The byte
+    // size is a pure function of the seeded simulation, so bench_regress
+    // pins it exactly, and the resumed continuation must reproduce the
+    // uninterrupted serving export byte for byte.
+    let at = Time::ZERO + Duration::from_us(scale.pick(250, 500));
+    let snap = serve_checkpoint(&cfg, at);
+    match serve_resume(&cfg, &snap) {
+        Ok(resumed) if resumed.serving.to_json() == on.serving.to_json() => {}
+        Ok(_) => {
+            eprintln!("bench_serve: resume at {at} diverged from the uninterrupted run");
+            return ExitCode::FAILURE;
+        }
+        Err(e) => {
+            eprintln!("bench_serve: checkpoint refused on resume: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+
     let mut s = String::with_capacity(4096);
     s.push_str("{\"bench\":\"serve\",\"scale\":\"");
     s.push_str(scale.pick("quick", "full"));
@@ -126,6 +147,8 @@ fn main() -> ExitCode {
     fmt_f64(&mut s, goodput_gain);
     s.push_str(",\"p99_degradation\":");
     fmt_f64(&mut s, p99_degradation);
+    s.push_str(",\"snapshot_bytes\":");
+    s.push_str(&snap.len().to_string());
     s.push('}');
 
     if let Err(e) = std::fs::write(&out, &s) {

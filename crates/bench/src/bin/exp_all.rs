@@ -50,13 +50,14 @@ use std::process::ExitCode;
 use ecoscale_apps::mix::serve_mix;
 use ecoscale_bench::obs::{capture_fault_campaign, capture_observability, capture_profile};
 use ecoscale_bench::{resilience_exp, Scale, EXPERIMENTS};
-use ecoscale_core::{run_serve_sim, ServeSimConfig};
+use ecoscale_core::{run_serve_sim, serve_checkpoint, serve_resume, ServeSimConfig};
 use ecoscale_runtime::ServeSpec;
-use ecoscale_sim::{pool, prof, CampaignSpec};
+use ecoscale_sim::fault::parse_duration;
+use ecoscale_sim::{pool, prof, CampaignSpec, Time};
 
 fn usage() {
     eprintln!(
-        "usage: exp_all [--scale quick|full] [--trace FILE] [--metrics FILE] [--profile FILE] [--faults SPEC] [--serve SPEC] [--serve-out FILE] [KEY...]"
+        "usage: exp_all [--scale quick|full] [--trace FILE] [--metrics FILE] [--profile FILE] [--faults SPEC] [--serve SPEC] [--serve-out FILE] [--snapshot-at T --snapshot-out FILE | --resume FILE] [KEY...]"
     );
     eprintln!("  --scale quick|full   sweep sizes (default: full)");
     eprintln!("  --trace FILE         write a Chrome/Perfetto trace of an instrumented run");
@@ -70,6 +71,13 @@ fn usage() {
     eprintln!("                       `seed=7,tenants=4,rate=200000,horizon=1ms,batch=8`;");
     eprintln!("                       a --faults campaign is injected into its backend");
     eprintln!("  --serve-out FILE     write the --serve run's serving report as JSON");
+    eprintln!("  --snapshot-at T      with --serve: run every serving cell to T (e.g. `300us`),");
+    eprintln!("                       pause at a safe boundary, and write a versioned,");
+    eprintln!("                       checksummed snapshot instead of finishing the run");
+    eprintln!("  --snapshot-out FILE  where --snapshot-at writes the snapshot");
+    eprintln!("  --resume FILE        with --serve: restore a --snapshot-out file (same spec)");
+    eprintln!("                       and run to drain; exports are byte-identical to the");
+    eprintln!("                       uninterrupted run. Corrupt/mismatched files are refused.");
     eprintln!("  KEY                  experiment filter, e.g. `exp_all e03 e09`");
     eprint!("keys:");
     for (key, _) in EXPERIMENTS {
@@ -87,6 +95,9 @@ fn main() -> ExitCode {
     let mut faults: Option<CampaignSpec> = None;
     let mut serve: Option<ServeSpec> = None;
     let mut serve_out: Option<String> = None;
+    let mut snapshot_at: Option<Time> = None;
+    let mut snapshot_out: Option<String> = None;
+    let mut resume: Option<String> = None;
     let mut filters: Vec<String> = Vec::new();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -95,7 +106,8 @@ fn main() -> ExitCode {
                 usage();
                 return ExitCode::SUCCESS;
             }
-            "--trace" | "--metrics" | "--profile" | "--serve-out" => {
+            "--trace" | "--metrics" | "--profile" | "--serve-out" | "--snapshot-out"
+            | "--resume" => {
                 let Some(v) = it.next() else {
                     eprintln!("error: {arg} needs a file path");
                     usage();
@@ -105,7 +117,24 @@ fn main() -> ExitCode {
                     "--trace" => trace_path = Some(v.clone()),
                     "--metrics" => metrics_path = Some(v.clone()),
                     "--serve-out" => serve_out = Some(v.clone()),
+                    "--snapshot-out" => snapshot_out = Some(v.clone()),
+                    "--resume" => resume = Some(v.clone()),
                     _ => profile_path = Some(v.clone()),
+                }
+            }
+            "--snapshot-at" => {
+                let Some(v) = it.next() else {
+                    eprintln!("error: --snapshot-at needs a time like `300us`");
+                    usage();
+                    return ExitCode::from(2);
+                };
+                match parse_duration(v) {
+                    Some(d) => snapshot_at = Some(Time::ZERO + d),
+                    None => {
+                        eprintln!("error: bad --snapshot-at time `{v}` (want e.g. `300us`, `2ms`)");
+                        usage();
+                        return ExitCode::from(2);
+                    }
                 }
             }
             "--faults" => {
@@ -169,6 +198,21 @@ fn main() -> ExitCode {
         usage();
         return ExitCode::from(2);
     }
+    if snapshot_at.is_some() != snapshot_out.is_some() {
+        eprintln!("error: --snapshot-at and --snapshot-out must be given together");
+        usage();
+        return ExitCode::from(2);
+    }
+    if (snapshot_at.is_some() || resume.is_some()) && serve.is_none() {
+        eprintln!("error: --snapshot-at/--resume need a --serve SPEC");
+        usage();
+        return ExitCode::from(2);
+    }
+    if snapshot_at.is_some() && resume.is_some() {
+        eprintln!("error: --snapshot-at and --resume are mutually exclusive");
+        usage();
+        return ExitCode::from(2);
+    }
     if let Some(spec) = &faults {
         // E16/E16b scale their sweeps from this campaign instead of the
         // built-in default.
@@ -190,7 +234,37 @@ fn main() -> ExitCode {
         if let Some(campaign) = faults.as_ref().filter(|s| !s.is_off()) {
             cfg.faults = campaign.clone();
         }
-        let out = run_serve_sim(&cfg);
+        if let Some(at) = snapshot_at {
+            let path = snapshot_out.as_ref().expect("validated above");
+            let bytes = serve_checkpoint(&cfg, at);
+            if let Err(e) = std::fs::write(path, &bytes) {
+                eprintln!("error: cannot write snapshot to `{path}`: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!(
+                "wrote serving checkpoint ({} bytes) to {path}; resume with --resume",
+                bytes.len()
+            );
+            return ExitCode::SUCCESS;
+        }
+        let out = if let Some(path) = &resume {
+            let bytes = match std::fs::read(path) {
+                Ok(b) => b,
+                Err(e) => {
+                    eprintln!("error: cannot read snapshot `{path}`: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            match serve_resume(&cfg, &bytes) {
+                Ok(out) => out,
+                Err(e) => {
+                    eprintln!("error: refusing snapshot `{path}`: {e}");
+                    return ExitCode::from(2);
+                }
+            }
+        } else {
+            run_serve_sim(&cfg)
+        };
         println!("{}", out.serving.to_table());
         if out.violations > 0 {
             eprintln!(

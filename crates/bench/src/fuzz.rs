@@ -7,14 +7,19 @@
 //! configurations on every machine, and any failure is reproducible from
 //! its spec string alone.
 //!
-//! Each configuration drives six seeded phases — scheduler lanes on the
+//! Each configuration drives seven seeded phases — scheduler lanes on the
 //! work pool, a NoC transfer storm on the configured topology, a mixed-
 //! permission SMMU translation stream, UNIMEM traffic over a tree NoC,
 //! a multi-tenant ServePlane run (admission, batching, SLO conservation),
-//! and the cluster-partitioned sharded simulation — with a fully-armed
+//! a SnapPlane checkpoint/restore of that serving run (mid-horizon
+//! snapshot, resume, byte-identity against the uninterrupted run, typed
+//! refusal of a corrupted copy), and the cluster-partitioned sharded
+//! simulation — with a fully-armed
 //! [`CheckPlane`], then repeats the run at the configuration's thread
 //! count and asserts the metrics export is **byte-identical** to the
-//! single-threaded run. The shard phase additionally re-runs on the
+//! single-threaded run (the snap phase runs once per config; resume's
+//! own thread/shard independence is pinned by `tests/determinism.rs`).
+//! The shard phase additionally re-runs on the
 //! sharded engine at the configuration's shard count and asserts its
 //! metrics, trace, and report exports match the 1-shard run byte for
 //! byte. Any invariant violation or export divergence fails the config;
@@ -27,7 +32,8 @@
 //! `tasks=24`).
 
 use ecoscale_core::{
-    linear_test_mix, run_serve_sim_with, run_shard_sim_with, ServeSimConfig, ShardSimConfig,
+    linear_test_mix, run_serve_sim_with, run_shard_sim_with, serve_checkpoint, serve_resume_with,
+    ServeSimConfig, ShardSimConfig,
 };
 use ecoscale_mem::{
     CacheConfig, DramModel, GlobalAddr, PagePerms, Smmu, SmmuConfig, UnimemSystem, VirtAddr,
@@ -436,6 +442,16 @@ pub fn run_config(cfg: &FuzzConfig, inject: bool) -> Result<RunReport, FuzzFailu
             )));
         }
     }
+    // SnapPlane phase: checkpoint/resume the serving run once per
+    // config (the thread-count equivalence of resume itself is pinned
+    // by tests/determinism.rs, so re-running it per thread setting
+    // would only duplicate work).
+    let mut cp_snap = CheckPlane::enabled(1);
+    snap_fuzz(cfg, &mut cp_snap);
+    if let Some(v) = cp_snap.first() {
+        return Err(fail(format!("snap phase: {v}")));
+    }
+    checks += cp_snap.checks_run();
     // Sharded-engine phase: the cluster-partitioned simulation must
     // export byte-identically at 1 shard and at the configured count.
     let scfg = shard_sim_config(cfg);
@@ -740,6 +756,14 @@ fn smmu_fuzz(cfg: &FuzzConfig, cp: &mut CheckPlane, m: &mut MetricsRegistry) {
 /// conservation and queue-bound invariants are absorbed into `cp`, and
 /// the `serve.*` metrics join the byte-identity comparison.
 fn serve_fuzz(cfg: &FuzzConfig, cp: &mut CheckPlane, m: &mut MetricsRegistry) {
+    let scfg = serve_sim_config(cfg);
+    let out = run_serve_sim_with(&scfg, cp);
+    m.merge(&out.metrics);
+}
+
+/// The serving configuration a fuzz point drives, shared by the serve
+/// phase and the SnapPlane checkpoint phase.
+fn serve_sim_config(cfg: &FuzzConfig) -> ServeSimConfig {
     let spec = ServeSpec::parse(&format!(
         "seed={},tenants={},rate=60000,horizon=150us,batch=4,deadline=120us,queue=16",
         cfg.seed, cfg.tenants
@@ -754,8 +778,45 @@ fn serve_fuzz(cfg: &FuzzConfig, cp: &mut CheckPlane, m: &mut MetricsRegistry) {
     if cfg.faults != FaultKind::None {
         scfg.faults = cfg.campaign();
     }
-    let out = run_serve_sim_with(&scfg, cp);
-    m.merge(&out.metrics);
+    scfg
+}
+
+/// SnapPlane phase: checkpoint the configuration's serving run at
+/// mid-horizon, restore the snapshot into freshly built cells, and
+/// require the resumed serving + metrics exports to be byte-identical
+/// to the uninterrupted run (`snap.resume_equivalent`). The resume path
+/// itself re-arms `snap.roundtrip_identical` and `snap.version_refused`
+/// per cell, and a deliberately corrupted copy of the stream must be
+/// refused with a typed error rather than partially applied.
+fn snap_fuzz(cfg: &FuzzConfig, cp: &mut CheckPlane) {
+    let scfg = serve_sim_config(cfg);
+    let at = Time::ZERO + Duration::from_us(75);
+    let mut full_cp = CheckPlane::enabled(1);
+    let full = run_serve_sim_with(&scfg, &mut full_cp);
+    let bytes = serve_checkpoint(&scfg, at);
+    match serve_resume_with(&scfg, &bytes, cp) {
+        Ok(resumed) => {
+            cp.check(
+                invariant::SNAP_RESUME_EQUIVALENT,
+                resumed.serving.to_json() == full.serving.to_json()
+                    && resumed.metrics.to_json() == full.metrics.to_json(),
+                || format!("resume at {at} diverged from the uninterrupted run"),
+            );
+        }
+        Err(e) => {
+            cp.check(invariant::SNAP_RESUME_EQUIVALENT, false, || {
+                format!("checkpoint at {at} refused on resume: {e}")
+            });
+        }
+    }
+    let mut bad = bytes.clone();
+    let tail = bad.len() - 1;
+    bad[tail] ^= 0x01;
+    cp.check(
+        invariant::SNAP_VERSION_REFUSED,
+        serve_resume_with(&scfg, &bad, &mut CheckPlane::enabled(1)).is_err(),
+        || "corrupted snapshot was not refused".to_string(),
+    );
 }
 
 /// Zipf-skewed UNIMEM traffic from `workers` nodes over a tree NoC.

@@ -323,7 +323,7 @@ mod tests {
         "spec":"seed=42,tenants=4,rate=350000","spec_off":"seed=42,batch=1",
         "faults":"seed=5,seu=200us","items":32,
         "batching_on":{"goodput":566,"p99_ns":218232,"conserved":true},
-        "goodput_gain":1.59}"#;
+        "goodput_gain":1.59,"snapshot_bytes":47512}"#;
 
     #[test]
     fn serve_spec_is_workload_and_goodput_is_deterministic() {
@@ -338,5 +338,12 @@ mod tests {
         let cmp = compare(&base, &other, 3.0).unwrap();
         assert_eq!(cmp.regressions.len(), 1, "{:?}", cmp.regressions);
         assert!(cmp.regressions[0].contains("goodput"));
+        // the snapshot size is seeded-simulation output, pinned exactly
+        let other =
+            json::parse(&SERVE.replace("\"snapshot_bytes\":47512", "\"snapshot_bytes\":47513"))
+                .unwrap();
+        let cmp = compare(&base, &other, 3.0).unwrap();
+        assert_eq!(cmp.regressions.len(), 1, "{:?}", cmp.regressions);
+        assert!(cmp.regressions[0].contains("snapshot_bytes"));
     }
 }

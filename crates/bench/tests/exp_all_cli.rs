@@ -278,3 +278,221 @@ fn trace_and_metrics_outputs_are_valid_and_populated() {
     std::fs::remove_file(&trace_path).ok();
     std::fs::remove_file(&metrics_path).ok();
 }
+
+#[test]
+fn snapshot_flags_must_come_as_a_pair_with_serve() {
+    // --snapshot-at without --snapshot-out (and vice versa) is refused
+    let out = exp_all()
+        .args(["--serve", "seed=7,tenants=2", "--snapshot-at", "100us"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(
+        err.contains("--snapshot-at and --snapshot-out must be given together"),
+        "stderr: {err}"
+    );
+
+    let out = exp_all()
+        .args(["--serve", "seed=7,tenants=2", "--snapshot-out", "x.snap"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(2));
+
+    // snapshotting or resuming is meaningless without a serving run
+    let out = exp_all()
+        .args(["--snapshot-at", "100us", "--snapshot-out", "x.snap"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(
+        err.contains("--snapshot-at/--resume need a --serve SPEC"),
+        "stderr: {err}"
+    );
+
+    let out = exp_all()
+        .args(["--resume", "x.snap"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(2));
+
+    // a malformed checkpoint time is quoted back
+    let out = exp_all()
+        .args([
+            "--serve",
+            "seed=7,tenants=2",
+            "--snapshot-at",
+            "nonsense",
+            "--snapshot-out",
+            "x.snap",
+        ])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(
+        err.contains("bad --snapshot-at time `nonsense`"),
+        "stderr: {err}"
+    );
+
+    // checkpointing and resuming in the same invocation is contradictory
+    let out = exp_all()
+        .args([
+            "--serve",
+            "seed=7,tenants=2",
+            "--snapshot-at",
+            "100us",
+            "--snapshot-out",
+            "x.snap",
+            "--resume",
+            "x.snap",
+        ])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(
+        err.contains("--snapshot-at and --resume are mutually exclusive"),
+        "stderr: {err}"
+    );
+}
+
+#[test]
+fn resume_refuses_missing_and_corrupt_snapshots_with_exit_2() {
+    let missing = tmp("never-written.snap");
+    let out = exp_all()
+        .args([
+            "--serve",
+            "seed=7,tenants=2,rate=120000,horizon=300us,batch=4",
+        ])
+        .arg("--resume")
+        .arg(&missing)
+        .arg("e01")
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("cannot read snapshot"), "stderr: {err}");
+
+    // write a real checkpoint, corrupt one payload byte, and resume: the
+    // checksum refusal must name the snapshot and exit 2, and no serving
+    // table may be printed (nothing was partially applied).
+    let snap_path = tmp("corrupt.snap");
+    let spec = "seed=7,tenants=2,rate=120000,horizon=300us,batch=4";
+    let out = exp_all()
+        .args([
+            "--scale",
+            "quick",
+            "--serve",
+            spec,
+            "--snapshot-at",
+            "150us",
+        ])
+        .arg("--snapshot-out")
+        .arg(&snap_path)
+        .arg("e01")
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("wrote serving checkpoint"), "stderr: {err}");
+
+    let mut bytes = std::fs::read(&snap_path).expect("snapshot written");
+    let last = bytes.len() - 1;
+    bytes[last] ^= 0x40;
+    std::fs::write(&snap_path, &bytes).unwrap();
+
+    let out = exp_all()
+        .args(["--scale", "quick", "--serve", spec])
+        .arg("--resume")
+        .arg(&snap_path)
+        .arg("e01")
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("refusing snapshot"), "stderr: {err}");
+    assert!(err.contains("checksum"), "typed checksum error: {err}");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(
+        !stdout.contains("== serving =="),
+        "no serving table after a refusal: {stdout}"
+    );
+
+    std::fs::remove_file(&snap_path).ok();
+}
+
+#[test]
+fn snapshot_then_resume_round_trips_byte_identical_serving_json() {
+    let snap_path = tmp("roundtrip.snap");
+    let full_json = tmp("full.json");
+    let resumed_json = tmp("resumed.json");
+    let spec = "seed=11,tenants=3,rate=150000,horizon=300us,batch=4";
+
+    let out = exp_all()
+        .args(["--scale", "quick", "--serve", spec, "--serve-out"])
+        .arg(&full_json)
+        .arg("e01")
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let full_stdout = String::from_utf8(out.stdout).unwrap();
+
+    let out = exp_all()
+        .args([
+            "--scale",
+            "quick",
+            "--serve",
+            spec,
+            "--snapshot-at",
+            "120us",
+        ])
+        .arg("--snapshot-out")
+        .arg(&snap_path)
+        .arg("e01")
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let out = exp_all()
+        .args(["--scale", "quick", "--serve", spec, "--serve-out"])
+        .arg(&resumed_json)
+        .arg("--resume")
+        .arg(&snap_path)
+        .arg("e01")
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let resumed_stdout = String::from_utf8(out.stdout).unwrap();
+
+    assert_eq!(
+        full_stdout, resumed_stdout,
+        "resumed stdout must be byte-identical to the uninterrupted run"
+    );
+    assert_eq!(
+        std::fs::read_to_string(&full_json).unwrap(),
+        std::fs::read_to_string(&resumed_json).unwrap(),
+        "resumed --serve-out must be byte-identical to the uninterrupted run"
+    );
+
+    std::fs::remove_file(&snap_path).ok();
+    std::fs::remove_file(&full_json).ok();
+    std::fs::remove_file(&resumed_json).ok();
+}

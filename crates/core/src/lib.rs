@@ -38,8 +38,9 @@ pub use chain::{Chain, ChainCost};
 pub use power::{machine_power_for_exaflop, MachineClass, PowerBreakdown};
 pub use report::{FunctionSummary, SystemReport};
 pub use serve_model::{
-    linear_test_mix, run_serve_sim, run_serve_sim_with, serve_hints, ServeKernel, ServeOutcome,
-    ServeSimConfig,
+    linear_test_mix, run_serve_sim, run_serve_sim_with, serve_checkpoint, serve_hints,
+    serve_migrate, serve_migrate_with, serve_resume, serve_resume_with, CellSim, ServeKernel,
+    ServeOutcome, ServeSimConfig,
 };
 pub use shard_model::{
     run_shard_sim, run_shard_sim_observed, run_shard_sim_with, ClusterEv, ClusterSimModel,

@@ -31,10 +31,14 @@ use std::collections::HashMap;
 
 use ecoscale_hls::KernelArgs;
 use ecoscale_noc::NodeId;
-use ecoscale_runtime::serve::{Batch, ServePlane, ServeSpec, ServingReport};
+use ecoscale_runtime::serve::{Batch, Request, ServePlane, ServeSpec, ServingReport};
 use ecoscale_runtime::ResilienceConfig;
-use ecoscale_sim::check::CheckPlane;
-use ecoscale_sim::{pool, CampaignSpec, Duration, MetricsRegistry, Time};
+use ecoscale_sim::check::{invariant, CheckPlane};
+use ecoscale_sim::snap::{malformed, SnapshotBuilder, SnapshotFile};
+use ecoscale_sim::{
+    pool, CampaignSpec, Duration, MetricsRegistry, Restore, RestoreError, SnapReader, SnapWriter,
+    Snapshot, Time,
+};
 
 use crate::report::SystemReport;
 use crate::system::{EcoscaleSystem, SystemBuilder};
@@ -154,17 +158,30 @@ pub fn run_serve_sim(cfg: &ServeSimConfig) -> ServeOutcome {
 pub fn run_serve_sim_with(cfg: &ServeSimConfig, cp: &mut CheckPlane) -> ServeOutcome {
     assert!(!cfg.kernels.is_empty(), "serving needs a kernel mix");
     assert!(!cfg.cadence.is_zero(), "cadence must be > 0");
+    let results = pool::parallel_map(partition_tenants(cfg), |ids| {
+        let mut cell = CellSim::new(cfg, ids);
+        cell.run(None);
+        cell.into_result()
+    });
+    merge_results(results, cp)
+}
+
+/// Round-robin partition of the spec's tenants over the serving cells
+/// (clamped to the tenant count).
+fn partition_tenants(cfg: &ServeSimConfig) -> Vec<Vec<u32>> {
     let cells = cfg.cells.clamp(1, cfg.spec.tenants);
-    let partitions: Vec<Vec<u32>> = (0..cells)
+    (0..cells)
         .map(|c| {
             (0..cfg.spec.tenants as u32)
                 .filter(|t| *t as usize % cells == c)
                 .collect()
         })
-        .collect();
+        .collect()
+}
 
-    let results = pool::parallel_map(partitions, |ids| run_cell(cfg, ids));
-
+/// Merges per-cell results in cell order into one [`ServeOutcome`],
+/// absorbing every cell's invariant tallies into `cp`.
+fn merge_results(results: Vec<CellResult>, cp: &mut CheckPlane) -> ServeOutcome {
     let mut iter = results.into_iter();
     let first = iter.next().expect("at least one cell");
     let mut serving = first.serving;
@@ -221,135 +238,567 @@ fn build_cell_system(cfg: &ServeSimConfig) -> EcoscaleSystem {
     system
 }
 
-fn run_cell(cfg: &ServeSimConfig, ids: Vec<u32>) -> CellResult {
-    let mut system = build_cell_system(cfg);
-    if !cfg.faults.is_off() {
-        system.enable_faults(&cfg.faults, cfg.resilience);
-    }
-    let mut plane = ServePlane::for_tenants(&cfg.spec, cfg.kernels.len(), &ids);
+/// One serving cell's event loop held as an explicit state machine, so a
+/// run can pause at a loop boundary, serialize itself with
+/// [`CellSim::snapshot_state`], and continue — in this process or another
+/// — from the byte-identical point. [`run_serve_sim`] drives each cell
+/// through this type; checkpoint/resume ([`serve_checkpoint`],
+/// [`serve_resume`]) and serving-cell migration ([`serve_migrate`]) are
+/// the same loop paused and revived.
+pub struct CellSim<'a> {
+    cfg: &'a ServeSimConfig,
+    ids: Vec<u32>,
+    system: EcoscaleSystem,
+    plane: ServePlane,
     // the cell checks itself unconditionally; the caller's plane decides
     // whether the tallies are aggregated further
-    let mut cp = CheckPlane::enabled(1);
-
-    let lanes = system.num_workers();
-    let mut free_at = vec![Time::ZERO; lanes];
+    cp: CheckPlane,
+    free_at: Vec<Time>,
     // (completion time, dispatch sequence, batch): retired in
     // (time, seq) order so completions are deterministic
-    let mut in_flight: Vec<(Time, u64, Batch)> = Vec::new();
-    let mut seq = 0u64;
-    let mut now = Time::ZERO;
-    let mut next_tick = Time::ZERO + cfg.cadence;
-    let mut last_resil = 0u64;
+    in_flight: Vec<(Time, u64, Batch)>,
+    seq: u64,
+    now: Time,
+    next_tick: Time,
+    last_resil: u64,
+}
 
-    loop {
-        // 1. retire completions due
-        if in_flight.iter().any(|(t, _, _)| *t <= now) {
-            let mut due: Vec<(Time, u64, Batch)> = Vec::new();
-            in_flight.retain_mut(|entry| {
-                if entry.0 <= now {
-                    let batch = Batch {
-                        kernel: entry.2.kernel,
-                        requests: std::mem::take(&mut entry.2.requests),
-                    };
-                    due.push((entry.0, entry.1, batch));
-                    false
-                } else {
-                    true
+impl<'a> CellSim<'a> {
+    /// Builds one cell hosting `ids`' tenants: a freshly provisioned
+    /// system (mix resident on every lane), the fault campaign armed
+    /// when `cfg` carries one, and an empty serving ledger at t = 0.
+    pub fn new(cfg: &'a ServeSimConfig, ids: Vec<u32>) -> CellSim<'a> {
+        let mut system = build_cell_system(cfg);
+        if !cfg.faults.is_off() {
+            system.enable_faults(&cfg.faults, cfg.resilience);
+        }
+        let lanes = system.num_workers();
+        CellSim {
+            plane: ServePlane::for_tenants(&cfg.spec, cfg.kernels.len(), &ids),
+            cp: CheckPlane::enabled(1),
+            free_at: vec![Time::ZERO; lanes],
+            in_flight: Vec::new(),
+            seq: 0,
+            now: Time::ZERO,
+            next_tick: Time::ZERO + cfg.cadence,
+            last_resil: 0,
+            system,
+            cfg,
+            ids,
+        }
+    }
+
+    /// Current cell time.
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Runs the serving loop. With `limit = None` runs to full drain;
+    /// with `Some(t)` pauses before the first instant past `t` — a safe
+    /// window boundary where every layer's state is self-consistent and
+    /// [`CellSim::snapshot_state`] captures the run exactly. Returns
+    /// `true` once drained. Re-entering after a pause (or a restore)
+    /// continues bit-identically to an uninterrupted run.
+    pub fn run(&mut self, limit: Option<Time>) -> bool {
+        loop {
+            // 1. retire completions due
+            if self.in_flight.iter().any(|(t, _, _)| *t <= self.now) {
+                let mut due: Vec<(Time, u64, Batch)> = Vec::new();
+                self.in_flight.retain_mut(|entry| {
+                    if entry.0 <= self.now {
+                        let batch = Batch {
+                            kernel: entry.2.kernel,
+                            requests: std::mem::take(&mut entry.2.requests),
+                        };
+                        due.push((entry.0, entry.1, batch));
+                        false
+                    } else {
+                        true
+                    }
+                });
+                due.sort_by_key(|(t, s, _)| (*t, *s));
+                for (t, _, b) in &due {
+                    self.plane.complete_batch(b, *t);
                 }
-            });
-            due.sort_by_key(|(t, s, _)| (*t, *s));
-            for (t, _, b) in &due {
-                plane.complete_batch(b, *t);
             }
-        }
 
-        // 2. arrivals up to now
-        plane.pop_arrivals(now);
+            // 2. arrivals up to now
+            self.plane.pop_arrivals(self.now);
 
-        // 3. cadence maintenance (the advance step lands exactly on
-        // tick boundaries while work remains)
-        while next_tick <= now {
-            system.fault_tick();
-            system.daemon_tick();
-            let resil = system
-                .resilience()
-                .map(|r| r.failures() + r.fallbacks() + r.quarantines())
-                .unwrap_or(0);
-            plane.set_pressure(resil > last_resil);
-            last_resil = resil;
-            plane.check_invariants(&mut cp);
-            next_tick += cfg.cadence;
-        }
-
-        // 4. dispatch ripe batches onto free lanes
-        while plane.dispatch_ready(now) {
-            let lane = match (0..lanes).find(|&l| free_at[l] <= now) {
-                Some(l) => l,
-                None => break,
-            };
-            let batch = plane.take_batch(now).expect("ready implies queued");
-            let kernel = &cfg.kernels[batch.kernel as usize];
-            let mut args = (kernel.bind)(cfg.items * batch.len());
-            match system.call(NodeId(lane), kernel.name, &mut args) {
-                Ok(out) => {
-                    let done = now + cfg.spec.overhead + out.latency;
-                    free_at[lane] = done;
-                    in_flight.push((done, seq, batch));
-                    seq += 1;
-                }
-                Err(_) => plane.fail_batch(&batch),
+            // 3. cadence maintenance (the advance step lands exactly on
+            // tick boundaries while work remains)
+            while self.next_tick <= self.now {
+                self.system.fault_tick();
+                self.system.daemon_tick();
+                let resil = self
+                    .system
+                    .resilience()
+                    .map(|r| r.failures() + r.fallbacks() + r.quarantines())
+                    .unwrap_or(0);
+                self.plane.set_pressure(resil > self.last_resil);
+                self.last_resil = resil;
+                self.plane.check_invariants(&mut self.cp);
+                self.next_tick += self.cfg.cadence;
             }
-        }
 
-        // 5. advance to the next interesting instant
-        let mut next: Option<Time> = None;
-        let mut fold = |t: Time| next = Some(next.map_or(t, |n: Time| n.min(t)));
-        if let Some(a) = plane.next_arrival() {
-            fold(a);
-        }
-        for (t, _, _) in &in_flight {
-            fold(*t);
-        }
-        if plane.queued() > 0 {
-            let ripe = plane.ripe_at(now).expect("queued");
-            let lane = free_at.iter().copied().min().expect("lanes");
-            fold(ripe.max(lane));
-        }
-        match next {
-            // while work remains, maintenance keeps firing on cadence
-            Some(t) => {
-                let t = t.min(next_tick);
-                now = if t > now {
-                    t
-                } else {
-                    Time::from_ps(now.as_ps() + 1)
+            // 4. dispatch ripe batches onto free lanes
+            let lanes = self.free_at.len();
+            while self.plane.dispatch_ready(self.now) {
+                let lane = match (0..lanes).find(|&l| self.free_at[l] <= self.now) {
+                    Some(l) => l,
+                    None => break,
                 };
+                let batch = self
+                    .plane
+                    .take_batch(self.now)
+                    .expect("ready implies queued");
+                let kernel = &self.cfg.kernels[batch.kernel as usize];
+                let mut args = (kernel.bind)(self.cfg.items * batch.len());
+                match self.system.call(NodeId(lane), kernel.name, &mut args) {
+                    Ok(out) => {
+                        let done = self.now + self.cfg.spec.overhead + out.latency;
+                        self.free_at[lane] = done;
+                        self.in_flight.push((done, self.seq, batch));
+                        self.seq += 1;
+                    }
+                    Err(_) => self.plane.fail_batch(&batch),
+                }
             }
-            None => break,
+
+            // 5. advance to the next interesting instant
+            let mut next: Option<Time> = None;
+            let mut fold = |t: Time| next = Some(next.map_or(t, |n: Time| n.min(t)));
+            if let Some(a) = self.plane.next_arrival() {
+                fold(a);
+            }
+            for (t, _, _) in &self.in_flight {
+                fold(*t);
+            }
+            if self.plane.queued() > 0 {
+                let ripe = self.plane.ripe_at(self.now).expect("queued");
+                let lane = self.free_at.iter().copied().min().expect("lanes");
+                fold(ripe.max(lane));
+            }
+            match next {
+                // while work remains, maintenance keeps firing on cadence
+                Some(t) => {
+                    let t = t.min(self.next_tick);
+                    let target = if t > self.now {
+                        t
+                    } else {
+                        Time::from_ps(self.now.as_ps() + 1)
+                    };
+                    // pause *before* stepping past the limit: steps 1-4
+                    // are idempotent at a fixed `now`, so re-entering
+                    // here continues exactly where we stopped
+                    if limit.is_some_and(|l| target > l) {
+                        return false;
+                    }
+                    self.now = target;
+                }
+                None => break,
+            }
+        }
+        debug_assert!(self.plane.drained());
+        true
+    }
+
+    /// Finishes the cell: runs the final invariant pass and folds the
+    /// system's and the plane's instruments into one [`CellResult`].
+    fn into_result(mut self) -> CellResult {
+        self.plane.check_invariants(&mut self.cp);
+        let mut metrics = self.system.export_metrics();
+        self.plane.export_metrics(&mut metrics);
+        let (fallbacks, lost) = self
+            .system
+            .resilience()
+            .map(|r| (r.fallbacks(), r.lost()))
+            .unwrap_or((0, 0));
+        let mut report = SystemReport::capture(&self.system);
+        let serving = self.plane.report();
+        report.serving = Some(serving.clone());
+        CellResult {
+            serving,
+            metrics,
+            report,
+            drained_at: self.now,
+            fallbacks,
+            lost,
+            cp: self.cp,
         }
     }
 
-    debug_assert!(plane.drained());
-    plane.check_invariants(&mut cp);
-
-    let mut metrics = system.export_metrics();
-    plane.export_metrics(&mut metrics);
-    let (fallbacks, lost) = system
-        .resilience()
-        .map(|r| (r.fallbacks(), r.lost()))
-        .unwrap_or((0, 0));
-    let mut report = SystemReport::capture(&system);
-    let serving = plane.report();
-    report.serving = Some(serving.clone());
-    CellResult {
-        serving,
-        metrics,
-        report,
-        drained_at: now,
-        fallbacks,
-        lost,
-        cp,
+    /// Serializes the cell's complete state: hosted tenants, loop
+    /// cursors, lane occupancy, the in-flight dispatch ledger, the
+    /// ServePlane, the whole [`EcoscaleSystem`] and the cell's
+    /// CheckPlane tallies. Pair with a section of a versioned
+    /// [`SnapshotBuilder`] stream for checksummed storage.
+    pub fn snapshot_state(&self, w: &mut SnapWriter) {
+        w.put_usize(self.ids.len());
+        for id in &self.ids {
+            w.put_u32(*id);
+        }
+        self.now.snapshot(w);
+        self.next_tick.snapshot(w);
+        w.put_u64(self.seq);
+        w.put_u64(self.last_resil);
+        w.put_usize(self.free_at.len());
+        for t in &self.free_at {
+            t.snapshot(w);
+        }
+        w.put_usize(self.in_flight.len());
+        for (t, s, b) in &self.in_flight {
+            t.snapshot(w);
+            w.put_u64(*s);
+            w.put_u32(b.kernel);
+            w.put_usize(b.requests.len());
+            for q in &b.requests {
+                w.put_u64(q.id);
+                w.put_u32(q.tenant);
+                w.put_u32(q.kernel);
+                q.arrival.snapshot(w);
+                q.deadline.snapshot(w);
+            }
+        }
+        self.plane.snapshot_state(w);
+        self.system.snapshot_state(w);
+        self.cp.snapshot(w);
     }
+
+    /// Overlays state captured by [`CellSim::snapshot_state`] onto this
+    /// freshly built cell. On error the cell may be partially
+    /// overwritten and must be discarded — nothing is ever served from
+    /// a partially applied snapshot.
+    ///
+    /// # Errors
+    ///
+    /// [`RestoreError`] on truncated/malformed data or when the snapshot
+    /// disagrees with this cell's build configuration (tenant set, lane
+    /// count, kernel mix, fault arming).
+    pub fn restore_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), RestoreError> {
+        let n = r.get_usize()?;
+        if n != self.ids.len() {
+            return Err(malformed(format!(
+                "snapshot hosts {n} tenants, this cell hosts {}",
+                self.ids.len()
+            )));
+        }
+        for want in &self.ids {
+            let got = r.get_u32()?;
+            if got != *want {
+                return Err(malformed(format!(
+                    "snapshot hosts tenant {got} where this cell hosts {want}"
+                )));
+            }
+        }
+        self.now = Time::restore(r)?;
+        self.next_tick = Time::restore(r)?;
+        self.seq = r.get_u64()?;
+        self.last_resil = r.get_u64()?;
+        let lanes = r.get_usize()?;
+        if lanes != self.free_at.len() {
+            return Err(malformed(format!(
+                "snapshot has {lanes} lanes, this cell has {}",
+                self.free_at.len()
+            )));
+        }
+        for slot in &mut self.free_at {
+            *slot = Time::restore(r)?;
+        }
+        let n = r.get_usize()?;
+        if n > r.remaining() {
+            return Err(malformed(format!(
+                "cell claims {n} in-flight batches but only {} bytes remain",
+                r.remaining()
+            )));
+        }
+        self.in_flight.clear();
+        let mut prev_seq: Option<u64> = None;
+        for i in 0..n {
+            let t = Time::restore(r)?;
+            if t <= self.now {
+                return Err(malformed(format!(
+                    "in-flight batch {i} completes at {t}, not after now"
+                )));
+            }
+            let s = r.get_u64()?;
+            if prev_seq.is_some_and(|p| p >= s) || s >= self.seq {
+                return Err(malformed(format!("in-flight sequence unsorted at {i}")));
+            }
+            prev_seq = Some(s);
+            let kernel = r.get_u32()?;
+            if kernel as usize >= self.cfg.kernels.len() {
+                return Err(malformed(format!(
+                    "in-flight batch {i} uses kernel {kernel}, mix has {}",
+                    self.cfg.kernels.len()
+                )));
+            }
+            let m = r.get_usize()?;
+            if m == 0 || m > r.remaining() {
+                return Err(malformed(format!(
+                    "in-flight batch {i} claims {m} requests"
+                )));
+            }
+            let mut requests = Vec::with_capacity(m);
+            for _ in 0..m {
+                requests.push(Request {
+                    id: r.get_u64()?,
+                    tenant: r.get_u32()?,
+                    kernel: r.get_u32()?,
+                    arrival: Time::restore(r)?,
+                    deadline: Time::restore(r)?,
+                });
+            }
+            self.in_flight.push((t, s, Batch { kernel, requests }));
+        }
+        self.plane.restore_state(r)?;
+        self.system.restore_state(r)?;
+        self.cp = CheckPlane::restore(r)?;
+        Ok(())
+    }
+
+    /// Restores this cell like [`CellSim::restore_state`] but then
+    /// **migrates** its tenants onto healthy hardware: the restored
+    /// system (with whatever upsets, quarantines and fault history it
+    /// carried) is discarded and replaced by a freshly provisioned,
+    /// fault-free one. The ServePlane ledger and the in-flight dispatch
+    /// ledger carry every accepted request across the move, so the
+    /// continuation completes them all — zero lost requests.
+    ///
+    /// # Errors
+    ///
+    /// Exactly those of [`CellSim::restore_state`].
+    pub fn migrate_from(&mut self, r: &mut SnapReader<'_>) -> Result<(), RestoreError> {
+        self.restore_state(r)?;
+        self.system = build_cell_system(self.cfg);
+        Ok(())
+    }
+}
+
+/// Writes the "meta" section pinning the checkpoint's configuration:
+/// the serving spec, the fault campaign, the backend shape and the
+/// kernel-mix names. Resume refuses a snapshot whose meta disagrees
+/// with the caller's config.
+fn write_meta(cfg: &ServeSimConfig, cells: usize, w: &mut SnapWriter) {
+    w.put_str(&cfg.spec.to_string());
+    w.put_str(&cfg.faults.to_string());
+    w.put_usize(cfg.items);
+    w.put_usize(cfg.workers_per_node);
+    w.put_usize(cfg.compute_nodes);
+    w.put_usize(cells);
+    w.put_duration(cfg.cadence);
+    w.put_usize(cfg.kernels.len());
+    for k in &cfg.kernels {
+        w.put_str(k.name);
+    }
+}
+
+fn check_meta(
+    cfg: &ServeSimConfig,
+    cells: usize,
+    r: &mut SnapReader<'_>,
+) -> Result<(), RestoreError> {
+    fn expect<T: PartialEq + std::fmt::Debug>(
+        what: &str,
+        got: T,
+        want: T,
+    ) -> Result<(), RestoreError> {
+        if got == want {
+            Ok(())
+        } else {
+            Err(malformed(format!(
+                "snapshot {what} is {got:?}, this config has {want:?}"
+            )))
+        }
+    }
+    expect("serve spec", r.get_str()?, cfg.spec.to_string())?;
+    expect("fault campaign", r.get_str()?, cfg.faults.to_string())?;
+    expect("items per request", r.get_usize()?, cfg.items)?;
+    expect("workers per node", r.get_usize()?, cfg.workers_per_node)?;
+    expect("compute nodes", r.get_usize()?, cfg.compute_nodes)?;
+    expect("cells", r.get_usize()?, cells)?;
+    expect("cadence", r.get_duration()?, cfg.cadence)?;
+    expect("kernel count", r.get_usize()?, cfg.kernels.len())?;
+    for k in &cfg.kernels {
+        expect("kernel name", r.get_str()?.as_str(), k.name)?;
+    }
+    if !r.is_exhausted() {
+        return Err(malformed("meta section has trailing bytes".to_owned()));
+    }
+    Ok(())
+}
+
+/// Runs the serving simulation up to `at` and serializes the whole run
+/// into one versioned snapshot: a `meta` section pinning the config and
+/// one checksummed `cell.N` section per serving cell, each paused at a
+/// safe loop boundary no later than `at`. Cells already drained by `at`
+/// are captured drained. Feed the bytes to [`serve_resume`] (same
+/// config) to continue the run bit-identically, or to [`serve_migrate`]
+/// to move one cell's tenants onto healthy hardware.
+///
+/// # Panics
+///
+/// Panics on an empty kernel mix or a zero cadence (as
+/// [`run_serve_sim`]).
+pub fn serve_checkpoint(cfg: &ServeSimConfig, at: Time) -> Vec<u8> {
+    assert!(!cfg.kernels.is_empty(), "serving needs a kernel mix");
+    assert!(!cfg.cadence.is_zero(), "cadence must be > 0");
+    let parts = partition_tenants(cfg);
+    let cells = parts.len();
+    let states = pool::parallel_map(parts, |ids| {
+        let mut cell = CellSim::new(cfg, ids);
+        cell.run(Some(at));
+        let mut w = SnapWriter::new();
+        cell.snapshot_state(&mut w);
+        w.into_bytes()
+    });
+    let mut b = SnapshotBuilder::new();
+    b.section("meta", |w| write_meta(cfg, cells, w));
+    for (i, state) in states.iter().enumerate() {
+        b.section(&format!("cell.{i}"), |w| w.put_bytes(state));
+    }
+    b.finish()
+}
+
+/// Resumes a [`serve_checkpoint`] stream to full drain under the same
+/// config, arming the outer CheckPlane from `ECOSCALE_CHECK`. The
+/// continuation is bit-identical to the uninterrupted
+/// [`run_serve_sim`] of the same config — metrics, report and serving
+/// exports byte-for-byte.
+///
+/// # Errors
+///
+/// [`RestoreError`] when the stream is corrupt (bad magic, future
+/// version, truncation, checksum mismatch — all refused before any
+/// state is touched) or disagrees with `cfg`.
+pub fn serve_resume(cfg: &ServeSimConfig, bytes: &[u8]) -> Result<ServeOutcome, RestoreError> {
+    let mut cp = CheckPlane::from_env();
+    serve_resume_with(cfg, bytes, &mut cp)
+}
+
+/// [`serve_resume`] absorbing every cell's invariant tallies into `cp`.
+///
+/// # Errors
+///
+/// As [`serve_resume`].
+pub fn serve_resume_with(
+    cfg: &ServeSimConfig,
+    bytes: &[u8],
+    cp: &mut CheckPlane,
+) -> Result<ServeOutcome, RestoreError> {
+    resume_inner(cfg, bytes, cp, None)
+}
+
+/// Restores a [`serve_checkpoint`] stream but migrates cell `victim`'s
+/// tenants onto a freshly provisioned, fault-free system (the serving
+/// answer to a quarantined cell): its ServePlane ledger and in-flight
+/// batches move wholesale, so no accepted request is lost. The other
+/// cells resume in place. Arms the outer CheckPlane from
+/// `ECOSCALE_CHECK`.
+///
+/// # Errors
+///
+/// As [`serve_resume`], plus a malformed error for a `victim` index out
+/// of range.
+pub fn serve_migrate(
+    cfg: &ServeSimConfig,
+    bytes: &[u8],
+    victim: usize,
+) -> Result<ServeOutcome, RestoreError> {
+    let mut cp = CheckPlane::from_env();
+    serve_migrate_with(cfg, bytes, victim, &mut cp)
+}
+
+/// [`serve_migrate`] absorbing every cell's invariant tallies into `cp`.
+///
+/// # Errors
+///
+/// As [`serve_migrate`].
+pub fn serve_migrate_with(
+    cfg: &ServeSimConfig,
+    bytes: &[u8],
+    victim: usize,
+    cp: &mut CheckPlane,
+) -> Result<ServeOutcome, RestoreError> {
+    resume_inner(cfg, bytes, cp, Some(victim))
+}
+
+fn resume_inner(
+    cfg: &ServeSimConfig,
+    bytes: &[u8],
+    cp: &mut CheckPlane,
+    migrate: Option<usize>,
+) -> Result<ServeOutcome, RestoreError> {
+    assert!(!cfg.kernels.is_empty(), "serving needs a kernel mix");
+    assert!(!cfg.cadence.is_zero(), "cadence must be > 0");
+    let file = SnapshotFile::parse(bytes)?;
+    // snap.version_refused: every resume proves that a future-version
+    // copy of this very stream is refused outright. The check runs on a
+    // live plane and is absorbed with the cells' tallies.
+    let mut fcp = CheckPlane::enabled(1);
+    if bytes.len() >= 12 {
+        let mut bumped = bytes.to_vec();
+        bumped[8..12].copy_from_slice(&(file.version() + 1).to_le_bytes());
+        fcp.check(
+            invariant::SNAP_VERSION_REFUSED,
+            matches!(
+                SnapshotFile::parse(&bumped),
+                Err(RestoreError::FutureVersion { .. })
+            ),
+            || "a future-version snapshot was not refused".to_owned(),
+        );
+    }
+    check_meta(
+        cfg,
+        partition_tenants(cfg).len(),
+        &mut file.section("meta")?,
+    )?;
+    let parts: Vec<(usize, Vec<u32>)> = partition_tenants(cfg).into_iter().enumerate().collect();
+    if let Some(v) = migrate {
+        if v >= parts.len() {
+            return Err(malformed(format!(
+                "migration victim {v} out of range: {} cells",
+                parts.len()
+            )));
+        }
+    }
+    let results = pool::parallel_map(parts, |(i, ids)| -> Result<CellResult, RestoreError> {
+        let mut sect = file.section(&format!("cell.{i}"))?;
+        let payload = sect.get_bytes()?;
+        if !sect.is_exhausted() {
+            return Err(malformed(format!("cell.{i} section has trailing bytes")));
+        }
+        let mut cell = CellSim::new(cfg, ids);
+        let mut r = SnapReader::new(&payload);
+        if migrate == Some(i) {
+            cell.migrate_from(&mut r)?;
+        } else {
+            cell.restore_state(&mut r)?;
+            // snap.roundtrip_identical: the restored cell re-serializes
+            // to the exact bytes it was restored from
+            let mut w = SnapWriter::new();
+            cell.snapshot_state(&mut w);
+            let same = w.into_bytes() == payload;
+            cell.cp
+                .check(invariant::SNAP_ROUNDTRIP_IDENTICAL, same, || {
+                    format!("cell {i} re-serialization differs from its snapshot")
+                });
+        }
+        if !r.is_exhausted() {
+            return Err(malformed(format!("cell.{i} state has trailing bytes")));
+        }
+        cell.run(None);
+        Ok(cell.into_result())
+    });
+    let mut cells = Vec::with_capacity(results.len());
+    for res in results {
+        cells.push(res?);
+    }
+    cp.absorb(&fcp);
+    let mut out = merge_results(cells, cp);
+    out.checks_run += fcp.checks_run();
+    out.violations += fcp.violation_count();
+    Ok(out)
 }
 
 /// Convenience: builds a scalar-hint map for a [`ServeKernel`].
@@ -483,6 +932,106 @@ mod tests {
             on.serving.goodput(),
             off.serving.goodput()
         );
+    }
+
+    #[test]
+    fn checkpoint_resume_is_bit_identical() {
+        let mut cfg = quick_cfg();
+        cfg.cells = 2;
+        let full = run_serve_sim(&cfg);
+        for at_us in [0u64, 120, 250] {
+            let bytes = serve_checkpoint(&cfg, Time::from_us(at_us));
+            let mut cp = CheckPlane::enabled(1);
+            let resumed = serve_resume_with(&cfg, &bytes, &mut cp).expect("resume");
+            assert!(cp.ok(), "{:?}", cp.first());
+            assert_eq!(resumed.serving, full.serving, "at {at_us}us");
+            assert_eq!(resumed.metrics.to_json(), full.metrics.to_json());
+            assert_eq!(resumed.report.to_json(), full.report.to_json());
+            assert_eq!(resumed.makespan, full.makespan);
+        }
+    }
+
+    #[test]
+    fn faulted_checkpoint_resume_is_bit_identical() {
+        let mut cfg = quick_cfg();
+        cfg.faults = CampaignSpec::parse("seed=5,seu=200us,smmu=0.002,scrub=400us").unwrap();
+        let full = run_serve_sim(&cfg);
+        let bytes = serve_checkpoint(&cfg, Time::from_us(200));
+        let mut cp = CheckPlane::enabled(1);
+        let resumed = serve_resume_with(&cfg, &bytes, &mut cp).expect("resume");
+        assert!(cp.ok(), "{:?}", cp.first());
+        assert_eq!(resumed.serving, full.serving);
+        assert_eq!(resumed.metrics.to_json(), full.metrics.to_json());
+        assert_eq!(resumed.report.to_json(), full.report.to_json());
+    }
+
+    #[test]
+    fn resume_refuses_corruption_without_partial_state() {
+        let cfg = quick_cfg();
+        let bytes = serve_checkpoint(&cfg, Time::from_us(200));
+        // bad magic
+        let mut bad = bytes.clone();
+        bad[0] ^= 0xff;
+        assert!(matches!(
+            serve_resume(&cfg, &bad),
+            Err(RestoreError::BadMagic)
+        ));
+        // future version
+        let mut bad = bytes.clone();
+        bad[8] = bad[8].wrapping_add(1);
+        assert!(matches!(
+            serve_resume(&cfg, &bad),
+            Err(RestoreError::FutureVersion { .. })
+        ));
+        // flip one payload bit in every section: checksum verification
+        // must refuse each before anything restores
+        let file = SnapshotFile::parse(&bytes).unwrap();
+        let cuts: Vec<(String, usize)> = file
+            .sections()
+            .map(|s| (s.name.clone(), s.offset as usize))
+            .collect();
+        for (name, offset) in cuts {
+            let mut bad = bytes.clone();
+            bad[offset] ^= 0x01;
+            match serve_resume(&cfg, &bad) {
+                Err(RestoreError::BadChecksum { section, .. }) => assert_eq!(section, name),
+                other => panic!("corrupt `{name}` gave {other:?}"),
+            }
+        }
+        // truncation
+        assert!(matches!(
+            serve_resume(&cfg, &bytes[..bytes.len() / 2]),
+            Err(RestoreError::Truncated { .. }) | Err(RestoreError::Malformed { .. })
+        ));
+        // a different config must be refused by the meta section
+        let mut other = quick_cfg();
+        other.spec.tenants = 3;
+        assert!(matches!(
+            serve_resume(&other, &bytes),
+            Err(RestoreError::Malformed { .. })
+        ));
+    }
+
+    #[test]
+    fn migration_moves_tenants_with_zero_lost_requests() {
+        let mut cfg = quick_cfg();
+        cfg.cells = 2;
+        cfg.faults = CampaignSpec::parse("seed=5,seu=150us,smmu=0.002,scrub=300us").unwrap();
+        let bytes = serve_checkpoint(&cfg, Time::from_us(250));
+        let mut cp = CheckPlane::enabled(1);
+        let out = serve_migrate_with(&cfg, &bytes, 0, &mut cp).expect("migrate");
+        assert!(cp.ok(), "{:?}", cp.first());
+        assert_eq!(out.lost, 0, "migration must not lose accepted work");
+        assert!(
+            out.serving.conserved(),
+            "conservation holds across the move"
+        );
+        assert!(out.serving.completed() > 0);
+        // out-of-range victim is a typed refusal
+        assert!(matches!(
+            serve_migrate(&cfg, &bytes, 99),
+            Err(RestoreError::Malformed { .. })
+        ));
     }
 
     #[test]

@@ -591,6 +591,104 @@ impl EcoscaleSystem {
         loads
     }
 
+    /// Serializes the system's complete mutable state: clock, energy,
+    /// call accounting, every Worker (SMMU + fabric residency + history),
+    /// the interconnect, UNIMEM, the FaultPlane (scrubbers + resilience
+    /// manager, when armed) and the CheckPlane tallies. Build-time
+    /// configuration (topology, library, cost models) and the tracer are
+    /// not serialized — restore onto a system built from the same
+    /// [`SystemBuilder`] inputs, with the same fault campaign armed.
+    pub fn snapshot_state(&self, w: &mut ecoscale_sim::SnapWriter) {
+        use ecoscale_sim::Snapshot as _;
+        self.clock.snapshot(w);
+        self.energy.snapshot(w);
+        self.call_ns.snapshot(w);
+        self.calls_cpu.snapshot(w);
+        self.calls_fpga_local.snapshot(w);
+        self.calls_fpga_remote.snapshot(w);
+        w.put_usize(self.workers.len());
+        for worker in &self.workers {
+            worker.snapshot_state(w);
+        }
+        self.net.snapshot_state(w);
+        self.mem.snapshot_state(w);
+        w.put_bool(self.faults.is_some());
+        if let Some(f) = &self.faults {
+            w.put_usize(f.scrubbers.len());
+            for s in &f.scrubbers {
+                s.snapshot_state(w);
+            }
+            f.mgr.snapshot_state(w);
+        }
+        self.check.snapshot(w);
+    }
+
+    /// Overlays state captured by [`EcoscaleSystem::snapshot_state`].
+    /// On error this system may be partially overwritten and must be
+    /// discarded — nothing observable is ever served from a partially
+    /// applied snapshot.
+    ///
+    /// # Errors
+    ///
+    /// [`ecoscale_sim::RestoreError`] on truncated or malformed data, a
+    /// Worker-count mismatch, or a fault-arming mismatch (the snapshot
+    /// carries an armed campaign but this system has none, or vice
+    /// versa).
+    pub fn restore_state(
+        &mut self,
+        r: &mut ecoscale_sim::SnapReader<'_>,
+    ) -> Result<(), ecoscale_sim::RestoreError> {
+        use ecoscale_sim::snap::malformed;
+        use ecoscale_sim::Restore;
+        self.clock = Time::restore(r)?;
+        self.energy = Energy::restore(r)?;
+        self.call_ns = Histogram::restore(r)?;
+        self.calls_cpu = Counter::restore(r)?;
+        self.calls_fpga_local = Counter::restore(r)?;
+        self.calls_fpga_remote = Counter::restore(r)?;
+        let n = r.get_usize()?;
+        if n != self.workers.len() {
+            return Err(malformed(format!(
+                "snapshot has {n} workers, this system has {}",
+                self.workers.len()
+            )));
+        }
+        for worker in &mut self.workers {
+            worker.restore_state(r)?;
+        }
+        self.net.restore_state(r)?;
+        self.mem.restore_state(r)?;
+        let armed = r.get_bool()?;
+        match (&mut self.faults, armed) {
+            (Some(f), true) => {
+                let k = r.get_usize()?;
+                if k != f.scrubbers.len() {
+                    return Err(malformed(format!(
+                        "snapshot has {k} scrubbers, this system has {}",
+                        f.scrubbers.len()
+                    )));
+                }
+                for s in &mut f.scrubbers {
+                    s.restore_state(r)?;
+                }
+                f.mgr.restore_state(r)?;
+            }
+            (None, false) => {}
+            (Some(_), false) => {
+                return Err(malformed(
+                    "snapshot has no fault campaign but this system armed one".to_owned(),
+                ));
+            }
+            (None, true) => {
+                return Err(malformed(
+                    "snapshot has an armed fault campaign but this system has none".to_owned(),
+                ));
+            }
+        }
+        self.check = ecoscale_sim::check::CheckPlane::restore(r)?;
+        Ok(())
+    }
+
     /// Finds a Worker (other than `except`) holding `function`'s module.
     fn remote_holder(&self, function: &str, except: NodeId) -> Option<NodeId> {
         let id = self.library.get(function)?.module.id();
@@ -1051,6 +1149,90 @@ mod tests {
             s.export_metrics().to_json()
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn snapshot_restore_resumes_identically() {
+        let churn = |s: &mut EcoscaleSystem| {
+            for _ in 0..12 {
+                let mut a = args(1024);
+                s.call(NodeId(1), "scale", &mut a).unwrap();
+                s.fault_tick();
+            }
+            s.daemon_tick();
+        };
+        let mut orig = system();
+        orig.enable_faults(&seu_campaign(), ResilienceConfig::full());
+        orig.load_module(NodeId(1), "scale").unwrap();
+        churn(&mut orig);
+
+        let mut w = ecoscale_sim::SnapWriter::new();
+        orig.snapshot_state(&mut w);
+        let bytes = w.into_bytes();
+
+        let mut fresh = system();
+        fresh.enable_faults(&seu_campaign(), ResilienceConfig::full());
+        let mut r = ecoscale_sim::SnapReader::new(&bytes);
+        fresh.restore_state(&mut r).expect("restore");
+        assert!(r.is_exhausted());
+        let mut w2 = ecoscale_sim::SnapWriter::new();
+        fresh.snapshot_state(&mut w2);
+        assert_eq!(
+            bytes,
+            w2.into_bytes(),
+            "restored system re-serializes differently"
+        );
+        assert_eq!(fresh.now(), orig.now());
+        assert_eq!(
+            fresh.export_metrics().to_json(),
+            orig.export_metrics().to_json()
+        );
+        // continuation equivalence: both runs stay in lockstep
+        churn(&mut orig);
+        churn(&mut fresh);
+        assert_eq!(fresh.now(), orig.now());
+        assert_eq!(
+            fresh.export_metrics().to_json(),
+            orig.export_metrics().to_json()
+        );
+        let mut cp = CheckPlane::enabled(1);
+        fresh.check_invariants(&mut cp);
+        assert!(cp.ok(), "{:?}", cp.first());
+    }
+
+    #[test]
+    fn restore_rejects_shape_and_arming_mismatch() {
+        let mut orig = system();
+        orig.load_module(NodeId(0), "scale").unwrap();
+        let mut w = ecoscale_sim::SnapWriter::new();
+        orig.snapshot_state(&mut w);
+        let bytes = w.into_bytes();
+
+        // a fault-armed system must refuse an unarmed snapshot
+        let mut armed = system();
+        armed.enable_faults(&seu_campaign(), ResilienceConfig::full());
+        let mut r = ecoscale_sim::SnapReader::new(&bytes);
+        assert!(armed.restore_state(&mut r).is_err());
+
+        // a differently shaped system must refuse it too
+        let mut small = SystemBuilder::new()
+            .workers_per_node(2)
+            .compute_nodes(2)
+            .kernel(SCALE, HashMap::from([("n".to_owned(), 4096.0)]))
+            .build()
+            .unwrap();
+        let mut r = ecoscale_sim::SnapReader::new(&bytes);
+        assert!(small.restore_state(&mut r).is_err());
+
+        // sampled truncation sweep: no cut may restore cleanly
+        for cut in (0..bytes.len()).step_by(509).chain([bytes.len() - 1]) {
+            let mut s = system();
+            let mut r = ecoscale_sim::SnapReader::new(&bytes[..cut]);
+            assert!(
+                s.restore_state(&mut r).is_err() || !r.is_exhausted(),
+                "truncated stream at {cut} restored fully"
+            );
+        }
     }
 
     #[test]

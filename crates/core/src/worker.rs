@@ -118,6 +118,32 @@ impl Worker {
     ) -> Result<Duration, ReconfigError> {
         self.daemon.load(library, module)
     }
+
+    /// Serializes this Worker's mutable state: SMMU translation state,
+    /// fabric residency (daemon + floorplan), and execution history. The
+    /// CPU/FPGA cost models are build-time configuration and are not
+    /// serialized — restore onto an identically-built Worker.
+    pub fn snapshot_state(&self, w: &mut ecoscale_sim::SnapWriter) {
+        self.smmu.snapshot_state(w);
+        self.daemon.snapshot_state(w);
+        self.history.snapshot_state(w);
+    }
+
+    /// Overlays state captured by [`Worker::snapshot_state`]. On error
+    /// this Worker may be partially overwritten and must be discarded.
+    ///
+    /// # Errors
+    ///
+    /// [`ecoscale_sim::RestoreError`] if any layer's stream is truncated,
+    /// malformed, or inconsistent with this Worker's build-time shape.
+    pub fn restore_state(
+        &mut self,
+        r: &mut ecoscale_sim::SnapReader<'_>,
+    ) -> Result<(), ecoscale_sim::RestoreError> {
+        self.smmu.restore_state(r)?;
+        self.daemon.restore_state(r)?;
+        self.history.restore_state(r)
+    }
 }
 
 #[cfg(test)]

@@ -250,6 +250,94 @@ impl Floorplanner {
         1.0 - self.free_columns() as f64 / self.fabric.width() as f64
     }
 
+    /// Serializes the floorplan's mutable state: every placement with
+    /// its recorded demand (slot order), and the slot-id counter. The
+    /// fabric itself is structural and not written.
+    pub fn snapshot_state(&self, w: &mut ecoscale_sim::SnapWriter) {
+        w.put_usize(self.placements.len());
+        for (&slot, p) in &self.placements {
+            w.put_u32(slot.0);
+            w.put_u32(p.module.0);
+            w.put_u32(p.col);
+            w.put_u32(p.width);
+            let need = self.demands.get(&slot).copied().unwrap_or(Resources::ZERO);
+            w.put_u32(need.clb);
+            w.put_u32(need.bram);
+            w.put_u32(need.dsp);
+        }
+        w.put_u32(self.next_slot);
+    }
+
+    /// Overlays state captured by [`Floorplanner::snapshot_state`] onto
+    /// this floorplan, which must wrap an identical fabric.
+    ///
+    /// # Errors
+    ///
+    /// [`ecoscale_sim::RestoreError`] on truncated or unsorted data, a
+    /// placement outside the fabric, or a slot id at/above the counter.
+    pub fn restore_state(
+        &mut self,
+        r: &mut ecoscale_sim::SnapReader<'_>,
+    ) -> Result<(), ecoscale_sim::RestoreError> {
+        use ecoscale_sim::snap::malformed;
+        let n = r.get_usize()?;
+        if n > r.remaining() {
+            return Err(malformed(format!(
+                "floorplan claims {n} placements but only {} bytes remain",
+                r.remaining()
+            )));
+        }
+        let mut placements = BTreeMap::new();
+        let mut demands = BTreeMap::new();
+        let mut prev: Option<u32> = None;
+        for i in 0..n {
+            let slot = r.get_u32()?;
+            if prev.is_some_and(|p| p >= slot) {
+                return Err(malformed(format!("placements unsorted at index {i}")));
+            }
+            prev = Some(slot);
+            let module = ModuleId(r.get_u32()?);
+            let col = r.get_u32()?;
+            let width = r.get_u32()?;
+            if width == 0
+                || col
+                    .checked_add(width)
+                    .is_none_or(|e| e > self.fabric.width())
+            {
+                return Err(malformed(format!(
+                    "slot S{slot} at cols {col}+{width} exceeds fabric width {}",
+                    self.fabric.width()
+                )));
+            }
+            let need = Resources::new(r.get_u32()?, r.get_u32()?, r.get_u32()?);
+            let slot = SlotId(slot);
+            placements.insert(
+                slot,
+                Placement {
+                    slot,
+                    module,
+                    col,
+                    width,
+                },
+            );
+            demands.insert(slot, need);
+        }
+        let next_slot = r.get_u32()?;
+        if placements
+            .keys()
+            .next_back()
+            .is_some_and(|s| s.0 >= next_slot)
+        {
+            return Err(malformed(format!(
+                "slot counter {next_slot} not above the highest live slot"
+            )));
+        }
+        self.placements = placements;
+        self.demands = demands;
+        self.next_slot = next_slot;
+        Ok(())
+    }
+
     /// CheckPlane hook: asserts exclusive region ownership. Read-only;
     /// early-outs when `cp` is disabled.
     ///
@@ -489,6 +577,51 @@ mod tests {
         fp.place(ModuleId(0), clb(600)).unwrap();
         assert!(fp.utilization() > 0.0);
         assert!(fp.free_columns() < 40);
+    }
+
+    #[test]
+    fn snapshot_restore_round_trips() {
+        let mut fp = planner();
+        let slots: Vec<_> = (0..5)
+            .map(|i| fp.place(ModuleId(i), Resources::new(200, 4, 4)).unwrap())
+            .collect();
+        fp.remove(slots[1]);
+        fp.remove(slots[3]);
+
+        let mut w = ecoscale_sim::SnapWriter::new();
+        fp.snapshot_state(&mut w);
+        let bytes = w.into_bytes();
+
+        let mut fresh = planner();
+        let mut r = ecoscale_sim::SnapReader::new(&bytes);
+        fresh.restore_state(&mut r).expect("restore");
+        assert!(r.is_exhausted());
+        let mut w2 = ecoscale_sim::SnapWriter::new();
+        fresh.snapshot_state(&mut w2);
+        assert_eq!(bytes, w2.into_bytes());
+
+        let mut cp = CheckPlane::enabled(1);
+        fresh.check_invariants(&mut cp);
+        assert!(cp.ok(), "restored floorplan violates invariants");
+
+        // behaviour matches: same defragmentation plan, same next slot id
+        let a = fp.defragment();
+        let b = fresh.defragment();
+        assert_eq!(a, b);
+        assert_eq!(
+            fp.place(ModuleId(9), clb(120)).unwrap(),
+            fresh.place(ModuleId(9), clb(120)).unwrap()
+        );
+
+        // truncation always fails cleanly
+        for cut in 0..bytes.len() {
+            let mut f = planner();
+            let mut r = ecoscale_sim::SnapReader::new(&bytes[..cut]);
+            assert!(
+                f.restore_state(&mut r).is_err() || !r.is_exhausted(),
+                "truncated stream at {cut} restored fully"
+            );
+        }
     }
 
     #[test]

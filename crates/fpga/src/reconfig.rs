@@ -75,6 +75,28 @@ impl ReconfigStats {
     }
 }
 
+impl ecoscale_sim::Snapshot for ReconfigStats {
+    fn snapshot(&self, w: &mut ecoscale_sim::SnapWriter) {
+        w.put_u64(self.loads);
+        w.put_u64(self.config_bytes);
+        w.put_u64(self.stored_bytes);
+        w.put_duration(self.busy);
+        self.energy.snapshot(w);
+    }
+}
+
+impl ecoscale_sim::Restore for ReconfigStats {
+    fn restore(r: &mut ecoscale_sim::SnapReader<'_>) -> Result<Self, ecoscale_sim::RestoreError> {
+        Ok(ReconfigStats {
+            loads: r.get_u64()?,
+            config_bytes: r.get_u64()?,
+            stored_bytes: r.get_u64()?,
+            busy: r.get_duration()?,
+            energy: Energy::restore(r)?,
+        })
+    }
+}
+
 impl ReconfigPort {
     /// Latency and energy of loading `bs` stored under `algo`.
     ///

@@ -165,6 +165,67 @@ impl SeuScrubber {
         m.add(&format!("{prefix}.scrubs"), self.scrubs.get());
     }
 
+    /// Serializes the scrubber's mutable state: the upset clock and
+    /// victim-pick RNG streams, the scrub cursor, pending upsets, and
+    /// counters. The scrub period is structural (from the campaign) and
+    /// not written.
+    pub fn snapshot_state(&self, w: &mut ecoscale_sim::SnapWriter) {
+        use ecoscale_sim::Snapshot as _;
+        self.clock.snapshot(w);
+        self.pick.snapshot(w);
+        w.put_time(self.last_scrub);
+        w.put_usize(self.upset.len());
+        for (&m, &at) in &self.upset {
+            w.put_u32(m.0);
+            w.put_time(at);
+        }
+        self.upsets.snapshot(w);
+        self.detected.snapshot(w);
+        self.scrubs.snapshot(w);
+        self.masked.snapshot(w);
+    }
+
+    /// Overlays state captured by [`SeuScrubber::snapshot_state`] onto
+    /// this scrubber, which must have been built from the same campaign
+    /// and worker index.
+    ///
+    /// # Errors
+    ///
+    /// [`ecoscale_sim::RestoreError`] on truncated or unsorted data.
+    pub fn restore_state(
+        &mut self,
+        r: &mut ecoscale_sim::SnapReader<'_>,
+    ) -> Result<(), ecoscale_sim::RestoreError> {
+        use ecoscale_sim::snap::malformed;
+        use ecoscale_sim::Restore;
+        self.clock = FaultClock::restore(r)?;
+        self.pick = SimRng::restore(r)?;
+        self.last_scrub = r.get_time()?;
+        let n = r.get_usize()?;
+        if n > r.remaining() {
+            return Err(malformed(format!(
+                "scrubber claims {n} pending upsets but only {} bytes remain",
+                r.remaining()
+            )));
+        }
+        self.upset.clear();
+        let mut prev: Option<u32> = None;
+        for i in 0..n {
+            let m = r.get_u32()?;
+            let at = r.get_time()?;
+            if prev.is_some_and(|p| p >= m) {
+                return Err(malformed(format!("upset set unsorted at index {i}")));
+            }
+            prev = Some(m);
+            self.upset.insert(ModuleId(m), at);
+        }
+        self.upsets = Counter::restore(r)?;
+        self.detected = Counter::restore(r)?;
+        self.scrubs = Counter::restore(r)?;
+        self.masked = Counter::restore(r)?;
+        Ok(())
+    }
+
     /// CheckPlane hook: scrubber bookkeeping consistency — every pending or
     /// masked upset traces back to an injected one. Read-only; early-outs
     /// when `cp` is disabled (or the scrubber itself is off).
@@ -265,6 +326,58 @@ mod tests {
         // (counts may coincide, full sequences must not)
         assert!(a.upsets() > 0 && b.upsets() > 0);
         assert!(sa != sb || a.upsets() != b.upsets());
+    }
+
+    #[test]
+    fn snapshot_restore_resumes_identically() {
+        let spec = seu_spec();
+        let resident = [ModuleId(1), ModuleId(2), ModuleId(3)];
+        let mut orig = SeuScrubber::from_campaign(&spec, 3);
+        orig.advance(Time::from_ms(1), &resident);
+        if orig.scrub_due(Time::from_ms(1)) {
+            for (m, _) in orig.scrub(Time::from_ms(1)) {
+                orig.repaired(m);
+            }
+        }
+        orig.advance(Time::from_ms(2), &resident);
+
+        let mut w = ecoscale_sim::SnapWriter::new();
+        orig.snapshot_state(&mut w);
+        let bytes = w.into_bytes();
+
+        let mut fresh = SeuScrubber::from_campaign(&spec, 3);
+        let mut r = ecoscale_sim::SnapReader::new(&bytes);
+        fresh.restore_state(&mut r).expect("restore");
+        assert!(r.is_exhausted());
+        let mut w2 = ecoscale_sim::SnapWriter::new();
+        fresh.snapshot_state(&mut w2);
+        assert_eq!(bytes, w2.into_bytes());
+
+        // both continuations draw the same upsets
+        for ms in 3..=10 {
+            let a = orig.advance(Time::from_ms(ms), &resident);
+            let b = fresh.advance(Time::from_ms(ms), &resident);
+            assert_eq!(a, b, "diverged at {ms} ms");
+        }
+        assert_eq!(
+            (orig.upsets(), orig.detected(), orig.scrubs(), orig.masked()),
+            (
+                fresh.upsets(),
+                fresh.detected(),
+                fresh.scrubs(),
+                fresh.masked()
+            )
+        );
+
+        // truncation always fails cleanly
+        for cut in 0..bytes.len() {
+            let mut s = SeuScrubber::from_campaign(&spec, 3);
+            let mut r = ecoscale_sim::SnapReader::new(&bytes[..cut]);
+            assert!(
+                s.restore_state(&mut r).is_err() || !r.is_exhausted(),
+                "truncated stream at {cut} restored fully"
+            );
+        }
     }
 
     #[test]

@@ -248,6 +248,53 @@ impl Cache {
             self.hits.get() as f64 / total as f64
         }
     }
+
+    /// Serializes the cache's mutable state: every line row-major
+    /// (set-major, way-minor — a fixed walk, so the bytes are canonical),
+    /// the LRU clock and the counters. The [`CacheConfig`] is structural
+    /// and not written.
+    pub fn snapshot_state(&self, w: &mut ecoscale_sim::SnapWriter) {
+        use ecoscale_sim::Snapshot as _;
+        w.put_u64(self.clock);
+        for set in &self.sets {
+            for line in set {
+                w.put_u64(line.tag);
+                w.put_bool(line.valid);
+                w.put_bool(line.dirty);
+                w.put_u64(line.lru);
+            }
+        }
+        self.hits.snapshot(w);
+        self.misses.snapshot(w);
+        self.writebacks.snapshot(w);
+    }
+
+    /// Overlays state captured by [`Cache::snapshot_state`] onto this
+    /// cache, which must have been built with the same [`CacheConfig`]
+    /// (the line walk is geometry-shaped).
+    ///
+    /// # Errors
+    ///
+    /// [`ecoscale_sim::RestoreError`] on truncation or corrupt booleans.
+    pub fn restore_state(
+        &mut self,
+        r: &mut ecoscale_sim::SnapReader<'_>,
+    ) -> Result<(), ecoscale_sim::RestoreError> {
+        use ecoscale_sim::Restore;
+        self.clock = r.get_u64()?;
+        for set in &mut self.sets {
+            for line in set {
+                line.tag = r.get_u64()?;
+                line.valid = r.get_bool()?;
+                line.dirty = r.get_bool()?;
+                line.lru = r.get_u64()?;
+            }
+        }
+        self.hits = Counter::restore(r)?;
+        self.misses = Counter::restore(r)?;
+        self.writebacks = Counter::restore(r)?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -261,6 +261,68 @@ impl PageTable {
     pub fn mapped_pages(&self) -> usize {
         self.entries.len()
     }
+
+    /// Serializes the table with entries sorted by input page, so the
+    /// bytes are independent of hash-map iteration order.
+    pub fn snapshot_state(&self, w: &mut ecoscale_sim::SnapWriter) {
+        w.put_u32(self.levels);
+        let mut pages: Vec<u64> = self.entries.keys().copied().collect();
+        pages.sort_unstable();
+        w.put_usize(pages.len());
+        for p in pages {
+            let e = &self.entries[&p];
+            w.put_u64(p);
+            w.put_u64(e.out_page);
+            w.put_u8(e.perms.bits());
+        }
+    }
+
+    /// Rebuilds a table serialized by [`PageTable::snapshot_state`].
+    ///
+    /// # Errors
+    ///
+    /// [`ecoscale_sim::RestoreError`] on truncation, invalid permission
+    /// bits, duplicate or unsorted pages.
+    pub fn restore_state(
+        r: &mut ecoscale_sim::SnapReader<'_>,
+    ) -> Result<PageTable, ecoscale_sim::RestoreError> {
+        use ecoscale_sim::snap::malformed;
+        let levels = r.get_u32()?;
+        if levels == 0 {
+            return Err(malformed("page table with zero levels"));
+        }
+        let n = r.get_usize()?;
+        if n > r.remaining() {
+            return Err(malformed(format!(
+                "page table claims {n} entries but only {} bytes remain",
+                r.remaining()
+            )));
+        }
+        let mut pt = PageTable::new(levels);
+        let mut prev: Option<u64> = None;
+        for i in 0..n {
+            let page = r.get_u64()?;
+            if prev.is_some_and(|p| p >= page) {
+                return Err(malformed(format!(
+                    "page table entries unsorted or duplicated at index {i}"
+                )));
+            }
+            prev = Some(page);
+            let out_page = r.get_u64()?;
+            let bits = r.get_u8()?;
+            if bits > 7 {
+                return Err(malformed(format!("invalid permission bits {bits:#x}")));
+            }
+            pt.entries.insert(
+                page,
+                Entry {
+                    out_page,
+                    perms: PagePerms(bits),
+                },
+            );
+        }
+        Ok(pt)
+    }
 }
 
 #[cfg(test)]

@@ -479,6 +479,182 @@ impl<T: Topology> Network<T> {
         }
     }
 
+    /// Serializes the network's mutable state: link occupancy and busy
+    /// time (sorted by link id), traffic statistics, memoized route
+    /// *keys* (routes are recomputed on restore so the memo can never go
+    /// stale across a snapshot), instruments, and the fault model's RNG
+    /// streams and degradation windows. The tracer and its track cache
+    /// are host-facing and not serialized.
+    pub fn snapshot_state(&self, w: &mut ecoscale_sim::SnapWriter) {
+        use ecoscale_sim::Snapshot as _;
+        let mut free: Vec<(LinkId, Time)> =
+            self.link_free_at.iter().map(|(k, v)| (*k, *v)).collect();
+        free.sort_unstable_by_key(|&(l, _)| l);
+        w.put_usize(free.len());
+        for (l, t) in free {
+            w.put_u64(l.0);
+            w.put_time(t);
+        }
+        self.stats.snapshot_state(w);
+        let mut memo: Vec<(NodeId, NodeId)> = self.route_memo.keys().copied().collect();
+        memo.sort_unstable();
+        w.put_usize(memo.len());
+        for (s, d) in memo {
+            w.put_usize(s.0);
+            w.put_usize(d.0);
+        }
+        w.put_u64(self.route_memo_hits);
+        w.put_u64(self.route_memo_misses);
+        self.hop_hist.snapshot(w);
+        self.queue_ns.snapshot(w);
+        let mut busy: Vec<(LinkId, Duration)> =
+            self.link_busy.iter().map(|(k, v)| (*k, *v)).collect();
+        busy.sort_unstable_by_key(|&(l, _)| l);
+        w.put_usize(busy.len());
+        for (l, d) in busy {
+            w.put_u64(l.0);
+            w.put_duration(d);
+        }
+        w.put_bool(self.faults.is_some());
+        if let Some(f) = &self.faults {
+            f.degrade_clock.snapshot(w);
+            f.pick.snapshot(w);
+            f.corrupt.snapshot(w);
+            w.put_duration(f.degrade_for);
+            w.put_f64(f.slowdown);
+            let mut degraded: Vec<(LinkId, Time)> =
+                f.degraded.iter().map(|(k, v)| (*k, *v)).collect();
+            degraded.sort_unstable_by_key(|&(l, _)| l);
+            w.put_usize(degraded.len());
+            for (l, t) in degraded {
+                w.put_u64(l.0);
+                w.put_time(t);
+            }
+            f.degrade_events.snapshot(w);
+            f.degraded_hops.snapshot(w);
+            f.corrupted.snapshot(w);
+        }
+    }
+
+    /// Overlays state captured by [`Network::snapshot_state`] onto this
+    /// network, which must wrap the same topology and configuration.
+    /// Memoized routes are recomputed from the live topology.
+    ///
+    /// # Errors
+    ///
+    /// [`ecoscale_sim::RestoreError`] on truncated, unsorted, or
+    /// out-of-range data; `self` may be partially overwritten on error
+    /// and should be discarded.
+    pub fn restore_state(
+        &mut self,
+        r: &mut ecoscale_sim::SnapReader<'_>,
+    ) -> Result<(), ecoscale_sim::RestoreError> {
+        use ecoscale_sim::snap::malformed;
+        use ecoscale_sim::Restore;
+        let n = r.get_usize()?;
+        if n > r.remaining() {
+            return Err(malformed(format!(
+                "network claims {n} occupied links but only {} bytes remain",
+                r.remaining()
+            )));
+        }
+        self.link_free_at.clear();
+        let mut prev: Option<u64> = None;
+        for i in 0..n {
+            let l = r.get_u64()?;
+            let t = r.get_time()?;
+            if prev.is_some_and(|p| p >= l) {
+                return Err(malformed(format!("link-free map unsorted at index {i}")));
+            }
+            prev = Some(l);
+            self.link_free_at.insert(LinkId(l), t);
+        }
+        self.stats = TrafficStats::restore_state(r)?;
+        let n = r.get_usize()?;
+        if n > r.remaining() {
+            return Err(malformed(format!(
+                "network claims {n} memoized routes but only {} bytes remain",
+                r.remaining()
+            )));
+        }
+        self.route_memo.clear();
+        let mut prev: Option<(usize, usize)> = None;
+        for i in 0..n {
+            let s = r.get_usize()?;
+            let d = r.get_usize()?;
+            if prev.is_some_and(|p| p >= (s, d)) {
+                return Err(malformed(format!("route memo unsorted at index {i}")));
+            }
+            prev = Some((s, d));
+            let (s, d) = (NodeId(s), NodeId(d));
+            self.route_memo.insert((s, d), self.topo.route(s, d));
+        }
+        self.route_memo_hits = r.get_u64()?;
+        self.route_memo_misses = r.get_u64()?;
+        self.hop_hist = Histogram::restore(r)?;
+        self.queue_ns = OnlineStats::restore(r)?;
+        let n = r.get_usize()?;
+        if n > r.remaining() {
+            return Err(malformed(format!(
+                "network claims {n} busy links but only {} bytes remain",
+                r.remaining()
+            )));
+        }
+        self.link_busy.clear();
+        let mut prev: Option<u64> = None;
+        for i in 0..n {
+            let l = r.get_u64()?;
+            let d = r.get_duration()?;
+            if prev.is_some_and(|p| p >= l) {
+                return Err(malformed(format!("link-busy map unsorted at index {i}")));
+            }
+            prev = Some(l);
+            self.link_busy.insert(LinkId(l), d);
+        }
+        self.faults = if r.get_bool()? {
+            let degrade_clock = FaultClock::restore(r)?;
+            let pick = SimRng::restore(r)?;
+            let corrupt = ProbFault::restore(r)?;
+            let degrade_for = r.get_duration()?;
+            let slowdown = r.get_f64()?;
+            if !slowdown.is_finite() || slowdown < 1.0 {
+                return Err(malformed(format!("fault slowdown {slowdown} out of range")));
+            }
+            let n = r.get_usize()?;
+            if n > r.remaining() {
+                return Err(malformed(format!(
+                    "network claims {n} degraded links but only {} bytes remain",
+                    r.remaining()
+                )));
+            }
+            let mut degraded = HashMap::new();
+            let mut prev: Option<u64> = None;
+            for i in 0..n {
+                let l = r.get_u64()?;
+                let t = r.get_time()?;
+                if prev.is_some_and(|p| p >= l) {
+                    return Err(malformed(format!("degraded set unsorted at index {i}")));
+                }
+                prev = Some(l);
+                degraded.insert(LinkId(l), t);
+            }
+            Some(LinkFaultModel {
+                degrade_clock,
+                pick,
+                corrupt,
+                degrade_for,
+                slowdown,
+                degraded,
+                degrade_events: Counter::restore(r)?,
+                degraded_hops: Counter::restore(r)?,
+                corrupted: Counter::restore(r)?,
+            })
+        } else {
+            None
+        };
+        Ok(())
+    }
+
     /// Clears link occupancy, statistics, instruments and memoized
     /// routes. The tracer (if any) is kept but its per-link track cache
     /// is rebuilt lazily.
@@ -700,6 +876,84 @@ mod tests {
             (log, n.fault_stats())
         };
         assert_eq!(run(), run());
+    }
+
+    /// Drives a faulted network through enough traffic that every
+    /// snapshotted field (occupancy, memo, degradation windows, RNG
+    /// streams) is non-trivial.
+    fn churned() -> Network<TreeTopology> {
+        let mut n = net(false);
+        n.set_faults(&fault_spec());
+        for i in 0..60u64 {
+            n.transfer(
+                Time::from_us(i * 40),
+                NodeId((i % 5) as usize),
+                NodeId(15 - (i % 3) as usize),
+                1 << 12,
+            );
+        }
+        n
+    }
+
+    #[test]
+    fn snapshot_restore_resumes_identically() {
+        let orig = churned();
+        let mut w = ecoscale_sim::SnapWriter::new();
+        orig.snapshot_state(&mut w);
+        let bytes = w.into_bytes();
+
+        let mut fresh = net(false);
+        let mut r = ecoscale_sim::SnapReader::new(&bytes);
+        fresh.restore_state(&mut r).expect("restore");
+        assert!(r.is_exhausted());
+
+        // re-serialization is byte-identical
+        let mut w2 = ecoscale_sim::SnapWriter::new();
+        fresh.snapshot_state(&mut w2);
+        assert_eq!(bytes, w2.into_bytes());
+
+        // both continuations produce identical deliveries and fault draws
+        let mut cont = churned();
+        for i in 60..120u64 {
+            let t = Time::from_us(i * 40);
+            let a = cont.transfer(t, NodeId(2), NodeId(14), 1 << 12);
+            let b = fresh.transfer(t, NodeId(2), NodeId(14), 1 << 12);
+            assert_eq!(a, b, "diverged at transfer {i}");
+        }
+        assert_eq!(cont.fault_stats(), fresh.fault_stats());
+        let mut ma = ecoscale_sim::MetricsRegistry::new();
+        let mut mb = ecoscale_sim::MetricsRegistry::new();
+        cont.export_metrics(&mut ma, "noc");
+        fresh.export_metrics(&mut mb, "noc");
+        assert_eq!(ma.to_json(), mb.to_json());
+    }
+
+    #[test]
+    fn restored_route_memo_is_fresh_and_truncation_fails() {
+        let orig = churned();
+        let mut w = ecoscale_sim::SnapWriter::new();
+        orig.snapshot_state(&mut w);
+        let bytes = w.into_bytes();
+
+        let mut fresh = net(false);
+        let mut r = ecoscale_sim::SnapReader::new(&bytes);
+        fresh.restore_state(&mut r).expect("restore");
+        let mut cp = CheckPlane::enabled(1);
+        fresh.check_invariants(&mut cp);
+        assert!(
+            cp.ok(),
+            "restored network violates invariants: {:?}",
+            cp.violations()
+        );
+
+        for cut in (0..bytes.len()).step_by(7).chain([bytes.len() - 1]) {
+            let mut n = net(false);
+            let mut r = ecoscale_sim::SnapReader::new(&bytes[..cut]);
+            assert!(
+                n.restore_state(&mut r).is_err() || !r.is_exhausted(),
+                "truncated stream at {cut} restored fully"
+            );
+        }
     }
 
     #[test]

@@ -108,6 +108,40 @@ impl TrafficStats {
         self.energy
     }
 
+    /// Serializes the accumulator for the snapshot subsystem.
+    pub fn snapshot_state(&self, w: &mut ecoscale_sim::SnapWriter) {
+        use ecoscale_sim::Snapshot as _;
+        w.put_u64(self.messages);
+        w.put_u64(self.local_messages);
+        w.put_u64(self.payload_bytes);
+        w.put_u64(self.byte_hops);
+        self.bytes_per_level.snapshot(w);
+        self.hops.snapshot(w);
+        self.energy.snapshot(w);
+    }
+
+    /// Reconstructs an accumulator captured by
+    /// [`TrafficStats::snapshot_state`].
+    ///
+    /// # Errors
+    ///
+    /// [`ecoscale_sim::RestoreError`] when the stream is truncated or
+    /// malformed.
+    pub fn restore_state(
+        r: &mut ecoscale_sim::SnapReader<'_>,
+    ) -> Result<TrafficStats, ecoscale_sim::RestoreError> {
+        use ecoscale_sim::Restore;
+        Ok(TrafficStats {
+            messages: r.get_u64()?,
+            local_messages: r.get_u64()?,
+            payload_bytes: r.get_u64()?,
+            byte_hops: r.get_u64()?,
+            bytes_per_level: <Vec<u64>>::restore(r)?,
+            hops: Histogram::restore(r)?,
+            energy: Energy::restore(r)?,
+        })
+    }
+
     /// Merges another accumulator into this one.
     pub fn merge(&mut self, other: &TrafficStats) {
         self.messages += other.messages;

@@ -163,6 +163,71 @@ impl ReconfigDaemon {
         );
     }
 
+    /// Serializes the daemon's mutable state: the floorplan, residency
+    /// map, reconfiguration stats, and evaluation cursor. The config and
+    /// port parameters are structural and not written.
+    pub fn snapshot_state(&self, w: &mut ecoscale_sim::SnapWriter) {
+        use ecoscale_sim::Snapshot as _;
+        self.floorplan.snapshot_state(w);
+        w.put_usize(self.loaded.len());
+        for (&m, &s) in &self.loaded {
+            w.put_u32(m.0);
+            w.put_u32(s.0);
+        }
+        self.stats.snapshot(w);
+        w.put_time(self.last_eval);
+    }
+
+    /// Overlays state captured by [`ReconfigDaemon::snapshot_state`]
+    /// onto this daemon, which must wrap an identical fabric.
+    ///
+    /// # Errors
+    ///
+    /// [`ecoscale_sim::RestoreError`] on truncated or unsorted data, or
+    /// a residency entry whose slot the floorplan does not host.
+    pub fn restore_state(
+        &mut self,
+        r: &mut ecoscale_sim::SnapReader<'_>,
+    ) -> Result<(), ecoscale_sim::RestoreError> {
+        use ecoscale_sim::snap::malformed;
+        use ecoscale_sim::Restore;
+        self.floorplan.restore_state(r)?;
+        let n = r.get_usize()?;
+        if n > r.remaining() {
+            return Err(malformed(format!(
+                "daemon claims {n} resident modules but only {} bytes remain",
+                r.remaining()
+            )));
+        }
+        self.loaded.clear();
+        let mut prev: Option<u32> = None;
+        for i in 0..n {
+            let m = r.get_u32()?;
+            let s = r.get_u32()?;
+            if prev.is_some_and(|p| p >= m) {
+                return Err(malformed(format!("residency map unsorted at index {i}")));
+            }
+            prev = Some(m);
+            let (m, s) = (ModuleId(m), SlotId(s));
+            if self.floorplan.placement(s).is_none_or(|p| p.module != m) {
+                return Err(malformed(format!(
+                    "resident module {m} claims slot {s} but the floorplan disagrees"
+                )));
+            }
+            self.loaded.insert(m, s);
+        }
+        if self.loaded.len() != self.floorplan.placements().count() {
+            return Err(malformed(format!(
+                "{} floorplan placements for {} resident modules",
+                self.floorplan.placements().count(),
+                self.loaded.len()
+            )));
+        }
+        self.stats = ReconfigStats::restore(r)?;
+        self.last_eval = r.get_time()?;
+        Ok(())
+    }
+
     /// Explicitly loads `module` from `library`, defragmenting on
     /// fragmentation failure. Returns the reconfiguration latency
     /// (`Duration::ZERO` when already resident).
@@ -576,5 +641,45 @@ mod tests {
         );
         let err = ReconfigError::UnknownFunction("ghost".to_owned());
         assert!(err.to_string().contains("ghost"));
+    }
+
+    #[test]
+    fn snapshot_restore_round_trips() {
+        let lib = library();
+        let mut d = daemon();
+        let hot = lib.get("hot").unwrap().module.id();
+        let cold = lib.get("cold").unwrap().module.id();
+        d.load(&lib, hot).unwrap();
+        d.load(&lib, cold).unwrap();
+        d.unload(cold);
+        let mut w = ecoscale_sim::SnapWriter::new();
+        d.snapshot_state(&mut w);
+        let bytes = w.into_bytes();
+
+        let mut fresh = daemon();
+        let mut r = ecoscale_sim::SnapReader::new(&bytes);
+        fresh.restore_state(&mut r).expect("restore");
+        assert!(r.is_exhausted());
+        let mut w2 = ecoscale_sim::SnapWriter::new();
+        fresh.snapshot_state(&mut w2);
+        assert_eq!(
+            bytes,
+            w2.into_bytes(),
+            "restored daemon re-serializes differently"
+        );
+        assert!(fresh.is_loaded(hot));
+        assert!(!fresh.is_loaded(cold));
+        assert_eq!(fresh.stats().loads, d.stats().loads);
+        // residency survived: re-load of the hot module is free
+        assert_eq!(fresh.load(&lib, hot), Ok(Duration::ZERO));
+
+        for cut in 0..bytes.len() {
+            let mut p = daemon();
+            let mut r = ecoscale_sim::SnapReader::new(&bytes[..cut]);
+            assert!(
+                p.restore_state(&mut r).is_err() || !r.is_exhausted(),
+                "truncated stream at {cut} restored fully"
+            );
+        }
     }
 }

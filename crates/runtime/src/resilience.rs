@@ -344,6 +344,93 @@ impl ResilienceManager {
         (self.mtbf_ns.count() > 0).then(|| Duration::from_ns_f64(self.mtbf_ns.mean()))
     }
 
+    /// Serializes the manager's mutable state: strikes and quarantines
+    /// per domain (ordered), the failure cursor, counters, and the
+    /// recovery/MTBF instruments. The config is structural and not
+    /// written.
+    pub fn snapshot_state(&self, w: &mut ecoscale_sim::SnapWriter) {
+        use ecoscale_sim::Snapshot as _;
+        w.put_usize(self.strikes.len());
+        for (&d, &s) in &self.strikes {
+            put_domain(w, d);
+            w.put_u32(s);
+        }
+        w.put_usize(self.quarantined.len());
+        for &d in &self.quarantined {
+            put_domain(w, d);
+        }
+        w.put_opt_time(self.last_failure);
+        self.failures.snapshot(w);
+        self.retries.snapshot(w);
+        self.fallbacks.snapshot(w);
+        self.repairs.snapshot(w);
+        self.quarantines.snapshot(w);
+        self.lost.snapshot(w);
+        self.recovery_ns.snapshot(w);
+        self.mtbf_ns.snapshot(w);
+    }
+
+    /// Overlays state captured by
+    /// [`ResilienceManager::snapshot_state`] onto this manager, which
+    /// must carry the same config.
+    ///
+    /// # Errors
+    ///
+    /// [`ecoscale_sim::RestoreError`] on truncated or unsorted data or
+    /// an unknown domain tag.
+    pub fn restore_state(
+        &mut self,
+        r: &mut ecoscale_sim::SnapReader<'_>,
+    ) -> Result<(), ecoscale_sim::RestoreError> {
+        use ecoscale_sim::snap::malformed;
+        use ecoscale_sim::Restore;
+        let n = r.get_usize()?;
+        if n > r.remaining() {
+            return Err(malformed(format!(
+                "manager claims {n} striked domains but only {} bytes remain",
+                r.remaining()
+            )));
+        }
+        self.strikes.clear();
+        let mut prev: Option<Domain> = None;
+        for i in 0..n {
+            let d = get_domain(r)?;
+            if prev.is_some_and(|p| p >= d) {
+                return Err(malformed(format!("strike map unsorted at index {i}")));
+            }
+            prev = Some(d);
+            let s = r.get_u32()?;
+            self.strikes.insert(d, s);
+        }
+        let n = r.get_usize()?;
+        if n > r.remaining() {
+            return Err(malformed(format!(
+                "manager claims {n} quarantined domains but only {} bytes remain",
+                r.remaining()
+            )));
+        }
+        self.quarantined.clear();
+        let mut prev: Option<Domain> = None;
+        for i in 0..n {
+            let d = get_domain(r)?;
+            if prev.is_some_and(|p| p >= d) {
+                return Err(malformed(format!("quarantine set unsorted at index {i}")));
+            }
+            prev = Some(d);
+            self.quarantined.insert(d);
+        }
+        self.last_failure = r.get_opt_time()?;
+        self.failures = Counter::restore(r)?;
+        self.retries = Counter::restore(r)?;
+        self.fallbacks = Counter::restore(r)?;
+        self.repairs = Counter::restore(r)?;
+        self.quarantines = Counter::restore(r)?;
+        self.lost = Counter::restore(r)?;
+        self.recovery_ns = Histogram::restore(r)?;
+        self.mtbf_ns = OnlineStats::restore(r)?;
+        Ok(())
+    }
+
     /// Folds the fault/recovery instruments into `m` under `prefix`:
     /// failure/retry/fallback/repair/quarantine/lost counters, the
     /// observed MTBF stats, and the recovery-latency histogram.
@@ -356,6 +443,35 @@ impl ResilienceManager {
         m.add(&format!("{prefix}.lost"), self.lost.get());
         m.merge_stats(&format!("{prefix}.mtbf_ns"), &self.mtbf_ns);
         m.merge_hist(&format!("{prefix}.recovery_ns"), &self.recovery_ns);
+    }
+}
+
+/// Stable tagged encoding of a [`Domain`] for snapshots.
+fn put_domain(w: &mut ecoscale_sim::SnapWriter, d: Domain) {
+    match d {
+        Domain::Worker(i) => {
+            w.put_u8(0);
+            w.put_usize(i);
+        }
+        Domain::Module(m) => {
+            w.put_u8(1);
+            w.put_u32(m);
+        }
+        Domain::Link(l) => {
+            w.put_u8(2);
+            w.put_u64(l);
+        }
+    }
+}
+
+fn get_domain(r: &mut ecoscale_sim::SnapReader<'_>) -> Result<Domain, ecoscale_sim::RestoreError> {
+    match r.get_u8()? {
+        0 => Ok(Domain::Worker(r.get_usize()?)),
+        1 => Ok(Domain::Module(r.get_u32()?)),
+        2 => Ok(Domain::Link(r.get_u64()?)),
+        other => Err(ecoscale_sim::snap::malformed(format!(
+            "unknown domain tag {other}"
+        ))),
     }
 }
 
@@ -475,5 +591,54 @@ mod tests {
         assert_eq!(m.counter("resilience.repairs"), Some(1));
         assert_eq!(m.counter("resilience.lost"), Some(1));
         assert!(m.get("resilience.recovery_ns").is_some());
+    }
+
+    #[test]
+    fn snapshot_restore_round_trips() {
+        let cfg = ResilienceConfig {
+            quarantine_after: 2,
+            ..ResilienceConfig::full()
+        };
+        let mut mgr = ResilienceManager::new(cfg);
+        mgr.record_failure(Domain::Worker(1), Time::from_us(10));
+        mgr.record_failure(Domain::Worker(1), Time::from_us(20));
+        mgr.record_failure(Domain::Module(7), Time::from_us(30));
+        mgr.record_failure(Domain::Link(9), Time::from_us(40));
+        mgr.note_retry();
+        mgr.note_fallback();
+        mgr.note_repair(Duration::from_us(12));
+        mgr.note_lost();
+        let mut w = ecoscale_sim::SnapWriter::new();
+        mgr.snapshot_state(&mut w);
+        let bytes = w.into_bytes();
+
+        let mut fresh = ResilienceManager::new(cfg);
+        let mut r = ecoscale_sim::SnapReader::new(&bytes);
+        fresh.restore_state(&mut r).expect("restore");
+        assert!(r.is_exhausted());
+        let mut w2 = ecoscale_sim::SnapWriter::new();
+        fresh.snapshot_state(&mut w2);
+        assert_eq!(
+            bytes,
+            w2.into_bytes(),
+            "restored manager re-serializes differently"
+        );
+        assert!(fresh.is_quarantined(Domain::Worker(1)));
+        assert_eq!(fresh.failures(), mgr.failures());
+        assert_eq!(fresh.mtbf(), mgr.mtbf());
+        // continuation equivalence: the next strike trips quarantine in both
+        assert_eq!(
+            fresh.record_failure(Domain::Module(7), Time::from_us(50)),
+            mgr.record_failure(Domain::Module(7), Time::from_us(50)),
+        );
+
+        for cut in 0..bytes.len() {
+            let mut p = ResilienceManager::new(cfg);
+            let mut r = ecoscale_sim::SnapReader::new(&bytes[..cut]);
+            assert!(
+                p.restore_state(&mut r).is_err() || !r.is_exhausted(),
+                "truncated stream at {cut} restored fully"
+            );
+        }
     }
 }

@@ -847,6 +847,157 @@ impl ServePlane {
         m.merge_hist("serve.latency_ns", &latency);
     }
 
+    /// Serializes the plane's mutable state: dispatcher scalars, then
+    /// every tenant's arrival/mix RNG streams, queue contents, token
+    /// bucket, and ledgers, in hosted order. The spec and tenant ids are
+    /// structural — the restore target must be built with
+    /// [`ServePlane::for_tenants`] over the same spec and ids (the
+    /// system snapshot embeds the spec string for exactly that).
+    pub fn snapshot_state(&self, w: &mut ecoscale_sim::SnapWriter) {
+        use ecoscale_sim::Snapshot as _;
+        w.put_u32(self.mix_len);
+        w.put_usize(self.cursor);
+        w.put_u64(self.next_id);
+        w.put_u64(self.in_flight);
+        w.put_bool(self.pressure);
+        w.put_u64(self.batches);
+        w.put_u64(self.batched_requests);
+        self.batch_size.snapshot(w);
+        w.put_usize(self.tenants.len());
+        for t in &self.tenants {
+            w.put_u32(t.id);
+            t.gen.rng.snapshot(w);
+            w.put_opt_time(t.gen.next);
+            t.mix_rng.snapshot(w);
+            w.put_usize(t.queue.len());
+            for r in &t.queue {
+                w.put_u64(r.id);
+                w.put_u32(r.kernel);
+                w.put_time(r.arrival);
+                w.put_time(r.deadline);
+            }
+            w.put_f64(t.bucket.level);
+            w.put_time(t.bucket.last);
+            w.put_u64(t.submitted);
+            w.put_u64(t.admitted);
+            w.put_u64(t.shed_queue);
+            w.put_u64(t.shed_throttle);
+            w.put_u64(t.completed);
+            w.put_u64(t.failed);
+            w.put_u64(t.deadline_miss);
+            w.put_u64(t.goodput);
+            t.latency_ns.snapshot(w);
+        }
+    }
+
+    /// Overlays state captured by [`ServePlane::snapshot_state`] onto
+    /// this plane, which must have been built over the same spec, mix
+    /// length, and tenant ids.
+    ///
+    /// # Errors
+    ///
+    /// [`ecoscale_sim::RestoreError`] on any shape mismatch (mix length,
+    /// tenant count or ids), truncation, an out-of-range kernel index,
+    /// or a queued request violating FIFO arrival order.
+    pub fn restore_state(
+        &mut self,
+        r: &mut ecoscale_sim::SnapReader<'_>,
+    ) -> Result<(), ecoscale_sim::RestoreError> {
+        use ecoscale_sim::snap::malformed;
+        use ecoscale_sim::Restore;
+        let mix_len = r.get_u32()?;
+        if mix_len != self.mix_len {
+            return Err(malformed(format!(
+                "snapshot serves a {mix_len}-kernel mix, this plane {}",
+                self.mix_len
+            )));
+        }
+        let cursor = r.get_usize()?;
+        if cursor >= self.tenants.len() {
+            return Err(malformed(format!(
+                "dispatch cursor {cursor} out of range for {} tenants",
+                self.tenants.len()
+            )));
+        }
+        self.cursor = cursor;
+        self.next_id = r.get_u64()?;
+        self.in_flight = r.get_u64()?;
+        self.pressure = r.get_bool()?;
+        self.batches = r.get_u64()?;
+        self.batched_requests = r.get_u64()?;
+        self.batch_size = Histogram::restore(r)?;
+        let n = r.get_usize()?;
+        if n != self.tenants.len() {
+            return Err(malformed(format!(
+                "snapshot hosts {n} tenants, this plane {}",
+                self.tenants.len()
+            )));
+        }
+        for t in &mut self.tenants {
+            let id = r.get_u32()?;
+            if id != t.id {
+                return Err(malformed(format!(
+                    "snapshot tenant {id} does not match hosted tenant {}",
+                    t.id
+                )));
+            }
+            t.gen.rng = SimRng::restore(r)?;
+            t.gen.next = r.get_opt_time()?;
+            t.mix_rng = SimRng::restore(r)?;
+            let m = r.get_usize()?;
+            if m > r.remaining() {
+                return Err(malformed(format!(
+                    "tenant {id} claims {m} queued requests but only {} bytes remain",
+                    r.remaining()
+                )));
+            }
+            t.queue.clear();
+            let mut prev: Option<(Time, u64)> = None;
+            for _ in 0..m {
+                let rid = r.get_u64()?;
+                if rid >= self.next_id {
+                    return Err(malformed(format!(
+                        "queued request {rid} at/above the id counter {}",
+                        self.next_id
+                    )));
+                }
+                let kernel = r.get_u32()?;
+                if kernel >= self.mix_len {
+                    return Err(malformed(format!(
+                        "queued request {rid} draws kernel {kernel} of a {}-kernel mix",
+                        self.mix_len
+                    )));
+                }
+                let arrival = r.get_time()?;
+                if prev.is_some_and(|p| p > (arrival, rid)) {
+                    return Err(malformed(format!(
+                        "tenant {id} queue breaks FIFO order at request {rid}"
+                    )));
+                }
+                prev = Some((arrival, rid));
+                t.queue.push_back(Request {
+                    id: rid,
+                    tenant: id,
+                    kernel,
+                    arrival,
+                    deadline: r.get_time()?,
+                });
+            }
+            t.bucket.level = r.get_f64()?;
+            t.bucket.last = r.get_time()?;
+            t.submitted = r.get_u64()?;
+            t.admitted = r.get_u64()?;
+            t.shed_queue = r.get_u64()?;
+            t.shed_throttle = r.get_u64()?;
+            t.completed = r.get_u64()?;
+            t.failed = r.get_u64()?;
+            t.deadline_miss = r.get_u64()?;
+            t.goodput = r.get_u64()?;
+            t.latency_ns = Histogram::restore(r)?;
+        }
+        Ok(())
+    }
+
     /// Snapshots the SLO ledger as a [`ServingReport`].
     pub fn report(&self) -> ServingReport {
         let mut latency = Histogram::new();
@@ -1401,6 +1552,89 @@ mod tests {
         let mut whole = whole;
         whole.pop_arrivals(Time::MAX);
         assert_eq!(whole.report().submitted(), merged.submitted());
+    }
+
+    #[test]
+    fn snapshot_restore_resumes_identically() {
+        let spec = ServeSpec::parse(
+            "seed=31,tenants=3,rate=200000,horizon=1ms,batch=4,tokens=32,refill=150000",
+        )
+        .unwrap();
+        // run the plane mid-way: arrivals to 400us, one batch in flight
+        let mid = Time::from_us(400);
+        let build = || {
+            let mut p = ServePlane::new(&spec, 2);
+            p.pop_arrivals(mid);
+            p.set_pressure(true);
+            let b = p.take_batch(mid).expect("queued");
+            p.complete_batch(&b, mid + Duration::from_us(20));
+            let b = p.take_batch(mid).expect("queued");
+            (p, b)
+        };
+        let (orig, pending) = build();
+
+        let mut w = ecoscale_sim::SnapWriter::new();
+        orig.snapshot_state(&mut w);
+        let bytes = w.into_bytes();
+
+        let mut fresh = ServePlane::new(&spec, 2);
+        let mut r = ecoscale_sim::SnapReader::new(&bytes);
+        fresh.restore_state(&mut r).expect("restore");
+        assert!(r.is_exhausted());
+        let mut w2 = ecoscale_sim::SnapWriter::new();
+        fresh.snapshot_state(&mut w2);
+        assert_eq!(
+            bytes,
+            w2.into_bytes(),
+            "restored plane re-serializes differently"
+        );
+        assert_eq!(fresh.in_flight(), orig.in_flight());
+        assert!(fresh.pressure());
+
+        // drive both continuations identically (the in-flight batch is
+        // the driver's to re-report; completions cross the snapshot)
+        let (mut cont, pending2) = (orig, pending);
+        cont.complete_batch(&pending2, mid + Duration::from_us(40));
+        fresh.complete_batch(&pending2, mid + Duration::from_us(40));
+        for p in [&mut cont, &mut fresh] {
+            p.pop_arrivals(Time::MAX);
+            while let Some(b) = p.take_batch(Time::MAX) {
+                p.complete_batch(&b, Time::MAX);
+            }
+        }
+        assert!(cont.drained() && fresh.drained());
+        assert_eq!(cont.report(), fresh.report());
+        let mut cp = CheckPlane::enabled(1);
+        fresh.check_invariants(&mut cp);
+        assert!(cp.ok(), "{:?}", cp.first());
+    }
+
+    #[test]
+    fn restore_rejects_shape_mismatch_and_truncation() {
+        let spec = ServeSpec::parse("seed=31,tenants=3,rate=200000,horizon=1ms").unwrap();
+        let mut orig = ServePlane::new(&spec, 2);
+        orig.pop_arrivals(Time::from_us(500));
+        let mut w = ecoscale_sim::SnapWriter::new();
+        orig.snapshot_state(&mut w);
+        let bytes = w.into_bytes();
+
+        // wrong mix length
+        let mut r = ecoscale_sim::SnapReader::new(&bytes);
+        assert!(ServePlane::new(&spec, 3).restore_state(&mut r).is_err());
+        // wrong tenant set
+        let mut r = ecoscale_sim::SnapReader::new(&bytes);
+        assert!(ServePlane::for_tenants(&spec, 2, &[0, 1, 5])
+            .restore_state(&mut r)
+            .is_err());
+
+        for cut in 0..bytes.len() {
+            let mut p = ServePlane::new(&spec, 2);
+            let mut r = ecoscale_sim::SnapReader::new(&bytes[..cut]);
+            assert!(
+                p.restore_state(&mut r).is_err() || !r.is_exhausted(),
+                "truncated stream at {cut} restored fully"
+            );
+        }
     }
 
     #[test]

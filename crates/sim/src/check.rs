@@ -95,6 +95,18 @@ pub mod invariant {
     /// No ServePlane tenant queue ever exceeds its configured bound, so
     /// backpressure is explicit load-shedding rather than unbounded buffering.
     pub const SERVE_QUEUE_BOUNDED: &str = "serve.queue_bounded";
+    /// A snapshot round-trip (serialize → parse → restore) reproduces the
+    /// exact pre-snapshot state: re-serializing the restored state yields
+    /// byte-identical snapshot bytes.
+    pub const SNAP_ROUNDTRIP_IDENTICAL: &str = "snap.roundtrip_identical";
+    /// Snapshots with a bad magic, future version, corrupted section or
+    /// truncated body are refused with a typed error and never partially
+    /// applied.
+    pub const SNAP_VERSION_REFUSED: &str = "snap.version_refused";
+    /// Resuming a checkpoint taken at any safe window boundary runs the
+    /// rest of the simulation bit-identically: the resumed exports match
+    /// the uninterrupted run byte for byte.
+    pub const SNAP_RESUME_EQUIVALENT: &str = "snap.resume_equivalent";
     /// Test-only hook used by `fuzz_configs --inject-violation` to prove the
     /// catch → shrink → repro pipeline works end to end.
     pub const SABOTAGE: &str = "check.sabotage";
@@ -164,6 +176,18 @@ pub mod invariant {
         (
             SERVE_QUEUE_BOUNDED,
             "tenant queues never exceed the configured cap",
+        ),
+        (
+            SNAP_ROUNDTRIP_IDENTICAL,
+            "restore(snapshot(s)) re-serializes byte-identical",
+        ),
+        (
+            SNAP_VERSION_REFUSED,
+            "bad magic/version/checksum refused, never partial",
+        ),
+        (
+            SNAP_RESUME_EQUIVALENT,
+            "resumed exports match the uninterrupted run",
         ),
         (SABOTAGE, "test-only deliberate violation hook"),
     ];
@@ -367,6 +391,84 @@ impl Default for CheckPlane {
     }
 }
 
+/// Resolves a serialized invariant name back to its `&'static str` from
+/// [`invariant::CATALOG`] so restored [`CheckPlane`] state keeps the
+/// zero-allocation keys the live plane uses.
+fn catalog_name(name: &str) -> Result<&'static str, crate::snap::RestoreError> {
+    invariant::CATALOG
+        .iter()
+        .map(|(n, _)| *n)
+        .find(|n| *n == name)
+        .ok_or_else(|| crate::snap::malformed(format!("unknown invariant `{name}`")))
+}
+
+impl crate::snap::Snapshot for CheckPlane {
+    fn snapshot(&self, w: &mut crate::snap::SnapWriter) {
+        w.put_bool(self.enabled);
+        w.put_bool(self.strict);
+        w.put_u64(self.every);
+        w.put_u64(self.calls);
+        w.put_u64(self.checks_run);
+        w.put_u64(self.violation_count);
+        w.put_usize(self.violations.len());
+        for v in &self.violations {
+            w.put_str(v.invariant);
+            w.put_str(&v.detail);
+        }
+        w.put_usize(self.watermarks.len());
+        for (name, value) in &self.watermarks {
+            w.put_str(name);
+            w.put_f64(*value);
+        }
+    }
+}
+
+impl crate::snap::Restore for CheckPlane {
+    fn restore(
+        r: &mut crate::snap::SnapReader<'_>,
+    ) -> Result<CheckPlane, crate::snap::RestoreError> {
+        let enabled = r.get_bool()?;
+        let strict = r.get_bool()?;
+        let every = r.get_u64()?;
+        let calls = r.get_u64()?;
+        let checks_run = r.get_u64()?;
+        let violation_count = r.get_u64()?;
+        let nv = r.get_usize()?;
+        if nv > MAX_RETAINED {
+            return Err(crate::snap::malformed(format!(
+                "{nv} retained violations exceeds cap {MAX_RETAINED}"
+            )));
+        }
+        let mut violations = Vec::with_capacity(nv);
+        for _ in 0..nv {
+            let invariant = catalog_name(&r.get_str()?)?;
+            let detail = r.get_str()?.to_owned();
+            violations.push(Violation { invariant, detail });
+        }
+        let nw = r.get_usize()?;
+        let mut watermarks = BTreeMap::new();
+        for _ in 0..nw {
+            let name = catalog_name(&r.get_str()?)?;
+            let value = r.get_f64()?;
+            if watermarks.insert(name, value).is_some() {
+                return Err(crate::snap::malformed(format!(
+                    "duplicate watermark `{name}`"
+                )));
+            }
+        }
+        Ok(CheckPlane {
+            enabled,
+            strict,
+            every,
+            calls,
+            checks_run,
+            violation_count,
+            violations,
+            watermarks,
+        })
+    }
+}
+
 /// Delta-debugging reducer for failing operation streams.
 ///
 /// Given `ops` for which `still_fails(ops)` is `true`, repeatedly removes
@@ -510,6 +612,48 @@ mod tests {
         let mut cp = CheckPlane::enabled(1).strict();
         cp.check(invariant::SABOTAGE, true, || unreachable!());
         cp.check(invariant::SABOTAGE, false, || "boom".to_string());
+    }
+
+    #[test]
+    fn snapshot_round_trips_and_rejects_unknown_invariants() {
+        use crate::snap::{Restore as _, SnapReader, SnapWriter, Snapshot as _};
+        let mut cp = CheckPlane::enabled(3);
+        cp.due();
+        cp.due();
+        cp.check(invariant::SMMU_TLB_BOUNDED, true, || unreachable!());
+        cp.check(invariant::SABOTAGE, false, || "planted".to_string());
+        cp.check_monotone(invariant::SYSTEM_TIME_MONOTONE, 7.5);
+        let mut w = SnapWriter::new();
+        cp.snapshot(&mut w);
+        let bytes = w.into_bytes();
+        let back = CheckPlane::restore(&mut SnapReader::new(&bytes)).expect("restore");
+        assert_eq!(back.is_enabled(), cp.is_enabled());
+        assert_eq!(back.calls, cp.calls);
+        assert_eq!(back.checks_run(), cp.checks_run());
+        assert_eq!(back.violation_count(), cp.violation_count());
+        assert_eq!(back.violations(), cp.violations());
+        assert_eq!(back.watermarks, cp.watermarks);
+        // Restored keys must be the catalog's &'static strs, so a further
+        // check_monotone continues the same watermark.
+        let mut back = back;
+        back.check_monotone(invariant::SYSTEM_TIME_MONOTONE, 7.0);
+        assert_eq!(back.violation_count(), cp.violation_count() + 1);
+
+        // An invariant name outside the catalog is malformed, not invented.
+        let mut w = SnapWriter::new();
+        w.put_bool(true);
+        w.put_bool(false);
+        w.put_u64(1);
+        w.put_u64(0);
+        w.put_u64(0);
+        w.put_u64(1);
+        w.put_usize(1);
+        w.put_str("made.up_invariant");
+        w.put_str("detail");
+        w.put_usize(0);
+        let bytes = w.into_bytes();
+        let err = CheckPlane::restore(&mut SnapReader::new(&bytes)).unwrap_err();
+        assert!(err.to_string().contains("made.up_invariant"), "{err}");
     }
 
     #[test]

@@ -24,6 +24,7 @@
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
 
+use crate::snap::{malformed, RestoreError, SnapReader, SnapWriter};
 use crate::time::{Duration, Time};
 
 #[derive(Debug)]
@@ -257,6 +258,92 @@ impl<E> EventQueue<E> {
     }
 }
 
+impl<E: crate::snap::Snapshot> crate::snap::Snapshot for EventQueue<E> {
+    /// Serializes the queue in canonical order: heap entries sorted by
+    /// `(time, seq)` with their exact sequence numbers, then the
+    /// same-instant ring in FIFO order. Arena slot numbers and freelist
+    /// shape are layout, not state — they are not written, so snapshot →
+    /// restore → snapshot is byte-identical regardless of churn history.
+    fn snapshot(&self, w: &mut SnapWriter) {
+        w.put_time(self.now);
+        w.put_u64(self.next_seq);
+        w.put_u64(self.scheduled_total);
+        let mut entries: Vec<(Time, u64, u32)> = self
+            .heap
+            .iter()
+            .map(|Reverse(e)| (e.time, e.seq, e.slot))
+            .collect();
+        entries.sort_unstable_by_key(|&(t, seq, _)| (t, seq));
+        w.put_usize(entries.len());
+        for (t, seq, slot) in entries {
+            w.put_time(t);
+            w.put_u64(seq);
+            self.arena[slot as usize]
+                .as_ref()
+                .expect("heap entry has a live arena slot")
+                .snapshot(w);
+        }
+        w.put_usize(self.now_ring.len());
+        for ev in &self.now_ring {
+            ev.snapshot(w);
+        }
+    }
+}
+
+impl<E: crate::snap::Restore> crate::snap::Restore for EventQueue<E> {
+    fn restore(r: &mut SnapReader<'_>) -> Result<Self, RestoreError> {
+        let mut q = EventQueue::new();
+        q.now = r.get_time()?;
+        q.next_seq = r.get_u64()?;
+        q.scheduled_total = r.get_u64()?;
+        let n = r.get_usize()?;
+        if n > r.remaining() {
+            return Err(malformed(format!(
+                "event queue claims {n} heap entries but only {} bytes remain",
+                r.remaining()
+            )));
+        }
+        let mut prev: Option<(Time, u64)> = None;
+        for i in 0..n {
+            let time = r.get_time()?;
+            let seq = r.get_u64()?;
+            if time < q.now {
+                return Err(malformed(format!(
+                    "heap entry {i} at {time} is before the queue clock {}",
+                    q.now
+                )));
+            }
+            if seq >= q.next_seq {
+                return Err(malformed(format!(
+                    "heap entry {i} carries seq {seq} >= next_seq {}",
+                    q.next_seq
+                )));
+            }
+            if prev.is_some_and(|p| p >= (time, seq)) {
+                return Err(malformed(format!(
+                    "heap entries out of canonical (time, seq) order at index {i}"
+                )));
+            }
+            prev = Some((time, seq));
+            let event = E::restore(r)?;
+            let slot = i as u32;
+            q.arena.push(Some(event));
+            q.heap.push(Reverse(Entry { time, seq, slot }));
+        }
+        let ring = r.get_usize()?;
+        if ring > r.remaining() {
+            return Err(malformed(format!(
+                "event queue claims {ring} ring entries but only {} bytes remain",
+                r.remaining()
+            )));
+        }
+        for _ in 0..ring {
+            q.now_ring.push_back(E::restore(r)?);
+        }
+        Ok(q)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -418,5 +505,76 @@ mod tests {
         q.clear();
         assert!(q.is_empty());
         assert_eq!(q.scheduled_total(), 2);
+    }
+
+    use crate::snap::{Restore, RestoreError, SnapReader, SnapWriter, Snapshot};
+
+    fn snap_bytes(q: &EventQueue<u64>) -> Vec<u8> {
+        let mut w = SnapWriter::new();
+        q.snapshot(&mut w);
+        w.into_bytes()
+    }
+
+    fn unsnap(bytes: &[u8]) -> Result<EventQueue<u64>, RestoreError> {
+        let mut r = SnapReader::new(bytes);
+        EventQueue::restore(&mut r)
+    }
+
+    /// A mid-run queue with churned arena slots, pending heap entries and
+    /// a non-empty same-instant ring.
+    fn churned() -> EventQueue<u64> {
+        let mut q = EventQueue::new();
+        for i in 0..32u64 {
+            q.schedule(Time::from_ns(i * 3 + 1), i);
+        }
+        for _ in 0..10 {
+            q.pop();
+        }
+        q.schedule(Time::from_ns(200), 100);
+        q.schedule_now(200);
+        q.schedule_now(201);
+        q
+    }
+
+    #[test]
+    fn snapshot_restore_round_trips_and_reserializes_identically() {
+        let mut q = churned();
+        let bytes = snap_bytes(&q);
+        let mut restored = unsnap(&bytes).expect("restore");
+        assert_eq!(snap_bytes(&restored), bytes, "re-snapshot not identical");
+        assert_eq!(restored.now(), q.now());
+        assert_eq!(restored.len(), q.len());
+        assert_eq!(restored.scheduled_total(), q.scheduled_total());
+        // The two queues must drain identically, including after fresh
+        // scheduling on both sides.
+        restored.schedule_in(Duration::from_ns(7), 999);
+        q.schedule_in(Duration::from_ns(7), 999);
+        let a: Vec<_> = std::iter::from_fn(|| q.pop()).collect();
+        let b: Vec<_> = std::iter::from_fn(|| restored.pop()).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn restore_rejects_malformed_streams() {
+        let q = churned();
+        let bytes = snap_bytes(&q);
+        // truncation anywhere must fail, never panic
+        for cut in 0..bytes.len() {
+            assert!(unsnap(&bytes[..cut]).is_err(), "cut at {cut} accepted");
+        }
+        // an entry timestamped before the clock is refused
+        let mut w = SnapWriter::new();
+        w.put_time(Time::from_ns(100)); // now
+        w.put_u64(5); // next_seq
+        w.put_u64(5); // scheduled_total
+        w.put_usize(1);
+        w.put_time(Time::from_ns(99)); // before now
+        w.put_u64(0);
+        w.put_u64(7);
+        w.put_usize(0);
+        assert!(matches!(
+            unsnap(&w.into_bytes()),
+            Err(RestoreError::Malformed { .. })
+        ));
     }
 }

@@ -439,6 +439,44 @@ impl FaultClock {
     }
 }
 
+impl crate::snap::Snapshot for FaultClock {
+    fn snapshot(&self, w: &mut crate::snap::SnapWriter) {
+        self.rng.snapshot(w);
+        w.put_duration(self.mtbf);
+        w.put_opt_time(self.next);
+    }
+}
+
+impl crate::snap::Restore for FaultClock {
+    fn restore(r: &mut crate::snap::SnapReader<'_>) -> Result<Self, crate::snap::RestoreError> {
+        Ok(FaultClock {
+            rng: crate::snap::Restore::restore(r)?,
+            mtbf: r.get_duration()?,
+            next: r.get_opt_time()?,
+        })
+    }
+}
+
+impl crate::snap::Snapshot for ProbFault {
+    fn snapshot(&self, w: &mut crate::snap::SnapWriter) {
+        self.rng.snapshot(w);
+        w.put_f64(self.p);
+    }
+}
+
+impl crate::snap::Restore for ProbFault {
+    fn restore(r: &mut crate::snap::SnapReader<'_>) -> Result<Self, crate::snap::RestoreError> {
+        let rng = crate::snap::Restore::restore(r)?;
+        let p = r.get_f64()?;
+        if !(0.0..=1.0).contains(&p) {
+            return Err(crate::snap::malformed(format!(
+                "fault probability {p} out of [0, 1]"
+            )));
+        }
+        Ok(ProbFault { rng, p })
+    }
+}
+
 /// A per-operation Bernoulli fault injector.
 ///
 /// With probability zero it draws nothing, so a disabled injector leaves

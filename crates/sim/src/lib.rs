@@ -17,6 +17,9 @@
 //!   `ECOSCALE_SHARDS` setting,
 //! * [`SimRng`] — a seeded random source with the distributions the
 //!   workload generators need (uniform, exponential, normal, Zipf, Pareto),
+//! * [`snap`] — SnapPlane: a versioned, deterministic snapshot/restore
+//!   codec ([`SnapshotBuilder`], [`Snapshot`]/[`Restore`]) with
+//!   length-prefixed, checksummed sections and no external crates,
 //! * [`fault`] — seeded fault-campaign primitives ([`CampaignSpec`],
 //!   [`FaultClock`], [`ProbFault`]) that every layer's injection hooks
 //!   build on,
@@ -68,6 +71,7 @@ pub mod prof;
 pub mod report;
 pub mod rng;
 pub mod shard;
+pub mod snap;
 pub mod stats;
 pub mod time;
 pub mod trace;
@@ -82,6 +86,9 @@ pub use metrics::{Instrument, MetricsRegistry};
 pub use prof::{Layer, ProfileReport, Profiler, ShardOccupancy};
 pub use rng::SimRng;
 pub use shard::{ClusterCtx, ClusterModel, ShardedEngine};
+pub use snap::{
+    Restore, RestoreError, SnapReader, SnapWriter, Snapshot, SnapshotBuilder, SnapshotFile,
+};
 pub use stats::{Counter, Histogram, OnlineStats};
 pub use time::{Duration, Time};
 pub use trace::{TraceBuffer, TraceEvent, Tracer, TrackId};

@@ -230,6 +230,34 @@ impl SimRng {
             chunk.copy_from_slice(&bytes[..chunk.len()]);
         }
     }
+
+    /// The raw xoshiro256** state words, for checkpointing.
+    pub fn state_words(&self) -> [u64; 4] {
+        self.state
+    }
+
+    /// Rebuilds an RNG mid-stream from checkpointed state words.
+    pub fn from_state_words(state: [u64; 4]) -> SimRng {
+        SimRng { state }
+    }
+}
+
+impl crate::snap::Snapshot for SimRng {
+    fn snapshot(&self, w: &mut crate::snap::SnapWriter) {
+        for word in self.state {
+            w.put_u64(word);
+        }
+    }
+}
+
+impl crate::snap::Restore for SimRng {
+    fn restore(r: &mut crate::snap::SnapReader<'_>) -> Result<Self, crate::snap::RestoreError> {
+        let mut state = [0u64; 4];
+        for word in &mut state {
+            *word = r.get_u64()?;
+        }
+        Ok(SimRng { state })
+    }
 }
 
 #[cfg(test)]

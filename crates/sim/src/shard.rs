@@ -82,6 +82,7 @@ use crate::check::{invariant, CheckPlane};
 use crate::engine::StopReason;
 use crate::pool::RoundBarrier;
 use crate::prof::{Phase, Profiler, ShardOccupancy};
+use crate::snap::{malformed, Restore, RestoreError, SnapReader, SnapWriter, Snapshot};
 use crate::time::{Duration, Time};
 use crate::wheel::TimingWheel;
 
@@ -531,6 +532,93 @@ impl<M: ClusterModel> ShardedEngine<M> {
                 )
             },
         );
+    }
+
+    /// Serializes the engine's deterministic state: every cluster's
+    /// model, wheel, send sequence, clock and event count, plus the
+    /// engine counters and window cursor. Observability attachments
+    /// (occupancy accumulator, wall-clock profilers) are host- or
+    /// layout-facing and are not serialized.
+    ///
+    /// Every stop of [`ShardedEngine::run_until`] is post-drain, so the
+    /// mailboxes and outboxes are empty at every legal snapshot point —
+    /// mailbox state never needs to travel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any cluster has staged outbox messages, i.e. if called
+    /// from inside an event handler rather than between runs.
+    pub fn snapshot_state(&self, w: &mut SnapWriter)
+    where
+        M: Snapshot,
+        M::Event: Snapshot,
+    {
+        w.put_usize(self.clusters.len());
+        w.put_duration(self.lookahead);
+        w.put_u64(self.events_processed);
+        w.put_u64(self.rounds);
+        w.put_u64(self.messages_sent);
+        w.put_u64(self.messages_delivered);
+        w.put_time(self.last_window_end);
+        w.put_bool(self.windows_monotone);
+        for c in &self.clusters {
+            assert!(
+                c.outbox.is_empty(),
+                "snapshot requires a post-drain stop (staged outbox messages exist)"
+            );
+            c.model.snapshot(w);
+            c.wheel.snapshot(w);
+            w.put_u64(c.seq);
+            w.put_time(c.clock);
+            w.put_u64(c.events);
+        }
+    }
+
+    /// Overlays state captured by [`ShardedEngine::snapshot_state`] onto
+    /// this engine. The engine must have been rebuilt with the same
+    /// cluster count and lookahead (both are verified against the
+    /// stream); shard/thread packing is an execution choice and may
+    /// differ freely.
+    ///
+    /// # Errors
+    ///
+    /// [`RestoreError::Malformed`] on any shape mismatch; nothing is
+    /// partially applied in that case only if the caller discards the
+    /// engine — use a freshly built engine for restores.
+    pub fn restore_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), RestoreError>
+    where
+        M: Restore,
+        M::Event: Restore,
+    {
+        let n = r.get_usize()?;
+        if n != self.clusters.len() {
+            return Err(malformed(format!(
+                "snapshot has {n} clusters, engine has {}",
+                self.clusters.len()
+            )));
+        }
+        let lookahead = r.get_duration()?;
+        if lookahead != self.lookahead {
+            return Err(malformed(format!(
+                "snapshot lookahead {lookahead} != engine lookahead {}",
+                self.lookahead
+            )));
+        }
+        self.events_processed = r.get_u64()?;
+        self.rounds = r.get_u64()?;
+        self.messages_sent = r.get_u64()?;
+        self.messages_delivered = r.get_u64()?;
+        self.last_window_end = r.get_time()?;
+        self.windows_monotone = r.get_bool()?;
+        for c in self.clusters.iter_mut() {
+            c.model = M::restore(r)?;
+            c.wheel = TimingWheel::restore(r)?;
+            c.seq = r.get_u64()?;
+            c.clock = r.get_time()?;
+            c.events = r.get_u64()?;
+            c.outbox.clear();
+        }
+        Ok(())
     }
 
     /// Runs until every wheel and mailbox drains. Returns the final
@@ -1213,5 +1301,102 @@ mod tests {
         if std::env::var(SHARDS_ENV).is_err() {
             assert_eq!(shard_count(), 1);
         }
+    }
+
+    impl Snapshot for Gossip {
+        fn snapshot(&self, w: &mut SnapWriter) {
+            self.rng.snapshot(w);
+            w.put_usize(self.log.len());
+            for &(t, tag) in &self.log {
+                w.put_u64(t);
+                w.put_u32(tag);
+            }
+            w.put_u64(self.digest);
+        }
+    }
+
+    impl Restore for Gossip {
+        fn restore(r: &mut SnapReader<'_>) -> Result<Self, RestoreError> {
+            let rng = SimRng::restore(r)?;
+            let n = r.get_usize()?;
+            let mut log = Vec::with_capacity(n.min(r.remaining()));
+            for _ in 0..n {
+                log.push((r.get_u64()?, r.get_u32()?));
+            }
+            let digest = r.get_u64()?;
+            Ok(Gossip { rng, log, digest })
+        }
+    }
+
+    /// Run-to-T, snapshot, restore into a fresh engine (possibly at a
+    /// different shard count), run both to the end: fingerprints must
+    /// match each other and the uninterrupted run.
+    #[test]
+    fn snapshot_restore_resumes_identically_across_shard_counts() {
+        let mut whole = gossip_engine(7, 42, 1);
+        whole.run();
+        let want = fingerprint(&whole);
+
+        for (snap_shards, resume_shards) in [(1, 1), (1, 4), (4, 1), (3, 2)] {
+            let mut a = gossip_engine(7, 42, snap_shards);
+            a.run_until(Time::from_us(1), u64::MAX);
+            let mut w = SnapWriter::new();
+            a.snapshot_state(&mut w);
+            let bytes = w.into_bytes();
+
+            // Fresh engine, models in their *constructed* state: every
+            // bit of progress must come from the snapshot overlay.
+            let models = (0..7).map(|c| Gossip::new(c, 42)).collect();
+            let mut b =
+                ShardedEngine::new(models, Duration::from_ns(90)).with_shards(resume_shards);
+            b.restore_state(&mut SnapReader::new(&bytes))
+                .expect("restore");
+            // Re-snapshot before running further: byte-identical.
+            let mut w2 = SnapWriter::new();
+            b.snapshot_state(&mut w2);
+            assert_eq!(
+                w2.into_bytes(),
+                bytes,
+                "re-snapshot diverged ({snap_shards}->{resume_shards})"
+            );
+
+            a.run();
+            b.run();
+            assert_eq!(
+                fingerprint(&a),
+                want,
+                "uninterrupted continuation diverged (shards={snap_shards})"
+            );
+            assert_eq!(
+                fingerprint(&b),
+                want,
+                "restored continuation diverged ({snap_shards}->{resume_shards})"
+            );
+        }
+    }
+
+    #[test]
+    fn restore_rejects_shape_mismatches() {
+        let mut a = gossip_engine(4, 7, 1);
+        a.run_until(Time::from_us(1), u64::MAX);
+        let mut w = SnapWriter::new();
+        a.snapshot_state(&mut w);
+        let bytes = w.into_bytes();
+
+        // wrong cluster count
+        let models = (0..5).map(|c| Gossip::new(c, 7)).collect();
+        let mut b = ShardedEngine::new(models, Duration::from_ns(90));
+        assert!(matches!(
+            b.restore_state(&mut SnapReader::new(&bytes)),
+            Err(RestoreError::Malformed { .. })
+        ));
+
+        // wrong lookahead
+        let models = (0..4).map(|c| Gossip::new(c, 7)).collect();
+        let mut c = ShardedEngine::new(models, Duration::from_ns(80));
+        assert!(matches!(
+            c.restore_state(&mut SnapReader::new(&bytes)),
+            Err(RestoreError::Malformed { .. })
+        ));
     }
 }

@@ -54,6 +54,18 @@ impl fmt::Display for Counter {
     }
 }
 
+impl crate::snap::Snapshot for Counter {
+    fn snapshot(&self, w: &mut crate::snap::SnapWriter) {
+        w.put_u64(self.0);
+    }
+}
+
+impl crate::snap::Restore for Counter {
+    fn restore(r: &mut crate::snap::SnapReader<'_>) -> Result<Self, crate::snap::RestoreError> {
+        Ok(Counter(r.get_u64()?))
+    }
+}
+
 /// Streaming mean/variance/min/max via Welford's algorithm.
 ///
 /// # Example
@@ -176,6 +188,31 @@ impl OnlineStats {
     }
 }
 
+// The empty-accumulator sentinels (`min = +inf`, `max = -inf`) must
+// survive a round trip exactly, so the raw fields travel as bits rather
+// than going through the zero-returning accessors.
+impl crate::snap::Snapshot for OnlineStats {
+    fn snapshot(&self, w: &mut crate::snap::SnapWriter) {
+        w.put_u64(self.count);
+        w.put_f64(self.mean);
+        w.put_f64(self.m2);
+        w.put_f64(self.min);
+        w.put_f64(self.max);
+    }
+}
+
+impl crate::snap::Restore for OnlineStats {
+    fn restore(r: &mut crate::snap::SnapReader<'_>) -> Result<Self, crate::snap::RestoreError> {
+        Ok(OnlineStats {
+            count: r.get_u64()?,
+            mean: r.get_f64()?,
+            m2: r.get_f64()?,
+            min: r.get_f64()?,
+            max: r.get_f64()?,
+        })
+    }
+}
+
 /// A base-2 log-binned histogram for long-tailed quantities (latencies,
 /// message sizes). Bin `i` holds values in `[2^i, 2^(i+1))`; bin 0 also
 /// holds zero.
@@ -293,6 +330,30 @@ impl Histogram {
         self.count += other.count;
         self.sum += other.sum;
         self.max = self.max.max(other.max);
+    }
+}
+
+impl crate::snap::Snapshot for Histogram {
+    fn snapshot(&self, w: &mut crate::snap::SnapWriter) {
+        w.put_usize(self.bins.len());
+        for &b in &self.bins {
+            w.put_u64(b);
+        }
+        w.put_u64(self.count);
+        w.put_u128(self.sum);
+        w.put_u64(self.max);
+    }
+}
+
+impl crate::snap::Restore for Histogram {
+    fn restore(r: &mut crate::snap::SnapReader<'_>) -> Result<Self, crate::snap::RestoreError> {
+        let bins = <Vec<u64> as crate::snap::Restore>::restore(r)?;
+        Ok(Histogram {
+            bins,
+            count: r.get_u64()?,
+            sum: r.get_u128()?,
+            max: r.get_u64()?,
+        })
     }
 }
 

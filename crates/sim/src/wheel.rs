@@ -31,6 +31,7 @@
 //!
 //! [`EventQueue`]: crate::event::EventQueue
 
+use crate::snap::{malformed, RestoreError, SnapReader, SnapWriter};
 use crate::time::{Duration, Time};
 
 /// Bits per wheel level (64 slots each).
@@ -332,6 +333,107 @@ impl<E> TimingWheel<E> {
     }
 }
 
+impl<E: crate::snap::Snapshot> crate::snap::Snapshot for TimingWheel<E> {
+    /// Serializes the wheel in canonical order: clock, the live
+    /// same-instant `ready` batch exactly as stored (key-descending),
+    /// then every other pending node sorted by `(time, key)`. Arena
+    /// indices, freelist shape and slot-list order are layout, not state,
+    /// so snapshot → restore → snapshot is byte-identical regardless of
+    /// the churn history that produced the wheel.
+    fn snapshot(&self, w: &mut SnapWriter) {
+        w.put_u64(self.cur);
+        w.put_u64(self.scheduled_total);
+        w.put_usize(self.ready.len());
+        let mut in_ready = vec![false; self.nodes.len()];
+        for &(key, idx) in &self.ready {
+            in_ready[idx as usize] = true;
+            w.put_u64(key);
+            self.nodes[idx as usize]
+                .event
+                .as_ref()
+                .expect("ready node holds an event")
+                .snapshot(w);
+        }
+        let mut rest: Vec<u32> = (0..self.nodes.len() as u32)
+            .filter(|&i| self.nodes[i as usize].event.is_some() && !in_ready[i as usize])
+            .collect();
+        rest.sort_unstable_by_key(|&i| {
+            let n = &self.nodes[i as usize];
+            (n.time, n.key)
+        });
+        w.put_usize(rest.len());
+        for i in rest {
+            let time = self.nodes[i as usize].time;
+            let key = self.nodes[i as usize].key;
+            w.put_u64(time);
+            w.put_u64(key);
+            self.nodes[i as usize]
+                .event
+                .as_ref()
+                .expect("live node holds an event")
+                .snapshot(w);
+        }
+    }
+}
+
+impl<E: crate::snap::Restore> crate::snap::Restore for TimingWheel<E> {
+    fn restore(r: &mut SnapReader<'_>) -> Result<Self, RestoreError> {
+        let mut w = TimingWheel::new();
+        w.cur = r.get_u64()?;
+        w.scheduled_total = r.get_u64()?;
+        let nready = r.get_usize()?;
+        if nready > r.remaining() {
+            return Err(malformed(format!(
+                "wheel claims {nready} ready entries but only {} bytes remain",
+                r.remaining()
+            )));
+        }
+        let mut prev_key: Option<u64> = None;
+        for i in 0..nready {
+            let key = r.get_u64()?;
+            if prev_key.is_some_and(|p| p <= key) {
+                return Err(malformed(format!(
+                    "ready batch not key-descending at index {i}"
+                )));
+            }
+            prev_key = Some(key);
+            let event = E::restore(r)?;
+            let idx = w.alloc(w.cur, key, event);
+            w.ready.push((key, idx));
+            w.len += 1;
+        }
+        let n = r.get_usize()?;
+        if n > r.remaining() {
+            return Err(malformed(format!(
+                "wheel claims {n} pending nodes but only {} bytes remain",
+                r.remaining()
+            )));
+        }
+        let mut prev: Option<(u64, u64)> = None;
+        for i in 0..n {
+            let time = r.get_u64()?;
+            let key = r.get_u64()?;
+            if time < w.cur {
+                return Err(malformed(format!(
+                    "wheel node {i} at {time}ps is before the clock {}ps",
+                    w.cur
+                )));
+            }
+            if prev.is_some_and(|p| p >= (time, key)) {
+                return Err(malformed(format!(
+                    "wheel nodes out of canonical (time, key) order at index {i}"
+                )));
+            }
+            prev = Some((time, key));
+            let event = E::restore(r)?;
+            let idx = w.alloc(time, key, event);
+            w.insert_node(idx);
+            w.len += 1;
+        }
+        Ok(w)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -466,6 +568,80 @@ mod tests {
         assert_eq!(w.len(), 2);
         assert_eq!(w.peek_time(), Some(Time::from_ns(2)));
         assert_eq!(w.scheduled_total(), 2);
+    }
+
+    use crate::snap::{Restore, RestoreError, SnapReader, SnapWriter, Snapshot};
+
+    fn snap_bytes(w: &TimingWheel<u64>) -> Vec<u8> {
+        let mut sw = SnapWriter::new();
+        w.snapshot(&mut sw);
+        sw.into_bytes()
+    }
+
+    fn unsnap(bytes: &[u8]) -> Result<TimingWheel<u64>, RestoreError> {
+        let mut r = SnapReader::new(bytes);
+        TimingWheel::restore(&mut r)
+    }
+
+    /// A wheel mid-delivery: churned arena, entries across several
+    /// levels, and a live (partially popped) same-instant ready batch.
+    fn churned() -> TimingWheel<u64> {
+        let mut w = TimingWheel::new();
+        for i in 0..24u64 {
+            w.schedule(Time::from_ps(i * 97 + 1), i, i);
+        }
+        for _ in 0..8 {
+            w.pop();
+        }
+        let now = w.now();
+        // three entries at the current instant, pop one so the ready
+        // batch is live with two left
+        w.schedule(now, 100, 100);
+        w.schedule(now, 101, 101);
+        w.schedule(now, 102, 102);
+        w.pop();
+        // far-future entries spanning wheel levels
+        w.schedule(Time::from_ps(now.as_ps() + (1 << 20)), 200, 200);
+        w.schedule(Time::from_ps(now.as_ps() + (1 << 40)), 201, 201);
+        w
+    }
+
+    #[test]
+    fn snapshot_restore_round_trips_and_reserializes_identically() {
+        let mut w = churned();
+        let bytes = snap_bytes(&w);
+        let mut restored = unsnap(&bytes).expect("restore");
+        assert_eq!(snap_bytes(&restored), bytes, "re-snapshot not identical");
+        assert_eq!(restored.now(), w.now());
+        assert_eq!(restored.len(), w.len());
+        assert_eq!(restored.scheduled_total(), w.scheduled_total());
+        // identical drains, including after fresh scheduling on both
+        w.schedule_in(Duration::from_ns(3), 999, 999);
+        restored.schedule_in(Duration::from_ns(3), 999, 999);
+        let a: Vec<_> = std::iter::from_fn(|| w.pop()).collect();
+        let b: Vec<_> = std::iter::from_fn(|| restored.pop()).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn restore_rejects_malformed_streams() {
+        let bytes = snap_bytes(&churned());
+        for cut in 0..bytes.len() {
+            assert!(unsnap(&bytes[..cut]).is_err(), "cut at {cut} accepted");
+        }
+        // a node timestamped before the clock is refused
+        let mut sw = SnapWriter::new();
+        sw.put_u64(1000); // cur
+        sw.put_u64(1); // scheduled_total
+        sw.put_usize(0); // ready
+        sw.put_usize(1); // nodes
+        sw.put_u64(999); // before cur
+        sw.put_u64(0);
+        sw.put_u64(7);
+        assert!(matches!(
+            unsnap(&sw.into_bytes()),
+            Err(RestoreError::Malformed { .. })
+        ));
     }
 
     /// Randomized lockstep against a sorted reference: interleaved pushes

@@ -37,6 +37,30 @@ FAULTS="seed=3,crash=1ms,seu=400us,scrub=800us"
     > target/fault_smoke_b.txt
 cmp target/fault_smoke_a.txt target/fault_smoke_b.txt
 
+echo "== tier-1: snapshot round-trip smoke (SnapPlane) =="
+# Checkpoint a serving run mid-horizon, resume it, and require stdout and
+# the serving JSON export to be byte-identical to the uninterrupted run.
+# A corrupted snapshot must be refused with exit 2.
+SERVE="seed=11,tenants=3,rate=150000,horizon=300us,batch=4"
+./target/release/exp_all --scale quick --serve "$SERVE" \
+    --serve-out target/snap_smoke_full.json e01 > target/snap_smoke_full.txt
+./target/release/exp_all --scale quick --serve "$SERVE" \
+    --snapshot-at 120us --snapshot-out target/snap_smoke.snap e01 \
+    > /dev/null
+./target/release/exp_all --scale quick --serve "$SERVE" \
+    --resume target/snap_smoke.snap \
+    --serve-out target/snap_smoke_resumed.json e01 > target/snap_smoke_resumed.txt
+cmp target/snap_smoke_full.txt target/snap_smoke_resumed.txt
+cmp target/snap_smoke_full.json target/snap_smoke_resumed.json
+truncate -s -1 target/snap_smoke.snap
+if ./target/release/exp_all --scale quick --serve "$SERVE" \
+    --resume target/snap_smoke.snap e01 > /dev/null 2> target/snap_smoke_err.txt
+then
+    echo "ci.sh: corrupted snapshot was not refused" >&2
+    exit 1
+fi
+grep -q "refusing snapshot" target/snap_smoke_err.txt
+
 echo "== tier-1: seeded fuzz smoke (CheckPlane) =="
 # 64 seeded configs across topology x policy x faults x threads x shards,
 # every invariant armed, exports compared byte-for-byte at THREADS=1 vs k

@@ -240,3 +240,56 @@ fn fuzzed_shard_sims_are_byte_identical_at_four_shards() {
         );
     }
 }
+
+/// The SnapPlane restore-equivalence oracle must hold at any pool or
+/// shard width: checkpoint the faulted serving run mid-horizon under one
+/// setting, resume it under another, and both the resumed exports and
+/// the uninterrupted run's exports must be byte-identical across the
+/// whole matrix.
+#[test]
+fn serve_resume_exports_are_independent_of_threads_and_shards() {
+    use ecoscale::core::{serve_checkpoint, serve_resume};
+    use ecoscale::sim::Duration;
+    use ecoscale::sim::Time;
+
+    let mut cfg = serve_cfg();
+    cfg.faults = CampaignSpec::parse("seed=5,seu=200us,smmu=0.002,scrub=400us")
+        .expect("campaign spec parses");
+    let at = Time::ZERO + Duration::from_us(180);
+
+    let uninterrupted = with_threads("1", || serve_exports(&cfg));
+    let bytes = with_threads("1", || serve_checkpoint(&cfg, at));
+
+    // The snapshot itself must not depend on the pool width.
+    let bytes_par = with_threads("8", || serve_checkpoint(&cfg, at));
+    assert_eq!(
+        bytes, bytes_par,
+        "serve snapshot bytes must be identical at ECOSCALE_THREADS=1 vs =8"
+    );
+
+    let resume_exports = |out: ecoscale::core::ServeOutcome| {
+        assert_eq!(out.violations, 0, "resume must pass invariant checks");
+        (out.serving.to_json(), out.metrics.to_json())
+    };
+    let resumed_seq = with_threads("1", || {
+        resume_exports(serve_resume(&cfg, &bytes).expect("resume succeeds"))
+    });
+    let resumed_par = with_threads("8", || {
+        resume_exports(serve_resume(&cfg, &bytes).expect("resume succeeds"))
+    });
+    let resumed_sharded = with_shards("4", || {
+        resume_exports(serve_resume(&cfg, &bytes).expect("resume succeeds"))
+    });
+    assert_eq!(
+        resumed_seq, uninterrupted,
+        "resumed serving exports must match the uninterrupted run"
+    );
+    assert_eq!(
+        resumed_par, uninterrupted,
+        "resume at ECOSCALE_THREADS=8 must match the uninterrupted run"
+    );
+    assert_eq!(
+        resumed_sharded, uninterrupted,
+        "resume at ECOSCALE_SHARDS=4 must match the uninterrupted run"
+    );
+}

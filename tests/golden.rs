@@ -191,3 +191,25 @@ fn chrome_trace_json_schema_is_pinned() {
         &schema_of(&cap.trace.to_chrome_json()),
     );
 }
+
+/// The SnapPlane snapshot header — magic, version, and the checksummed
+/// section table — as rendered by [`SnapshotFile::header_json`] for a
+/// two-cell serving checkpoint. Pins the on-disk container layout:
+/// adding, renaming or re-typing a header field fails the test.
+///
+/// [`SnapshotFile::header_json`]: ecoscale::sim::snap::SnapshotFile::header_json
+#[test]
+fn snapshot_header_json_schema_is_pinned() {
+    use ecoscale::core::{linear_test_mix, serve_checkpoint, ServeSimConfig};
+    use ecoscale::runtime::ServeSpec;
+    use ecoscale::sim::snap::SnapshotFile;
+    use ecoscale::sim::{Duration, Time};
+    let spec = ServeSpec::parse("seed=7,tenants=2,rate=120000,horizon=300us,batch=4")
+        .expect("spec parses");
+    let mut cfg = ServeSimConfig::new(spec, linear_test_mix());
+    cfg.items = 24;
+    cfg.cells = 2;
+    let bytes = serve_checkpoint(&cfg, Time::ZERO + Duration::from_us(150));
+    let file = SnapshotFile::parse(&bytes).expect("checkpoint parses");
+    assert_golden("snapshot_header.schema", &schema_of(&file.header_json()));
+}

@@ -939,3 +939,96 @@ fn timing_wheel_matches_event_queue_and_btree_oracle() {
         assert!(queue.is_empty(), "case {case}");
     }
 }
+
+// ----------------------------------------------------------------------
+// core: SnapPlane checkpoint/resume equivalence over fuzzed serving runs
+// ----------------------------------------------------------------------
+
+/// The SnapPlane headline guarantee, fuzzed: checkpoint a serving run at
+/// an arbitrary mid-horizon instant, restore the snapshot into freshly
+/// built cells, and run to drain — the merged serving ledger, metrics,
+/// system report, and makespan must be byte-identical to the
+/// uninterrupted run. Half the cases arm a fault campaign (SEU + SMMU
+/// under scrubbing) and the cell count alternates, so the equivalence
+/// holds across both the healthy and the degraded dispatch paths. Every
+/// case then flips one random payload bit in the snapshot and requires a
+/// typed checksum refusal, never a partially-applied restore.
+#[test]
+fn serve_checkpoint_resume_matches_uninterrupted_run() {
+    use ecoscale::core::{
+        linear_test_mix, run_serve_sim, serve_checkpoint, serve_resume, ServeSimConfig,
+    };
+    use ecoscale::runtime::ServeSpec;
+    use ecoscale::sim::snap::SnapshotFile;
+    use ecoscale::sim::{CampaignSpec, RestoreError};
+
+    for case in 0..16 {
+        let mut rng = case_rng(21, case);
+        let seed = rng.gen_range_u64(1, 1 << 16);
+        let tenants = rng.gen_range_u64(2, 6);
+        let rate = rng.gen_range_u64(120_000, 280_000);
+        let horizon_us = rng.gen_range_u64(300, 600);
+        let batch = rng.gen_range_u64(2, 8);
+        let spec = ServeSpec::parse(&format!(
+            "seed={seed},tenants={tenants},rate={rate},horizon={horizon_us}us,\
+             batch={batch},deadline=250us,queue=24"
+        ))
+        .expect("fuzzed spec parses");
+        let mut cfg = ServeSimConfig::new(spec, linear_test_mix());
+        cfg.items = 24;
+        cfg.cells = 1 + rng.gen_range_usize(0, 2);
+        if case % 2 == 1 {
+            let fseed = rng.gen_range_u64(1, 100);
+            cfg.faults =
+                CampaignSpec::parse(&format!("seed={fseed},seu=200us,smmu=0.002,scrub=400us"))
+                    .expect("fuzzed campaign parses");
+        }
+        let at = Time::ZERO + Duration::from_us(rng.gen_range_u64(40, horizon_us));
+
+        let full = run_serve_sim(&cfg);
+        let bytes = serve_checkpoint(&cfg, at);
+        let resumed = serve_resume(&cfg, &bytes)
+            .unwrap_or_else(|e| panic!("case {case}: resume refused: {e}"));
+
+        assert_eq!(resumed.violations, 0, "case {case}: invariant violations");
+        assert_eq!(
+            resumed.serving.to_json(),
+            full.serving.to_json(),
+            "case {case}: serving ledger diverged after resume at {at}"
+        );
+        assert_eq!(
+            resumed.metrics.to_json(),
+            full.metrics.to_json(),
+            "case {case}: metrics diverged after resume at {at}"
+        );
+        assert_eq!(
+            resumed.report.to_json(),
+            full.report.to_json(),
+            "case {case}: system report diverged after resume at {at}"
+        );
+        assert_eq!(
+            resumed.makespan, full.makespan,
+            "case {case}: makespan diverged after resume at {at}"
+        );
+
+        // One random payload bit flipped must surface as a checksum
+        // refusal for the section that owns the byte.
+        let file = SnapshotFile::parse(&bytes).expect("case: snapshot parses");
+        let sections: Vec<_> = file.sections().cloned().collect();
+        let si = &sections[rng.gen_range_usize(0, sections.len())];
+        let off = si.offset as usize + rng.gen_range_usize(0, si.len as usize);
+        let mut bad = bytes.clone();
+        bad[off] ^= 1 << rng.gen_range_usize(0, 8);
+        match serve_resume(&cfg, &bad) {
+            Err(RestoreError::BadChecksum { section, .. }) => assert_eq!(
+                section, si.name,
+                "case {case}: refusal named the wrong section"
+            ),
+            other => panic!(
+                "case {case}: corrupt byte {off} in `{}` must be refused \
+                 with BadChecksum, got {other:?}",
+                si.name
+            ),
+        }
+    }
+}
