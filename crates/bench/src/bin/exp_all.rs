@@ -8,12 +8,14 @@
 //!
 //! ```text
 //! exp_all [--scale quick|full] [--trace FILE] [--metrics FILE] [--profile FILE]
+//!         [--telemetry FILE] [--flight-dump DIR]
 //!         [--faults SPEC] [--serve SPEC] [--serve-out FILE] [KEY...]
 //! exp_all --scale quick e03 e09    # just E3 and E9, reduced sweeps
 //! exp_all --scale quick --trace t.json --metrics m.json e03
 //! exp_all --scale quick --profile p.json e03
 //! exp_all --faults seed=3,crash=1ms,seu=400us,scrub=800us e16 e16b
 //! exp_all --serve seed=7,rate=200000,horizon=1ms --serve-out s.json s1
+//! exp_all --serve seed=7,rate=200000,horizon=1ms --telemetry t.json --flight-dump dump
 //! ```
 //!
 //! `--trace` writes a Chrome Trace Event JSON file (open in Perfetto or
@@ -30,6 +32,18 @@
 //! deterministic — the file is byte-identical at any `ECOSCALE_THREADS`
 //! or `ECOSCALE_SHARDS` — and the rendered tables go to stdout. The
 //! engine's host-dependent wall-clock phase timers go to stderr only.
+//!
+//! `--telemetry` writes the TelePlane capture (DESIGN.md §15): the
+//! merged serving window series, one flight recorder per serving cell,
+//! and the sharded engine's per-safe-window series, as one
+//! deterministic JSON object (`{"serve":...,"shard":...}`). When a
+//! `--serve` run is present its cells are armed and provide the serving
+//! half; otherwise the canonical `bench::obs` serving campaign runs.
+//! `--flight-dump DIR` (requires `--telemetry`) writes the anomaly
+//! evidence bundle when a flight-recorder trigger fired: `flight.json`
+//! (trigger + event rings and series tails) plus, for a `--serve` run,
+//! `snapshot.bin` — a SnapPlane checkpoint at the first trigger's
+//! instant, restorable with `--resume`.
 //!
 //! `--faults` takes a seeded [`CampaignSpec`] (`key=value,...`); it
 //! replaces the base campaign the E16/E16b sweeps scale from and, when
@@ -48,22 +62,33 @@
 use std::process::ExitCode;
 
 use ecoscale_apps::mix::serve_mix;
-use ecoscale_bench::obs::{capture_fault_campaign, capture_observability, capture_profile};
+use ecoscale_bench::obs::{
+    capture_fault_campaign, capture_observability, capture_profile, capture_telemetry,
+    telemetry_shard_series, TelemetryCapture,
+};
 use ecoscale_bench::{resilience_exp, Scale, EXPERIMENTS};
-use ecoscale_core::{run_serve_sim, serve_checkpoint, serve_resume, ServeSimConfig};
+use ecoscale_core::{
+    run_serve_sim, serve_checkpoint, serve_resume, ServeSimConfig, ServeTelemetry,
+};
 use ecoscale_runtime::ServeSpec;
 use ecoscale_sim::fault::parse_duration;
-use ecoscale_sim::{pool, prof, CampaignSpec, Time};
+use ecoscale_sim::{pool, prof, CampaignSpec, Duration, TelemetryConfig, Time};
 
 fn usage() {
     eprintln!(
-        "usage: exp_all [--scale quick|full] [--trace FILE] [--metrics FILE] [--profile FILE] [--faults SPEC] [--serve SPEC] [--serve-out FILE] [--snapshot-at T --snapshot-out FILE | --resume FILE] [KEY...]"
+        "usage: exp_all [--scale quick|full] [--trace FILE] [--metrics FILE] [--profile FILE] [--telemetry FILE] [--flight-dump DIR] [--faults SPEC] [--serve SPEC] [--serve-out FILE] [--snapshot-at T --snapshot-out FILE | --resume FILE] [KEY...]"
     );
     eprintln!("  --scale quick|full   sweep sizes (default: full)");
     eprintln!("  --trace FILE         write a Chrome/Perfetto trace of an instrumented run");
     eprintln!("  --metrics FILE       write the metrics registry of an instrumented run as JSON");
     eprintln!("  --profile FILE       write the ProfPlane critical-path blame + shard occupancy");
     eprintln!("                       report of an instrumented run as JSON");
+    eprintln!("  --telemetry FILE     write the TelePlane capture (windowed serving series +");
+    eprintln!("                       flight recorders + shard window series) as JSON; with");
+    eprintln!("                       --serve, the serving half comes from that run");
+    eprintln!("  --flight-dump DIR    with --telemetry: when a flight-recorder trigger fired,");
+    eprintln!("                       write the evidence bundle (flight.json, and snapshot.bin");
+    eprintln!("                       for a --serve run) into DIR");
     eprintln!("  --faults SPEC        seeded fault campaign, e.g. `seed=3,crash=1ms,seu=400us`;");
     eprintln!("                       overrides the E16/E16b base campaign and adds a faulted");
     eprintln!("                       capture to --trace/--metrics output");
@@ -98,6 +123,8 @@ fn main() -> ExitCode {
     let mut snapshot_at: Option<Time> = None;
     let mut snapshot_out: Option<String> = None;
     let mut resume: Option<String> = None;
+    let mut telemetry_path: Option<String> = None;
+    let mut flight_dump: Option<String> = None;
     let mut filters: Vec<String> = Vec::new();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -107,7 +134,7 @@ fn main() -> ExitCode {
                 return ExitCode::SUCCESS;
             }
             "--trace" | "--metrics" | "--profile" | "--serve-out" | "--snapshot-out"
-            | "--resume" => {
+            | "--resume" | "--telemetry" | "--flight-dump" => {
                 let Some(v) = it.next() else {
                     eprintln!("error: {arg} needs a file path");
                     usage();
@@ -119,6 +146,8 @@ fn main() -> ExitCode {
                     "--serve-out" => serve_out = Some(v.clone()),
                     "--snapshot-out" => snapshot_out = Some(v.clone()),
                     "--resume" => resume = Some(v.clone()),
+                    "--telemetry" => telemetry_path = Some(v.clone()),
+                    "--flight-dump" => flight_dump = Some(v.clone()),
                     _ => profile_path = Some(v.clone()),
                 }
             }
@@ -213,6 +242,11 @@ fn main() -> ExitCode {
         usage();
         return ExitCode::from(2);
     }
+    if flight_dump.is_some() && telemetry_path.is_none() {
+        eprintln!("error: --flight-dump needs a --telemetry FILE");
+        usage();
+        return ExitCode::from(2);
+    }
     if let Some(spec) = &faults {
         // E16/E16b scale their sweeps from this campaign instead of the
         // built-in default.
@@ -229,10 +263,15 @@ fn main() -> ExitCode {
     for table in tables {
         println!("{table}");
     }
+    let mut serve_telem: Option<ServeTelemetry> = None;
+    let mut dump_snapshot: Option<Vec<u8>> = None;
     if let Some(spec) = serve {
         let mut cfg = ServeSimConfig::new(spec, serve_mix());
         if let Some(campaign) = faults.as_ref().filter(|s| !s.is_off()) {
             cfg.faults = campaign.clone();
+        }
+        if telemetry_path.is_some() {
+            cfg.telemetry = Some(TelemetryConfig::new(Duration::from_us(50)));
         }
         if let Some(at) = snapshot_at {
             let path = snapshot_out.as_ref().expect("validated above");
@@ -265,6 +304,17 @@ fn main() -> ExitCode {
         } else {
             run_serve_sim(&cfg)
         };
+        if telemetry_path.is_some() {
+            // The serving half of the TelePlane capture comes from this
+            // run; a pre-trigger snapshot joins the evidence bundle when
+            // a flight recorder fired.
+            serve_telem = out.telemetry.clone();
+            if flight_dump.is_some() {
+                if let Some(t) = serve_telem.as_ref().and_then(|t| t.first_trigger()) {
+                    dump_snapshot = Some(serve_checkpoint(&cfg, t.time));
+                }
+            }
+        }
         println!("{}", out.serving.to_table());
         if out.violations > 0 {
             eprintln!(
@@ -333,6 +383,52 @@ fn main() -> ExitCode {
             // wall timers are host-dependent: stderr only, never in the file
             eprintln!("{}", wall.to_table());
             eprintln!("wrote profile to {path}");
+        }
+    }
+    if let Some(path) = &telemetry_path {
+        // Serving half: the --serve run when one ran with telemetry armed,
+        // otherwise the canonical obs serving campaign. The shard half is
+        // always the scaling run's per-safe-window series.
+        let cap = match serve_telem {
+            Some(serve) => TelemetryCapture {
+                serve,
+                shard: telemetry_shard_series(scale),
+            },
+            None => {
+                let campaign = faults.clone().unwrap_or_else(CampaignSpec::off);
+                capture_telemetry(scale, &campaign)
+            }
+        };
+        if let Err(e) = std::fs::write(path, cap.to_json()) {
+            eprintln!("error: cannot write telemetry to `{path}`: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote telemetry to {path}");
+        if let Some(dir) = &flight_dump {
+            if cap.fired() {
+                let dir_path = std::path::Path::new(dir);
+                if let Err(e) = std::fs::create_dir_all(dir_path) {
+                    eprintln!("error: cannot create flight-dump dir `{dir}`: {e}");
+                    return ExitCode::FAILURE;
+                }
+                let flight = dir_path.join("flight.json");
+                if let Err(e) = std::fs::write(&flight, cap.flight_dump_json()) {
+                    eprintln!("error: cannot write `{}`: {e}", flight.display());
+                    return ExitCode::FAILURE;
+                }
+                let mut wrote = String::from("flight.json");
+                if let Some(bytes) = &dump_snapshot {
+                    let snap = dir_path.join("snapshot.bin");
+                    if let Err(e) = std::fs::write(&snap, bytes) {
+                        eprintln!("error: cannot write `{}`: {e}", snap.display());
+                        return ExitCode::FAILURE;
+                    }
+                    wrote.push_str(" + snapshot.bin");
+                }
+                eprintln!("wrote flight dump ({wrote}) to {dir}");
+            } else {
+                eprintln!("no flight-recorder trigger fired; no dump written");
+            }
         }
     }
     ExitCode::SUCCESS

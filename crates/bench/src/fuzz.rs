@@ -7,14 +7,17 @@
 //! configurations on every machine, and any failure is reproducible from
 //! its spec string alone.
 //!
-//! Each configuration drives seven seeded phases — scheduler lanes on the
+//! Each configuration drives eight seeded phases — scheduler lanes on the
 //! work pool, a NoC transfer storm on the configured topology, a mixed-
 //! permission SMMU translation stream, UNIMEM traffic over a tree NoC,
 //! a multi-tenant ServePlane run (admission, batching, SLO conservation),
 //! a SnapPlane checkpoint/restore of that serving run (mid-horizon
 //! snapshot, resume, byte-identity against the uninterrupted run, typed
-//! refusal of a corrupted copy), and the cluster-partitioned sharded
-//! simulation — with a fully-armed
+//! refusal of a corrupted copy), a TelePlane run of the same serving
+//! configuration with windowed telemetry and a fully-armed flight
+//! recorder (the capture export must be byte-identical across thread
+//! counts and `telem.window_conserved` must hold), and the
+//! cluster-partitioned sharded simulation — with a fully-armed
 //! [`CheckPlane`], then repeats the run at the configuration's thread
 //! count and asserts the metrics export is **byte-identical** to the
 //! single-threaded run (the snap phase runs once per config; resume's
@@ -44,7 +47,7 @@ use ecoscale_noc::{
 };
 use ecoscale_runtime::{skewed_trace, ClusterSim, ResilienceConfig, SchedPolicy, ServeSpec};
 use ecoscale_sim::check::{invariant, CheckPlane};
-use ecoscale_sim::{pool, CampaignSpec, Duration, MetricsRegistry, SimRng, Time};
+use ecoscale_sim::{pool, CampaignSpec, Duration, MetricsRegistry, SimRng, TelemetryConfig, Time};
 
 use core::fmt;
 
@@ -452,6 +455,35 @@ pub fn run_config(cfg: &FuzzConfig, inject: bool) -> Result<RunReport, FuzzFailu
         return Err(fail(format!("snap phase: {v}")));
     }
     checks += cp_snap.checks_run();
+    // TelePlane phase: the serving configuration re-runs with windowed
+    // telemetry and a fully-armed flight recorder; the capture export
+    // (series + per-cell flight rings) must be byte-identical at 1
+    // thread and at the configured thread count, and the series'
+    // `telem.window_conserved` invariant must hold in both.
+    let (tbase, cp_telem) = with_threads(1, || telem_once(cfg));
+    if let Some(v) = cp_telem.first() {
+        return Err(fail(format!("telem phase: {v}")));
+    }
+    checks += cp_telem.checks_run();
+    if cfg.threads != 1 {
+        let (talt, cp_telem_alt) = with_threads(cfg.threads, || telem_once(cfg));
+        if let Some(v) = cp_telem_alt.first() {
+            return Err(fail(format!(
+                "telem phase at ECOSCALE_THREADS={}: {v}",
+                cfg.threads
+            )));
+        }
+        checks += cp_telem_alt.checks_run();
+        if tbase != talt {
+            return Err(fail(format!(
+                "telemetry capture diverged between ECOSCALE_THREADS=1 and {} \
+                 ({} vs {} bytes)",
+                cfg.threads,
+                tbase.len(),
+                talt.len()
+            )));
+        }
+    }
     // Sharded-engine phase: the cluster-partitioned simulation must
     // export byte-identically at 1 shard and at the configured count.
     let scfg = shard_sim_config(cfg);
@@ -817,6 +849,18 @@ fn snap_fuzz(cfg: &FuzzConfig, cp: &mut CheckPlane) {
         serve_resume_with(&scfg, &bad, &mut CheckPlane::enabled(1)).is_err(),
         || "corrupted snapshot was not refused".to_string(),
     );
+}
+
+/// TelePlane phase body: one serving run with 25µs telemetry windows and
+/// every trigger armed, returning the capture export and the plane that
+/// absorbed the run's invariants (including `telem.window_conserved`).
+fn telem_once(cfg: &FuzzConfig) -> (String, CheckPlane) {
+    let mut scfg = serve_sim_config(cfg);
+    scfg.telemetry = Some(TelemetryConfig::new(Duration::from_us(25)));
+    let mut cp = CheckPlane::enabled(1);
+    let out = run_serve_sim_with(&scfg, &mut cp);
+    let telem = out.telemetry.expect("telemetry armed in the fuzz config");
+    (telem.to_json(), cp)
 }
 
 /// Zipf-skewed UNIMEM traffic from `workers` nodes over a tree NoC.

@@ -19,17 +19,20 @@
 
 use std::collections::HashMap;
 
-use ecoscale_core::{run_shard_sim_observed, SystemBuilder};
+use ecoscale_core::{
+    linear_test_mix, run_serve_sim, run_shard_sim_observed, run_shard_sim_with, ServeSimConfig,
+    ServeTelemetry, SystemBuilder,
+};
 use ecoscale_hls::KernelArgs;
 use ecoscale_mem::{
     CacheConfig, DramModel, GlobalAddr, PagePerms, Smmu, SmmuConfig, UnimemSystem, VirtAddr,
 };
 use ecoscale_noc::{Network, NetworkConfig, NodeId, TreeTopology};
-use ecoscale_runtime::{skewed_trace, ClusterSim, ResilienceConfig, SchedPolicy};
+use ecoscale_runtime::{skewed_trace, ClusterSim, ResilienceConfig, SchedPolicy, ServeSpec};
 use ecoscale_sim::check::CheckPlane;
 use ecoscale_sim::{
-    pool, CampaignSpec, MetricsRegistry, Profiler, ShardOccupancy, SimRng, Time, TraceBuffer,
-    Tracer,
+    pool, CampaignSpec, Duration, MetricsRegistry, Profiler, ShardOccupancy, SimRng,
+    TelemetryConfig, Time, TimeSeries, TraceBuffer, Tracer,
 };
 
 use crate::shard_exp::scaling_config;
@@ -82,6 +85,89 @@ pub fn capture_profile(scale: Scale) -> ProfileCapture {
         capture: cap,
         occupancy,
         wall,
+    }
+}
+
+/// The TelePlane capture behind `exp_all --telemetry`: windowed serving
+/// telemetry (series + per-cell flight recorders) from a ServePlane run
+/// plus the sharded engine's per-safe-window series. Every field is
+/// deterministic — byte-identical at any `ECOSCALE_THREADS` /
+/// `ECOSCALE_SHARDS` setting.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TelemetryCapture {
+    /// Serving-cell telemetry: merged series + per-cell flight recorders.
+    pub serve: ServeTelemetry,
+    /// The sharded engine's per-safe-window series.
+    pub shard: TimeSeries,
+}
+
+impl TelemetryCapture {
+    /// Whether any serving cell's flight recorder latched a trigger.
+    pub fn fired(&self) -> bool {
+        self.serve.fired()
+    }
+
+    /// Canonical telemetry export:
+    /// `{"serve":{...},"shard":{...}}`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"serve\":");
+        out.push_str(&self.serve.to_json());
+        out.push_str(",\"shard\":");
+        out.push_str(&self.shard.to_json());
+        out.push('}');
+        out
+    }
+
+    /// The flight-recorder evidence bundle written on an anomaly dump:
+    /// the serving bundle (trigger rings + series tail) plus the shard
+    /// series tail for cross-layer context.
+    pub fn flight_dump_json(&self) -> String {
+        let mut out = String::from("{\"serve\":");
+        out.push_str(&self.serve.flight_dump_json(8));
+        out.push_str(",\"shard_tail\":");
+        out.push_str(&self.shard.tail_json(8));
+        out.push('}');
+        out
+    }
+}
+
+/// The serving config [`capture_telemetry`] drives: the linear test mix
+/// under a steady in-SLO load, telemetry armed with 50 us windows, and
+/// `faults` injected into the backend when the campaign is live.
+pub fn telemetry_serve_config(scale: Scale, faults: &CampaignSpec) -> ServeSimConfig {
+    let spec = ServeSpec::parse(scale.pick(
+        "seed=19,tenants=4,rate=200000,horizon=400us,batch=6,deadline=250us,queue=24",
+        "seed=19,tenants=6,rate=250000,horizon=1ms,batch=8,deadline=250us,queue=32",
+    ))
+    .expect("built-in serve spec parses");
+    let mut cfg = ServeSimConfig::new(spec, linear_test_mix());
+    cfg.items = 32;
+    cfg.telemetry = Some(TelemetryConfig::new(Duration::from_us(50)));
+    if !faults.is_off() {
+        cfg.faults = faults.clone();
+    }
+    cfg
+}
+
+/// One sharded run with the per-safe-window series feed armed; returns
+/// the series (byte-identical at any `ECOSCALE_SHARDS`).
+pub fn telemetry_shard_series(scale: Scale) -> TimeSeries {
+    let mut cfg = scaling_config(scale.pick(4, 8), scale.pick(48, 256));
+    cfg.telemetry = Some((Duration::from_ns(500), 64));
+    let mut cp = CheckPlane::from_env();
+    let out = run_shard_sim_with(&cfg, None, &mut cp);
+    out.series.expect("series armed")
+}
+
+/// Runs the TelePlane capture: a telemetry-armed ServePlane simulation
+/// (honoring `faults`) plus a series-armed sharded run. Pure function
+/// of `(scale, faults)`.
+pub fn capture_telemetry(scale: Scale, faults: &CampaignSpec) -> TelemetryCapture {
+    let cfg = telemetry_serve_config(scale, faults);
+    let out = run_serve_sim(&cfg);
+    TelemetryCapture {
+        serve: out.telemetry.expect("telemetry armed in config"),
+        shard: telemetry_shard_series(scale),
     }
 }
 
@@ -353,6 +439,18 @@ mod tests {
             plain.trace.to_chrome_json()
         );
         assert_eq!(pc.capture.metrics.to_json(), plain.metrics.to_json());
+    }
+
+    #[test]
+    fn telemetry_capture_is_deterministic_and_well_formed() {
+        let a = capture_telemetry(Scale::Quick, &CampaignSpec::off());
+        let b = capture_telemetry(Scale::Quick, &CampaignSpec::off());
+        assert_eq!(a.to_json(), b.to_json());
+        assert!(a.serve.series.lifetime("serve.submitted") > 0);
+        assert!(a.shard.lifetime("shard.events") > 0);
+        assert!(a.shard.rolled() > 0);
+        ecoscale_sim::json::parse(&a.to_json()).expect("telemetry JSON parses");
+        ecoscale_sim::json::parse(&a.flight_dump_json()).expect("dump JSON parses");
     }
 
     #[test]

@@ -280,6 +280,171 @@ fn trace_and_metrics_outputs_are_valid_and_populated() {
 }
 
 #[test]
+fn telemetry_flags_are_validated_with_exit_2() {
+    // both flags need a path operand
+    let out = exp_all().arg("--telemetry").output().expect("binary runs");
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(
+        err.contains("error: --telemetry needs a file path"),
+        "stderr: {err}"
+    );
+    let out = exp_all()
+        .arg("--flight-dump")
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(
+        err.contains("error: --flight-dump needs a file path"),
+        "stderr: {err}"
+    );
+
+    // a dump directory is meaningless without a telemetry capture
+    let out = exp_all()
+        .args(["--flight-dump", "never-created", "e01"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(
+        err.contains("error: --flight-dump needs a --telemetry FILE"),
+        "stderr: {err}"
+    );
+    assert!(err.contains("usage: exp_all"), "stderr: {err}");
+    assert!(!std::path::Path::new("never-created").exists());
+}
+
+#[test]
+fn telemetry_capture_is_written_and_well_formed() {
+    let telem_path = tmp("telem.json");
+    let out = exp_all()
+        .args(["--scale", "quick", "--telemetry"])
+        .arg(&telem_path)
+        .arg("e01")
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("wrote telemetry to"), "stderr: {err}");
+
+    let text = std::fs::read_to_string(&telem_path).unwrap();
+    let doc = json::parse(&text).expect("telemetry JSON parses");
+    let serve = doc.get("serve").expect("serve section");
+    let series = serve.get("series").expect("series section");
+    assert!(
+        series
+            .get("windows")
+            .and_then(Value::as_arr)
+            .map(|w| !w.is_empty())
+            .unwrap_or(false),
+        "serving series has windows: {text}"
+    );
+    assert!(
+        !serve
+            .get("flights")
+            .and_then(Value::as_arr)
+            .expect("flights array")
+            .is_empty(),
+        "one flight recorder per cell"
+    );
+    let shard = doc.get("shard").expect("shard section");
+    assert!(
+        shard.get("lifetime").is_some(),
+        "shard series has lifetime totals: {text}"
+    );
+
+    std::fs::remove_file(&telem_path).ok();
+}
+
+#[test]
+fn forced_slo_breach_writes_the_flight_dump_bundle() {
+    let telem_path = tmp("breach-telem.json");
+    let dump_dir = tmp("breach-dump");
+    // A 1µs deadline at this arrival rate cannot be met: the windowed
+    // p99 breaches immediately and the flight recorder must fire.
+    let out = exp_all()
+        .args([
+            "--scale",
+            "quick",
+            "--serve",
+            "seed=21,tenants=4,rate=100000,horizon=500us,batch=4,deadline=1us",
+            "--telemetry",
+        ])
+        .arg(&telem_path)
+        .arg("--flight-dump")
+        .arg(&dump_dir)
+        .arg("e01")
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("wrote flight dump"), "stderr: {err}");
+
+    let flight_text = std::fs::read_to_string(dump_dir.join("flight.json"))
+        .expect("flight.json written on trigger");
+    let flight = json::parse(&flight_text).expect("flight dump parses");
+    let serve = flight.get("serve").expect("serve section");
+    assert!(
+        serve
+            .get("triggers_fired")
+            .and_then(Value::as_f64)
+            .expect("triggers_fired")
+            > 0.0,
+        "dump records the trigger: {flight_text}"
+    );
+    assert!(
+        flight_text.contains("slo_breach"),
+        "breach trigger named: {flight_text}"
+    );
+    assert!(
+        flight.get("shard_tail").and_then(Value::as_arr).is_some(),
+        "shard series tail included"
+    );
+    // the serving run's pre-trigger snapshot joins the bundle
+    let snap = std::fs::read(dump_dir.join("snapshot.bin")).expect("snapshot.bin written");
+    assert!(!snap.is_empty());
+
+    std::fs::remove_file(&telem_path).ok();
+    std::fs::remove_dir_all(&dump_dir).ok();
+}
+
+#[test]
+fn clean_run_with_flight_dump_writes_no_bundle() {
+    let telem_path = tmp("clean-telem.json");
+    let dump_dir = tmp("clean-dump");
+    let out = exp_all()
+        .args(["--scale", "quick", "--telemetry"])
+        .arg(&telem_path)
+        .arg("--flight-dump")
+        .arg(&dump_dir)
+        .arg("e01")
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(
+        err.contains("no flight-recorder trigger fired; no dump written"),
+        "stderr: {err}"
+    );
+    assert!(!dump_dir.exists(), "no dump directory for a clean run");
+
+    std::fs::remove_file(&telem_path).ok();
+}
+
+#[test]
 fn snapshot_flags_must_come_as_a_pair_with_serve() {
     // --snapshot-at without --snapshot-out (and vice versa) is refused
     let out = exp_all()

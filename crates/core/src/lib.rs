@@ -40,7 +40,7 @@ pub use report::{FunctionSummary, SystemReport};
 pub use serve_model::{
     linear_test_mix, run_serve_sim, run_serve_sim_with, serve_checkpoint, serve_hints,
     serve_migrate, serve_migrate_with, serve_resume, serve_resume_with, CellSim, ServeKernel,
-    ServeOutcome, ServeSimConfig,
+    ServeOutcome, ServeSimConfig, ServeTelemetry,
 };
 pub use shard_model::{
     run_shard_sim, run_shard_sim_observed, run_shard_sim_with, ClusterEv, ClusterSimModel,

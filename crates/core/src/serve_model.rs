@@ -36,8 +36,9 @@ use ecoscale_runtime::ResilienceConfig;
 use ecoscale_sim::check::{invariant, CheckPlane};
 use ecoscale_sim::snap::{malformed, SnapshotBuilder, SnapshotFile};
 use ecoscale_sim::{
-    pool, CampaignSpec, Duration, MetricsRegistry, Restore, RestoreError, SnapReader, SnapWriter,
-    Snapshot, Time,
+    pool, CampaignSpec, Duration, FlightRecorder, MetricsRegistry, Restore, RestoreError,
+    SnapReader, SnapWriter, Snapshot, TelemetryConfig, Time, TimeSeries, TriggerFire, TriggerKind,
+    TriggerPolicy,
 };
 
 use crate::report::SystemReport;
@@ -84,6 +85,12 @@ pub struct ServeSimConfig {
     pub faults: CampaignSpec,
     /// Recovery policy when the campaign is active.
     pub resilience: ResilienceConfig,
+    /// Telemetry plane: when set, every cell keeps a windowed
+    /// [`TimeSeries`] and an armed [`FlightRecorder`], rolled on the
+    /// maintenance cadence and merged in cell order into
+    /// [`ServeOutcome::telemetry`]. `None` costs one branch per cadence
+    /// tick and allocates nothing.
+    pub telemetry: Option<TelemetryConfig>,
 }
 
 impl ServeSimConfig {
@@ -101,7 +108,77 @@ impl ServeSimConfig {
             cadence: Duration::from_us(50),
             faults: CampaignSpec::off(),
             resilience: ResilienceConfig::full(),
+            telemetry: None,
         }
+    }
+}
+
+/// The telemetry a serving run produced when
+/// [`ServeSimConfig::telemetry`] was set: the per-cell time series
+/// merged in cell order plus every cell's flight recorder (kept
+/// separate — event rings are per-cell evidence, not mergeable
+/// streams). Byte-identical at any `ECOSCALE_THREADS` /
+/// `ECOSCALE_SHARDS` setting.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeTelemetry {
+    /// Windowed series merged across cells in cell order.
+    pub series: TimeSeries,
+    /// One flight recorder per cell, in cell order.
+    pub flights: Vec<FlightRecorder>,
+}
+
+impl ServeTelemetry {
+    /// Whether any cell's recorder latched at least one trigger.
+    pub fn fired(&self) -> bool {
+        self.flights.iter().any(|f| f.fired())
+    }
+
+    /// The earliest trigger across cells (ties broken by cell order).
+    pub fn first_trigger(&self) -> Option<&TriggerFire> {
+        self.flights
+            .iter()
+            .filter_map(|f| f.first_trigger())
+            .min_by_key(|t| t.time)
+    }
+
+    /// Canonical telemetry export: the merged series plus every cell's
+    /// flight recorder.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"series\":");
+        out.push_str(&self.series.to_json());
+        out.push_str(",\"flights\":[");
+        for (i, f) in self.flights.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&f.to_json());
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// The flight-recorder evidence bundle: trigger totals, every
+    /// cell's event/trigger rings, and the last `tail` series windows.
+    /// This is what an anomaly dump writes to disk.
+    pub fn flight_dump_json(&self, tail: usize) -> String {
+        let fired: usize = self.flights.iter().map(|f| f.triggers().len()).sum();
+        let mut out = String::from("{\"triggers_fired\":");
+        out.push_str(&fired.to_string());
+        out.push_str(",\"cells\":[");
+        for (i, f) in self.flights.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"cell\":");
+            out.push_str(&i.to_string());
+            out.push_str(",\"flight\":");
+            out.push_str(&f.to_json());
+            out.push('}');
+        }
+        out.push_str("],\"series_tail\":");
+        out.push_str(&self.series.tail_json(tail));
+        out.push('}');
+        out
     }
 }
 
@@ -128,6 +205,9 @@ pub struct ServeOutcome {
     pub checks_run: u64,
     /// Invariant violations across all cells (0 on a healthy run).
     pub violations: u64,
+    /// Telemetry (merged series + per-cell flight recorders) when
+    /// [`ServeSimConfig::telemetry`] was set.
+    pub telemetry: Option<ServeTelemetry>,
 }
 
 struct CellResult {
@@ -138,6 +218,16 @@ struct CellResult {
     fallbacks: u64,
     lost: u64,
     cp: CheckPlane,
+    telem: Option<CellTelem>,
+}
+
+/// One cell's telemetry state: the windowed series, the flight
+/// recorder, and the delta cursors the cadence tick diffs against.
+struct CellTelem {
+    series: TimeSeries,
+    flight: FlightRecorder,
+    last_viol: u64,
+    last_quar: u64,
 }
 
 /// Runs the serving simulation, arming the CheckPlane from
@@ -192,6 +282,10 @@ fn merge_results(results: Vec<CellResult>, cp: &mut CheckPlane) -> ServeOutcome 
     let mut lost = first.lost;
     let mut checks_run = first.cp.checks_run();
     let mut violations = first.cp.violation_count();
+    let mut telemetry = first.telem.map(|t| ServeTelemetry {
+        series: t.series,
+        flights: vec![t.flight],
+    });
     cp.absorb(&first.cp);
     for cell in iter {
         serving.merge(&cell.serving);
@@ -201,6 +295,10 @@ fn merge_results(results: Vec<CellResult>, cp: &mut CheckPlane) -> ServeOutcome 
         lost += cell.lost;
         checks_run += cell.cp.checks_run();
         violations += cell.cp.violation_count();
+        if let (Some(agg), Some(t)) = (telemetry.as_mut(), cell.telem) {
+            agg.series.merge(&t.series);
+            agg.flights.push(t.flight);
+        }
         cp.absorb(&cell.cp);
     }
     report.serving = Some(serving.clone());
@@ -214,6 +312,7 @@ fn merge_results(results: Vec<CellResult>, cp: &mut CheckPlane) -> ServeOutcome 
         lost,
         checks_run,
         violations,
+        telemetry,
     }
 }
 
@@ -261,6 +360,7 @@ pub struct CellSim<'a> {
     now: Time,
     next_tick: Time,
     last_resil: u64,
+    telem: Option<CellTelem>,
 }
 
 impl<'a> CellSim<'a> {
@@ -282,6 +382,12 @@ impl<'a> CellSim<'a> {
             now: Time::ZERO,
             next_tick: Time::ZERO + cfg.cadence,
             last_resil: 0,
+            telem: cfg.telemetry.as_ref().map(|tc| CellTelem {
+                series: TimeSeries::new(tc.window, tc.retain),
+                flight: FlightRecorder::armed(tc.flight, tc.policy),
+                last_viol: 0,
+                last_quar: 0,
+            }),
             system,
             cfg,
             ids,
@@ -338,6 +444,7 @@ impl<'a> CellSim<'a> {
                 self.plane.set_pressure(resil > self.last_resil);
                 self.last_resil = resil;
                 self.plane.check_invariants(&mut self.cp);
+                self.telem_tick(self.next_tick);
                 self.next_tick += self.cfg.cadence;
             }
 
@@ -361,7 +468,7 @@ impl<'a> CellSim<'a> {
                         self.in_flight.push((done, self.seq, batch));
                         self.seq += 1;
                     }
-                    Err(_) => self.plane.fail_batch(&batch),
+                    Err(_) => self.plane.fail_batch(&batch, self.now),
                 }
             }
 
@@ -403,10 +510,59 @@ impl<'a> CellSim<'a> {
         true
     }
 
-    /// Finishes the cell: runs the final invariant pass and folds the
-    /// system's and the plane's instruments into one [`CellResult`].
+    /// One telemetry maintenance tick at `at` (a cadence boundary or
+    /// the drain instant): rolls the serve plane's windowed SLO ledger
+    /// into the series, then diffs the CheckPlane and resilience layers
+    /// for trigger-worthy anomalies. One branch when telemetry is off.
+    fn telem_tick(&mut self, at: Time) {
+        let t = match self.telem.as_mut() {
+            Some(t) => t,
+            None => return,
+        };
+        self.plane.telemetry_tick(at, &mut t.series, &mut t.flight);
+        let window = t.series.window_index(at);
+        let viol = self.cp.violation_count();
+        if viol > t.last_viol {
+            let fresh = viol - t.last_viol;
+            t.series.incr("check.violations", fresh);
+            let cp = &self.cp;
+            t.flight
+                .trigger(at, window, TriggerKind::CheckViolation, || {
+                    format!(
+                        "{fresh} new invariant violation(s), first: {:?}",
+                        cp.first()
+                    )
+                });
+            t.last_viol = viol;
+        }
+        if let Some(r) = self.system.resilience() {
+            t.series.set_gauge("resil.fallbacks", r.fallbacks());
+            let q = r.quarantines();
+            if q > t.last_quar {
+                let fresh = q - t.last_quar;
+                t.series.incr("resil.quarantines", fresh);
+                t.flight.trigger(at, window, TriggerKind::Quarantine, || {
+                    format!(
+                        "{fresh} new quarantine(s), domains: {:?}",
+                        r.quarantined_domains()
+                    )
+                });
+                t.last_quar = q;
+            }
+        }
+    }
+
+    /// Finishes the cell: runs the final invariant pass, flushes the
+    /// telemetry series (closing the partial window and proving window
+    /// conservation), and folds the system's and the plane's
+    /// instruments into one [`CellResult`].
     fn into_result(mut self) -> CellResult {
         self.plane.check_invariants(&mut self.cp);
+        self.telem_tick(self.now);
+        if let Some(t) = self.telem.as_mut() {
+            t.series.finish(self.now);
+            t.series.check_conservation(&mut self.cp);
+        }
         let mut metrics = self.system.export_metrics();
         self.plane.export_metrics(&mut metrics);
         let (fallbacks, lost) = self
@@ -425,6 +581,7 @@ impl<'a> CellSim<'a> {
             fallbacks,
             lost,
             cp: self.cp,
+            telem: self.telem,
         }
     }
 
@@ -457,12 +614,23 @@ impl<'a> CellSim<'a> {
                 w.put_u32(q.tenant);
                 w.put_u32(q.kernel);
                 q.arrival.snapshot(w);
+                q.dispatched.snapshot(w);
                 q.deadline.snapshot(w);
             }
         }
         self.plane.snapshot_state(w);
         self.system.snapshot_state(w);
         self.cp.snapshot(w);
+        match &self.telem {
+            Some(t) => {
+                w.put_u8(1);
+                t.series.snapshot(w);
+                t.flight.snapshot(w);
+                w.put_u64(t.last_viol);
+                w.put_u64(t.last_quar);
+            }
+            None => w.put_u8(0),
+        }
     }
 
     /// Overlays state captured by [`CellSim::snapshot_state`] onto this
@@ -546,6 +714,7 @@ impl<'a> CellSim<'a> {
                     tenant: r.get_u32()?,
                     kernel: r.get_u32()?,
                     arrival: Time::restore(r)?,
+                    dispatched: Time::restore(r)?,
                     deadline: Time::restore(r)?,
                 });
             }
@@ -554,6 +723,19 @@ impl<'a> CellSim<'a> {
         self.plane.restore_state(r)?;
         self.system.restore_state(r)?;
         self.cp = CheckPlane::restore(r)?;
+        let armed = r.get_u8()? != 0;
+        if armed != self.telem.is_some() {
+            return Err(malformed(format!(
+                "snapshot telemetry armed={armed}, this config has armed={}",
+                self.telem.is_some()
+            )));
+        }
+        if let Some(t) = self.telem.as_mut() {
+            t.series = TimeSeries::restore(r)?;
+            t.flight = FlightRecorder::restore(r)?;
+            t.last_viol = r.get_u64()?;
+            t.last_quar = r.get_u64()?;
+        }
         Ok(())
     }
 
@@ -587,6 +769,16 @@ fn write_meta(cfg: &ServeSimConfig, cells: usize, w: &mut SnapWriter) {
     w.put_usize(cfg.compute_nodes);
     w.put_usize(cells);
     w.put_duration(cfg.cadence);
+    match &cfg.telemetry {
+        Some(tc) => {
+            w.put_u8(1);
+            w.put_duration(tc.window);
+            w.put_usize(tc.retain);
+            w.put_usize(tc.flight);
+            tc.policy.snapshot(w);
+        }
+        None => w.put_u8(0),
+    }
     w.put_usize(cfg.kernels.len());
     for k in &cfg.kernels {
         w.put_str(k.name);
@@ -618,6 +810,13 @@ fn check_meta(
     expect("compute nodes", r.get_usize()?, cfg.compute_nodes)?;
     expect("cells", r.get_usize()?, cells)?;
     expect("cadence", r.get_duration()?, cfg.cadence)?;
+    expect("telemetry armed", r.get_u8()? != 0, cfg.telemetry.is_some())?;
+    if let Some(tc) = &cfg.telemetry {
+        expect("telemetry window", r.get_duration()?, tc.window)?;
+        expect("telemetry retain", r.get_usize()?, tc.retain)?;
+        expect("telemetry flight cap", r.get_usize()?, tc.flight)?;
+        expect("telemetry policy", TriggerPolicy::restore(r)?, tc.policy)?;
+    }
     expect("kernel count", r.get_usize()?, cfg.kernels.len())?;
     for k in &cfg.kernels {
         expect("kernel name", r.get_str()?.as_str(), k.name)?;
@@ -1032,6 +1231,86 @@ mod tests {
             serve_migrate(&cfg, &bytes, 99),
             Err(RestoreError::Malformed { .. })
         ));
+    }
+
+    #[test]
+    fn telemetry_series_rolls_windows_and_conserves() {
+        let mut cfg = quick_cfg();
+        cfg.telemetry = Some(TelemetryConfig::new(Duration::from_us(50)));
+        let mut cp = CheckPlane::enabled(1);
+        let out = run_serve_sim_with(&cfg, &mut cp);
+        assert!(cp.ok(), "{:?}", cp.first());
+        let t = out.telemetry.expect("telemetry armed");
+        assert!(t.series.rolled() > 0, "horizon spans several windows");
+        assert_eq!(
+            t.series.lifetime("serve.submitted"),
+            out.serving.submitted(),
+            "series lifetime total matches the serving ledger"
+        );
+        assert_eq!(t.flights.len(), 1);
+        assert!(!t.fired(), "a clean in-SLO run latches no trigger");
+        let parsed = json::parse(&t.to_json()).unwrap();
+        assert!(parsed
+            .get("series")
+            .and_then(|s| s.get("windows"))
+            .is_some());
+        assert!(parsed.get("flights").is_some());
+        // disabled telemetry costs nothing and exports nothing
+        let off = run_serve_sim(&quick_cfg());
+        assert!(off.telemetry.is_none());
+    }
+
+    #[test]
+    fn telemetry_checkpoint_resume_is_bit_identical() {
+        let mut cfg = quick_cfg();
+        cfg.cells = 2;
+        cfg.telemetry = Some(TelemetryConfig::new(Duration::from_us(50)));
+        let full = run_serve_sim(&cfg);
+        let ft = full.telemetry.as_ref().expect("telemetry armed");
+        for at_us in [0u64, 120, 250] {
+            let bytes = serve_checkpoint(&cfg, Time::from_us(at_us));
+            let resumed = serve_resume(&cfg, &bytes).expect("resume");
+            let rt = resumed.telemetry.as_ref().expect("telemetry armed");
+            assert_eq!(rt.to_json(), ft.to_json(), "at {at_us}us");
+            assert_eq!(rt.flight_dump_json(8), ft.flight_dump_json(8));
+        }
+        // a telemetry-config mismatch is refused by the meta section
+        let bytes = serve_checkpoint(&cfg, Time::from_us(120));
+        let mut off = cfg.clone();
+        off.telemetry = None;
+        assert!(matches!(
+            serve_resume(&off, &bytes),
+            Err(RestoreError::Malformed { .. })
+        ));
+    }
+
+    #[test]
+    fn slo_breach_fires_the_flight_recorder() {
+        // an unmeetable deadline: every window's p99 breaches, so the
+        // recorder must latch and the dump must name concrete journeys
+        let spec =
+            ServeSpec::parse("seed=21,tenants=4,rate=100000,horizon=500us,batch=4,deadline=1us")
+                .unwrap();
+        let mut cfg = ServeSimConfig::new(spec, linear_test_mix());
+        cfg.telemetry = Some(TelemetryConfig::new(Duration::from_us(50)));
+        let out = run_serve_sim(&cfg);
+        let t = out.telemetry.expect("telemetry armed");
+        assert!(t.fired(), "breached SLO must latch a trigger");
+        let first = t.first_trigger().expect("trigger");
+        assert_eq!(first.reason, "slo_breach");
+        assert!(
+            t.flights[0].events().count() > 0,
+            "exemplar journeys ride in the event ring"
+        );
+        let parsed = json::parse(&t.flight_dump_json(8)).unwrap();
+        assert!(
+            parsed
+                .get("triggers_fired")
+                .and_then(|v| v.as_f64())
+                .unwrap()
+                >= 1.0
+        );
+        assert!(parsed.get("series_tail").and_then(|v| v.as_arr()).is_some());
     }
 
     #[test]

@@ -23,7 +23,8 @@ use ecoscale_sim::check::CheckPlane;
 use ecoscale_sim::prof::{Profiler, ShardOccupancy};
 use ecoscale_sim::shard::{ClusterCtx, ClusterModel, ShardedEngine};
 use ecoscale_sim::{
-    Duration, Energy, MetricsRegistry, SimRng, StopReason, Time, TraceBuffer, Tracer, TrackId,
+    Duration, Energy, MetricsRegistry, SimRng, StopReason, Time, TimeSeries, TraceBuffer, Tracer,
+    TrackId,
 };
 
 /// Occupancy band widths every shard run accounts for (clamped to the
@@ -49,6 +50,11 @@ pub struct ShardSimConfig {
     pub remote_frac: f64,
     /// Master seed; every cluster derives its streams from it by index.
     pub seed: u64,
+    /// Per-safe-window telemetry feed: when set, the engine keeps a
+    /// [`TimeSeries`] of `(window width, retained windows)` fed one safe
+    /// window at a time ([`ShardOutcome::series`]). `None` costs one
+    /// branch per window.
+    pub telemetry: Option<(Duration, usize)>,
 }
 
 impl ShardSimConfig {
@@ -63,6 +69,7 @@ impl ShardSimConfig {
             spacing_ns: 500,
             remote_frac: 0.15,
             seed: 0xEC05,
+            telemetry: None,
         }
     }
 
@@ -319,6 +326,10 @@ pub struct ShardOutcome {
     /// Derived from event counts, so byte-identical at any shard count;
     /// also exported under `shard.occupancy.*` in `metrics`.
     pub occupancy: ShardOccupancy,
+    /// Per-safe-window telemetry series when
+    /// [`ShardSimConfig::telemetry`] was set (byte-identical at any
+    /// shard count, like occupancy).
+    pub series: Option<TimeSeries>,
 }
 
 impl ShardOutcome {
@@ -401,6 +412,9 @@ fn run_shard_sim_inner(
         .collect();
     let lookahead = cfg.lookahead();
     let mut engine = ShardedEngine::new(models, lookahead).with_occupancy(&OCCUPANCY_WIDTHS);
+    if let Some((width, retain)) = cfg.telemetry {
+        engine = engine.with_series(width, retain);
+    }
     if let Some(n) = shards {
         engine = engine.with_shards(n);
     }
@@ -431,6 +445,7 @@ fn run_shard_sim_inner(
         .cloned()
         .expect("occupancy is always armed");
     occupancy.export_metrics(&mut metrics, "shard.occupancy");
+    let series = engine.series().cloned();
     let outcome = ShardOutcome {
         metrics,
         trace,
@@ -442,6 +457,7 @@ fn run_shard_sim_inner(
         messages: engine.messages_sent(),
         lookahead,
         occupancy,
+        series,
     };
     (outcome, engine.wall_profile().clone())
 }

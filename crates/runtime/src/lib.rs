@@ -57,5 +57,8 @@ pub use sched::{
     partitioned_traces, skewed_trace, skewed_trace_with_spacing, ClusterSim, SchedPolicy,
     SchedReport, TaskSpec,
 };
-pub use serve::{Batch, Request, ServePlane, ServeSpec, ServeSpecError, ServingReport};
+pub use serve::{
+    Batch, JourneyOutcome, Request, RequestJourney, ServePlane, ServeSpec, ServeSpecError,
+    ServingReport, SloTracker,
+};
 pub use task::{Task, TaskId};

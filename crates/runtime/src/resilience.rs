@@ -269,6 +269,13 @@ impl ResilienceManager {
         self.quarantined.contains(&domain)
     }
 
+    /// Every quarantined domain, in deterministic (ordered) form — the
+    /// evidence the telemetry plane's quarantine trigger names in its
+    /// flight-recorder dump.
+    pub fn quarantined_domains(&self) -> Vec<Domain> {
+        self.quarantined.iter().copied().collect()
+    }
+
     /// Clears a domain's strikes after sustained healthy operation.
     /// Quarantine is sticky: a quarantined domain stays out.
     pub fn clear_strikes(&mut self, domain: Domain) {

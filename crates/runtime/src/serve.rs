@@ -39,7 +39,10 @@ use std::collections::VecDeque;
 
 use ecoscale_sim::check::{invariant, CheckPlane};
 use ecoscale_sim::fault::{fmt_duration, parse_duration};
-use ecoscale_sim::{json, Duration, Histogram, MetricsRegistry, SimRng, Time};
+use ecoscale_sim::telem::TriggerKind;
+use ecoscale_sim::{
+    json, Duration, FlightRecorder, Histogram, MetricsRegistry, SimRng, Time, TimeSeries,
+};
 
 /// Component salts for [`ServeSpec::rng`]; the tenant id is folded in by
 /// shifting it into the high word, like the per-worker SMMU streams.
@@ -327,17 +330,22 @@ impl fmt::Display for ServeSpecError {
 impl std::error::Error for ServeSpecError {}
 
 /// One request: a kernel call on behalf of a tenant, stamped with its
-/// arrival time and SLO deadline.
+/// arrival time, SLO deadline, and the causal span timestamps the
+/// telemetry plane turns into [`RequestJourney`] exemplars.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Request {
-    /// Monotone per-plane id (admission order).
+    /// Monotone per-plane id (submission order; shed requests consume
+    /// ids too, so every journey — including shed ones — is nameable).
     pub id: u64,
     /// Owning tenant.
     pub tenant: u32,
     /// Index into the serving kernel mix.
     pub kernel: u32,
-    /// Open-loop arrival time.
+    /// Open-loop arrival time (admission is decided at this instant).
     pub arrival: Time,
+    /// When the dispatcher batched this request ([`Time::ZERO`] while
+    /// still queued); the arrival→dispatch gap is the queue span.
+    pub dispatched: Time,
     /// Absolute deadline (`arrival + spec.deadline`).
     pub deadline: Time,
 }
@@ -349,6 +357,284 @@ pub enum ShedReason {
     QueueFull,
     /// The tenant's fair-share token bucket was empty.
     Throttled,
+}
+
+/// Terminal outcome of one request journey.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JourneyOutcome {
+    /// Completed within its deadline.
+    Completed,
+    /// Completed past its deadline.
+    DeadlineMiss,
+    /// The backend call failed.
+    Failed,
+    /// Shed at admission on a full queue.
+    ShedQueue,
+    /// Shed at admission on an empty token bucket.
+    ShedThrottle,
+}
+
+impl JourneyOutcome {
+    /// Stable name used in exports.
+    pub fn name(self) -> &'static str {
+        match self {
+            JourneyOutcome::Completed => "completed",
+            JourneyOutcome::DeadlineMiss => "deadline_miss",
+            JourneyOutcome::Failed => "failed",
+            JourneyOutcome::ShedQueue => "shed_queue",
+            JourneyOutcome::ShedThrottle => "shed_throttle",
+        }
+    }
+
+    fn tag(self) -> u8 {
+        match self {
+            JourneyOutcome::Completed => 0,
+            JourneyOutcome::DeadlineMiss => 1,
+            JourneyOutcome::Failed => 2,
+            JourneyOutcome::ShedQueue => 3,
+            JourneyOutcome::ShedThrottle => 4,
+        }
+    }
+
+    fn from_tag(tag: u8) -> Option<JourneyOutcome> {
+        Some(match tag {
+            0 => JourneyOutcome::Completed,
+            1 => JourneyOutcome::DeadlineMiss,
+            2 => JourneyOutcome::Failed,
+            3 => JourneyOutcome::ShedQueue,
+            4 => JourneyOutcome::ShedThrottle,
+            _ => return None,
+        })
+    }
+}
+
+/// The full causal record of one request: every span timestamp from
+/// admission to its terminal outcome. Exemplar journeys are what the
+/// flight recorder dumps when a window breaches its SLO, so an operator
+/// can name the concrete requests behind an anomalous percentile.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RequestJourney {
+    /// Plane-wide request id (submission order).
+    pub id: u64,
+    /// Owning tenant.
+    pub tenant: u32,
+    /// Kernel-mix index.
+    pub kernel: u32,
+    /// Arrival = admission-decision instant.
+    pub arrival: Time,
+    /// When the dispatcher batched it (equal to `arrival` for sheds).
+    pub dispatched: Time,
+    /// Terminal time: completion, failure, or the shed instant.
+    pub completed: Time,
+    /// Absolute SLO deadline.
+    pub deadline: Time,
+    /// How the journey ended.
+    pub outcome: JourneyOutcome,
+}
+
+impl RequestJourney {
+    /// One-line human-readable journey: id, owner, outcome, and the
+    /// admit→queue→dispatch→complete span breakdown.
+    pub fn describe(&self) -> String {
+        let queued = self.dispatched.saturating_since(self.arrival).as_ns();
+        let exec = self.completed.saturating_since(self.dispatched).as_ns();
+        format!(
+            "req {} tenant {} kernel {} outcome={} arrival={}ns queued={}ns exec={}ns \
+             complete={}ns deadline={}ns",
+            self.id,
+            self.tenant,
+            self.kernel,
+            self.outcome.name(),
+            self.arrival.as_ns(),
+            queued,
+            exec,
+            self.completed.as_ns(),
+            self.deadline.as_ns()
+        )
+    }
+}
+
+/// Window-scoped SLO accounting: outcome counts, the windowed latency
+/// histogram, and a bounded first-K buffer of anomalous journeys
+/// (deadline misses, sheds, failures). [`ServePlane`] feeds it on every
+/// admission/completion; the drive loop drains it once per telemetry
+/// window via [`ServePlane::telemetry_tick`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SloTracker {
+    exemplar_cap: usize,
+    submitted: u64,
+    admitted: u64,
+    completed: u64,
+    failed: u64,
+    shed_queue: u64,
+    shed_throttle: u64,
+    deadline_miss: u64,
+    goodput: u64,
+    latency_ns: Histogram,
+    exemplars: Vec<RequestJourney>,
+}
+
+/// One drained telemetry window of SLO state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SloWindow {
+    /// Requests generated this window.
+    pub submitted: u64,
+    /// Requests admitted this window.
+    pub admitted: u64,
+    /// Requests completed this window.
+    pub completed: u64,
+    /// Requests whose backend call failed this window.
+    pub failed: u64,
+    /// Requests shed on a full queue this window.
+    pub shed_queue: u64,
+    /// Requests shed on an empty bucket this window.
+    pub shed_throttle: u64,
+    /// Completions past their deadline this window.
+    pub deadline_miss: u64,
+    /// Completions within their deadline this window.
+    pub goodput: u64,
+    /// Latencies of this window's completions.
+    pub latency_ns: Histogram,
+    /// First-K anomalous journeys of the window (deterministic event
+    /// order).
+    pub exemplars: Vec<RequestJourney>,
+}
+
+impl SloTracker {
+    /// Default bound on exemplar journeys retained per window.
+    pub const EXEMPLAR_CAP: usize = 4;
+
+    fn new() -> SloTracker {
+        SloTracker {
+            exemplar_cap: Self::EXEMPLAR_CAP,
+            submitted: 0,
+            admitted: 0,
+            completed: 0,
+            failed: 0,
+            shed_queue: 0,
+            shed_throttle: 0,
+            deadline_miss: 0,
+            goodput: 0,
+            latency_ns: Histogram::new(),
+            exemplars: Vec::new(),
+        }
+    }
+
+    fn exemplar(&mut self, j: RequestJourney) {
+        if self.exemplars.len() < self.exemplar_cap {
+            self.exemplars.push(j);
+        }
+    }
+
+    fn observe(&mut self, j: RequestJourney) {
+        match j.outcome {
+            JourneyOutcome::Completed => {
+                self.completed += 1;
+                self.goodput += 1;
+                self.latency_ns.record(j.completed.since(j.arrival).as_ns());
+            }
+            JourneyOutcome::DeadlineMiss => {
+                self.completed += 1;
+                self.deadline_miss += 1;
+                self.latency_ns.record(j.completed.since(j.arrival).as_ns());
+                self.exemplar(j);
+            }
+            JourneyOutcome::Failed => {
+                self.failed += 1;
+                self.exemplar(j);
+            }
+            JourneyOutcome::ShedQueue => {
+                self.shed_queue += 1;
+                self.exemplar(j);
+            }
+            JourneyOutcome::ShedThrottle => {
+                self.shed_throttle += 1;
+                self.exemplar(j);
+            }
+        }
+    }
+
+    /// Drains the window: returns the accumulated state and resets.
+    fn take_window(&mut self) -> SloWindow {
+        SloWindow {
+            submitted: std::mem::take(&mut self.submitted),
+            admitted: std::mem::take(&mut self.admitted),
+            completed: std::mem::take(&mut self.completed),
+            failed: std::mem::take(&mut self.failed),
+            shed_queue: std::mem::take(&mut self.shed_queue),
+            shed_throttle: std::mem::take(&mut self.shed_throttle),
+            deadline_miss: std::mem::take(&mut self.deadline_miss),
+            goodput: std::mem::take(&mut self.goodput),
+            latency_ns: std::mem::replace(&mut self.latency_ns, Histogram::new()),
+            exemplars: std::mem::take(&mut self.exemplars),
+        }
+    }
+
+    fn snapshot(&self, w: &mut ecoscale_sim::SnapWriter) {
+        use ecoscale_sim::Snapshot as _;
+        w.put_usize(self.exemplar_cap);
+        w.put_u64(self.submitted);
+        w.put_u64(self.admitted);
+        w.put_u64(self.completed);
+        w.put_u64(self.failed);
+        w.put_u64(self.shed_queue);
+        w.put_u64(self.shed_throttle);
+        w.put_u64(self.deadline_miss);
+        w.put_u64(self.goodput);
+        self.latency_ns.snapshot(w);
+        w.put_usize(self.exemplars.len());
+        for j in &self.exemplars {
+            w.put_u64(j.id);
+            w.put_u32(j.tenant);
+            w.put_u32(j.kernel);
+            w.put_time(j.arrival);
+            w.put_time(j.dispatched);
+            w.put_time(j.completed);
+            w.put_time(j.deadline);
+            w.put_u8(j.outcome.tag());
+        }
+    }
+
+    fn restore(
+        r: &mut ecoscale_sim::SnapReader<'_>,
+    ) -> Result<SloTracker, ecoscale_sim::RestoreError> {
+        use ecoscale_sim::snap::malformed;
+        use ecoscale_sim::Restore as _;
+        let exemplar_cap = r.get_usize()?;
+        let mut s = SloTracker {
+            exemplar_cap,
+            submitted: r.get_u64()?,
+            admitted: r.get_u64()?,
+            completed: r.get_u64()?,
+            failed: r.get_u64()?,
+            shed_queue: r.get_u64()?,
+            shed_throttle: r.get_u64()?,
+            deadline_miss: r.get_u64()?,
+            goodput: r.get_u64()?,
+            latency_ns: Histogram::restore(r)?,
+            exemplars: Vec::new(),
+        };
+        let n = r.get_usize()?;
+        if n > exemplar_cap {
+            return Err(malformed(format!(
+                "slo tracker holds {n} exemplars, cap is {exemplar_cap}"
+            )));
+        }
+        for _ in 0..n {
+            s.exemplars.push(RequestJourney {
+                id: r.get_u64()?,
+                tenant: r.get_u32()?,
+                kernel: r.get_u32()?,
+                arrival: r.get_time()?,
+                dispatched: r.get_time()?,
+                completed: r.get_time()?,
+                deadline: r.get_time()?,
+                outcome: JourneyOutcome::from_tag(r.get_u8()?)
+                    .ok_or_else(|| malformed("unknown journey outcome tag"))?,
+            });
+        }
+        Ok(s)
+    }
 }
 
 /// A coalesced dispatch unit: same-kernel requests batched across
@@ -566,6 +852,7 @@ pub struct ServePlane {
     batches: u64,
     batched_requests: u64,
     batch_size: Histogram,
+    slo: SloTracker,
 }
 
 impl ServePlane {
@@ -602,6 +889,7 @@ impl ServePlane {
             batches: 0,
             batched_requests: 0,
             batch_size: Histogram::new(),
+            slo: SloTracker::new(),
         }
     }
 
@@ -634,30 +922,49 @@ impl ServePlane {
 
     /// Generates and admits every arrival at or before `now`. Admission
     /// is per-tenant (token bucket, then queue bound), each decision
-    /// made at the request's own arrival instant.
+    /// made at the request's own arrival instant. Every submission —
+    /// shed or admitted — consumes an id, so shed journeys are nameable
+    /// in flight-recorder exemplars.
     pub fn pop_arrivals(&mut self, now: Time) {
         let cap = self.effective_queue();
         for slot in &mut self.tenants {
             while let Some(at) = slot.gen.pop_due(now) {
+                let rid = self.next_id;
+                self.next_id += 1;
                 slot.submitted += 1;
+                self.slo.submitted += 1;
+                let (tid, deadline) = (slot.id, at + self.spec.deadline);
+                let shed = move |outcome| RequestJourney {
+                    id: rid,
+                    tenant: tid,
+                    kernel: 0,
+                    arrival: at,
+                    dispatched: at,
+                    completed: at,
+                    deadline,
+                    outcome,
+                };
                 if !slot.bucket.try_take(at) {
                     slot.shed_throttle += 1;
+                    self.slo.observe(shed(JourneyOutcome::ShedThrottle));
                     continue;
                 }
                 if slot.queue.len() >= cap {
                     slot.shed_queue += 1;
+                    self.slo.observe(shed(JourneyOutcome::ShedQueue));
                     continue;
                 }
                 let kernel = slot.mix_rng.gen_range_u64(0, self.mix_len as u64) as u32;
                 slot.queue.push_back(Request {
-                    id: self.next_id,
+                    id: rid,
                     tenant: slot.id,
                     kernel,
                     arrival: at,
-                    deadline: at + self.spec.deadline,
+                    dispatched: Time::ZERO,
+                    deadline,
                 });
-                self.next_id += 1;
                 slot.admitted += 1;
+                self.slo.admitted += 1;
             }
         }
     }
@@ -703,7 +1010,7 @@ impl ServePlane {
     /// kernel, then coalesces head-of-line requests of that same kernel
     /// across tenants up to the batch bound. Returns `None` when nothing
     /// is queued.
-    pub fn take_batch(&mut self, _now: Time) -> Option<Batch> {
+    pub fn take_batch(&mut self, now: Time) -> Option<Batch> {
         let n = self.tenants.len();
         let start = (0..n)
             .map(|i| (self.cursor + i) % n)
@@ -715,7 +1022,9 @@ impl ServePlane {
             while requests.len() < self.spec.batch {
                 match self.tenants[i].queue.front() {
                     Some(r) if r.kernel == kernel => {
-                        requests.push(self.tenants[i].queue.pop_front().expect("front"));
+                        let mut r = self.tenants[i].queue.pop_front().expect("front");
+                        r.dispatched = now;
+                        requests.push(r);
                     }
                     _ => break,
                 }
@@ -745,18 +1054,31 @@ impl ServePlane {
             slot.completed += 1;
             slot.latency_ns
                 .record(completed_at.since(r.arrival).as_ns());
-            if completed_at <= r.deadline {
+            let outcome = if completed_at <= r.deadline {
                 slot.goodput += 1;
+                JourneyOutcome::Completed
             } else {
                 slot.deadline_miss += 1;
-            }
+                JourneyOutcome::DeadlineMiss
+            };
+            self.slo.observe(RequestJourney {
+                id: r.id,
+                tenant: r.tenant,
+                kernel: r.kernel,
+                arrival: r.arrival,
+                dispatched: r.dispatched,
+                completed: completed_at,
+                deadline: r.deadline,
+                outcome,
+            });
         }
         self.in_flight -= batch.requests.len() as u64;
     }
 
-    /// Records a batch whose backend call failed. The requests stay
-    /// accounted (failed, not lost) and leave the in-flight ledger.
-    pub fn fail_batch(&mut self, batch: &Batch) {
+    /// Records a batch whose backend call failed at `failed_at`. The
+    /// requests stay accounted (failed, not lost) and leave the
+    /// in-flight ledger.
+    pub fn fail_batch(&mut self, batch: &Batch, failed_at: Time) {
         for r in &batch.requests {
             let slot = self
                 .tenants
@@ -764,8 +1086,67 @@ impl ServePlane {
                 .find(|t| t.id == r.tenant)
                 .expect("request belongs to a hosted tenant");
             slot.failed += 1;
+            self.slo.observe(RequestJourney {
+                id: r.id,
+                tenant: r.tenant,
+                kernel: r.kernel,
+                arrival: r.arrival,
+                dispatched: r.dispatched,
+                completed: failed_at,
+                deadline: r.deadline,
+                outcome: JourneyOutcome::Failed,
+            });
         }
         self.in_flight -= batch.requests.len() as u64;
+    }
+
+    /// Drains the current SLO window into the telemetry plane: counter
+    /// deltas and the windowed latency histogram into `ts`, queue-depth
+    /// and in-flight gauges, exemplar journeys into the flight ring,
+    /// then the trigger checks (window p99 over the SLO deadline fires
+    /// `slo_breach`; queue sheds fire `queue_saturation`) and the window
+    /// roll itself. Call once per cadence tick and once at drain — this
+    /// is the ServePlane half of the drive-loop telemetry contract; the
+    /// driver adds its own CheckPlane/resilience triggers.
+    pub fn telemetry_tick(&mut self, now: Time, ts: &mut TimeSeries, fr: &mut FlightRecorder) {
+        let w = self.slo.take_window();
+        ts.incr("serve.submitted", w.submitted);
+        ts.incr("serve.admitted", w.admitted);
+        ts.incr("serve.completed", w.completed);
+        ts.incr("serve.failed", w.failed);
+        ts.incr("serve.shed_queue", w.shed_queue);
+        ts.incr("serve.shed_throttle", w.shed_throttle);
+        ts.incr("serve.deadline_miss", w.deadline_miss);
+        ts.incr("serve.goodput", w.goodput);
+        ts.merge_hist("serve.latency_ns", &w.latency_ns);
+        ts.set_gauge("serve.queue_depth", self.queued() as u64);
+        ts.set_gauge("serve.in_flight", self.in_flight);
+        let window = ts.window_index(now);
+        for j in &w.exemplars {
+            fr.note(j.completed, "exemplar", || j.describe());
+        }
+        let deadline_ns = self.spec.deadline.as_ns();
+        if w.latency_ns.count() > 0 {
+            let p99 = w.latency_ns.percentile(99.0);
+            if p99 > deadline_ns {
+                fr.trigger(now, window, TriggerKind::SloBreach, || {
+                    format!(
+                        "window p99 {p99}ns exceeds deadline {deadline_ns}ns \
+                         ({} completions, {} misses)",
+                        w.completed, w.deadline_miss
+                    )
+                });
+            }
+        }
+        if w.shed_queue > 0 {
+            fr.trigger(now, window, TriggerKind::QueueSaturation, || {
+                format!(
+                    "{} requests shed on saturated queues this window",
+                    w.shed_queue
+                )
+            });
+        }
+        ts.advance(now);
     }
 
     /// Whether the plane is fully drained: no future arrivals, empty
@@ -863,6 +1244,7 @@ impl ServePlane {
         w.put_u64(self.batches);
         w.put_u64(self.batched_requests);
         self.batch_size.snapshot(w);
+        self.slo.snapshot(w);
         w.put_usize(self.tenants.len());
         for t in &self.tenants {
             w.put_u32(t.id);
@@ -926,6 +1308,7 @@ impl ServePlane {
         self.batches = r.get_u64()?;
         self.batched_requests = r.get_u64()?;
         self.batch_size = Histogram::restore(r)?;
+        self.slo = SloTracker::restore(r)?;
         let n = r.get_usize()?;
         if n != self.tenants.len() {
             return Err(malformed(format!(
@@ -980,6 +1363,7 @@ impl ServePlane {
                     tenant: id,
                     kernel,
                     arrival,
+                    dispatched: Time::ZERO,
                     deadline: r.get_time()?,
                 });
             }
@@ -1523,7 +1907,7 @@ mod tests {
         let mut plane = ServePlane::new(&spec, 1);
         plane.pop_arrivals(Time::MAX);
         let b = plane.take_batch(Time::MAX).unwrap();
-        plane.fail_batch(&b);
+        plane.fail_batch(&b, Time::MAX);
         while let Some(b) = plane.take_batch(Time::MAX) {
             plane.complete_batch(&b, Time::MAX);
         }

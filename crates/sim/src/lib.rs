@@ -35,6 +35,9 @@
 //!   per-layer blame ([`ProfileReport`]), deterministic shard occupancy
 //!   analytics ([`ShardOccupancy`]), and zero-cost-when-disabled
 //!   wall-clock phase timers ([`Profiler`]),
+//! * [`telem`] — TelePlane: windowed time-series telemetry
+//!   ([`TimeSeries`]) and an anomaly-triggered flight recorder
+//!   ([`FlightRecorder`], [`TriggerPolicy`]), one branch when disabled,
 //! * [`report`] — fixed-width table rendering used by the experiment
 //!   binaries to print paper-style figures.
 //!
@@ -73,6 +76,7 @@ pub mod rng;
 pub mod shard;
 pub mod snap;
 pub mod stats;
+pub mod telem;
 pub mod time;
 pub mod trace;
 pub mod wheel;
@@ -90,6 +94,9 @@ pub use snap::{
     Restore, RestoreError, SnapReader, SnapWriter, Snapshot, SnapshotBuilder, SnapshotFile,
 };
 pub use stats::{Counter, Histogram, OnlineStats};
+pub use telem::{
+    FlightRecorder, TelemetryConfig, TimeSeries, TriggerFire, TriggerKind, TriggerPolicy,
+};
 pub use time::{Duration, Time};
 pub use trace::{TraceBuffer, TraceEvent, Tracer, TrackId};
 pub use wheel::TimingWheel;

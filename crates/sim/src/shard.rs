@@ -83,6 +83,7 @@ use crate::engine::StopReason;
 use crate::pool::RoundBarrier;
 use crate::prof::{Phase, Profiler, ShardOccupancy};
 use crate::snap::{malformed, Restore, RestoreError, SnapReader, SnapWriter, Snapshot};
+use crate::telem::TimeSeries;
 use crate::time::{Duration, Time};
 use crate::wheel::TimingWheel;
 
@@ -248,6 +249,8 @@ struct WorkerResult<M: ClusterModel> {
     windows: Vec<u64>,
     /// Leader only: the folded occupancy accumulator, when armed.
     occ: Option<ShardOccupancy>,
+    /// Leader only: the per-safe-window telemetry series, when armed.
+    series: Option<TimeSeries>,
     /// This worker's wall-clock phase timers (disabled unless armed).
     wall: Profiler,
 }
@@ -292,6 +295,8 @@ pub struct ShardedEngine<M: ClusterModel> {
     threads: Option<usize>,
     occ_widths: Option<Vec<usize>>,
     occupancy: Option<ShardOccupancy>,
+    series_cfg: Option<(Duration, usize)>,
+    series: Option<TimeSeries>,
     self_prof: bool,
     wall: Profiler,
     events_processed: u64,
@@ -339,6 +344,8 @@ impl<M: ClusterModel> ShardedEngine<M> {
             threads: None,
             occ_widths: None,
             occupancy: None,
+            series_cfg: None,
+            series: None,
             self_prof: false,
             wall: Profiler::disabled(),
             events_processed: 0,
@@ -386,10 +393,29 @@ impl<M: ClusterModel> ShardedEngine<M> {
         self
     }
 
+    /// Arms the per-safe-window telemetry feed: a [`TimeSeries`] of
+    /// `retain` windows of `width` simulated time, fed one safe window
+    /// at a time at the leader's occupancy fold (`shard.events` counter,
+    /// `shard.window_events` histogram). Derived from the same
+    /// deterministic per-window event counts as occupancy, so the
+    /// accumulated [`ShardedEngine::series`] export is byte-identical at
+    /// any shard/thread layout.
+    pub fn with_series(mut self, width: Duration, retain: usize) -> ShardedEngine<M> {
+        self.series_cfg = Some((width, retain));
+        self.series = None;
+        self
+    }
+
     /// The occupancy accumulated so far, when armed via
     /// [`ShardedEngine::with_occupancy`].
     pub fn occupancy(&self) -> Option<&ShardOccupancy> {
         self.occupancy.as_ref()
+    }
+
+    /// The per-safe-window series accumulated so far, when armed via
+    /// [`ShardedEngine::with_series`].
+    pub fn series(&self) -> Option<&TimeSeries> {
+        self.series.as_ref()
     }
 
     /// The wall-clock phase timers (disabled and all-zero unless armed
@@ -411,6 +437,15 @@ impl<M: ClusterModel> ShardedEngine<M> {
                 .occ_widths
                 .as_ref()
                 .map(|w| ShardOccupancy::new(clusters, w)),
+        }
+    }
+
+    /// Lazily creates the window series on first use so split runs keep
+    /// feeding one export (mirrors [`ShardedEngine::take_occupancy`]).
+    fn take_series(&mut self) -> Option<TimeSeries> {
+        match self.series.take() {
+            Some(s) => Some(s),
+            None => self.series_cfg.map(|(w, r)| TimeSeries::new(w, r)),
         }
     }
 
@@ -681,7 +716,9 @@ impl<M: ClusterModel> ShardedEngine<M> {
         let lookahead = self.lookahead;
         let mut pending: Vec<OutMsg<M::Event>> = Vec::new();
         let mut occ = self.take_occupancy(clusters);
-        let mut deltas: Vec<u64> = vec![0; if occ.is_some() { clusters } else { 0 }];
+        let mut series = self.take_series();
+        let count_deltas = occ.is_some() || series.is_some();
+        let mut deltas: Vec<u64> = vec![0; if count_deltas { clusters } else { 0 }];
         if self.self_prof && !self.wall.is_enabled() {
             self.wall = Profiler::armed();
         }
@@ -727,9 +764,13 @@ impl<M: ClusterModel> ShardedEngine<M> {
             if let Some(occ) = occ.as_mut() {
                 occ.fold_window(&deltas);
             }
+            if let Some(s) = series.as_mut() {
+                feed_window(s, &deltas, wend);
+            }
         };
         self.wall = wall;
         self.occupancy = occ;
+        self.series = series;
         reason
     }
 
@@ -757,6 +798,8 @@ impl<M: ClusterModel> ShardedEngine<M> {
             groups[shard * threads / shards].push((shard, part));
         }
         let occ = self.take_occupancy(clusters);
+        let series = self.take_series();
+        let count_deltas = occ.is_some() || series.is_some();
         let shared: RunShared<M::Event> = RunShared {
             barrier: RoundBarrier::new(threads),
             next_times: (0..shards).map(|_| AtomicU64::new(u64::MAX)).collect(),
@@ -767,7 +810,7 @@ impl<M: ClusterModel> ShardedEngine<M> {
             mail: (0..shards * shards)
                 .map(|_| Mutex::new(Vec::new()))
                 .collect(),
-            occ_counts: (0..if occ.is_some() { clusters } else { 0 })
+            occ_counts: (0..if count_deltas { clusters } else { 0 })
                 .map(|_| AtomicU64::new(0))
                 .collect(),
         };
@@ -777,23 +820,27 @@ impl<M: ClusterModel> ShardedEngine<M> {
         let base_events = self.events_processed;
         let self_prof = self.self_prof;
         let mut occ_slot = Some(occ);
+        let mut series_slot = Some(series);
         let results: Vec<WorkerResult<M>> = std::thread::scope(|scope| {
             let handles: Vec<_> = groups
                 .into_iter()
                 .enumerate()
                 .map(|(worker, mine)| {
                     let shared = &shared;
-                    // Only the leader folds occupancy; it owns the
-                    // accumulator for the whole run.
-                    let occ = if worker == 0 {
-                        occ_slot.take().expect("leader spawned once")
+                    // Only the leader folds occupancy and the window
+                    // series; it owns both for the whole run.
+                    let (occ, series) = if worker == 0 {
+                        (
+                            occ_slot.take().expect("leader spawned once"),
+                            series_slot.take().expect("leader spawned once"),
+                        )
                     } else {
-                        None
+                        (None, None)
                     };
                     scope.spawn(move || {
                         run_worker(
                             worker, shards, clusters, lookahead, horizon, max_events, mine, shared,
-                            occ, self_prof,
+                            occ, series, self_prof,
                         )
                     })
                 })
@@ -814,6 +861,7 @@ impl<M: ClusterModel> ShardedEngine<M> {
                 reason = result.reason;
                 leader_windows = result.windows;
                 self.occupancy = result.occ;
+                self.series = result.series;
             }
         }
         reassembled.sort_by_key(|(idx, _)| *idx);
@@ -828,6 +876,21 @@ impl<M: ClusterModel> ShardedEngine<M> {
         }
         reason
     }
+}
+
+/// Feeds one executed safe window's event counts into the telemetry
+/// series. Every decided window delivers at least one event (the `gmin`
+/// event always lands inside it), so a zero total only occurs at the
+/// parallel leader's first fold — before any window ran — and is
+/// skipped to keep the export identical to the sequential path.
+fn feed_window(series: &mut TimeSeries, deltas: &[u64], wend_ps: u64) {
+    let total: u64 = deltas.iter().sum();
+    if total == 0 {
+        return;
+    }
+    series.incr("shard.events", total);
+    series.record("shard.window_events", total);
+    series.advance(Time::from_ps(wend_ps));
 }
 
 /// Executes one cluster's slice of the current window; returns the number
@@ -876,6 +939,7 @@ fn run_worker<M: ClusterModel>(
     mut mine: WorkerShards<M>,
     shared: &RunShared<M::Event>,
     mut occ: Option<ShardOccupancy>,
+    mut series: Option<TimeSeries>,
     self_prof: bool,
 ) -> WorkerResult<M> {
     let mut stats = WorkerStats::default();
@@ -886,8 +950,9 @@ fn run_worker<M: ClusterModel>(
     } else {
         Profiler::disabled()
     };
-    // Leader-only scratch for the occupancy fold.
-    let mut deltas: Vec<u64> = vec![0; if occ.is_some() { clusters } else { 0 }];
+    // Leader-only scratch for the occupancy/series fold.
+    let count_deltas = occ.is_some() || series.is_some();
+    let mut deltas: Vec<u64> = vec![0; if count_deltas { clusters } else { 0 }];
     let reason = loop {
         // Phase A: drain each owned shard's inboxes into its clusters'
         // wheels. Each mailbox has exactly one reading worker, so the
@@ -927,11 +992,16 @@ fn run_worker<M: ClusterModel>(
             // process phase ended at the last barrier); fold them before
             // this round's decision so every executed window — including
             // the final one before a stop — is accounted.
-            if let Some(occ) = occ.as_mut() {
+            if !deltas.is_empty() {
                 for (d, c) in deltas.iter_mut().zip(&shared.occ_counts) {
                     *d = c.swap(0, Ordering::Relaxed);
                 }
-                occ.fold_window(&deltas);
+                if let Some(occ) = occ.as_mut() {
+                    occ.fold_window(&deltas);
+                }
+                if let Some(s) = series.as_mut() {
+                    feed_window(s, &deltas, last_wend);
+                }
             }
             // Leader: fold shard horizons into the global window.
             let gmin = shared
@@ -1002,6 +1072,7 @@ fn run_worker<M: ClusterModel>(
         reason,
         windows,
         occ,
+        series,
         wall,
     }
 }
@@ -1173,6 +1244,45 @@ mod tests {
                 "occupancy diverged at shards={shards}"
             );
         }
+    }
+
+    #[test]
+    fn window_series_feed_is_layout_independent() {
+        let mut base = gossip_engine(6, 11, 1).with_series(Duration::from_ns(200), 32);
+        base.run();
+        let series = base.series().expect("series armed");
+        assert_eq!(
+            series.lifetime("shard.events"),
+            base.events_processed(),
+            "every delivered event lands in the series"
+        );
+        assert!(series.rolled() > 0, "run spans several windows");
+        let want = series.to_json();
+        let fp = fingerprint(&base);
+        for (shards, threads) in [(2, 1), (4, 2), (6, 4)] {
+            let mut engine = gossip_engine(6, 11, shards)
+                .with_threads(threads)
+                .with_series(Duration::from_ns(200), 32);
+            engine.run();
+            assert_eq!(fingerprint(&engine), fp, "shards={shards} perturbed");
+            assert_eq!(
+                engine.series().expect("armed").to_json(),
+                want,
+                "series diverged at shards={shards} threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn window_series_survives_split_runs() {
+        let mut whole = gossip_engine(4, 17, 2).with_series(Duration::from_ns(200), 32);
+        whole.run();
+        let want = whole.series().expect("armed").to_json();
+
+        let mut split = gossip_engine(4, 17, 2).with_series(Duration::from_ns(200), 32);
+        split.run_until(Time::from_us(1), u64::MAX);
+        split.run();
+        assert_eq!(split.series().expect("armed").to_json(), want);
     }
 
     #[test]

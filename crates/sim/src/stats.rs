@@ -213,9 +213,13 @@ impl crate::snap::Restore for OnlineStats {
     }
 }
 
-/// A base-2 log-binned histogram for long-tailed quantities (latencies,
-/// message sizes). Bin `i` holds values in `[2^i, 2^(i+1))`; bin 0 also
-/// holds zero.
+/// A log-linear histogram for long-tailed quantities (latencies,
+/// message sizes). Values below 4 get exact unit bins; from 4 up, each
+/// power-of-two octave `[2^o, 2^(o+1))` is split into 4 equal-width
+/// sub-buckets, bounding the relative quantile error at ~25% per bucket
+/// instead of the ~100% a pure power-of-two binning allows. That
+/// resolution is what keeps `p50`/`p99` apart under realistic serving
+/// load (pure octave bins collapse them into one bucket).
 ///
 /// # Example
 ///
@@ -227,7 +231,7 @@ impl crate::snap::Restore for OnlineStats {
 ///     h.record(v);
 /// }
 /// assert_eq!(h.count(), 5);
-/// assert!(h.percentile(50.0) <= 100);
+/// assert_eq!(h.percentile(50.0), 3);
 /// ```
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct Histogram {
@@ -243,11 +247,30 @@ impl Histogram {
         Histogram::default()
     }
 
+    /// Sub-buckets per octave (must be a power of two; 4 = 2 bits).
+    const SUBS: usize = 4;
+
     fn bin_of(value: u64) -> usize {
-        if value == 0 {
-            0
+        if value < Self::SUBS as u64 {
+            value as usize
         } else {
-            63 - value.leading_zeros() as usize
+            let octave = 63 - value.leading_zeros() as usize;
+            let sub = ((value >> (octave - 2)) & 3) as usize;
+            Self::SUBS + (octave - 2) * Self::SUBS + sub
+        }
+    }
+
+    /// `(lower, upper)` inclusive bounds of bin `i`.
+    fn bin_bounds(i: usize) -> (u64, u64) {
+        if i < Self::SUBS {
+            (i as u64, i as u64)
+        } else {
+            let k = i - Self::SUBS;
+            let octave = k / Self::SUBS + 2;
+            let sub = (k % Self::SUBS) as u64;
+            let width = 1u64 << (octave - 2);
+            let lower = (Self::SUBS as u64 + sub) << (octave - 2);
+            (lower, lower + (width - 1))
         }
     }
 
@@ -299,12 +322,7 @@ impl Histogram {
         for (i, &c) in self.bins.iter().enumerate() {
             seen += c;
             if seen >= rank {
-                let upper = if i >= 63 {
-                    u64::MAX
-                } else {
-                    (1u64 << (i + 1)) - 1
-                };
-                return upper.min(self.max);
+                return Self::bin_bounds(i).1.min(self.max);
             }
         }
         self.max
@@ -316,7 +334,7 @@ impl Histogram {
             .iter()
             .enumerate()
             .filter(|(_, &c)| c > 0)
-            .map(|(i, &c)| (if i == 0 { 0 } else { 1u64 << i }, c))
+            .map(|(i, &c)| (Self::bin_bounds(i).0, c))
     }
 
     /// Merges another histogram into this one.
@@ -445,12 +463,29 @@ mod tests {
 
     #[test]
     fn histogram_binning() {
+        // Values below 4 get exact unit bins.
         assert_eq!(Histogram::bin_of(0), 0);
-        assert_eq!(Histogram::bin_of(1), 0);
-        assert_eq!(Histogram::bin_of(2), 1);
-        assert_eq!(Histogram::bin_of(3), 1);
-        assert_eq!(Histogram::bin_of(4), 2);
-        assert_eq!(Histogram::bin_of(u64::MAX), 63);
+        assert_eq!(Histogram::bin_of(1), 1);
+        assert_eq!(Histogram::bin_of(2), 2);
+        assert_eq!(Histogram::bin_of(3), 3);
+        // Octave 2 sub-buckets are still exact (width 1).
+        assert_eq!(Histogram::bin_of(4), 4);
+        assert_eq!(Histogram::bin_of(7), 7);
+        // Octave 3 starts at bin 8 with width-2 sub-buckets.
+        assert_eq!(Histogram::bin_of(8), 8);
+        assert_eq!(Histogram::bin_of(9), 8);
+        assert_eq!(Histogram::bin_of(10), 9);
+        assert_eq!(Histogram::bin_of(15), 11);
+        assert_eq!(Histogram::bin_of(16), 12);
+        assert_eq!(Histogram::bin_of(u64::MAX), 251);
+        // Bounds invert bin_of: every bin's bounds map back to itself.
+        for i in 0..252 {
+            let (lo, hi) = Histogram::bin_bounds(i);
+            assert_eq!(Histogram::bin_of(lo), i, "lower bound of bin {i}");
+            assert_eq!(Histogram::bin_of(hi), i, "upper bound of bin {i}");
+            assert!(lo <= hi);
+        }
+        assert_eq!(Histogram::bin_bounds(251).1, u64::MAX);
     }
 
     #[test]
@@ -464,10 +499,29 @@ mod tests {
         assert!((h.mean() - (1 + 1 + 2 + 4 + 8 + 1000) as f64 / 6.0).abs() < 1e-9);
         // p100 is the observed max
         assert_eq!(h.percentile(100.0), 1000);
-        // p50 falls in a low bin
-        assert!(h.percentile(50.0) <= 3);
+        // p50 is the third ranked sample's bin, which is exact here
+        assert_eq!(h.percentile(50.0), 2);
         let bins: Vec<_> = h.iter().collect();
-        assert!(bins.iter().any(|&(lo, c)| lo == 0 && c == 2));
+        assert!(bins.iter().any(|&(lo, c)| lo == 1 && c == 2));
+    }
+
+    #[test]
+    fn percentiles_separate_under_skewed_load() {
+        // A 90/10 bimodal latency mix: pure power-of-two bins would put
+        // p50 and p99 only one octave apart (or collapse them); the
+        // log-linear sub-buckets must keep them clearly distinct.
+        let mut h = Histogram::new();
+        for _ in 0..90 {
+            h.record(1_000);
+        }
+        for _ in 0..10 {
+            h.record(9_000);
+        }
+        let p50 = h.percentile(50.0);
+        let p99 = h.percentile(99.0);
+        assert!((896..=1_023).contains(&p50), "p50 = {p50}");
+        assert!((8_192..=10_239).contains(&p99), "p99 = {p99}");
+        assert!(p99 > 4 * p50, "p50 {p50} and p99 {p99} must separate");
     }
 
     #[test]

@@ -1,0 +1,1244 @@
+//! TelePlane: windowed time-series telemetry and an anomaly-triggered
+//! flight recorder.
+//!
+//! End-of-run aggregates (PR 2's [`crate::metrics`]) answer "how much
+//! in total"; an operator diagnosing an SLO breach needs "when, and
+//! what else was happening". This module adds the time-resolved layer:
+//!
+//! * [`TimeSeries`] — named counters, gauges and histograms bucketed
+//!   into fixed sim-time windows of configurable width, with a bounded
+//!   ring of closed-window aggregates, lifetime totals, canonical JSON
+//!   export, and [`Snapshot`]/[`Restore`] support. Everything is
+//!   driven by simulated time, so exports are byte-identical at any
+//!   `ECOSCALE_THREADS`/`ECOSCALE_SHARDS` setting.
+//! * [`FlightRecorder`] — an always-on bounded ring of recent trace
+//!   events. Disabled, every call is a single branch on an `Option`
+//!   and allocates nothing; armed, the ring is allocated once up
+//!   front. A [`TriggerPolicy`] decides which anomalies (SLO-breach
+//!   windows, queue saturation, CheckPlane violations, resilience
+//!   quarantine) latch a [`TriggerFire`], after which the ring plus
+//!   the time-series tail form a deterministic evidence bundle.
+//!
+//! The conservation contract between the two layers is checkable:
+//! for every windowed counter, the counts in the retained ring plus
+//! the counts evicted from it plus the open window must sum to the
+//! lifetime total ([`TimeSeries::check_conservation`], registered as
+//! `telem.window_conserved` in the invariant catalog).
+
+use std::collections::{BTreeMap, VecDeque};
+
+use crate::check::{invariant, CheckPlane};
+use crate::json;
+use crate::snap::{malformed, Restore, RestoreError, SnapReader, SnapWriter, Snapshot};
+use crate::stats::Histogram;
+use crate::time::{Duration, Time};
+
+/// Telemetry plane configuration: window width, ring depths, and the
+/// flight-recorder trigger policy.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TelemetryConfig {
+    /// Width of one time-series window in simulated time.
+    pub window: Duration,
+    /// How many closed windows the series ring retains.
+    pub retain: usize,
+    /// Flight-recorder ring capacity (events).
+    pub flight: usize,
+    /// Which anomalies latch a flight-recorder trigger.
+    pub policy: TriggerPolicy,
+}
+
+impl TelemetryConfig {
+    /// A config with the given window width and default ring depths
+    /// (64 retained windows, 128 flight events, all triggers armed).
+    pub fn new(window: Duration) -> TelemetryConfig {
+        TelemetryConfig {
+            window,
+            retain: 64,
+            flight: 128,
+            policy: TriggerPolicy::default(),
+        }
+    }
+}
+
+/// One windowed counter: the open-window count plus the bookkeeping
+/// needed to prove conservation against the lifetime total.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+struct WinCounter {
+    /// Count in the open window.
+    cur: u64,
+    /// Lifetime total across all windows.
+    total: u64,
+    /// Counts attributed to windows evicted from the ring.
+    evicted: u64,
+}
+
+/// Closed-window aggregate: one entry in the [`TimeSeries`] ring.
+///
+/// Histograms are kept raw (not as percentile summaries) so per-cell
+/// series merge exactly; percentiles are computed at export time.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct WindowAgg {
+    /// Window index (window `i` covers `[i*width, (i+1)*width)`).
+    pub index: u64,
+    counters: Vec<(String, u64)>,
+    gauges: Vec<(String, u64)>,
+    hists: Vec<(String, Histogram)>,
+}
+
+impl WindowAgg {
+    /// The count a named counter contributed to this window.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, v)| v)
+            .unwrap_or(0)
+    }
+
+    /// The sampled level of a named gauge in this window.
+    pub fn gauge(&self, name: &str) -> u64 {
+        self.gauges
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, v)| v)
+            .unwrap_or(0)
+    }
+
+    /// The windowed histogram recorded under `name`, if any.
+    pub fn hist(&self, name: &str) -> Option<&Histogram> {
+        self.hists.iter().find(|(n, _)| n == name).map(|(_, h)| h)
+    }
+
+    fn merge(&mut self, other: &WindowAgg) {
+        debug_assert_eq!(self.index, other.index);
+        for (name, v) in &other.counters {
+            match self.counters.iter_mut().find(|(n, _)| n == name) {
+                Some((_, mine)) => *mine += v,
+                None => self.counters.push((name.clone(), *v)),
+            }
+        }
+        for (name, v) in &other.gauges {
+            match self.gauges.iter_mut().find(|(n, _)| n == name) {
+                Some((_, mine)) => *mine += v,
+                None => self.gauges.push((name.clone(), *v)),
+            }
+        }
+        for (name, h) in &other.hists {
+            match self.hists.iter_mut().find(|(n, _)| n == name) {
+                Some((_, mine)) => mine.merge(h),
+                None => self.hists.push((name.clone(), h.clone())),
+            }
+        }
+        self.counters.sort_by(|a, b| a.0.cmp(&b.0));
+        self.gauges.sort_by(|a, b| a.0.cmp(&b.0));
+        self.hists.sort_by(|a, b| a.0.cmp(&b.0));
+    }
+}
+
+/// Named instruments bucketed into fixed sim-time windows.
+///
+/// Callers drive the clock explicitly: [`TimeSeries::advance`] closes
+/// every window that ends at or before `now`, pushing its aggregate
+/// into a bounded ring; recording calls then land in the open window.
+/// Counters keep a lifetime total beside the window count, gauges are
+/// sampled levels that persist across rolls, histograms reset per
+/// window but stay raw in the ring so series merge exactly.
+///
+/// # Example
+///
+/// ```
+/// use ecoscale_sim::{Duration, Time, TimeSeries};
+///
+/// let mut ts = TimeSeries::new(Duration::from_us(10), 8);
+/// ts.incr("req", 3);
+/// ts.advance(Time::ZERO + Duration::from_us(25));
+/// ts.incr("req", 1);
+/// ts.finish(Time::ZERO + Duration::from_us(25));
+/// assert_eq!(ts.lifetime("req"), 4);
+/// assert_eq!(ts.windows().count(), 3);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimeSeries {
+    width: Duration,
+    retain: usize,
+    /// Index of the open window.
+    open: u64,
+    /// Number of windows closed so far.
+    rolled: u64,
+    counters: BTreeMap<String, WinCounter>,
+    gauges: BTreeMap<String, u64>,
+    hists: BTreeMap<String, Histogram>,
+    ring: VecDeque<WindowAgg>,
+}
+
+impl TimeSeries {
+    /// Creates a series with the given window width, retaining up to
+    /// `retain` closed windows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero or `retain` is zero.
+    pub fn new(width: Duration, retain: usize) -> TimeSeries {
+        assert!(!width.is_zero(), "window width must be non-zero");
+        assert!(retain > 0, "must retain at least one window");
+        TimeSeries {
+            width,
+            retain,
+            open: 0,
+            rolled: 0,
+            counters: BTreeMap::new(),
+            gauges: BTreeMap::new(),
+            hists: BTreeMap::new(),
+            ring: VecDeque::with_capacity(retain),
+        }
+    }
+
+    /// The configured window width.
+    pub fn width(&self) -> Duration {
+        self.width
+    }
+
+    /// Number of windows closed so far.
+    pub fn rolled(&self) -> u64 {
+        self.rolled
+    }
+
+    /// Adds `n` to the counter `name` in the open window.
+    pub fn incr(&mut self, name: &str, n: u64) {
+        let c = self.counters.entry(name.to_owned()).or_default();
+        c.cur += n;
+        c.total += n;
+    }
+
+    /// Sets the gauge `name` to level `v` (persists across rolls).
+    pub fn set_gauge(&mut self, name: &str, v: u64) {
+        *self.gauges.entry(name.to_owned()).or_default() = v;
+    }
+
+    /// Records `v` into the open window's histogram `name`.
+    pub fn record(&mut self, name: &str, v: u64) {
+        self.hists.entry(name.to_owned()).or_default().record(v);
+    }
+
+    /// Merges a pre-accumulated histogram into the open window's
+    /// histogram `name` (how drivers hand over a window's worth of
+    /// latencies in one call).
+    pub fn merge_hist(&mut self, name: &str, h: &Histogram) {
+        self.hists.entry(name.to_owned()).or_default().merge(h);
+    }
+
+    /// The index of the window containing `t`.
+    pub fn window_index(&self, t: Time) -> u64 {
+        t.as_ps() / self.width.as_ps()
+    }
+
+    /// Lifetime total of the counter `name` across all windows.
+    pub fn lifetime(&self, name: &str) -> u64 {
+        self.counters.get(name).map(|c| c.total).unwrap_or(0)
+    }
+
+    /// Closes every window that ends at or before `now`.
+    pub fn advance(&mut self, now: Time) {
+        let w = self.width.as_ps();
+        while (self.open + 1).saturating_mul(w) <= now.as_ps() {
+            self.close_open();
+        }
+    }
+
+    /// Rolls up to `now`, then closes the partial open window too.
+    /// Call once at end of run so the tail is exported.
+    pub fn finish(&mut self, now: Time) {
+        self.advance(now);
+        self.close_open();
+    }
+
+    fn close_open(&mut self) {
+        let agg = WindowAgg {
+            index: self.open,
+            counters: self
+                .counters
+                .iter()
+                .map(|(n, c)| (n.clone(), c.cur))
+                .collect(),
+            gauges: self.gauges.iter().map(|(n, &v)| (n.clone(), v)).collect(),
+            hists: self
+                .hists
+                .iter()
+                .map(|(n, h)| (n.clone(), h.clone()))
+                .collect(),
+        };
+        for c in self.counters.values_mut() {
+            c.cur = 0;
+        }
+        for h in self.hists.values_mut() {
+            *h = Histogram::new();
+        }
+        self.push_agg(agg);
+        self.open += 1;
+        self.rolled += 1;
+    }
+
+    fn push_agg(&mut self, agg: WindowAgg) {
+        if self.ring.len() == self.retain {
+            let old = self.ring.pop_front().expect("ring non-empty at capacity");
+            for (name, v) in &old.counters {
+                self.counters.entry(name.clone()).or_default().evicted += v;
+            }
+        }
+        self.ring.push_back(agg);
+    }
+
+    /// Iterates retained closed windows, oldest first.
+    pub fn windows(&self) -> impl Iterator<Item = &WindowAgg> {
+        self.ring.iter()
+    }
+
+    /// The most recent `n` closed windows, oldest first.
+    pub fn tail(&self, n: usize) -> impl Iterator<Item = &WindowAgg> {
+        self.ring.iter().skip(self.ring.len().saturating_sub(n))
+    }
+
+    /// Checks `telem.window_conserved`: for every counter, ring counts
+    /// plus evicted counts plus the open window equal the lifetime
+    /// total.
+    pub fn check_conservation(&self, cp: &mut CheckPlane) {
+        for (name, c) in &self.counters {
+            let ring_sum: u64 = self.ring.iter().map(|w| w.counter(name)).sum();
+            let accounted = ring_sum + c.evicted + c.cur;
+            cp.check(
+                invariant::TELEM_WINDOW_CONSERVED,
+                accounted == c.total,
+                || {
+                    format!(
+                        "counter `{name}`: ring {ring_sum} + evicted {} + open {} != lifetime {}",
+                        c.evicted, c.cur, c.total
+                    )
+                },
+            );
+        }
+    }
+
+    /// Folds another series into this one (cell-order merge). Window
+    /// aggregates merge index-by-index: counters and gauges add,
+    /// histograms merge raw. Lifetime and eviction bookkeeping add, so
+    /// conservation still holds on the merged series.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window widths differ.
+    pub fn merge(&mut self, other: &TimeSeries) {
+        assert_eq!(
+            self.width, other.width,
+            "cannot merge time series with different window widths"
+        );
+        for (name, c) in &other.counters {
+            let mine = self.counters.entry(name.clone()).or_default();
+            mine.cur += c.cur;
+            mine.total += c.total;
+            mine.evicted += c.evicted;
+        }
+        for (name, &v) in &other.gauges {
+            *self.gauges.entry(name.clone()).or_default() += v;
+        }
+        for (name, h) in &other.hists {
+            self.hists.entry(name.clone()).or_default().merge(h);
+        }
+        let mut by_index: BTreeMap<u64, WindowAgg> = BTreeMap::new();
+        for agg in self.ring.drain(..) {
+            by_index.insert(agg.index, agg);
+        }
+        for agg in &other.ring {
+            match by_index.get_mut(&agg.index) {
+                Some(mine) => mine.merge(agg),
+                None => {
+                    by_index.insert(agg.index, agg.clone());
+                }
+            }
+        }
+        for (_, agg) in by_index {
+            self.push_agg(agg);
+        }
+        self.open = self.open.max(other.open);
+        self.rolled = self.rolled.max(other.rolled);
+    }
+
+    /// Renders the series as canonical JSON: window parameters,
+    /// lifetime counter totals, then retained windows oldest-first with
+    /// counters/gauges in name order and histogram summaries
+    /// (`count`/`p50`/`p99`/`max`) computed from the raw windowed
+    /// histograms. Deterministic byte-for-byte for a deterministic
+    /// simulation.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(256 + self.ring.len() * 128);
+        out.push_str("{\"width_ns\":");
+        out.push_str(&self.width.as_ns().to_string());
+        out.push_str(",\"retain\":");
+        out.push_str(&self.retain.to_string());
+        out.push_str(",\"windows_rolled\":");
+        out.push_str(&self.rolled.to_string());
+        out.push_str(",\"lifetime\":{");
+        let mut first = true;
+        for (name, c) in &self.counters {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            json::escape(&mut out, name);
+            out.push(':');
+            out.push_str(&c.total.to_string());
+        }
+        out.push_str("},\"windows\":[");
+        let width_ns = self.width.as_ns();
+        for (wi, agg) in self.ring.iter().enumerate() {
+            if wi > 0 {
+                out.push(',');
+            }
+            Self::window_json(&mut out, agg, width_ns);
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Renders the last `n` retained windows (oldest-first) as a JSON
+    /// array of window objects — the "series tail" a flight-recorder
+    /// evidence bundle carries alongside the trace ring.
+    pub fn tail_json(&self, n: usize) -> String {
+        let mut out = String::with_capacity(64 + n * 128);
+        out.push('[');
+        let width_ns = self.width.as_ns();
+        for (wi, agg) in self.tail(n).enumerate() {
+            if wi > 0 {
+                out.push(',');
+            }
+            Self::window_json(&mut out, agg, width_ns);
+        }
+        out.push(']');
+        out
+    }
+
+    fn window_json(out: &mut String, agg: &WindowAgg, width_ns: u64) {
+        out.push_str("{\"index\":");
+        out.push_str(&agg.index.to_string());
+        out.push_str(",\"start_ns\":");
+        out.push_str(&(agg.index * width_ns).to_string());
+        out.push_str(",\"end_ns\":");
+        out.push_str(&((agg.index + 1) * width_ns).to_string());
+        out.push_str(",\"counters\":{");
+        let mut f = true;
+        for (name, v) in &agg.counters {
+            if !f {
+                out.push(',');
+            }
+            f = false;
+            json::escape(out, name);
+            out.push(':');
+            out.push_str(&v.to_string());
+        }
+        out.push_str("},\"gauges\":{");
+        let mut f = true;
+        for (name, v) in &agg.gauges {
+            if !f {
+                out.push(',');
+            }
+            f = false;
+            json::escape(out, name);
+            out.push(':');
+            out.push_str(&v.to_string());
+        }
+        out.push_str("},\"hists\":{");
+        let mut f = true;
+        for (name, h) in &agg.hists {
+            if !f {
+                out.push(',');
+            }
+            f = false;
+            json::escape(out, name);
+            out.push_str(":{\"count\":");
+            out.push_str(&h.count().to_string());
+            out.push_str(",\"p50\":");
+            out.push_str(&h.percentile(50.0).to_string());
+            out.push_str(",\"p99\":");
+            out.push_str(&h.percentile(99.0).to_string());
+            out.push_str(",\"max\":");
+            out.push_str(&h.max().to_string());
+            out.push('}');
+        }
+        out.push_str("}}");
+    }
+}
+
+impl Snapshot for WindowAgg {
+    fn snapshot(&self, w: &mut SnapWriter) {
+        w.put_u64(self.index);
+        w.put_usize(self.counters.len());
+        for (name, v) in &self.counters {
+            w.put_str(name);
+            w.put_u64(*v);
+        }
+        w.put_usize(self.gauges.len());
+        for (name, v) in &self.gauges {
+            w.put_str(name);
+            w.put_u64(*v);
+        }
+        w.put_usize(self.hists.len());
+        for (name, h) in &self.hists {
+            w.put_str(name);
+            h.snapshot(w);
+        }
+    }
+}
+
+impl Restore for WindowAgg {
+    fn restore(r: &mut SnapReader<'_>) -> Result<WindowAgg, RestoreError> {
+        let index = r.get_u64()?;
+        let n = r.get_usize()?;
+        let mut counters = Vec::with_capacity(n);
+        for _ in 0..n {
+            let name = r.get_str()?;
+            counters.push((name, r.get_u64()?));
+        }
+        let n = r.get_usize()?;
+        let mut gauges = Vec::with_capacity(n);
+        for _ in 0..n {
+            let name = r.get_str()?;
+            gauges.push((name, r.get_u64()?));
+        }
+        let n = r.get_usize()?;
+        let mut hists = Vec::with_capacity(n);
+        for _ in 0..n {
+            let name = r.get_str()?;
+            hists.push((name, Histogram::restore(r)?));
+        }
+        Ok(WindowAgg {
+            index,
+            counters,
+            gauges,
+            hists,
+        })
+    }
+}
+
+impl Snapshot for TimeSeries {
+    fn snapshot(&self, w: &mut SnapWriter) {
+        w.put_duration(self.width);
+        w.put_usize(self.retain);
+        w.put_u64(self.open);
+        w.put_u64(self.rolled);
+        w.put_usize(self.counters.len());
+        for (name, c) in &self.counters {
+            w.put_str(name);
+            w.put_u64(c.cur);
+            w.put_u64(c.total);
+            w.put_u64(c.evicted);
+        }
+        w.put_usize(self.gauges.len());
+        for (name, &v) in &self.gauges {
+            w.put_str(name);
+            w.put_u64(v);
+        }
+        w.put_usize(self.hists.len());
+        for (name, h) in &self.hists {
+            w.put_str(name);
+            h.snapshot(w);
+        }
+        w.put_usize(self.ring.len());
+        for agg in &self.ring {
+            agg.snapshot(w);
+        }
+    }
+}
+
+impl Restore for TimeSeries {
+    fn restore(r: &mut SnapReader<'_>) -> Result<TimeSeries, RestoreError> {
+        let width = r.get_duration()?;
+        if width.is_zero() {
+            return Err(malformed("time series window width is zero"));
+        }
+        let retain = r.get_usize()?;
+        if retain == 0 {
+            return Err(malformed("time series retains zero windows"));
+        }
+        let open = r.get_u64()?;
+        let rolled = r.get_u64()?;
+        let n = r.get_usize()?;
+        let mut counters = BTreeMap::new();
+        for _ in 0..n {
+            let name = r.get_str()?;
+            let c = WinCounter {
+                cur: r.get_u64()?,
+                total: r.get_u64()?,
+                evicted: r.get_u64()?,
+            };
+            if counters.insert(name.clone(), c).is_some() {
+                return Err(malformed(format!("duplicate telemetry counter `{name}`")));
+            }
+        }
+        let n = r.get_usize()?;
+        let mut gauges = BTreeMap::new();
+        for _ in 0..n {
+            let name = r.get_str()?;
+            let v = r.get_u64()?;
+            if gauges.insert(name.clone(), v).is_some() {
+                return Err(malformed(format!("duplicate telemetry gauge `{name}`")));
+            }
+        }
+        let n = r.get_usize()?;
+        let mut hists = BTreeMap::new();
+        for _ in 0..n {
+            let name = r.get_str()?;
+            let h = Histogram::restore(r)?;
+            if hists.insert(name.clone(), h).is_some() {
+                return Err(malformed(format!("duplicate telemetry histogram `{name}`")));
+            }
+        }
+        let n = r.get_usize()?;
+        if n > retain {
+            return Err(malformed(format!(
+                "ring holds {n} windows, retain is {retain}"
+            )));
+        }
+        let mut ring = VecDeque::with_capacity(retain);
+        let mut last: Option<u64> = None;
+        for _ in 0..n {
+            let agg = WindowAgg::restore(r)?;
+            if agg.index >= open {
+                return Err(malformed(format!(
+                    "ring window {} not before open window {open}",
+                    agg.index
+                )));
+            }
+            if let Some(prev) = last {
+                if agg.index <= prev {
+                    return Err(malformed("ring windows out of order"));
+                }
+            }
+            last = Some(agg.index);
+            ring.push_back(agg);
+        }
+        Ok(TimeSeries {
+            width,
+            retain,
+            open,
+            rolled,
+            counters,
+            gauges,
+            hists,
+            ring,
+        })
+    }
+}
+
+/// Which anomaly classes latch a flight-recorder trigger.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TriggerPolicy {
+    /// A closed window whose latency p99 exceeds the SLO deadline.
+    pub slo_breach: bool,
+    /// A closed window in which admission shed requests on a full queue.
+    pub queue_saturation: bool,
+    /// A CheckPlane violation observed since the last window.
+    pub check_violation: bool,
+    /// A resilience-layer domain quarantine since the last window.
+    pub quarantine: bool,
+}
+
+impl Default for TriggerPolicy {
+    /// All trigger classes armed.
+    fn default() -> TriggerPolicy {
+        TriggerPolicy {
+            slo_breach: true,
+            queue_saturation: true,
+            check_violation: true,
+            quarantine: true,
+        }
+    }
+}
+
+impl TriggerPolicy {
+    /// A policy with every trigger class disarmed.
+    pub fn none() -> TriggerPolicy {
+        TriggerPolicy {
+            slo_breach: false,
+            queue_saturation: false,
+            check_violation: false,
+            quarantine: false,
+        }
+    }
+}
+
+/// An anomaly class that can fire the flight recorder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TriggerKind {
+    /// Window latency p99 exceeded the deadline.
+    SloBreach,
+    /// Admission shed on a saturated queue this window.
+    QueueSaturation,
+    /// CheckPlane recorded a violation.
+    CheckViolation,
+    /// A resilience domain was quarantined.
+    Quarantine,
+}
+
+impl TriggerKind {
+    /// Stable name used in exports.
+    pub fn name(self) -> &'static str {
+        match self {
+            TriggerKind::SloBreach => "slo_breach",
+            TriggerKind::QueueSaturation => "queue_saturation",
+            TriggerKind::CheckViolation => "check_violation",
+            TriggerKind::Quarantine => "quarantine",
+        }
+    }
+
+    fn armed_in(self, p: &TriggerPolicy) -> bool {
+        match self {
+            TriggerKind::SloBreach => p.slo_breach,
+            TriggerKind::QueueSaturation => p.queue_saturation,
+            TriggerKind::CheckViolation => p.check_violation,
+            TriggerKind::Quarantine => p.quarantine,
+        }
+    }
+}
+
+/// One event in the flight ring.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlightEvent {
+    /// Simulated time of the event.
+    pub time: Time,
+    /// Short stable category (`"exemplar"`, `"window"`, ...).
+    pub kind: String,
+    /// Human-readable detail.
+    pub detail: String,
+}
+
+/// A latched trigger: when, which window, why.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TriggerFire {
+    /// Simulated time the trigger fired.
+    pub time: Time,
+    /// Index of the window that tripped it.
+    pub window: u64,
+    /// [`TriggerKind::name`] of the cause.
+    pub reason: String,
+    /// Human-readable detail.
+    pub detail: String,
+}
+
+struct FlightInner {
+    cap: usize,
+    policy: TriggerPolicy,
+    ring: VecDeque<FlightEvent>,
+    dropped: u64,
+    triggers: Vec<TriggerFire>,
+}
+
+/// An always-on bounded ring of recent events plus latched triggers.
+///
+/// The disabled recorder is a single `Option` branch per call — no
+/// allocation, and detail closures are never invoked. Arming allocates
+/// the ring once; a full ring drops its oldest event (counted in
+/// `dropped`) so memory stays fixed.
+pub struct FlightRecorder {
+    inner: Option<Box<FlightInner>>,
+}
+
+impl FlightRecorder {
+    /// The no-op recorder: every call is one branch.
+    pub fn disabled() -> FlightRecorder {
+        FlightRecorder { inner: None }
+    }
+
+    /// Arms a recorder with a ring of `cap` events and the given
+    /// trigger policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cap` is zero.
+    pub fn armed(cap: usize, policy: TriggerPolicy) -> FlightRecorder {
+        assert!(cap > 0, "flight ring capacity must be non-zero");
+        FlightRecorder {
+            inner: Some(Box::new(FlightInner {
+                cap,
+                policy,
+                ring: VecDeque::with_capacity(cap),
+                dropped: 0,
+                triggers: Vec::new(),
+            })),
+        }
+    }
+
+    /// True when the recorder is armed.
+    #[inline]
+    pub fn is_armed(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Records an event. Disabled: one branch, `detail` never runs.
+    #[inline]
+    pub fn note(&mut self, time: Time, kind: &str, detail: impl FnOnce() -> String) {
+        let Some(inner) = self.inner.as_deref_mut() else {
+            return;
+        };
+        if inner.ring.len() == inner.cap {
+            inner.ring.pop_front();
+            inner.dropped += 1;
+        }
+        inner.ring.push_back(FlightEvent {
+            time,
+            kind: kind.to_owned(),
+            detail: detail(),
+        });
+    }
+
+    /// Latches a trigger if `kind` is armed in the policy. Returns
+    /// whether it fired. Disabled: one branch, `detail` never runs.
+    #[inline]
+    pub fn trigger(
+        &mut self,
+        time: Time,
+        window: u64,
+        kind: TriggerKind,
+        detail: impl FnOnce() -> String,
+    ) -> bool {
+        let Some(inner) = self.inner.as_deref_mut() else {
+            return false;
+        };
+        if !kind.armed_in(&inner.policy) {
+            return false;
+        }
+        inner.triggers.push(TriggerFire {
+            time,
+            window,
+            reason: kind.name().to_owned(),
+            detail: detail(),
+        });
+        true
+    }
+
+    /// True when at least one trigger has latched.
+    pub fn fired(&self) -> bool {
+        self.inner
+            .as_deref()
+            .map(|i| !i.triggers.is_empty())
+            .unwrap_or(false)
+    }
+
+    /// The earliest latched trigger, if any.
+    pub fn first_trigger(&self) -> Option<&TriggerFire> {
+        self.inner.as_deref().and_then(|i| i.triggers.first())
+    }
+
+    /// All latched triggers, in firing order.
+    pub fn triggers(&self) -> &[TriggerFire] {
+        self.inner
+            .as_deref()
+            .map(|i| i.triggers.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// Events currently in the ring, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &FlightEvent> {
+        self.inner.iter().flat_map(|i| i.ring.iter())
+    }
+
+    /// Events dropped because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.inner.as_deref().map(|i| i.dropped).unwrap_or(0)
+    }
+
+    /// Renders the recorder as canonical JSON: arming state, drop
+    /// count, the event ring oldest-first, and latched triggers in
+    /// firing order.
+    pub fn to_json(&self) -> String {
+        let Some(inner) = self.inner.as_deref() else {
+            return "{\"armed\":false}".to_owned();
+        };
+        let mut out = String::with_capacity(64 + inner.ring.len() * 96);
+        out.push_str("{\"armed\":true,\"cap\":");
+        out.push_str(&inner.cap.to_string());
+        out.push_str(",\"dropped\":");
+        out.push_str(&inner.dropped.to_string());
+        out.push_str(",\"events\":[");
+        for (i, ev) in inner.ring.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"t_ns\":");
+            out.push_str(&ev.time.as_ns().to_string());
+            out.push_str(",\"kind\":");
+            json::escape(&mut out, &ev.kind);
+            out.push_str(",\"detail\":");
+            json::escape(&mut out, &ev.detail);
+            out.push('}');
+        }
+        out.push_str("],\"triggers\":[");
+        for (i, t) in inner.triggers.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"t_ns\":");
+            out.push_str(&t.time.as_ns().to_string());
+            out.push_str(",\"window\":");
+            out.push_str(&t.window.to_string());
+            out.push_str(",\"reason\":");
+            json::escape(&mut out, &t.reason);
+            out.push_str(",\"detail\":");
+            json::escape(&mut out, &t.detail);
+            out.push('}');
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+impl std::fmt::Debug for FlightRecorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.inner.as_deref() {
+            None => f.write_str("FlightRecorder(disabled)"),
+            Some(i) => write!(
+                f,
+                "FlightRecorder(armed, {} events, {} triggers)",
+                i.ring.len(),
+                i.triggers.len()
+            ),
+        }
+    }
+}
+
+impl Clone for FlightRecorder {
+    fn clone(&self) -> FlightRecorder {
+        FlightRecorder {
+            inner: self.inner.as_deref().map(|i| {
+                Box::new(FlightInner {
+                    cap: i.cap,
+                    policy: i.policy,
+                    ring: i.ring.clone(),
+                    dropped: i.dropped,
+                    triggers: i.triggers.clone(),
+                })
+            }),
+        }
+    }
+}
+
+impl PartialEq for FlightRecorder {
+    fn eq(&self, other: &FlightRecorder) -> bool {
+        self.to_json() == other.to_json()
+    }
+}
+
+impl Snapshot for TriggerPolicy {
+    fn snapshot(&self, w: &mut SnapWriter) {
+        w.put_bool(self.slo_breach);
+        w.put_bool(self.queue_saturation);
+        w.put_bool(self.check_violation);
+        w.put_bool(self.quarantine);
+    }
+}
+
+impl Restore for TriggerPolicy {
+    fn restore(r: &mut SnapReader<'_>) -> Result<TriggerPolicy, RestoreError> {
+        Ok(TriggerPolicy {
+            slo_breach: r.get_bool()?,
+            queue_saturation: r.get_bool()?,
+            check_violation: r.get_bool()?,
+            quarantine: r.get_bool()?,
+        })
+    }
+}
+
+impl Snapshot for FlightRecorder {
+    fn snapshot(&self, w: &mut SnapWriter) {
+        match self.inner.as_deref() {
+            None => w.put_bool(false),
+            Some(i) => {
+                w.put_bool(true);
+                w.put_usize(i.cap);
+                i.policy.snapshot(w);
+                w.put_u64(i.dropped);
+                w.put_usize(i.ring.len());
+                for ev in &i.ring {
+                    w.put_time(ev.time);
+                    w.put_str(&ev.kind);
+                    w.put_str(&ev.detail);
+                }
+                w.put_usize(i.triggers.len());
+                for t in &i.triggers {
+                    w.put_time(t.time);
+                    w.put_u64(t.window);
+                    w.put_str(&t.reason);
+                    w.put_str(&t.detail);
+                }
+            }
+        }
+    }
+}
+
+impl Restore for FlightRecorder {
+    fn restore(r: &mut SnapReader<'_>) -> Result<FlightRecorder, RestoreError> {
+        if !r.get_bool()? {
+            return Ok(FlightRecorder::disabled());
+        }
+        let cap = r.get_usize()?;
+        if cap == 0 {
+            return Err(malformed("flight ring capacity is zero"));
+        }
+        let policy = TriggerPolicy::restore(r)?;
+        let dropped = r.get_u64()?;
+        let n = r.get_usize()?;
+        if n > cap {
+            return Err(malformed(format!(
+                "flight ring holds {n} events, cap is {cap}"
+            )));
+        }
+        let mut ring = VecDeque::with_capacity(cap);
+        for _ in 0..n {
+            ring.push_back(FlightEvent {
+                time: r.get_time()?,
+                kind: r.get_str()?,
+                detail: r.get_str()?,
+            });
+        }
+        let n = r.get_usize()?;
+        let mut triggers = Vec::with_capacity(n);
+        for _ in 0..n {
+            triggers.push(TriggerFire {
+                time: r.get_time()?,
+                window: r.get_u64()?,
+                reason: r.get_str()?,
+                detail: r.get_str()?,
+            });
+        }
+        Ok(FlightRecorder {
+            inner: Some(Box::new(FlightInner {
+                cap,
+                policy,
+                ring,
+                dropped,
+                triggers,
+            })),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn us(n: u64) -> Time {
+        Time::ZERO + Duration::from_us(n)
+    }
+
+    #[test]
+    fn windows_roll_on_fixed_boundaries() {
+        let mut ts = TimeSeries::new(Duration::from_us(10), 16);
+        ts.incr("ev", 2);
+        ts.advance(us(9)); // still inside window 0
+        assert_eq!(ts.rolled(), 0);
+        ts.advance(us(10)); // window 0 closes exactly at its end
+        assert_eq!(ts.rolled(), 1);
+        ts.incr("ev", 5);
+        ts.advance(us(35)); // windows 1 and 2 close
+        assert_eq!(ts.rolled(), 3);
+        ts.finish(us(35)); // partial window 3 closes
+        assert_eq!(ts.rolled(), 4);
+        let w: Vec<_> = ts.windows().collect();
+        assert_eq!(w.len(), 4);
+        assert_eq!(w[0].counter("ev"), 2);
+        assert_eq!(w[1].counter("ev"), 5);
+        assert_eq!(w[2].counter("ev"), 0);
+        assert_eq!(ts.lifetime("ev"), 7);
+    }
+
+    #[test]
+    fn gauges_persist_and_hists_reset_per_window() {
+        let mut ts = TimeSeries::new(Duration::from_us(10), 16);
+        ts.set_gauge("queue", 3);
+        ts.record("lat", 100);
+        ts.advance(us(10));
+        ts.record("lat", 9_000);
+        ts.finish(us(15));
+        let w: Vec<_> = ts.windows().collect();
+        assert_eq!(w[0].gauge("queue"), 3);
+        assert_eq!(w[1].gauge("queue"), 3, "gauge level persists");
+        assert_eq!(w[0].hist("lat").unwrap().count(), 1);
+        assert_eq!(w[1].hist("lat").unwrap().count(), 1);
+        assert_eq!(w[1].hist("lat").unwrap().max(), 9_000);
+    }
+
+    #[test]
+    fn conservation_holds_through_ring_eviction() {
+        let mut ts = TimeSeries::new(Duration::from_us(1), 4);
+        for i in 0..12u64 {
+            ts.incr("ev", i + 1);
+            ts.advance(us(i + 1));
+        }
+        assert_eq!(ts.windows().count(), 4, "ring stays bounded");
+        let mut cp = CheckPlane::enabled(1);
+        ts.check_conservation(&mut cp);
+        assert!(cp.ok(), "{:?}", cp.first());
+        assert_eq!(ts.lifetime("ev"), (1..=12).sum::<u64>());
+    }
+
+    #[test]
+    fn merge_equals_recording_into_one_series() {
+        let mut a = TimeSeries::new(Duration::from_us(10), 8);
+        let mut b = TimeSeries::new(Duration::from_us(10), 8);
+        let mut whole = TimeSeries::new(Duration::from_us(10), 8);
+        for i in 0..6u64 {
+            a.incr("ev", i);
+            b.incr("ev", 10 * i);
+            whole.incr("ev", 11 * i);
+            a.record("lat", 100 + i);
+            b.record("lat", 5_000 + i);
+            whole.record("lat", 100 + i);
+            whole.record("lat", 5_000 + i);
+            a.advance(us((i + 1) * 10));
+            b.advance(us((i + 1) * 10));
+            whole.advance(us((i + 1) * 10));
+        }
+        a.finish(us(60));
+        b.finish(us(60));
+        whole.finish(us(60));
+        a.merge(&b);
+        assert_eq!(a.to_json(), whole.to_json());
+        let mut cp = CheckPlane::enabled(1);
+        a.check_conservation(&mut cp);
+        assert!(cp.ok(), "{:?}", cp.first());
+    }
+
+    #[test]
+    fn json_is_well_formed_and_reruns_identically() {
+        let mut ts = TimeSeries::new(Duration::from_us(10), 8);
+        ts.incr("req", 3);
+        ts.set_gauge("queue", 2);
+        ts.record("lat", 150);
+        ts.finish(us(25));
+        let text = ts.to_json();
+        let doc = json::parse(&text).expect("series JSON parses");
+        assert_eq!(doc.get("width_ns").unwrap().as_f64(), Some(10_000.0));
+        let windows = doc.get("windows").unwrap().as_arr().unwrap();
+        assert_eq!(windows.len(), 3);
+        assert_eq!(
+            windows[0]
+                .get("counters")
+                .unwrap()
+                .get("req")
+                .unwrap()
+                .as_f64(),
+            Some(3.0)
+        );
+        assert_eq!(ts.to_json(), text, "export is stable");
+    }
+
+    #[test]
+    fn series_snapshot_round_trips() {
+        let mut ts = TimeSeries::new(Duration::from_us(2), 3);
+        for i in 0..8u64 {
+            ts.incr("ev", i);
+            ts.set_gauge("g", 100 - i);
+            ts.record("lat", 1_000 * (i + 1));
+            ts.advance(us(2 * (i + 1)));
+        }
+        let mut w = SnapWriter::new();
+        ts.snapshot(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = SnapReader::new(&bytes);
+        let back = TimeSeries::restore(&mut r).expect("restore");
+        assert!(r.is_exhausted());
+        assert_eq!(back, ts);
+        assert_eq!(back.to_json(), ts.to_json());
+        let mut w2 = SnapWriter::new();
+        back.snapshot(&mut w2);
+        assert_eq!(w2.into_bytes(), bytes, "re-serialize is byte-identical");
+    }
+
+    #[test]
+    fn disabled_recorder_is_inert_and_closures_never_run() {
+        let mut fr = FlightRecorder::disabled();
+        assert!(!fr.is_armed());
+        fr.note(us(1), "x", || {
+            panic!("detail must not be built when disabled")
+        });
+        let fired = fr.trigger(us(1), 0, TriggerKind::SloBreach, || {
+            panic!("detail must not be built when disabled")
+        });
+        assert!(!fired);
+        assert!(!fr.fired());
+        assert_eq!(fr.events().count(), 0);
+        assert_eq!(fr.to_json(), "{\"armed\":false}");
+    }
+
+    #[test]
+    fn armed_ring_is_bounded_and_counts_drops() {
+        let mut fr = FlightRecorder::armed(3, TriggerPolicy::default());
+        for i in 0..5u64 {
+            fr.note(us(i), "tick", || format!("event {i}"));
+        }
+        assert_eq!(fr.events().count(), 3);
+        assert_eq!(fr.dropped(), 2);
+        let kinds: Vec<u64> = fr.events().map(|e| e.time.as_ns() / 1_000).collect();
+        assert_eq!(kinds, vec![2, 3, 4], "oldest events dropped first");
+    }
+
+    #[test]
+    fn trigger_policy_gates_firing() {
+        let mut policy = TriggerPolicy::none();
+        policy.quarantine = true;
+        let mut fr = FlightRecorder::armed(8, policy);
+        assert!(!fr.trigger(us(1), 0, TriggerKind::SloBreach, || "p99".into()));
+        assert!(fr.trigger(us(2), 1, TriggerKind::Quarantine, || "domain 3".into()));
+        assert!(fr.fired());
+        let t = fr.first_trigger().unwrap();
+        assert_eq!(t.reason, "quarantine");
+        assert_eq!(t.window, 1);
+    }
+
+    #[test]
+    fn recorder_snapshot_round_trips() {
+        let mut fr = FlightRecorder::armed(4, TriggerPolicy::default());
+        for i in 0..6u64 {
+            fr.note(us(i), "tick", || format!("event {i}"));
+        }
+        fr.trigger(us(9), 2, TriggerKind::CheckViolation, || "boom".into());
+        let mut w = SnapWriter::new();
+        fr.snapshot(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = SnapReader::new(&bytes);
+        let back = FlightRecorder::restore(&mut r).expect("restore");
+        assert!(r.is_exhausted());
+        assert_eq!(back.to_json(), fr.to_json());
+        assert_eq!(back.dropped(), 2);
+
+        let disabled = FlightRecorder::disabled();
+        let mut w = SnapWriter::new();
+        disabled.snapshot(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = SnapReader::new(&bytes);
+        let back = FlightRecorder::restore(&mut r).expect("restore");
+        assert!(!back.is_armed());
+    }
+
+    #[test]
+    fn flight_json_parses() {
+        let mut fr = FlightRecorder::armed(4, TriggerPolicy::default());
+        fr.note(us(1), "exemplar", || "req 7 \"quoted\"".into());
+        fr.trigger(us(2), 0, TriggerKind::SloBreach, || {
+            "p99 300us > 250us".into()
+        });
+        let doc = json::parse(&fr.to_json()).expect("flight JSON parses");
+        assert_eq!(
+            doc.get("events").unwrap().as_arr().unwrap()[0]
+                .get("kind")
+                .unwrap()
+                .as_str(),
+            Some("exemplar")
+        );
+        assert_eq!(
+            doc.get("triggers").unwrap().as_arr().unwrap()[0]
+                .get("reason")
+                .unwrap()
+                .as_str(),
+            Some("slo_breach")
+        );
+    }
+}

@@ -61,6 +61,25 @@ then
 fi
 grep -q "refusing snapshot" target/snap_smoke_err.txt
 
+echo "== tier-1: flight-recorder trigger smoke (TelePlane) =="
+# An unmeetable 1us deadline forces a windowed-p99 SLO breach, so the
+# flight recorder must fire and the evidence bundle (flight.json +
+# pre-trigger snapshot.bin) must land in the dump directory and parse.
+BREACH="seed=21,tenants=4,rate=100000,horizon=500us,batch=4,deadline=1us"
+rm -rf target/flight_smoke
+./target/release/exp_all --scale quick --serve "$BREACH" \
+    --telemetry target/telem_smoke.json \
+    --flight-dump target/flight_smoke e01 > /dev/null 2> target/telem_smoke_err.txt
+grep -q "wrote flight dump" target/telem_smoke_err.txt
+test -s target/flight_smoke/flight.json
+test -s target/flight_smoke/snapshot.bin
+grep -q '"slo_breach"' target/flight_smoke/flight.json
+grep -q '"windows"' target/telem_smoke.json
+# telemetry capture must be deterministic: a repeat is byte-identical
+./target/release/exp_all --scale quick --serve "$BREACH" \
+    --telemetry target/telem_smoke_b.json e01 > /dev/null 2>&1
+cmp target/telem_smoke.json target/telem_smoke_b.json
+
 echo "== tier-1: seeded fuzz smoke (CheckPlane) =="
 # 64 seeded configs across topology x policy x faults x threads x shards,
 # every invariant armed, exports compared byte-for-byte at THREADS=1 vs k

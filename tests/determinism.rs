@@ -241,6 +241,61 @@ fn fuzzed_shard_sims_are_byte_identical_at_four_shards() {
     }
 }
 
+fn telemetry_campaigns() -> Vec<(&'static str, CampaignSpec)> {
+    vec![
+        ("clean", CampaignSpec::off()),
+        (
+            "faulted",
+            CampaignSpec::parse("seed=5,seu=200us,smmu=0.002,scrub=400us")
+                .expect("campaign spec parses"),
+        ),
+    ]
+}
+
+/// The TelePlane capture behind `exp_all --telemetry` — the merged
+/// serving window series, the per-cell flight recorders, and the sharded
+/// engine's per-safe-window series — must export byte-identically at any
+/// pool width, with and without a fault campaign injected into the
+/// serving backend; the flight-dump evidence bundle rides along.
+#[test]
+fn telemetry_exports_are_independent_of_thread_count() {
+    for (label, campaign) in telemetry_campaigns() {
+        let capture = |threads| {
+            with_threads(threads, || {
+                let cap = obs::capture_telemetry(Scale::Quick, &campaign);
+                (cap.to_json(), cap.flight_dump_json())
+            })
+        };
+        assert_eq!(
+            capture("1"),
+            capture("8"),
+            "{label} telemetry capture must be byte-identical at \
+             ECOSCALE_THREADS=1 vs =8"
+        );
+    }
+}
+
+/// The shard half of the telemetry capture is fed by the sharded
+/// engine's safe-window folds, so the whole export (and its flight dump)
+/// must also be byte-identical at any `ECOSCALE_SHARDS` setting.
+#[test]
+fn telemetry_exports_are_independent_of_shard_count() {
+    for (label, campaign) in telemetry_campaigns() {
+        let capture = |shards| {
+            with_shards(shards, || {
+                let cap = obs::capture_telemetry(Scale::Quick, &campaign);
+                (cap.to_json(), cap.flight_dump_json())
+            })
+        };
+        assert_eq!(
+            capture("1"),
+            capture("4"),
+            "{label} telemetry capture must be byte-identical at \
+             ECOSCALE_SHARDS=1 vs =4"
+        );
+    }
+}
+
 /// The SnapPlane restore-equivalence oracle must hold at any pool or
 /// shard width: checkpoint the faulted serving run mid-horizon under one
 /// setting, resume it under another, and both the resumed exports and

@@ -192,6 +192,35 @@ fn chrome_trace_json_schema_is_pinned() {
     );
 }
 
+/// The `exp_all --telemetry` document — the merged serving window
+/// series, the per-cell flight recorders (forced to fire so the trigger
+/// and event fields are populated), and the sharded engine's
+/// per-safe-window series. Pins every series/flight field name and type.
+#[test]
+fn telemetry_json_schema_is_pinned() {
+    use ecoscale::bench::obs::{telemetry_shard_series, TelemetryCapture};
+    use ecoscale::core::{linear_test_mix, run_serve_sim, ServeSimConfig};
+    use ecoscale::runtime::ServeSpec;
+    use ecoscale::sim::{CampaignSpec, Duration, TelemetryConfig};
+    // an unmeetable 1µs deadline guarantees a populated flight recorder
+    let spec = ServeSpec::parse("seed=21,tenants=4,rate=100000,horizon=500us,batch=4,deadline=1us")
+        .expect("spec parses");
+    let mut cfg = ServeSimConfig::new(spec, linear_test_mix());
+    cfg.items = 32;
+    cfg.cells = 2;
+    cfg.faults = CampaignSpec::parse("seed=5,seu=200us,smmu=0.002,scrub=400us")
+        .expect("campaign spec parses");
+    cfg.telemetry = Some(TelemetryConfig::new(Duration::from_us(50)));
+    let out = run_serve_sim(&cfg);
+    let cap = TelemetryCapture {
+        serve: out.telemetry.expect("telemetry armed"),
+        shard: telemetry_shard_series(Scale::Quick),
+    };
+    assert!(cap.fired(), "breach spec must populate the flight ring");
+    assert_golden("telemetry.schema", &schema_of(&cap.to_json()));
+    assert_golden("flight_dump.schema", &schema_of(&cap.flight_dump_json()));
+}
+
 /// The SnapPlane snapshot header — magic, version, and the checksummed
 /// section table — as rendered by [`SnapshotFile::header_json`] for a
 /// two-cell serving checkpoint. Pins the on-disk container layout:
